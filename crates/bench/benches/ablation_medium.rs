@@ -1,0 +1,104 @@
+//! Ablation: the medium-order model with the cutoff solver — the
+//! comparison the paper's §6 explicitly wants: "we would like to examine
+//! both the performance and accuracy of the medium-order model when used
+//! with the cutoff solver" against the high-order model.
+//!
+//! Real measurement on thread-ranks: the same periodic single-mode RT
+//! problem solved at all three orders (low = FFT only; medium = cutoff BR
+//! velocity + spectral vorticity; high = cutoff BR velocity + stencil
+//! vorticity), reporting wall time, measured growth rate vs linear
+//! theory, and the communication profile each order generates.
+
+use beatnik_comm::{OpKind, World};
+use beatnik_core::solver::BrChoice;
+use beatnik_core::{Diagnostics, InitialCondition, Order, Params, Solver, SolverConfig};
+use beatnik_dfft::FftConfig;
+use beatnik_mesh::{BoundaryCondition, SurfaceMesh};
+use std::f64::consts::PI;
+
+const L: f64 = 2.0 * PI;
+const N: usize = 32;
+const STEPS: usize = 420;
+const RANKS: usize = 4;
+
+fn run(order: Order) -> (f64, f64, u64, u64) {
+    let params = Params {
+        atwood: 0.5,
+        gravity: 2.0,
+        mu: 0.0,
+        epsilon: 0.13,
+        cutoff: 2.5, // moderate cutoff: sees several wavelengths
+        dt: 5e-3,
+        ..Params::default()
+    };
+    let start = std::time::Instant::now();
+    let (out, trace) = World::run_traced(RANKS, move |comm| {
+        let mesh = SurfaceMesh::new(&comm, [N, N], [true, true], 2, [0.0, 0.0], [L, L]);
+        let bc = BoundaryCondition::Periodic { periods: [L, L] };
+        let br = if order.needs_br_solver() {
+            BrChoice::Cutoff {
+                bounds: ([-1.0, -1.0, -3.0], [L + 1.0, L + 1.0, 3.0]),
+            }
+        } else {
+            BrChoice::None
+        };
+        let cfg = SolverConfig {
+            order,
+            br,
+            params,
+            fft: FftConfig::default(),
+            ic: InitialCondition::SingleMode {
+                amplitude: 1e-5,
+                modes: [1.0, 1.0],
+            },
+        };
+        let mut solver = Solver::new(mesh, bc, cfg);
+        let mut series = Vec::new();
+        solver.run(STEPS, |step, pm| {
+            series.push((step as f64 * params.dt, Diagnostics::compute(pm).amplitude));
+        });
+        series
+    });
+    let wall = start.elapsed().as_secs_f64();
+    // Late-window growth-rate fit (the cosh solution approaches pure
+    // exponential once sigma*t >> 1).
+    let series = &out[0];
+    let half = &series[3 * series.len() / 4..];
+    let n = half.len() as f64;
+    let sx: f64 = half.iter().map(|p| p.0).sum();
+    let sy: f64 = half.iter().map(|p| p.1.ln()).sum();
+    let sxx: f64 = half.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = half.iter().map(|p| p.0 * p.1.ln()).sum();
+    let sigma = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let fft_bytes = trace.total(OpKind::Alltoallv).bytes;
+    let msgs = trace.total(OpKind::Alltoallv).messages + trace.total(OpKind::Send).messages;
+    (wall, sigma, fft_bytes, msgs)
+}
+
+fn main() {
+    let theory = (0.5 * 2.0 * (2.0f64).sqrt()).sqrt();
+    println!("=== Ablation: model order with the cutoff solver ({N}x{N}, {RANKS} ranks, {STEPS} steps) ===\n");
+    println!("linear-theory growth rate sigma = {theory:.4}\n");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>14} {:>12}",
+        "order", "wall (s)", "sigma", "vs theory", "a2av bytes", "messages"
+    );
+    for order in [Order::Low, Order::Medium, Order::High] {
+        let (wall, sigma, bytes, msgs) = run(order);
+        println!(
+            "{:>8} {:>12.3} {:>12.4} {:>12.3} {:>14} {:>12}",
+            order.to_string(),
+            wall,
+            sigma,
+            sigma / theory,
+            bytes,
+            msgs
+        );
+    }
+    println!(
+        "\nshape check: medium order pays both communication patterns (FFT reshapes \
+         *and* cutoff migration) but inherits spectral vorticity accuracy; high order \
+         swaps the FFT volume for halo-only stencils; the paper notes medium also \
+         admits larger timesteps, compounding its advantage."
+    );
+}

@@ -1,0 +1,26 @@
+//! Figure 4: low-order (FFT) solver strong scaling of a fixed 4864² mesh.
+//!
+//! Paper result: 3.5× speedup moving from 4 to 64 GPUs (21% parallel
+//! efficiency), then performance "turns over and begins to decrease"
+//! as messages shrink and per-round all-to-all latency dominates.
+
+use beatnik_bench::fig4_series;
+use beatnik_model::{efficiency, format_table, Machine};
+
+fn main() {
+    let series = fig4_series(&Machine::lassen());
+    println!("=== Figure 4: Low-Order Strong Scaling (Lassen model, 4864^2 total) ===\n");
+    print!("{}", format_table(std::slice::from_ref(&series)));
+
+    let t4 = series.time_at(4).unwrap();
+    let t64 = series.time_at(64).unwrap();
+    println!("\nspeedup 4 -> 64 GPUs: {:.2}x (paper: 3.5x)", t4 / t64);
+    println!(
+        "parallel efficiency 4 -> 64: {:.1}% (paper: 21%)",
+        100.0 * efficiency(4, t4, 64, t64)
+    );
+    println!(
+        "turnover (minimum runtime) at {} GPUs (paper: performance decreases past 64)",
+        series.best_ranks().unwrap()
+    );
+}

@@ -1,0 +1,21 @@
+//! Figure 5: high-order cutoff solver weak scaling, 4 → 1024 GPUs
+//! (multi-mode deck, 768² points/GPU, cutoff 0.2).
+//!
+//! Paper result: "only modest (approximately 20%) increases in runtime"
+//! over a 256× problem-size growth, because communication is dominated by
+//! neighbor halos and the balanced multi-mode case develops little load
+//! imbalance.
+
+use beatnik_bench::fig5_series;
+use beatnik_model::{format_table, Machine};
+
+fn main() {
+    let series = fig5_series(&Machine::lassen());
+    println!("=== Figure 5: Cutoff Solver Weak Scaling (Lassen model, 768^2 points/GPU) ===\n");
+    print!("{}", format_table(std::slice::from_ref(&series)));
+    let growth = series.time_at(1024).unwrap() / series.time_at(4).unwrap();
+    println!(
+        "\nruntime growth 4 -> 1024 GPUs: {:.1}% (paper: ~20%) over a 256x problem growth",
+        (growth - 1.0) * 100.0
+    );
+}

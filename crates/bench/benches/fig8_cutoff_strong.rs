@@ -1,0 +1,42 @@
+//! Figure 8: high-order cutoff solver strong scaling, 4 → 256 GPUs
+//! (single-mode deck, 512² points, cutoff 0.5).
+//!
+//! Paper result: 3.3× speedup from 4 to 64 GPUs (21% efficiency);
+//! "while performance turns over beyond this point, the performance
+//! reduction from additional GPUs is modest because of the localization
+//! of communication provided by the cutoff solver."
+//!
+//! Load-imbalance factors are *measured* from a real scaled single-mode
+//! run (the same reference simulation as Figures 6/7), binned into each
+//! candidate rank count.
+
+use beatnik_bench::{fig8_series, singlemode_reference};
+use beatnik_model::{efficiency, format_table, Machine};
+
+fn main() {
+    println!("=== Figure 8: Cutoff Solver Strong Scaling (Lassen model + measured imbalance) ===\n");
+    println!("running the scaled single-mode reference simulation...\n");
+    let reference = singlemode_reference(48, 40, 200);
+    println!("measured load-imbalance factors (max/mean points per region):");
+    for &(p, early, late) in &reference.lambda_by_p {
+        println!("  {p:>5} regions: early {early:.2}, late {late:.2}");
+    }
+
+    let series = fig8_series(&Machine::lassen(), &reference);
+    println!();
+    print!("{}", format_table(std::slice::from_ref(&series)));
+
+    let t4 = series.time_at(4).unwrap();
+    let t64 = series.time_at(64).unwrap();
+    let t256 = series.time_at(256).unwrap();
+    println!("\nspeedup 4 -> 64 GPUs: {:.2}x (paper: 3.3x)", t4 / t64);
+    println!(
+        "parallel efficiency 4 -> 64: {:.1}% (paper: 21%)",
+        100.0 * efficiency(4, t4, 64, t64)
+    );
+    println!(
+        "turnover: {} GPUs; 256-GPU runtime is {:.2}x the 64-GPU runtime (modest, per the paper)",
+        series.best_ranks().unwrap(),
+        t256 / t64
+    );
+}

@@ -1,0 +1,52 @@
+//! Figure 9: total runtime when weak-scaling all eight heFFTe
+//! configurations of Table 1 (low-order solver, 4 → 1024 GPUs).
+//!
+//! Paper result: "on small numbers of processes, heFFTe performance is
+//! better when using its custom communication routines and not using
+//! Spectrum MPI's MPI_Alltoall primitive. In contrast, on large numbers
+//! of processes, heFFTe performance improves if the AllToAll parameter
+//! is true."
+
+use beatnik_bench::{fig9_matrix, paper_rank_sweep};
+use beatnik_model::Machine;
+
+fn main() {
+    let matrix = fig9_matrix(&Machine::lassen());
+    let sweep = paper_rank_sweep();
+
+    println!("=== Figure 9: heFFTe Configurations, Weak Scaling (s/step, Lassen model) ===\n");
+    print!("{:>6}", "ranks");
+    for (cfg, _) in &matrix {
+        print!(" {:>9}", format!("cfg{}", cfg.index()));
+    }
+    println!();
+    for &p in &sweep {
+        print!("{p:>6}");
+        for (_, series) in &matrix {
+            print!(" {:>9.3}", series.time_at(p).unwrap());
+        }
+        println!();
+    }
+
+    println!("\nbest configuration per rank count:");
+    for &p in &sweep {
+        let (best_cfg, best_t) = matrix
+            .iter()
+            .map(|(c, s)| (c, s.time_at(p).unwrap()))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        println!("  {p:>5} ranks: {} ({best_t:.3} s/step)", best_cfg);
+    }
+
+    // The paper's headline comparison: AllToAll on vs off, other knobs at
+    // heFFTe defaults (pencils+reorder): configs 3 vs 7.
+    let custom = &matrix[3].1;
+    let alltoall = &matrix[7].1;
+    println!("\nAllToAll=false (cfg3) vs AllToAll=true (cfg7):");
+    for &p in &sweep {
+        let (c, a) = (custom.time_at(p).unwrap(), alltoall.time_at(p).unwrap());
+        let winner = if c < a { "custom p2p" } else { "MPI_Alltoall" };
+        println!("  {p:>5} ranks: custom {c:>8.3}  alltoall {a:>8.3}  -> {winner}");
+    }
+    println!("\nshape check: custom exchange wins at small scale, MPI_Alltoall at large scale (paper Fig. 9).");
+}

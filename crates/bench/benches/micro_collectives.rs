@@ -1,0 +1,67 @@
+//! Criterion microbenchmarks of the collective algorithms: barrier,
+//! allreduce, allgather, and both all-to-all variants (real thread-rank
+//! execution, including thread spawn cost — compare *between* rows, not
+//! against MPI absolute numbers).
+
+use beatnik_comm::{AllToAllAlgo, World};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives_8ranks");
+    g.measurement_time(Duration::from_secs(3)).sample_size(10);
+    let p = 8;
+    let reps = 20;
+
+    g.bench_function("barrier", |b| {
+        b.iter(|| {
+            World::run(p, |comm| {
+                for _ in 0..reps {
+                    comm.barrier();
+                }
+            })
+        })
+    });
+
+    g.bench_function("allreduce_f64", |b| {
+        b.iter(|| {
+            World::run(p, |comm| {
+                let mut acc = comm.rank() as f64;
+                for _ in 0..reps {
+                    acc = comm.allreduce_sum(acc);
+                }
+                acc
+            })
+        })
+    });
+
+    g.bench_function("allgather_1k", |b| {
+        b.iter(|| {
+            World::run(p, |comm| {
+                for _ in 0..reps {
+                    let _ = comm.allgather(vec![0u64; 128]);
+                }
+            })
+        })
+    });
+
+    for (name, algo) in [
+        ("alltoall_pairwise_4k", AllToAllAlgo::Pairwise),
+        ("alltoall_direct_4k", AllToAllAlgo::Direct),
+    ] {
+        g.bench_with_input(BenchmarkId::new(name, p), &algo, |b, &algo| {
+            b.iter(|| {
+                World::run(p, move |comm| {
+                    for _ in 0..reps {
+                        let blocks = (0..comm.size()).map(|_| vec![0u64; 64]).collect();
+                        let _ = comm.alltoall_with(blocks, algo);
+                    }
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion microbenchmarks of the distributed FFT: the eight Table-1
+//! configurations at a fixed grid and rank count (real thread-rank
+//! execution; the Figure-9 target extrapolates these patterns to scale).
+
+use beatnik_comm::{dims_create, World};
+use beatnik_dfft::{DistributedFft2d, FftConfig};
+use beatnik_fft::Complex;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_configs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dfft_configs");
+    g.measurement_time(Duration::from_secs(3)).sample_size(10);
+    let n = 128;
+    let ranks = 4;
+    for config in FftConfig::table1() {
+        g.bench_with_input(
+            BenchmarkId::new("forward_128x128_4ranks", config.index()),
+            &config,
+            |b, &config| {
+                b.iter(|| {
+                    World::run(ranks, move |comm| {
+                        let dims = dims_create(comm.size());
+                        let plan = DistributedFft2d::new(&comm, dims, n, n, config);
+                        let rect = plan.local_rect();
+                        let block: Vec<Complex> = (0..rect.area())
+                            .map(|i| Complex::new(i as f64, -(i as f64)))
+                            .collect();
+                        plan.forward(block).len()
+                    })
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_rank_counts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dfft_ranks");
+    g.measurement_time(Duration::from_secs(3)).sample_size(10);
+    let n = 128;
+    for ranks in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("forward_128x128", ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                World::run(ranks, move |comm| {
+                    let dims = dims_create(comm.size());
+                    let plan =
+                        DistributedFft2d::new(&comm, dims, n, n, FftConfig::default());
+                    let rect = plan.local_rect();
+                    let block: Vec<Complex> = (0..rect.area())
+                        .map(|i| Complex::new(i as f64, 0.5))
+                        .collect();
+                    plan.forward(block).len()
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_configs, bench_rank_counts);
+criterion_main!(benches);

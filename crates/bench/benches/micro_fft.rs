@@ -1,0 +1,70 @@
+//! Criterion microbenchmarks of the serial FFT stack: radix-2 vs
+//! Bluestein planning, 1D sizes, and the 2D row-column transform.
+
+use beatnik_fft::{Complex, Fft, Fft2d};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn signal(n: usize) -> Vec<Complex> {
+    (0..n)
+        .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+        .collect()
+}
+
+fn bench_fft_1d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft_1d");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for n in [256usize, 1024, 4096, 16384] {
+        let plan = Fft::new(n);
+        let data = signal(n);
+        g.bench_with_input(BenchmarkId::new("radix2_forward", n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                plan.forward(black_box(&mut buf));
+                buf
+            })
+        });
+    }
+    // Bluestein sizes near a power of two for comparison.
+    for n in [1023usize, 4095] {
+        let plan = Fft::new(n);
+        let data = signal(n);
+        g.bench_with_input(BenchmarkId::new("bluestein_forward", n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                plan.forward(black_box(&mut buf));
+                buf
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fft_2d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft_2d");
+    g.measurement_time(Duration::from_secs(2)).sample_size(15);
+    for n in [64usize, 128, 256] {
+        let plan = Fft2d::new(n, n);
+        let data = signal(n * n);
+        g.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                plan.forward(black_box(&mut buf));
+                buf
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("roundtrip", n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                plan.forward(&mut buf);
+                plan.inverse(black_box(&mut buf));
+                buf
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fft_1d, bench_fft_2d);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion microbenchmarks of the surface-mesh halo exchange — the
+//! neighbor communication pattern behind the high-order stencils — at
+//! several rank counts and field widths.
+
+use beatnik_comm::World;
+use beatnik_mesh::SurfaceMesh;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_halo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("halo_exchange");
+    g.measurement_time(Duration::from_secs(3)).sample_size(10);
+    let reps = 10;
+    for ranks in [1usize, 4, 9] {
+        for ncomp in [1usize, 3, 5] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("128x128_{ncomp}comp"), ranks),
+                &ranks,
+                |b, &ranks| {
+                    b.iter(|| {
+                        World::run(ranks, move |comm| {
+                            let mesh = SurfaceMesh::new(
+                                &comm,
+                                [128, 128],
+                                [true, true],
+                                2,
+                                [0.0, 0.0],
+                                [1.0, 1.0],
+                            );
+                            let mut f = mesh.make_field(ncomp);
+                            for _ in 0..reps {
+                                mesh.halo_exchange(&mut f);
+                            }
+                            f.max_abs()
+                        })
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_halo);
+criterion_main!(benches);

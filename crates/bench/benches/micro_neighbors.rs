@@ -1,0 +1,55 @@
+//! Criterion microbenchmarks of the neighbor-search backends (the ArborX
+//! substitute): grid binning vs k-d tree, on uniform and rollup-like
+//! clustered point sets.
+
+use beatnik_spatial::neighbors::{Backend, NeighborList};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn uniform(n: usize) -> Vec<[f64; 3]> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            [
+                (t * 0.731).fract() * 6.0 - 3.0,
+                (t * 0.317).fract() * 6.0 - 3.0,
+                (t * 0.113).fract() - 0.5,
+            ]
+        })
+        .collect()
+}
+
+/// Rollup-like set: half the points wound into a tight spiral.
+fn clustered(n: usize) -> Vec<[f64; 3]> {
+    let mut pts = uniform(n / 2);
+    for i in 0..n / 2 {
+        let t = i as f64 * 0.02;
+        pts.push([t.cos() * t * 0.05, t.sin() * t * 0.05, (i % 7) as f64 * 0.01]);
+    }
+    pts
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("neighbor_lists");
+    g.measurement_time(Duration::from_secs(3)).sample_size(10);
+    let radius = 0.4;
+    for (label, pts) in [("uniform_8k", uniform(8192)), ("clustered_8k", clustered(8192))] {
+        for backend in [Backend::Grid, Backend::KdTree] {
+            g.bench_with_input(
+                BenchmarkId::new(label, format!("{backend:?}")),
+                &backend,
+                |b, &backend| {
+                    b.iter(|| {
+                        NeighborList::build(black_box(&pts), black_box(&pts), radius, backend)
+                            .total_pairs()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Table 1: the heFFTe parameter configurations swept by the paper's
+//! Section 5.5 evaluation. Regenerates the table row-for-row.
+
+fn main() {
+    println!("=== Table 1: heFFTe parameter configurations on the low-order solver ===\n");
+    print!("{}", beatnik_bench::table1_text());
+    println!("\n(config index = 4*AllToAll + 2*Pencils + Reorder, as in the paper)");
+}

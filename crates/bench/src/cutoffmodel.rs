@@ -1,0 +1,177 @@
+//! Performance model of the high-order cutoff solver at paper scale,
+//! counting what `beatnik_core::br::CutoffBrSolver` does per step:
+//! 3 RK evaluations × (migrate → halo → neighbor build → pair forces →
+//! return), with load imbalance taken from *measured* point
+//! distributions of real scaled runs.
+
+use beatnik_model::{ComputeModel, Machine, NetworkModel};
+
+/// Bytes of one migrating point (`SurfacePoint`: pos + payload + ids).
+const POINT_BYTES: f64 = 56.0;
+/// Bytes of one returned result (`PointResult`).
+const RESULT_BYTES: f64 = 32.0;
+/// Derivative evaluations per RK3 step.
+const EVALS_PER_STEP: f64 = 3.0;
+/// `alltoallv` rounds per evaluation (migrate, halo, return).
+const EXCHANGES_PER_EVAL: f64 = 3.0;
+/// Effective per-message cost of a zero-byte (empty-block) exchange
+/// message — dense `alltoallv` sends empties to non-neighbors.
+const EMPTY_MSG_OVERHEAD: f64 = 8.0e-6;
+/// Neighbor-list construction costs this fraction of the pair-force
+/// work (grid binning inspects ~2-3 candidates per accepted neighbor,
+/// at a few bytes each).
+const BUILD_FRACTION: f64 = 0.3;
+
+/// Cutoff-solver cost model. `domain_area(ranks)` returns the x/y area of
+/// the spatial domain at a rank count: constant for strong scaling,
+/// growing ∝ P for constant-density weak scaling.
+pub struct CutoffModel {
+    machine: Machine,
+    compute: ComputeModel,
+    /// Cutoff radius.
+    pub cutoff: f64,
+    /// Fraction of points that change spatial owner per evaluation.
+    pub migrate_fraction: f64,
+}
+
+impl CutoffModel {
+    /// Model with the paper's defaults.
+    pub fn new(machine: &Machine) -> Self {
+        CutoffModel {
+            machine: machine.clone(),
+            compute: ComputeModel::new(machine),
+            cutoff: 0.5,
+            migrate_fraction: 0.03,
+        }
+    }
+
+    /// Interactions per point at surface density `sigma` (points per unit
+    /// x/y area): the interface is a quasi-2D point set, so a cutoff disc
+    /// of radius `c` captures `σ·π·c²` neighbors.
+    fn pairs_per_point(&self, sigma: f64) -> f64 {
+        sigma * std::f64::consts::PI * self.cutoff * self.cutoff
+    }
+
+    /// Ghost points a rank imports: the density times the area of the
+    /// cutoff-wide frame around its region (side `s`).
+    fn ghosts_per_rank(&self, sigma: f64, region_side: f64) -> f64 {
+        let s = region_side;
+        let c = self.cutoff;
+        sigma * ((s + 2.0 * c) * (s + 2.0 * c) - s * s).max(0.0)
+    }
+
+    /// Per-step time for `total_points` on a `domain_area` x/y domain
+    /// over `ranks` ranks, with load-imbalance factor `lambda`
+    /// (max-over-mean per-rank points, 1.0 = balanced).
+    pub fn step_time(
+        &self,
+        total_points: f64,
+        domain_area: f64,
+        ranks: usize,
+        lambda: f64,
+    ) -> f64 {
+        let sigma = total_points / domain_area;
+        let per_rank = total_points / ranks as f64;
+        let region_side = (domain_area / ranks as f64).sqrt();
+
+        // Compute: pair forces + neighbor build, scaled by imbalance
+        // (the slowest rank gates the step).
+        let pairs = per_rank * self.pairs_per_point(sigma) * lambda;
+        let force = self.compute.br_pair_time(pairs);
+        let build = force * BUILD_FRACTION;
+
+        // Communication per evaluation.
+        let net = NetworkModel::new(&self.machine, ranks);
+        let ghosts = self.ghosts_per_rank(sigma, region_side);
+        let halo_bytes = ghosts * POINT_BYTES;
+        let migrate_bytes = self.migrate_fraction * per_rank * POINT_BYTES;
+        let return_bytes = per_rank * RESULT_BYTES;
+        let volume_time = (halo_bytes + migrate_bytes + return_bytes) / net.effective_bandwidth();
+        // Neighbor messages carry data (≈ 8 overlapping regions + fan);
+        // the rest of the dense alltoallv is empty messages.
+        let neighbor_msgs = 8.0f64.min((ranks - 1) as f64);
+        let latency = EXCHANGES_PER_EVAL
+            * (neighbor_msgs * (net.latency() + net.overhead())
+                + (ranks.saturating_sub(1) as f64) * EMPTY_MSG_OVERHEAD);
+
+        EVALS_PER_STEP * (force + build + volume_time + latency)
+    }
+
+    /// Figure-5 configuration: weak scaling at the paper's 768² points
+    /// per GPU with cutoff 0.2 and constant point density (each GPU adds
+    /// a 3×3 tile of interface area — the reading under which per-rank
+    /// work is constant, as the paper's flat measured curve requires).
+    pub fn weak_step_time(&self, ranks: usize) -> f64 {
+        let per_gpu = 768.0 * 768.0;
+        let total = per_gpu * ranks as f64;
+        let area = 9.0 * ranks as f64;
+        // Multi-mode case: negligible imbalance (paper §5.3).
+        self.step_time(total, area, ranks, 1.02)
+    }
+
+    /// Figure-8 configuration: strong scaling of the paper's 512²
+    /// single-mode problem on the fixed (−3,3)² domain, with measured
+    /// imbalance factors per rank count.
+    pub fn strong_step_time(&self, ranks: usize, lambda: f64) -> f64 {
+        self.step_time(512.0 * 512.0, 36.0, ranks, lambda)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beatnik_model::Machine;
+
+    fn model() -> CutoffModel {
+        CutoffModel::new(&Machine::lassen())
+    }
+
+    #[test]
+    fn weak_scaling_is_nearly_flat() {
+        // Paper §5.3: "only modest (approximately 20%) increases in
+        // runtime" from 4 to 1024 GPUs, a 256x problem growth.
+        let mut m = model();
+        m.cutoff = 0.2;
+        let t4 = m.weak_step_time(4);
+        let t1024 = m.weak_step_time(1024);
+        let growth = t1024 / t4;
+        assert!(
+            growth > 1.0 && growth < 1.6,
+            "cutoff weak growth {growth} should be modest"
+        );
+    }
+
+    #[test]
+    fn strong_scaling_speeds_up_then_turns_over() {
+        // Paper §5.4: 3.3x speedup from 4 to 64 GPUs (21% efficiency);
+        // modest decline beyond.
+        let m = model();
+        // Imbalance factors in the measured range of the single-mode run.
+        let lambda = |p: usize| 1.0 + 0.08 * (p as f64).log2();
+        let t4 = m.strong_step_time(4, lambda(4));
+        let t64 = m.strong_step_time(64, lambda(64));
+        let t256 = m.strong_step_time(256, lambda(256));
+        let speedup = t4 / t64;
+        assert!(speedup > 2.0 && speedup < 6.0, "4->64 speedup {speedup}");
+        assert!(t256 > t64, "turnover past 64: {t256} vs {t64}");
+        assert!(t256 < t64 * 4.0, "decline stays modest: {t256} vs {t64}");
+    }
+
+    #[test]
+    fn larger_cutoff_costs_more() {
+        let mut m = model();
+        m.cutoff = 0.2;
+        let small = m.strong_step_time(16, 1.0);
+        m.cutoff = 0.8;
+        let big = m.strong_step_time(16, 1.0);
+        assert!(big > 5.0 * small, "{big} vs {small}");
+    }
+
+    #[test]
+    fn imbalance_slows_the_step() {
+        let m = model();
+        let balanced = m.strong_step_time(64, 1.0);
+        let skewed = m.strong_step_time(64, 2.0);
+        assert!(skewed > balanced * 1.3);
+    }
+}

@@ -1,0 +1,259 @@
+//! 2D Cartesian process topology (the analogue of `MPI_Cart_create`).
+//!
+//! Beatnik decomposes its surface mesh over a 2D grid of ranks and its
+//! spatial mesh over a 2D x/y grid; pencil FFTs additionally need row and
+//! column subcommunicators. [`CartComm`] provides rank↔coordinate maps,
+//! neighbor shifts with periodic or open edges, and row/column splits.
+
+use crate::communicator::Communicator;
+use crate::error::CommError;
+
+/// Choose a balanced 2D factorization `[rows, cols]` of `p` ranks, the
+/// equivalent of `MPI_Dims_create(p, 2)`: the two factors are as close to
+/// `sqrt(p)` as possible, with `rows <= cols`.
+pub fn dims_create(p: usize) -> [usize; 2] {
+    assert!(p > 0, "dims_create: empty world");
+    let mut best = [1, p];
+    let mut r = 1usize;
+    while r * r <= p {
+        if p % r == 0 {
+            best = [r, p / r];
+        }
+        r += 1;
+    }
+    best
+}
+
+/// A communicator arranged as a `dims[0] × dims[1]` grid (row-major rank
+/// order), with per-dimension periodicity.
+pub struct CartComm {
+    comm: Communicator,
+    dims: [usize; 2],
+    periods: [bool; 2],
+    coords: [usize; 2],
+}
+
+impl CartComm {
+    /// Arrange `comm` as a Cartesian grid. Collective-free (pure index
+    /// math), but every rank must pass identical `dims`/`periods`.
+    pub fn new(comm: Communicator, dims: [usize; 2], periods: [bool; 2]) -> Result<Self, CommError> {
+        let product = dims[0] * dims[1];
+        if product != comm.size() {
+            return Err(CommError::BadDims {
+                product,
+                size: comm.size(),
+            });
+        }
+        let r = comm.rank();
+        let coords = [r / dims[1], r % dims[1]];
+        Ok(CartComm {
+            comm,
+            dims,
+            periods,
+            coords,
+        })
+    }
+
+    /// The underlying communicator.
+    pub fn comm(&self) -> &Communicator {
+        &self.comm
+    }
+
+    /// Grid extents `[rows, cols]`.
+    pub fn dims(&self) -> [usize; 2] {
+        self.dims
+    }
+
+    /// Per-dimension periodicity.
+    pub fn periods(&self) -> [bool; 2] {
+        self.periods
+    }
+
+    /// This rank's grid coordinates `[row, col]`.
+    pub fn coords(&self) -> [usize; 2] {
+        self.coords
+    }
+
+    /// Rank at grid coordinates, if any. Signed inputs are wrapped for
+    /// periodic dimensions; out-of-range coordinates on open dimensions
+    /// yield `None`.
+    pub fn rank_at(&self, row: i64, col: i64) -> Option<usize> {
+        let wrap = |x: i64, n: usize, periodic: bool| -> Option<usize> {
+            let n_i = n as i64;
+            if periodic {
+                Some(x.rem_euclid(n_i) as usize)
+            } else if (0..n_i).contains(&x) {
+                Some(x as usize)
+            } else {
+                None
+            }
+        };
+        let r = wrap(row, self.dims[0], self.periods[0])?;
+        let c = wrap(col, self.dims[1], self.periods[1])?;
+        Some(r * self.dims[1] + c)
+    }
+
+    /// Neighbor ranks for a shift of `disp` along `dim` (0 = row, 1 =
+    /// col): `(source, destination)` as in `MPI_Cart_shift`. `None` marks
+    /// an open boundary.
+    pub fn shift(&self, dim: usize, disp: i64) -> (Option<usize>, Option<usize>) {
+        assert!(dim < 2, "shift: dim must be 0 or 1");
+        let mut up = [self.coords[0] as i64, self.coords[1] as i64];
+        let mut down = up;
+        up[dim] += disp;
+        down[dim] -= disp;
+        let dest = self.rank_at(up[0], up[1]);
+        let src = self.rank_at(down[0], down[1]);
+        (src, dest)
+    }
+
+    /// Split into row subcommunicators: ranks in the same grid row,
+    /// ordered by column. Collective over the underlying communicator.
+    pub fn row_comm(&self) -> Communicator {
+        self.comm
+            .split(Some(self.coords[0] as u64), self.coords[1] as i64)
+            .expect("row_comm split")
+    }
+
+    /// Split into column subcommunicators: ranks in the same grid column,
+    /// ordered by row. Collective over the underlying communicator.
+    pub fn col_comm(&self) -> Communicator {
+        self.comm
+            .split(Some(self.coords[1] as u64), self.coords[0] as i64)
+            .expect("col_comm split")
+    }
+
+    /// The eight surrounding neighbors (including diagonals) as
+    /// `(d_row, d_col, rank)` triples, skipping open edges. Diagonal
+    /// neighbors matter for corner halo regions.
+    pub fn neighbors8(&self) -> Vec<(i64, i64, usize)> {
+        let mut out = Vec::with_capacity(8);
+        for dr in -1..=1i64 {
+            for dc in -1..=1i64 {
+                if dr == 0 && dc == 0 {
+                    continue;
+                }
+                if let Some(r) =
+                    self.rank_at(self.coords[0] as i64 + dr, self.coords[1] as i64 + dc)
+                {
+                    out.push((dr, dc, r));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+
+    #[test]
+    fn dims_create_prefers_square() {
+        assert_eq!(dims_create(1), [1, 1]);
+        assert_eq!(dims_create(4), [2, 2]);
+        assert_eq!(dims_create(6), [2, 3]);
+        assert_eq!(dims_create(7), [1, 7]);
+        assert_eq!(dims_create(12), [3, 4]);
+        assert_eq!(dims_create(36), [6, 6]);
+        assert_eq!(dims_create(1024), [32, 32]);
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        World::run(6, |c| {
+            let r = c.rank();
+            let cart = CartComm::new(c, [2, 3], [true, true]).unwrap();
+            let [row, col] = cart.coords();
+            assert_eq!(cart.rank_at(row as i64, col as i64), Some(r));
+        });
+    }
+
+    #[test]
+    fn bad_dims_rejected() {
+        World::run(5, |c| {
+            assert!(matches!(
+                CartComm::new(c, [2, 2], [false, false]),
+                Err(CommError::BadDims { product: 4, size: 5 })
+            ));
+        });
+    }
+
+    #[test]
+    fn periodic_shift_wraps_and_open_shift_ends() {
+        World::run(4, |c| {
+            let r = c.rank();
+            let cart = CartComm::new(c, [2, 2], [true, false]).unwrap();
+            let (src_row, dst_row) = cart.shift(0, 1);
+            // Periodic rows always have both neighbors.
+            assert!(src_row.is_some() && dst_row.is_some());
+            let (src_col, dst_col) = cart.shift(1, 1);
+            let col = r % 2;
+            if col == 0 {
+                assert!(src_col.is_none());
+                assert_eq!(dst_col, Some(r + 1));
+            } else {
+                assert_eq!(src_col, Some(r - 1));
+                assert!(dst_col.is_none());
+            }
+        });
+    }
+
+    #[test]
+    fn halo_style_exchange_along_rows() {
+        // Shift data right along each row of a 2x3 periodic grid.
+        World::run(6, |c| {
+            let r = c.rank();
+            let cart = CartComm::new(c, [2, 3], [true, true]).unwrap();
+            let (src, dst) = cart.shift(1, 1);
+            let got = cart
+                .comm()
+                .sendrecv(dst.unwrap(), vec![r as u64], src.unwrap(), 77);
+            let [row, col] = cart.coords();
+            let expect_col = (col + 3 - 1) % 3;
+            assert_eq!(got[0], (row * 3 + expect_col) as u64);
+        });
+    }
+
+    #[test]
+    fn row_and_col_comms_partition_the_grid() {
+        World::run(6, |c| {
+            let world_rank = c.rank();
+            let cart = CartComm::new(c, [2, 3], [false, false]).unwrap();
+            let [row, col] = cart.coords();
+            let rc = cart.row_comm();
+            assert_eq!(rc.size(), 3);
+            assert_eq!(rc.rank(), col);
+            let cc = cart.col_comm();
+            assert_eq!(cc.size(), 2);
+            assert_eq!(cc.rank(), row);
+            // Row-sum of world ranks via the row communicator.
+            let s = rc.allreduce_sum(world_rank as f64) as usize;
+            let expect: usize = (0..3).map(|cc| row * 3 + cc).sum();
+            assert_eq!(s, expect);
+        });
+    }
+
+    #[test]
+    fn neighbors8_center_of_3x3_open_grid() {
+        World::run(9, |c| {
+            let r = c.rank();
+            let cart = CartComm::new(c, [3, 3], [false, false]).unwrap();
+            let n = cart.neighbors8();
+            match r {
+                4 => assert_eq!(n.len(), 8),
+                0 | 2 | 6 | 8 => assert_eq!(n.len(), 3),
+                _ => assert_eq!(n.len(), 5),
+            }
+        });
+    }
+
+    #[test]
+    fn neighbors8_periodic_grid_always_eight() {
+        World::run(9, |c| {
+            let cart = CartComm::new(c, [3, 3], [true, true]).unwrap();
+            assert_eq!(cart.neighbors8().len(), 8);
+        });
+    }
+}

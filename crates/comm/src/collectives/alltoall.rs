@@ -1,0 +1,203 @@
+//! All-to-all exchanges — the communication pattern at the heart of the
+//! paper's low-order (FFT) benchmark.
+//!
+//! Two algorithms are provided because the heFFTe evaluation in the paper
+//! (Section 5.5, Figure 9) is precisely about the difference between
+//! MPI's built-in `MPI_Alltoall` and a library's custom point-to-point
+//! exchange:
+//!
+//! * [`AllToAllAlgo::Pairwise`] — the scheduled pairwise exchange used by
+//!   `MPI_Alltoall` for large messages: P−1 steps, in step `s` rank `r`
+//!   sends to `(r+s) mod P` and receives from `(r−s) mod P`, so each
+//!   network link carries one message at a time.
+//! * [`AllToAllAlgo::Direct`] — post-everything-then-receive, the strategy
+//!   custom exchange code (like heFFTe's `AllToAll=False` path) typically
+//!   uses; fewer synchronization constraints, but all P−1 messages
+//!   contend simultaneously.
+//!
+//! Both produce identical results; they differ (on a real network) in
+//! congestion behaviour, which `beatnik-model` models for the figures.
+
+use crate::communicator::Communicator;
+use crate::message::CommData;
+use crate::trace::OpKind;
+
+/// Algorithm selector for [`alltoall`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AllToAllAlgo {
+    /// Scheduled pairwise exchange (MPI_Alltoall-style).
+    #[default]
+    Pairwise,
+    /// Post all sends, then receive (custom p2p exchange style).
+    Direct,
+}
+
+/// Regular all-to-all: `blocks[d]` goes to rank `d`; returns blocks
+/// indexed by source rank. All ranks must pass exactly `size()` blocks.
+pub fn alltoall<T: CommData + Clone>(
+    comm: &Communicator,
+    blocks: Vec<Vec<T>>,
+    algo: AllToAllAlgo,
+) -> Vec<Vec<T>> {
+    comm.coll_begin(OpKind::Alltoall);
+    exchange(comm, blocks, algo, OpKind::Alltoall)
+}
+
+/// Irregular all-to-all: per-destination block lengths may differ and may
+/// be zero. Zero-length blocks are still exchanged (as zero-byte
+/// messages), keeping the message-matching schedule deterministic.
+pub fn alltoallv<T: CommData + Clone>(comm: &Communicator, blocks: Vec<Vec<T>>) -> Vec<Vec<T>> {
+    alltoallv_with(comm, blocks, AllToAllAlgo::Pairwise)
+}
+
+/// [`alltoallv`] with an explicit algorithm choice.
+pub fn alltoallv_with<T: CommData + Clone>(
+    comm: &Communicator,
+    blocks: Vec<Vec<T>>,
+    algo: AllToAllAlgo,
+) -> Vec<Vec<T>> {
+    comm.coll_begin(OpKind::Alltoallv);
+    exchange(comm, blocks, algo, OpKind::Alltoallv)
+}
+
+fn exchange<T: CommData + Clone>(
+    comm: &Communicator,
+    mut blocks: Vec<Vec<T>>,
+    algo: AllToAllAlgo,
+    kind: OpKind,
+) -> Vec<Vec<T>> {
+    let p = comm.size();
+    let r = comm.rank();
+    assert_eq!(blocks.len(), p, "alltoall: need exactly one block per rank");
+    let mut out: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+    out[r] = std::mem::take(&mut blocks[r]);
+    match algo {
+        AllToAllAlgo::Pairwise => {
+            for s in 1..p {
+                let dst = (r + s) % p;
+                let src = (r + p - s) % p;
+                let block = std::mem::take(&mut blocks[dst]);
+                comm.coll_send(dst, s as u64, block, kind);
+                out[src] = comm.coll_recv::<T>(src, s as u64);
+            }
+        }
+        AllToAllAlgo::Direct => {
+            // Post every send up front (buffered), then drain receives.
+            // Tag by *step distance* so the matching schedule is identical
+            // to Pairwise and repeated alltoalls cannot cross-match.
+            for s in 1..p {
+                let dst = (r + s) % p;
+                let block = std::mem::take(&mut blocks[dst]);
+                comm.coll_send(dst, s as u64, block, kind);
+            }
+            for s in 1..p {
+                let src = (r + p - s) % p;
+                out[src] = comm.coll_recv::<T>(src, s as u64);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::AllToAllAlgo;
+    use crate::trace::OpKind;
+    use crate::world::World;
+
+    /// Every rank sends `[r, d]` to rank `d`; verify receipt from all.
+    fn roundtrip(p: usize, algo: AllToAllAlgo) {
+        let out = World::run(p, move |c| {
+            let blocks = (0..p).map(|d| vec![c.rank() as u64, d as u64]).collect();
+            c.alltoall_with(blocks, algo)
+        });
+        for (r, per_rank) in out.into_iter().enumerate() {
+            for (src, block) in per_rank.into_iter().enumerate() {
+                assert_eq!(block, vec![src as u64, r as u64], "p={p} algo={algo:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_all_sizes() {
+        for p in [1, 2, 3, 4, 5, 8] {
+            roundtrip(p, AllToAllAlgo::Pairwise);
+        }
+    }
+
+    #[test]
+    fn direct_all_sizes() {
+        for p in [1, 2, 3, 4, 5, 8] {
+            roundtrip(p, AllToAllAlgo::Direct);
+        }
+    }
+
+    #[test]
+    fn alltoallv_with_empty_and_ragged_blocks() {
+        let out = World::run(4, |c| {
+            // Rank r sends r copies of its rank to each destination of
+            // higher rank, nothing to lower ranks.
+            let blocks = (0..4)
+                .map(|d| {
+                    if d > c.rank() {
+                        vec![c.rank() as u32; c.rank() + 1]
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .collect();
+            c.alltoallv(blocks)
+        });
+        for (r, per_rank) in out.into_iter().enumerate() {
+            for (src, block) in per_rank.into_iter().enumerate() {
+                if src < r {
+                    assert_eq!(block, vec![src as u32; src + 1]);
+                } else {
+                    assert!(block.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_message_counts() {
+        let (_, trace) = World::run_traced(4, |c| {
+            let blocks = (0..4).map(|_| vec![0f64; 10]).collect();
+            let _ = c.alltoall(blocks);
+        });
+        for r in 0..4 {
+            let s = trace.rank(r).get(OpKind::Alltoall);
+            assert_eq!(s.calls, 1);
+            assert_eq!(s.messages, 3);
+            assert_eq!(s.bytes, 3 * 80);
+        }
+    }
+
+    #[test]
+    fn repeated_alltoalls_do_not_cross_match() {
+        World::run(3, |c| {
+            for i in 0..10u64 {
+                let blocks = (0..3).map(|d| vec![i * 100 + d as u64]).collect();
+                let got = c.alltoall(blocks);
+                for (src, b) in got.into_iter().enumerate() {
+                    assert_eq!(b, vec![i * 100 + c.rank() as u64], "iter {i} src {src}");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn direct_and_pairwise_agree() {
+        for p in [2usize, 5, 6] {
+            let a = World::run(p, move |c| {
+                let blocks = (0..p).map(|d| vec![(c.rank() * p + d) as i32]).collect();
+                c.alltoall_with(blocks, AllToAllAlgo::Pairwise)
+            });
+            let b = World::run(p, move |c| {
+                let blocks = (0..p).map(|d| vec![(c.rank() * p + d) as i32]).collect();
+                c.alltoall_with(blocks, AllToAllAlgo::Direct)
+            });
+            assert_eq!(a, b);
+        }
+    }
+}

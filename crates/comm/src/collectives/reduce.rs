@@ -1,0 +1,210 @@
+//! Tree-based reductions: binomial-tree reduce and recursive-doubling
+//! allreduce (with a reduce+broadcast fallback for non-power-of-two
+//! groups, as MPICH does).
+
+use crate::communicator::Communicator;
+use crate::message::CommData;
+use crate::reduce_op::ReduceOp;
+use crate::trace::OpKind;
+
+/// Reduce a single value to `root` with a binomial tree. Non-root ranks
+/// receive `None`.
+pub fn reduce<T: CommData + Clone, O: ReduceOp<T>>(
+    comm: &Communicator,
+    root: usize,
+    value: T,
+    op: &O,
+) -> Option<T> {
+    reduce_vec(comm, root, vec![value], op).map(|mut v| v.pop().unwrap())
+}
+
+/// Element-wise vector reduce to `root` with a binomial tree.
+///
+/// All ranks must pass equal-length vectors.
+pub fn reduce_vec<T: CommData + Clone, O: ReduceOp<T>>(
+    comm: &Communicator,
+    root: usize,
+    value: Vec<T>,
+    op: &O,
+) -> Option<Vec<T>> {
+    comm.coll_begin(OpKind::Reduce);
+    Some(reduce_impl(comm, root, value, op, OpKind::Reduce)?)
+}
+
+fn reduce_impl<T: CommData + Clone, O: ReduceOp<T>>(
+    comm: &Communicator,
+    root: usize,
+    value: Vec<T>,
+    op: &O,
+    kind: OpKind,
+) -> Option<Vec<T>> {
+    let p = comm.size();
+    let r = comm.rank();
+    assert!(root < p, "reduce: root {root} out of range");
+    if p == 1 {
+        return Some(value);
+    }
+    let vrank = (r + p - root) % p;
+    let mut acc = value;
+    let mut mask = 1usize;
+    while mask < p {
+        if vrank & mask == 0 {
+            let src = vrank | mask;
+            if src < p {
+                let other = comm.coll_recv::<T>(((src) + root) % p, mask as u64);
+                assert_eq!(
+                    other.len(),
+                    acc.len(),
+                    "reduce: mismatched vector lengths across ranks"
+                );
+                for (a, b) in acc.iter_mut().zip(other.iter()) {
+                    *a = op.combine(a, b);
+                }
+            }
+        } else {
+            let dst = ((vrank & !mask) + root) % p;
+            comm.coll_send(dst, mask as u64, acc, kind);
+            return None;
+        }
+        mask <<= 1;
+    }
+    Some(acc)
+}
+
+/// Allreduce a single value across all ranks.
+pub fn allreduce<T: CommData + Clone, O: ReduceOp<T>>(comm: &Communicator, value: T, op: &O) -> T {
+    allreduce_vec(comm, vec![value], op).pop().unwrap()
+}
+
+/// Element-wise allreduce over equal-length vectors.
+///
+/// Uses recursive doubling when the group size is a power of two
+/// (⌈log₂P⌉ rounds, every rank active every round); otherwise falls back
+/// to a binomial reduce to rank 0 followed by a binomial broadcast.
+pub fn allreduce_vec<T: CommData + Clone, O: ReduceOp<T>>(
+    comm: &Communicator,
+    value: Vec<T>,
+    op: &O,
+) -> Vec<T> {
+    comm.coll_begin(OpKind::Allreduce);
+    let p = comm.size();
+    if p == 1 {
+        return value;
+    }
+    if p.is_power_of_two() {
+        let r = comm.rank();
+        let mut acc = value;
+        let mut mask = 1usize;
+        while mask < p {
+            let partner = r ^ mask;
+            comm.coll_send(partner, mask as u64, acc.clone(), OpKind::Allreduce);
+            let other = comm.coll_recv::<T>(partner, mask as u64);
+            assert_eq!(
+                other.len(),
+                acc.len(),
+                "allreduce: mismatched vector lengths across ranks"
+            );
+            for (a, b) in acc.iter_mut().zip(other.iter()) {
+                *a = op.combine(a, b);
+            }
+            mask <<= 1;
+        }
+        acc
+    } else {
+        let reduced = reduce_impl(comm, 0, value, op, OpKind::Allreduce);
+        // Broadcast the result from rank 0 on the allreduce's account.
+        crate::collectives::broadcast::broadcast(comm, 0, reduced)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::reduce_op::{FnOp, MaxOp, MinOp, SumOp};
+    use crate::trace::OpKind;
+    use crate::world::World;
+
+    #[test]
+    fn reduce_sum_to_each_root() {
+        for p in [1usize, 2, 3, 4, 6, 8] {
+            for root in [0, p - 1] {
+                let out = World::run(p, move |c| c.reduce(root, c.rank() as u64, &SumOp));
+                let expect: u64 = (0..p as u64).sum();
+                for (r, v) in out.into_iter().enumerate() {
+                    if r == root {
+                        assert_eq!(v, Some(expect), "p={p} root={root}");
+                    } else {
+                        assert_eq!(v, None);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_vec_is_elementwise() {
+        let out = World::run(4, |c| {
+            c.reduce_vec(0, vec![c.rank() as f64, 1.0], &SumOp)
+        });
+        assert_eq!(out[0], Some(vec![6.0, 4.0]));
+    }
+
+    #[test]
+    fn allreduce_sum_min_max_all_sizes() {
+        for p in [1usize, 2, 3, 4, 5, 7, 8, 16] {
+            let out = World::run(p, |c| {
+                let r = c.rank() as f64;
+                (c.allreduce_sum(r), c.allreduce_min(r), c.allreduce_max(r))
+            });
+            let expect_sum: f64 = (0..p).map(|x| x as f64).sum();
+            for (s, mn, mx) in out {
+                assert_eq!(s, expect_sum, "p={p}");
+                assert_eq!(mn, 0.0);
+                assert_eq!(mx, (p - 1) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_with_custom_argmax_op() {
+        let out = World::run(5, |c| {
+            let v = (c.rank() as f64 - 2.0).abs(); // max at ranks 0 and 4
+            let op = FnOp(|a: &(f64, u64), b: &(f64, u64)| {
+                if (a.0, a.1) >= (b.0, b.1) {
+                    *a
+                } else {
+                    *b
+                }
+            });
+            c.allreduce((v, c.rank() as u64), &op)
+        });
+        for (v, r) in out {
+            assert_eq!(v, 2.0);
+            assert_eq!(r, 4); // tie broken toward larger rank by the op
+        }
+    }
+
+    #[test]
+    fn allreduce_vec_recursive_doubling_message_count() {
+        let (_, trace) = World::run_traced(8, |c| {
+            let _ = c.allreduce_vec(vec![1.0f64; 4], &SumOp);
+        });
+        for r in 0..8 {
+            let s = trace.rank(r).get(OpKind::Allreduce);
+            assert_eq!(s.calls, 1);
+            assert_eq!(s.messages, 3); // log2(8)
+            assert_eq!(s.bytes, 3 * 32); // 4 f64 per round
+        }
+    }
+
+    #[test]
+    fn min_max_ops_on_integers() {
+        let out = World::run(3, |c| {
+            let r = c.rank() as i64 - 1; // -1, 0, 1
+            (c.allreduce(r, &MinOp), c.allreduce(r, &MaxOp))
+        });
+        for (mn, mx) in out {
+            assert_eq!(mn, -1);
+            assert_eq!(mx, 1);
+        }
+    }
+}

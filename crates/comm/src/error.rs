@@ -1,0 +1,78 @@
+//! Error types for the message-passing runtime.
+
+use std::fmt;
+
+/// Errors surfaced by fallible communicator operations.
+///
+/// Most protocol violations (e.g. receiving into the wrong element type)
+/// are programming errors and panic with a descriptive message, mirroring
+/// how MPI aborts the job; `CommError` covers conditions a caller can
+/// reasonably handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A receive with a timeout expired before a matching message arrived.
+    Timeout {
+        /// Receiving rank.
+        rank: usize,
+        /// Source selector the receive was matching (usize::MAX = any).
+        src: usize,
+        /// Tag selector the receive was matching (u64::MAX = any).
+        tag: u64,
+    },
+    /// A rank index was out of range for the communicator.
+    InvalidRank {
+        /// The offending rank.
+        rank: usize,
+        /// The communicator size.
+        size: usize,
+    },
+    /// Requested Cartesian dimensions do not multiply to the group size.
+    BadDims {
+        /// Product of the requested dimensions.
+        product: usize,
+        /// The communicator size.
+        size: usize,
+    },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::Timeout { rank, src, tag } => write!(
+                f,
+                "recv timeout on rank {rank} waiting for src={src} tag={tag}"
+            ),
+            CommError::InvalidRank { rank, size } => {
+                write!(f, "rank {rank} out of range for communicator of size {size}")
+            }
+            CommError::BadDims { product, size } => write!(
+                f,
+                "cartesian dims product {product} does not match communicator size {size}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = CommError::Timeout {
+            rank: 3,
+            src: 1,
+            tag: 7,
+        };
+        assert!(e.to_string().contains("rank 3"));
+        let e = CommError::InvalidRank { rank: 9, size: 4 };
+        assert!(e.to_string().contains("out of range"));
+        let e = CommError::BadDims {
+            product: 6,
+            size: 4,
+        };
+        assert!(e.to_string().contains("dims"));
+    }
+}

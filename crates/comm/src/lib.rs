@@ -1,0 +1,59 @@
+//! # beatnik-comm — an in-process MPI-like message-passing runtime
+//!
+//! This crate is the communication substrate for Beatnik-RS. The paper's
+//! Beatnik runs on MPI; Rust has no mature MPI story, so this crate
+//! reimplements the message-passing model Beatnik needs, from scratch:
+//!
+//! * **Ranks as threads.** [`World::run`] spawns `P` scoped threads, each
+//!   receiving its own [`Communicator`] handle for the world group.
+//! * **Point-to-point messaging** with MPI-style `(source, tag)` matching,
+//!   buffered (non-blocking) sends and blocking receives.
+//! * **Collectives** implemented with the same algorithms production MPI
+//!   libraries use: dissemination barrier, binomial-tree broadcast and
+//!   reduce, recursive-doubling allreduce, ring allgather, and both
+//!   pairwise-exchange and direct (post-all) all-to-all. This matters
+//!   because Beatnik is a *communication pattern* benchmark — the pattern
+//!   of messages, not just the result, must match an MPI execution.
+//! * **Communicator splitting** ([`Communicator::split`]) and a 2D
+//!   [`cart::CartComm`] Cartesian topology with neighbor shifts, used for
+//!   mesh halos and pencil FFT row/column exchanges.
+//! * **Instrumentation**: every operation is counted (messages, bytes,
+//!   calls) in a per-rank [`trace::RankTrace`], which the analytic
+//!   performance model (`beatnik-model`) consumes to extrapolate runs to
+//!   the paper's 4–1024 GPU scales.
+//!
+//! Messages move `Vec<T>` buffers by pointer between threads (no
+//! serialization), so sends are essentially free of copies; byte counts
+//! for the trace are computed as `len * size_of::<T>()`.
+//!
+//! ## Example
+//!
+//! ```
+//! use beatnik_comm::World;
+//!
+//! // Sum ranks with an allreduce across 4 ranks.
+//! let results = World::run(4, |comm| {
+//!     comm.allreduce_sum(comm.rank() as f64)
+//! });
+//! assert!(results.iter().all(|&s| s == 6.0));
+//! ```
+
+pub mod cart;
+pub mod collectives;
+pub mod communicator;
+pub mod error;
+pub mod mailbox;
+pub mod message;
+pub mod reduce_op;
+pub mod registry;
+pub mod trace;
+pub mod world;
+
+pub use cart::{dims_create, CartComm};
+pub use communicator::{Communicator, Tag, ANY_SOURCE, ANY_TAG};
+pub use error::CommError;
+pub use reduce_op::{MaxOp, MinOp, ProdOp, ReduceOp, SumOp};
+pub use trace::{OpKind, OpStats, RankTrace, WorldTrace};
+pub use world::World;
+
+pub use collectives::alltoall::AllToAllAlgo;

@@ -1,0 +1,166 @@
+//! Per-rank mailboxes with MPI-style `(source, tag)` matching.
+//!
+//! Each `(communicator, rank)` pair owns one mailbox. Senders push
+//! envelopes (never blocking — sends are buffered, as with small/eager MPI
+//! messages); receivers block on a condition variable until an envelope
+//! matching their `(src, tag)` selector arrives. Matching scans in arrival
+//! order, which preserves MPI's non-overtaking guarantee for messages from
+//! the same sender with the same tag.
+
+use crate::error::CommError;
+use crate::message::Envelope;
+use parking_lot::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A blocking, matching message queue for one rank of one communicator.
+#[derive(Default)]
+pub struct Mailbox {
+    queue: Mutex<Vec<Envelope>>,
+    cond: Condvar,
+}
+
+impl Mailbox {
+    /// Create an empty mailbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposit an envelope and wake any waiting receiver.
+    pub fn push(&self, env: Envelope) {
+        let mut q = self.queue.lock();
+        q.push(env);
+        // Receivers with non-matching selectors re-check and sleep again, so
+        // notify_all is required for correctness when multiple receives with
+        // different selectors could be outstanding.
+        self.cond.notify_all();
+    }
+
+    /// Block until an envelope matching `(src, tag)` is available and
+    /// remove it. `usize::MAX`/`u64::MAX` are wildcards.
+    pub fn recv_matching(&self, src: usize, tag: u64) -> Envelope {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(pos) = q.iter().position(|e| e.matches(src, tag)) {
+                return q.remove(pos);
+            }
+            self.cond.wait(&mut q);
+        }
+    }
+
+    /// Like [`Mailbox::recv_matching`] but gives up after `timeout`.
+    ///
+    /// Used by tests to convert deadlocks into failures instead of hangs.
+    pub fn recv_matching_timeout(
+        &self,
+        rank: usize,
+        src: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Envelope, CommError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(pos) = q.iter().position(|e| e.matches(src, tag)) {
+                return Ok(q.remove(pos));
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(CommError::Timeout { rank, src, tag });
+            }
+            if self.cond.wait_until(&mut q, deadline).timed_out() {
+                // Re-check once after timing out; a message may have raced in.
+                if let Some(pos) = q.iter().position(|e| e.matches(src, tag)) {
+                    return Ok(q.remove(pos));
+                }
+                return Err(CommError::Timeout { rank, src, tag });
+            }
+        }
+    }
+
+    /// Non-blocking probe: does any queued envelope match `(src, tag)`?
+    pub fn probe(&self, src: usize, tag: u64) -> bool {
+        self.queue.lock().iter().any(|e| e.matches(src, tag))
+    }
+
+    /// Number of queued envelopes (any selector).
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Whether the mailbox has no pending envelopes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Envelope;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn push_then_recv_same_thread() {
+        let mb = Mailbox::new();
+        mb.push(Envelope::new(0, 1, vec![42i32]));
+        let env = mb.recv_matching(0, 1);
+        assert_eq!(env.into_data::<i32>(), vec![42]);
+    }
+
+    #[test]
+    fn matching_skips_non_matching_messages() {
+        let mb = Mailbox::new();
+        mb.push(Envelope::new(0, 1, vec![1i32]));
+        mb.push(Envelope::new(0, 2, vec![2i32]));
+        let env = mb.recv_matching(0, 2);
+        assert_eq!(env.into_data::<i32>(), vec![2]);
+        assert_eq!(mb.len(), 1);
+    }
+
+    #[test]
+    fn non_overtaking_order_for_same_selector() {
+        let mb = Mailbox::new();
+        mb.push(Envelope::new(3, 9, vec![1u8]));
+        mb.push(Envelope::new(3, 9, vec![2u8]));
+        assert_eq!(mb.recv_matching(3, 9).into_data::<u8>(), vec![1]);
+        assert_eq!(mb.recv_matching(3, 9).into_data::<u8>(), vec![2]);
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_cross_thread_push() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = Arc::clone(&mb);
+        let handle = std::thread::spawn(move || mb2.recv_matching(5, 5).into_data::<u64>());
+        std::thread::sleep(Duration::from_millis(20));
+        mb.push(Envelope::new(5, 5, vec![99u64]));
+        assert_eq!(handle.join().unwrap(), vec![99]);
+    }
+
+    #[test]
+    fn timeout_fires_when_nothing_arrives() {
+        let mb = Mailbox::new();
+        let err = mb
+            .recv_matching_timeout(7, 0, 0, Duration::from_millis(10))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CommError::Timeout {
+                rank: 7,
+                src: 0,
+                tag: 0
+            }
+        );
+    }
+
+    #[test]
+    fn probe_reports_matches_without_consuming() {
+        let mb = Mailbox::new();
+        assert!(!mb.probe(usize::MAX, u64::MAX));
+        mb.push(Envelope::new(1, 4, vec![0f32]));
+        assert!(mb.probe(1, 4));
+        assert!(mb.probe(usize::MAX, u64::MAX));
+        assert!(!mb.probe(2, 4));
+        assert_eq!(mb.len(), 1);
+    }
+}

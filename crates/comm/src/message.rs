@@ -1,0 +1,131 @@
+//! Message envelopes moved between rank mailboxes.
+//!
+//! A message is a typed `Vec<T>` boxed as `dyn Any` so the mailbox can be
+//! type-agnostic while transfers stay zero-copy (the vector's heap buffer
+//! moves between threads untouched). The envelope carries the metadata MPI
+//! would put on the wire: source rank, tag, and the payload size in bytes
+//! (used by the instrumentation layer).
+
+use std::any::Any;
+
+/// Marker trait for element types that can travel in a message.
+///
+/// Blanket-implemented for every `Send + 'static` type; the bound exists so
+/// signatures read as intent ("this is message data") and so a future
+/// serializing transport could narrow it.
+pub trait CommData: Send + 'static {}
+impl<T: Send + 'static> CommData for T {}
+
+/// A typed message in flight between two ranks of one communicator.
+pub struct Envelope {
+    // NOTE: `payload` is `dyn Any`, so Debug is implemented manually below.
+    /// Rank of the sender *within the communicator the message was sent on*.
+    pub src: usize,
+    /// User-chosen matching tag.
+    pub tag: u64,
+    /// Payload: a `Vec<T>` boxed as `Any`.
+    pub payload: Box<dyn Any + Send>,
+    /// Payload size in bytes (`len * size_of::<T>()`), for tracing.
+    pub bytes: usize,
+    /// Number of elements in the payload vector.
+    pub count: usize,
+    /// Name of the element type, for diagnostics on mismatched receives.
+    pub type_name: &'static str,
+}
+
+impl std::fmt::Debug for Envelope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Envelope")
+            .field("src", &self.src)
+            .field("tag", &self.tag)
+            .field("bytes", &self.bytes)
+            .field("count", &self.count)
+            .field("type_name", &self.type_name)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Envelope {
+    /// Wrap a typed buffer into an envelope.
+    pub fn new<T: CommData>(src: usize, tag: u64, data: Vec<T>) -> Self {
+        let count = data.len();
+        let bytes = count * std::mem::size_of::<T>();
+        Envelope {
+            src,
+            tag,
+            payload: Box::new(data),
+            bytes,
+            count,
+            type_name: std::any::type_name::<T>(),
+        }
+    }
+
+    /// Recover the typed buffer, panicking with context on a type mismatch.
+    ///
+    /// A mismatch is a protocol error between sender and receiver — the
+    /// moral equivalent of an MPI datatype mismatch — so, like MPI, we
+    /// treat it as fatal.
+    pub fn into_data<T: CommData>(self) -> Vec<T> {
+        match self.payload.downcast::<Vec<T>>() {
+            Ok(v) => *v,
+            Err(_) => panic!(
+                "message type mismatch: received {} from rank {} (tag {}) but tried to \
+                 receive as Vec<{}>",
+                self.type_name,
+                self.src,
+                self.tag,
+                std::any::type_name::<T>()
+            ),
+        }
+    }
+
+    /// Whether this envelope matches a `(src, tag)` selector pair.
+    /// `usize::MAX` / `u64::MAX` act as wildcards (ANY_SOURCE / ANY_TAG).
+    #[inline]
+    pub fn matches(&self, src: usize, tag: u64) -> bool {
+        (src == usize::MAX || self.src == src) && (tag == u64::MAX || self.tag == tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_data_and_metadata() {
+        let env = Envelope::new(2, 17, vec![1.0f64, 2.0, 3.0]);
+        assert_eq!(env.src, 2);
+        assert_eq!(env.tag, 17);
+        assert_eq!(env.count, 3);
+        assert_eq!(env.bytes, 24);
+        let v: Vec<f64> = env.into_data();
+        assert_eq!(v, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matching_with_wildcards() {
+        let env = Envelope::new(1, 5, vec![0u8]);
+        assert!(env.matches(1, 5));
+        assert!(env.matches(usize::MAX, 5));
+        assert!(env.matches(1, u64::MAX));
+        assert!(env.matches(usize::MAX, u64::MAX));
+        assert!(!env.matches(2, 5));
+        assert!(!env.matches(1, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "message type mismatch")]
+    fn type_mismatch_panics_with_context() {
+        let env = Envelope::new(0, 0, vec![1u32, 2]);
+        let _: Vec<f32> = env.into_data();
+    }
+
+    #[test]
+    fn zero_sized_payloads_are_fine() {
+        let env = Envelope::new(0, 0, Vec::<f64>::new());
+        assert_eq!(env.bytes, 0);
+        assert_eq!(env.count, 0);
+        let v: Vec<f64> = env.into_data();
+        assert!(v.is_empty());
+    }
+}

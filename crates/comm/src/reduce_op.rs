@@ -1,0 +1,101 @@
+//! Reduction operators for reduce/allreduce collectives.
+//!
+//! Operators must be associative and commutative: the tree-based reduction
+//! algorithms combine partial results in rank-topology order, not program
+//! order. (Floating-point sums are therefore reproducible for a fixed rank
+//! count but may differ in the last bits between rank counts — exactly as
+//! with MPI.)
+
+/// An associative, commutative combining operation on `T`.
+pub trait ReduceOp<T>: Sync {
+    /// Combine two values.
+    fn combine(&self, a: &T, b: &T) -> T;
+}
+
+/// Addition.
+pub struct SumOp;
+/// Multiplication.
+pub struct ProdOp;
+/// Minimum (for floats: NaN-propagating via `f64::min` semantics).
+pub struct MinOp;
+/// Maximum.
+pub struct MaxOp;
+
+macro_rules! impl_arith_ops {
+    ($($t:ty),*) => {$(
+        impl ReduceOp<$t> for SumOp {
+            #[inline]
+            fn combine(&self, a: &$t, b: &$t) -> $t { a + b }
+        }
+        impl ReduceOp<$t> for ProdOp {
+            #[inline]
+            fn combine(&self, a: &$t, b: &$t) -> $t { a * b }
+        }
+    )*};
+}
+
+macro_rules! impl_ord_ops {
+    ($($t:ty),*) => {$(
+        impl ReduceOp<$t> for MinOp {
+            #[inline]
+            fn combine(&self, a: &$t, b: &$t) -> $t { *a.min(b) }
+        }
+        impl ReduceOp<$t> for MaxOp {
+            #[inline]
+            fn combine(&self, a: &$t, b: &$t) -> $t { *a.max(b) }
+        }
+    )*};
+}
+
+macro_rules! impl_float_minmax {
+    ($($t:ty),*) => {$(
+        impl ReduceOp<$t> for MinOp {
+            #[inline]
+            fn combine(&self, a: &$t, b: &$t) -> $t { a.min(*b) }
+        }
+        impl ReduceOp<$t> for MaxOp {
+            #[inline]
+            fn combine(&self, a: &$t, b: &$t) -> $t { a.max(*b) }
+        }
+    )*};
+}
+
+impl_arith_ops!(f32, f64, i32, i64, u32, u64, usize);
+impl_ord_ops!(i32, i64, u32, u64, usize);
+impl_float_minmax!(f32, f64);
+
+/// Adapter turning any closure into a [`ReduceOp`]; handy for custom
+/// reductions (e.g. argmax pairs) without a new type.
+pub struct FnOp<F>(pub F);
+
+impl<T, F: Fn(&T, &T) -> T + Sync> ReduceOp<T> for FnOp<F> {
+    #[inline]
+    fn combine(&self, a: &T, b: &T) -> T {
+        (self.0)(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_ops() {
+        assert_eq!(SumOp.combine(&2.0f64, &3.5), 5.5);
+        assert_eq!(ProdOp.combine(&4u64, &5), 20);
+    }
+
+    #[test]
+    fn ordering_ops_ints_and_floats() {
+        assert_eq!(MinOp.combine(&3i64, &-1), -1);
+        assert_eq!(MaxOp.combine(&3usize, &7), 7);
+        assert_eq!(MinOp.combine(&2.5f64, &2.0), 2.0);
+        assert_eq!(MaxOp.combine(&2.5f32, &2.0), 2.5);
+    }
+
+    #[test]
+    fn closure_op_argmax() {
+        let op = FnOp(|a: &(f64, usize), b: &(f64, usize)| if a.0 >= b.0 { *a } else { *b });
+        assert_eq!(op.combine(&(1.0, 0), &(3.0, 2)), (3.0, 2));
+    }
+}

@@ -1,0 +1,106 @@
+//! The shared routing table mapping `(communicator id, rank)` to mailboxes.
+//!
+//! A [`Registry`] is created per [`crate::World`] and shared (via `Arc`) by
+//! every rank thread. Mailboxes are created lazily on first use so that
+//! communicators produced by `split` need no global setup phase: the first
+//! send to — or receive on — a `(comm, rank)` address materializes its
+//! mailbox.
+
+use crate::mailbox::Mailbox;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identifier of a communicator within one `World`.
+pub type CommId = u64;
+
+/// The id of the world communicator every rank starts with.
+pub const WORLD_COMM_ID: CommId = 0;
+
+/// Routing table shared by all ranks of a world.
+pub struct Registry {
+    mailboxes: RwLock<HashMap<(CommId, usize), Arc<Mailbox>>>,
+    next_comm_id: AtomicU64,
+    /// Set when any rank panics, so ranks blocked in receives fail fast
+    /// instead of waiting out their full timeout.
+    abort: AtomicBool,
+}
+
+impl Registry {
+    /// Create a registry with the world communicator id reserved.
+    pub fn new() -> Self {
+        Registry {
+            mailboxes: RwLock::new(HashMap::new()),
+            next_comm_id: AtomicU64::new(WORLD_COMM_ID + 1),
+            abort: AtomicBool::new(false),
+        }
+    }
+
+    /// Mark the world as aborting (a rank panicked).
+    pub fn signal_abort(&self) {
+        self.abort.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a rank has panicked and the world is tearing down.
+    pub fn aborted(&self) -> bool {
+        self.abort.load(Ordering::SeqCst)
+    }
+
+    /// Fetch the mailbox for `(comm, rank)`, creating it if needed.
+    pub fn mailbox(&self, comm: CommId, rank: usize) -> Arc<Mailbox> {
+        if let Some(mb) = self.mailboxes.read().get(&(comm, rank)) {
+            return Arc::clone(mb);
+        }
+        let mut w = self.mailboxes.write();
+        Arc::clone(
+            w.entry((comm, rank))
+                .or_insert_with(|| Arc::new(Mailbox::new())),
+        )
+    }
+
+    /// Allocate a contiguous block of `n` fresh communicator ids and return
+    /// the first. Used by `split`, where rank 0 of the parent allocates one
+    /// id per color group and broadcasts the base so every member of each
+    /// group deterministically agrees on its new communicator id.
+    pub fn allocate_comm_ids(&self, n: u64) -> CommId {
+        self.next_comm_id.fetch_add(n, Ordering::Relaxed)
+    }
+
+    /// Number of mailboxes currently materialized (diagnostics only).
+    pub fn mailbox_count(&self) -> usize {
+        self.mailboxes.read().len()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mailboxes_are_created_lazily_and_shared() {
+        let reg = Registry::new();
+        assert_eq!(reg.mailbox_count(), 0);
+        let a = reg.mailbox(0, 1);
+        let b = reg.mailbox(0, 1);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(reg.mailbox_count(), 1);
+        let _c = reg.mailbox(3, 1);
+        assert_eq!(reg.mailbox_count(), 2);
+    }
+
+    #[test]
+    fn comm_id_blocks_are_disjoint_and_never_world() {
+        let reg = Registry::new();
+        let a = reg.allocate_comm_ids(4);
+        let b = reg.allocate_comm_ids(2);
+        assert!(a > WORLD_COMM_ID);
+        assert!(b >= a + 4);
+    }
+}

@@ -1,0 +1,185 @@
+//! World launch: ranks as scoped threads.
+
+use crate::communicator::Communicator;
+use crate::registry::{Registry, WORLD_COMM_ID};
+use crate::trace::{RankTrace, WorldTrace};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default stall limit for blocking receives: long enough for heavyweight
+/// kernels between messages, short enough that a genuine deadlock fails a
+/// CI run loudly instead of hanging it.
+pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Entry point for running an SPMD program over `P` thread-ranks.
+///
+/// Mirrors `mpirun -np P`: the closure is the program `main`, executed once
+/// per rank with that rank's [`Communicator`] for the world group.
+pub struct World;
+
+impl World {
+    /// Run `f` on `num_ranks` ranks; returns each rank's result, indexed by
+    /// rank.
+    ///
+    /// # Panics
+    /// Propagates the first rank panic after all ranks have stopped
+    /// (peers of a panicked rank fail their receive timeouts, so the whole
+    /// world terminates rather than hanging).
+    pub fn run<R, F>(num_ranks: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Communicator) -> R + Send + Sync,
+    {
+        Self::run_config(num_ranks, DEFAULT_RECV_TIMEOUT, f).0
+    }
+
+    /// Like [`World::run`], additionally returning the aggregated
+    /// communication trace for the whole run.
+    pub fn run_traced<R, F>(num_ranks: usize, f: F) -> (Vec<R>, WorldTrace)
+    where
+        R: Send,
+        F: Fn(Communicator) -> R + Send + Sync,
+    {
+        Self::run_config(num_ranks, DEFAULT_RECV_TIMEOUT, f)
+    }
+
+    /// Full-control variant: explicit receive-stall timeout.
+    pub fn run_config<R, F>(num_ranks: usize, recv_timeout: Duration, f: F) -> (Vec<R>, WorldTrace)
+    where
+        R: Send,
+        F: Fn(Communicator) -> R + Send + Sync,
+    {
+        assert!(num_ranks > 0, "world needs at least one rank");
+        let registry = Arc::new(Registry::new());
+        let traces: Vec<Arc<RankTrace>> =
+            (0..num_ranks).map(|_| Arc::new(RankTrace::new())).collect();
+        let identity: Arc<Vec<usize>> = Arc::new((0..num_ranks).collect());
+
+        let mut results: Vec<Option<R>> = (0..num_ranks).map(|_| None).collect();
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = results
+                .iter_mut()
+                .enumerate()
+                .map(|(rank, slot)| {
+                    let comm = Communicator::new(
+                        Arc::clone(&registry),
+                        WORLD_COMM_ID,
+                        rank,
+                        num_ranks,
+                        Arc::clone(&identity),
+                        Arc::clone(&traces[rank]),
+                        recv_timeout,
+                    );
+                    let reg = Arc::clone(&registry);
+                    scope.spawn(move || {
+                        // On panic, flag the world so peers blocked in
+                        // receives fail fast rather than timing out.
+                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(comm)));
+                        match out {
+                            Ok(r) => *slot = Some(r),
+                            Err(p) => {
+                                reg.signal_abort();
+                                std::panic::resume_unwind(p);
+                            }
+                        }
+                    })
+                })
+                .collect();
+            // Prefer the root-cause panic over secondary "peer failed"
+            // abort panics from ranks that were merely blocked on it.
+            let mut panics: Vec<Box<dyn std::any::Any + Send>> = Vec::new();
+            for h in handles {
+                if let Err(p) = h.join() {
+                    panics.push(p);
+                }
+            }
+            if !panics.is_empty() {
+                let is_secondary = |p: &Box<dyn std::any::Any + Send>| {
+                    let msg = p
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| p.downcast_ref::<&str>().copied())
+                        .unwrap_or("");
+                    msg.contains("a peer rank failed")
+                };
+                let idx = panics.iter().position(|p| !is_secondary(p)).unwrap_or(0);
+                std::panic::resume_unwind(panics.swap_remove(idx));
+            }
+        });
+
+        let results = results
+            .into_iter()
+            .map(|r| r.expect("rank produced no result"))
+            .collect();
+        (results, WorldTrace::new(traces))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_indexed_by_rank() {
+        let out = World::run(6, |c| c.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn single_rank_world_works() {
+        let out = World::run(1, |c| {
+            c.barrier();
+            let v = c.allgather(vec![5u8]);
+            (c.size(), v)
+        });
+        assert_eq!(out[0].0, 1);
+        assert_eq!(out[0].1, vec![vec![5]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_is_rejected() {
+        let _ = World::run(0, |_| ());
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 2 exploded")]
+    fn rank_panic_propagates() {
+        World::run(4, |c| {
+            if c.rank() == 2 {
+                panic!("rank 2 exploded");
+            }
+        });
+    }
+
+    #[test]
+    fn deadlock_is_converted_into_panic() {
+        let res = std::panic::catch_unwind(|| {
+            World::run_config(2, Duration::from_millis(50), |c| {
+                if c.rank() == 0 {
+                    // Rank 1 never sends: this receive must time out.
+                    let _ = c.recv::<u8>(1, 0);
+                }
+            })
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn worlds_are_isolated() {
+        // Two sequential worlds must not share mailboxes or traces.
+        let (_, t1) = World::run_traced(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 0, vec![1u8]);
+            } else {
+                let _ = c.recv::<u8>(0, 0);
+            }
+        });
+        let (_, t2) = World::run_traced(2, |c| {
+            c.barrier();
+        });
+        assert_eq!(t1.total(crate::trace::OpKind::Send).messages, 1);
+        assert_eq!(t2.total(crate::trace::OpKind::Send).messages, 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Exact O(n²) Birkhoff–Rott solver with ring-pass communication
+//! (paper §3.2, `ExactBRSolver`).
+//!
+//! Every rank's point block circulates around the rank ring; after P−1
+//! shifts every rank has accumulated forces from every block. The
+//! communication is regular (fixed-size messages to a fixed neighbor)
+//! and the computation — n²/P pair interactions per rank per shift —
+//! dominates, exactly the compute-bound profile the paper describes.
+
+use super::kernel::accumulate_block;
+use super::{BrPoint, BrSolver};
+use beatnik_comm::Communicator;
+use rayon::prelude::*;
+
+/// The brute-force all-pairs solver.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ExactBrSolver;
+
+/// Message tag for ring traffic (distinct from halo traffic).
+const RING_TAG: u64 = 0x5249_4e47; // "RING"
+
+impl BrSolver for ExactBrSolver {
+    fn velocities(
+        &self,
+        comm: &Communicator,
+        points: &[BrPoint],
+        epsilon: f64,
+    ) -> Vec<[f64; 3]> {
+        let eps2 = epsilon * epsilon;
+        let p = comm.size();
+        let me = comm.rank();
+        let targets: Vec<[f64; 3]> = points.iter().map(|b| b.pos).collect();
+        let mut vel = vec![[0.0f64; 3]; points.len()];
+
+        // The circulating block: (position, strength) pairs.
+        let mut circ: Vec<([f64; 3], [f64; 3])> =
+            points.iter().map(|b| (b.pos, b.strength)).collect();
+
+        for step in 0..p {
+            // Accumulate the current block into every target, parallel
+            // over targets (the Kokkos-equivalent on-node parallelism).
+            vel.par_chunks_mut(256)
+                .zip(targets.par_chunks(256))
+                .for_each(|(v, t)| accumulate_block(v, t, &circ, eps2));
+
+            if step + 1 < p {
+                let right = (me + 1) % p;
+                let left = (me + p - 1) % p;
+                circ = comm.sendrecv(right, circ, left, RING_TAG + step as u64);
+            }
+        }
+        vel
+    }
+
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::br::kernel::br_pair_velocity;
+    use beatnik_comm::{OpKind, World};
+
+    /// Deterministic global point set, split contiguously over ranks.
+    fn global_points(n: usize) -> Vec<BrPoint> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                BrPoint {
+                    pos: [
+                        (t * 0.37).fract() * 2.0 - 1.0,
+                        (t * 0.71).fract() * 2.0 - 1.0,
+                        (t * 0.13).fract() * 0.5,
+                    ],
+                    strength: [(t * 0.29).fract() - 0.5, (t * 0.53).fract() - 0.5, 0.1],
+                }
+            })
+            .collect()
+    }
+
+    /// Serial reference: all-pairs sum.
+    fn serial_velocities(pts: &[BrPoint], eps: f64) -> Vec<[f64; 3]> {
+        let eps2 = eps * eps;
+        pts.iter()
+            .map(|t| {
+                let mut acc = [0.0f64; 3];
+                for s in pts {
+                    let u = br_pair_velocity(t.pos, s.pos, s.strength, eps2);
+                    acc[0] += u[0];
+                    acc[1] += u[1];
+                    acc[2] += u[2];
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ring_pass_matches_serial_all_pairs() {
+        let n = 60;
+        let eps = 0.05;
+        let all = global_points(n);
+        let want = serial_velocities(&all, eps);
+        for p in [1usize, 2, 3, 4] {
+            let all2 = all.clone();
+            let want2 = want.clone();
+            World::run(p, move |comm| {
+                let chunk = n / comm.size();
+                let lo = comm.rank() * chunk;
+                let hi = if comm.rank() + 1 == comm.size() { n } else { lo + chunk };
+                let mine = &all2[lo..hi];
+                let got = ExactBrSolver.velocities(&comm, mine, eps);
+                for (i, g) in got.iter().enumerate() {
+                    for k in 0..3 {
+                        assert!(
+                            (g[k] - want2[lo + i][k]).abs() < 1e-12,
+                            "p={p} point {i} comp {k}"
+                        );
+                    }
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn ring_message_pattern() {
+        let (_, trace) = World::run_traced(4, |comm| {
+            let pts = global_points(40);
+            let chunk = 10;
+            let lo = comm.rank() * chunk;
+            let _ = ExactBrSolver.velocities(&comm, &pts[lo..lo + chunk], 0.1);
+        });
+        // P-1 = 3 ring sends per rank, each 10 points x 48 bytes.
+        for r in 0..4 {
+            let s = trace.rank(r).get(OpKind::Send);
+            assert_eq!(s.messages, 3);
+            assert_eq!(s.bytes, 3 * 10 * 48);
+        }
+    }
+
+    #[test]
+    fn empty_rank_participates_without_deadlock() {
+        // Rank sizes 0 and n must still circulate blocks.
+        World::run(3, |comm| {
+            let all = global_points(20);
+            let mine: &[BrPoint] = match comm.rank() {
+                0 => &all[..0],
+                1 => &all[..12],
+                _ => &all[12..],
+            };
+            let got = ExactBrSolver.velocities(&comm, mine, 0.05);
+            assert_eq!(got.len(), mine.len());
+        });
+    }
+
+    #[test]
+    fn two_vortex_points_induce_antisymmetric_velocities() {
+        World::run(1, |comm| {
+            let pts = [
+                BrPoint {
+                    pos: [0.0, 0.0, 0.0],
+                    strength: [0.0, 1.0, 0.0],
+                },
+                BrPoint {
+                    pos: [1.0, 0.0, 0.0],
+                    strength: [0.0, 1.0, 0.0],
+                },
+            ];
+            let v = ExactBrSolver.velocities(&comm, &pts, 0.0);
+            // Equal parallel strengths: each induces on the other equal
+            // and opposite vertical velocities.
+            assert!((v[0][2] + v[1][2]).abs() < 1e-15);
+            assert!(v[0][2].abs() > 0.0);
+        });
+    }
+}

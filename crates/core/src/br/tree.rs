@@ -1,0 +1,163 @@
+//! Barnes–Hut tree-code Birkhoff–Rott solver — the first of the
+//! "additional Birchoff-Rott solvers" the paper lists as future work
+//! (§6: fast multipole and P3M far-field force solvers).
+//!
+//! Communication pattern: a **ring allgather** of every rank's
+//! (position, strength) set — a third distinct global pattern next to the
+//! exact solver's ring pass and the cutoff solver's migration cycle —
+//! followed by local O(n log n) tree construction and traversal. The
+//! opening angle θ trades accuracy against interaction count:
+//! θ = 0 reproduces the exact solver bit-for-bit cheaper alternatives;
+//! θ ≈ 0.5–0.8 is the classic tree-code operating point.
+//!
+//! (A distributed locally-essential-tree variant, which would avoid the
+//! full gather, remains future work — as it does for the paper.)
+
+use super::kernel::br_pair_velocity;
+use super::{BrPoint, BrSolver};
+use beatnik_comm::Communicator;
+use beatnik_spatial::BhTree;
+use rayon::prelude::*;
+
+/// The gather-based Barnes–Hut solver.
+pub struct TreeBrSolver {
+    /// Barnes–Hut opening angle (0 = exact, larger = cheaper).
+    pub theta: f64,
+}
+
+impl TreeBrSolver {
+    /// Create a solver with opening angle `theta`.
+    pub fn new(theta: f64) -> Self {
+        assert!(theta >= 0.0, "theta must be non-negative");
+        TreeBrSolver { theta }
+    }
+}
+
+impl BrSolver for TreeBrSolver {
+    fn velocities(
+        &self,
+        comm: &Communicator,
+        points: &[BrPoint],
+        epsilon: f64,
+    ) -> Vec<[f64; 3]> {
+        let eps2 = epsilon * epsilon;
+
+        // Global gather (ring allgather: P-1 rounds, full surface).
+        let all: Vec<BrPoint> = comm
+            .allgather(points.to_vec())
+            .into_iter()
+            .flatten()
+            .collect();
+        let positions: Vec<[f64; 3]> = all.iter().map(|p| p.pos).collect();
+        let strengths: Vec<[f64; 3]> = all.iter().map(|p| p.strength).collect();
+
+        // Local tree over the global surface, then traversal per owned
+        // target (node-parallel).
+        let tree = BhTree::build(positions, strengths);
+        let theta = self.theta;
+        points
+            .par_iter()
+            .map(|t| {
+                tree.evaluate(t.pos, theta, &|target, src, strength| {
+                    br_pair_velocity(target, src, strength, eps2)
+                })
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::br::exact::ExactBrSolver;
+    use beatnik_comm::{OpKind, World};
+
+    fn global_points(n: usize) -> Vec<BrPoint> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                BrPoint {
+                    pos: [
+                        (t * 0.37).fract() * 4.0 - 2.0,
+                        (t * 0.71).fract() * 4.0 - 2.0,
+                        (t * 0.13).fract() - 0.5,
+                    ],
+                    strength: [(t * 0.29).fract() - 0.5, (t * 0.53).fract() - 0.5, 0.1],
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn theta_zero_matches_exact_solver() {
+        let n = 48;
+        for p in [1usize, 3] {
+            World::run(p, move |comm| {
+                let all = global_points(n);
+                let chunk = n / comm.size();
+                let lo = comm.rank() * chunk;
+                let hi = if comm.rank() + 1 == comm.size() { n } else { lo + chunk };
+                let mine = &all[lo..hi];
+                let exact = ExactBrSolver.velocities(&comm, mine, 0.1);
+                let tree = TreeBrSolver::new(0.0).velocities(&comm, mine, 0.1);
+                for (e, t) in exact.iter().zip(&tree) {
+                    for k in 0..3 {
+                        assert!((e[k] - t[k]).abs() < 1e-11, "p={p}: {e:?} vs {t:?}");
+                    }
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn accuracy_degrades_gracefully_with_theta() {
+        World::run(2, |comm| {
+            let all = global_points(200);
+            let mine = &all[comm.rank() * 100..comm.rank() * 100 + 100];
+            let exact = ExactBrSolver.velocities(&comm, mine, 0.1);
+            let rms = |theta: f64| -> f64 {
+                let got = TreeBrSolver::new(theta).velocities(&comm, mine, 0.1);
+                let num: f64 = got
+                    .iter()
+                    .zip(&exact)
+                    .map(|(g, e)| (0..3).map(|k| (g[k] - e[k]).powi(2)).sum::<f64>())
+                    .sum();
+                let den: f64 = exact
+                    .iter()
+                    .map(|e| (0..3).map(|k| e[k] * e[k]).sum::<f64>())
+                    .sum();
+                (num / den.max(1e-300)).sqrt()
+            };
+            let e_tight = rms(0.3);
+            let e_loose = rms(1.0);
+            assert!(e_tight < 0.05, "theta=0.3 rms {e_tight}");
+            assert!(e_loose < 0.5, "theta=1.0 rms {e_loose}");
+            assert!(e_tight <= e_loose + 1e-12);
+        });
+    }
+
+    #[test]
+    fn communication_is_allgather_shaped() {
+        let (_, trace) = World::run_traced(4, |comm| {
+            let all = global_points(40);
+            let mine = &all[comm.rank() * 10..comm.rank() * 10 + 10];
+            let _ = TreeBrSolver::new(0.5).velocities(&comm, mine, 0.1);
+        });
+        let s = trace.total(OpKind::Allgather);
+        assert_eq!(s.calls, 4);
+        // Ring allgather: P-1 = 3 forwarded blocks per rank.
+        assert_eq!(s.messages, 12);
+        // No ring-pass sends and no migration alltoallv.
+        assert_eq!(trace.total(OpKind::Alltoallv).calls, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_theta_rejected() {
+        let _ = TreeBrSolver::new(-0.1);
+    }
+}

@@ -1,0 +1,180 @@
+//! Run diagnostics: interface measures, vorticity norms, and the
+//! per-rank particle-ownership distribution behind Figures 6 and 7.
+
+use crate::problem::ProblemManager;
+use beatnik_mesh::SpatialMesh;
+use serde::{Deserialize, Serialize};
+
+/// Global scalar diagnostics of the current state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostics {
+    /// Max of `|z₃|` over the interface.
+    pub amplitude: f64,
+    /// Min interface height.
+    pub z_min: f64,
+    /// Max interface height.
+    pub z_max: f64,
+    /// `Σ |w|²·ΔA` — a vorticity-energy proxy.
+    pub enstrophy: f64,
+    /// Mean interface height `⟨z₃⟩` — conserved by incompressibility on
+    /// periodic problems (the fluid volume below the interface is fixed),
+    /// so its drift measures integration error.
+    pub mean_height: f64,
+    /// Global point count.
+    pub points: usize,
+}
+
+impl Diagnostics {
+    /// Compute global diagnostics (collective).
+    pub fn compute(pm: &ProblemManager) -> Self {
+        let mesh = pm.mesh();
+        let [dy, dx] = mesh.spacing();
+        let da = dy * dx;
+        let mut amp: f64 = 0.0;
+        let mut zmin = f64::INFINITY;
+        let mut zmax = f64::NEG_INFINITY;
+        let mut ens = 0.0;
+        let mut zsum = 0.0;
+        for (lr, lc, _, _) in mesh.owned_indices() {
+            let z3 = pm.z().get(lr, lc, 2);
+            amp = amp.max(z3.abs());
+            zmin = zmin.min(z3);
+            zmax = zmax.max(z3);
+            zsum += z3;
+            let w = pm.w().node(lr, lc);
+            ens += (w[0] * w[0] + w[1] * w[1]) * da;
+        }
+        let comm = mesh.comm();
+        let points = comm.allreduce_sum(mesh.owned_count() as f64);
+        Diagnostics {
+            amplitude: comm.allreduce_max(amp),
+            z_min: comm.allreduce_min(zmin),
+            z_max: comm.allreduce_max(zmax),
+            enstrophy: comm.allreduce_sum(ens),
+            mean_height: comm.allreduce_sum(zsum) / points,
+            points: points as usize,
+        }
+    }
+}
+
+/// The Figure 6/7 measurement: the fraction of all interface points that
+/// each *spatial* rank region owns, given the current positions. Every
+/// rank returns the full distribution (length `smesh.ranks()`), summing
+/// to 1.
+pub fn ownership_fractions(pm: &ProblemManager, smesh: &SpatialMesh) -> Vec<f64> {
+    let mut counts = vec![0.0f64; smesh.ranks()];
+    for (lr, lc, _, _) in pm.mesh().owned_indices() {
+        let z = pm.z().node(lr, lc);
+        counts[smesh.rank_of_point([z[0], z[1], z[2]])] += 1.0;
+    }
+    let comm = pm.mesh().comm();
+    let total: f64 = counts.iter().sum::<f64>();
+    let total = comm.allreduce_sum(total);
+    let summed = comm.allreduce_vec(counts, &beatnik_comm::SumOp);
+    summed.into_iter().map(|c| c / total).collect()
+}
+
+/// Load-imbalance ratio of an ownership distribution: max/mean.
+pub fn imbalance(fractions: &[f64]) -> f64 {
+    if fractions.is_empty() {
+        return 1.0;
+    }
+    let mean = fractions.iter().sum::<f64>() / fractions.len() as f64;
+    let max = fractions.iter().fold(0.0f64, |m, &v| m.max(v));
+    if mean == 0.0 {
+        1.0
+    } else {
+        max / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::InitialCondition;
+    use beatnik_comm::{dims_create, World};
+    use beatnik_mesh::{BoundaryCondition, SurfaceMesh};
+
+    #[test]
+    fn diagnostics_of_single_mode() {
+        World::run(4, |comm| {
+            let mesh =
+                SurfaceMesh::new(&comm, [16, 16], [true, true], 2, [-1.0, -1.0], [1.0, 1.0]);
+            let mut pm = ProblemManager::new(
+                mesh,
+                BoundaryCondition::Periodic { periods: [2.0, 2.0] },
+            );
+            InitialCondition::SingleMode {
+                amplitude: 0.25,
+                modes: [1.0, 1.0],
+            }
+            .apply(&mut pm);
+            let d = Diagnostics::compute(&pm);
+            assert!((d.amplitude - 0.25).abs() < 1e-12);
+            assert!((d.z_max - 0.25).abs() < 1e-12);
+            assert!((d.z_min + 0.25).abs() < 1e-12);
+            assert_eq!(d.enstrophy, 0.0);
+            assert_eq!(d.points, 256);
+            // cos(2πx)·cos(2πy) has zero mean.
+            assert!(d.mean_height.abs() < 1e-12);
+        });
+    }
+
+    #[test]
+    fn flat_interface_ownership_is_balanced() {
+        World::run(4, |comm| {
+            let mesh =
+                SurfaceMesh::new(&comm, [16, 16], [true, true], 2, [-1.0, -1.0], [1.0, 1.0]);
+            let mut pm = ProblemManager::new(
+                mesh,
+                BoundaryCondition::Periodic { periods: [2.0, 2.0] },
+            );
+            InitialCondition::Flat.apply(&mut pm);
+            let smesh = SpatialMesh::new(
+                [-1.0, -1.0, -1.0],
+                [1.0, 1.0, 1.0],
+                dims_create(comm.size()),
+            );
+            let f = ownership_fractions(&pm, &smesh);
+            assert_eq!(f.len(), 4);
+            assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            // A uniform flat sheet splits evenly (up to edge binning).
+            for v in &f {
+                assert!((v - 0.25).abs() < 0.05, "{f:?}");
+            }
+            assert!(imbalance(&f) < 1.2);
+        });
+    }
+
+    #[test]
+    fn clustered_interface_shows_imbalance() {
+        World::run(2, |comm| {
+            let mesh =
+                SurfaceMesh::new(&comm, [16, 16], [true, true], 2, [-1.0, -1.0], [1.0, 1.0]);
+            let mut pm = ProblemManager::new(
+                mesh,
+                BoundaryCondition::Periodic { periods: [2.0, 2.0] },
+            );
+            InitialCondition::Flat.apply(&mut pm);
+            // Compress all x positions into the left half.
+            let idx: Vec<_> = pm.mesh().owned_indices().collect();
+            for (lr, lc, _, _) in idx {
+                let x = pm.z().get(lr, lc, 0);
+                pm.z_mut().set(lr, lc, 0, -1.0 + (x + 1.0) / 4.0);
+            }
+            let smesh =
+                SpatialMesh::new([-1.0, -1.0, -1.0], [1.0, 1.0, 1.0], [1, 2]);
+            let f = ownership_fractions(&pm, &smesh);
+            assert!(f[0] > 0.99, "{f:?}");
+            assert!(imbalance(&f) > 1.9);
+        });
+    }
+
+    #[test]
+    fn imbalance_edge_cases() {
+        assert_eq!(imbalance(&[]), 1.0);
+        assert_eq!(imbalance(&[0.0, 0.0]), 1.0);
+        assert!((imbalance(&[0.25; 4]) - 1.0).abs() < 1e-12);
+        assert!((imbalance(&[0.5, 0.5, 0.0, 0.0]) - 2.0).abs() < 1e-12);
+    }
+}

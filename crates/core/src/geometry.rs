@@ -1,0 +1,165 @@
+//! Surface geometry kernels: tangents, normals, and sheet strength,
+//! computed from the position field with 4th-order width-2 stencils
+//! (the "surface normals and Laplacians along the surface" of paper §3.1).
+
+use beatnik_mesh::stencil::{ddx4, ddy4};
+use beatnik_mesh::Field;
+
+/// 3-vector cross product.
+#[inline]
+pub fn cross(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+    [
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    ]
+}
+
+/// 3-vector dot product.
+#[inline]
+pub fn dot(a: [f64; 3], b: [f64; 3]) -> f64 {
+    a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm(a: [f64; 3]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Surface tangent vectors `(∂₁z, ∂₂z)` at a local node (halo must be
+/// valid). `∂₁` is along columns/x, `∂₂` along rows/y.
+#[inline]
+pub fn tangents(z: &Field, r: usize, c: usize, dy: f64, dx: f64) -> ([f64; 3], [f64; 3]) {
+    let t1 = [
+        ddx4(z, r, c, 0, dx),
+        ddx4(z, r, c, 1, dx),
+        ddx4(z, r, c, 2, dx),
+    ];
+    let t2 = [
+        ddy4(z, r, c, 0, dy),
+        ddy4(z, r, c, 1, dy),
+        ddy4(z, r, c, 2, dy),
+    ];
+    (t1, t2)
+}
+
+/// Non-unit surface normal `n = ∂₁z × ∂₂z` and its magnitude (the area
+/// element `|n| = √det g`).
+#[inline]
+pub fn normal(z: &Field, r: usize, c: usize, dy: f64, dx: f64) -> ([f64; 3], f64) {
+    let (t1, t2) = tangents(z, r, c, dy, dx);
+    let n = cross(t1, t2);
+    let mag = norm(n);
+    (n, mag)
+}
+
+/// Unit surface normal (guards the degenerate-mesh case).
+#[inline]
+pub fn unit_normal(z: &Field, r: usize, c: usize, dy: f64, dx: f64) -> [f64; 3] {
+    let (n, mag) = normal(z, r, c, dy, dx);
+    if mag < 1e-300 {
+        [0.0, 0.0, 1.0]
+    } else {
+        [n[0] / mag, n[1] / mag, n[2] / mag]
+    }
+}
+
+/// Vortex-sheet strength vector `ω = w1·∂₁z + w2·∂₂z`.
+#[inline]
+pub fn sheet_strength(
+    z: &Field,
+    w: &Field,
+    r: usize,
+    c: usize,
+    dy: f64,
+    dx: f64,
+) -> [f64; 3] {
+    let (t1, t2) = tangents(z, r, c, dy, dx);
+    let w1 = w.get(r, c, 0);
+    let w2 = w.get(r, c, 1);
+    [
+        w1 * t1[0] + w2 * t2[0],
+        w1 * t1[1] + w2 * t2[1],
+        w1 * t1[2] + w2 * t2[2],
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beatnik_mesh::Field;
+
+    /// Field sampling z = (x, y, h(x,y)) at spacing `h` with indices as
+    /// coordinates; includes enough frame for width-2 stencils.
+    fn surface(n: usize, d: f64, h: impl Fn(f64, f64) -> f64) -> Field {
+        let mut z = Field::zeros(n, n, 3);
+        for r in 0..n {
+            for c in 0..n {
+                let (x, y) = (c as f64 * d, r as f64 * d);
+                z.set_node(r, c, &[x, y, h(x, y)]);
+            }
+        }
+        z
+    }
+
+    #[test]
+    fn vector_ops() {
+        assert_eq!(cross([1.0, 0.0, 0.0], [0.0, 1.0, 0.0]), [0.0, 0.0, 1.0]);
+        assert_eq!(cross([0.0, 1.0, 0.0], [1.0, 0.0, 0.0]), [0.0, 0.0, -1.0]);
+        assert_eq!(dot([1.0, 2.0, 3.0], [4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(norm([3.0, 4.0, 0.0]), 5.0);
+    }
+
+    #[test]
+    fn flat_surface_normal_is_z_with_unit_area() {
+        let z = surface(8, 0.1, |_, _| 2.0);
+        let (n, mag) = normal(&z, 4, 4, 0.1, 0.1);
+        assert!((n[0]).abs() < 1e-12 && (n[1]).abs() < 1e-12);
+        assert!((n[2] - 1.0).abs() < 1e-12);
+        assert!((mag - 1.0).abs() < 1e-12);
+        assert_eq!(unit_normal(&z, 4, 4, 0.1, 0.1), [0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn tilted_plane_normal_matches_analytic() {
+        // h = a x + b y: normal ∝ (-a, -b, 1).
+        let (a, b) = (0.3, -0.7);
+        let z = surface(8, 0.05, |x, y| a * x + b * y);
+        let n = unit_normal(&z, 4, 4, 0.05, 0.05);
+        let scale = 1.0 / (1.0 + a * a + b * b).sqrt();
+        assert!((n[0] + a * scale).abs() < 1e-10);
+        assert!((n[1] + b * scale).abs() < 1e-10);
+        assert!((n[2] - scale).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sinusoidal_surface_normal_converges() {
+        // Finite-difference normal approaches the analytic one as the
+        // mesh refines (4th order).
+        let errs: Vec<f64> = [0.04, 0.02]
+            .iter()
+            .map(|&d| {
+                let z = surface(12, d, |x, _| (3.0 * x).sin() * 0.2);
+                let c = 6;
+                let x = c as f64 * d;
+                let hx = 0.6 * (3.0 * x).cos();
+                let scale = 1.0 / (1.0 + hx * hx).sqrt();
+                let n = unit_normal(&z, 6, c, d, d);
+                ((n[0] + hx * scale).powi(2) + (n[2] - scale).powi(2)).sqrt()
+            })
+            .collect();
+        assert!(errs[1] < errs[0] / 8.0, "errors {errs:?}");
+    }
+
+    #[test]
+    fn sheet_strength_combines_tangents() {
+        let z = surface(8, 0.1, |_, _| 0.0); // flat: t1 = x̂, t2 = ŷ
+        let mut w = Field::zeros(8, 8, 2);
+        w.set_node(4, 4, &[2.0, -3.0]);
+        let s = sheet_strength(&z, &w, 4, 4, 0.1, 0.1);
+        assert!((s[0] - 2.0).abs() < 1e-12);
+        assert!((s[1] + 3.0).abs() < 1e-12);
+        assert!(s[2].abs() < 1e-12);
+    }
+}

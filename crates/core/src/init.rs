@@ -1,0 +1,221 @@
+//! Initial interface conditions for the rocket-rig problem (paper §4).
+//!
+//! The interface starts as `z = (x, y, h(x, y))` with zero vorticity;
+//! Rayleigh–Taylor forcing then generates vorticity baroclinically. Two
+//! paper workloads:
+//!
+//! * **multi-mode** (periodic): a deterministic random superposition of
+//!   modes — even point distribution, limited load imbalance;
+//! * **single-mode** (periodic or open): one long-wavelength mode whose
+//!   nonlinear rollup creates the load imbalance studied in Figures 6–8.
+
+use crate::problem::ProblemManager;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+
+/// Initial interface shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum InitialCondition {
+    /// Perfectly flat interface (numerical no-op baseline).
+    Flat,
+    /// One cosine mode per axis: `h = a·cos(2π·mₓ·x̃)·cos(2π·m_y·ỹ)` on
+    /// periodic meshes, `h = a·cos(π·mₓ·x̃)·cos(π·m_y·ỹ)` on open meshes
+    /// (so the slope vanishes at the boundary). `x̃, ỹ ∈ [0, 1]`.
+    SingleMode {
+        /// Peak height.
+        amplitude: f64,
+        /// Mode counts `[m_x, m_y]`.
+        modes: [f64; 2],
+    },
+    /// Superposition of `modes²` random cosine modes with random phases,
+    /// seeded deterministically: every rank (and every rank count)
+    /// generates the identical global surface.
+    MultiMode {
+        /// RMS-ish amplitude of the superposition.
+        amplitude: f64,
+        /// Maximum mode number per axis.
+        modes: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl InitialCondition {
+    /// Fill `pm`'s position field (and zero its vorticity).
+    pub fn apply(&self, pm: &mut ProblemManager) {
+        let mesh = pm.mesh();
+        let [ly, lx] = mesh.lengths();
+        let [lo_y, lo_x] = [mesh.coord_of(0, 0)[0], mesh.coord_of(0, 0)[1]];
+        let periodic = mesh.periodic()[0] && mesh.periodic()[1];
+        let height: Box<dyn Fn(f64, f64) -> f64> = match *self {
+            InitialCondition::Flat => Box::new(|_, _| 0.0),
+            InitialCondition::SingleMode { amplitude, modes } => {
+                let base = if periodic { 2.0 * PI } else { PI };
+                Box::new(move |xt: f64, yt: f64| {
+                    amplitude * (base * modes[0] * xt).cos() * (base * modes[1] * yt).cos()
+                })
+            }
+            InitialCondition::MultiMode {
+                amplitude,
+                modes,
+                seed,
+            } => {
+                // Deterministic mode table, identical on every rank.
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                let mut table = Vec::with_capacity(modes * modes);
+                for mx in 1..=modes {
+                    for my in 1..=modes {
+                        let amp: f64 = rng.gen_range(-1.0..1.0);
+                        let phase_x: f64 = rng.gen_range(0.0..2.0 * PI);
+                        let phase_y: f64 = rng.gen_range(0.0..2.0 * PI);
+                        table.push((mx as f64, my as f64, amp, phase_x, phase_y));
+                    }
+                }
+                let norm = amplitude / (modes as f64);
+                Box::new(move |xt: f64, yt: f64| {
+                    table
+                        .iter()
+                        .map(|&(mx, my, amp, px, py)| {
+                            amp * (2.0 * PI * mx * xt + px).cos()
+                                * (2.0 * PI * my * yt + py).cos()
+                        })
+                        .sum::<f64>()
+                        * norm
+                })
+            }
+        };
+
+        let coords: Vec<_> = mesh.owned_indices().collect();
+        let (lx, ly) = (lx, ly);
+        for (lr, lc, gr, gc) in coords {
+            let c = pm.mesh().coord_of(gr as i64, gc as i64);
+            let (x, y) = (c[1], c[0]);
+            let xt = (x - lo_x) / lx;
+            let yt = (y - lo_y) / ly;
+            let h = height(xt, yt);
+            pm.z_mut().set_node(lr, lc, &[x, y, h]);
+            pm.w_mut().set_node(lr, lc, &[0.0, 0.0]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beatnik_comm::World;
+    use beatnik_mesh::{BoundaryCondition, SurfaceMesh};
+
+    fn pm_with(
+        comm: &beatnik_comm::Communicator,
+        periodic: bool,
+        n: usize,
+    ) -> ProblemManager {
+        let per = [periodic; 2];
+        let mesh = SurfaceMesh::new(comm, [n, n], per, 2, [-1.0, -1.0], [1.0, 1.0]);
+        let bc = if periodic {
+            BoundaryCondition::Periodic { periods: [2.0, 2.0] }
+        } else {
+            BoundaryCondition::Free
+        };
+        ProblemManager::new(mesh, bc)
+    }
+
+    #[test]
+    fn flat_interface_is_reference_plane() {
+        World::run(1, |comm| {
+            let mut pm = pm_with(&comm, true, 8);
+            InitialCondition::Flat.apply(&mut pm);
+            for (lr, lc, gr, gc) in pm.mesh().owned_indices() {
+                let c = pm.mesh().coord_of(gr as i64, gc as i64);
+                assert_eq!(pm.z().node(lr, lc), &[c[1], c[0], 0.0]);
+                assert_eq!(pm.w().node(lr, lc), &[0.0, 0.0]);
+            }
+        });
+    }
+
+    #[test]
+    fn single_mode_peaks_at_amplitude() {
+        World::run(1, |comm| {
+            let mut pm = pm_with(&comm, true, 16);
+            InitialCondition::SingleMode {
+                amplitude: 0.05,
+                modes: [1.0, 1.0],
+            }
+            .apply(&mut pm);
+            let max = pm
+                .mesh()
+                .owned_indices()
+                .map(|(lr, lc, _, _)| pm.z().get(lr, lc, 2))
+                .fold(f64::MIN, f64::max);
+            assert!((max - 0.05).abs() < 1e-12);
+        });
+    }
+
+    #[test]
+    fn single_mode_open_boundary_has_zero_slope_at_edges() {
+        World::run(1, |comm| {
+            let mut pm = pm_with(&comm, false, 17);
+            InitialCondition::SingleMode {
+                amplitude: 0.1,
+                modes: [1.0, 1.0],
+            }
+            .apply(&mut pm);
+            // cos(π·x̃) has extrema (zero slope) at x̃ = 0 and 1: compare
+            // edge and adjacent interior values.
+            let h = pm.mesh().halo();
+            let edge = pm.z().get(h + 8, h, 2);
+            let inner = pm.z().get(h + 8, h + 1, 2);
+            // slope between first two columns is O(dx²) of the mode.
+            assert!((edge - inner).abs() < 0.1 * 0.05);
+        });
+    }
+
+    #[test]
+    fn multimode_is_identical_across_rank_counts() {
+        let ic = InitialCondition::MultiMode {
+            amplitude: 0.02,
+            modes: 4,
+            seed: 42,
+        };
+        let gather = |p: usize| -> Vec<(usize, usize, f64)> {
+            let out = World::run(p, move |comm| {
+                let mut pm = pm_with(&comm, true, 12);
+                ic.apply(&mut pm);
+                let rows: Vec<(usize, usize, f64)> = pm
+                    .mesh()
+                    .owned_indices()
+                    .map(|(lr, lc, gr, gc)| (gr, gc, pm.z().get(lr, lc, 2)))
+                    .collect();
+                comm.allgather(rows)
+            });
+            let mut all: Vec<(usize, usize, f64)> =
+                out.into_iter().next().unwrap().into_iter().flatten().collect();
+            all.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+            all.dedup_by(|a, b| (a.0, a.1) == (b.0, b.1));
+            all
+        };
+        let s1 = gather(1);
+        let s4 = gather(4);
+        assert_eq!(s1.len(), 144);
+        assert_eq!(s1, s4);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        World::run(1, |comm| {
+            let sample = |seed: u64| {
+                let mut pm = pm_with(&comm, true, 8);
+                InitialCondition::MultiMode {
+                    amplitude: 0.02,
+                    modes: 3,
+                    seed,
+                }
+                .apply(&mut pm);
+                pm.z().get(4, 4, 2)
+            };
+            assert_ne!(sample(1), sample(2));
+        });
+    }
+}

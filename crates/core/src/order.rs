@@ -1,0 +1,83 @@
+//! Model-order selection.
+//!
+//! The paper's C++ uses template tags (`Order::Low/Medium/High`) to pick
+//! specialized derivative kernels at compile time; the idiomatic Rust
+//! equivalent here is an enum dispatched once per derivative evaluation
+//! (the dispatch cost is nothing next to a transform or force sum).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Which Z-Model order to solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Order {
+    /// Fourier (Riesz) interface velocity + spectral vorticity terms.
+    /// Periodic boundaries only. Exercises distributed-FFT all-to-all.
+    Low,
+    /// Birkhoff–Rott interface velocity + spectral vorticity terms.
+    /// Periodic boundaries only. Exercises both comm patterns.
+    Medium,
+    /// Birkhoff–Rott interface velocity + stencil vorticity terms.
+    /// Any boundary. Exercises BR-solver communication and halos.
+    High,
+}
+
+impl Order {
+    /// Whether this order requires the distributed FFT (and therefore
+    /// periodic boundaries).
+    pub fn needs_fft(&self) -> bool {
+        matches!(self, Order::Low | Order::Medium)
+    }
+
+    /// Whether this order requires a far-field (BR) solver.
+    pub fn needs_br_solver(&self) -> bool {
+        matches!(self, Order::Medium | Order::High)
+    }
+}
+
+impl fmt::Display for Order {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Order::Low => write!(f, "low"),
+            Order::Medium => write!(f, "medium"),
+            Order::High => write!(f, "high"),
+        }
+    }
+}
+
+impl FromStr for Order {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "low" | "l" => Ok(Order::Low),
+            "medium" | "m" => Ok(Order::Medium),
+            "high" | "h" => Ok(Order::High),
+            other => Err(format!("unknown model order '{other}' (low|medium|high)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capability_matrix() {
+        assert!(Order::Low.needs_fft());
+        assert!(!Order::Low.needs_br_solver());
+        assert!(Order::Medium.needs_fft());
+        assert!(Order::Medium.needs_br_solver());
+        assert!(!Order::High.needs_fft());
+        assert!(Order::High.needs_br_solver());
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for o in [Order::Low, Order::Medium, Order::High] {
+            assert_eq!(o.to_string().parse::<Order>().unwrap(), o);
+        }
+        assert_eq!("H".parse::<Order>().unwrap(), Order::High);
+        assert!("ultra".parse::<Order>().is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! Physical and numerical model parameters (the knobs Beatnik's
+//! rocketrig driver exposes).
+
+use serde::{Deserialize, Serialize};
+
+/// Z-Model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Params {
+    /// Atwood number `A = (ρ₁ − ρ₂)/(ρ₁ + ρ₂)`; positive means the
+    /// configuration is Rayleigh–Taylor unstable under `gravity`.
+    pub atwood: f64,
+    /// Gravitational acceleration magnitude (acts along −z).
+    pub gravity: f64,
+    /// Artificial-viscosity coefficient `μ` applied to the vorticity
+    /// Laplacian (stabilizes the sheet; Beatnik's `--mu`).
+    pub mu: f64,
+    /// Krasny desingularization parameter `ε` of the Birkhoff–Rott
+    /// kernel (Beatnik's `--epsilon`).
+    pub epsilon: f64,
+    /// Cutoff distance of the cutoff BR solver (Beatnik's
+    /// `--cutoff-distance`).
+    pub cutoff: f64,
+    /// Time-step size.
+    pub dt: f64,
+    /// Apply the Krasny spectral filter every this many steps
+    /// (0 = never). Requires an FFT-capable (periodic) model order.
+    pub filter_every: usize,
+    /// Krasny filter tolerance: Fourier modes of the perturbation fields
+    /// with amplitude below this are zeroed (suppresses the roundoff-seeded
+    /// short-wavelength instability classic to vortex-sheet methods).
+    pub filter_tolerance: f64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            atwood: 0.5,
+            gravity: 9.8,
+            mu: 1.0,
+            epsilon: 0.25,
+            cutoff: 0.5,
+            dt: 1e-3,
+            filter_every: 0,
+            filter_tolerance: 1e-12,
+        }
+    }
+}
+
+impl Params {
+    /// Validate physical sanity; called by the solver at startup.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(-1.0..=1.0).contains(&self.atwood) {
+            return Err(format!("atwood number {} outside [-1, 1]", self.atwood));
+        }
+        if self.epsilon <= 0.0 {
+            return Err("epsilon must be positive (desingularization)".into());
+        }
+        if self.cutoff <= 0.0 {
+            return Err("cutoff must be positive".into());
+        }
+        if self.dt <= 0.0 {
+            return Err("dt must be positive".into());
+        }
+        if self.mu < 0.0 {
+            return Err("mu must be non-negative".into());
+        }
+        if self.filter_tolerance < 0.0 {
+            return Err("filter tolerance must be non-negative".into());
+        }
+        Ok(())
+    }
+
+    /// The linear RT growth rate `σ = √(A·g·k)` for wavenumber `k`
+    /// predicted by the model's linearization (used by tests and by CFL
+    /// heuristics).
+    pub fn growth_rate(&self, k: f64) -> f64 {
+        (self.atwood * self.gravity * k).max(0.0).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_validate() {
+        assert!(Params::default().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        let mut p = Params::default();
+        p.atwood = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = Params::default();
+        p.epsilon = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = Params::default();
+        p.dt = -1.0;
+        assert!(p.validate().is_err());
+        let mut p = Params::default();
+        p.mu = -0.1;
+        assert!(p.validate().is_err());
+        let mut p = Params::default();
+        p.cutoff = 0.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn growth_rate_formula() {
+        let p = Params {
+            atwood: 0.5,
+            gravity: 2.0,
+            ..Params::default()
+        };
+        assert!((p.growth_rate(1.0) - 1.0).abs() < 1e-12);
+        assert!((p.growth_rate(4.0) - 2.0).abs() < 1e-12);
+        // Stable stratification has zero growth.
+        let s = Params {
+            atwood: -0.5,
+            ..p
+        };
+        assert_eq!(s.growth_rate(1.0), 0.0);
+    }
+}

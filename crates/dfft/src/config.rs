@@ -1,0 +1,106 @@
+//! The heFFTe-style tuning configuration (the paper's Table 1).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Communication/layout tuning knobs of the distributed FFT, mirroring
+/// heFFTe's `use_alltoall`, `use_pencils`, and `use_reorder` options that
+/// the paper sweeps in Section 5.5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FftConfig {
+    /// `true`: scheduled pairwise exchange (the `MPI_Alltoall` primitive);
+    /// `false`: unscheduled direct point-to-point exchange.
+    pub all_to_all: bool,
+    /// `true`: pencil intermediate layouts (first/last reshape inside
+    /// row/column subcommunicators); `false`: slab intermediates (all
+    /// reshapes global).
+    pub pencils: bool,
+    /// `true`: assemble intermediates in contiguous transform order;
+    /// `false`: keep arrival layout and pay strided gathers per transform.
+    pub reorder: bool,
+}
+
+impl Default for FftConfig {
+    /// heFFTe's own defaults: alltoall + pencils + reorder.
+    fn default() -> Self {
+        FftConfig {
+            all_to_all: true,
+            pencils: true,
+            reorder: true,
+        }
+    }
+}
+
+impl FftConfig {
+    /// The paper's Table-1 numbering: configurations 0–7 ordered as
+    /// (AllToAll, Pencils, Reorder) with AllToAll the most significant
+    /// bit: `index = 4·all_to_all + 2·pencils + reorder`.
+    pub fn index(&self) -> usize {
+        (self.all_to_all as usize) * 4 + (self.pencils as usize) * 2 + (self.reorder as usize)
+    }
+
+    /// Configuration from a Table-1 index (0–7).
+    pub fn from_index(i: usize) -> Self {
+        assert!(i < 8, "heFFTe configuration index must be 0-7");
+        FftConfig {
+            all_to_all: i & 4 != 0,
+            pencils: i & 2 != 0,
+            reorder: i & 1 != 0,
+        }
+    }
+
+    /// All eight configurations in Table-1 order.
+    pub fn table1() -> Vec<FftConfig> {
+        (0..8).map(FftConfig::from_index).collect()
+    }
+}
+
+impl fmt::Display for FftConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cfg{} (AllToAll={}, Pencils={}, Reorder={})",
+            self.index(),
+            self.all_to_all,
+            self.pencils,
+            self.reorder
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_rows() {
+        // Paper Table 1: row 0 = (F,F,F), row 1 = (F,F,T), … row 7 = (T,T,T).
+        let t = FftConfig::table1();
+        assert_eq!(t.len(), 8);
+        assert!(!t[0].all_to_all && !t[0].pencils && !t[0].reorder);
+        assert!(!t[1].all_to_all && !t[1].pencils && t[1].reorder);
+        assert!(!t[2].all_to_all && t[2].pencils && !t[2].reorder);
+        assert!(t[4].all_to_all && !t[4].pencils && !t[4].reorder);
+        assert!(t[7].all_to_all && t[7].pencils && t[7].reorder);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for i in 0..8 {
+            assert_eq!(FftConfig::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn default_is_config_7() {
+        assert_eq!(FftConfig::default().index(), 7);
+    }
+
+    #[test]
+    fn display_names_the_knobs() {
+        let s = FftConfig::from_index(5).to_string();
+        assert!(s.contains("cfg5"));
+        assert!(s.contains("AllToAll=true"));
+        assert!(s.contains("Pencils=false"));
+    }
+}

@@ -1,0 +1,204 @@
+//! Index distributions and rectangle helpers for data redistribution.
+
+use std::ops::Range;
+
+/// Balanced block distribution of `n` indices over `parts` owners:
+/// owner `i` holds `[⌊n·i/parts⌋, ⌊n·(i+1)/parts⌋)`, so part sizes differ
+/// by at most one and concatenate to `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dist {
+    /// Total index count.
+    pub n: usize,
+    /// Number of owners.
+    pub parts: usize,
+}
+
+impl Dist {
+    /// Create a distribution (requires at least one part).
+    pub fn new(n: usize, parts: usize) -> Self {
+        assert!(parts > 0, "distribution needs at least one part");
+        Dist { n, parts }
+    }
+
+    /// The index range owned by `part`.
+    pub fn range(&self, part: usize) -> Range<usize> {
+        assert!(part < self.parts, "part {part} out of {}", self.parts);
+        (self.n * part) / self.parts..(self.n * (part + 1)) / self.parts
+    }
+
+    /// Number of indices owned by `part`.
+    pub fn len(&self, part: usize) -> usize {
+        self.range(part).len()
+    }
+
+    /// Whether `part` owns nothing.
+    pub fn is_empty(&self, part: usize) -> bool {
+        self.len(part) == 0
+    }
+
+    /// The owner of global index `i`.
+    pub fn owner(&self, i: usize) -> usize {
+        assert!(i < self.n, "index {i} out of {}", self.n);
+        // With the floor-based split, owner = ⌈(i+1)·parts/n⌉ − 1; guard
+        // rounding with a local scan.
+        let mut guess = (i * self.parts) / self.n.max(1);
+        while !self.range(guess).contains(&i) {
+            if self.range(guess).start > i {
+                guess -= 1;
+            } else {
+                guess += 1;
+            }
+        }
+        guess
+    }
+}
+
+/// A half-open rectangle of global (row, col) index space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rect {
+    /// Global row range.
+    pub rows: Range<usize>,
+    /// Global column range.
+    pub cols: Range<usize>,
+}
+
+impl Rect {
+    /// Construct from ranges.
+    pub fn new(rows: Range<usize>, cols: Range<usize>) -> Self {
+        Rect { rows, cols }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Total element count.
+    pub fn area(&self) -> usize {
+        self.nrows() * self.ncols()
+    }
+
+    /// Whether the rectangle holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.area() == 0
+    }
+
+    /// Intersection with another rectangle (possibly empty).
+    pub fn intersect(&self, other: &Rect) -> Rect {
+        let rs = self.rows.start.max(other.rows.start);
+        let re = self.rows.end.min(other.rows.end).max(rs);
+        let cs = self.cols.start.max(other.cols.start);
+        let ce = self.cols.end.min(other.cols.end).max(cs);
+        Rect::new(rs..re, cs..ce)
+    }
+
+    /// Row-major offset of global `(r, c)` within a buffer laid out as
+    /// this rectangle.
+    #[inline]
+    pub fn offset(&self, r: usize, c: usize) -> usize {
+        debug_assert!(self.rows.contains(&r) && self.cols.contains(&c));
+        (r - self.rows.start) * self.ncols() + (c - self.cols.start)
+    }
+}
+
+/// Copy the sub-rectangle `sub` out of a row-major buffer laid out as
+/// `from`, producing a row-major `sub`-shaped vector.
+pub fn pack<T: Copy + Default>(buf: &[T], from: &Rect, sub: &Rect) -> Vec<T> {
+    debug_assert_eq!(buf.len(), from.area());
+    let mut out = Vec::with_capacity(sub.area());
+    for r in sub.rows.clone() {
+        let start = from.offset(r, sub.cols.start);
+        out.extend_from_slice(&buf[start..start + sub.ncols()]);
+    }
+    out
+}
+
+/// Write a row-major `sub`-shaped vector into a row-major buffer laid out
+/// as `into`.
+pub fn unpack<T: Copy>(buf: &mut [T], into: &Rect, sub: &Rect, data: &[T]) {
+    debug_assert_eq!(buf.len(), into.area());
+    debug_assert_eq!(data.len(), sub.area());
+    for (i, r) in sub.rows.clone().enumerate() {
+        let dst = into.offset(r, sub.cols.start);
+        let src = i * sub.ncols();
+        buf[dst..dst + sub.ncols()].copy_from_slice(&data[src..src + sub.ncols()]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_partitions_exactly() {
+        for (n, p) in [(10usize, 3usize), (7, 7), (5, 8), (0, 4), (1024, 32)] {
+            let d = Dist::new(n, p);
+            let mut covered = 0;
+            for i in 0..p {
+                let r = d.range(i);
+                assert_eq!(r.start, covered);
+                covered = r.end;
+                assert!(r.len() <= n / p + 1);
+            }
+            assert_eq!(covered, n);
+        }
+    }
+
+    #[test]
+    fn dist_owner_is_consistent_with_range() {
+        for (n, p) in [(10usize, 3usize), (7, 7), (100, 6), (9, 2)] {
+            let d = Dist::new(n, p);
+            for i in 0..n {
+                let o = d.owner(i);
+                assert!(d.range(o).contains(&i), "n={n} p={p} i={i} owner={o}");
+            }
+        }
+    }
+
+    #[test]
+    fn rect_intersection() {
+        let a = Rect::new(0..10, 0..10);
+        let b = Rect::new(5..15, 8..20);
+        let i = a.intersect(&b);
+        assert_eq!(i, Rect::new(5..10, 8..10));
+        assert_eq!(i.area(), 10);
+        let disjoint = a.intersect(&Rect::new(20..30, 0..10));
+        assert!(disjoint.is_empty());
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let from = Rect::new(2..6, 10..15); // 4x5
+        let buf: Vec<u32> = (0..20).collect();
+        let sub = Rect::new(3..5, 11..14); // 2x3
+        let packed = pack(&buf, &from, &sub);
+        assert_eq!(packed.len(), 6);
+        // Row 3 of `from` starts at offset 5; col 11 is offset 1.
+        assert_eq!(packed, vec![6, 7, 8, 11, 12, 13]);
+        let mut dst = vec![0u32; 20];
+        unpack(&mut dst, &from, &sub, &packed);
+        for r in 3..5 {
+            for c in 11..14 {
+                assert_eq!(dst[from.offset(r, c)], buf[from.offset(r, c)]);
+            }
+        }
+    }
+
+    #[test]
+    fn pack_whole_rect_is_identity() {
+        let r = Rect::new(0..3, 0..4);
+        let buf: Vec<i64> = (0..12).collect();
+        assert_eq!(pack(&buf, &r, &r), buf);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one part")]
+    fn zero_parts_rejected() {
+        let _ = Dist::new(4, 0);
+    }
+}

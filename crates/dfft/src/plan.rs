@@ -1,0 +1,582 @@
+//! The distributed 2D FFT pipelines.
+//!
+//! Data lives in a 2D block decomposition over a `Pr × Pc` rank grid
+//! (matching the surface mesh decomposition the Z-Model uses). A forward
+//! transform runs:
+//!
+//! * **slab path** (`pencils = false`):
+//!   block → row slabs (global reshape) → row FFTs → column slabs
+//!   (global reshape) → column FFTs → block (global reshape);
+//! * **pencil path** (`pencils = true`):
+//!   block → row pencils (reshape *within row subcommunicators*) → row
+//!   FFTs → column pencils (global reshape) → column FFTs → block
+//!   (reshape *within column subcommunicators*).
+//!
+//! Both paths perform three reshapes; the pencil path keeps two of them
+//! inside `Pc`- and `Pr`-sized groups, trading message count against
+//! message size — the tradeoff the paper's Figure 9 explores.
+
+use crate::config::FftConfig;
+use crate::layout::{Dist, Rect};
+use crate::redistribute::{no_reorder_penalty, redistribute};
+use beatnik_comm::{AllToAllAlgo, CartComm, Communicator};
+use beatnik_fft::{Complex, Fft};
+use std::ops::Range;
+
+/// Split `base` into `parts` balanced sub-ranges and return part `i`.
+fn subrange(base: Range<usize>, parts: usize, i: usize) -> Range<usize> {
+    let d = Dist::new(base.len(), parts);
+    let r = d.range(i);
+    base.start + r.start..base.start + r.end
+}
+
+/// A planned distributed 2D FFT bound to one rank of a Cartesian grid.
+///
+/// Construction is collective: every rank of `parent` must construct the
+/// plan with identical arguments.
+pub struct DistributedFft2d {
+    cart: CartComm,
+    row_comm: Communicator,
+    col_comm: Communicator,
+    nr: usize,
+    nc: usize,
+    config: FftConfig,
+    row_plan: Fft,
+    col_plan: Fft,
+}
+
+impl DistributedFft2d {
+    /// Plan transforms of a global `nr × nc` grid over a `proc_dims`
+    /// rank grid. `proc_dims[0] × proc_dims[1]` must equal the size of
+    /// `parent`.
+    pub fn new(
+        parent: &Communicator,
+        proc_dims: [usize; 2],
+        nr: usize,
+        nc: usize,
+        config: FftConfig,
+    ) -> Self {
+        let world = parent.duplicate();
+        let cart = CartComm::new(world, proc_dims, [false, false])
+            .expect("distributed fft: proc grid does not match communicator size");
+        let row_comm = cart.row_comm();
+        let col_comm = cart.col_comm();
+        DistributedFft2d {
+            cart,
+            row_comm,
+            col_comm,
+            nr,
+            nc,
+            config,
+            row_plan: Fft::new(nc),
+            col_plan: Fft::new(nr),
+        }
+    }
+
+    /// Global grid shape `(rows, cols)`.
+    pub fn global_shape(&self) -> (usize, usize) {
+        (self.nr, self.nc)
+    }
+
+    /// The tuning configuration.
+    pub fn config(&self) -> FftConfig {
+        self.config
+    }
+
+    fn pr(&self) -> usize {
+        self.cart.dims()[0]
+    }
+
+    fn pc(&self) -> usize {
+        self.cart.dims()[1]
+    }
+
+    fn algo(&self) -> AllToAllAlgo {
+        if self.config.all_to_all {
+            AllToAllAlgo::Pairwise
+        } else {
+            AllToAllAlgo::Direct
+        }
+    }
+
+    /// Block rectangle of a world rank.
+    fn block_rect_of(&self, rank: usize) -> Rect {
+        let rd = Dist::new(self.nr, self.pr());
+        let cd = Dist::new(self.nc, self.pc());
+        Rect::new(rd.range(rank / self.pc()), cd.range(rank % self.pc()))
+    }
+
+    /// This rank's block rectangle (the caller's buffer layout).
+    pub fn local_rect(&self) -> Rect {
+        self.block_rect_of(self.cart.comm().rank())
+    }
+
+    /// Forward transform: consumes block-layout data, returns the
+    /// block-layout spectrum (unnormalized). Collective.
+    pub fn forward(&self, block: Vec<Complex>) -> Vec<Complex> {
+        self.run(block, true)
+    }
+
+    /// Inverse transform: consumes a block-layout spectrum, returns
+    /// block-layout data normalized by `1/(nr·nc)`. Collective.
+    pub fn inverse(&self, block: Vec<Complex>) -> Vec<Complex> {
+        self.run(block, false)
+    }
+
+    /// Forward transform that *stays* in the final intermediate layout
+    /// (column slabs / column pencils) instead of reshaping back to
+    /// blocks: the layout heFFTe calls "transposed output". A
+    /// forward→multiply→inverse roundtrip through
+    /// [`DistributedFft2d::inverse_transposed`] saves two of the six
+    /// reshapes. Returns the spectrum's rectangle and data.
+    pub fn forward_transposed(&self, block: Vec<Complex>) -> (Rect, Vec<Complex>) {
+        assert_eq!(
+            block.len(),
+            self.local_rect().area(),
+            "distributed fft: block buffer does not match local rectangle"
+        );
+        let algo = self.algo();
+        if self.config.pencils {
+            let [my_pr, _my_pc] = self.cart.coords();
+            let pc_n = self.pc();
+            let src = |q: usize| self.block_rect_of(my_pr * pc_n + q);
+            let dst = |q: usize| self.row_pencil_of(my_pr, q);
+            let (rect, mut buf) = redistribute(&self.row_comm, &block, &src, &dst, algo);
+            self.fft_rows(&mut buf, &rect, true);
+            let src = |w: usize| self.row_pencil_of(w / pc_n, w % pc_n);
+            let dst = |w: usize| self.col_pencil_of(w / pc_n, w % pc_n);
+            let (rect, mut buf) = redistribute(self.cart.comm(), &buf, &src, &dst, algo);
+            self.fft_cols(&mut buf, &rect, true);
+            (rect, buf)
+        } else {
+            let comm = self.cart.comm();
+            let p = comm.size();
+            let (nr, nc) = (self.nr, self.nc);
+            let block_rect = |r: usize| self.block_rect_of(r);
+            let row_slab = move |r: usize| Rect::new(Dist::new(nr, p).range(r), 0..nc);
+            let col_slab = move |r: usize| Rect::new(0..nr, Dist::new(nc, p).range(r));
+            let (rect, mut buf) = redistribute(comm, &block, &block_rect, &row_slab, algo);
+            self.fft_rows(&mut buf, &rect, true);
+            let (rect, mut buf) = redistribute(comm, &buf, &row_slab, &col_slab, algo);
+            self.fft_cols(&mut buf, &rect, true);
+            (rect, buf)
+        }
+    }
+
+    /// Inverse transform starting from the transposed (column slab /
+    /// column pencil) spectrum layout produced by
+    /// [`DistributedFft2d::forward_transposed`]; returns block-layout data
+    /// normalized by `1/(nr·nc)`.
+    pub fn inverse_transposed(&self, spectrum: Vec<Complex>) -> Vec<Complex> {
+        let algo = self.algo();
+        if self.config.pencils {
+            let [my_pr, my_pc] = self.cart.coords();
+            let pc_n = self.pc();
+            let my_rect = self.col_pencil_of(my_pr, my_pc);
+            assert_eq!(spectrum.len(), my_rect.area(), "bad transposed spectrum");
+            let mut buf = spectrum;
+            self.fft_cols(&mut buf, &my_rect, false);
+            // col pencils -> row pencils (global), inverse row FFT, then
+            // row pencils -> block (row comm).
+            let src = |w: usize| self.col_pencil_of(w / pc_n, w % pc_n);
+            let dst = |w: usize| self.row_pencil_of(w / pc_n, w % pc_n);
+            let (rect, mut buf) = redistribute(self.cart.comm(), &buf, &src, &dst, algo);
+            self.fft_rows(&mut buf, &rect, false);
+            let src = |q: usize| self.row_pencil_of(my_pr, q);
+            let dst = |q: usize| self.block_rect_of(my_pr * pc_n + q);
+            let (_, out) = redistribute(&self.row_comm, &buf, &src, &dst, algo);
+            out
+        } else {
+            let comm = self.cart.comm();
+            let p = comm.size();
+            let (nr, nc) = (self.nr, self.nc);
+            let block_rect = |r: usize| self.block_rect_of(r);
+            let row_slab = move |r: usize| Rect::new(Dist::new(nr, p).range(r), 0..nc);
+            let col_slab = move |r: usize| Rect::new(0..nr, Dist::new(nc, p).range(r));
+            let my_rect = col_slab(comm.rank());
+            assert_eq!(spectrum.len(), my_rect.area(), "bad transposed spectrum");
+            let mut buf = spectrum;
+            self.fft_cols(&mut buf, &my_rect, false);
+            let (rect, mut buf) = redistribute(comm, &buf, &col_slab, &row_slab, algo);
+            self.fft_rows(&mut buf, &rect, false);
+            let (_, out) = redistribute(comm, &buf, &row_slab, &block_rect, algo);
+            out
+        }
+    }
+
+    fn run(&self, block: Vec<Complex>, forward: bool) -> Vec<Complex> {
+        assert_eq!(
+            block.len(),
+            self.local_rect().area(),
+            "distributed fft: block buffer does not match local rectangle"
+        );
+        if self.config.pencils {
+            self.run_pencils(block, forward)
+        } else {
+            self.run_slabs(block, forward)
+        }
+    }
+
+    fn fft_rows(&self, buf: &mut [Complex], rect: &Rect, forward: bool) {
+        if rect.ncols() == 0 {
+            return;
+        }
+        debug_assert_eq!(rect.ncols(), self.nc);
+        if !self.config.reorder {
+            no_reorder_penalty(buf);
+        }
+        for row in buf.chunks_exact_mut(self.nc) {
+            if forward {
+                self.row_plan.forward(row);
+            } else {
+                self.row_plan.inverse(row);
+            }
+        }
+    }
+
+    fn fft_cols(&self, buf: &mut [Complex], rect: &Rect, forward: bool) {
+        debug_assert_eq!(rect.nrows(), self.nr);
+        if !self.config.reorder {
+            no_reorder_penalty(buf);
+        }
+        let ncols = rect.ncols();
+        let mut scratch = vec![Complex::default(); self.nr];
+        for c in 0..ncols {
+            for r in 0..self.nr {
+                scratch[r] = buf[r * ncols + c];
+            }
+            if forward {
+                self.col_plan.forward(&mut scratch);
+            } else {
+                self.col_plan.inverse(&mut scratch);
+            }
+            for r in 0..self.nr {
+                buf[r * ncols + c] = scratch[r];
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Slab path
+    // ------------------------------------------------------------------
+
+    fn run_slabs(&self, block: Vec<Complex>, forward: bool) -> Vec<Complex> {
+        let comm = self.cart.comm();
+        let p = comm.size();
+        let algo = self.algo();
+        let (nr, nc) = (self.nr, self.nc);
+        let block_rect = |r: usize| self.block_rect_of(r);
+        let row_slab = move |r: usize| Rect::new(Dist::new(nr, p).range(r), 0..nc);
+        let col_slab = move |r: usize| Rect::new(0..nr, Dist::new(nc, p).range(r));
+
+        // block -> row slabs
+        let (rect, mut buf) = redistribute(comm, &block, &block_rect, &row_slab, algo);
+        self.fft_rows(&mut buf, &rect, forward);
+        // row slabs -> column slabs
+        let (rect, mut buf) = redistribute(comm, &buf, &row_slab, &col_slab, algo);
+        self.fft_cols(&mut buf, &rect, forward);
+        // column slabs -> block
+        let (_, out) = redistribute(comm, &buf, &col_slab, &block_rect, algo);
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Pencil path
+    // ------------------------------------------------------------------
+
+    /// Row-pencil rectangle of world rank `(pr, pc)`: the `pc`-th slice of
+    /// block-row `pr`'s rows, full width.
+    fn row_pencil_of(&self, pr: usize, pc: usize) -> Rect {
+        let rd = Dist::new(self.nr, self.pr());
+        Rect::new(subrange(rd.range(pr), self.pc(), pc), 0..self.nc)
+    }
+
+    /// Column-pencil rectangle of world rank `(pr, pc)`: the `pr`-th slice
+    /// of block-column `pc`'s columns, full height.
+    fn col_pencil_of(&self, pr: usize, pc: usize) -> Rect {
+        let cd = Dist::new(self.nc, self.pc());
+        Rect::new(0..self.nr, subrange(cd.range(pc), self.pr(), pr))
+    }
+
+    fn run_pencils(&self, block: Vec<Complex>, forward: bool) -> Vec<Complex> {
+        let [my_pr, my_pc] = self.cart.coords();
+        let pc_n = self.pc();
+        let algo = self.algo();
+
+        // block -> row pencils, within my row subcommunicator: peer q in
+        // the row comm is world rank (my_pr, q).
+        let src = |q: usize| self.block_rect_of(my_pr * pc_n + q);
+        let dst = |q: usize| self.row_pencil_of(my_pr, q);
+        let (rect, mut buf) = redistribute(&self.row_comm, &block, &src, &dst, algo);
+        self.fft_rows(&mut buf, &rect, forward);
+
+        // row pencils -> column pencils, global.
+        let src = |w: usize| self.row_pencil_of(w / pc_n, w % pc_n);
+        let dst = |w: usize| self.col_pencil_of(w / pc_n, w % pc_n);
+        let (rect, mut buf) = redistribute(self.cart.comm(), &buf, &src, &dst, algo);
+        self.fft_cols(&mut buf, &rect, forward);
+
+        // column pencils -> block, within my column subcommunicator: peer
+        // q in the column comm is world rank (q, my_pc).
+        let src = |q: usize| self.col_pencil_of(q, my_pc);
+        let dst = |q: usize| self.block_rect_of(q * pc_n + my_pc);
+        let (_, out) = redistribute(&self.col_comm, &buf, &src, &dst, algo);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FftConfig;
+    use beatnik_comm::{dims_create, OpKind, World};
+    use beatnik_fft::fft2d::Fft2d;
+
+    /// Deterministic test field.
+    fn field(r: usize, c: usize) -> Complex {
+        Complex::new(
+            (r as f64 * 0.7 + c as f64 * 1.3).sin(),
+            (r as f64 - 0.2 * c as f64).cos(),
+        )
+    }
+
+    /// Run a distributed forward FFT and compare every rank's block with
+    /// the serial 2D FFT of the full grid.
+    fn check_forward(p: usize, nr: usize, nc: usize, config: FftConfig) {
+        // Serial reference.
+        let mut reference: Vec<Complex> = (0..nr * nc).map(|i| field(i / nc, i % nc)).collect();
+        Fft2d::new(nr, nc).forward(&mut reference);
+
+        World::run(p, move |comm| {
+            let dims = dims_create(comm.size());
+            let plan = DistributedFft2d::new(&comm, dims, nr, nc, config);
+            let rect = plan.local_rect();
+            let mut block = Vec::with_capacity(rect.area());
+            for r in rect.rows.clone() {
+                for c in rect.cols.clone() {
+                    block.push(field(r, c));
+                }
+            }
+            let spec = plan.forward(block);
+            let mut i = 0;
+            for r in rect.rows.clone() {
+                for c in rect.cols.clone() {
+                    let want = reference[r * nc + c];
+                    let got = spec[i];
+                    assert!(
+                        (got - want).abs() < 1e-8 * (nr * nc) as f64,
+                        "{config} p={p} ({r},{c}): {got} vs {want}"
+                    );
+                    i += 1;
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn all_eight_configs_match_serial_fft() {
+        for config in FftConfig::table1() {
+            check_forward(4, 8, 8, config);
+        }
+    }
+
+    #[test]
+    fn non_square_grids_and_rank_counts() {
+        let cfg = FftConfig::default();
+        check_forward(1, 8, 4, cfg);
+        check_forward(2, 8, 6, cfg);
+        check_forward(6, 12, 8, cfg);
+        check_forward(6, 8, 12, FftConfig::from_index(0));
+    }
+
+    #[test]
+    fn grid_smaller_than_rank_count() {
+        // 9 ranks, 4x4 grid: some ranks own nothing in intermediates.
+        check_forward(9, 4, 4, FftConfig::default());
+        check_forward(9, 4, 4, FftConfig::from_index(2));
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip_all_configs() {
+        for config in FftConfig::table1() {
+            World::run(4, move |comm| {
+                let dims = dims_create(comm.size());
+                let plan = DistributedFft2d::new(&comm, dims, 8, 8, config);
+                let rect = plan.local_rect();
+                let mut block = Vec::with_capacity(rect.area());
+                for r in rect.rows.clone() {
+                    for c in rect.cols.clone() {
+                        block.push(field(r, c));
+                    }
+                }
+                let orig = block.clone();
+                let back = plan.inverse(plan.forward(block));
+                for (a, b) in back.iter().zip(&orig) {
+                    assert!((*a - *b).abs() < 1e-10, "{config}: {a} vs {b}");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn pencil_mode_uses_subcommunicator_reshapes() {
+        // With pencils, the first/last reshapes run on Pc/Pr-sized groups:
+        // strictly fewer alltoallv messages than three global reshapes.
+        let count_msgs = |pencils: bool| {
+            let (_, trace) = World::run_traced(4, move |comm| {
+                let cfg = FftConfig {
+                    all_to_all: true,
+                    pencils,
+                    reorder: true,
+                };
+                let plan = DistributedFft2d::new(&comm, [2, 2], 16, 16, cfg);
+                let rect = plan.local_rect();
+                let block = vec![Complex::default(); rect.area()];
+                let _ = plan.forward(block);
+            });
+            trace.total(OpKind::Alltoallv).messages
+        };
+        let slab_msgs = count_msgs(false);
+        let pencil_msgs = count_msgs(true);
+        // Slab: 3 reshapes x 4 ranks x 3 peers = 36 messages. Pencil:
+        // 2 reshapes x 4 ranks x 1 peer + 1 global reshape x 4 x 3 = 20.
+        assert_eq!(slab_msgs, 36);
+        assert_eq!(pencil_msgs, 20);
+    }
+
+    #[test]
+    fn alltoall_knob_changes_algorithm_not_results() {
+        // Covered for results by all_eight_configs; here check traffic is
+        // identical in volume between the two algorithms.
+        let bytes_with = |a2a: bool| {
+            let (_, trace) = World::run_traced(4, move |comm| {
+                let cfg = FftConfig {
+                    all_to_all: a2a,
+                    pencils: false,
+                    reorder: true,
+                };
+                let plan = DistributedFft2d::new(&comm, [2, 2], 8, 8, cfg);
+                let block = vec![Complex::default(); plan.local_rect().area()];
+                let _ = plan.forward(block);
+            });
+            trace.total(OpKind::Alltoallv).bytes
+        };
+        assert_eq!(bytes_with(true), bytes_with(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match local rectangle")]
+    fn wrong_block_size_panics() {
+        World::run(1, |comm| {
+            let plan = DistributedFft2d::new(&comm, [1, 1], 4, 4, FftConfig::default());
+            let _ = plan.forward(vec![Complex::default(); 3]);
+        });
+    }
+}
+
+#[cfg(test)]
+mod transposed_tests {
+    use super::*;
+    use crate::config::FftConfig;
+    use beatnik_comm::{dims_create, OpKind, World};
+
+    fn field(r: usize, c: usize) -> Complex {
+        Complex::new((r as f64 * 0.5 + c as f64).sin(), (c as f64 * 0.3).cos())
+    }
+
+    #[test]
+    fn transposed_roundtrip_matches_plain_roundtrip() {
+        for cfg_idx in [0usize, 3, 7] {
+            let config = FftConfig::from_index(cfg_idx);
+            World::run(4, move |comm| {
+                let dims = dims_create(comm.size());
+                let plan = DistributedFft2d::new(&comm, dims, 8, 8, config);
+                let rect = plan.local_rect();
+                let mut block = Vec::with_capacity(rect.area());
+                for r in rect.rows.clone() {
+                    for c in rect.cols.clone() {
+                        block.push(field(r, c));
+                    }
+                }
+                let plain = plan.inverse(plan.forward(block.clone()));
+                let (_, spec) = plan.forward_transposed(block);
+                let fast = plan.inverse_transposed(spec);
+                for (a, b) in plain.iter().zip(&fast) {
+                    assert!((*a - *b).abs() < 1e-10, "cfg{cfg_idx}: {a} vs {b}");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn transposed_spectrum_values_are_correct() {
+        // Values in the transposed layout must equal the plain forward
+        // transform's values at the same global indices.
+        World::run(4, |comm| {
+            let config = FftConfig::default();
+            let dims = dims_create(comm.size());
+            let plan = DistributedFft2d::new(&comm, dims, 8, 8, config);
+            let rect = plan.local_rect();
+            let mut block = Vec::with_capacity(rect.area());
+            for r in rect.rows.clone() {
+                for c in rect.cols.clone() {
+                    block.push(field(r, c));
+                }
+            }
+            // Gather the full plain spectrum via allgather of blocks.
+            let plain = plan.forward(block.clone());
+            let mut tagged: Vec<(u64, u64, Complex)> = Vec::new();
+            let mut i = 0;
+            for r in rect.rows.clone() {
+                for c in rect.cols.clone() {
+                    tagged.push((r as u64, c as u64, plain[i]));
+                    i += 1;
+                }
+            }
+            let all: Vec<(u64, u64, Complex)> =
+                comm.allgather(tagged).into_iter().flatten().collect();
+            let lookup = |r: usize, c: usize| -> Complex {
+                all.iter()
+                    .find(|(gr, gc, _)| *gr == r as u64 && *gc == c as u64)
+                    .unwrap()
+                    .2
+            };
+            let (trect, tspec) = plan.forward_transposed(block);
+            let mut i = 0;
+            for r in trect.rows.clone() {
+                for c in trect.cols.clone() {
+                    let want = lookup(r, c);
+                    assert!((tspec[i] - want).abs() < 1e-10, "({r},{c})");
+                    i += 1;
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn transposed_roundtrip_saves_reshapes() {
+        let msgs = |transposed: bool| {
+            let (_, trace) = World::run_traced(4, move |comm| {
+                let config = FftConfig {
+                    all_to_all: true,
+                    pencils: false,
+                    reorder: true,
+                };
+                let plan = DistributedFft2d::new(&comm, dims_create(4), 16, 16, config);
+                let block = vec![Complex::default(); plan.local_rect().area()];
+                if transposed {
+                    let (_, spec) = plan.forward_transposed(block);
+                    let _ = plan.inverse_transposed(spec);
+                } else {
+                    let _ = plan.inverse(plan.forward(block));
+                }
+            });
+            trace.total(OpKind::Alltoallv).messages
+        };
+        let plain = msgs(false);
+        let fast = msgs(true);
+        // Slab path: 6 reshapes -> 4 reshapes.
+        assert_eq!(plain, 6 * 4 * 3);
+        assert_eq!(fast, 4 * 4 * 3);
+    }
+}

@@ -1,0 +1,148 @@
+//! Bluestein's chirp-z algorithm: DFT of arbitrary length `n` via a
+//! circular convolution of length `m ≥ 2n−1`, `m` a power of two.
+//!
+//! Identity: with chirp `c[j] = e^{-πi j²/n}`,
+//! `X[k] = c[k] · Σ_j (x[j] c[j]) · conj(c)[k−j]`, i.e. a convolution of
+//! the chirp-premultiplied signal with the conjugate chirp, evaluated by
+//! zero-padded power-of-two FFTs.
+
+use crate::complex::Complex;
+use crate::plan::Fft;
+
+/// Planned Bluestein transform of one length.
+pub struct Bluestein {
+    n: usize,
+    m: usize,
+    /// Forward chirp `e^{-πi j²/n}` for `j < n`.
+    chirp: Vec<Complex>,
+    /// FFT (length m) of the zero-padded conjugate chirp (the convolution
+    /// kernel), precomputed.
+    kernel_spec: Vec<Complex>,
+    inner: Fft,
+}
+
+impl Bluestein {
+    /// Plan length-`n` transforms (`n ≥ 2`; power-of-two sizes work but
+    /// [`crate::Fft`] routes those to radix-2 directly).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "bluestein: n must be at least 2");
+        let m = (2 * n - 1).next_power_of_two();
+        // j² mod 2n keeps the phase argument small and exact.
+        let chirp: Vec<Complex> = (0..n)
+            .map(|j| {
+                let jj = (j * j) % (2 * n);
+                Complex::cis(-std::f64::consts::PI * jj as f64 / n as f64)
+            })
+            .collect();
+        // Kernel b[j] = conj(chirp[|j|]) laid out circularly on length m.
+        let mut kernel = vec![Complex::default(); m];
+        kernel[0] = chirp[0].conj();
+        for j in 1..n {
+            kernel[j] = chirp[j].conj();
+            kernel[m - j] = chirp[j].conj();
+        }
+        let inner = Fft::new(m);
+        let mut kernel_spec = kernel;
+        inner.forward(&mut kernel_spec);
+        Bluestein {
+            n,
+            m,
+            chirp,
+            kernel_spec,
+            inner,
+        }
+    }
+
+    /// Padded convolution length.
+    pub fn padded_len(&self) -> usize {
+        self.m
+    }
+
+    /// In-place forward DFT.
+    pub fn forward(&self, data: &mut [Complex]) {
+        self.run(data, false);
+    }
+
+    /// In-place inverse DFT (normalized by `1/n`).
+    ///
+    /// Implemented via the conjugation identity
+    /// `idft(x) = conj(dft(conj(x))) / n`.
+    pub fn inverse(&self, data: &mut [Complex]) {
+        for v in data.iter_mut() {
+            *v = v.conj();
+        }
+        self.run(data, false);
+        let s = 1.0 / self.n as f64;
+        for v in data.iter_mut() {
+            *v = v.conj().scale(s);
+        }
+    }
+
+    fn run(&self, data: &mut [Complex], _unused: bool) {
+        assert_eq!(data.len(), self.n, "bluestein: buffer length mismatch");
+        let m = self.m;
+        // a[j] = x[j] * chirp[j], zero-padded to m.
+        let mut a = vec![Complex::default(); m];
+        for (j, (&x, &c)) in data.iter().zip(&self.chirp).enumerate() {
+            a[j] = x * c;
+        }
+        self.inner.forward(&mut a);
+        for (av, &kv) in a.iter_mut().zip(&self.kernel_spec) {
+            *av = *av * kv;
+        }
+        self.inner.inverse(&mut a);
+        for (k, out) in data.iter_mut().enumerate() {
+            *out = a[k] * self.chirp[k];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft_naive;
+
+    #[test]
+    fn matches_naive_for_awkward_sizes() {
+        for n in [2usize, 3, 7, 11, 13, 30, 97, 257] {
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 1.3).sin(), (i as f64).sqrt()))
+                .collect();
+            let mut fast = x.clone();
+            Bluestein::new(n).forward(&mut fast);
+            let slow = dft_naive(&x);
+            for (i, (a, b)) in fast.iter().zip(&slow).enumerate() {
+                assert!((*a - *b).abs() < 1e-8 * n as f64, "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        for n in [5usize, 9, 21, 50] {
+            let x: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+            let plan = Bluestein::new(n);
+            let mut buf = x.clone();
+            plan.forward(&mut buf);
+            plan.inverse(&mut buf);
+            for (a, b) in buf.iter().zip(&x) {
+                assert!((*a - *b).abs() < 1e-9 * n as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn padding_is_a_power_of_two_at_least_2n_minus_1() {
+        for n in [3usize, 12, 100] {
+            let b = Bluestein::new(n);
+            assert!(b.padded_len().is_power_of_two());
+            assert!(b.padded_len() >= 2 * n - 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_tiny_sizes() {
+        let _ = Bluestein::new(1);
+    }
+}

@@ -1,0 +1,97 @@
+//! Naive O(n²) discrete Fourier transform — the correctness oracle for
+//! the fast transforms.
+//!
+//! Convention (matching the fast paths): forward transform uses the
+//! negative-exponent kernel and no normalization; the inverse uses the
+//! positive exponent and divides by `n`.
+
+use crate::complex::Complex;
+
+/// Forward DFT: `X[k] = Σ_j x[j] · e^{-2πi jk / n}`.
+pub fn dft_naive(x: &[Complex]) -> Vec<Complex> {
+    transform(x, -1.0, false)
+}
+
+/// Inverse DFT: `x[j] = (1/n) Σ_k X[k] · e^{+2πi jk / n}`.
+pub fn idft_naive(x: &[Complex]) -> Vec<Complex> {
+    transform(x, 1.0, true)
+}
+
+fn transform(x: &[Complex], sign: f64, normalize: bool) -> Vec<Complex> {
+    let n = x.len();
+    let mut out = vec![Complex::default(); n];
+    if n == 0 {
+        return out;
+    }
+    let base = sign * 2.0 * std::f64::consts::PI / n as f64;
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = Complex::default();
+        for (j, &v) in x.iter().enumerate() {
+            // j*k can exceed 2^53 only for absurd n; reduce mod n first.
+            let phase = base * ((j * k) % n) as f64;
+            acc += v * Complex::cis(phase);
+        }
+        *o = if normalize { acc.scale(1.0 / n as f64) } else { acc };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex;
+
+    #[test]
+    fn dft_of_impulse_is_flat() {
+        let mut x = vec![Complex::default(); 8];
+        x[0] = Complex::real(1.0);
+        let spec = dft_naive(&x);
+        for s in spec {
+            assert!((s - Complex::real(1.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dft_of_constant_is_impulse() {
+        let x = vec![Complex::real(2.0); 5];
+        let spec = dft_naive(&x);
+        assert!((spec[0] - Complex::real(10.0)).abs() < 1e-12);
+        for s in &spec[1..] {
+            assert!(s.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_mode_lands_in_single_bin() {
+        let n = 16;
+        let x: Vec<Complex> = (0..n)
+            .map(|j| Complex::cis(2.0 * std::f64::consts::PI * 3.0 * j as f64 / n as f64))
+            .collect();
+        let spec = dft_naive(&x);
+        for (k, s) in spec.iter().enumerate() {
+            if k == 3 {
+                assert!((s.re - n as f64).abs() < 1e-9);
+                assert!(s.im.abs() < 1e-9);
+            } else {
+                assert!(s.abs() < 1e-9, "leakage at bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn idft_inverts_dft() {
+        let x: Vec<Complex> = (0..7)
+            .map(|j| Complex::new(j as f64, (j * j) as f64 * 0.1))
+            .collect();
+        let back = idft_naive(&dft_naive(&x));
+        for (a, b) in back.iter().zip(&x) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(dft_naive(&[]).is_empty());
+        assert!(idft_naive(&[]).is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+//! # beatnik-fft — serial fast Fourier transforms, from scratch
+//!
+//! The paper's Beatnik delegates its low-order solver's transforms to
+//! heFFTe. This reproduction implements the node-local FFT layer itself:
+//!
+//! * [`Complex`] — a plain `f64` complex number type (no external crates).
+//! * [`Fft`] — a planned 1D complex-to-complex transform: iterative
+//!   radix-2 Cooley–Tukey with precomputed twiddles for power-of-two
+//!   sizes, and Bluestein's chirp-z algorithm for every other size.
+//! * [`Fft2d`] — row–column 2D transforms over row-major buffers.
+//! * [`spectral`] — wavenumber grids and the Fourier-multiplier operators
+//!   the Z-Model's low-order solver needs: spectral derivatives, spectral
+//!   Laplacians, and the flat-sheet Birkhoff–Rott normal-velocity (Riesz
+//!   transform pair).
+//!
+//! Correctness is anchored to a naive O(n²) DFT ([`dft::dft_naive`]) in
+//! tests, plus roundtrip, Parseval, linearity, and shift-theorem property
+//! tests.
+//!
+//! ## Example
+//!
+//! ```
+//! use beatnik_fft::{Complex, Fft};
+//!
+//! let fft = Fft::new(8);
+//! let mut data: Vec<Complex> = (0..8).map(|i| Complex::new(i as f64, 0.0)).collect();
+//! let orig = data.clone();
+//! fft.forward(&mut data);
+//! fft.inverse(&mut data);
+//! for (a, b) in data.iter().zip(&orig) {
+//!     assert!((*a - *b).abs() < 1e-12);
+//! }
+//! ```
+
+pub mod bluestein;
+pub mod complex;
+pub mod dft;
+pub mod fft2d;
+pub mod plan;
+pub mod real;
+pub mod spectral;
+
+pub use complex::Complex;
+pub use fft2d::Fft2d;
+pub use plan::Fft;
+pub use real::{rfft_pair, RealFft};

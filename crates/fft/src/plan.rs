@@ -1,0 +1,305 @@
+//! Planned 1D FFTs.
+//!
+//! [`Fft::new`] builds a reusable plan: for power-of-two sizes an
+//! iterative radix-2 Cooley–Tukey transform with a precomputed
+//! bit-reversal permutation and per-size twiddle table; for all other
+//! sizes Bluestein's chirp-z algorithm (see [`crate::bluestein`]), which
+//! itself reuses a radix-2 plan of the padded size.
+
+use crate::bluestein::Bluestein;
+use crate::complex::Complex;
+
+/// A reusable plan for forward/inverse transforms of one length.
+pub struct Fft {
+    n: usize,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Degenerate lengths 0 and 1 (transform is the identity).
+    Identity,
+    Radix2(Radix2),
+    Bluestein(Box<Bluestein>),
+}
+
+impl Fft {
+    /// Plan a transform of length `n` (any `n`, including 0 and 1).
+    pub fn new(n: usize) -> Self {
+        let kind = if n <= 1 {
+            Kind::Identity
+        } else if n.is_power_of_two() {
+            Kind::Radix2(Radix2::new(n))
+        } else {
+            Kind::Bluestein(Box::new(Bluestein::new(n)))
+        };
+        Fft { n, kind }
+    }
+
+    /// Transform length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the planned length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward transform (negative exponent, unnormalized).
+    ///
+    /// # Panics
+    /// Panics if `data.len() != self.len()`.
+    pub fn forward(&self, data: &mut [Complex]) {
+        assert_eq!(data.len(), self.n, "fft: buffer length mismatch");
+        match &self.kind {
+            Kind::Identity => {}
+            Kind::Radix2(r) => r.transform(data, Direction::Forward),
+            Kind::Bluestein(b) => b.forward(data),
+        }
+    }
+
+    /// In-place inverse transform (positive exponent, scaled by `1/n`).
+    ///
+    /// # Panics
+    /// Panics if `data.len() != self.len()`.
+    pub fn inverse(&self, data: &mut [Complex]) {
+        assert_eq!(data.len(), self.n, "fft: buffer length mismatch");
+        match &self.kind {
+            Kind::Identity => {}
+            Kind::Radix2(r) => {
+                r.transform(data, Direction::Inverse);
+                let s = 1.0 / self.n as f64;
+                for v in data.iter_mut() {
+                    *v = v.scale(s);
+                }
+            }
+            Kind::Bluestein(b) => b.inverse(data),
+        }
+    }
+
+    /// In-place inverse without the `1/n` normalization (used by
+    /// distributed transforms that normalize once at the end).
+    pub fn inverse_unnormalized(&self, data: &mut [Complex]) {
+        assert_eq!(data.len(), self.n, "fft: buffer length mismatch");
+        match &self.kind {
+            Kind::Identity => {}
+            Kind::Radix2(r) => r.transform(data, Direction::Inverse),
+            Kind::Bluestein(b) => {
+                b.inverse(data);
+                let s = self.n as f64;
+                for v in data.iter_mut() {
+                    *v = v.scale(s);
+                }
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Forward,
+    Inverse,
+}
+
+/// Iterative radix-2 Cooley–Tukey with cached twiddles.
+struct Radix2 {
+    n: usize,
+    /// Bit-reversal permutation targets: `rev[i]` is `i` with log2(n) bits
+    /// reversed.
+    rev: Vec<u32>,
+    /// Forward twiddles `e^{-2πi k/n}` for `k < n/2`; stage `s` uses the
+    /// stride-`n/2s`-spaced subset, so one table serves all stages.
+    twiddles: Vec<Complex>,
+}
+
+impl Radix2 {
+    fn new(n: usize) -> Self {
+        debug_assert!(n.is_power_of_two() && n >= 2);
+        let bits = n.trailing_zeros();
+        let mut rev = vec![0u32; n];
+        for (i, r) in rev.iter_mut().enumerate() {
+            *r = (i as u32).reverse_bits() >> (32 - bits);
+        }
+        let half = n / 2;
+        let twiddles = (0..half)
+            .map(|k| Complex::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
+            .collect();
+        Radix2 { n, rev, twiddles }
+    }
+
+    fn transform(&self, data: &mut [Complex], dir: Direction) {
+        let n = self.n;
+        // Bit-reversal permutation (swap once per pair).
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        // Butterfly stages: width doubles each stage.
+        let mut width = 2usize;
+        while width <= n {
+            let half = width / 2;
+            let stride = n / width; // twiddle table stride for this stage
+            for start in (0..n).step_by(width) {
+                for k in 0..half {
+                    let w = self.twiddles[k * stride];
+                    let w = match dir {
+                        Direction::Forward => w,
+                        Direction::Inverse => w.conj(),
+                    };
+                    let a = data[start + k];
+                    let b = data[start + k + half] * w;
+                    data[start + k] = a + b;
+                    data[start + k + half] = a - b;
+                }
+            }
+            width *= 2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::{dft_naive, idft_naive};
+
+    fn ramp(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::new((i as f64).sin() + 0.3, (i as f64 * 0.7).cos()))
+            .collect()
+    }
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((*x - *y).abs() < tol, "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn radix2_matches_naive_dft() {
+        for n in [2usize, 4, 8, 16, 64, 256] {
+            let x = ramp(n);
+            let mut fast = x.clone();
+            Fft::new(n).forward(&mut fast);
+            let slow = dft_naive(&x);
+            assert_close(&fast, &slow, 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    fn bluestein_sizes_match_naive_dft() {
+        for n in [3usize, 5, 6, 7, 12, 15, 100] {
+            let x = ramp(n);
+            let mut fast = x.clone();
+            Fft::new(n).forward(&mut fast);
+            let slow = dft_naive(&x);
+            assert_close(&fast, &slow, 1e-8 * n as f64);
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip_all_sizes() {
+        for n in [1usize, 2, 3, 4, 5, 8, 12, 17, 32, 100, 128] {
+            let x = ramp(n);
+            let mut buf = x.clone();
+            let plan = Fft::new(n);
+            plan.forward(&mut buf);
+            plan.inverse(&mut buf);
+            assert_close(&buf, &x, 1e-10 * (n.max(1)) as f64);
+        }
+    }
+
+    #[test]
+    fn inverse_matches_naive_idft() {
+        for n in [8usize, 12] {
+            let x = ramp(n);
+            let mut fast = x.clone();
+            Fft::new(n).inverse(&mut fast);
+            let slow = idft_naive(&x);
+            assert_close(&fast, &slow, 1e-10 * n as f64);
+        }
+    }
+
+    #[test]
+    fn unnormalized_inverse_differs_by_n() {
+        let n = 16;
+        let x = ramp(n);
+        let plan = Fft::new(n);
+        let mut a = x.clone();
+        plan.inverse(&mut a);
+        let mut b = x;
+        plan.inverse_unnormalized(&mut b);
+        for (u, v) in a.iter().zip(&b) {
+            assert!((u.scale(n as f64) - *v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let n = 64;
+        let x = ramp(n);
+        let mut spec = x.clone();
+        Fft::new(n).forward(&mut spec);
+        let e_time: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let e_freq: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((e_time - e_freq).abs() < 1e-9 * e_time);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 32;
+        let a = ramp(n);
+        let b: Vec<Complex> = ramp(n).iter().map(|z| z.conj()).collect();
+        let plan = Fft::new(n);
+        let mut fa = a.clone();
+        plan.forward(&mut fa);
+        let mut fb = b.clone();
+        plan.forward(&mut fb);
+        let mut fab: Vec<Complex> = a.iter().zip(&b).map(|(x, y)| *x + y.scale(2.0)).collect();
+        plan.forward(&mut fab);
+        for i in 0..n {
+            assert!((fab[i] - (fa[i] + fb[i].scale(2.0))).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn length_zero_and_one_are_identity() {
+        let plan0 = Fft::new(0);
+        let mut empty: Vec<Complex> = vec![];
+        plan0.forward(&mut empty);
+        assert!(plan0.is_empty());
+        let plan1 = Fft::new(1);
+        let mut one = vec![Complex::new(3.0, -2.0)];
+        plan1.forward(&mut one);
+        plan1.inverse(&mut one);
+        assert_eq!(one[0], Complex::new(3.0, -2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_buffer_length_panics() {
+        let plan = Fft::new(8);
+        let mut buf = vec![Complex::default(); 7];
+        plan.forward(&mut buf);
+    }
+
+    #[test]
+    fn time_shift_theorem() {
+        // Shifting input rotates phases: X_shifted[k] = X[k] e^{-2πik s/n}.
+        let n = 32;
+        let s = 5usize;
+        let x = ramp(n);
+        let shifted: Vec<Complex> = (0..n).map(|i| x[(i + s) % n]).collect();
+        let plan = Fft::new(n);
+        let mut fx = x.clone();
+        plan.forward(&mut fx);
+        let mut fs = shifted;
+        plan.forward(&mut fs);
+        for k in 0..n {
+            let rot = Complex::cis(2.0 * std::f64::consts::PI * (k * s) as f64 / n as f64);
+            assert!((fs[k] - fx[k] * rot).abs() < 1e-8);
+        }
+    }
+}

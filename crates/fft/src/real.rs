@@ -1,0 +1,204 @@
+//! Real-input transforms via Hermitian symmetry.
+//!
+//! The Z-Model's fields (vorticity, heights, |V|²) are real, so their
+//! spectra are Hermitian and half the complex work is redundant. This
+//! module provides:
+//!
+//! * [`rfft`] / [`irfft`] — real→half-spectrum and back, using the
+//!   classic pack-two-reals trick: an even/odd split of one length-`n`
+//!   real signal through a length-`n/2` complex transform;
+//! * [`rfft_pair`] — two real signals of length `n` through a *single*
+//!   length-`n` complex transform (the workhorse for transforming the
+//!   two vorticity components together, halving the low-order solver's
+//!   transform count).
+
+use crate::complex::Complex;
+use crate::plan::Fft;
+
+/// Planned real-input FFT of even length `n` (half-spectrum output of
+/// `n/2 + 1` bins).
+pub struct RealFft {
+    n: usize,
+    half_plan: Fft,
+    /// Twiddles `e^{-πik/ (n/2) /2}`… the post-processing factors
+    /// `e^{-2πik/n}` for the split-radix recombination.
+    twiddles: Vec<Complex>,
+}
+
+impl RealFft {
+    /// Plan for even `n ≥ 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2 && n % 2 == 0, "real fft requires even length >= 2");
+        let twiddles = (0..n / 2)
+            .map(|k| Complex::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
+            .collect();
+        RealFft {
+            n,
+            half_plan: Fft::new(n / 2),
+            twiddles,
+        }
+    }
+
+    /// Input length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the planned length is zero (never true; kept for API
+    /// symmetry with `Fft`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Forward transform: `n` reals → `n/2 + 1` spectrum bins
+    /// (bins `0..=n/2`; the rest follow from `X[n−k] = conj(X[k])`).
+    pub fn forward(&self, input: &[f64]) -> Vec<Complex> {
+        assert_eq!(input.len(), self.n, "real fft: length mismatch");
+        let half = self.n / 2;
+        // Pack even samples into re, odd into im.
+        let mut z: Vec<Complex> = (0..half)
+            .map(|i| Complex::new(input[2 * i], input[2 * i + 1]))
+            .collect();
+        self.half_plan.forward(&mut z);
+        // Unpack: X[k] = E[k] + e^{-2πik/n}·O[k], where E/O come from the
+        // Hermitian split of the packed transform.
+        let mut out = Vec::with_capacity(half + 1);
+        for k in 0..=half {
+            let zk = z[k % half];
+            let znk = z[(half - k) % half].conj();
+            let e = (zk + znk).scale(0.5);
+            let o = (zk - znk) * Complex::new(0.0, -0.5);
+            let w = if k == half {
+                Complex::new(-1.0, 0.0)
+            } else {
+                self.twiddles[k]
+            };
+            out.push(e + w * o);
+        }
+        out
+    }
+
+    /// Inverse transform: `n/2 + 1` spectrum bins → `n` reals
+    /// (normalized by `1/n`).
+    pub fn inverse(&self, spectrum: &[Complex]) -> Vec<f64> {
+        let half = self.n / 2;
+        assert_eq!(spectrum.len(), half + 1, "real ifft: length mismatch");
+        // Repack the half spectrum into the length-n/2 complex transform.
+        let mut z = Vec::with_capacity(half);
+        // Invert the recombination: E[k] = (X[k] + conj(X[h−k]))/2 and
+        // O[k] = conj(w_k)·(X[k] − conj(X[h−k]))/2 (w is unimodular, so
+        // w⁻¹ = conj(w)), then Z[k] = E[k] + i·O[k].
+        for k in 0..half {
+            let xk = spectrum[k];
+            let xnk = spectrum[half - k].conj();
+            let e = (xk + xnk).scale(0.5);
+            let o = (xk - xnk).scale(0.5) * self.twiddles[k].conj();
+            z.push(e + Complex::new(0.0, 1.0) * o);
+        }
+        self.half_plan.inverse(&mut z);
+        let mut out = Vec::with_capacity(self.n);
+        for v in z {
+            out.push(v.re);
+            out.push(v.im);
+        }
+        out
+    }
+}
+
+/// Transform two real signals with one complex FFT: pack `a + i·b`,
+/// transform, split by Hermitian symmetry. Returns full-length spectra
+/// of `a` and `b`.
+pub fn rfft_pair(plan: &Fft, a: &[f64], b: &[f64]) -> (Vec<Complex>, Vec<Complex>) {
+    let n = plan.len();
+    assert_eq!(a.len(), n, "rfft_pair: length mismatch");
+    assert_eq!(b.len(), n, "rfft_pair: length mismatch");
+    let mut z: Vec<Complex> = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| Complex::new(x, y))
+        .collect();
+    plan.forward(&mut z);
+    let mut fa = Vec::with_capacity(n);
+    let mut fb = Vec::with_capacity(n);
+    for k in 0..n {
+        let zk = z[k];
+        let znk = z[(n - k) % n].conj();
+        fa.push((zk + znk).scale(0.5));
+        fb.push((zk - znk) * Complex::new(0.0, -0.5));
+    }
+    (fa, fb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft_naive;
+
+    fn real_signal(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.73).sin() + 0.2 * i as f64).collect()
+    }
+
+    #[test]
+    fn rfft_matches_complex_fft_half_spectrum() {
+        for n in [2usize, 4, 8, 16, 64, 128] {
+            let x = real_signal(n);
+            let plan = RealFft::new(n);
+            let half = plan.forward(&x);
+            let full = dft_naive(&x.iter().map(|&v| Complex::real(v)).collect::<Vec<_>>());
+            assert_eq!(half.len(), n / 2 + 1);
+            for k in 0..=n / 2 {
+                assert!(
+                    (half[k] - full[k]).abs() < 1e-9 * (1.0 + full[k].abs()),
+                    "n={n} k={k}: {} vs {}",
+                    half[k],
+                    full[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rfft_roundtrip() {
+        for n in [4usize, 8, 32, 100] {
+            let x = real_signal(n);
+            let plan = RealFft::new(n);
+            let back = plan.inverse(&plan.forward(&x));
+            for (a, b) in back.iter().zip(&x) {
+                assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn rfft_pair_matches_individual_transforms() {
+        for n in [8usize, 16, 60] {
+            let a = real_signal(n);
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 1.37).cos()).collect();
+            let plan = Fft::new(n);
+            let (fa, fb) = rfft_pair(&plan, &a, &b);
+            let sa = dft_naive(&a.iter().map(|&v| Complex::real(v)).collect::<Vec<_>>());
+            let sb = dft_naive(&b.iter().map(|&v| Complex::real(v)).collect::<Vec<_>>());
+            for k in 0..n {
+                assert!((fa[k] - sa[k]).abs() < 1e-8 * (1.0 + sa[k].abs()), "a n={n} k={k}");
+                assert!((fb[k] - sb[k]).abs() < 1e-8 * (1.0 + sb[k].abs()), "b n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn spectrum_of_real_input_is_hermitian() {
+        let n = 32;
+        let x = real_signal(n);
+        let plan = Fft::new(n);
+        let (fa, _) = rfft_pair(&plan, &x, &vec![0.0; n]);
+        for k in 1..n {
+            assert!((fa[k] - fa[n - k].conj()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even length")]
+    fn odd_lengths_rejected() {
+        let _ = RealFft::new(7);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests of the FFT stack over arbitrary lengths and
+//! signals (both the radix-2 and Bluestein paths, the 2D transform, and
+//! the real-input helpers).
+
+use beatnik_fft::dft::dft_naive;
+use beatnik_fft::real::{rfft_pair, RealFft};
+use beatnik_fft::{Complex, Fft, Fft2d};
+use proptest::prelude::*;
+
+fn signal(max_len: usize) -> impl Strategy<Value = Vec<Complex>> {
+    prop::collection::vec(
+        (-1e3f64..1e3, -1e3f64..1e3).prop_map(|(re, im)| Complex::new(re, im)),
+        1..max_len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn roundtrip_identity_any_length(x in signal(300)) {
+        let plan = Fft::new(x.len());
+        let mut buf = x.clone();
+        plan.forward(&mut buf);
+        plan.inverse(&mut buf);
+        for (a, b) in buf.iter().zip(&x) {
+            prop_assert!((*a - *b).abs() < 1e-7 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn unnormalized_inverse_scales_by_n(x in signal(120)) {
+        let n = x.len();
+        let plan = Fft::new(n);
+        let mut a = x.clone();
+        plan.inverse(&mut a);
+        let mut b = x;
+        plan.inverse_unnormalized(&mut b);
+        for (u, v) in a.iter().zip(&b) {
+            prop_assert!((u.scale(n as f64) - *v).abs() < 1e-6 * (1.0 + v.abs()));
+        }
+    }
+
+    #[test]
+    fn linearity_of_forward_transform(
+        x in signal(100),
+        alpha in -10.0f64..10.0,
+    ) {
+        let n = x.len();
+        let plan = Fft::new(n);
+        let mut fx = x.clone();
+        plan.forward(&mut fx);
+        let mut fax: Vec<Complex> = x.iter().map(|z| z.scale(alpha)).collect();
+        plan.forward(&mut fax);
+        for (a, b) in fax.iter().zip(&fx) {
+            prop_assert!((*a - b.scale(alpha)).abs() < 1e-6 * (1.0 + b.abs() * alpha.abs()));
+        }
+    }
+
+    #[test]
+    fn small_sizes_match_naive_dft(x in signal(48)) {
+        let plan = Fft::new(x.len());
+        let mut fast = x.clone();
+        plan.forward(&mut fast);
+        let slow = dft_naive(&x);
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((*a - *b).abs() < 1e-6 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn fft2d_roundtrip(vals in prop::collection::vec(-1e3f64..1e3, 1..100),
+                       rows in 1usize..10) {
+        // Shape the flat vector into rows x cols (truncate remainder).
+        let rows = rows.min(vals.len());
+        let cols = vals.len() / rows;
+        let data: Vec<Complex> = vals[..rows * cols]
+            .iter()
+            .map(|&v| Complex::real(v))
+            .collect();
+        let plan = Fft2d::new(rows, cols);
+        let mut buf = data.clone();
+        plan.forward(&mut buf);
+        plan.inverse(&mut buf);
+        for (a, b) in buf.iter().zip(&data) {
+            prop_assert!((*a - *b).abs() < 1e-7 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn real_fft_roundtrip_even_lengths(vals in prop::collection::vec(-1e3f64..1e3, 1..120)) {
+        let n = (vals.len() / 2) * 2;
+        prop_assume!(n >= 2);
+        let x = &vals[..n];
+        let plan = RealFft::new(n);
+        let back = plan.inverse(&plan.forward(x));
+        for (a, b) in back.iter().zip(x) {
+            prop_assert!((a - b).abs() < 1e-7 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn rfft_pair_splits_correctly(vals in prop::collection::vec(-1e3f64..1e3, 2..80)) {
+        let n = vals.len() / 2;
+        prop_assume!(n >= 1);
+        let a = &vals[..n];
+        let b = &vals[n..2 * n];
+        let plan = Fft::new(n);
+        let (fa, fb) = rfft_pair(&plan, a, b);
+        let sa = dft_naive(&a.iter().map(|&v| Complex::real(v)).collect::<Vec<_>>());
+        let sb = dft_naive(&b.iter().map(|&v| Complex::real(v)).collect::<Vec<_>>());
+        for k in 0..n {
+            prop_assert!((fa[k] - sa[k]).abs() < 1e-6 * (1.0 + sa[k].abs()));
+            prop_assert!((fb[k] - sb[k]).abs() < 1e-6 * (1.0 + sb[k].abs()));
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Flat CSV point dumps for ad-hoc analysis.
+
+use crate::gather_surface;
+use beatnik_core::ProblemManager;
+use std::io::Write;
+use std::path::Path;
+
+/// Write `gr,gc,x,y,z,w1,w2` rows for the whole surface (rank 0 writes).
+/// Returns whether this rank wrote the file. Collective.
+pub fn write_csv(pm: &ProblemManager, path: impl AsRef<Path>) -> std::io::Result<bool> {
+    let Some((nr, nc, pts)) = gather_surface(pm) else {
+        return Ok(false);
+    };
+    let file = std::fs::File::create(path)?;
+    let mut out = std::io::BufWriter::new(file);
+    writeln!(out, "row,col,x,y,z,w1,w2")?;
+    for gr in 0..nr {
+        for gc in 0..nc {
+            let (z, w) = pts[gr * nc + gc];
+            writeln!(out, "{gr},{gc},{},{},{},{},{}", z[0], z[1], z[2], w[0], w[1])?;
+        }
+    }
+    out.flush()?;
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beatnik_comm::World;
+    use beatnik_core::InitialCondition;
+    use beatnik_mesh::{BoundaryCondition, SurfaceMesh};
+
+    #[test]
+    fn csv_has_header_and_all_rows() {
+        World::run(2, |comm| {
+            let mesh =
+                SurfaceMesh::new(&comm, [4, 6], [true, true], 2, [0.0, 0.0], [1.0, 1.0]);
+            let mut pm = ProblemManager::new(
+                mesh,
+                BoundaryCondition::Periodic { periods: [1.0, 1.0] },
+            );
+            InitialCondition::Flat.apply(&mut pm);
+            let dir = std::env::temp_dir().join("beatnik_csv_test");
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("surface.csv");
+            write_csv(&pm, &path).unwrap();
+            comm.barrier();
+            let text = std::fs::read_to_string(&path).unwrap();
+            let mut lines = text.lines();
+            assert_eq!(lines.next().unwrap(), "row,col,x,y,z,w1,w2");
+            assert_eq!(lines.count(), 24);
+        });
+    }
+}

@@ -1,0 +1,101 @@
+//! # beatnik-io — simulation output (the Silo substitute)
+//!
+//! The paper's Beatnik writes surface meshes through LLNL's Silo library
+//! for visualization (its `SiloWriter`). This crate provides equivalent
+//! output paths with zero external format dependencies:
+//!
+//! * [`vtk`] — legacy-ASCII VTK `STRUCTURED_GRID` files (loadable in
+//!   ParaView/VisIt) of the interface with vorticity point data, the
+//!   direct analogue of the paper's Figure 1/2 dumps;
+//! * [`csv`] — flat per-point tables for ad-hoc analysis;
+//! * [`stats`] — JSON time-series of global diagnostics and ownership
+//!   distributions (consumed by the figure harnesses and EXPERIMENTS.md);
+//! * [`checkpoint`] — full-state save/restore for long campaigns.
+//!
+//! All writers gather to rank 0 and write a single file; at benchmark
+//! scale this is exactly what the paper's visualization dumps do too.
+
+pub mod checkpoint;
+pub mod csv;
+pub mod stats;
+pub mod vtk;
+
+pub use checkpoint::Checkpoint;
+pub use stats::{RunLog, StepRecord};
+
+use beatnik_core::ProblemManager;
+
+/// Gather the full global surface on rank 0 as `(rows, cols, points)`,
+/// where `points[gr * cols + gc] = ([x, y, z], [w1, w2])`. Returns `None`
+/// on other ranks. Collective.
+pub fn gather_surface(
+    pm: &ProblemManager,
+) -> Option<(usize, usize, Vec<([f64; 3], [f64; 2])>)> {
+    let mesh = pm.mesh();
+    let [nr, nc] = mesh.global();
+    // Each rank contributes (gr, gc, x, y, z, w1, w2) tuples.
+    let mut local = Vec::with_capacity(mesh.owned_count());
+    for (lr, lc, gr, gc) in mesh.owned_indices() {
+        let z = pm.z().node(lr, lc);
+        let w = pm.w().node(lr, lc);
+        local.push((gr as u64, gc as u64, [z[0], z[1], z[2]], [w[0], w[1]]));
+    }
+    let gathered = mesh.comm().gather(0, local)?;
+    let mut out = vec![([0.0; 3], [0.0; 2]); nr * nc];
+    let mut seen = 0usize;
+    for block in gathered {
+        for (gr, gc, z, w) in block {
+            out[gr as usize * nc + gc as usize] = (z, w);
+            seen += 1;
+        }
+    }
+    assert_eq!(seen, nr * nc, "gather_surface: incomplete surface");
+    Some((nr, nc, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beatnik_comm::World;
+    use beatnik_core::InitialCondition;
+    use beatnik_mesh::{BoundaryCondition, SurfaceMesh};
+
+    #[test]
+    fn gather_reassembles_global_surface() {
+        for p in [1usize, 4] {
+            World::run(p, |comm| {
+                let mesh = SurfaceMesh::new(
+                    &comm,
+                    [8, 8],
+                    [true, true],
+                    2,
+                    [0.0, 0.0],
+                    [1.0, 1.0],
+                );
+                let mut pm = ProblemManager::new(
+                    mesh,
+                    BoundaryCondition::Periodic { periods: [1.0, 1.0] },
+                );
+                InitialCondition::SingleMode {
+                    amplitude: 0.1,
+                    modes: [1.0, 1.0],
+                }
+                .apply(&mut pm);
+                let gathered = gather_surface(&pm);
+                if comm.rank() == 0 {
+                    let (nr, nc, pts) = gathered.unwrap();
+                    assert_eq!((nr, nc), (8, 8));
+                    assert_eq!(pts.len(), 64);
+                    // Spot-check: node (0,0) is at the domain corner.
+                    let (z, w) = pts[0];
+                    assert_eq!(z[0], 0.0);
+                    assert_eq!(z[1], 0.0);
+                    assert!((z[2] - 0.1).abs() < 1e-12);
+                    assert_eq!(w, [0.0, 0.0]);
+                } else {
+                    assert!(gathered.is_none());
+                }
+            });
+        }
+    }
+}

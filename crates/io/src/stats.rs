@@ -1,0 +1,138 @@
+//! JSON run logs: per-step diagnostics and ownership distributions,
+//! consumed by the figure harnesses and EXPERIMENTS.md tooling.
+
+use beatnik_core::Diagnostics;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// One recorded timestep.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct StepRecord {
+    /// Completed step index.
+    pub step: usize,
+    /// Simulated time.
+    pub time: f64,
+    /// Global diagnostics at this step.
+    pub diagnostics: Diagnostics,
+    /// Optional per-spatial-rank ownership fractions (Figures 6/7).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub ownership: Option<Vec<f64>>,
+}
+
+/// A whole run's record.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct RunLog {
+    /// Free-form description of the run configuration.
+    pub label: String,
+    /// Recorded steps in order.
+    pub steps: Vec<StepRecord>,
+}
+
+impl RunLog {
+    /// Create an empty log with a label.
+    pub fn new(label: impl Into<String>) -> Self {
+        RunLog {
+            label: label.into(),
+            steps: Vec::new(),
+        }
+    }
+
+    /// Append a record.
+    pub fn push(&mut self, rec: StepRecord) {
+        self.steps.push(rec);
+    }
+
+    /// Serialize to pretty JSON at `path`.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        let mut out = std::io::BufWriter::new(file);
+        serde_json::to_writer_pretty(&mut out, self)?;
+        out.flush()
+    }
+
+    /// Load from JSON.
+    pub fn read_json(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text).map_err(std::io::Error::other)
+    }
+
+    /// Estimate the exponential growth rate of the interface amplitude
+    /// over the recorded window `[from, to]` (least-squares slope of
+    /// `ln(amplitude)` vs time). Returns `None` with fewer than two
+    /// usable samples.
+    pub fn growth_rate(&self, from: usize, to: usize) -> Option<f64> {
+        let pts: Vec<(f64, f64)> = self
+            .steps
+            .iter()
+            .filter(|s| s.step >= from && s.step <= to && s.diagnostics.amplitude > 0.0)
+            .map(|s| (s.time, s.diagnostics.amplitude.ln()))
+            .collect();
+        if pts.len() < 2 {
+            return None;
+        }
+        let n = pts.len() as f64;
+        let sx: f64 = pts.iter().map(|p| p.0).sum();
+        let sy: f64 = pts.iter().map(|p| p.1).sum();
+        let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < 1e-300 {
+            return None;
+        }
+        Some((n * sxy - sx * sy) / denom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(step: usize, time: f64, amplitude: f64) -> StepRecord {
+        StepRecord {
+            step,
+            time,
+            diagnostics: Diagnostics {
+                amplitude,
+                z_min: -amplitude,
+                z_max: amplitude,
+                enstrophy: 0.0,
+                mean_height: 0.0,
+                points: 100,
+            },
+            ownership: None,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut log = RunLog::new("test-run");
+        log.push(record(1, 0.01, 1e-4));
+        let mut r2 = record(2, 0.02, 2e-4);
+        r2.ownership = Some(vec![0.5, 0.5]);
+        log.push(r2);
+        let dir = std::env::temp_dir().join("beatnik_stats_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.json");
+        log.write_json(&path).unwrap();
+        let back = RunLog::read_json(&path).unwrap();
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn growth_rate_recovers_exponential() {
+        let sigma = 1.4;
+        let mut log = RunLog::new("growth");
+        for s in 0..50 {
+            let t = s as f64 * 0.01;
+            log.push(record(s, t, 1e-4 * (sigma * t).exp()));
+        }
+        let est = log.growth_rate(0, 49).unwrap();
+        assert!((est - sigma).abs() < 1e-9, "{est}");
+        // Window restriction works.
+        let est2 = log.growth_rate(10, 20).unwrap();
+        assert!((est2 - sigma).abs() < 1e-9);
+        // Degenerate windows yield None.
+        assert!(log.growth_rate(60, 70).is_none());
+    }
+}

@@ -1,0 +1,83 @@
+//! Legacy-ASCII VTK structured-grid writer.
+//!
+//! Produces `# vtk DataFile Version 3.0` `STRUCTURED_GRID` files that
+//! ParaView and VisIt open directly: points are the interface positions,
+//! with vorticity components and vorticity magnitude as point data (the
+//! quantity the paper's Figures 1 and 2 color by).
+
+use crate::gather_surface;
+use beatnik_core::ProblemManager;
+use std::io::Write;
+use std::path::Path;
+
+/// Write the interface to `path` (rank 0 writes; other ranks only
+/// participate in the gather). Returns whether this rank wrote the file.
+/// Collective.
+pub fn write_vtk(pm: &ProblemManager, path: impl AsRef<Path>) -> std::io::Result<bool> {
+    let Some((nr, nc, pts)) = gather_surface(pm) else {
+        return Ok(false);
+    };
+    let file = std::fs::File::create(path)?;
+    let mut out = std::io::BufWriter::new(file);
+    writeln!(out, "# vtk DataFile Version 3.0")?;
+    writeln!(out, "Beatnik-RS interface surface")?;
+    writeln!(out, "ASCII")?;
+    writeln!(out, "DATASET STRUCTURED_GRID")?;
+    writeln!(out, "DIMENSIONS {nc} {nr} 1")?;
+    writeln!(out, "POINTS {} double", nr * nc)?;
+    for (z, _) in &pts {
+        writeln!(out, "{} {} {}", z[0], z[1], z[2])?;
+    }
+    writeln!(out, "POINT_DATA {}", nr * nc)?;
+    writeln!(out, "SCALARS vorticity_magnitude double 1")?;
+    writeln!(out, "LOOKUP_TABLE default")?;
+    for (_, w) in &pts {
+        writeln!(out, "{}", (w[0] * w[0] + w[1] * w[1]).sqrt())?;
+    }
+    writeln!(out, "VECTORS vorticity double")?;
+    for (_, w) in &pts {
+        writeln!(out, "{} {} 0.0", w[0], w[1])?;
+    }
+    out.flush()?;
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beatnik_comm::World;
+    use beatnik_core::InitialCondition;
+    use beatnik_mesh::{BoundaryCondition, SurfaceMesh};
+
+    #[test]
+    fn vtk_file_structure_is_valid() {
+        World::run(4, |comm| {
+            let mesh =
+                SurfaceMesh::new(&comm, [6, 8], [true, true], 2, [0.0, 0.0], [1.0, 1.0]);
+            let mut pm = ProblemManager::new(
+                mesh,
+                BoundaryCondition::Periodic { periods: [1.0, 1.0] },
+            );
+            InitialCondition::MultiMode {
+                amplitude: 0.05,
+                modes: 2,
+                seed: 7,
+            }
+            .apply(&mut pm);
+            let dir = std::env::temp_dir().join("beatnik_vtk_test");
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join("surface.vtk");
+            let wrote = write_vtk(&pm, &path).unwrap();
+            assert_eq!(wrote, comm.rank() == 0);
+            comm.barrier();
+            let text = std::fs::read_to_string(&path).unwrap();
+            assert!(text.starts_with("# vtk DataFile"));
+            assert!(text.contains("DIMENSIONS 8 6 1"));
+            assert!(text.contains("POINTS 48 double"));
+            assert!(text.contains("SCALARS vorticity_magnitude"));
+            assert!(text.contains("VECTORS vorticity"));
+            // 48 points -> at least 48*3 data lines.
+            assert!(text.lines().count() > 150);
+        });
+    }
+}

@@ -1,0 +1,210 @@
+//! Node-centered multi-component field storage.
+//!
+//! A [`Field`] covers one rank's local block of the surface mesh —
+//! owned nodes plus halo frame — in row-major, component-interleaved
+//! layout (`(row, col, comp)`, comp fastest). This is the unit that halo
+//! exchange, boundary conditions, and stencils operate on.
+
+/// Dense `rows × cols × ncomp` array of `f64` (rows/cols include halos).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+    ncomp: usize,
+}
+
+impl Field {
+    /// Zero-initialized field.
+    pub fn zeros(rows: usize, cols: usize, ncomp: usize) -> Self {
+        assert!(ncomp > 0, "field needs at least one component");
+        Field {
+            data: vec![0.0; rows * cols * ncomp],
+            rows,
+            cols,
+            ncomp,
+        }
+    }
+
+    /// Local rows (including halo frame).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Local columns (including halo frame).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Components per node.
+    #[inline]
+    pub fn ncomp(&self) -> usize {
+        self.ncomp
+    }
+
+    #[inline]
+    fn idx(&self, r: usize, c: usize, k: usize) -> usize {
+        debug_assert!(r < self.rows && c < self.cols && k < self.ncomp);
+        (r * self.cols + c) * self.ncomp + k
+    }
+
+    /// Read one component at a local node.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize, k: usize) -> f64 {
+        self.data[self.idx(r, c, k)]
+    }
+
+    /// Write one component at a local node.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, k: usize, v: f64) {
+        let i = self.idx(r, c, k);
+        self.data[i] = v;
+    }
+
+    /// Add to one component at a local node.
+    #[inline]
+    pub fn add(&mut self, r: usize, c: usize, k: usize, v: f64) {
+        let i = self.idx(r, c, k);
+        self.data[i] += v;
+    }
+
+    /// All components at a node as a small vector copy.
+    #[inline]
+    pub fn node(&self, r: usize, c: usize) -> &[f64] {
+        let i = self.idx(r, c, 0);
+        &self.data[i..i + self.ncomp]
+    }
+
+    /// Overwrite all components at a node.
+    #[inline]
+    pub fn set_node(&mut self, r: usize, c: usize, vals: &[f64]) {
+        assert_eq!(vals.len(), self.ncomp);
+        let i = self.idx(r, c, 0);
+        self.data[i..i + self.ncomp].copy_from_slice(vals);
+    }
+
+    /// Raw storage (row-major, component-interleaved).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Fill every entry (including halos) with a value.
+    pub fn fill(&mut self, v: f64) {
+        self.data.fill(v);
+    }
+
+    /// Pack the sub-rectangle `r0..r1 × c0..c1` (all components,
+    /// row-major) into a flat vector.
+    pub fn pack(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Vec<f64> {
+        debug_assert!(r1 <= self.rows && c1 <= self.cols && r0 <= r1 && c0 <= c1);
+        let mut out = Vec::with_capacity((r1 - r0) * (c1 - c0) * self.ncomp);
+        if c1 == c0 {
+            return out;
+        }
+        let width = (c1 - c0) * self.ncomp;
+        for r in r0..r1 {
+            let start = self.idx(r, c0, 0);
+            out.extend_from_slice(&self.data[start..start + width]);
+        }
+        out
+    }
+
+    /// Unpack a flat vector produced by [`Field::pack`] into the
+    /// sub-rectangle `r0..r1 × c0..c1`.
+    pub fn unpack(&mut self, r0: usize, r1: usize, c0: usize, c1: usize, data: &[f64]) {
+        debug_assert_eq!(data.len(), (r1 - r0) * (c1 - c0) * self.ncomp);
+        let width = (c1 - c0) * self.ncomp;
+        for (i, r) in (r0..r1).enumerate() {
+            let dst = self.idx(r, c0, 0);
+            self.data[dst..dst + width].copy_from_slice(&data[i * width..(i + 1) * width]);
+        }
+    }
+
+    /// Elementwise `self = self * a + other * b` (used by RK stages).
+    pub fn axpby(&mut self, a: f64, other: &Field, b: f64) {
+        assert_eq!(self.data.len(), other.data.len(), "axpby: shape mismatch");
+        for (x, y) in self.data.iter_mut().zip(&other.data) {
+            *x = *x * a + *y * b;
+        }
+    }
+
+    /// Maximum absolute value over all entries (diagnostics).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, v| m.max(v.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_roundtrip_with_components() {
+        let mut f = Field::zeros(3, 4, 2);
+        f.set(1, 2, 0, 5.0);
+        f.set(1, 2, 1, -7.0);
+        assert_eq!(f.get(1, 2, 0), 5.0);
+        assert_eq!(f.get(1, 2, 1), -7.0);
+        assert_eq!(f.node(1, 2), &[5.0, -7.0]);
+        assert_eq!(f.get(0, 0, 0), 0.0);
+        f.add(1, 2, 0, 1.5);
+        assert_eq!(f.get(1, 2, 0), 6.5);
+    }
+
+    #[test]
+    fn pack_unpack_subrect() {
+        let mut f = Field::zeros(4, 4, 2);
+        for r in 0..4 {
+            for c in 0..4 {
+                f.set(r, c, 0, (r * 10 + c) as f64);
+                f.set(r, c, 1, -((r * 10 + c) as f64));
+            }
+        }
+        let packed = f.pack(1, 3, 2, 4);
+        assert_eq!(packed.len(), 2 * 2 * 2);
+        assert_eq!(packed[0], 12.0);
+        assert_eq!(packed[1], -12.0);
+        let mut g = Field::zeros(4, 4, 2);
+        g.unpack(1, 3, 2, 4, &packed);
+        assert_eq!(g.get(2, 3, 0), 23.0);
+        assert_eq!(g.get(2, 3, 1), -23.0);
+        assert_eq!(g.get(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn pack_empty_rect_is_empty() {
+        let f = Field::zeros(4, 4, 1);
+        assert!(f.pack(2, 2, 0, 4).is_empty());
+        assert!(f.pack(0, 4, 3, 3).is_empty());
+    }
+
+    #[test]
+    fn axpby_combines_fields() {
+        let mut a = Field::zeros(2, 2, 1);
+        a.fill(2.0);
+        let mut b = Field::zeros(2, 2, 1);
+        b.fill(3.0);
+        a.axpby(0.5, &b, 2.0);
+        assert_eq!(a.get(1, 1, 0), 7.0);
+    }
+
+    #[test]
+    fn set_node_and_max_abs() {
+        let mut f = Field::zeros(2, 2, 3);
+        f.set_node(0, 1, &[1.0, -9.0, 2.0]);
+        assert_eq!(f.max_abs(), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn zero_components_rejected() {
+        let _ = Field::zeros(2, 2, 0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Balanced 2D block partitioning of the global node grid.
+//!
+//! (The tiny balanced-split helper is duplicated from `beatnik-dfft`'s
+//! layout module on purpose: the mesh layer must not depend on the FFT
+//! layer, and three lines of arithmetic do not justify a shared crate.)
+
+use beatnik_comm::dims_create;
+use std::ops::Range;
+
+/// Balanced split of `0..n` into `parts`: part `i` is
+/// `[⌊n·i/parts⌋, ⌊n·(i+1)/parts⌋)`.
+pub fn split_even(n: usize, parts: usize, i: usize) -> Range<usize> {
+    assert!(parts > 0 && i < parts, "split_even: bad part {i}/{parts}");
+    (n * i) / parts..(n * (i + 1)) / parts
+}
+
+/// A `Pr × Pc` block partition of an `nr × nc` global node grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition2d {
+    /// Rank-grid extents `[Pr, Pc]`.
+    pub dims: [usize; 2],
+    /// Global node counts `[nr, nc]`.
+    pub global: [usize; 2],
+}
+
+impl Partition2d {
+    /// Balanced partition of `global` nodes over `ranks` ranks, choosing
+    /// rank-grid dims with [`dims_create`].
+    pub fn balanced(global: [usize; 2], ranks: usize) -> Self {
+        Partition2d {
+            dims: dims_create(ranks),
+            global,
+        }
+    }
+
+    /// Partition with explicit rank-grid dims.
+    pub fn with_dims(global: [usize; 2], dims: [usize; 2]) -> Self {
+        Partition2d { dims, global }
+    }
+
+    /// Owned global row range of grid-row `pr`.
+    pub fn rows_of(&self, pr: usize) -> Range<usize> {
+        split_even(self.global[0], self.dims[0], pr)
+    }
+
+    /// Owned global column range of grid-col `pc`.
+    pub fn cols_of(&self, pc: usize) -> Range<usize> {
+        split_even(self.global[1], self.dims[1], pc)
+    }
+
+    /// Owned node count of rank `(pr, pc)`.
+    pub fn count_of(&self, pr: usize, pc: usize) -> usize {
+        self.rows_of(pr).len() * self.cols_of(pc).len()
+    }
+
+    /// The rank-grid coordinates owning global node `(gr, gc)`.
+    pub fn owner_of(&self, gr: usize, gc: usize) -> [usize; 2] {
+        let find = |n: usize, parts: usize, x: usize| -> usize {
+            let mut guess = (x * parts) / n.max(1);
+            loop {
+                let r = split_even(n, parts, guess);
+                if r.contains(&x) {
+                    return guess;
+                }
+                if r.start > x {
+                    guess -= 1;
+                } else {
+                    guess += 1;
+                }
+            }
+        };
+        [
+            find(self.global[0], self.dims[0], gr),
+            find(self.global[1], self.dims[1], gc),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_covers_without_overlap() {
+        for (n, p) in [(17usize, 4usize), (16, 4), (3, 5), (100, 7)] {
+            let mut end = 0;
+            for i in 0..p {
+                let r = split_even(n, p, i);
+                assert_eq!(r.start, end);
+                end = r.end;
+            }
+            assert_eq!(end, n);
+        }
+    }
+
+    #[test]
+    fn balanced_partition_is_square_for_square_counts() {
+        let p = Partition2d::balanced([512, 512], 64);
+        assert_eq!(p.dims, [8, 8]);
+        assert_eq!(p.rows_of(0).len(), 64);
+        assert_eq!(p.count_of(3, 5), 64 * 64);
+    }
+
+    #[test]
+    fn paper_strong_scaling_block_size() {
+        // Paper §5.2: at 64 ranks each GPU holds a 76x76 block when strong
+        // scaling a 4864-wide low-order mesh... 4864/8 = 608; the paper's
+        // "76 by 76" refers to 4864/64: verify both divisions are exact.
+        let p = Partition2d::balanced([4864, 4864], 64);
+        assert_eq!(p.dims, [8, 8]);
+        assert_eq!(p.rows_of(0).len(), 608);
+        // And a 64x64 rank grid gives the paper's 76-wide sections.
+        let p2 = Partition2d::with_dims([4864, 4864], [64, 64]);
+        assert_eq!(p2.rows_of(0).len(), 76);
+        assert_eq!(p2.cols_of(63).len(), 76);
+    }
+
+    #[test]
+    fn owner_lookup_matches_ranges() {
+        let p = Partition2d::with_dims([10, 7], [3, 2]);
+        for gr in 0..10 {
+            for gc in 0..7 {
+                let [pr, pc] = p.owner_of(gr, gc);
+                assert!(p.rows_of(pr).contains(&gr));
+                assert!(p.cols_of(pc).contains(&gc));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad part")]
+    fn out_of_range_part_panics() {
+        let _ = split_even(10, 3, 3);
+    }
+}

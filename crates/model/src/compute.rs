@@ -1,0 +1,126 @@
+//! Roofline compute-cost model for the kernels Beatnik runs per rank.
+//!
+//! Kernel time is modeled additively as `flops / gpu_flops +
+//! bytes / gpu_mem_bw` plus a fixed launch overhead — pessimistic for
+//! perfectly overlapped kernels, accurate for the memory-bound stencil
+//! and FFT kernels that dominate Beatnik.
+
+use crate::machine::Machine;
+
+/// Per-GPU launch overhead, seconds (CUDA kernel launch + driver).
+const KERNEL_LAUNCH: f64 = 5.0e-6;
+
+/// Compute-cost calculator for one rank's local kernels.
+#[derive(Debug, Clone)]
+pub struct ComputeModel {
+    machine: Machine,
+}
+
+impl ComputeModel {
+    /// Bind to a machine description.
+    pub fn new(machine: &Machine) -> Self {
+        ComputeModel {
+            machine: machine.clone(),
+        }
+    }
+
+    /// Generic roofline kernel: `flops` floating-point ops touching
+    /// `bytes` of memory.
+    pub fn kernel_time(&self, flops: f64, bytes: f64) -> f64 {
+        KERNEL_LAUNCH + flops / self.machine.gpu_flops + bytes / self.machine.gpu_mem_bw
+    }
+
+    /// Local 1D complex-to-complex FFT over `n` points, batched `batch`
+    /// times: `5 n log2 n` flops per transform (the standard count),
+    /// reading and writing 16-byte complex values.
+    pub fn fft_time(&self, n: usize, batch: usize) -> f64 {
+        if n == 0 || batch == 0 {
+            return 0.0;
+        }
+        let nf = n as f64;
+        let flops = 5.0 * nf * nf.log2().max(1.0) * batch as f64;
+        let bytes = 2.0 * 16.0 * nf * batch as f64;
+        self.kernel_time(flops, bytes)
+    }
+
+    /// Width-2 stencil sweep (gradients + Laplacians) over `points` mesh
+    /// nodes with `fields` scalar fields: ~60 flops and ~9 reads + 1 write
+    /// of 8 bytes per field per point.
+    pub fn stencil_time(&self, points: usize, fields: usize) -> f64 {
+        let p = points as f64 * fields as f64;
+        self.kernel_time(60.0 * p, 80.0 * p)
+    }
+
+    /// Birkhoff–Rott pair interactions: ~30 flops per (source, target)
+    /// pair (distance, desingularized kernel, cross product, accumulate),
+    /// streaming 48 bytes per source point per target tile.
+    pub fn br_pair_time(&self, pairs: f64) -> f64 {
+        self.kernel_time(30.0 * pairs, 8.0 * pairs)
+    }
+
+    /// Neighbor-list construction over `points` with average `avg_neighbors`
+    /// candidates inspected per point (bin/grid search).
+    pub fn neighbor_build_time(&self, points: usize, avg_neighbors: f64) -> f64 {
+        let inspected = points as f64 * avg_neighbors;
+        self.kernel_time(8.0 * inspected, 24.0 * inspected)
+    }
+
+    /// Pack/unpack cost for staging `bytes` through GPU memory (2 copies).
+    pub fn pack_time(&self, bytes: f64) -> f64 {
+        KERNEL_LAUNCH + 2.0 * bytes / self.machine.gpu_mem_bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+
+    fn model() -> ComputeModel {
+        ComputeModel::new(&Machine::lassen())
+    }
+
+    #[test]
+    fn kernel_time_has_launch_floor() {
+        let m = model();
+        assert!(m.kernel_time(0.0, 0.0) >= KERNEL_LAUNCH);
+    }
+
+    #[test]
+    fn fft_time_superlinear_in_n() {
+        let m = model();
+        // Discount the fixed launch overhead to expose the n log n term.
+        let t1 = m.fft_time(1 << 10, 1) - KERNEL_LAUNCH;
+        let t2 = m.fft_time(1 << 20, 1) - KERNEL_LAUNCH;
+        assert!(t2 > 1000.0 * t1); // >= 1024x points, 2x log factor
+        assert_eq!(m.fft_time(0, 1), 0.0);
+        assert_eq!(m.fft_time(1024, 0), 0.0);
+    }
+
+    #[test]
+    fn fft_batches_scale_linearly() {
+        let m = model();
+        let one = m.fft_time(4096, 1) - KERNEL_LAUNCH;
+        let ten = m.fft_time(4096, 10) - KERNEL_LAUNCH;
+        assert!((ten / one - 10.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn br_pairs_dominate_at_n_squared() {
+        let m = model();
+        let n: f64 = 250_000.0; // paper's single-mode mesh
+        let exact = m.br_pair_time(n * n);
+        let cutoff = m.br_pair_time(n * 400.0); // ~400 neighbors in cutoff
+        assert!(exact / cutoff > 100.0);
+    }
+
+    #[test]
+    fn stencil_is_memory_bound_on_lassen() {
+        let m = model();
+        let machine = Machine::lassen();
+        let points = 1_000_000;
+        let t = m.stencil_time(points, 5);
+        let flop_time = 60.0 * points as f64 * 5.0 / machine.gpu_flops;
+        assert!(t > flop_time); // memory term dominates
+    }
+}

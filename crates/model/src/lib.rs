@@ -1,0 +1,43 @@
+//! # beatnik-model — analytic machine & network performance model
+//!
+//! The paper evaluates Beatnik on Lassen (IBM Power9, 4×V100 per node,
+//! EDR InfiniBand) at 4–1024 GPUs. That hardware is not available to this
+//! reproduction, so the figure harnesses combine two ingredients:
+//!
+//! 1. **Measured structure** — per-rank point counts, message counts and
+//!    byte volumes taken from real (thread-rank) executions of the
+//!    distributed algorithms in this repository, via `beatnik-comm`'s
+//!    instrumentation; and
+//! 2. **This crate** — closed-form cost models mapping that structure to
+//!    time on a Lassen-like machine: an alpha–beta (latency/bandwidth)
+//!    network with per-node injection sharing and congestion terms, plus a
+//!    roofline compute model for GPU kernels.
+//!
+//! The models are deliberately simple and fully documented; the paper's
+//! results are *shapes* (scaling trends, crossovers, turnover points), and
+//! those shapes are driven by the structural counts, not by exact
+//! constants.
+//!
+//! ## Example
+//!
+//! ```
+//! use beatnik_model::{Machine, NetworkModel};
+//!
+//! let m = Machine::lassen();
+//! let net = NetworkModel::new(&m, 64); // 64 ranks
+//! // One 1-MiB message between ranks on different nodes:
+//! let t = net.p2p_time(1 << 20);
+//! assert!(t > 0.0 && t < 1.0);
+//! ```
+
+pub mod collectives;
+pub mod compute;
+pub mod machine;
+pub mod network;
+pub mod series;
+
+pub use collectives::{AllToAllCost, CollectiveCosts};
+pub use compute::ComputeModel;
+pub use machine::Machine;
+pub use network::NetworkModel;
+pub use series::{efficiency, format_table, speedup, ScalingPoint, ScalingSeries};

@@ -1,0 +1,165 @@
+//! Point-to-point network cost model (alpha–beta with LogGP-style
+//! per-message overhead and node-level injection sharing).
+
+use crate::machine::Machine;
+
+/// Network model specialized to a job of `ranks` ranks on a given machine.
+///
+/// Cost of a single message of `n` bytes between two ranks:
+///
+/// ```text
+/// T(n) = α + o + n / β_eff
+/// ```
+///
+/// where `α` is wire latency, `o` per-message software overhead, and
+/// `β_eff` the bandwidth the sending rank actually gets: intra-node
+/// bandwidth when the job fits on one node, otherwise the node NIC
+/// bandwidth divided by the ranks sharing it.
+#[derive(Debug, Clone)]
+pub struct NetworkModel {
+    machine: Machine,
+    ranks: usize,
+}
+
+impl NetworkModel {
+    /// Build a model for `ranks` ranks on `machine`.
+    pub fn new(machine: &Machine, ranks: usize) -> Self {
+        assert!(ranks > 0, "network model needs at least one rank");
+        NetworkModel {
+            machine: machine.clone(),
+            ranks,
+        }
+    }
+
+    /// The machine this model was built for.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Job size in ranks.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// Latency of one message hop for this job size.
+    pub fn latency(&self) -> f64 {
+        if self.machine.single_node(self.ranks) {
+            self.machine.intra_node_latency
+        } else {
+            self.machine.nic_latency
+        }
+    }
+
+    /// Per-message software overhead.
+    pub fn overhead(&self) -> f64 {
+        self.machine.msg_overhead
+    }
+
+    /// Effective point-to-point bandwidth available to one rank when all
+    /// ranks of the job communicate simultaneously (the common case in
+    /// halo exchanges and transposes).
+    pub fn effective_bandwidth(&self) -> f64 {
+        if self.machine.single_node(self.ranks) {
+            self.machine.intra_node_bandwidth
+        } else {
+            // The node NIC is shared by every on-node rank talking off-node.
+            self.machine.nic_bandwidth / self.machine.gpus_per_node as f64
+        }
+    }
+
+    /// Time for one `bytes`-byte message under concurrent communication.
+    pub fn p2p_time(&self, bytes: usize) -> f64 {
+        self.latency() + self.overhead() + bytes as f64 / self.effective_bandwidth()
+    }
+
+    /// Time for `count` back-to-back messages of `bytes` each from one
+    /// rank (pipelined: latency paid once, overhead per message).
+    pub fn burst_time(&self, count: usize, bytes: usize) -> f64 {
+        if count == 0 {
+            return 0.0;
+        }
+        self.latency()
+            + count as f64 * (self.overhead() + bytes as f64 / self.effective_bandwidth())
+    }
+
+    /// Congestion multiplier for *unscheduled* traffic where `msgs`
+    /// messages from each rank contend in the fabric at once (e.g. the
+    /// direct all-to-all). Scheduled exchanges (pairwise, ring) keep one
+    /// message per link and get factor 1.
+    ///
+    /// Model: at one or two nodes, unscheduled traffic only contends at
+    /// the NICs (already captured by [`NetworkModel::effective_bandwidth`])
+    /// and the factor is 1. As node count grows, the P−1 concurrent flows
+    /// per rank increasingly collide in the fabric core: the factor ramps
+    /// with `log2(nodes)` toward `1/bisection_factor` plus a spread term
+    /// growing logarithmically with the number of simultaneous messages —
+    /// the empirically observed behaviour of unscheduled all-to-alls.
+    pub fn congestion_factor(&self, msgs_per_rank: usize) -> f64 {
+        if self.machine.single_node(self.ranks) || msgs_per_rank <= 1 {
+            return 1.0;
+        }
+        let nodes = self.machine.nodes_for(self.ranks) as f64;
+        // 0 at 2 nodes, saturating at 1 around 256 nodes.
+        let ramp = (((nodes.log2()) - 1.0) / 7.0).clamp(0.0, 1.0);
+        let spread = (msgs_per_rank as f64).log2().max(1.0);
+        let taper = 1.0 / self.machine.bisection_factor;
+        1.0 + ramp * ((taper - 1.0) + 0.12 * spread)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+
+    #[test]
+    fn p2p_time_is_monotone_in_bytes() {
+        let net = NetworkModel::new(&Machine::lassen(), 16);
+        let t1 = net.p2p_time(1 << 10);
+        let t2 = net.p2p_time(1 << 20);
+        let t3 = net.p2p_time(1 << 26);
+        assert!(t1 < t2 && t2 < t3);
+    }
+
+    #[test]
+    fn single_node_jobs_use_fast_path() {
+        let m = Machine::lassen();
+        let small = NetworkModel::new(&m, 4);
+        let large = NetworkModel::new(&m, 8);
+        assert!(small.effective_bandwidth() > large.effective_bandwidth());
+        assert!(small.latency() < large.latency());
+        // Same message is cheaper inside a node.
+        assert!(small.p2p_time(1 << 20) < large.p2p_time(1 << 20));
+    }
+
+    #[test]
+    fn nic_sharing_divides_bandwidth() {
+        let m = Machine::lassen();
+        let net = NetworkModel::new(&m, 64);
+        assert!((net.effective_bandwidth() - m.nic_bandwidth / 4.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn burst_amortizes_latency() {
+        let net = NetworkModel::new(&Machine::lassen(), 16);
+        let single = net.p2p_time(1 << 16);
+        let burst = net.burst_time(10, 1 << 16);
+        assert!(burst < 10.0 * single);
+        assert!(burst > 9.0 * (1 << 16) as f64 / net.effective_bandwidth());
+        assert_eq!(net.burst_time(0, 1 << 16), 0.0);
+    }
+
+    #[test]
+    fn congestion_grows_with_unscheduled_messages() {
+        let net = NetworkModel::new(&Machine::lassen(), 1024);
+        let c1 = net.congestion_factor(1);
+        let c32 = net.congestion_factor(32);
+        let c1024 = net.congestion_factor(1023);
+        assert_eq!(c1, 1.0);
+        assert!(c32 > 1.0);
+        assert!(c1024 > c32);
+        // Intra-node jobs never congest the fabric.
+        let intra = NetworkModel::new(&Machine::lassen(), 4);
+        assert_eq!(intra.congestion_factor(1000), 1.0);
+    }
+}

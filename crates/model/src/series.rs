@@ -1,0 +1,167 @@
+//! Scaling-series containers and formatting shared by the figure
+//! harnesses: (rank count, predicted runtime) points plus speedup and
+//! parallel-efficiency derivations and an aligned-text table printer.
+
+use serde::{Deserialize, Serialize};
+
+/// One point of a scaling study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    /// Number of ranks (= GPUs in the paper's configuration).
+    pub ranks: usize,
+    /// Predicted or measured runtime, seconds.
+    pub time: f64,
+}
+
+/// A named scaling series (one line in a paper figure).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalingSeries {
+    /// Legend label.
+    pub label: String,
+    /// Points ordered by rank count.
+    pub points: Vec<ScalingPoint>,
+}
+
+impl ScalingSeries {
+    /// Empty series with a label.
+    pub fn new(label: impl Into<String>) -> Self {
+        ScalingSeries {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, ranks: usize, time: f64) {
+        self.points.push(ScalingPoint { ranks, time });
+    }
+
+    /// Runtime at a given rank count, if present.
+    pub fn time_at(&self, ranks: usize) -> Option<f64> {
+        self.points.iter().find(|p| p.ranks == ranks).map(|p| p.time)
+    }
+
+    /// Speedup of every point relative to the first.
+    pub fn speedups(&self) -> Vec<f64> {
+        match self.points.first() {
+            Some(base) => self.points.iter().map(|p| base.time / p.time).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The rank count with minimum runtime (the strong-scaling turnover).
+    pub fn best_ranks(&self) -> Option<usize> {
+        self.points
+            .iter()
+            .min_by(|a, b| a.time.total_cmp(&b.time))
+            .map(|p| p.ranks)
+    }
+}
+
+/// Strong-scaling speedup going from `(p0, t0)` to `(p1, t1)`.
+pub fn speedup(t0: f64, t1: f64) -> f64 {
+    t0 / t1
+}
+
+/// Parallel efficiency of scaling `p0 → p1`: `speedup / (p1/p0)`.
+pub fn efficiency(p0: usize, t0: f64, p1: usize, t1: f64) -> f64 {
+    speedup(t0, t1) / (p1 as f64 / p0 as f64)
+}
+
+/// Render series as an aligned text table: one row per rank count, one
+/// column per series. This is the exact output format of the `fig*`
+/// bench targets.
+pub fn format_table(series: &[ScalingSeries]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut ranks: Vec<usize> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.ranks))
+        .collect();
+    ranks.sort_unstable();
+    ranks.dedup();
+    let _ = write!(out, "{:>8}", "ranks");
+    for s in series {
+        let _ = write!(out, " {:>18}", s.label);
+    }
+    let _ = writeln!(out);
+    for r in ranks {
+        let _ = write!(out, "{r:>8}");
+        for s in series {
+            match s.time_at(r) {
+                Some(t) => {
+                    let _ = write!(out, " {t:>18.4}");
+                }
+                None => {
+                    let _ = write!(out, " {:>18}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ScalingSeries {
+        let mut s = ScalingSeries::new("runtime");
+        s.push(4, 100.0);
+        s.push(16, 40.0);
+        s.push(64, 28.5);
+        s.push(256, 35.0);
+        s
+    }
+
+    #[test]
+    fn speedup_and_efficiency_match_paper_arithmetic() {
+        // Paper §5.2: "3.5x speedup when moving from 4 to 64 GPUs, a
+        // parallel efficiency of only 21%".
+        let e = efficiency(4, 100.0, 64, 100.0 / 3.5);
+        assert!((e - 3.5 / 16.0).abs() < 1e-12);
+        assert!((e - 0.21875).abs() < 1e-3);
+    }
+
+    #[test]
+    fn series_speedups_relative_to_first() {
+        let s = sample();
+        let sp = s.speedups();
+        assert_eq!(sp.len(), 4);
+        assert!((sp[0] - 1.0).abs() < 1e-12);
+        assert!((sp[1] - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn turnover_detection() {
+        assert_eq!(sample().best_ranks(), Some(64));
+        assert_eq!(ScalingSeries::new("x").best_ranks(), None);
+    }
+
+    #[test]
+    fn table_is_aligned_and_complete() {
+        let mut a = sample();
+        a.label = "low".into();
+        let mut b = ScalingSeries::new("high");
+        b.push(4, 1.0);
+        b.push(1024, 2.0);
+        let t = format_table(&[a, b]);
+        assert!(t.contains("ranks"));
+        assert!(t.contains("low"));
+        assert!(t.contains("1024"));
+        assert!(t.lines().count() >= 6);
+        // Rank 1024 has no "low" point: rendered as '-'.
+        let last = t.lines().last().unwrap();
+        assert!(last.contains('-'));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let s = sample();
+        let j = serde_json::to_string(&s).unwrap();
+        let back: ScalingSeries = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.points, s.points);
+        assert_eq!(back.label, s.label);
+    }
+}

@@ -1,0 +1,64 @@
+//! The rocket-rig driver binary: Beatnik-RS's equivalent of the paper's
+//! ~700-line driver program. Launches `--ranks` thread-ranks, runs the
+//! configured deck, prints per-step diagnostics, and optionally writes
+//! VTK dumps and a JSON run log.
+
+use beatnik_comm::World;
+use beatnik_rocketrig::{parse_args, run_rig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(if msg.contains("USAGE") { 0 } else { 2 });
+        }
+    };
+
+    let cfg = opts.config.clone();
+    println!(
+        "rocketrig: {:?}, {} order, {}x{} mesh, {} steps, {} ranks, {}",
+        cfg.deck, cfg.order, cfg.mesh_n, cfg.mesh_n, cfg.steps, opts.ranks, cfg.fft
+    );
+
+    let start = std::time::Instant::now();
+    let cfg2 = cfg.clone();
+    let (logs, trace) = World::run_traced(opts.ranks, move |comm| run_rig(&comm, &cfg2));
+    let elapsed = start.elapsed();
+    let log = logs.into_iter().next().expect("no rank output");
+
+    for rec in &log.steps {
+        println!(
+            "step {:5}  t={:.5}  amplitude={:.6e}  z=[{:+.4e}, {:+.4e}]  enstrophy={:.4e}",
+            rec.step,
+            rec.time,
+            rec.diagnostics.amplitude,
+            rec.diagnostics.z_min,
+            rec.diagnostics.z_max,
+            rec.diagnostics.enstrophy
+        );
+        if let Some(own) = &rec.ownership {
+            let max = own.iter().cloned().fold(0.0f64, f64::max);
+            println!(
+                "            ownership: max {:.3}% of points on one rank ({} ranks)",
+                max * 100.0,
+                own.len()
+            );
+        }
+    }
+
+    println!("\ncommunication summary (all ranks):\n{}", trace.summary());
+    if opts.print_matrix {
+        println!("{}", trace.matrix_text());
+    }
+    println!("wall time: {:.3} s", elapsed.as_secs_f64());
+
+    if let Some(path) = opts.log_path {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        log.write_json(&path).expect("failed to write run log");
+        println!("run log written to {}", path.display());
+    }
+}

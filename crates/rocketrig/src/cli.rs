@@ -1,0 +1,236 @@
+//! Hand-rolled command-line parsing for the `rocketrig` binary (kept
+//! dependency-free; the option names mirror the paper's driver flags).
+
+use crate::{Deck, RigConfig};
+use beatnik_core::Order;
+use beatnik_dfft::FftConfig;
+use std::path::PathBuf;
+
+/// Options parsed from the command line: the run config plus the number
+/// of thread-ranks to launch.
+#[derive(Debug, Clone)]
+pub struct CliOptions {
+    /// The run configuration.
+    pub config: RigConfig,
+    /// Ranks to launch (`--ranks`).
+    pub ranks: usize,
+    /// Write the run log JSON here (`--log`).
+    pub log_path: Option<PathBuf>,
+    /// Print the per-rank communication matrix (`--matrix`).
+    pub print_matrix: bool,
+}
+
+/// Usage text.
+pub const USAGE: &str = "rocketrig - Beatnik-RS Rayleigh-Taylor mini-application driver
+
+USAGE:
+    rocketrig [OPTIONS]
+
+OPTIONS:
+    --deck <multimode|singlemode>   input deck            [multimode]
+    --order <low|medium|high>       model order           [low]
+    --solver <exact|cutoff|balanced|tree>  BR solver      [cutoff]
+    --theta <F>                     tree opening angle    [0.5]
+    --n <N>                         mesh nodes per axis   [64]
+    --steps <N>                     timesteps             [20]
+    --ranks <N>                     thread-ranks          [4]
+    --atwood <F>                    Atwood number         [0.5]
+    --gravity <F>                   gravity               [9.8]
+    --mu <F>                        artificial viscosity  [1.0]
+    --epsilon <F>                   desingularization     [0.25]
+    --cutoff <F>                    cutoff distance       [0.5]
+    --dt <F>                        timestep size         [1e-3]
+    --fft-config <0..7>             heFFTe-style config   [7]
+    --filter-every <N>              Krasny filter cadence [0 = off]
+    --filter-tol <F>                Krasny filter tol     [1e-12]
+    --diag-every <N>                diagnostics cadence   [1]
+    --ownership                     record ownership fractions
+    --matrix                        print the communication matrix
+    --vtk-every <N>                 VTK dump cadence      [0 = off]
+    --out <DIR>                     output directory      [rocketrig-out]
+    --log <FILE>                    write run log JSON
+    --help                          print this text
+";
+
+/// Parse arguments (not including argv[0]). Returns `Err(message)` on
+/// bad input; the caller prints and exits.
+pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
+    let mut opts = CliOptions {
+        config: RigConfig::default(),
+        ranks: 4,
+        log_path: None,
+        print_matrix: false,
+    };
+    let mut i = 0;
+    let take = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value for {flag}"))
+    };
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--deck" => {
+                opts.config.deck = match take(args, &mut i, flag)?.as_str() {
+                    "multimode" => Deck::MultiModePeriodic,
+                    "singlemode" => Deck::SingleModeOpen,
+                    other => return Err(format!("unknown deck '{other}'")),
+                }
+            }
+            "--order" => {
+                opts.config.order = take(args, &mut i, flag)?.parse::<Order>()?;
+            }
+            "--solver" => match take(args, &mut i, flag)?.as_str() {
+                "exact" => {
+                    opts.config.cutoff_solver = false;
+                    opts.config.tree_theta = None;
+                }
+                "cutoff" => {
+                    opts.config.cutoff_solver = true;
+                    opts.config.tree_theta = None;
+                    opts.config.balanced = false;
+                }
+                "balanced" => {
+                    opts.config.cutoff_solver = true;
+                    opts.config.tree_theta = None;
+                    opts.config.balanced = true;
+                }
+                "tree" => {
+                    opts.config.cutoff_solver = false;
+                    opts.config.tree_theta.get_or_insert(0.5);
+                }
+                other => return Err(format!("unknown solver '{other}'")),
+            },
+            "--theta" => {
+                opts.config.tree_theta = Some(parse_f(&take(args, &mut i, flag)?, flag)?)
+            }
+            "--n" => opts.config.mesh_n = parse_num(&take(args, &mut i, flag)?, flag)?,
+            "--steps" => opts.config.steps = parse_num(&take(args, &mut i, flag)?, flag)?,
+            "--ranks" => opts.ranks = parse_num(&take(args, &mut i, flag)?, flag)?,
+            "--atwood" => opts.config.params.atwood = parse_f(&take(args, &mut i, flag)?, flag)?,
+            "--gravity" => opts.config.params.gravity = parse_f(&take(args, &mut i, flag)?, flag)?,
+            "--mu" => opts.config.params.mu = parse_f(&take(args, &mut i, flag)?, flag)?,
+            "--epsilon" => opts.config.params.epsilon = parse_f(&take(args, &mut i, flag)?, flag)?,
+            "--cutoff" => opts.config.params.cutoff = parse_f(&take(args, &mut i, flag)?, flag)?,
+            "--dt" => opts.config.params.dt = parse_f(&take(args, &mut i, flag)?, flag)?,
+            "--fft-config" => {
+                let idx: usize = parse_num(&take(args, &mut i, flag)?, flag)?;
+                if idx > 7 {
+                    return Err("--fft-config must be 0..7".into());
+                }
+                opts.config.fft = FftConfig::from_index(idx);
+            }
+            "--filter-every" => {
+                opts.config.params.filter_every = parse_num(&take(args, &mut i, flag)?, flag)?
+            }
+            "--filter-tol" => {
+                opts.config.params.filter_tolerance =
+                    parse_f(&take(args, &mut i, flag)?, flag)?
+            }
+            "--diag-every" => {
+                opts.config.diag_every = parse_num(&take(args, &mut i, flag)?, flag)?
+            }
+            "--ownership" => opts.config.record_ownership = true,
+            "--matrix" => opts.print_matrix = true,
+            "--vtk-every" => opts.config.vtk_every = parse_num(&take(args, &mut i, flag)?, flag)?,
+            "--out" => opts.config.out_dir = PathBuf::from(take(args, &mut i, flag)?),
+            "--log" => opts.log_path = Some(PathBuf::from(take(args, &mut i, flag)?)),
+            other => return Err(format!("unknown option '{other}'\n\n{USAGE}")),
+        }
+        i += 1;
+    }
+    if opts.ranks == 0 {
+        return Err("--ranks must be at least 1".into());
+    }
+    opts.config.params.validate()?;
+    Ok(opts)
+}
+
+fn parse_num(s: &str, flag: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("bad integer for {flag}: '{s}'"))
+}
+
+fn parse_f(s: &str, flag: &str) -> Result<f64, String> {
+    s.parse().map_err(|_| format!("bad number for {flag}: '{s}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_parse_from_empty() {
+        let o = parse_args(&[]).unwrap();
+        assert_eq!(o.ranks, 4);
+        assert_eq!(o.config.mesh_n, 64);
+        assert_eq!(o.config.order, Order::Low);
+    }
+
+    #[test]
+    fn full_command_line() {
+        let o = parse_args(&sv(&[
+            "--deck", "singlemode", "--order", "high", "--solver", "exact", "--n", "32",
+            "--steps", "5", "--ranks", "2", "--atwood", "0.3", "--gravity", "1.5", "--mu",
+            "0.0", "--epsilon", "0.1", "--cutoff", "0.7", "--dt", "0.002", "--fft-config",
+            "3", "--diag-every", "2", "--ownership", "--vtk-every", "4", "--out", "/tmp/x",
+            "--log", "/tmp/x/log.json",
+        ]))
+        .unwrap();
+        assert_eq!(o.config.deck, Deck::SingleModeOpen);
+        assert_eq!(o.config.order, Order::High);
+        assert!(!o.config.cutoff_solver);
+        assert_eq!(o.config.mesh_n, 32);
+        assert_eq!(o.ranks, 2);
+        assert_eq!(o.config.params.atwood, 0.3);
+        assert_eq!(o.config.fft.index(), 3);
+        assert!(o.config.record_ownership);
+        assert_eq!(o.config.vtk_every, 4);
+        assert_eq!(o.log_path.unwrap(), PathBuf::from("/tmp/x/log.json"));
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        assert!(parse_args(&sv(&["--deck", "cube"])).is_err());
+        assert!(parse_args(&sv(&["--order", "ultra"])).is_err());
+        assert!(parse_args(&sv(&["--n"])).is_err());
+        assert!(parse_args(&sv(&["--n", "abc"])).is_err());
+        assert!(parse_args(&sv(&["--fft-config", "9"])).is_err());
+        assert!(parse_args(&sv(&["--ranks", "0"])).is_err());
+        assert!(parse_args(&sv(&["--atwood", "2.0"])).is_err());
+        assert!(parse_args(&sv(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn filter_options() {
+        let o = parse_args(&sv(&["--filter-every", "10", "--filter-tol", "1e-10"])).unwrap();
+        assert_eq!(o.config.params.filter_every, 10);
+        assert_eq!(o.config.params.filter_tolerance, 1e-10);
+        assert!(parse_args(&sv(&["--filter-tol", "-1.0"])).is_err());
+    }
+
+    #[test]
+    fn tree_solver_options() {
+        let o = parse_args(&sv(&["--solver", "tree"])).unwrap();
+        assert_eq!(o.config.tree_theta, Some(0.5));
+        let o = parse_args(&sv(&["--solver", "tree", "--theta", "0.8"])).unwrap();
+        assert_eq!(o.config.tree_theta, Some(0.8));
+        let o = parse_args(&sv(&["--theta", "0.3", "--solver", "tree"])).unwrap();
+        assert_eq!(o.config.tree_theta, Some(0.3));
+        let o = parse_args(&sv(&["--solver", "cutoff"])).unwrap();
+        assert_eq!(o.config.tree_theta, None);
+        let o = parse_args(&sv(&["--solver", "balanced"])).unwrap();
+        assert!(o.config.balanced && o.config.cutoff_solver);
+    }
+
+    #[test]
+    fn help_returns_usage() {
+        let err = parse_args(&sv(&["--help"])).unwrap_err();
+        assert!(err.contains("USAGE"));
+    }
+}

@@ -1,0 +1,356 @@
+//! # beatnik-rocketrig — the driver program (paper §4)
+//!
+//! The rocket-rig problem: two fluids of different densities accelerated
+//! along z, Rayleigh–Taylor instabilities developing on their interface.
+//! This crate provides the paper's two input decks, a config/CLI layer,
+//! and the run loop wiring solvers to I/O — the ~700-line driver the
+//! paper describes, in library form so the examples and benchmarks can
+//! reuse it.
+//!
+//! The paper's four benchmark test cases map to deck + order + solver
+//! combinations (see [`BenchCase`]):
+//!
+//! 1. multi-mode low-order **weak** scaling — FFT all-to-all bandwidth;
+//! 2. multi-mode low-order **strong** scaling — all-to-all latency;
+//! 3. multi-mode high-order (cutoff) **weak** scaling — general comm
+//!    scalability;
+//! 4. single-mode high-order (cutoff) **strong** scaling — load
+//!    imbalance, dynamic irregular communication.
+
+use beatnik_comm::Communicator;
+use beatnik_core::solver::BrChoice;
+use beatnik_core::{Diagnostics, InitialCondition, Order, Params, Solver, SolverConfig};
+use beatnik_dfft::FftConfig;
+use beatnik_io::stats::{RunLog, StepRecord};
+use beatnik_mesh::{BoundaryCondition, SpatialMesh, SurfaceMesh};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+pub mod cli;
+
+pub use cli::parse_args;
+
+/// The two paper input decks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Deck {
+    /// Multi-mode periodic rocket rig (paper Fig. 1): even point
+    /// distribution, FFT-friendly.
+    MultiModePeriodic,
+    /// Single-mode non-periodic rocket rig (paper Fig. 2): develops
+    /// rollup and load imbalance; requires a high-order solver.
+    SingleModeOpen,
+}
+
+impl Deck {
+    /// The x/y/z domain box the paper uses for this deck family:
+    /// `(-19…19)³` for low-order decks, `(-3…3)³` for high-order decks.
+    pub fn domain(&self, order: Order) -> ([f64; 3], [f64; 3]) {
+        match order {
+            Order::Low => ([-19.0, -19.0, -19.0], [19.0, 19.0, 19.0]),
+            Order::Medium | Order::High => ([-3.0, -3.0, -3.0], [3.0, 3.0, 3.0]),
+        }
+    }
+
+    /// The initial condition for this deck.
+    pub fn initial_condition(&self) -> InitialCondition {
+        match self {
+            Deck::MultiModePeriodic => InitialCondition::MultiMode {
+                amplitude: 0.05,
+                modes: 4,
+                seed: 1984,
+            },
+            Deck::SingleModeOpen => InitialCondition::SingleMode {
+                amplitude: 0.20,
+                modes: [1.0, 1.0],
+            },
+        }
+    }
+
+    /// Whether the deck is periodic.
+    pub fn periodic(&self) -> bool {
+        matches!(self, Deck::MultiModePeriodic)
+    }
+}
+
+/// Full run configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RigConfig {
+    /// Which input deck.
+    pub deck: Deck,
+    /// Model order.
+    pub order: Order,
+    /// Surface mesh nodes per axis.
+    pub mesh_n: usize,
+    /// Timesteps to run.
+    pub steps: usize,
+    /// Use the cutoff solver (vs. exact) for medium/high order.
+    pub cutoff_solver: bool,
+    /// Use the Barnes–Hut tree solver with this opening angle instead
+    /// (overrides `cutoff_solver` when set).
+    pub tree_theta: Option<f64>,
+    /// Use the RCB load-balanced cutoff solver instead of the uniform
+    /// grid (applies when `cutoff_solver` is set).
+    pub balanced: bool,
+    /// Physical and numerical parameters.
+    pub params: Params,
+    /// Distributed-FFT tuning.
+    pub fft: FftConfig,
+    /// Record diagnostics every this many steps (0 = never).
+    pub diag_every: usize,
+    /// Also record ownership distributions when recording diagnostics.
+    pub record_ownership: bool,
+    /// Number of *virtual* spatial ranks to bin ownership into (the paper
+    /// measures against 256 regions regardless of where the job runs).
+    /// `None` bins into the actual rank count.
+    pub ownership_ranks: Option<usize>,
+    /// Write a VTK dump every this many steps (0 = never).
+    pub vtk_every: usize,
+    /// Output directory for VTK/JSON artifacts.
+    pub out_dir: PathBuf,
+}
+
+impl Default for RigConfig {
+    fn default() -> Self {
+        RigConfig {
+            deck: Deck::MultiModePeriodic,
+            order: Order::Low,
+            mesh_n: 64,
+            steps: 20,
+            cutoff_solver: true,
+            tree_theta: None,
+            balanced: false,
+            params: Params::default(),
+            fft: FftConfig::default(),
+            diag_every: 1,
+            record_ownership: false,
+            ownership_ranks: None,
+            vtk_every: 0,
+            out_dir: PathBuf::from("rocketrig-out"),
+        }
+    }
+}
+
+impl RigConfig {
+    /// The spatial mesh matching this config's domain and rank count
+    /// (used by the cutoff solver and the ownership diagnostics).
+    pub fn spatial_mesh(&self, ranks: usize) -> SpatialMesh {
+        let (lo, hi) = self.deck.domain(self.order);
+        SpatialMesh::new(lo, hi, beatnik_comm::dims_create(ranks))
+    }
+
+    /// Build the [`SolverConfig`] equivalent of this run.
+    pub fn solver_config(&self) -> SolverConfig {
+        let br = if !self.order.needs_br_solver() {
+            BrChoice::None
+        } else if let Some(theta) = self.tree_theta {
+            BrChoice::Tree { theta }
+        } else if self.cutoff_solver && self.balanced {
+            BrChoice::BalancedCutoff {
+                bounds: self.deck.domain(self.order),
+            }
+        } else if self.cutoff_solver {
+            BrChoice::Cutoff {
+                bounds: self.deck.domain(self.order),
+            }
+        } else {
+            BrChoice::Exact
+        };
+        SolverConfig {
+            order: self.order,
+            br,
+            params: self.params,
+            fft: self.fft,
+            ic: self.deck.initial_condition(),
+        }
+    }
+
+    /// Construct the surface mesh for one rank. Collective.
+    pub fn build_mesh(&self, comm: &Communicator) -> SurfaceMesh {
+        let (lo, hi) = self.deck.domain(self.order);
+        let periodic = self.deck.periodic();
+        SurfaceMesh::new(
+            comm,
+            [self.mesh_n, self.mesh_n],
+            [periodic, periodic],
+            2,
+            [lo[1], lo[0]],
+            [hi[1], hi[0]],
+        )
+    }
+
+    /// The boundary condition for this deck.
+    pub fn boundary_condition(&self) -> BoundaryCondition {
+        let (lo, hi) = self.deck.domain(self.order);
+        if self.deck.periodic() {
+            BoundaryCondition::Periodic {
+                periods: [hi[1] - lo[1], hi[0] - lo[0]],
+            }
+        } else {
+            BoundaryCondition::Free
+        }
+    }
+}
+
+/// Run a configured rocket-rig simulation on this rank. Returns the run
+/// log (identical on every rank). Collective.
+pub fn run_rig(comm: &Communicator, cfg: &RigConfig) -> RunLog {
+    let mesh = cfg.build_mesh(comm);
+    let bc = cfg.boundary_condition();
+    let mut solver = Solver::new(mesh, bc, cfg.solver_config());
+    let smesh = cfg.spatial_mesh(cfg.ownership_ranks.unwrap_or_else(|| comm.size()));
+    let mut log = RunLog::new(format!(
+        "{:?}/{}/{}^2/{} steps",
+        cfg.deck, cfg.order, cfg.mesh_n, cfg.steps
+    ));
+
+    if cfg.vtk_every > 0 && comm.rank() == 0 {
+        std::fs::create_dir_all(&cfg.out_dir).expect("cannot create output dir");
+    }
+
+    for _ in 0..cfg.steps {
+        solver.step();
+        let s = solver.step_count();
+        if cfg.diag_every > 0 && s % cfg.diag_every == 0 {
+            let ownership = cfg
+                .record_ownership
+                .then(|| beatnik_core::diagnostics::ownership_fractions(solver.problem(), &smesh));
+            log.push(StepRecord {
+                step: s,
+                time: solver.time(),
+                diagnostics: Diagnostics::compute(solver.problem()),
+                ownership,
+            });
+        }
+        if cfg.vtk_every > 0 && s % cfg.vtk_every == 0 {
+            let path = cfg.out_dir.join(format!("surface_{s:05}.vtk"));
+            beatnik_io::vtk::write_vtk(solver.problem(), path).expect("vtk write failed");
+        }
+    }
+    log
+}
+
+/// The paper's four benchmark test cases (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BenchCase {
+    /// Multi-mode low-order weak scaling (network bandwidth).
+    LowOrderWeak,
+    /// Multi-mode low-order strong scaling (network latency).
+    LowOrderStrong,
+    /// Multi-mode high-order (cutoff) weak scaling (general scalability).
+    CutoffWeak,
+    /// Single-mode high-order (cutoff) strong scaling (load imbalance).
+    CutoffStrong,
+}
+
+impl BenchCase {
+    /// A laptop-scale configuration for the case (the figure harnesses
+    /// combine these with the analytic machine model for paper-scale
+    /// numbers).
+    pub fn config(&self, mesh_n: usize, steps: usize) -> RigConfig {
+        let mut cfg = RigConfig {
+            mesh_n,
+            steps,
+            ..RigConfig::default()
+        };
+        match self {
+            BenchCase::LowOrderWeak | BenchCase::LowOrderStrong => {
+                cfg.deck = Deck::MultiModePeriodic;
+                cfg.order = Order::Low;
+            }
+            BenchCase::CutoffWeak => {
+                cfg.deck = Deck::MultiModePeriodic;
+                cfg.order = Order::High;
+                cfg.cutoff_solver = true;
+                cfg.params.cutoff = 0.2; // the paper's value for this case
+                cfg.params.epsilon = 0.1;
+            }
+            BenchCase::CutoffStrong => {
+                cfg.deck = Deck::SingleModeOpen;
+                cfg.order = Order::High;
+                cfg.cutoff_solver = true;
+                cfg.params.cutoff = 0.5; // the paper's value
+                cfg.params.epsilon = 0.1;
+            }
+        }
+        cfg
+    }
+
+    /// All four cases.
+    pub fn all() -> [BenchCase; 4] {
+        [
+            BenchCase::LowOrderWeak,
+            BenchCase::LowOrderStrong,
+            BenchCase::CutoffWeak,
+            BenchCase::CutoffStrong,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beatnik_comm::World;
+
+    #[test]
+    fn decks_have_paper_domains() {
+        let d = Deck::MultiModePeriodic;
+        assert_eq!(d.domain(Order::Low).0, [-19.0; 3]);
+        assert_eq!(d.domain(Order::High).1, [3.0; 3]);
+        assert!(d.periodic());
+        assert!(!Deck::SingleModeOpen.periodic());
+    }
+
+    #[test]
+    fn multimode_low_order_runs_end_to_end() {
+        World::run(4, |comm| {
+            let mut cfg = BenchCase::LowOrderWeak.config(16, 3);
+            cfg.params.dt = 1e-3;
+            let log = run_rig(&comm, &cfg);
+            assert_eq!(log.steps.len(), 3);
+            assert!(log.steps[2].diagnostics.amplitude.is_finite());
+            assert!(log.steps[2].diagnostics.points == 256);
+        });
+    }
+
+    #[test]
+    fn singlemode_cutoff_runs_end_to_end_with_ownership() {
+        World::run(2, |comm| {
+            let mut cfg = BenchCase::CutoffStrong.config(12, 2);
+            cfg.params.dt = 1e-3;
+            cfg.record_ownership = true;
+            let log = run_rig(&comm, &cfg);
+            assert_eq!(log.steps.len(), 2);
+            let own = log.steps[1].ownership.as_ref().unwrap();
+            assert_eq!(own.len(), 2);
+            assert!((own.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        });
+    }
+
+    #[test]
+    fn all_bench_cases_produce_valid_configs() {
+        for case in BenchCase::all() {
+            let cfg = case.config(16, 2);
+            assert!(cfg.params.validate().is_ok(), "{case:?}");
+            match case {
+                BenchCase::LowOrderWeak | BenchCase::LowOrderStrong => {
+                    assert_eq!(cfg.order, Order::Low)
+                }
+                _ => assert_eq!(cfg.order, Order::High),
+            }
+        }
+    }
+
+    #[test]
+    fn vtk_output_is_written_when_requested() {
+        World::run(1, |comm| {
+            let dir = std::env::temp_dir().join("beatnik_rig_vtk");
+            let _ = std::fs::remove_dir_all(&dir);
+            let mut cfg = BenchCase::LowOrderWeak.config(12, 2);
+            cfg.params.dt = 1e-3;
+            cfg.vtk_every = 2;
+            cfg.out_dir = dir.clone();
+            let _ = run_rig(&comm, &cfg);
+            assert!(dir.join("surface_00002.vtk").exists());
+        });
+    }
+}

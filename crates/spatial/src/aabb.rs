@@ -1,0 +1,107 @@
+//! Axis-aligned bounding boxes.
+
+/// An axis-aligned box `[lo, hi]` in 3D (inclusive bounds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Lower corner.
+    pub lo: [f64; 3],
+    /// Upper corner.
+    pub hi: [f64; 3],
+}
+
+impl Aabb {
+    /// Box from explicit corners.
+    pub fn new(lo: [f64; 3], hi: [f64; 3]) -> Self {
+        for d in 0..3 {
+            assert!(lo[d] <= hi[d], "aabb: inverted bounds in dim {d}");
+        }
+        Aabb { lo, hi }
+    }
+
+    /// Smallest box containing all `points`. Returns `None` when empty.
+    pub fn bounding(points: &[[f64; 3]]) -> Option<Self> {
+        let first = *points.first()?;
+        let mut lo = first;
+        let mut hi = first;
+        for p in points {
+            for d in 0..3 {
+                lo[d] = lo[d].min(p[d]);
+                hi[d] = hi[d].max(p[d]);
+            }
+        }
+        Some(Aabb { lo, hi })
+    }
+
+    /// Grow the box by `pad` on every side.
+    pub fn expanded(&self, pad: f64) -> Aabb {
+        assert!(pad >= 0.0, "aabb: negative padding");
+        Aabb {
+            lo: [self.lo[0] - pad, self.lo[1] - pad, self.lo[2] - pad],
+            hi: [self.hi[0] + pad, self.hi[1] + pad, self.hi[2] + pad],
+        }
+    }
+
+    /// Whether a point lies inside (inclusive).
+    pub fn contains(&self, p: [f64; 3]) -> bool {
+        (0..3).all(|d| p[d] >= self.lo[d] && p[d] <= self.hi[d])
+    }
+
+    /// Squared distance from a point to the box (0 when inside).
+    pub fn dist2_to(&self, p: [f64; 3]) -> f64 {
+        let mut d2 = 0.0;
+        for d in 0..3 {
+            let gap = (self.lo[d] - p[d]).max(p[d] - self.hi[d]).max(0.0);
+            d2 += gap * gap;
+        }
+        d2
+    }
+
+    /// Edge lengths.
+    pub fn extents(&self) -> [f64; 3] {
+        [
+            self.hi[0] - self.lo[0],
+            self.hi[1] - self.lo[1],
+            self.hi[2] - self.lo[2],
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounding_box_of_points() {
+        let pts = [[0.0, 1.0, 2.0], [-1.0, 5.0, 0.0], [3.0, -2.0, 1.0]];
+        let b = Aabb::bounding(&pts).unwrap();
+        assert_eq!(b.lo, [-1.0, -2.0, 0.0]);
+        assert_eq!(b.hi, [3.0, 5.0, 2.0]);
+        assert!(Aabb::bounding(&[]).is_none());
+    }
+
+    #[test]
+    fn contains_and_expand() {
+        let b = Aabb::new([0.0; 3], [1.0; 3]);
+        assert!(b.contains([0.5, 0.5, 0.5]));
+        assert!(b.contains([0.0, 1.0, 0.5])); // boundary inclusive
+        assert!(!b.contains([1.1, 0.5, 0.5]));
+        let e = b.expanded(0.5);
+        assert!(e.contains([1.4, -0.4, 0.0]));
+        assert_eq!(e.extents(), [2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn distance_to_box() {
+        let b = Aabb::new([0.0; 3], [1.0; 3]);
+        assert_eq!(b.dist2_to([0.5, 0.5, 0.5]), 0.0);
+        assert_eq!(b.dist2_to([2.0, 0.5, 0.5]), 1.0);
+        assert_eq!(b.dist2_to([2.0, 2.0, 0.5]), 2.0);
+        assert_eq!(b.dist2_to([-3.0, 0.5, 5.0]), 9.0 + 16.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted bounds")]
+    fn inverted_bounds_rejected() {
+        let _ = Aabb::new([1.0, 0.0, 0.0], [0.0, 1.0, 1.0]);
+    }
+}

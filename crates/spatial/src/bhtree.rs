@@ -1,0 +1,392 @@
+//! Barnes–Hut octree: hierarchical aggregation of vector-valued source
+//! strengths for O(n log n) far-field evaluation.
+//!
+//! The paper lists fast-multipole-style far-field solvers as the key
+//! future extension of Beatnik's Birkhoff–Rott solvers (§6). This tree is
+//! the geometric substrate: each node aggregates its subtree's total
+//! strength vector at the strength-weighted centroid; a traversal accepts
+//! a node when it is small relative to its distance from the target
+//! (`size / distance < θ`), otherwise descends.
+
+use crate::aabb::Aabb;
+
+/// Maximum points in a leaf before splitting.
+const LEAF_CAP: usize = 16;
+
+/// One tree node.
+#[derive(Debug, Clone)]
+pub struct BhNode {
+    /// Bounding box of the node's points.
+    pub bounds: Aabb,
+    /// Aggregated strength vector (Σ of member strengths).
+    pub strength: [f64; 3],
+    /// Aggregation point: |strength|-weighted centroid of members
+    /// (geometric centroid when all strengths vanish).
+    pub center: [f64; 3],
+    /// Number of points in the subtree.
+    pub count: usize,
+    /// Child node indices (empty for leaves).
+    pub children: Vec<u32>,
+    /// Point index range `start..end` into [`BhTree::point_order`].
+    pub start: usize,
+    /// End of the point index range.
+    pub end: usize,
+}
+
+impl BhNode {
+    /// Longest edge of the node's bounding box.
+    pub fn size(&self) -> f64 {
+        let e = self.bounds.extents();
+        e[0].max(e[1]).max(e[2])
+    }
+}
+
+/// A built Barnes–Hut tree over a fixed point/strength set.
+pub struct BhTree {
+    points: Vec<[f64; 3]>,
+    strengths: Vec<[f64; 3]>,
+    nodes: Vec<BhNode>,
+    /// Permutation: `point_order[i]` is the original index of the i-th
+    /// point in tree order (leaf ranges index into this).
+    point_order: Vec<u32>,
+    root: Option<u32>,
+}
+
+impl BhTree {
+    /// Build over `points` with per-point `strengths`.
+    pub fn build(points: Vec<[f64; 3]>, strengths: Vec<[f64; 3]>) -> Self {
+        assert_eq!(points.len(), strengths.len(), "bhtree: length mismatch");
+        let n = points.len();
+        let mut tree = BhTree {
+            points,
+            strengths,
+            nodes: Vec::new(),
+            point_order: (0..n as u32).collect(),
+            root: None,
+        };
+        if n > 0 {
+            let root = tree.build_rec(0, n);
+            tree.root = Some(root);
+        }
+        tree
+    }
+
+    fn aggregate(&self, start: usize, end: usize) -> ([f64; 3], [f64; 3], Aabb) {
+        let mut strength = [0.0f64; 3];
+        let mut weighted = [0.0f64; 3];
+        let mut weight = 0.0f64;
+        let mut geo = [0.0f64; 3];
+        let mut bounds: Option<Aabb> = None;
+        for &pi in &self.point_order[start..end] {
+            let p = self.points[pi as usize];
+            let s = self.strengths[pi as usize];
+            let w = (s[0] * s[0] + s[1] * s[1] + s[2] * s[2]).sqrt();
+            for k in 0..3 {
+                strength[k] += s[k];
+                weighted[k] += w * p[k];
+                geo[k] += p[k];
+            }
+            weight += w;
+            bounds = Some(match bounds {
+                None => Aabb::new(p, p),
+                Some(b) => Aabb::new(
+                    [b.lo[0].min(p[0]), b.lo[1].min(p[1]), b.lo[2].min(p[2])],
+                    [b.hi[0].max(p[0]), b.hi[1].max(p[1]), b.hi[2].max(p[2])],
+                ),
+            });
+        }
+        let count = (end - start) as f64;
+        let center = if weight > 1e-300 {
+            [weighted[0] / weight, weighted[1] / weight, weighted[2] / weight]
+        } else {
+            [geo[0] / count, geo[1] / count, geo[2] / count]
+        };
+        (strength, center, bounds.expect("aggregate of empty range"))
+    }
+
+    fn build_rec(&mut self, start: usize, end: usize) -> u32 {
+        let (strength, center, bounds) = self.aggregate(start, end);
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(BhNode {
+            bounds,
+            strength,
+            center,
+            count: end - start,
+            children: Vec::new(),
+            start,
+            end,
+        });
+        if end - start > LEAF_CAP {
+            // Split at the box midpoint of the longest axes (octant
+            // split), skipping empty octants.
+            let mid = [
+                (bounds.lo[0] + bounds.hi[0]) / 2.0,
+                (bounds.lo[1] + bounds.hi[1]) / 2.0,
+                (bounds.lo[2] + bounds.hi[2]) / 2.0,
+            ];
+            let octant = |p: [f64; 3]| -> usize {
+                (p[0] > mid[0]) as usize
+                    + 2 * (p[1] > mid[1]) as usize
+                    + 4 * (p[2] > mid[2]) as usize
+            };
+            // In-place bucket partition of point_order[start..end].
+            let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); 8];
+            for &pi in &self.point_order[start..end] {
+                buckets[octant(self.points[pi as usize])].push(pi);
+            }
+            // Degenerate case (all coincident points): keep as leaf.
+            if buckets.iter().filter(|b| !b.is_empty()).count() > 1 {
+                let mut cursor = start;
+                let mut ranges = Vec::new();
+                for b in &buckets {
+                    if !b.is_empty() {
+                        self.point_order[cursor..cursor + b.len()].copy_from_slice(b);
+                        ranges.push((cursor, cursor + b.len()));
+                        cursor += b.len();
+                    }
+                }
+                let children: Vec<u32> = ranges
+                    .into_iter()
+                    .map(|(s, e)| self.build_rec(s, e))
+                    .collect();
+                self.nodes[idx as usize].children = children;
+            }
+        }
+        idx
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the tree holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of tree nodes (diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Evaluate `Σ kernel(target, source)` with Barnes–Hut acceptance:
+    /// a node with `size/dist < θ` contributes as a single pseudo-source
+    /// (its aggregated strength at its centroid); otherwise its children
+    /// are visited; leaves contribute point-by-point.
+    ///
+    /// `kernel(target, source_pos, source_strength)` must be linear in
+    /// the strength (true of the Biot–Savart kernel), which is what makes
+    /// aggregation valid.
+    pub fn evaluate(
+        &self,
+        target: [f64; 3],
+        theta: f64,
+        kernel: &dyn Fn([f64; 3], [f64; 3], [f64; 3]) -> [f64; 3],
+    ) -> [f64; 3] {
+        let mut acc = [0.0f64; 3];
+        let Some(root) = self.root else {
+            return acc;
+        };
+        let mut stack = vec![root];
+        while let Some(ni) = stack.pop() {
+            let node = &self.nodes[ni as usize];
+            let d2 = {
+                let dx = node.center[0] - target[0];
+                let dy = node.center[1] - target[1];
+                let dz = node.center[2] - target[2];
+                dx * dx + dy * dy + dz * dz
+            };
+            let size = node.size();
+            let accept = node.children.is_empty()
+                || (d2 > 0.0 && size * size < theta * theta * d2
+                    // Never accept a cell the target might be inside.
+                    && node.bounds.dist2_to(target) > 0.0);
+            if accept {
+                if node.children.is_empty() {
+                    // Leaf: exact point-by-point contributions.
+                    for &pi in &self.point_order[node.start..node.end] {
+                        let u = kernel(
+                            target,
+                            self.points[pi as usize],
+                            self.strengths[pi as usize],
+                        );
+                        acc[0] += u[0];
+                        acc[1] += u[1];
+                        acc[2] += u[2];
+                    }
+                } else {
+                    let u = kernel(target, node.center, node.strength);
+                    acc[0] += u[0];
+                    acc[1] += u[1];
+                    acc[2] += u[2];
+                }
+            } else {
+                stack.extend_from_slice(&node.children);
+            }
+        }
+        acc
+    }
+
+    /// Total interactions a traversal with `theta` evaluates for `target`
+    /// (cost diagnostics for the ablation bench).
+    pub fn interaction_count(&self, target: [f64; 3], theta: f64) -> usize {
+        let counter = std::cell::Cell::new(0usize);
+        let kernel = |_t: [f64; 3], _p: [f64; 3], _s: [f64; 3]| -> [f64; 3] {
+            counter.set(counter.get() + 1);
+            [0.0; 3]
+        };
+        self.evaluate(target, theta, &kernel);
+        counter.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud(n: usize) -> (Vec<[f64; 3]>, Vec<[f64; 3]>) {
+        let pts: Vec<[f64; 3]> = (0..n)
+            .map(|i| {
+                let t = i as f64;
+                [
+                    (t * 0.37).fract() * 4.0 - 2.0,
+                    (t * 0.71).fract() * 4.0 - 2.0,
+                    (t * 0.13).fract() - 0.5,
+                ]
+            })
+            .collect();
+        let strengths: Vec<[f64; 3]> = (0..n)
+            .map(|i| {
+                let t = i as f64;
+                [(t * 0.29).fract() - 0.5, (t * 0.53).fract() - 0.5, 0.1]
+            })
+            .collect();
+        (pts, strengths)
+    }
+
+    /// 1/r² kernel for testing (same form as Biot-Savart magnitude).
+    fn test_kernel(t: [f64; 3], p: [f64; 3], s: [f64; 3]) -> [f64; 3] {
+        let d = [p[0] - t[0], p[1] - t[1], p[2] - t[2]];
+        let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2] + 0.01;
+        let inv = 1.0 / (r2 * r2.sqrt());
+        [
+            (d[1] * s[2] - d[2] * s[1]) * inv,
+            (d[2] * s[0] - d[0] * s[2]) * inv,
+            (d[0] * s[1] - d[1] * s[0]) * inv,
+        ]
+    }
+
+    fn direct(target: [f64; 3], pts: &[[f64; 3]], strengths: &[[f64; 3]]) -> [f64; 3] {
+        let mut acc = [0.0; 3];
+        for (p, s) in pts.iter().zip(strengths) {
+            let u = test_kernel(target, *p, *s);
+            acc[0] += u[0];
+            acc[1] += u[1];
+            acc[2] += u[2];
+        }
+        acc
+    }
+
+    #[test]
+    fn aggregates_conserve_total_strength() {
+        let (pts, strengths) = cloud(500);
+        let total: [f64; 3] = strengths.iter().fold([0.0; 3], |a, s| {
+            [a[0] + s[0], a[1] + s[1], a[2] + s[2]]
+        });
+        let tree = BhTree::build(pts, strengths);
+        let root = &tree.nodes[0];
+        for k in 0..3 {
+            assert!((root.strength[k] - total[k]).abs() < 1e-9);
+        }
+        assert_eq!(root.count, 500);
+        assert!(tree.node_count() > 8);
+    }
+
+    #[test]
+    fn theta_zero_is_exact() {
+        let (pts, strengths) = cloud(300);
+        let tree = BhTree::build(pts.clone(), strengths.clone());
+        for i in (0..300).step_by(37) {
+            let got = tree.evaluate(pts[i], 0.0, &test_kernel);
+            let want = direct(pts[i], &pts, &strengths);
+            for k in 0..3 {
+                assert!((got[k] - want[k]).abs() < 1e-10, "target {i} comp {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn error_decreases_with_theta() {
+        let (pts, strengths) = cloud(800);
+        let tree = BhTree::build(pts.clone(), strengths.clone());
+        // Evaluate at an external target so all cells are acceptable.
+        let target = [8.0, 8.0, 3.0];
+        let want = direct(target, &pts, &strengths);
+        let err = |theta: f64| {
+            let got = tree.evaluate(target, theta, &test_kernel);
+            (0..3)
+                .map(|k| (got[k] - want[k]).powi(2))
+                .sum::<f64>()
+                .sqrt()
+        };
+        let e_small = err(0.2);
+        let e_big = err(1.2);
+        assert!(e_small <= e_big + 1e-18, "{e_small} vs {e_big}");
+        assert!(err(0.0) < 1e-12);
+    }
+
+    #[test]
+    fn traversal_visits_fewer_sources_at_larger_theta() {
+        let (pts, strengths) = cloud(2000);
+        let tree = BhTree::build(pts.clone(), strengths);
+        let count = |theta: f64| {
+            let counter = std::cell::Cell::new(0usize);
+            let k = |_t: [f64; 3], _p: [f64; 3], _s: [f64; 3]| -> [f64; 3] {
+                counter.set(counter.get() + 1);
+                [0.0; 3]
+            };
+            tree.evaluate(pts[0], theta, &k);
+            counter.get()
+        };
+        let exact = count(0.0);
+        let coarse = count(0.8);
+        assert_eq!(exact, 2000);
+        assert!(coarse < exact / 4, "coarse {coarse} vs exact {exact}");
+    }
+
+    #[test]
+    fn handles_empty_and_coincident_sets() {
+        let tree = BhTree::build(Vec::new(), Vec::new());
+        assert!(tree.is_empty());
+        assert_eq!(tree.evaluate([0.0; 3], 0.5, &test_kernel), [0.0; 3]);
+
+        // 100 coincident points must not recurse forever.
+        let pts = vec![[1.0, 1.0, 1.0]; 100];
+        let strengths = vec![[0.1, 0.0, 0.0]; 100];
+        let tree = BhTree::build(pts.clone(), strengths.clone());
+        let got = tree.evaluate([0.0; 3], 0.0, &test_kernel);
+        let want = direct([0.0; 3], &pts, &strengths);
+        for k in 0..3 {
+            assert!((got[k] - want[k]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn never_accepts_cell_containing_target() {
+        // A target inside a dense cluster: with huge theta the containing
+        // cells must still be opened (not summarized), keeping near-field
+        // contributions exact at leaf granularity.
+        let (pts, strengths) = cloud(600);
+        let tree = BhTree::build(pts.clone(), strengths.clone());
+        let got = tree.evaluate(pts[10], 50.0, &test_kernel);
+        assert!(got.iter().all(|v| v.is_finite()));
+        // With θ→∞ every *external* cell collapses to one interaction but
+        // the result must stay within a loose band of exact (near field
+        // is exact, far field fully aggregated).
+        let want = direct(pts[10], &pts, &strengths);
+        let err = (0..3).map(|k| (got[k] - want[k]).powi(2)).sum::<f64>().sqrt();
+        let mag = (0..3).map(|k| want[k] * want[k]).sum::<f64>().sqrt();
+        assert!(err < 2.0 * mag + 1.0, "err {err} vs mag {mag}");
+    }
+}

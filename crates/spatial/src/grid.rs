@@ -1,0 +1,220 @@
+//! Uniform-grid (cell-list) neighbor search.
+//!
+//! Points are binned into cubic cells whose edge is at least the query
+//! radius, so every neighbor of a query point lies in the 3×3×3 block of
+//! cells around it. Build is O(n); a query touches only nearby points.
+
+use crate::aabb::Aabb;
+use crate::dist2;
+
+/// A cell-list acceleration structure over a fixed point set.
+pub struct UniformGrid {
+    points: Vec<[f64; 3]>,
+    bounds: Aabb,
+    /// Cell edge length (≥ the radius the grid was built for).
+    cell: f64,
+    /// Cells per axis.
+    dims: [usize; 3],
+    /// CSR cell → point-index lists.
+    cell_start: Vec<usize>,
+    cell_points: Vec<u32>,
+}
+
+impl UniformGrid {
+    /// Build over `points` for queries of radius ≤ `radius`.
+    ///
+    /// # Panics
+    /// Panics on a non-positive radius. An empty point set is fine.
+    pub fn build(points: Vec<[f64; 3]>, radius: f64) -> Self {
+        assert!(radius > 0.0, "uniform grid requires a positive radius");
+        let bounds = Aabb::bounding(&points)
+            .unwrap_or(Aabb::new([0.0; 3], [0.0; 3]))
+            .expanded(radius * 1e-9 + 1e-12); // guard exact-edge binning
+        let ext = bounds.extents();
+        let cell = radius;
+        let dims = [
+            ((ext[0] / cell).ceil() as usize).max(1),
+            ((ext[1] / cell).ceil() as usize).max(1),
+            ((ext[2] / cell).ceil() as usize).max(1),
+        ];
+        let ncells = dims[0] * dims[1] * dims[2];
+
+        // Counting sort of points into cells.
+        let mut counts = vec![0usize; ncells + 1];
+        let cell_of = |p: &[f64; 3]| -> usize {
+            let mut idx = [0usize; 3];
+            for d in 0..3 {
+                let t = ((p[d] - bounds.lo[d]) / cell) as usize;
+                idx[d] = t.min(dims[d] - 1);
+            }
+            (idx[2] * dims[1] + idx[1]) * dims[0] + idx[0]
+        };
+        for p in &points {
+            counts[cell_of(p) + 1] += 1;
+        }
+        for i in 1..=ncells {
+            counts[i] += counts[i - 1];
+        }
+        let mut cell_points = vec![0u32; points.len()];
+        let mut cursor = counts.clone();
+        for (i, p) in points.iter().enumerate() {
+            let c = cell_of(p);
+            cell_points[cursor[c]] = i as u32;
+            cursor[c] += 1;
+        }
+
+        UniformGrid {
+            points,
+            bounds,
+            cell,
+            dims,
+            cell_start: counts,
+            cell_points,
+        }
+    }
+
+    /// The indexed points.
+    pub fn points(&self) -> &[[f64; 3]] {
+        &self.points
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the structure holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Indices of all points within `radius` of `q` (excluding none —
+    /// a query point that is itself indexed will appear; callers filter).
+    ///
+    /// `radius` must not exceed the build radius.
+    pub fn query(&self, q: [f64; 3], radius: f64, out: &mut Vec<u32>) {
+        out.clear();
+        if self.points.is_empty() {
+            return;
+        }
+        assert!(
+            radius <= self.cell * (1.0 + 1e-12),
+            "query radius {radius} exceeds build radius {}",
+            self.cell
+        );
+        let r2 = radius * radius;
+        let mut c0 = [0i64; 3];
+        let mut c1 = [0i64; 3];
+        for d in 0..3 {
+            c0[d] = (((q[d] - radius) - self.bounds.lo[d]) / self.cell).floor() as i64;
+            c1[d] = (((q[d] + radius) - self.bounds.lo[d]) / self.cell).floor() as i64;
+        }
+        for z in c0[2].max(0)..=c1[2].min(self.dims[2] as i64 - 1) {
+            for y in c0[1].max(0)..=c1[1].min(self.dims[1] as i64 - 1) {
+                for x in c0[0].max(0)..=c1[0].min(self.dims[0] as i64 - 1) {
+                    let c = (z as usize * self.dims[1] + y as usize) * self.dims[0] + x as usize;
+                    for &pi in &self.cell_points[self.cell_start[c]..self.cell_start[c + 1]] {
+                        if dist2(self.points[pi as usize], q) <= r2 {
+                            out.push(pi);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud(n: usize) -> Vec<[f64; 3]> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                [
+                    (t * 0.731).fract() * 4.0 - 2.0,
+                    (t * 0.317).fract() * 4.0 - 2.0,
+                    (t * 0.113).fract() * 2.0 - 1.0,
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn query_matches_brute_force() {
+        let pts = cloud(300);
+        let r = 0.5;
+        let grid = UniformGrid::build(pts.clone(), r);
+        let mut found = Vec::new();
+        for (qi, q) in pts.iter().enumerate().step_by(17) {
+            grid.query(*q, r, &mut found);
+            let mut got: Vec<u32> = found.clone();
+            got.sort_unstable();
+            let mut want: Vec<u32> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| dist2(**p, *q) <= r * r)
+                .map(|(i, _)| i as u32)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "query {qi}");
+            assert!(got.contains(&(qi as u32)), "self not found");
+        }
+    }
+
+    #[test]
+    fn smaller_query_radius_is_allowed() {
+        let pts = cloud(100);
+        let grid = UniformGrid::build(pts.clone(), 1.0);
+        let mut a = Vec::new();
+        grid.query(pts[0], 0.3, &mut a);
+        let want = pts
+            .iter()
+            .filter(|p| dist2(**p, pts[0]) <= 0.09)
+            .count();
+        assert_eq!(a.len(), want);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds build radius")]
+    fn oversized_query_radius_panics() {
+        let grid = UniformGrid::build(cloud(10), 0.5);
+        let mut out = Vec::new();
+        grid.query([0.0; 3], 1.0, &mut out);
+    }
+
+    #[test]
+    fn empty_and_singleton_sets() {
+        let empty = UniformGrid::build(Vec::new(), 0.5);
+        assert!(empty.is_empty());
+        let mut out = vec![7u32];
+        empty.query([0.0; 3], 0.5, &mut out);
+        assert!(out.is_empty());
+
+        let one = UniformGrid::build(vec![[1.0, 1.0, 1.0]], 0.5);
+        assert_eq!(one.len(), 1);
+        one.query([1.1, 1.0, 1.0], 0.5, &mut out);
+        assert_eq!(out, vec![0]);
+        one.query([2.0, 2.0, 2.0], 0.5, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn coincident_points_all_found() {
+        let pts = vec![[0.5, 0.5, 0.5]; 8];
+        let grid = UniformGrid::build(pts, 0.25);
+        let mut out = Vec::new();
+        grid.query([0.5, 0.5, 0.5], 0.25, &mut out);
+        assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn boundary_points_at_exact_radius_are_included() {
+        let pts = vec![[0.0, 0.0, 0.0], [0.5, 0.0, 0.0]];
+        let grid = UniformGrid::build(pts, 0.5);
+        let mut out = Vec::new();
+        grid.query([0.0; 3], 0.5, &mut out);
+        assert_eq!(out.len(), 2);
+    }
+}

@@ -1,0 +1,194 @@
+//! Median-split k-d tree with pruned fixed-radius queries.
+//!
+//! The alternative neighbor-search backend: unlike the uniform grid its
+//! performance does not degrade when the interface rolls up and point
+//! density becomes highly non-uniform (the paper's single-mode case).
+
+use crate::dist2;
+
+/// Flattened k-d tree over a fixed point set.
+pub struct KdTree {
+    points: Vec<[f64; 3]>,
+    /// Per-node: point index at the node.
+    node_point: Vec<u32>,
+    /// Per-node: split axis (0, 1, 2).
+    node_axis: Vec<u8>,
+    /// Per-node children indices (u32::MAX = none): [left, right].
+    children: Vec<[u32; 2]>,
+    root: u32,
+}
+
+const NONE: u32 = u32::MAX;
+
+impl KdTree {
+    /// Build over `points` (O(n log² n) median-by-sort construction).
+    pub fn build(points: Vec<[f64; 3]>) -> Self {
+        let n = points.len();
+        let mut tree = KdTree {
+            points,
+            node_point: Vec::with_capacity(n),
+            node_axis: Vec::with_capacity(n),
+            children: Vec::with_capacity(n),
+            root: NONE,
+        };
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        tree.root = tree.build_rec(&mut idx, 0);
+        tree
+    }
+
+    fn build_rec(&mut self, idx: &mut [u32], depth: usize) -> u32 {
+        if idx.is_empty() {
+            return NONE;
+        }
+        let axis = (depth % 3) as u8;
+        idx.sort_unstable_by(|&a, &b| {
+            self.points[a as usize][axis as usize]
+                .total_cmp(&self.points[b as usize][axis as usize])
+        });
+        let mid = idx.len() / 2;
+        let node = self.node_point.len() as u32;
+        self.node_point.push(idx[mid]);
+        self.node_axis.push(axis);
+        self.children.push([NONE, NONE]);
+        let (left, right) = idx.split_at_mut(mid);
+        let l = self.build_rec(left, depth + 1);
+        let r = self.build_rec(&mut right[1..], depth + 1);
+        self.children[node as usize] = [l, r];
+        node
+    }
+
+    /// The indexed points.
+    pub fn points(&self) -> &[[f64; 3]] {
+        &self.points
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the tree holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Indices of all points within `radius` of `q`.
+    pub fn query(&self, q: [f64; 3], radius: f64, out: &mut Vec<u32>) {
+        out.clear();
+        if self.root == NONE {
+            return;
+        }
+        let r2 = radius * radius;
+        // Explicit stack to avoid recursion in the hot path.
+        let mut stack = vec![self.root];
+        while let Some(node) = stack.pop() {
+            let pi = self.node_point[node as usize];
+            let p = self.points[pi as usize];
+            if dist2(p, q) <= r2 {
+                out.push(pi);
+            }
+            let axis = self.node_axis[node as usize] as usize;
+            let delta = q[axis] - p[axis];
+            let [l, r] = self.children[node as usize];
+            // Visit the near side always; the far side only if the
+            // splitting plane is within the radius.
+            let (near, far) = if delta <= 0.0 { (l, r) } else { (r, l) };
+            if near != NONE {
+                stack.push(near);
+            }
+            if far != NONE && delta * delta <= r2 {
+                stack.push(far);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud(n: usize) -> Vec<[f64; 3]> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                [
+                    (t * 0.619).fract() * 6.0 - 3.0,
+                    (t * 0.283).fract() * 6.0 - 3.0,
+                    (t * 0.157).fract() * 2.0 - 1.0,
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn query_matches_brute_force() {
+        let pts = cloud(257);
+        let tree = KdTree::build(pts.clone());
+        let mut found = Vec::new();
+        for r in [0.1, 0.5, 1.5] {
+            for q in pts.iter().step_by(31) {
+                tree.query(*q, r, &mut found);
+                let mut got = found.clone();
+                got.sort_unstable();
+                let mut want: Vec<u32> = pts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| dist2(**p, *q) <= r * r)
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                want.sort_unstable();
+                assert_eq!(got, want, "radius {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn query_point_not_in_set() {
+        let pts = vec![[0.0; 3], [1.0, 0.0, 0.0], [0.0, 2.0, 0.0]];
+        let tree = KdTree::build(pts);
+        let mut out = Vec::new();
+        tree.query([0.4, 0.0, 0.0], 0.5, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![0]);
+        tree.query([0.5, 0.0, 0.0], 0.5, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = KdTree::build(Vec::new());
+        assert!(tree.is_empty());
+        let mut out = vec![1u32];
+        tree.query([0.0; 3], 1.0, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn duplicate_points() {
+        let pts = vec![[1.0; 3]; 5];
+        let tree = KdTree::build(pts);
+        let mut out = Vec::new();
+        tree.query([1.0; 3], 0.01, &mut out);
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn highly_clustered_points() {
+        // Rollup-like distribution: dense spiral + sparse background.
+        let mut pts = Vec::new();
+        for i in 0..200 {
+            let t = i as f64 * 0.05;
+            pts.push([t.cos() * t * 0.1, t.sin() * t * 0.1, 0.0]);
+        }
+        for i in 0..20 {
+            pts.push([i as f64, 10.0, 0.0]);
+        }
+        let tree = KdTree::build(pts.clone());
+        let mut out = Vec::new();
+        tree.query([0.0; 3], 0.3, &mut out);
+        let want = pts.iter().filter(|p| dist2(**p, [0.0; 3]) <= 0.09).count();
+        assert_eq!(out.len(), want);
+        assert!(out.len() > 10, "cluster should be dense near origin");
+    }
+}

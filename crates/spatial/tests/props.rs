@@ -1,0 +1,83 @@
+//! Property-based tests of the spatial search structures.
+
+use beatnik_spatial::neighbors::{brute_force_neighbors, Backend, NeighborList};
+use beatnik_spatial::{dist2, Aabb, BhTree};
+use proptest::prelude::*;
+
+fn points(max_n: usize) -> impl Strategy<Value = Vec<[f64; 3]>> {
+    prop::collection::vec(
+        (-10.0f64..10.0, -10.0f64..10.0, -2.0f64..2.0).prop_map(|(x, y, z)| [x, y, z]),
+        0..max_n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn both_backends_equal_brute_force(
+        pts in points(60),
+        radius in 0.05f64..5.0,
+    ) {
+        let want = brute_force_neighbors(&pts, &pts, radius);
+        for backend in [Backend::Grid, Backend::KdTree] {
+            let got = NeighborList::build(&pts, &pts, radius, backend);
+            prop_assert_eq!(&got, &want);
+        }
+    }
+
+    #[test]
+    fn aabb_contains_its_points(pts in points(50)) {
+        prop_assume!(!pts.is_empty());
+        let b = Aabb::bounding(&pts).unwrap();
+        for p in &pts {
+            prop_assert!(b.contains(*p));
+            prop_assert_eq!(b.dist2_to(*p), 0.0);
+        }
+        // Expanding never loses containment.
+        let e = b.expanded(1.5);
+        for p in &pts {
+            prop_assert!(e.contains(*p));
+        }
+    }
+
+    #[test]
+    fn bhtree_theta_zero_is_exact_summation(pts in points(80)) {
+        let strengths: Vec<[f64; 3]> = pts
+            .iter()
+            .map(|p| [p[1] * 0.1, -p[0] * 0.1, 0.05])
+            .collect();
+        let tree = BhTree::build(pts.clone(), strengths.clone());
+        let kernel = |t: [f64; 3], p: [f64; 3], s: [f64; 3]| -> [f64; 3] {
+            let r2 = dist2(t, p) + 0.01;
+            let inv = 1.0 / (r2 * r2.sqrt());
+            [s[0] * inv, s[1] * inv, s[2] * inv]
+        };
+        let target = [0.3, -0.2, 0.1];
+        let got = tree.evaluate(target, 0.0, &kernel);
+        let mut want = [0.0f64; 3];
+        for (p, s) in pts.iter().zip(&strengths) {
+            let u = kernel(target, *p, *s);
+            want[0] += u[0];
+            want[1] += u[1];
+            want[2] += u[2];
+        }
+        for k in 0..3 {
+            prop_assert!((got[k] - want[k]).abs() < 1e-9 * (1.0 + want[k].abs()));
+        }
+    }
+
+    #[test]
+    fn bhtree_interaction_count_monotone_in_theta(pts in points(120)) {
+        prop_assume!(pts.len() >= 20);
+        let strengths = vec![[0.1, 0.0, 0.0]; pts.len()];
+        let tree = BhTree::build(pts.clone(), strengths);
+        let t = pts[0];
+        let exact = tree.interaction_count(t, 0.0);
+        let mid = tree.interaction_count(t, 0.5);
+        let coarse = tree.interaction_count(t, 1.5);
+        prop_assert_eq!(exact, pts.len());
+        prop_assert!(mid <= exact);
+        prop_assert!(coarse <= mid);
+    }
+}
