@@ -31,10 +31,7 @@ fn main() {
             solver.step();
         }
         let local = solver.problem().owned_positions();
-        comm.allgather(local)
-            .into_iter()
-            .flatten()
-            .collect::<Vec<_>>()
+        comm.allgather(&local)
     })
     .into_iter()
     .next()

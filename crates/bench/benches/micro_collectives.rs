@@ -39,7 +39,7 @@ fn bench_collectives(c: &mut Criterion) {
         b.iter(|| {
             World::run(p, |comm| {
                 for _ in 0..reps {
-                    let _ = comm.allgather(vec![0u64; 128]);
+                    let _ = comm.allgather(&[0u64; 128]);
                 }
             })
         })
@@ -53,8 +53,8 @@ fn bench_collectives(c: &mut Criterion) {
             b.iter(|| {
                 World::run(p, move |comm| {
                     for _ in 0..reps {
-                        let blocks = (0..comm.size()).map(|_| vec![0u64; 64]).collect();
-                        let _ = comm.alltoall_with(blocks, algo);
+                        let send = vec![0u64; comm.size() * 64];
+                        let _ = comm.alltoall_with(&send, algo);
                     }
                 })
             })

@@ -58,5 +58,42 @@ fn bench_rank_counts(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_configs, bench_rank_counts);
+fn bench_redistribution_transport(c: &mut Criterion) {
+    // Blocking collective (Pairwise alltoallv) vs nonblocking p2p
+    // (Direct: irecvs posted up front, isends drained out of order) for
+    // the same reshape volume — the transport half of the Table-1 knob.
+    let mut g = c.benchmark_group("dfft_redistribution");
+    g.measurement_time(Duration::from_secs(3)).sample_size(10);
+    let n = 128;
+    let ranks = 4;
+    for (name, all_to_all) in [
+        ("collective_blocking", true),
+        ("p2p_nonblocking", false),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new(name, format!("{n}x{n}x{ranks}")),
+            &all_to_all,
+            |b, &all_to_all| {
+                b.iter(|| {
+                    World::run(ranks, move |comm| {
+                        let config = FftConfig {
+                            all_to_all,
+                            ..FftConfig::default()
+                        };
+                        let dims = dims_create(comm.size());
+                        let plan = DistributedFft2d::new(&comm, dims, n, n, config);
+                        let rect = plan.local_rect();
+                        let block: Vec<Complex> = (0..rect.area())
+                            .map(|i| Complex::new(i as f64, 0.25))
+                            .collect();
+                        plan.forward(block).len()
+                    })
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_configs, bench_rank_counts, bench_redistribution_transport);
 criterion_main!(benches);

@@ -16,7 +16,7 @@ pub fn dims_create(p: usize) -> [usize; 2] {
     let mut best = [1, p];
     let mut r = 1usize;
     while r * r <= p {
-        if p % r == 0 {
+        if p.is_multiple_of(r) {
             best = [r, p / r];
         }
         r += 1;

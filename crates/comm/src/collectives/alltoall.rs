@@ -108,12 +108,14 @@ mod tests {
     /// Every rank sends `[r, d]` to rank `d`; verify receipt from all.
     fn roundtrip(p: usize, algo: AllToAllAlgo) {
         let out = World::run(p, move |c| {
-            let blocks = (0..p).map(|d| vec![c.rank() as u64, d as u64]).collect();
-            c.alltoall_with(blocks, algo)
+            let send: Vec<u64> = (0..p)
+                .flat_map(|d| [c.rank() as u64, d as u64])
+                .collect();
+            c.alltoall_with(&send, algo)
         });
-        for (r, per_rank) in out.into_iter().enumerate() {
-            for (src, block) in per_rank.into_iter().enumerate() {
-                assert_eq!(block, vec![src as u64, r as u64], "p={p} algo={algo:?}");
+        for (r, flat) in out.into_iter().enumerate() {
+            for (src, block) in flat.chunks(2).enumerate() {
+                assert_eq!(block, [src as u64, r as u64], "p={p} algo={algo:?}");
             }
         }
     }
@@ -135,21 +137,19 @@ mod tests {
     #[test]
     fn alltoallv_with_empty_and_ragged_blocks() {
         let out = World::run(4, |c| {
-            // Rank r sends r copies of its rank to each destination of
+            // Rank r sends r+1 copies of its rank to each destination of
             // higher rank, nothing to lower ranks.
-            let blocks = (0..4)
-                .map(|d| {
-                    if d > c.rank() {
-                        vec![c.rank() as u32; c.rank() + 1]
-                    } else {
-                        Vec::new()
-                    }
-                })
+            let counts: Vec<usize> = (0..4)
+                .map(|d| if d > c.rank() { c.rank() + 1 } else { 0 })
                 .collect();
-            c.alltoallv(blocks)
+            let send = vec![c.rank() as u32; counts.iter().sum()];
+            c.alltoallv(&send, &counts)
         });
-        for (r, per_rank) in out.into_iter().enumerate() {
-            for (src, block) in per_rank.into_iter().enumerate() {
+        for (r, (flat, rcounts)) in out.into_iter().enumerate() {
+            let mut rest = flat.as_slice();
+            for (src, &n) in rcounts.iter().enumerate() {
+                let (block, tail) = rest.split_at(n);
+                rest = tail;
                 if src < r {
                     assert_eq!(block, vec![src as u32; src + 1]);
                 } else {
@@ -162,8 +162,7 @@ mod tests {
     #[test]
     fn alltoall_message_counts() {
         let (_, trace) = World::run_traced(4, |c| {
-            let blocks = (0..4).map(|_| vec![0f64; 10]).collect();
-            let _ = c.alltoall(blocks);
+            let _ = c.alltoall(&[0f64; 40]); // 10 elements per destination
         });
         for r in 0..4 {
             let s = trace.rank(r).get(OpKind::Alltoall);
@@ -177,11 +176,9 @@ mod tests {
     fn repeated_alltoalls_do_not_cross_match() {
         World::run(3, |c| {
             for i in 0..10u64 {
-                let blocks = (0..3).map(|d| vec![i * 100 + d as u64]).collect();
-                let got = c.alltoall(blocks);
-                for (src, b) in got.into_iter().enumerate() {
-                    assert_eq!(b, vec![i * 100 + c.rank() as u64], "iter {i} src {src}");
-                }
+                let send: Vec<u64> = (0..3).map(|d| i * 100 + d).collect();
+                let got = c.alltoall(&send);
+                assert_eq!(got, vec![i * 100 + c.rank() as u64; 3], "iter {i}");
             }
         });
     }
@@ -190,12 +187,12 @@ mod tests {
     fn direct_and_pairwise_agree() {
         for p in [2usize, 5, 6] {
             let a = World::run(p, move |c| {
-                let blocks = (0..p).map(|d| vec![(c.rank() * p + d) as i32]).collect();
-                c.alltoall_with(blocks, AllToAllAlgo::Pairwise)
+                let send: Vec<i32> = (0..p).map(|d| (c.rank() * p + d) as i32).collect();
+                c.alltoall_with(&send, AllToAllAlgo::Pairwise)
             });
             let b = World::run(p, move |c| {
-                let blocks = (0..p).map(|d| vec![(c.rank() * p + d) as i32]).collect();
-                c.alltoall_with(blocks, AllToAllAlgo::Direct)
+                let send: Vec<i32> = (0..p).map(|d| (c.rank() * p + d) as i32).collect();
+                c.alltoall_with(&send, AllToAllAlgo::Direct)
             });
             assert_eq!(a, b);
         }

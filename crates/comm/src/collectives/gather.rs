@@ -24,9 +24,9 @@ pub fn gather<T: CommData + Clone>(
     if r == root {
         let mut out: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
         out[root] = data;
-        for src in 0..p {
+        for (src, slot) in out.iter_mut().enumerate() {
             if src != root {
-                out[src] = comm.coll_recv::<T>(src, src as u64);
+                *slot = comm.coll_recv::<T>(src, src as u64);
             }
         }
         Some(out)
@@ -70,10 +70,14 @@ mod tests {
     #[test]
     fn gather_collects_in_rank_order() {
         for p in [1usize, 2, 3, 5, 8] {
-            let out = World::run(p, |c| c.gather(0, vec![c.rank() as u32; c.rank() + 1]));
-            let root = out[0].as_ref().unwrap();
-            for (src, block) in root.iter().enumerate() {
-                assert_eq!(block, &vec![src as u32; src + 1]);
+            let out = World::run(p, |c| c.gatherv(0, &vec![c.rank() as u32; c.rank() + 1]));
+            let (flat, counts) = out[0].as_ref().unwrap();
+            assert_eq!(counts, &(1..=p).collect::<Vec<_>>());
+            let mut rest = flat.as_slice();
+            for (src, &n) in counts.iter().enumerate() {
+                let (block, tail) = rest.split_at(n);
+                rest = tail;
+                assert_eq!(block, vec![src as u32; src + 1]);
             }
             for v in &out[1..] {
                 assert!(v.is_none());
@@ -84,11 +88,14 @@ mod tests {
     #[test]
     fn allgather_all_sizes_variable_lengths() {
         for p in [1usize, 2, 3, 4, 7] {
-            let out = World::run(p, |c| c.allgather(vec![c.rank() as i64; c.rank() % 3 + 1]));
-            for per_rank in out {
-                assert_eq!(per_rank.len(), p);
-                for (src, block) in per_rank.iter().enumerate() {
-                    assert_eq!(block, &vec![src as i64; src % 3 + 1]);
+            let out = World::run(p, |c| c.allgatherv(&vec![c.rank() as i64; c.rank() % 3 + 1]));
+            for (flat, counts) in out {
+                assert_eq!(counts.len(), p);
+                let mut rest = flat.as_slice();
+                for (src, &n) in counts.iter().enumerate() {
+                    let (block, tail) = rest.split_at(n);
+                    rest = tail;
+                    assert_eq!(block, vec![src as i64; src % 3 + 1]);
                 }
             }
         }
@@ -97,7 +104,7 @@ mod tests {
     #[test]
     fn allgather_ring_message_count() {
         let (_, trace) = World::run_traced(4, |c| {
-            let _ = c.allgather(vec![0u64; 8]); // 64 bytes per block
+            let _ = c.allgather(&[0u64; 8]); // 64 bytes per block
         });
         for r in 0..4 {
             let s = trace.rank(r).get(OpKind::Allgather);

@@ -28,7 +28,7 @@ pub fn reduce_vec<T: CommData + Clone, O: ReduceOp<T>>(
     op: &O,
 ) -> Option<Vec<T>> {
     comm.coll_begin(OpKind::Reduce);
-    Some(reduce_impl(comm, root, value, op, OpKind::Reduce)?)
+    reduce_impl(comm, root, value, op, OpKind::Reduce)
 }
 
 fn reduce_impl<T: CommData + Clone, O: ReduceOp<T>>(

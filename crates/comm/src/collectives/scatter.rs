@@ -47,12 +47,14 @@ mod tests {
         for p in [1usize, 2, 4, 5] {
             for root in 0..p {
                 let out = World::run(p, move |c| {
-                    let data = if c.rank() == root {
-                        Some((0..p).map(|d| vec![d as u64 * 10, root as u64]).collect())
+                    if c.rank() == root {
+                        let data: Vec<u64> = (0..p)
+                            .flat_map(|d| [d as u64 * 10, root as u64])
+                            .collect();
+                        c.scatter(root, Some(&data))
                     } else {
-                        None
-                    };
-                    c.scatter(root, data)
+                        c.scatter::<u64>(root, None)
+                    }
                 });
                 for (d, block) in out.into_iter().enumerate() {
                     assert_eq!(block, vec![d as u64 * 10, root as u64]);
@@ -64,23 +66,23 @@ mod tests {
     #[test]
     fn scatter_root_sends_p_minus_one_messages() {
         let (_, trace) = World::run_traced(6, |c| {
-            let data = if c.rank() == 2 {
-                Some((0..6).map(|_| vec![0f32; 4]).collect())
+            let _ = if c.rank() == 2 {
+                c.scatter(2, Some(&[0f32; 24]))
             } else {
-                None
+                c.scatter::<f32>(2, None)
             };
-            let _ = c.scatter(2, data);
         });
         assert_eq!(trace.rank(2).get(OpKind::Scatter).messages, 5);
         assert_eq!(trace.rank(0).get(OpKind::Scatter).messages, 0);
     }
 
     #[test]
+    #[allow(deprecated)]
     #[should_panic(expected = "one block per rank")]
     fn wrong_block_count_panics() {
         World::run(2, |c| {
             let data = if c.rank() == 0 { Some(vec![vec![1u8]]) } else { None };
-            let _ = c.scatter(0, data);
+            let _ = c.scatter_nested(0, data);
         });
     }
 }

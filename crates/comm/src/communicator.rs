@@ -5,14 +5,20 @@ use crate::collectives;
 use crate::error::CommError;
 use crate::mailbox::Mailbox;
 use crate::message::{CommData, Envelope};
+use crate::pool::BufferPool;
 use crate::reduce_op::ReduceOp;
 use crate::registry::{CommId, Registry};
+use crate::request::{RecvRequest, SendRequest};
 use crate::trace::{OpKind, RankTrace};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// Message tag type (MPI uses `int`; we use the full `u64` space).
 pub type Tag = u64;
+
+/// Gatherv payload: the flat concatenation plus per-source element
+/// counts on the root, `None` elsewhere.
+pub type GathervResult<T> = Option<(Vec<T>, Vec<usize>)>;
 
 /// Wildcard source selector for [`Communicator::recv_any`].
 pub const ANY_SOURCE: usize = usize::MAX;
@@ -38,6 +44,10 @@ pub struct Communicator {
     /// matrix.
     world_of: Arc<Vec<usize>>,
     trace: Arc<RankTrace>,
+    /// Per-rank pool of reusable send buffers backing
+    /// [`Communicator::isend`]; shared with communicators derived via
+    /// [`Communicator::split`] (same thread, same pool).
+    pool: Arc<BufferPool>,
     /// Receives panic after this long without a matching message. This
     /// converts distributed deadlocks (a bug class this runtime exists to
     /// help find) into loud failures rather than silent hangs.
@@ -47,6 +57,7 @@ pub struct Communicator {
 impl Communicator {
     /// Construct a communicator handle. Crate-internal: users obtain
     /// communicators from [`crate::World::run`] or [`Communicator::split`].
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         registry: Arc<Registry>,
         comm_id: CommId,
@@ -54,6 +65,7 @@ impl Communicator {
         size: usize,
         world_of: Arc<Vec<usize>>,
         trace: Arc<RankTrace>,
+        pool: Arc<BufferPool>,
         recv_timeout: Duration,
     ) -> Self {
         Communicator {
@@ -63,6 +75,7 @@ impl Communicator {
             size,
             world_of,
             trace,
+            pool,
             recv_timeout,
         }
     }
@@ -93,6 +106,31 @@ impl Communicator {
     /// Identifier of this communicator within its world (diagnostics).
     pub fn id(&self) -> CommId {
         self.comm_id
+    }
+
+    /// The send-buffer pool backing [`Communicator::isend`] on this rank.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// This rank's own user-channel mailbox (where peers' messages land).
+    pub(crate) fn user_mailbox(&self) -> Arc<Mailbox> {
+        self.mailbox_for(0, self.rank)
+    }
+
+    /// Whether a peer rank has failed and the world is tearing down.
+    pub(crate) fn world_aborted(&self) -> bool {
+        self.registry.aborted()
+    }
+
+    /// The configured deadlock-detection window for blocking receives.
+    pub(crate) fn recv_timeout(&self) -> Duration {
+        self.recv_timeout
+    }
+
+    /// Blocking user-channel receive for [`crate::request::RecvRequest`].
+    pub(crate) fn blocking_user_recv(&self, src: usize, tag: Tag, ctx: &str) -> Envelope {
+        self.blocking_recv(0, src, tag, ctx)
     }
 
     fn check_rank(&self, r: usize) -> Result<(), CommError> {
@@ -223,6 +261,106 @@ impl Communicator {
         Some(env.into_data())
     }
 
+    /// Fallible blocking receive bounded by `timeout`: returns
+    /// `Err(CommError::Timeout)` instead of panicking when no matching
+    /// message arrives in time. Wildcards are allowed.
+    pub fn recv_within<T: CommData>(
+        &self,
+        src: usize,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<Vec<T>, CommError> {
+        Ok(self.bounded_recv(src, tag, timeout)?.into_data())
+    }
+
+    /// Like [`Communicator::recv_within`], also reporting the actual
+    /// source and tag (the fallible analogue of [`Communicator::recv_any`]).
+    pub fn recv_any_within<T: CommData>(
+        &self,
+        src: usize,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<(Vec<T>, usize, Tag), CommError> {
+        let env = self.bounded_recv(src, tag, timeout)?;
+        let (s, t) = (env.src, env.tag);
+        Ok((env.into_data(), s, t))
+    }
+
+    fn bounded_recv(&self, src: usize, tag: Tag, timeout: Duration) -> Result<Envelope, CommError> {
+        if src != ANY_SOURCE {
+            self.check_rank(src)?;
+        }
+        let mb = self.mailbox_for(0, self.rank);
+        let deadline = std::time::Instant::now() + timeout;
+        // Short slices so an abort by a peer rank still surfaces promptly.
+        let slice = Duration::from_millis(100).min(timeout);
+        loop {
+            match mb.recv_matching_timeout(self.rank, src, tag, slice) {
+                Ok(env) => {
+                    self.trace.record(OpKind::Recv, 0, 0);
+                    return Ok(env);
+                }
+                Err(e) => {
+                    if self.registry.aborted() {
+                        panic!(
+                            "rank {} aborting during recv_within: a peer rank failed",
+                            self.rank
+                        );
+                    }
+                    if std::time::Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Nonblocking point-to-point (request-based)
+    // ------------------------------------------------------------------
+
+    /// Nonblocking send of a slice to `dest`.
+    ///
+    /// The payload is copied into a reusable byte envelope from this
+    /// rank's [`BufferPool`] and delivered immediately (sends are
+    /// buffered); the returned [`SendRequest`] completes via
+    /// [`SendRequest::wait`]/[`SendRequest::test`] or on drop. The
+    /// envelope's backing buffer returns to this rank's pool when the
+    /// receiver unpacks it, so steady-state communication allocates
+    /// nothing.
+    pub fn isend<T: CommData + Copy>(&self, dest: usize, tag: Tag, data: &[T]) -> SendRequest<'_> {
+        self.check_rank(dest).expect("isend: invalid destination");
+        let bytes = std::mem::size_of_val(data);
+        let (buf, hit) = self.pool.acquire(bytes);
+        self.trace.record_pool(hit);
+        self.trace.record(OpKind::Send, 1, bytes as u64);
+        self.trace.record_peer(self.world_of[dest], bytes as u64);
+        self.trace.request_posted();
+        self.mailbox_for(0, dest)
+            .push(Envelope::from_slice(self.rank, tag, data, buf));
+        SendRequest::new(self)
+    }
+
+    /// Post a nonblocking receive for a message matching `(src, tag)`
+    /// (wildcards allowed). Complete it with [`RecvRequest::wait`],
+    /// poll with [`RecvRequest::test`], or batch with
+    /// [`crate::wait_all`]. Posting receives *before* independent
+    /// computation is how solvers overlap communication with compute.
+    pub fn irecv<T: CommData>(&self, src: usize, tag: Tag) -> RecvRequest<'_, T> {
+        if src != ANY_SOURCE {
+            self.check_rank(src).expect("irecv: invalid source");
+        }
+        self.trace.request_posted();
+        RecvRequest::new(self, src, tag)
+    }
+
+    /// Blocking slice send through the pooled path: `isend` + `wait`.
+    /// Prefer this over [`Communicator::send`] when the caller keeps
+    /// ownership of the buffer.
+    pub fn send_slice<T: CommData + Copy>(&self, dest: usize, tag: Tag, data: &[T]) {
+        self.isend(dest, tag, data).wait();
+    }
+
     // ------------------------------------------------------------------
     // Point-to-point, collective shadow channel (crate-internal)
     // ------------------------------------------------------------------
@@ -307,50 +445,288 @@ impl Communicator {
         self.allreduce(value, &crate::reduce_op::MinOp)
     }
 
-    /// Gather every rank's buffer to `root` (non-roots get `None`).
-    pub fn gather<T: CommData + Clone>(&self, root: usize, data: Vec<T>) -> Option<Vec<Vec<T>>> {
-        collectives::gather::gather(self, root, data)
+    /// Gather every rank's slice to `root`, concatenated in rank order
+    /// (non-roots get `None`). Per-rank lengths may differ; use
+    /// [`Communicator::gatherv`] to recover the boundaries.
+    pub fn gather<T: CommData + Clone>(&self, root: usize, data: &[T]) -> Option<Vec<T>> {
+        self.try_gather(root, data)
+            .unwrap_or_else(|e| panic!("gather: {e}"))
     }
 
-    /// Gather every rank's buffer to every rank (ring algorithm).
-    pub fn allgather<T: CommData + Clone>(&self, data: Vec<T>) -> Vec<Vec<T>> {
-        collectives::gather::allgather(self, data)
+    /// Fallible [`Communicator::gather`]: `Err` on an out-of-range root.
+    pub fn try_gather<T: CommData + Clone>(
+        &self,
+        root: usize,
+        data: &[T],
+    ) -> Result<Option<Vec<T>>, CommError> {
+        Ok(self
+            .try_gatherv(root, data)?
+            .map(|(flat, _counts)| flat))
     }
 
-    /// Scatter `root`'s per-rank buffers (non-root passes `None`).
-    pub fn scatter<T: CommData + Clone>(&self, root: usize, data: Option<Vec<Vec<T>>>) -> Vec<T> {
-        collectives::scatter::scatter(self, root, data)
+    /// Like [`Communicator::gather`], also returning each rank's element
+    /// count so the concatenation can be split per source.
+    pub fn gatherv<T: CommData + Clone>(
+        &self,
+        root: usize,
+        data: &[T],
+    ) -> Option<(Vec<T>, Vec<usize>)> {
+        self.try_gatherv(root, data)
+            .unwrap_or_else(|e| panic!("gatherv: {e}"))
     }
 
-    /// Regular all-to-all with the default (pairwise-exchange) algorithm.
-    /// `blocks[d]` is this rank's block destined for rank `d`; the result's
-    /// entry `s` is the block received from rank `s`.
-    pub fn alltoall<T: CommData + Clone>(&self, blocks: Vec<Vec<T>>) -> Vec<Vec<T>> {
-        collectives::alltoall::alltoall(self, blocks, collectives::alltoall::AllToAllAlgo::Pairwise)
+    /// Fallible [`Communicator::gatherv`].
+    pub fn try_gatherv<T: CommData + Clone>(
+        &self,
+        root: usize,
+        data: &[T],
+    ) -> Result<GathervResult<T>, CommError> {
+        self.check_rank(root)?;
+        Ok(collectives::gather::gather(self, root, data.to_vec()).map(|blocks| {
+            let counts: Vec<usize> = blocks.iter().map(Vec::len).collect();
+            (blocks.into_iter().flatten().collect(), counts)
+        }))
+    }
+
+    /// Gather every rank's slice to every rank (ring algorithm),
+    /// concatenated in rank order. Per-rank lengths may differ; use
+    /// [`Communicator::allgatherv`] to recover the boundaries.
+    pub fn allgather<T: CommData + Clone>(&self, data: &[T]) -> Vec<T> {
+        collectives::gather::allgather(self, data.to_vec())
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// Like [`Communicator::allgather`], also returning each rank's
+    /// element count.
+    pub fn allgatherv<T: CommData + Clone>(&self, data: &[T]) -> (Vec<T>, Vec<usize>) {
+        let blocks = collectives::gather::allgather(self, data.to_vec());
+        let counts: Vec<usize> = blocks.iter().map(Vec::len).collect();
+        (blocks.into_iter().flatten().collect(), counts)
+    }
+
+    /// Scatter equal chunks of `root`'s flat buffer: rank `r` receives
+    /// elements `r*n/P .. (r+1)*n/P`. The buffer length must divide
+    /// evenly by the communicator size. Non-roots pass `None`.
+    pub fn scatter<T: CommData + Clone>(&self, root: usize, data: Option<&[T]>) -> Vec<T> {
+        self.try_scatter(root, data)
+            .unwrap_or_else(|e| panic!("scatter: {e}"))
+    }
+
+    /// Fallible [`Communicator::scatter`]: `Err` on an out-of-range root
+    /// or a root buffer not divisible by the communicator size.
+    pub fn try_scatter<T: CommData + Clone>(
+        &self,
+        root: usize,
+        data: Option<&[T]>,
+    ) -> Result<Vec<T>, CommError> {
+        self.check_rank(root)?;
+        let blocks = match (self.rank == root, data) {
+            (true, Some(d)) => {
+                if d.len() % self.size != 0 {
+                    return Err(CommError::SizeMismatch {
+                        what: "scatter buffer length (must divide by comm size)",
+                        expected: d.len().next_multiple_of(self.size.max(1)),
+                        got: d.len(),
+                    });
+                }
+                let chunk = d.len() / self.size;
+                if chunk == 0 {
+                    Some(vec![Vec::new(); self.size])
+                } else {
+                    Some(d.chunks(chunk).map(<[T]>::to_vec).collect())
+                }
+            }
+            (true, None) => {
+                return Err(CommError::SizeMismatch {
+                    what: "scatter root buffer (root must supply data)",
+                    expected: self.size,
+                    got: 0,
+                })
+            }
+            (false, _) => None,
+        };
+        Ok(collectives::scatter::scatter(self, root, blocks))
+    }
+
+    /// Scatter variable-length chunks: `counts[r]` elements go to rank
+    /// `r`, and `counts` must sum to the buffer length. Non-roots pass
+    /// `None`.
+    pub fn scatterv<T: CommData + Clone>(
+        &self,
+        root: usize,
+        data: Option<(&[T], &[usize])>,
+    ) -> Vec<T> {
+        self.try_scatterv(root, data)
+            .unwrap_or_else(|e| panic!("scatterv: {e}"))
+    }
+
+    /// Fallible [`Communicator::scatterv`].
+    pub fn try_scatterv<T: CommData + Clone>(
+        &self,
+        root: usize,
+        data: Option<(&[T], &[usize])>,
+    ) -> Result<Vec<T>, CommError> {
+        self.check_rank(root)?;
+        let blocks = match (self.rank == root, data) {
+            (true, Some((d, counts))) => {
+                if counts.len() != self.size {
+                    return Err(CommError::SizeMismatch {
+                        what: "scatterv counts length",
+                        expected: self.size,
+                        got: counts.len(),
+                    });
+                }
+                let total: usize = counts.iter().sum();
+                if total != d.len() {
+                    return Err(CommError::SizeMismatch {
+                        what: "scatterv counts sum",
+                        expected: d.len(),
+                        got: total,
+                    });
+                }
+                let mut rest = d;
+                Some(
+                    counts
+                        .iter()
+                        .map(|&c| {
+                            let (head, tail) = rest.split_at(c);
+                            rest = tail;
+                            head.to_vec()
+                        })
+                        .collect(),
+                )
+            }
+            (true, None) => {
+                return Err(CommError::SizeMismatch {
+                    what: "scatterv root buffer (root must supply data)",
+                    expected: self.size,
+                    got: 0,
+                })
+            }
+            (false, _) => None,
+        };
+        Ok(collectives::scatter::scatter(self, root, blocks))
+    }
+
+    /// Regular all-to-all over a flat buffer with the default
+    /// (pairwise-exchange) algorithm: elements `d*n/P .. (d+1)*n/P` of
+    /// `send` go to rank `d`, and the result holds rank `s`'s chunk at
+    /// `s*n/P .. (s+1)*n/P`. The buffer length must divide evenly by the
+    /// communicator size.
+    pub fn alltoall<T: CommData + Clone>(&self, send: &[T]) -> Vec<T> {
+        self.try_alltoall(send)
+            .unwrap_or_else(|e| panic!("alltoall: {e}"))
+    }
+
+    /// Fallible [`Communicator::alltoall`].
+    pub fn try_alltoall<T: CommData + Clone>(&self, send: &[T]) -> Result<Vec<T>, CommError> {
+        self.try_alltoall_with(send, collectives::alltoall::AllToAllAlgo::Pairwise)
     }
 
     /// Regular all-to-all with an explicit algorithm choice.
     pub fn alltoall_with<T: CommData + Clone>(
         &self,
-        blocks: Vec<Vec<T>>,
+        send: &[T],
         algo: collectives::alltoall::AllToAllAlgo,
-    ) -> Vec<Vec<T>> {
-        collectives::alltoall::alltoall(self, blocks, algo)
+    ) -> Vec<T> {
+        self.try_alltoall_with(send, algo)
+            .unwrap_or_else(|e| panic!("alltoall: {e}"))
     }
 
-    /// Irregular all-to-all (per-destination counts may differ and may be
-    /// zero). Same semantics as [`Communicator::alltoall`].
-    pub fn alltoallv<T: CommData + Clone>(&self, blocks: Vec<Vec<T>>) -> Vec<Vec<T>> {
-        collectives::alltoall::alltoallv(self, blocks)
+    /// Fallible [`Communicator::alltoall_with`].
+    pub fn try_alltoall_with<T: CommData + Clone>(
+        &self,
+        send: &[T],
+        algo: collectives::alltoall::AllToAllAlgo,
+    ) -> Result<Vec<T>, CommError> {
+        if !send.len().is_multiple_of(self.size) {
+            return Err(CommError::SizeMismatch {
+                what: "alltoall send length (must divide by comm size)",
+                expected: send.len().next_multiple_of(self.size),
+                got: send.len(),
+            });
+        }
+        let chunk = send.len() / self.size;
+        let blocks = if chunk == 0 {
+            vec![Vec::new(); self.size]
+        } else {
+            send.chunks(chunk).map(<[T]>::to_vec).collect()
+        };
+        Ok(collectives::alltoall::alltoall(self, blocks, algo)
+            .into_iter()
+            .flatten()
+            .collect())
+    }
+
+    /// Irregular all-to-all over a flat buffer: `counts[d]` elements go
+    /// to rank `d` (counts may be zero and must sum to the buffer
+    /// length). Returns the received elements concatenated in source-rank
+    /// order, plus the per-source counts.
+    pub fn alltoallv<T: CommData + Clone>(
+        &self,
+        send: &[T],
+        counts: &[usize],
+    ) -> (Vec<T>, Vec<usize>) {
+        self.try_alltoallv(send, counts)
+            .unwrap_or_else(|e| panic!("alltoallv: {e}"))
+    }
+
+    /// Fallible [`Communicator::alltoallv`].
+    pub fn try_alltoallv<T: CommData + Clone>(
+        &self,
+        send: &[T],
+        counts: &[usize],
+    ) -> Result<(Vec<T>, Vec<usize>), CommError> {
+        self.try_alltoallv_with(send, counts, collectives::alltoall::AllToAllAlgo::Pairwise)
     }
 
     /// Irregular all-to-all with an explicit algorithm choice.
     pub fn alltoallv_with<T: CommData + Clone>(
         &self,
-        blocks: Vec<Vec<T>>,
+        send: &[T],
+        counts: &[usize],
         algo: collectives::alltoall::AllToAllAlgo,
-    ) -> Vec<Vec<T>> {
-        collectives::alltoall::alltoallv_with(self, blocks, algo)
+    ) -> (Vec<T>, Vec<usize>) {
+        self.try_alltoallv_with(send, counts, algo)
+            .unwrap_or_else(|e| panic!("alltoallv: {e}"))
+    }
+
+    /// Fallible [`Communicator::alltoallv_with`].
+    pub fn try_alltoallv_with<T: CommData + Clone>(
+        &self,
+        send: &[T],
+        counts: &[usize],
+        algo: collectives::alltoall::AllToAllAlgo,
+    ) -> Result<(Vec<T>, Vec<usize>), CommError> {
+        if counts.len() != self.size {
+            return Err(CommError::SizeMismatch {
+                what: "alltoallv counts length",
+                expected: self.size,
+                got: counts.len(),
+            });
+        }
+        let total: usize = counts.iter().sum();
+        if total != send.len() {
+            return Err(CommError::SizeMismatch {
+                what: "alltoallv counts sum",
+                expected: send.len(),
+                got: total,
+            });
+        }
+        let mut rest = send;
+        let blocks: Vec<Vec<T>> = counts
+            .iter()
+            .map(|&c| {
+                let (head, tail) = rest.split_at(c);
+                rest = tail;
+                head.to_vec()
+            })
+            .collect();
+        let recv = collectives::alltoall::alltoallv_with(self, blocks, algo);
+        let recv_counts: Vec<usize> = recv.iter().map(Vec::len).collect();
+        Ok((recv.into_iter().flatten().collect(), recv_counts))
     }
 
     /// Inclusive prefix reduction: rank r gets `v_0 ⊕ … ⊕ v_r`.
@@ -363,9 +739,136 @@ impl Communicator {
         collectives::scan::exscan(self, value, op)
     }
 
-    /// Reduce-scatter: element-wise reduce one block per destination and
-    /// return this rank's reduced block.
+    /// Reduce-scatter over a flat buffer: chunk `d*n/P .. (d+1)*n/P` is
+    /// this rank's contribution toward destination `d`; the returned
+    /// block is the element-wise reduction of every rank's chunk for this
+    /// destination.
     pub fn reduce_scatter<T: CommData + Clone, O: ReduceOp<T>>(
+        &self,
+        contributions: &[T],
+        op: &O,
+    ) -> Vec<T> {
+        self.try_reduce_scatter(contributions, op)
+            .unwrap_or_else(|e| panic!("reduce_scatter: {e}"))
+    }
+
+    /// Fallible [`Communicator::reduce_scatter`].
+    pub fn try_reduce_scatter<T: CommData + Clone, O: ReduceOp<T>>(
+        &self,
+        contributions: &[T],
+        op: &O,
+    ) -> Result<Vec<T>, CommError> {
+        if !contributions.len().is_multiple_of(self.size) {
+            return Err(CommError::SizeMismatch {
+                what: "reduce_scatter buffer length (must divide by comm size)",
+                expected: contributions.len().next_multiple_of(self.size),
+                got: contributions.len(),
+            });
+        }
+        let chunk = contributions.len() / self.size;
+        let blocks = if chunk == 0 {
+            vec![Vec::new(); self.size]
+        } else {
+            contributions.chunks(chunk).map(<[T]>::to_vec).collect()
+        };
+        Ok(collectives::scan::reduce_scatter(self, blocks, op))
+    }
+
+    /// Fallible [`Communicator::broadcast`]: `Err` on an out-of-range
+    /// root or a root that supplies no buffer.
+    pub fn try_broadcast<T: CommData + Clone>(
+        &self,
+        root: usize,
+        data: Option<Vec<T>>,
+    ) -> Result<Vec<T>, CommError> {
+        self.check_rank(root)?;
+        if self.rank == root && data.is_none() {
+            return Err(CommError::SizeMismatch {
+                what: "broadcast root buffer (root must supply data)",
+                expected: 1,
+                got: 0,
+            });
+        }
+        Ok(collectives::broadcast::broadcast(self, root, data))
+    }
+
+    /// Fallible [`Communicator::reduce`]: `Err` on an out-of-range root.
+    pub fn try_reduce<T: CommData + Clone, O: ReduceOp<T>>(
+        &self,
+        root: usize,
+        value: T,
+        op: &O,
+    ) -> Result<Option<T>, CommError> {
+        self.check_rank(root)?;
+        Ok(collectives::reduce::reduce(self, root, value, op))
+    }
+
+    // ------------------------------------------------------------------
+    // Deprecated nested-Vec collective shapes (pre-redesign API)
+    // ------------------------------------------------------------------
+
+    /// Gather keeping the received buffers as one `Vec` per source rank.
+    #[deprecated(note = "use gather(root, &[T]) or gatherv for flat buffers with counts")]
+    pub fn gather_nested<T: CommData + Clone>(
+        &self,
+        root: usize,
+        data: Vec<T>,
+    ) -> Option<Vec<Vec<T>>> {
+        collectives::gather::gather(self, root, data)
+    }
+
+    /// Allgather keeping one `Vec` per source rank.
+    #[deprecated(note = "use allgather(&[T]) or allgatherv for flat buffers with counts")]
+    pub fn allgather_nested<T: CommData + Clone>(&self, data: Vec<T>) -> Vec<Vec<T>> {
+        collectives::gather::allgather(self, data)
+    }
+
+    /// Scatter from pre-chunked per-destination buffers.
+    #[deprecated(note = "use scatter(root, Option<&[T]>) or scatterv with explicit counts")]
+    pub fn scatter_nested<T: CommData + Clone>(
+        &self,
+        root: usize,
+        data: Option<Vec<Vec<T>>>,
+    ) -> Vec<T> {
+        collectives::scatter::scatter(self, root, data)
+    }
+
+    /// All-to-all over pre-chunked per-destination blocks.
+    #[deprecated(note = "use alltoall(&[T]) with a flat buffer")]
+    pub fn alltoall_nested<T: CommData + Clone>(&self, blocks: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        collectives::alltoall::alltoall(self, blocks, collectives::alltoall::AllToAllAlgo::Pairwise)
+    }
+
+    /// All-to-all over pre-chunked blocks with an explicit algorithm.
+    #[deprecated(note = "use alltoall_with(&[T], algo) with a flat buffer")]
+    pub fn alltoall_with_nested<T: CommData + Clone>(
+        &self,
+        blocks: Vec<Vec<T>>,
+        algo: collectives::alltoall::AllToAllAlgo,
+    ) -> Vec<Vec<T>> {
+        collectives::alltoall::alltoall(self, blocks, algo)
+    }
+
+    /// Irregular all-to-all over pre-chunked per-destination blocks.
+    #[deprecated(note = "use alltoallv(&[T], &counts) with a flat buffer")]
+    pub fn alltoallv_nested<T: CommData + Clone>(&self, blocks: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        collectives::alltoall::alltoallv(self, blocks)
+    }
+
+    /// Irregular all-to-all over pre-chunked blocks with an explicit
+    /// algorithm.
+    #[deprecated(note = "use alltoallv_with(&[T], &counts, algo) with a flat buffer")]
+    pub fn alltoallv_with_nested<T: CommData + Clone>(
+        &self,
+        blocks: Vec<Vec<T>>,
+        algo: collectives::alltoall::AllToAllAlgo,
+    ) -> Vec<Vec<T>> {
+        collectives::alltoall::alltoallv_with(self, blocks, algo)
+    }
+
+    /// Reduce-scatter over pre-chunked per-destination contributions.
+    #[deprecated(note = "use reduce_scatter(&[T], op) with a flat buffer")]
+    pub fn reduce_scatter_nested<T: CommData + Clone, O: ReduceOp<T>>(
         &self,
         contributions: Vec<Vec<T>>,
         op: &O,
@@ -388,8 +891,7 @@ impl Communicator {
             assert_ne!(c, u64::MAX, "split: color u64::MAX is reserved");
         }
         let triple = (color.unwrap_or(u64::MAX), key, self.rank);
-        let all = self.allgather(vec![triple]);
-        let mut entries: Vec<(u64, i64, usize)> = all.into_iter().map(|v| v[0]).collect();
+        let mut entries: Vec<(u64, i64, usize)> = self.allgather(&[triple]);
         entries.sort_unstable();
 
         // Enumerate color groups in sorted color order.
@@ -436,6 +938,7 @@ impl Communicator {
             members.len(),
             world_of,
             Arc::clone(&self.trace),
+            Arc::clone(&self.pool),
             self.recv_timeout,
         ))
     }
@@ -619,5 +1122,203 @@ mod tests {
         assert_eq!(s.messages, 1);
         assert_eq!(s.bytes, 128);
         assert_eq!(trace.rank(1).get(OpKind::Recv).calls, 1);
+    }
+
+    #[test]
+    fn flat_gather_concatenates_in_rank_order() {
+        World::run(3, |c| {
+            let mine = vec![c.rank() as u32 * 10, c.rank() as u32 * 10 + 1];
+            let got = c.gather(1, &mine);
+            if c.rank() == 1 {
+                assert_eq!(got.unwrap(), vec![0, 1, 10, 11, 20, 21]);
+            } else {
+                assert!(got.is_none());
+            }
+        });
+    }
+
+    #[test]
+    fn gatherv_reports_ragged_counts() {
+        World::run(3, |c| {
+            // Rank r contributes r elements.
+            let mine = vec![c.rank() as u64; c.rank()];
+            if let Some((flat, counts)) = c.gatherv(0, &mine) {
+                assert_eq!(counts, vec![0, 1, 2]);
+                assert_eq!(flat, vec![1, 2, 2]);
+            }
+        });
+    }
+
+    #[test]
+    fn flat_allgather_and_allgatherv() {
+        World::run(4, |c| {
+            let got = c.allgather(&[c.rank() as u8]);
+            assert_eq!(got, vec![0, 1, 2, 3]);
+            let mine = vec![c.rank() as u8; c.rank() % 2 + 1];
+            let (flat, counts) = c.allgatherv(&mine);
+            assert_eq!(counts, vec![1, 2, 1, 2]);
+            assert_eq!(flat, vec![0, 1, 1, 2, 3, 3]);
+        });
+    }
+
+    #[test]
+    fn flat_scatter_deals_equal_chunks() {
+        World::run(3, |c| {
+            let data: Vec<u32> = (0..6).collect();
+            let mine = if c.rank() == 0 {
+                c.scatter(0, Some(&data))
+            } else {
+                c.scatter::<u32>(0, None)
+            };
+            let r = c.rank() as u32;
+            assert_eq!(mine, vec![2 * r, 2 * r + 1]);
+        });
+    }
+
+    #[test]
+    fn scatterv_deals_by_counts() {
+        World::run(3, |c| {
+            let data: Vec<u32> = (0..6).collect();
+            let counts = [3usize, 0, 3];
+            let mine = if c.rank() == 0 {
+                c.scatterv(0, Some((&data[..], &counts[..])))
+            } else {
+                c.scatterv::<u32>(0, None)
+            };
+            match c.rank() {
+                0 => assert_eq!(mine, vec![0, 1, 2]),
+                1 => assert!(mine.is_empty()),
+                _ => assert_eq!(mine, vec![3, 4, 5]),
+            }
+        });
+    }
+
+    #[test]
+    fn flat_alltoall_transposes_chunks() {
+        World::run(3, |c| {
+            let me = c.rank() as u64;
+            // Chunk for destination d is [me*10 + d].
+            let send: Vec<u64> = (0..3).map(|d| me * 10 + d).collect();
+            let got = c.alltoall(&send);
+            let want: Vec<u64> = (0..3).map(|s| s * 10 + me).collect();
+            assert_eq!(got, want);
+        });
+    }
+
+    #[test]
+    fn flat_alltoallv_returns_counts() {
+        World::run(3, |c| {
+            let me = c.rank();
+            // Rank r sends r+1 copies of its rank to every destination.
+            let counts = vec![me + 1; 3];
+            let send = vec![me as u64; 3 * (me + 1)];
+            let (flat, rcounts) = c.alltoallv(&send, &counts);
+            assert_eq!(rcounts, vec![1, 2, 3]);
+            assert_eq!(flat, vec![0, 1, 1, 2, 2, 2]);
+        });
+    }
+
+    #[test]
+    fn flat_reduce_scatter_sums_chunks() {
+        World::run(2, |c| {
+            let contributions = vec![c.rank() as f64 + 1.0; 4];
+            let mine = c.reduce_scatter(&contributions, &crate::reduce_op::SumOp);
+            assert_eq!(mine, vec![3.0, 3.0]);
+        });
+    }
+
+    #[test]
+    fn try_variants_reject_bad_arguments_locally() {
+        World::run(2, |c| {
+            assert!(matches!(
+                c.try_gather(5, &[0u8]),
+                Err(CommError::InvalidRank { rank: 5, size: 2 })
+            ));
+            assert!(matches!(
+                c.try_alltoall(&[0u8; 3]),
+                Err(CommError::SizeMismatch { got: 3, .. })
+            ));
+            assert!(matches!(
+                c.try_alltoallv(&[0u8; 4], &[1, 2]),
+                Err(CommError::SizeMismatch { got: 3, .. })
+            ));
+            assert!(matches!(
+                c.try_alltoallv(&[0u8; 4], &[1]),
+                Err(CommError::SizeMismatch { expected: 2, got: 1, .. })
+            ));
+            assert!(matches!(
+                c.try_reduce_scatter(&[0.5f64; 3], &crate::reduce_op::SumOp),
+                Err(CommError::SizeMismatch { got: 3, .. })
+            ));
+            if c.rank() == 0 {
+                assert!(matches!(
+                    c.try_scatter::<u8>(0, None),
+                    Err(CommError::SizeMismatch { .. })
+                ));
+                assert!(matches!(
+                    c.try_broadcast::<u8>(0, None),
+                    Err(CommError::SizeMismatch { .. })
+                ));
+            }
+            assert!(matches!(
+                c.try_reduce(9, 1.0, &crate::reduce_op::SumOp),
+                Err(CommError::InvalidRank { rank: 9, size: 2 })
+            ));
+            // Errors above are local: no rank entered a collective, so the
+            // group is still consistent for a real one.
+            assert_eq!(c.allreduce_sum(1.0), 2.0);
+        });
+    }
+
+    #[test]
+    fn recv_within_times_out_instead_of_panicking() {
+        World::run(2, |c| {
+            if c.rank() == 0 {
+                // Tag 99 is never sent: this must time out even though a
+                // non-matching message (tag 4) may already be queued.
+                let err = c
+                    .recv_within::<u8>(1, 99, Duration::from_millis(30))
+                    .unwrap_err();
+                assert!(matches!(err, CommError::Timeout { rank: 0, .. }));
+                c.barrier();
+                // After the sender's barrier the message is guaranteed queued.
+                let (v, src, tag) = c
+                    .recv_any_within::<u8>(ANY_SOURCE, ANY_TAG, Duration::from_secs(5))
+                    .unwrap();
+                assert_eq!((v, src, tag), (vec![9], 1, 4));
+            } else {
+                c.send(0, 4, vec![9u8]);
+                c.barrier();
+            }
+        });
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn nested_wrappers_preserve_old_shapes() {
+        World::run(2, |c| {
+            let g = c.allgather_nested(vec![c.rank() as u16]);
+            assert_eq!(g, vec![vec![0], vec![1]]);
+            let blocks = vec![vec![c.rank() as u16]; 2];
+            let t = c.alltoall_nested(blocks);
+            assert_eq!(t, vec![vec![0], vec![1]]);
+            let got = c.gather_nested(0, vec![c.rank() as u16]);
+            if c.rank() == 0 {
+                assert_eq!(got.unwrap(), vec![vec![0], vec![1]]);
+            }
+        });
+    }
+
+    #[test]
+    fn send_slice_keeps_caller_ownership() {
+        World::run(2, |c| {
+            let data = vec![1.0f32, 2.0, 3.0];
+            if c.rank() == 0 {
+                c.send_slice(1, 2, &data);
+                assert_eq!(data.len(), 3); // still ours
+            } else {
+                assert_eq!(c.recv::<f32>(0, 2), vec![1.0, 2.0, 3.0]);
+            }
+        });
     }
 }

@@ -33,6 +33,17 @@ pub enum CommError {
         /// The communicator size.
         size: usize,
     },
+    /// A buffer length or count vector disagrees with what the collective
+    /// requires (e.g. an `alltoall` send buffer not divisible by the
+    /// communicator size, or a counts slice of the wrong length).
+    SizeMismatch {
+        /// Which quantity was wrong (e.g. `"alltoall send length"`).
+        what: &'static str,
+        /// The size the operation required.
+        expected: usize,
+        /// The size the caller supplied.
+        got: usize,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -49,6 +60,11 @@ impl fmt::Display for CommError {
                 f,
                 "cartesian dims product {product} does not match communicator size {size}"
             ),
+            CommError::SizeMismatch {
+                what,
+                expected,
+                got,
+            } => write!(f, "{what}: expected {expected}, got {got}"),
         }
     }
 }
@@ -74,5 +90,11 @@ mod tests {
             size: 4,
         };
         assert!(e.to_string().contains("dims"));
+        let e = CommError::SizeMismatch {
+            what: "alltoall send length",
+            expected: 4,
+            got: 3,
+        };
+        assert!(e.to_string().contains("expected 4, got 3"));
     }
 }

@@ -44,15 +44,20 @@ pub mod communicator;
 pub mod error;
 pub mod mailbox;
 pub mod message;
+pub mod pool;
 pub mod reduce_op;
 pub mod registry;
+pub mod request;
+pub mod sync;
 pub mod trace;
 pub mod world;
 
 pub use cart::{dims_create, CartComm};
 pub use communicator::{Communicator, Tag, ANY_SOURCE, ANY_TAG};
 pub use error::CommError;
+pub use pool::{BufferPool, PoolStats};
 pub use reduce_op::{MaxOp, MinOp, ProdOp, ReduceOp, SumOp};
+pub use request::{wait_all, RecvRequest, SendRequest};
 pub use trace::{OpKind, OpStats, RankTrace, WorldTrace};
 pub use world::World;
 

@@ -9,7 +9,7 @@
 
 use crate::error::CommError;
 use crate::message::Envelope;
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 use std::time::Duration;
 
 /// A blocking, matching message queue for one rank of one communicator.
@@ -63,17 +63,42 @@ impl Mailbox {
             if let Some(pos) = q.iter().position(|e| e.matches(src, tag)) {
                 return Ok(q.remove(pos));
             }
+            // Recompute the remaining window on every pass: wakeups for
+            // non-matching messages (and spurious wakeups) must shorten the
+            // wait, never restart the full timeout.
             let now = std::time::Instant::now();
             if now >= deadline {
                 return Err(CommError::Timeout { rank, src, tag });
             }
-            if self.cond.wait_until(&mut q, deadline).timed_out() {
-                // Re-check once after timing out; a message may have raced in.
-                if let Some(pos) = q.iter().position(|e| e.matches(src, tag)) {
-                    return Ok(q.remove(pos));
-                }
-                return Err(CommError::Timeout { rank, src, tag });
+            let remaining = deadline - now;
+            let _ = self.cond.wait_for(&mut q, remaining);
+        }
+    }
+
+    /// Block until some queued envelope matches one of `selectors`
+    /// (`(src, tag)` pairs, wildcards allowed), or until `timeout`
+    /// elapses. Returns the index of the first selector with a waiting
+    /// match, without consuming the envelope.
+    ///
+    /// This is the progress primitive behind
+    /// [`crate::request::wait_all`]: checking the selectors and sleeping
+    /// happen under one lock, so a message that arrives between the two
+    /// cannot be missed.
+    pub fn wait_any(&self, selectors: &[(usize, u64)], timeout: Duration) -> Option<usize> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(i) = selectors
+                .iter()
+                .position(|&(s, t)| q.iter().any(|e| e.matches(s, t)))
+            {
+                return Some(i);
             }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let _ = self.cond.wait_for(&mut q, deadline - now);
         }
     }
 
@@ -151,6 +176,63 @@ mod tests {
                 tag: 0
             }
         );
+    }
+
+    #[test]
+    fn timeout_deadline_survives_spurious_wakeups() {
+        // Regression: a steady stream of *non-matching* messages wakes the
+        // receiver over and over; each wakeup must shorten the remaining
+        // window rather than restart the full timeout, so the receive
+        // still fails at ~deadline instead of being kept alive
+        // indefinitely.
+        let mb = Arc::new(Mailbox::new());
+        let feeder = {
+            let mb = Arc::clone(&mb);
+            std::thread::spawn(move || {
+                for _ in 0..60 {
+                    mb.push(Envelope::new(1, 1, vec![0u8]));
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            })
+        };
+        let t0 = std::time::Instant::now();
+        let err = mb
+            .recv_matching_timeout(0, 2, 2, Duration::from_millis(100))
+            .unwrap_err();
+        let elapsed = t0.elapsed();
+        assert!(matches!(err, CommError::Timeout { .. }));
+        // 60 wakeups x 10 ms would stretch a restarting implementation to
+        // ~600 ms; the fixed one stays near the 100 ms deadline.
+        assert!(
+            elapsed < Duration::from_millis(400),
+            "deadline restarted on spurious wakeups: {elapsed:?}"
+        );
+        feeder.join().unwrap();
+    }
+
+    #[test]
+    fn wait_any_reports_first_matching_selector() {
+        let mb = Arc::new(Mailbox::new());
+        // Nothing queued: times out.
+        assert_eq!(
+            mb.wait_any(&[(0, 0), (1, 1)], Duration::from_millis(10)),
+            None
+        );
+        mb.push(Envelope::new(1, 1, vec![0u8]));
+        // Selector 1 matches; the envelope is not consumed.
+        assert_eq!(
+            mb.wait_any(&[(0, 0), (1, 1)], Duration::from_millis(10)),
+            Some(1)
+        );
+        assert_eq!(mb.len(), 1);
+        // Cross-thread wakeup.
+        let mb2 = Arc::clone(&mb);
+        let waiter = std::thread::spawn(move || {
+            mb2.wait_any(&[(7, 7)], Duration::from_secs(5))
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        mb.push(Envelope::new(7, 7, vec![1u8]));
+        assert_eq!(waiter.join().unwrap(), Some(0));
     }
 
     #[test]

@@ -1,12 +1,24 @@
 //! Message envelopes moved between rank mailboxes.
 //!
-//! A message is a typed `Vec<T>` boxed as `dyn Any` so the mailbox can be
-//! type-agnostic while transfers stay zero-copy (the vector's heap buffer
-//! moves between threads untouched). The envelope carries the metadata MPI
-//! would put on the wire: source rank, tag, and the payload size in bytes
-//! (used by the instrumentation layer).
+//! A message payload takes one of two forms:
+//!
+//! * **Typed** — a `Vec<T>` boxed as `dyn Any`, so the mailbox can be
+//!   type-agnostic while transfers stay zero-copy (the vector's heap
+//!   buffer moves between threads untouched). Used by the blocking
+//!   by-value send path.
+//! * **Pooled** — raw bytes in a [`PooledBuf`] checked out of the sending
+//!   rank's [`crate::pool::BufferPool`], tagged with the element
+//!   `TypeId`. Used by the nonblocking slice-based send path
+//!   ([`crate::Communicator::isend`]): the sender copies the slice into a
+//!   reused envelope, and when the receiver unpacks the payload the
+//!   envelope returns to the sender's pool. Restricted to `T: Copy`.
+//!
+//! The envelope carries the metadata MPI would put on the wire: source
+//! rank, tag, and the payload size in bytes (used by the instrumentation
+//! layer).
 
-use std::any::Any;
+use crate::pool::PooledBuf;
+use std::any::{Any, TypeId};
 
 /// Marker trait for element types that can travel in a message.
 ///
@@ -16,18 +28,26 @@ use std::any::Any;
 pub trait CommData: Send + 'static {}
 impl<T: Send + 'static> CommData for T {}
 
+/// The two payload transports.
+enum Payload {
+    /// An owned `Vec<T>` moved by pointer.
+    Typed(Box<dyn Any + Send>),
+    /// `count` elements of the type with id `elem`, memcpy'd into a
+    /// pooled byte envelope.
+    Pooled { buf: PooledBuf, elem: TypeId },
+}
+
 /// A typed message in flight between two ranks of one communicator.
 pub struct Envelope {
-    // NOTE: `payload` is `dyn Any`, so Debug is implemented manually below.
     /// Rank of the sender *within the communicator the message was sent on*.
     pub src: usize,
     /// User-chosen matching tag.
     pub tag: u64,
-    /// Payload: a `Vec<T>` boxed as `Any`.
-    pub payload: Box<dyn Any + Send>,
+    /// Payload transport (owned vector or pooled bytes).
+    payload: Payload,
     /// Payload size in bytes (`len * size_of::<T>()`), for tracing.
     pub bytes: usize,
-    /// Number of elements in the payload vector.
+    /// Number of elements in the payload.
     pub count: usize,
     /// Name of the element type, for diagnostics on mismatched receives.
     pub type_name: &'static str,
@@ -41,21 +61,44 @@ impl std::fmt::Debug for Envelope {
             .field("bytes", &self.bytes)
             .field("count", &self.count)
             .field("type_name", &self.type_name)
+            .field("pooled", &matches!(self.payload, Payload::Pooled { .. }))
             .finish_non_exhaustive()
     }
 }
 
 impl Envelope {
-    /// Wrap a typed buffer into an envelope.
+    /// Wrap a typed buffer into an envelope (owned-vector transport).
     pub fn new<T: CommData>(src: usize, tag: u64, data: Vec<T>) -> Self {
         let count = data.len();
         let bytes = count * std::mem::size_of::<T>();
         Envelope {
             src,
             tag,
-            payload: Box::new(data),
+            payload: Payload::Typed(Box::new(data)),
             bytes,
             count,
+            type_name: std::any::type_name::<T>(),
+        }
+    }
+
+    /// Copy a slice into a pooled byte envelope (pooled transport). The
+    /// `T: Copy` bound is what makes the byte-level round trip sound.
+    pub fn from_slice<T: CommData + Copy>(
+        src: usize,
+        tag: u64,
+        data: &[T],
+        mut buf: PooledBuf,
+    ) -> Self {
+        buf.fill_from(data);
+        Envelope {
+            src,
+            tag,
+            bytes: buf.len(),
+            count: data.len(),
+            payload: Payload::Pooled {
+                buf,
+                elem: TypeId::of::<T>(),
+            },
             type_name: std::any::type_name::<T>(),
         }
     }
@@ -64,18 +107,51 @@ impl Envelope {
     ///
     /// A mismatch is a protocol error between sender and receiver — the
     /// moral equivalent of an MPI datatype mismatch — so, like MPI, we
-    /// treat it as fatal.
+    /// treat it as fatal. For pooled payloads this copies the bytes out
+    /// and (on drop of the internal buffer) returns the envelope to the
+    /// sender's pool.
     pub fn into_data<T: CommData>(self) -> Vec<T> {
-        match self.payload.downcast::<Vec<T>>() {
-            Ok(v) => *v,
-            Err(_) => panic!(
-                "message type mismatch: received {} from rank {} (tag {}) but tried to \
-                 receive as Vec<{}>",
-                self.type_name,
-                self.src,
-                self.tag,
-                std::any::type_name::<T>()
-            ),
+        match self.payload {
+            Payload::Typed(any) => match any.downcast::<Vec<T>>() {
+                Ok(v) => *v,
+                Err(_) => panic!(
+                    "message type mismatch: received {} from rank {} (tag {}) but tried to \
+                     receive as Vec<{}>",
+                    self.type_name,
+                    self.src,
+                    self.tag,
+                    std::any::type_name::<T>()
+                ),
+            },
+            Payload::Pooled { buf, elem } => {
+                if elem != TypeId::of::<T>() {
+                    panic!(
+                        "message type mismatch: received {} from rank {} (tag {}) but tried \
+                         to receive as Vec<{}>",
+                        self.type_name,
+                        self.src,
+                        self.tag,
+                        std::any::type_name::<T>()
+                    );
+                }
+                // The TypeId check proves this T is exactly the `T: Copy`
+                // the buffer was filled from in `from_slice` (the only
+                // constructor of pooled payloads), so reconstructing the
+                // values with a byte copy is sound even though the `Copy`
+                // bound is not visible on this signature.
+                let n = self.count * std::mem::size_of::<T>();
+                debug_assert!(n <= buf.len());
+                let mut out: Vec<T> = Vec::with_capacity(self.count);
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        buf.as_slice().as_ptr(),
+                        out.as_mut_ptr().cast::<u8>(),
+                        n,
+                    );
+                    out.set_len(self.count);
+                }
+                out
+            }
         }
     }
 
@@ -90,6 +166,8 @@ impl Envelope {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pool::BufferPool;
+    use std::sync::Arc;
 
     #[test]
     fn roundtrip_preserves_data_and_metadata() {
@@ -100,6 +178,19 @@ mod tests {
         assert_eq!(env.bytes, 24);
         let v: Vec<f64> = env.into_data();
         assert_eq!(v, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn pooled_roundtrip_preserves_data_and_returns_buffer() {
+        let pool = Arc::new(BufferPool::new());
+        let (buf, _) = pool.acquire(32);
+        let env = Envelope::from_slice(1, 9, &[10u32, 20, 30], buf);
+        assert_eq!(env.count, 3);
+        assert_eq!(env.bytes, 12);
+        let v: Vec<u32> = env.into_data();
+        assert_eq!(v, vec![10, 20, 30]);
+        // The envelope returned its buffer to the pool on unpack.
+        assert_eq!(pool.stats().free, 1);
     }
 
     #[test]
@@ -117,6 +208,15 @@ mod tests {
     #[should_panic(expected = "message type mismatch")]
     fn type_mismatch_panics_with_context() {
         let env = Envelope::new(0, 0, vec![1u32, 2]);
+        let _: Vec<f32> = env.into_data();
+    }
+
+    #[test]
+    #[should_panic(expected = "message type mismatch")]
+    fn pooled_type_mismatch_panics_with_context() {
+        let pool = Arc::new(BufferPool::new());
+        let (buf, _) = pool.acquire(8);
+        let env = Envelope::from_slice(0, 0, &[1u32, 2], buf);
         let _: Vec<f32> = env.into_data();
     }
 

@@ -1,0 +1,294 @@
+//! Reusable send-buffer pool.
+//!
+//! The nonblocking send path ([`crate::Communicator::isend`] and the
+//! point-to-point all-to-all engine) copies slice data into a byte
+//! envelope instead of moving an owned `Vec` — which would allocate per
+//! message. The [`BufferPool`] keeps those byte envelopes on a per-rank
+//! free list: a send acquires a buffer (reusing a previous envelope's
+//! allocation when one is large enough), the buffer travels to the
+//! receiver inside the message, and when the receiver unpacks the payload
+//! the buffer returns to the *sender's* pool automatically via
+//! [`PooledBuf`]'s `Drop`. After warmup, hot-path sends perform zero heap
+//! allocations.
+//!
+//! Hits and misses are counted both here (for standalone diagnostics) and
+//! in the per-rank [`crate::RankTrace`] (for the world-level report).
+
+use crate::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default number of free buffers a pool retains before dropping returns.
+pub const DEFAULT_MAX_POOLED: usize = 64;
+
+/// Counters describing how effective a pool has been.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Acquisitions served from the free list.
+    pub hits: u64,
+    /// Acquisitions that had to allocate a fresh buffer.
+    pub misses: u64,
+    /// Buffers currently parked on the free list.
+    pub free: usize,
+}
+
+impl PoolStats {
+    /// Fraction of acquisitions served without allocating, in `[0, 1]`.
+    /// Zero when nothing was ever acquired.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A per-rank free list of reusable byte envelopes.
+pub struct BufferPool {
+    free: Mutex<Vec<Vec<u8>>>,
+    max_pooled: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl BufferPool {
+    /// Pool retaining at most [`DEFAULT_MAX_POOLED`] free buffers.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_MAX_POOLED)
+    }
+
+    /// Pool retaining at most `max_pooled` free buffers; further returns
+    /// are simply dropped (bounding idle memory).
+    pub fn with_capacity(max_pooled: usize) -> Self {
+        BufferPool {
+            free: Mutex::new(Vec::new()),
+            max_pooled,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Acquire a buffer with capacity for at least `bytes`. Returns the
+    /// buffer (empty, ready to fill) and whether the acquisition was a
+    /// pool hit.
+    pub fn acquire(self: &Arc<Self>, bytes: usize) -> (PooledBuf, bool) {
+        let reused = {
+            let mut free = self.free.lock();
+            // First fit: envelopes in a given communication pattern are
+            // near-uniform in size, so scanning rarely passes many entries.
+            free.iter()
+                .position(|b| b.capacity() >= bytes)
+                .map(|i| free.swap_remove(i))
+        };
+        let hit = reused.is_some();
+        let mut data = match reused {
+            Some(b) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                b
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(bytes)
+            }
+        };
+        data.clear();
+        (
+            PooledBuf {
+                data,
+                pool: Some(Arc::clone(self)),
+            },
+            hit,
+        )
+    }
+
+    fn release(&self, data: Vec<u8>) {
+        let mut free = self.free.lock();
+        if free.len() < self.max_pooled {
+            free.push(data);
+        }
+    }
+
+    /// Snapshot of the pool counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            free: self.free.lock().len(),
+        }
+    }
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("BufferPool")
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .field("free", &s.free)
+            .finish()
+    }
+}
+
+/// A byte buffer checked out of a [`BufferPool`].
+///
+/// Travels inside a message envelope; dropping it (after the receiver
+/// copies the payload out) returns the allocation to its origin pool.
+pub struct PooledBuf {
+    data: Vec<u8>,
+    pool: Option<Arc<BufferPool>>,
+}
+
+impl PooledBuf {
+    /// A pool-less buffer (dropped normally); used by tests and as a
+    /// fallback when no pool is attached.
+    pub fn detached(data: Vec<u8>) -> Self {
+        PooledBuf { data, pool: None }
+    }
+
+    /// The buffered bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Number of buffered bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copy `src` into the buffer, replacing any previous contents.
+    ///
+    /// Raw-pointer copy rather than `extend_from_slice` over a `&[u8]`
+    /// view: `T` may contain padding bytes, which must not be observed
+    /// through a typed slice, but may be memcpy'd.
+    pub fn fill_from<T: Copy>(&mut self, src: &[T]) {
+        let bytes = std::mem::size_of_val(src);
+        self.data.clear();
+        self.data.reserve(bytes);
+        // SAFETY: `reserve` guarantees capacity; the regions cannot
+        // overlap (freshly reserved heap vs caller slice); `set_len` only
+        // covers bytes just written.
+        unsafe {
+            std::ptr::copy_nonoverlapping(src.as_ptr() as *const u8, self.data.as_mut_ptr(), bytes);
+            self.data.set_len(bytes);
+        }
+    }
+
+    /// Copy the buffered bytes out as a `Vec<T>`. The caller must have
+    /// established (via type-id matching) that the buffer was filled from
+    /// a `&[T]` of the same `T`.
+    pub fn copy_out<T: Copy>(&self, count: usize) -> Vec<T> {
+        assert_eq!(
+            count * std::mem::size_of::<T>(),
+            self.data.len(),
+            "pooled buffer length does not match element count"
+        );
+        let mut out = Vec::<T>::with_capacity(count);
+        // SAFETY: capacity reserved above; the bytes are a valid [T]
+        // because `fill_from` wrote them from one (caller checks T).
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                self.data.as_ptr(),
+                out.as_mut_ptr() as *mut u8,
+                self.data.len(),
+            );
+            out.set_len(count);
+        }
+        out
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool.release(std::mem::take(&mut self.data));
+        }
+    }
+}
+
+impl std::fmt::Debug for PooledBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PooledBuf")
+            .field("len", &self.data.len())
+            .field("pooled", &self.pool.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_miss_then_hit_after_return() {
+        let pool = Arc::new(BufferPool::new());
+        let (buf, hit) = pool.acquire(128);
+        assert!(!hit);
+        drop(buf); // returns to pool
+        let (_buf2, hit2) = pool.acquire(64); // smaller fits the returned 128
+        assert!(hit2);
+        let s = pool.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn too_small_free_buffer_is_a_miss() {
+        let pool = Arc::new(BufferPool::new());
+        let (buf, _) = pool.acquire(16);
+        drop(buf);
+        let (_big, hit) = pool.acquire(1 << 20);
+        assert!(!hit);
+    }
+
+    #[test]
+    fn pool_capacity_bounds_free_list() {
+        let pool = Arc::new(BufferPool::with_capacity(2));
+        let bufs: Vec<_> = (0..5).map(|_| pool.acquire(8).0).collect();
+        drop(bufs);
+        assert_eq!(pool.stats().free, 2);
+    }
+
+    #[test]
+    fn fill_and_copy_out_roundtrip() {
+        let pool = Arc::new(BufferPool::new());
+        let (mut buf, _) = pool.acquire(0);
+        let src: Vec<[f64; 3]> = (0..10).map(|i| [i as f64, 0.5, -1.0]).collect();
+        buf.fill_from(&src);
+        assert_eq!(buf.len(), 10 * 24);
+        let back: Vec<[f64; 3]> = buf.copy_out(10);
+        assert_eq!(back, src);
+    }
+
+    #[test]
+    fn detached_buffers_do_not_return_anywhere() {
+        let mut buf = PooledBuf::detached(Vec::new());
+        buf.fill_from(&[1u8, 2, 3]);
+        assert_eq!(buf.as_slice(), &[1, 2, 3]);
+        assert!(!buf.is_empty());
+        drop(buf);
+    }
+
+    #[test]
+    fn zero_sized_fill_is_fine() {
+        let pool = Arc::new(BufferPool::new());
+        let (mut buf, _) = pool.acquire(0);
+        buf.fill_from::<f64>(&[]);
+        assert!(buf.is_empty());
+        let v: Vec<f64> = buf.copy_out(0);
+        assert!(v.is_empty());
+    }
+}

@@ -7,7 +7,7 @@
 //! mailbox.
 
 use crate::mailbox::Mailbox;
-use parking_lot::RwLock;
+use crate::sync::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;

@@ -1,0 +1,351 @@
+//! Nonblocking request handles — the `MPI_Isend`/`MPI_Irecv` analogue.
+//!
+//! [`crate::Communicator::isend`] copies a slice into a pooled byte
+//! envelope and delivers it immediately (sends are buffered, as in MPI's
+//! eager protocol), returning a [`SendRequest`] that exists for API
+//! symmetry and instrumentation. [`crate::Communicator::irecv`] posts a
+//! receive *intent* and returns a [`RecvRequest`] that the caller
+//! completes later with [`RecvRequest::wait`] (blocking) or polls with
+//! [`RecvRequest::test`] — the window between post and wait is where
+//! communication overlaps computation.
+//!
+//! [`wait_all`] retires a batch of receive requests in *arrival* order
+//! (whichever message lands first is absorbed first), while returning
+//! payloads in posted order — the semantics of `MPI_Waitall`.
+//!
+//! Every post/retire is counted in the per-rank [`crate::RankTrace`]
+//! (`request_posted`/`request_completed`), so traces report how deeply a
+//! communication pattern pipelines (`peak_outstanding`).
+
+use crate::communicator::{Communicator, Tag};
+use crate::message::{CommData, Envelope};
+use crate::trace::OpKind;
+use std::time::Duration;
+
+/// Handle for a posted nonblocking send.
+///
+/// The payload is already buffered at the destination when `isend`
+/// returns, so completion never blocks; the handle's job is to mark the
+/// point where the program *would* have to wait on a real network, and to
+/// retire the request in the instrumentation. Dropping the handle retires
+/// it implicitly.
+#[must_use = "complete the send with wait() (or let the handle drop to retire it)"]
+pub struct SendRequest<'c> {
+    comm: &'c Communicator,
+    retired: bool,
+}
+
+impl<'c> SendRequest<'c> {
+    pub(crate) fn new(comm: &'c Communicator) -> Self {
+        SendRequest {
+            comm,
+            retired: false,
+        }
+    }
+
+    fn retire(&mut self) {
+        if !self.retired {
+            self.retired = true;
+            self.comm.trace().request_completed();
+        }
+    }
+
+    /// Poll for completion. Buffered sends complete instantly, so this
+    /// always returns `true` (and retires the request).
+    pub fn test(&mut self) -> bool {
+        self.retire();
+        true
+    }
+
+    /// Complete the send.
+    pub fn wait(mut self) {
+        self.retire();
+    }
+}
+
+impl Drop for SendRequest<'_> {
+    fn drop(&mut self) {
+        self.retire();
+    }
+}
+
+/// Handle for a posted nonblocking receive of a `Vec<T>` payload.
+///
+/// Completed by [`RecvRequest::wait`] (blocking, returns the payload),
+/// [`RecvRequest::test`] (nonblocking poll), or [`wait_all`] over a
+/// batch. Dropping an incomplete request cancels it (the message, if it
+/// ever arrives, stays in the mailbox for a later receive).
+#[must_use = "complete the receive with wait(), test(), or wait_all()"]
+pub struct RecvRequest<'c, T: CommData> {
+    comm: &'c Communicator,
+    src: usize,
+    tag: Tag,
+    data: Option<Vec<T>>,
+    /// Actual `(source, tag)` once completed (resolves wildcards).
+    meta: Option<(usize, Tag)>,
+    retired: bool,
+}
+
+impl<'c, T: CommData> RecvRequest<'c, T> {
+    pub(crate) fn new(comm: &'c Communicator, src: usize, tag: Tag) -> Self {
+        RecvRequest {
+            comm,
+            src,
+            tag,
+            data: None,
+            meta: None,
+            retired: false,
+        }
+    }
+
+    /// The source selector this receive was posted with (may be
+    /// [`crate::ANY_SOURCE`]).
+    pub fn source_selector(&self) -> usize {
+        self.src
+    }
+
+    /// The tag selector this receive was posted with (may be
+    /// [`crate::ANY_TAG`]).
+    pub fn tag_selector(&self) -> Tag {
+        self.tag
+    }
+
+    /// Whether the payload has already been absorbed.
+    pub fn is_complete(&self) -> bool {
+        self.data.is_some()
+    }
+
+    /// The actual source rank, once complete (resolves wildcard posts).
+    pub fn source(&self) -> Option<usize> {
+        self.meta.map(|(s, _)| s)
+    }
+
+    fn absorb(&mut self, env: Envelope) {
+        self.comm.trace().record(OpKind::Recv, 0, 0);
+        self.comm.trace().request_completed();
+        self.retired = true;
+        self.meta = Some((env.src, env.tag));
+        self.data = Some(env.into_data());
+    }
+
+    /// Nonblocking poll: absorb the message if it has arrived. Returns
+    /// whether the request is complete.
+    pub fn test(&mut self) -> bool {
+        if self.data.is_some() {
+            return true;
+        }
+        let mb = self.comm.user_mailbox();
+        if mb.probe(self.src, self.tag) {
+            // One receiver per rank drains this mailbox, so the probed
+            // message cannot disappear before the matching receive.
+            let env = mb.recv_matching(self.src, self.tag);
+            self.absorb(env);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Block until the message arrives and return the payload.
+    ///
+    /// # Panics
+    /// Panics on receive timeout (a deadlock converted into a loud
+    /// failure) or if a peer rank fails while we wait — the same policy
+    /// as the blocking [`crate::Communicator::recv`].
+    pub fn wait(mut self) -> Vec<T> {
+        self.wait_ref();
+        self.data.take().expect("wait: completed without payload")
+    }
+
+    /// Block until the message arrives and return `(payload, source,
+    /// tag)` — the wildcard-resolving form of [`RecvRequest::wait`].
+    pub fn wait_with_meta(mut self) -> (Vec<T>, usize, Tag) {
+        self.wait_ref();
+        let (s, t) = self.meta.expect("wait: completed without metadata");
+        (
+            self.data.take().expect("wait: completed without payload"),
+            s,
+            t,
+        )
+    }
+
+    fn wait_ref(&mut self) {
+        if self.data.is_some() {
+            return;
+        }
+        let env = self
+            .comm
+            .blocking_user_recv(self.src, self.tag, "irecv wait");
+        self.absorb(env);
+    }
+}
+
+impl<T: CommData> Drop for RecvRequest<'_, T> {
+    fn drop(&mut self) {
+        // Cancelled (never completed) requests still retire in the
+        // outstanding-depth gauge so it balances back to zero.
+        if !self.retired {
+            self.retired = true;
+            self.comm.trace().request_completed();
+        }
+    }
+}
+
+/// Complete a batch of receive requests, absorbing messages in whatever
+/// order they arrive, and return their payloads in *posted* order — the
+/// semantics of `MPI_Waitall`.
+///
+/// All requests must come from the same communicator (they share one
+/// mailbox). An empty batch returns immediately.
+///
+/// # Panics
+/// Panics on receive timeout or peer failure, like blocking receives.
+pub fn wait_all<T: CommData>(mut requests: Vec<RecvRequest<'_, T>>) -> Vec<Vec<T>> {
+    if requests.is_empty() {
+        return Vec::new();
+    }
+    let comm = requests[0].comm;
+    debug_assert!(
+        requests.iter().all(|r| std::ptr::eq(r.comm, comm)),
+        "wait_all: requests from different communicators"
+    );
+    let mb = comm.user_mailbox();
+    let deadline = std::time::Instant::now() + comm.recv_timeout();
+    // Poll in short slices purely to observe the abort flag; arrivals
+    // wake the mailbox condvar directly, so latency is unaffected.
+    let slice = Duration::from_millis(100).min(comm.recv_timeout());
+    loop {
+        let mut pending: Vec<(usize, u64)> = Vec::new();
+        for r in requests.iter_mut() {
+            if !r.test() {
+                pending.push((r.src, r.tag));
+            }
+        }
+        if pending.is_empty() {
+            break;
+        }
+        if comm.world_aborted() {
+            panic!(
+                "rank {} aborting during wait_all: a peer rank failed",
+                comm.rank()
+            );
+        }
+        if std::time::Instant::now() >= deadline {
+            panic!(
+                "wait_all deadlock on rank {}: {} receive(s) never matched",
+                comm.rank(),
+                pending.len()
+            );
+        }
+        let _ = mb.wait_any(&pending, slice);
+    }
+    requests
+        .into_iter()
+        .map(|mut r| r.data.take().expect("wait_all: incomplete request"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::communicator::{ANY_SOURCE as ANY_SRC, ANY_TAG};
+    use crate::request::wait_all;
+    use crate::world::World;
+
+    #[test]
+    fn isend_irecv_roundtrip() {
+        World::run(2, |c| {
+            if c.rank() == 0 {
+                let req = c.isend(1, 3, &[1.5f64, 2.5, 3.5]);
+                req.wait();
+            } else {
+                let req = c.irecv::<f64>(0, 3);
+                assert_eq!(req.wait(), vec![1.5, 2.5, 3.5]);
+            }
+        });
+    }
+
+    #[test]
+    fn irecv_test_polls_without_blocking() {
+        World::run(2, |c| {
+            if c.rank() == 0 {
+                c.barrier();
+                c.isend(1, 9, &[42u32]).wait();
+            } else {
+                let mut req = c.irecv::<u32>(0, 9);
+                // Nothing sent yet: poll must not block or complete.
+                assert!(!req.test());
+                c.barrier();
+                while !req.test() {
+                    std::hint::spin_loop();
+                }
+                assert_eq!(req.wait(), vec![42]);
+            }
+        });
+    }
+
+    #[test]
+    fn irecv_wildcards_resolve_on_completion() {
+        World::run(2, |c| {
+            if c.rank() == 0 {
+                c.isend(1, 77, &[5u8]).wait();
+            } else {
+                let req = c.irecv::<u8>(ANY_SRC, ANY_TAG);
+                let (data, src, tag) = req.wait_with_meta();
+                assert_eq!(data, vec![5]);
+                assert_eq!(src, 0);
+                assert_eq!(tag, 77);
+            }
+        });
+    }
+
+    #[test]
+    fn wait_all_returns_in_posted_order() {
+        World::run(4, |c| {
+            if c.rank() == 0 {
+                let reqs: Vec<_> = (1..4).map(|s| c.irecv::<u64>(s, 1)).collect();
+                let got = wait_all(reqs);
+                assert_eq!(got, vec![vec![100], vec![200], vec![300]]);
+            } else {
+                c.isend(0, 1, &[c.rank() as u64 * 100]).wait();
+            }
+        });
+    }
+
+    #[test]
+    fn dropped_incomplete_request_balances_the_gauge() {
+        let (_, trace) = World::run_traced(2, |c| {
+            if c.rank() == 1 {
+                let req = c.irecv::<u8>(0, 5);
+                drop(req); // cancelled: rank 0 never sends on tag 5
+            }
+            c.barrier();
+        });
+        assert_eq!(trace.rank(1).outstanding_requests(), 0);
+        assert_eq!(trace.rank(1).peak_outstanding(), 1);
+    }
+
+    #[test]
+    fn pooled_sends_hit_after_warmup() {
+        let (_, trace) = World::run_traced(2, |c| {
+            for i in 0..50u64 {
+                if c.rank() == 0 {
+                    c.isend(1, i, &[i; 64]).wait();
+                } else {
+                    let _ = c.irecv::<u64>(0, i).wait();
+                }
+                // The pooled envelope returns to rank 0's pool when rank 1
+                // unpacks it; barrier so the next isend sees it free.
+                c.barrier();
+            }
+        });
+        let t = trace.rank(0);
+        assert_eq!(t.pool_hits() + t.pool_misses(), 50);
+        assert!(
+            t.pool_hit_rate() > 0.9,
+            "hit rate {:.2} (hits {} misses {})",
+            t.pool_hit_rate(),
+            t.pool_hits(),
+            t.pool_misses()
+        );
+    }
+}

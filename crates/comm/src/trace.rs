@@ -7,9 +7,10 @@
 //! world finishes. The analytic performance model in `beatnik-model` maps
 //! these counts onto machine parameters to predict time at scale.
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The kinds of operations the runtime distinguishes in traces.
@@ -70,6 +71,14 @@ pub struct RankTrace {
     inner: Mutex<BTreeMap<OpKind, OpStats>>,
     /// Bytes sent to each *world* peer rank (communication matrix row).
     peers: Mutex<BTreeMap<usize, u64>>,
+    /// Send-buffer pool acquisitions served from the free list.
+    pool_hits: AtomicU64,
+    /// Send-buffer pool acquisitions that had to allocate.
+    pool_misses: AtomicU64,
+    /// Nonblocking requests currently posted but not yet retired.
+    outstanding: AtomicU64,
+    /// High-water mark of `outstanding` — how deeply the program pipelines.
+    peak_outstanding: AtomicU64,
 }
 
 impl RankTrace {
@@ -127,11 +136,68 @@ impl RankTrace {
         self.inner.lock().values().map(|s| s.messages).sum()
     }
 
+    /// Record one buffer-pool acquisition on the nonblocking send path.
+    pub fn record_pool(&self, hit: bool) {
+        if hit {
+            self.pool_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.pool_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record that a nonblocking request (`isend`/`irecv`) was posted.
+    pub fn request_posted(&self) {
+        let now = self.outstanding.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_outstanding.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Record that a nonblocking request completed (wait/test success or
+    /// handle drop).
+    pub fn request_completed(&self) {
+        self.outstanding.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Buffer-pool acquisitions served without allocating.
+    pub fn pool_hits(&self) -> u64 {
+        self.pool_hits.load(Ordering::Relaxed)
+    }
+
+    /// Buffer-pool acquisitions that allocated a fresh buffer.
+    pub fn pool_misses(&self) -> u64 {
+        self.pool_misses.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of pool acquisitions served from the free list, in
+    /// `[0, 1]`; zero when the nonblocking path was never used.
+    pub fn pool_hit_rate(&self) -> f64 {
+        let h = self.pool_hits();
+        let m = self.pool_misses();
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    /// Nonblocking requests currently posted and not yet retired.
+    pub fn outstanding_requests(&self) -> u64 {
+        self.outstanding.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of simultaneously outstanding requests.
+    pub fn peak_outstanding(&self) -> u64 {
+        self.peak_outstanding.load(Ordering::Relaxed)
+    }
+
     /// Reset every counter to zero (benchmark harnesses call this between
     /// warmup and measured phases).
     pub fn reset(&self) {
         self.inner.lock().clear();
         self.peers.lock().clear();
+        self.pool_hits.store(0, Ordering::Relaxed);
+        self.pool_misses.store(0, Ordering::Relaxed);
+        self.outstanding.store(0, Ordering::Relaxed);
+        self.peak_outstanding.store(0, Ordering::Relaxed);
     }
 }
 
@@ -177,6 +243,29 @@ impl WorldTrace {
         self.per_rank
             .iter()
             .map(|t| t.total_bytes())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// World-aggregate buffer-pool hit rate over the nonblocking send
+    /// path, in `[0, 1]`; zero when no rank used pooled sends.
+    pub fn pool_hit_rate(&self) -> f64 {
+        let hits: u64 = self.per_rank.iter().map(|t| t.pool_hits()).sum();
+        let misses: u64 = self.per_rank.iter().map(|t| t.pool_misses()).sum();
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
+
+    /// Deepest request pipeline any rank built (max over ranks of the
+    /// per-rank peak of simultaneously outstanding `isend`/`irecv`
+    /// requests).
+    pub fn peak_outstanding(&self) -> u64 {
+        self.per_rank
+            .iter()
+            .map(|t| t.peak_outstanding())
             .max()
             .unwrap_or(0)
     }
@@ -238,6 +327,19 @@ impl WorldTrace {
                 s.bytes
             );
         }
+        let hits: u64 = self.per_rank.iter().map(|t| t.pool_hits()).sum();
+        let misses: u64 = self.per_rank.iter().map(|t| t.pool_misses()).sum();
+        if hits + misses > 0 {
+            let _ = writeln!(
+                out,
+                "send-buffer pool: {hits} hits / {misses} misses ({:.1}% hit rate)",
+                self.pool_hit_rate() * 100.0
+            );
+        }
+        let peak = self.peak_outstanding();
+        if peak > 0 {
+            let _ = writeln!(out, "peak outstanding requests (any rank): {peak}");
+        }
         out
     }
 }
@@ -259,6 +361,51 @@ mod tests {
         assert_eq!(t.total_bytes(), 160);
         t.reset();
         assert_eq!(t.get(OpKind::Send), OpStats::default());
+    }
+
+    #[test]
+    fn pool_and_request_counters() {
+        let t = RankTrace::new();
+        assert_eq!(t.pool_hit_rate(), 0.0);
+        t.record_pool(false);
+        t.record_pool(true);
+        t.record_pool(true);
+        assert_eq!(t.pool_hits(), 2);
+        assert_eq!(t.pool_misses(), 1);
+        assert!((t.pool_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        t.request_posted();
+        t.request_posted();
+        assert_eq!(t.outstanding_requests(), 2);
+        t.request_completed();
+        t.request_posted();
+        t.request_posted();
+        assert_eq!(t.peak_outstanding(), 3);
+        t.request_completed();
+        t.request_completed();
+        t.request_completed();
+        assert_eq!(t.outstanding_requests(), 0);
+        assert_eq!(t.peak_outstanding(), 3);
+        t.reset();
+        assert_eq!(t.pool_hits(), 0);
+        assert_eq!(t.peak_outstanding(), 0);
+    }
+
+    #[test]
+    fn world_trace_reports_pool_and_peak() {
+        let a = Arc::new(RankTrace::new());
+        let b = Arc::new(RankTrace::new());
+        a.record_pool(true);
+        a.record_pool(false);
+        b.record_pool(true);
+        for _ in 0..4 {
+            b.request_posted();
+        }
+        let w = WorldTrace::new(vec![a, b]);
+        assert!((w.pool_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(w.peak_outstanding(), 4);
+        let s = w.summary();
+        assert!(s.contains("send-buffer pool"));
+        assert!(s.contains("peak outstanding"));
     }
 
     #[test]
@@ -326,14 +473,13 @@ mod matrix_tests {
     #[test]
     fn collective_traffic_appears_in_the_matrix() {
         let (_, trace) = World::run_traced(4, |c| {
-            let blocks = (0..4).map(|_| vec![0u8; 256]).collect();
-            let _ = c.alltoall(blocks);
+            let _ = c.alltoall(&[0u8; 1024]); // 256 bytes per destination
         });
         let m = trace.peer_matrix();
-        for s in 0..4 {
-            for d in 0..4 {
+        for (s, row) in m.iter().enumerate() {
+            for (d, &bytes) in row.iter().enumerate() {
                 if s != d {
-                    assert_eq!(m[s][d], 256, "{s}->{d}");
+                    assert_eq!(bytes, 256, "{s}->{d}");
                 }
             }
         }

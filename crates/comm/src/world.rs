@@ -1,6 +1,7 @@
 //! World launch: ranks as scoped threads.
 
 use crate::communicator::Communicator;
+use crate::pool::BufferPool;
 use crate::registry::{Registry, WORLD_COMM_ID};
 use crate::trace::{RankTrace, WorldTrace};
 use std::sync::Arc;
@@ -69,6 +70,9 @@ impl World {
                         num_ranks,
                         Arc::clone(&identity),
                         Arc::clone(&traces[rank]),
+                        // One send-buffer pool per rank; subcommunicators
+                        // derived from this rank share it.
+                        Arc::new(BufferPool::new()),
                         recv_timeout,
                     );
                     let reg = Arc::clone(&registry);
@@ -130,11 +134,11 @@ mod tests {
     fn single_rank_world_works() {
         let out = World::run(1, |c| {
             c.barrier();
-            let v = c.allgather(vec![5u8]);
+            let v = c.allgather(&[5u8]);
             (c.size(), v)
         });
         assert_eq!(out[0].0, 1);
-        assert_eq!(out[0].1, vec![vec![5]]);
+        assert_eq!(out[0].1, vec![5]);
     }
 
     #[test]

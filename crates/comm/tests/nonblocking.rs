@@ -1,0 +1,155 @@
+//! Integration tests of the nonblocking request API under contention:
+//! multi-sender mailbox storms drained through irecv, out-of-order
+//! `wait_all` completion at several rank counts, and pool behaviour
+//! across repeated exchanges.
+
+use beatnik_comm::{wait_all, World, ANY_SOURCE, ANY_TAG};
+use std::time::Duration;
+
+#[test]
+fn multi_sender_storm_drains_through_irecv() {
+    // Every rank floods rank 0 with messages on many tags; rank 0 posts
+    // one irecv per expected message up front (wildcard source) and
+    // drains them in whatever order they land.
+    let p = 5;
+    let per_sender = 40u64;
+    World::run(p, move |comm| {
+        if comm.rank() == 0 {
+            let total = per_sender as usize * (p - 1);
+            let reqs: Vec<_> = (0..total)
+                .map(|_| comm.irecv::<u64>(ANY_SOURCE, ANY_TAG))
+                .collect();
+            let payloads = wait_all(reqs);
+            assert_eq!(payloads.len(), total);
+            let sum: u64 = payloads.iter().map(|v| v[0] % 1_000).sum();
+            // Each sender contributed indices 0..per_sender.
+            let per: u64 = (0..per_sender).sum();
+            assert_eq!(sum, per * (p as u64 - 1));
+            assert_eq!(comm.trace().outstanding_requests(), 0);
+            assert!(comm.trace().peak_outstanding() >= total as u64 / 2);
+        } else {
+            let me = comm.rank() as u64;
+            for i in 0..per_sender {
+                let tag = (me * 131 + i * 7) % 61;
+                comm.isend(0, tag, &[me * 1_000 + i]).wait();
+            }
+        }
+    });
+}
+
+#[test]
+fn interleaved_probe_try_recv_and_irecv() {
+    // A posted irecv on a specific (src, tag) coexists with wildcard
+    // polling of other traffic: the probe/try_recv path must not steal
+    // the message the request is waiting on... because matching is by
+    // (src, tag), not arrival order.
+    World::run(3, |comm| {
+        match comm.rank() {
+            0 => {
+                let reserved = comm.irecv::<u64>(1, 7);
+                // Drain rank 2's noise with wildcard polling first.
+                let mut noise = 0;
+                while noise < 10 {
+                    if let Some(v) = comm.try_recv::<u64>(2, ANY_TAG) {
+                        assert_eq!(v[0], 99);
+                        noise += 1;
+                    }
+                }
+                assert_eq!(reserved.wait(), vec![42]);
+            }
+            1 => {
+                // Wait until rank 2's noise is fully sent before the
+                // reserved message goes out.
+                let _: Vec<u8> = comm.recv(2, 0);
+                comm.send(0, 7, vec![42u64]);
+            }
+            2 => {
+                for _ in 0..10 {
+                    comm.send(0, 3, vec![99u64]);
+                }
+                comm.send(2 - 1, 0, vec![1u8]);
+            }
+            _ => unreachable!(),
+        }
+    });
+}
+
+#[test]
+fn wait_all_completes_out_of_order_at_several_sizes() {
+    // Rank 0 posts irecvs in rank order, but senders complete in
+    // *reverse* rank order (staggered sleeps). wait_all must still
+    // return results in posted order.
+    for p in [2usize, 4, 9] {
+        World::run(p, move |comm| {
+            if comm.rank() == 0 {
+                let reqs: Vec<_> = (1..p).map(|s| comm.irecv::<u64>(s, 5)).collect();
+                let got = wait_all(reqs);
+                for (i, v) in got.iter().enumerate() {
+                    assert_eq!(v, &vec![(i + 1) as u64], "p={p}");
+                }
+                assert_eq!(comm.trace().outstanding_requests(), 0);
+            } else {
+                // Higher ranks send sooner: arrival order is reversed.
+                std::thread::sleep(Duration::from_millis(
+                    3 * (p - comm.rank()) as u64,
+                ));
+                comm.send(0, 5, vec![comm.rank() as u64]);
+            }
+        });
+    }
+}
+
+#[test]
+fn pool_reuse_across_repeated_ring_exchanges() {
+    // A ring exchange repeated many times: after the first lap every
+    // send should find a warm envelope in the pool.
+    let p = 4;
+    let laps: u64 = 30;
+    let (_, trace) = World::run_traced(p, move |comm| {
+        let right = (comm.rank() + 1) % p;
+        let left = (comm.rank() + p - 1) % p;
+        let mut token = vec![comm.rank() as u64; 256];
+        for lap in 0..laps {
+            let recv = comm.irecv::<u64>(left, lap);
+            let send = comm.isend(right, lap, &token);
+            token = recv.wait();
+            send.wait();
+            // Make the returned envelope visible before the next acquire.
+            comm.barrier();
+        }
+        assert_eq!(token.len(), 256);
+    });
+    for r in 0..p {
+        let t = trace.rank(r);
+        assert_eq!(t.pool_hits() + t.pool_misses(), laps);
+        assert!(
+            t.pool_hit_rate() > 0.8,
+            "rank {r} hit rate {}",
+            t.pool_hit_rate()
+        );
+        assert_eq!(t.outstanding_requests(), 0);
+        assert!(t.peak_outstanding() >= 2);
+    }
+}
+
+#[test]
+fn test_poll_makes_progress_without_blocking() {
+    // irecv::test() returns false until the message exists, then
+    // completes without ever blocking the receiver.
+    World::run(2, |comm| {
+        if comm.rank() == 0 {
+            let mut req = comm.irecv::<u64>(1, 0);
+            let mut polls = 0u64;
+            while !req.test() {
+                polls += 1;
+                if polls > 100_000_000 {
+                    panic!("test() never completed");
+                }
+            }
+            assert_eq!(req.wait(), vec![17]);
+        } else {
+            std::thread::sleep(Duration::from_millis(20));
+            comm.send(0, 0, vec![17u64]);
+        }
+    });
+}

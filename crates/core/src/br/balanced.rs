@@ -16,7 +16,7 @@ use beatnik_mesh::migrate::{
 };
 use beatnik_mesh::{PointResult, RcbDecomposition, SurfacePoint};
 use beatnik_spatial::neighbors::{Backend, NeighborList};
-use rayon::prelude::*;
+use crate::par::prelude::*;
 
 /// Cutoff solver over a per-evaluation RCB decomposition.
 pub struct BalancedCutoffBrSolver {

@@ -17,7 +17,7 @@ use beatnik_mesh::migrate::{
 };
 use beatnik_mesh::{PointResult, SpatialMesh, SurfacePoint};
 use beatnik_spatial::neighbors::{Backend, NeighborList};
-use rayon::prelude::*;
+use crate::par::prelude::*;
 
 /// The scalable cutoff solver.
 pub struct CutoffBrSolver {

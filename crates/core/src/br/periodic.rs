@@ -14,7 +14,7 @@
 use super::kernel::br_pair_velocity;
 use super::{BrPoint, BrSolver};
 use beatnik_comm::Communicator;
-use rayon::prelude::*;
+use crate::par::prelude::*;
 
 /// Ring-pass exact solver with x/y periodic images.
 pub struct PeriodicExactBrSolver {

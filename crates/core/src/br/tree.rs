@@ -17,7 +17,7 @@ use super::kernel::br_pair_velocity;
 use super::{BrPoint, BrSolver};
 use beatnik_comm::Communicator;
 use beatnik_spatial::BhTree;
-use rayon::prelude::*;
+use crate::par::prelude::*;
 
 /// The gather-based Barnes–Hut solver.
 pub struct TreeBrSolver {
@@ -43,11 +43,7 @@ impl BrSolver for TreeBrSolver {
         let eps2 = epsilon * epsilon;
 
         // Global gather (ring allgather: P-1 rounds, full surface).
-        let all: Vec<BrPoint> = comm
-            .allgather(points.to_vec())
-            .into_iter()
-            .flatten()
-            .collect();
+        let all: Vec<BrPoint> = comm.allgather(points);
         let positions: Vec<[f64; 3]> = all.iter().map(|p| p.pos).collect();
         let strengths: Vec<[f64; 3]> = all.iter().map(|p| p.strength).collect();
 

@@ -2,11 +2,11 @@
 //! per-rank particle-ownership distribution behind Figures 6 and 7.
 
 use crate::problem::ProblemManager;
+use beatnik_json::impl_json_struct;
 use beatnik_mesh::SpatialMesh;
-use serde::{Deserialize, Serialize};
 
 /// Global scalar diagnostics of the current state.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Diagnostics {
     /// Max of `|z₃|` over the interface.
     pub amplitude: f64,
@@ -23,6 +23,15 @@ pub struct Diagnostics {
     /// Global point count.
     pub points: usize,
 }
+
+impl_json_struct!(Diagnostics {
+    amplitude,
+    z_min,
+    z_max,
+    enstrophy,
+    mean_height,
+    points,
+});
 
 impl Diagnostics {
     /// Compute global diagnostics (collective).

@@ -10,13 +10,12 @@
 //!   nonlinear rollup creates the load imbalance studied in Figures 6–8.
 
 use crate::problem::ProblemManager;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use beatnik_json::{field, FromJson, JsonError, ToJson, Value};
+use beatnik_prng::Rng;
 use std::f64::consts::PI;
 
 /// Initial interface shapes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum InitialCondition {
     /// Perfectly flat interface (numerical no-op baseline).
     Flat,
@@ -42,6 +41,63 @@ pub enum InitialCondition {
     },
 }
 
+impl ToJson for InitialCondition {
+    fn to_json(&self) -> Value {
+        // Externally tagged, matching serde's derive layout.
+        match *self {
+            InitialCondition::Flat => Value::Str("Flat".to_string()),
+            InitialCondition::SingleMode { amplitude, modes } => Value::Object(vec![(
+                "SingleMode".to_string(),
+                Value::Object(vec![
+                    ("amplitude".to_string(), amplitude.to_json()),
+                    ("modes".to_string(), modes.to_json()),
+                ]),
+            )]),
+            InitialCondition::MultiMode {
+                amplitude,
+                modes,
+                seed,
+            } => Value::Object(vec![(
+                "MultiMode".to_string(),
+                Value::Object(vec![
+                    ("amplitude".to_string(), amplitude.to_json()),
+                    ("modes".to_string(), modes.to_json()),
+                    ("seed".to_string(), seed.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for InitialCondition {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Str(s) if s == "Flat" => Ok(InitialCondition::Flat),
+            Value::Object(pairs) if pairs.len() == 1 => {
+                let (tag, body) = &pairs[0];
+                match tag.as_str() {
+                    "SingleMode" => Ok(InitialCondition::SingleMode {
+                        amplitude: field(body, "amplitude")?,
+                        modes: field(body, "modes")?,
+                    }),
+                    "MultiMode" => Ok(InitialCondition::MultiMode {
+                        amplitude: field(body, "amplitude")?,
+                        modes: field(body, "modes")?,
+                        seed: field(body, "seed")?,
+                    }),
+                    other => Err(JsonError::new(format!(
+                        "unknown InitialCondition variant '{other}'"
+                    ))),
+                }
+            }
+            other => Err(JsonError::new(format!(
+                "expected InitialCondition, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
 impl InitialCondition {
     /// Fill `pm`'s position field (and zero its vorticity).
     pub fn apply(&self, pm: &mut ProblemManager) {
@@ -63,7 +119,7 @@ impl InitialCondition {
                 seed,
             } => {
                 // Deterministic mode table, identical on every rank.
-                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                let mut rng = Rng::seed_from_u64(seed);
                 let mut table = Vec::with_capacity(modes * modes);
                 for mx in 1..=modes {
                     for my in 1..=modes {
@@ -188,11 +244,10 @@ mod tests {
                     .owned_indices()
                     .map(|(lr, lc, gr, gc)| (gr, gc, pm.z().get(lr, lc, 2)))
                     .collect();
-                comm.allgather(rows)
+                comm.allgather(&rows)
             });
-            let mut all: Vec<(usize, usize, f64)> =
-                out.into_iter().next().unwrap().into_iter().flatten().collect();
-            all.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+            let mut all: Vec<(usize, usize, f64)> = out.into_iter().next().unwrap();
+            all.sort_by_key(|a| (a.0, a.1));
             all.dedup_by(|a, b| (a.0, a.1) == (b.0, b.1));
             all
         };

@@ -49,6 +49,7 @@ pub mod geometry;
 pub mod init;
 pub mod integrator;
 pub mod order;
+pub mod par;
 pub mod params;
 pub mod problem;
 pub mod solver;

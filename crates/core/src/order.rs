@@ -5,12 +5,12 @@
 //! equivalent here is an enum dispatched once per derivative evaluation
 //! (the dispatch cost is nothing next to a transform or force sum).
 
-use serde::{Deserialize, Serialize};
+use beatnik_json::impl_json_unit_enum;
 use std::fmt;
 use std::str::FromStr;
 
 /// Which Z-Model order to solve.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Order {
     /// Fourier (Riesz) interface velocity + spectral vorticity terms.
     /// Periodic boundaries only. Exercises distributed-FFT all-to-all.
@@ -22,6 +22,8 @@ pub enum Order {
     /// Any boundary. Exercises BR-solver communication and halos.
     High,
 }
+
+impl_json_unit_enum!(Order { Low, Medium, High });
 
 impl Order {
     /// Whether this order requires the distributed FFT (and therefore

@@ -1,0 +1,98 @@
+//! Intra-rank parallelism adapter.
+//!
+//! The BR kernels were written against `rayon::prelude::*`; this module
+//! supplies the same call surface (`into_par_iter`, `par_iter`,
+//! `par_chunks[_mut]`) as plain sequential iterators so the workspace
+//! builds hermetically with no registry access. The choice is more than
+//! a stopgap: ranks already run as one thread each (P-way parallel
+//! across cores), so nested rayon pools oversubscribed the machine in
+//! in-process worlds — sequential-within-rank matches the paper's
+//! one-rank-per-GPU execution model where each rank owns its core.
+//! Swapping a real work-stealing pool back in only requires changing
+//! this module; kernel code keeps the rayon idiom.
+
+/// Import this as `use crate::par::prelude::*;` wherever
+/// `rayon::prelude::*` was used.
+pub mod prelude {
+    /// Owning "parallel" iteration: identical surface to rayon's trait,
+    /// backed by the type's ordinary iterator.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item;
+        /// Underlying iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Iterate (sequentially) with rayon's spelling.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Shared-slice helpers mirroring `rayon::slice::ParallelSlice`.
+    pub trait ParallelSlice<T> {
+        /// `slice.iter()` with rayon's spelling.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// `slice.chunks(n)` with rayon's spelling.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// Mutable-slice helpers mirroring `rayon::slice::ParallelSliceMut`.
+    pub trait ParallelSliceMut<T> {
+        /// `slice.iter_mut()` with rayon's spelling.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        /// `slice.chunks_mut(n)` with rayon's spelling.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn rayon_idioms_compile_and_agree_with_sequential() {
+        let squares: Vec<usize> = (0..10usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[9], 81);
+
+        let data = [1.0f64, 2.0, 3.0, 4.0];
+        let sum: f64 = data.par_iter().sum();
+        assert_eq!(sum, 10.0);
+
+        let mut out = [0.0f64; 4];
+        out.par_chunks_mut(2)
+            .zip(data.par_chunks(2))
+            .for_each(|(o, d)| {
+                for (a, b) in o.iter_mut().zip(d) {
+                    *a = 2.0 * b;
+                }
+            });
+        assert_eq!(out, [2.0, 4.0, 6.0, 8.0]);
+
+        let mut v = vec![1, 2, 3];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(v, vec![2, 3, 4]);
+    }
+}

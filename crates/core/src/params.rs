@@ -1,10 +1,11 @@
 //! Physical and numerical model parameters (the knobs Beatnik's
 //! rocketrig driver exposes).
 
-use serde::{Deserialize, Serialize};
+
+use beatnik_json::impl_json_struct;
 
 /// Z-Model parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Params {
     /// Atwood number `A = (ρ₁ − ρ₂)/(ρ₁ + ρ₂)`; positive means the
     /// configuration is Rayleigh–Taylor unstable under `gravity`.
@@ -30,6 +31,17 @@ pub struct Params {
     /// short-wavelength instability classic to vortex-sheet methods).
     pub filter_tolerance: f64,
 }
+
+impl_json_struct!(Params {
+    atwood,
+    gravity,
+    mu,
+    epsilon,
+    cutoff,
+    dt,
+    filter_every,
+    filter_tolerance,
+});
 
 impl Default for Params {
     fn default() -> Self {
@@ -89,20 +101,15 @@ mod tests {
 
     #[test]
     fn invalid_params_are_rejected() {
-        let mut p = Params::default();
-        p.atwood = 1.5;
+        let p = Params { atwood: 1.5, ..Params::default() };
         assert!(p.validate().is_err());
-        let mut p = Params::default();
-        p.epsilon = 0.0;
+        let p = Params { epsilon: 0.0, ..Params::default() };
         assert!(p.validate().is_err());
-        let mut p = Params::default();
-        p.dt = -1.0;
+        let p = Params { dt: -1.0, ..Params::default() };
         assert!(p.validate().is_err());
-        let mut p = Params::default();
-        p.mu = -0.1;
+        let p = Params { mu: -0.1, ..Params::default() };
         assert!(p.validate().is_err());
-        let mut p = Params::default();
-        p.cutoff = 0.0;
+        let p = Params { cutoff: 0.0, ..Params::default() };
         assert!(p.validate().is_err());
     }
 

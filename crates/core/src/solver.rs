@@ -12,11 +12,11 @@ use crate::zmodel::ZModel;
 use beatnik_comm::dims_create;
 use beatnik_dfft::FftConfig;
 use beatnik_mesh::{SpatialMesh, SurfaceMesh};
+use beatnik_json::{field, impl_json_struct, FromJson, JsonError, ToJson, Value};
 use beatnik_spatial::neighbors::Backend;
-use serde::{Deserialize, Serialize};
 
 /// Which far-field solver to construct.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum BrChoice {
     /// No BR solver (low order only).
     None,
@@ -41,9 +41,59 @@ pub enum BrChoice {
     },
 }
 
+impl ToJson for BrChoice {
+    fn to_json(&self) -> Value {
+        // Externally tagged, matching serde's derive layout.
+        match self {
+            BrChoice::None => Value::Str("None".to_string()),
+            BrChoice::Exact => Value::Str("Exact".to_string()),
+            BrChoice::Cutoff { bounds } => Value::Object(vec![(
+                "Cutoff".to_string(),
+                Value::Object(vec![("bounds".to_string(), bounds.to_json())]),
+            )]),
+            BrChoice::Tree { theta } => Value::Object(vec![(
+                "Tree".to_string(),
+                Value::Object(vec![("theta".to_string(), theta.to_json())]),
+            )]),
+            BrChoice::BalancedCutoff { bounds } => Value::Object(vec![(
+                "BalancedCutoff".to_string(),
+                Value::Object(vec![("bounds".to_string(), bounds.to_json())]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for BrChoice {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Str(s) if s == "None" => Ok(BrChoice::None),
+            Value::Str(s) if s == "Exact" => Ok(BrChoice::Exact),
+            Value::Object(pairs) if pairs.len() == 1 => {
+                let (tag, body) = &pairs[0];
+                match tag.as_str() {
+                    "Cutoff" => Ok(BrChoice::Cutoff {
+                        bounds: field(body, "bounds")?,
+                    }),
+                    "Tree" => Ok(BrChoice::Tree {
+                        theta: field(body, "theta")?,
+                    }),
+                    "BalancedCutoff" => Ok(BrChoice::BalancedCutoff {
+                        bounds: field(body, "bounds")?,
+                    }),
+                    other => Err(JsonError::new(format!("unknown BrChoice variant '{other}'"))),
+                }
+            }
+            other => Err(JsonError::new(format!(
+                "expected BrChoice, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
 /// Everything needed to assemble a solver (mirrors the rocketrig driver's
 /// command line).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct SolverConfig {
     /// Model order.
     pub order: Order,
@@ -56,6 +106,8 @@ pub struct SolverConfig {
     /// Initial interface shape.
     pub ic: InitialCondition,
 }
+
+impl_json_struct!(SolverConfig { order, br, params, fft, ic });
 
 /// The assembled simulation.
 pub struct Solver {
@@ -145,7 +197,7 @@ impl Solver {
         self.time += self.dt;
         self.step += 1;
         let p = self.zmodel.params();
-        if p.filter_every > 0 && self.step % p.filter_every == 0 {
+        if p.filter_every > 0 && self.step.is_multiple_of(p.filter_every) {
             let tol = p.filter_tolerance;
             self.zmodel.apply_krasny_filter(&mut self.pm, tol);
         }

@@ -237,7 +237,8 @@ impl ZModel {
             .collect();
 
         // Gather the five perturbation fields in owned order.
-        let mut fields: Vec<Vec<f64>> = vec![Vec::with_capacity(refs.len()); 5];
+        let mut fields: Vec<Vec<f64>> =
+            std::iter::repeat_with(|| Vec::with_capacity(refs.len())).take(5).collect();
         for (i, (lr, lc, _, _)) in mesh.owned_indices().enumerate() {
             let z = pm.z().node(lr, lc);
             let w = pm.w().node(lr, lc);
@@ -469,9 +470,8 @@ mod tests {
             let low = run(Order::Low);
             let high = run(Order::High);
             // Analytic: ẇ₂ = −2A·g·∂₁z₃ = −2·0.5·4·amplitude·2·cos(2x).
-            let mut i = 0;
             let pm = periodic_pm(&comm, n);
-            for (_, _, _, gc) in pm.mesh().owned_indices() {
+            for (i, (_, _, _, gc)) in pm.mesh().owned_indices().enumerate() {
                 let x = pm.mesh().coord_of(0, gc as i64)[1];
                 let want = -2.0 * 0.5 * 4.0 * amplitude * 2.0 * (2.0 * x).cos();
                 assert!(
@@ -484,7 +484,6 @@ mod tests {
                     "high gc={gc}: {} vs {want}",
                     high[i]
                 );
-                i += 1;
             }
         });
     }

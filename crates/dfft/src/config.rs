@@ -1,12 +1,12 @@
 //! The heFFTe-style tuning configuration (the paper's Table 1).
 
-use serde::{Deserialize, Serialize};
+use beatnik_json::impl_json_struct;
 use std::fmt;
 
 /// Communication/layout tuning knobs of the distributed FFT, mirroring
 /// heFFTe's `use_alltoall`, `use_pencils`, and `use_reorder` options that
 /// the paper sweeps in Section 5.5.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FftConfig {
     /// `true`: scheduled pairwise exchange (the `MPI_Alltoall` primitive);
     /// `false`: unscheduled direct point-to-point exchange.
@@ -19,6 +19,8 @@ pub struct FftConfig {
     /// `false`: keep arrival layout and pay strided gathers per transform.
     pub reorder: bool,
 }
+
+impl_json_struct!(FftConfig { all_to_all, pencils, reorder });
 
 impl Default for FftConfig {
     /// heFFTe's own defaults: alltoall + pencils + reorder.

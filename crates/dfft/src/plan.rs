@@ -446,9 +446,11 @@ mod tests {
 
     #[test]
     fn alltoall_knob_changes_algorithm_not_results() {
-        // Covered for results by all_eight_configs; here check traffic is
-        // identical in volume between the two algorithms.
-        let bytes_with = |a2a: bool| {
+        // Covered for results by all_eight_configs; here check that the
+        // knob switches the transport: collective alltoallv traffic when
+        // on, nonblocking point-to-point (Send/Recv) when off — moving
+        // the same payload volume either way.
+        let traffic_with = |a2a: bool| {
             let (_, trace) = World::run_traced(4, move |comm| {
                 let cfg = FftConfig {
                     all_to_all: a2a,
@@ -459,9 +461,19 @@ mod tests {
                 let block = vec![Complex::default(); plan.local_rect().area()];
                 let _ = plan.forward(block);
             });
-            trace.total(OpKind::Alltoallv).bytes
+            (
+                trace.total(OpKind::Alltoallv).bytes,
+                trace.total(OpKind::Send).bytes,
+            )
         };
-        assert_eq!(bytes_with(true), bytes_with(false));
+        let (coll_bytes, p2p_when_coll) = traffic_with(true);
+        let (coll_when_p2p, p2p_bytes) = traffic_with(false);
+        assert_eq!(coll_when_p2p, 0);
+        assert_eq!(p2p_when_coll, 0);
+        // The p2p path skips empty intersections but every payload byte
+        // still travels, so the volumes agree exactly.
+        assert_eq!(coll_bytes, p2p_bytes);
+        assert!(p2p_bytes > 0);
     }
 
     #[test]
@@ -533,8 +545,7 @@ mod transposed_tests {
                     i += 1;
                 }
             }
-            let all: Vec<(u64, u64, Complex)> =
-                comm.allgather(tagged).into_iter().flatten().collect();
+            let all: Vec<(u64, u64, Complex)> = comm.allgather(&tagged);
             let lookup = |r: usize, c: usize| -> Complex {
                 all.iter()
                     .find(|(gr, gc, _)| *gr == r as u64 && *gc == c as u64)

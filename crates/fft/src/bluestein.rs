@@ -88,7 +88,7 @@ impl Bluestein {
         }
         self.inner.forward(&mut a);
         for (av, &kv) in a.iter_mut().zip(&self.kernel_spec) {
-            *av = *av * kv;
+            *av *= kv;
         }
         self.inner.inverse(&mut a);
         for (k, out) in data.iter_mut().enumerate() {

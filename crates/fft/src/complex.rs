@@ -124,6 +124,7 @@ impl Mul for Complex {
 impl Div for Complex {
     type Output = Complex;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // divide = multiply by reciprocal
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.recip()
     }
@@ -235,7 +236,7 @@ mod tests {
     #[test]
     fn cis_lies_on_unit_circle() {
         for k in 0..16 {
-            let theta = k as f64 * 0.39269908;
+            let theta = k as f64 * std::f64::consts::FRAC_PI_8;
             let z = Complex::cis(theta);
             assert!((z.abs() - 1.0).abs() < EPS);
             assert!((z.arg() - theta).abs() < EPS || theta > std::f64::consts::PI);

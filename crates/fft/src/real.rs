@@ -28,7 +28,7 @@ pub struct RealFft {
 impl RealFft {
     /// Plan for even `n ≥ 2`.
     pub fn new(n: usize) -> Self {
-        assert!(n >= 2 && n % 2 == 0, "real fft requires even length >= 2");
+        assert!(n >= 2 && n.is_multiple_of(2), "real fft requires even length >= 2");
         let twiddles = (0..n / 2)
             .map(|k| Complex::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
             .collect();

@@ -74,8 +74,8 @@ impl SpectralGrid {
     /// Whether a row/col bin is a Nyquist bin (zeroed by odd-order
     /// multipliers, the standard convention for real fields).
     fn is_nyquist(&self, r: usize, c: usize) -> bool {
-        (self.n_rows % 2 == 0 && r == self.n_rows / 2)
-            || (self.n_cols % 2 == 0 && c == self.n_cols / 2)
+        (self.n_rows.is_multiple_of(2) && r == self.n_rows / 2)
+            || (self.n_cols.is_multiple_of(2) && c == self.n_cols / 2)
     }
 
     /// In-place spectral ∂/∂x: multiply bin (r,c) by `i·kx[c]`.

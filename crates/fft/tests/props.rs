@@ -1,35 +1,50 @@
-//! Property-based tests of the FFT stack over arbitrary lengths and
-//! signals (both the radix-2 and Bluestein paths, the 2D transform, and
-//! the real-input helpers).
+//! Randomized-property tests of the FFT stack over arbitrary lengths
+//! and signals (both the radix-2 and Bluestein paths, the 2D transform,
+//! and the real-input helpers). Cases are generated with the workspace's
+//! deterministic PRNG — same coverage shape as the former proptest
+//! version, but reproducible byte-for-byte on every run and hermetic
+//! (no registry dependencies).
 
 use beatnik_fft::dft::dft_naive;
 use beatnik_fft::real::{rfft_pair, RealFft};
 use beatnik_fft::{Complex, Fft, Fft2d};
-use proptest::prelude::*;
+use beatnik_prng::Rng;
 
-fn signal(max_len: usize) -> impl Strategy<Value = Vec<Complex>> {
-    prop::collection::vec(
-        (-1e3f64..1e3, -1e3f64..1e3).prop_map(|(re, im)| Complex::new(re, im)),
-        1..max_len,
-    )
+/// A random signal with `1..max_len` elements in `[-1e3, 1e3)²`.
+fn signal(rng: &mut Rng, max_len: usize) -> Vec<Complex> {
+    let n = rng.gen_index(1..max_len);
+    (0..n)
+        .map(|_| Complex::new(rng.gen_range(-1e3..1e3), rng.gen_range(-1e3..1e3)))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+fn reals(rng: &mut Rng, lo: usize, hi: usize) -> Vec<f64> {
+    let n = rng.gen_index(lo..hi);
+    (0..n).map(|_| rng.gen_range(-1e3..1e3)).collect()
+}
 
-    #[test]
-    fn roundtrip_identity_any_length(x in signal(300)) {
+const CASES: usize = 96;
+
+#[test]
+fn roundtrip_identity_any_length() {
+    let mut rng = Rng::seed_from_u64(0xFF7_0001);
+    for _ in 0..CASES {
+        let x = signal(&mut rng, 300);
         let plan = Fft::new(x.len());
         let mut buf = x.clone();
         plan.forward(&mut buf);
         plan.inverse(&mut buf);
         for (a, b) in buf.iter().zip(&x) {
-            prop_assert!((*a - *b).abs() < 1e-7 * (1.0 + b.abs()));
+            assert!((*a - *b).abs() < 1e-7 * (1.0 + b.abs()), "len {}", x.len());
         }
     }
+}
 
-    #[test]
-    fn unnormalized_inverse_scales_by_n(x in signal(120)) {
+#[test]
+fn unnormalized_inverse_scales_by_n() {
+    let mut rng = Rng::seed_from_u64(0xFF7_0002);
+    for _ in 0..CASES {
+        let x = signal(&mut rng, 120);
         let n = x.len();
         let plan = Fft::new(n);
         let mut a = x.clone();
@@ -37,43 +52,54 @@ proptest! {
         let mut b = x;
         plan.inverse_unnormalized(&mut b);
         for (u, v) in a.iter().zip(&b) {
-            prop_assert!((u.scale(n as f64) - *v).abs() < 1e-6 * (1.0 + v.abs()));
+            assert!((u.scale(n as f64) - *v).abs() < 1e-6 * (1.0 + v.abs()));
         }
     }
+}
 
-    #[test]
-    fn linearity_of_forward_transform(
-        x in signal(100),
-        alpha in -10.0f64..10.0,
-    ) {
-        let n = x.len();
-        let plan = Fft::new(n);
+#[test]
+fn linearity_of_forward_transform() {
+    let mut rng = Rng::seed_from_u64(0xFF7_0003);
+    for _ in 0..CASES {
+        let x = signal(&mut rng, 100);
+        let alpha = rng.gen_range(-10.0..10.0);
+        let plan = Fft::new(x.len());
         let mut fx = x.clone();
         plan.forward(&mut fx);
         let mut fax: Vec<Complex> = x.iter().map(|z| z.scale(alpha)).collect();
         plan.forward(&mut fax);
         for (a, b) in fax.iter().zip(&fx) {
-            prop_assert!((*a - b.scale(alpha)).abs() < 1e-6 * (1.0 + b.abs() * alpha.abs()));
+            assert!((*a - b.scale(alpha)).abs() < 1e-6 * (1.0 + b.abs() * alpha.abs()));
         }
     }
+}
 
-    #[test]
-    fn small_sizes_match_naive_dft(x in signal(48)) {
+#[test]
+fn small_sizes_match_naive_dft() {
+    let mut rng = Rng::seed_from_u64(0xFF7_0004);
+    for _ in 0..CASES {
+        let x = signal(&mut rng, 48);
         let plan = Fft::new(x.len());
         let mut fast = x.clone();
         plan.forward(&mut fast);
         let slow = dft_naive(&x);
         for (a, b) in fast.iter().zip(&slow) {
-            prop_assert!((*a - *b).abs() < 1e-6 * (1.0 + b.abs()));
+            assert!((*a - *b).abs() < 1e-6 * (1.0 + b.abs()), "len {}", x.len());
         }
     }
+}
 
-    #[test]
-    fn fft2d_roundtrip(vals in prop::collection::vec(-1e3f64..1e3, 1..100),
-                       rows in 1usize..10) {
+#[test]
+fn fft2d_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0xFF7_0005);
+    for _ in 0..CASES {
+        let vals = reals(&mut rng, 1, 100);
         // Shape the flat vector into rows x cols (truncate remainder).
-        let rows = rows.min(vals.len());
+        let rows = rng.gen_index(1..10).min(vals.len());
         let cols = vals.len() / rows;
+        if cols == 0 {
+            continue;
+        }
         let data: Vec<Complex> = vals[..rows * cols]
             .iter()
             .map(|&v| Complex::real(v))
@@ -83,26 +109,38 @@ proptest! {
         plan.forward(&mut buf);
         plan.inverse(&mut buf);
         for (a, b) in buf.iter().zip(&data) {
-            prop_assert!((*a - *b).abs() < 1e-7 * (1.0 + b.abs()));
+            assert!((*a - *b).abs() < 1e-7 * (1.0 + b.abs()), "{rows}x{cols}");
         }
     }
+}
 
-    #[test]
-    fn real_fft_roundtrip_even_lengths(vals in prop::collection::vec(-1e3f64..1e3, 1..120)) {
+#[test]
+fn real_fft_roundtrip_even_lengths() {
+    let mut rng = Rng::seed_from_u64(0xFF7_0006);
+    for _ in 0..CASES {
+        let vals = reals(&mut rng, 1, 120);
         let n = (vals.len() / 2) * 2;
-        prop_assume!(n >= 2);
+        if n < 2 {
+            continue;
+        }
         let x = &vals[..n];
         let plan = RealFft::new(n);
         let back = plan.inverse(&plan.forward(x));
         for (a, b) in back.iter().zip(x) {
-            prop_assert!((a - b).abs() < 1e-7 * (1.0 + b.abs()));
+            assert!((a - b).abs() < 1e-7 * (1.0 + b.abs()), "n {n}");
         }
     }
+}
 
-    #[test]
-    fn rfft_pair_splits_correctly(vals in prop::collection::vec(-1e3f64..1e3, 2..80)) {
+#[test]
+fn rfft_pair_splits_correctly() {
+    let mut rng = Rng::seed_from_u64(0xFF7_0007);
+    for _ in 0..CASES {
+        let vals = reals(&mut rng, 2, 80);
         let n = vals.len() / 2;
-        prop_assume!(n >= 1);
+        if n < 1 {
+            continue;
+        }
         let a = &vals[..n];
         let b = &vals[n..2 * n];
         let plan = Fft::new(n);
@@ -110,8 +148,8 @@ proptest! {
         let sa = dft_naive(&a.iter().map(|&v| Complex::real(v)).collect::<Vec<_>>());
         let sb = dft_naive(&b.iter().map(|&v| Complex::real(v)).collect::<Vec<_>>());
         for k in 0..n {
-            prop_assert!((fa[k] - sa[k]).abs() < 1e-6 * (1.0 + sa[k].abs()));
-            prop_assert!((fb[k] - sb[k]).abs() < 1e-6 * (1.0 + sb[k].abs()));
+            assert!((fa[k] - sa[k]).abs() < 1e-6 * (1.0 + sa[k].abs()));
+            assert!((fb[k] - sb[k]).abs() < 1e-6 * (1.0 + sb[k].abs()));
         }
     }
 }

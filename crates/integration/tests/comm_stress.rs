@@ -97,7 +97,7 @@ fn interleaved_collectives_and_p2p() {
             if comm.rank() == 1 {
                 assert_eq!(comm.recv_one::<u64>(0, round), round);
             }
-            let g = comm.allgather(vec![comm.rank() as u64]);
+            let g = comm.allgather(&[comm.rank() as u64]);
             assert_eq!(g.len(), 4);
         }
     });

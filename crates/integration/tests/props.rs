@@ -1,165 +1,196 @@
-//! Property-based tests (proptest) on the core invariants of the
-//! numerical substrates: FFT algebra, neighbor-search equivalence,
-//! layout partitioning, collective/serial agreement, and kernel
-//! antisymmetry.
+//! Randomized-property tests on the core invariants of the numerical
+//! substrates: FFT algebra, neighbor-search equivalence, layout
+//! partitioning, collective/serial agreement, and kernel antisymmetry.
+//! Cases come from the workspace's deterministic PRNG — reproducible
+//! and hermetic.
 
 use beatnik_comm::World;
 use beatnik_core::br::kernel::br_pair_velocity;
 use beatnik_dfft::{Dist, Rect};
 use beatnik_fft::{dft::dft_naive, Complex, Fft};
+use beatnik_prng::Rng;
 use beatnik_spatial::neighbors::{brute_force_neighbors, Backend, NeighborList};
-use proptest::prelude::*;
 
-fn complex_signal(max_len: usize) -> impl Strategy<Value = Vec<Complex>> {
-    prop::collection::vec(
-        (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(re, im)| Complex::new(re, im)),
-        1..max_len,
-    )
+fn complex_signal(rng: &mut Rng, max_len: usize) -> Vec<Complex> {
+    let n = rng.gen_index(1..max_len);
+    (0..n)
+        .map(|_| Complex::new(rng.gen_range(-100.0..100.0), rng.gen_range(-100.0..100.0)))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn cloud(rng: &mut Rng, max_n: usize) -> Vec<[f64; 3]> {
+    let n = rng.gen_index(0..max_n);
+    (0..n)
+        .map(|_| {
+            [
+                rng.gen_range(-5.0..5.0),
+                rng.gen_range(-5.0..5.0),
+                rng.gen_range(-1.0..1.0),
+            ]
+        })
+        .collect()
+}
 
-    /// forward→inverse is the identity for every length (radix-2 and
-    /// Bluestein paths).
-    #[test]
-    fn fft_roundtrip_is_identity(x in complex_signal(200)) {
+/// forward→inverse is the identity for every length (radix-2 and
+/// Bluestein paths).
+#[test]
+fn fft_roundtrip_is_identity() {
+    let mut rng = Rng::seed_from_u64(0x177_0001);
+    for _ in 0..64 {
+        let x = complex_signal(&mut rng, 200);
         let plan = Fft::new(x.len());
         let mut buf = x.clone();
         plan.forward(&mut buf);
         plan.inverse(&mut buf);
         for (a, b) in buf.iter().zip(&x) {
-            prop_assert!((*a - *b).abs() < 1e-8 * (1.0 + b.abs()));
+            assert!((*a - *b).abs() < 1e-8 * (1.0 + b.abs()), "len {}", x.len());
         }
     }
+}
 
-    /// The fast transform agrees with the O(n²) DFT.
-    #[test]
-    fn fft_matches_naive_dft(x in complex_signal(64)) {
+/// The fast transform agrees with the O(n²) DFT.
+#[test]
+fn fft_matches_naive_dft() {
+    let mut rng = Rng::seed_from_u64(0x177_0002);
+    for _ in 0..64 {
+        let x = complex_signal(&mut rng, 64);
         let plan = Fft::new(x.len());
         let mut fast = x.clone();
         plan.forward(&mut fast);
         let slow = dft_naive(&x);
         for (a, b) in fast.iter().zip(&slow) {
-            prop_assert!((*a - *b).abs() < 1e-6 * (1.0 + b.abs()));
+            assert!((*a - *b).abs() < 1e-6 * (1.0 + b.abs()), "len {}", x.len());
         }
     }
+}
 
-    /// Parseval: energy is conserved up to the 1/n normalization.
-    #[test]
-    fn fft_parseval(x in complex_signal(128)) {
+/// Parseval: energy is conserved up to the 1/n normalization.
+#[test]
+fn fft_parseval() {
+    let mut rng = Rng::seed_from_u64(0x177_0003);
+    for _ in 0..64 {
+        let x = complex_signal(&mut rng, 128);
         let n = x.len() as f64;
         let plan = Fft::new(x.len());
         let mut spec = x.clone();
         plan.forward(&mut spec);
         let e_time: f64 = x.iter().map(|z| z.norm_sqr()).sum();
         let e_freq: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / n;
-        prop_assert!((e_time - e_freq).abs() < 1e-6 * (1.0 + e_time));
+        assert!((e_time - e_freq).abs() < 1e-6 * (1.0 + e_time));
     }
 }
 
-fn cloud(max_n: usize) -> impl Strategy<Value = Vec<[f64; 3]>> {
-    prop::collection::vec(
-        (-5.0f64..5.0, -5.0f64..5.0, -1.0f64..1.0).prop_map(|(x, y, z)| [x, y, z]),
-        0..max_n,
-    )
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Grid and k-d tree backends both equal brute force exactly
-    /// (identical CSR lists after per-target sorting).
-    #[test]
-    fn neighbor_backends_equal_brute_force(
-        targets in cloud(40),
-        sources in cloud(60),
-        radius in 0.1f64..3.0,
-    ) {
+/// Grid and k-d tree backends both equal brute force exactly
+/// (identical CSR lists after per-target sorting).
+#[test]
+fn neighbor_backends_equal_brute_force() {
+    let mut rng = Rng::seed_from_u64(0x177_0004);
+    for _ in 0..48 {
+        let targets = cloud(&mut rng, 40);
+        let sources = cloud(&mut rng, 60);
+        let radius = rng.gen_range(0.1..3.0);
         let want = brute_force_neighbors(&targets, &sources, radius);
         for backend in [Backend::Grid, Backend::KdTree] {
             let got = NeighborList::build(&targets, &sources, radius, backend);
-            prop_assert_eq!(&got, &want);
+            assert_eq!(got, want, "backend {backend:?}");
         }
     }
+}
 
-    /// Balanced distributions partition exactly with near-equal parts.
-    #[test]
-    fn dist_partitions_perfectly(n in 0usize..10_000, parts in 1usize..64) {
+/// Balanced distributions partition exactly with near-equal parts.
+#[test]
+fn dist_partitions_perfectly() {
+    let mut rng = Rng::seed_from_u64(0x177_0005);
+    for _ in 0..48 {
+        let n = rng.gen_index(0..10_000);
+        let parts = rng.gen_index(1..64);
         let d = Dist::new(n, parts);
         let mut covered = 0usize;
         for i in 0..parts {
             let r = d.range(i);
-            prop_assert_eq!(r.start, covered);
+            assert_eq!(r.start, covered);
             covered = r.end;
-            prop_assert!(r.len() >= n / parts);
-            prop_assert!(r.len() <= n / parts + 1);
+            assert!(r.len() >= n / parts);
+            assert!(r.len() <= n / parts + 1);
         }
-        prop_assert_eq!(covered, n);
+        assert_eq!(covered, n, "n {n}, parts {parts}");
     }
+}
 
-    /// Rectangle intersection is commutative and contained in both.
-    #[test]
-    fn rect_intersection_properties(
-        a0 in 0usize..50, a1 in 0usize..50, b0 in 0usize..50, b1 in 0usize..50,
-        c0 in 0usize..50, c1 in 0usize..50, d0 in 0usize..50, d1 in 0usize..50,
-    ) {
-        let r1 = Rect::new(a0.min(a1)..a0.max(a1), b0.min(b1)..b0.max(b1));
-        let r2 = Rect::new(c0.min(c1)..c0.max(c1), d0.min(d1)..d0.max(d1));
+/// Rectangle intersection is commutative and contained in both.
+#[test]
+fn rect_intersection_properties() {
+    let mut rng = Rng::seed_from_u64(0x177_0006);
+    for _ in 0..48 {
+        let mut side = || {
+            let a = rng.gen_index(0..50);
+            let b = rng.gen_index(0..50);
+            a.min(b)..a.max(b)
+        };
+        let r1 = Rect::new(side(), side());
+        let r2 = Rect::new(side(), side());
         let i12 = r1.intersect(&r2);
         let i21 = r2.intersect(&r1);
-        prop_assert_eq!(i12.area(), i21.area());
-        prop_assert!(i12.area() <= r1.area().min(r2.area()));
+        assert_eq!(i12.area(), i21.area());
+        assert!(i12.area() <= r1.area().min(r2.area()));
     }
+}
 
-    /// The Birkhoff–Rott pair kernel is antisymmetric under exchanging
-    /// two points carrying equal strengths.
-    #[test]
-    fn br_kernel_antisymmetry(
-        p in (-3.0f64..3.0, -3.0f64..3.0, -3.0f64..3.0),
-        q in (-3.0f64..3.0, -3.0f64..3.0, -3.0f64..3.0),
-        s in (-2.0f64..2.0, -2.0f64..2.0, -2.0f64..2.0),
-        eps in 0.01f64..1.0,
-    ) {
-        let p = [p.0, p.1, p.2];
-        let q = [q.0, q.1, q.2];
-        let s = [s.0, s.1, s.2];
+/// The Birkhoff–Rott pair kernel is antisymmetric under exchanging
+/// two points carrying equal strengths.
+#[test]
+fn br_kernel_antisymmetry() {
+    let mut rng = Rng::seed_from_u64(0x177_0007);
+    for _ in 0..48 {
+        let mut v3 = |lo: f64, hi: f64| {
+            [
+                rng.gen_range(lo..hi),
+                rng.gen_range(lo..hi),
+                rng.gen_range(lo..hi),
+            ]
+        };
+        let p = v3(-3.0, 3.0);
+        let q = v3(-3.0, 3.0);
+        let s = v3(-2.0, 2.0);
+        let eps = rng.gen_range(0.01..1.0);
         let upq = br_pair_velocity(p, q, s, eps * eps);
         let uqp = br_pair_velocity(q, p, s, eps * eps);
         for k in 0..3 {
-            prop_assert!((upq[k] + uqp[k]).abs() < 1e-12 * (1.0 + upq[k].abs()));
+            assert!((upq[k] + uqp[k]).abs() < 1e-12 * (1.0 + upq[k].abs()));
         }
     }
 }
 
-proptest! {
-    // Threaded cases are costlier; keep the case count low.
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// allreduce(sum) equals the serial fold for random per-rank vectors.
-    #[test]
-    fn allreduce_equals_serial_fold(
-        values in prop::collection::vec(-1e6f64..1e6, 4),
-    ) {
+/// allreduce(sum) equals the serial fold for random per-rank vectors.
+/// Threaded cases are costlier; keep the case count low.
+#[test]
+fn allreduce_equals_serial_fold() {
+    let mut rng = Rng::seed_from_u64(0x177_0008);
+    for _ in 0..12 {
+        let values: Vec<f64> = (0..4).map(|_| rng.gen_range(-1e6..1e6)).collect();
         let expect: f64 = values.iter().sum();
         let v2 = values.clone();
         let results = World::run(4, move |comm| comm.allreduce_sum(v2[comm.rank()]));
         for r in results {
-            prop_assert!((r - expect).abs() < 1e-6 * (1.0 + expect.abs()));
+            assert!((r - expect).abs() < 1e-6 * (1.0 + expect.abs()));
         }
     }
+}
 
-    /// alltoall delivers exactly the transpose of what was sent.
-    #[test]
-    fn alltoall_is_a_transpose(seed in 0u64..1_000_000) {
+/// alltoall delivers exactly the transpose of what was sent.
+#[test]
+fn alltoall_is_a_transpose() {
+    let mut rng = Rng::seed_from_u64(0x177_0009);
+    for _ in 0..12 {
+        let seed = rng.next_u64() % 1_000_000;
         let results = World::run(3, move |comm| {
             let me = comm.rank() as u64;
-            let blocks = (0..3).map(|d| vec![seed ^ (me * 10 + d as u64)]).collect();
-            comm.alltoall(blocks)
+            let send: Vec<u64> = (0..3).map(|d| seed ^ (me * 10 + d as u64)).collect();
+            comm.alltoall(&send)
         });
         for (r, per_rank) in results.into_iter().enumerate() {
-            for (src, block) in per_rank.into_iter().enumerate() {
-                prop_assert_eq!(block[0], seed ^ (src as u64 * 10 + r as u64));
+            for (src, &val) in per_rank.iter().enumerate() {
+                assert_eq!(val, seed ^ (src as u64 * 10 + r as u64));
             }
         }
     }

@@ -5,15 +5,15 @@
 //! Format: JSON with every node's global index, position, and vorticity
 //! (rank 0 gathers/writes and reads/broadcasts; ranks fill their owned
 //! blocks). JSON keeps checkpoints portable and diffable; the
-//! `float_roundtrip` serde feature guarantees bit-exact floats.
+//! shortest-round-trip float formatting guarantees bit-exact floats.
 
 use crate::gather_surface;
 use beatnik_core::ProblemManager;
-use serde::{Deserialize, Serialize};
+use beatnik_json::impl_json_struct;
 use std::path::Path;
 
 /// A serialized simulation state.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
     /// Completed step count at save time.
     pub step: usize,
@@ -24,6 +24,8 @@ pub struct Checkpoint {
     /// Row-major node states: `(z, w)` per global node.
     pub nodes: Vec<([f64; 3], [f64; 2])>,
 }
+
+impl_json_struct!(Checkpoint { step, time, global, nodes });
 
 /// Gather and write a checkpoint (rank 0 writes). Collective.
 pub fn save(
@@ -41,7 +43,7 @@ pub fn save(
         };
         let file = std::fs::File::create(path)?;
         let mut w = std::io::BufWriter::new(file);
-        serde_json::to_writer(&mut w, &ck)?;
+        beatnik_json::to_writer(&mut w, &ck)?;
         use std::io::Write as _;
         w.flush()?;
     }
@@ -57,7 +59,7 @@ pub fn load(pm: &mut ProblemManager, path: impl AsRef<Path>) -> std::io::Result<
     let comm = pm.mesh().comm();
     let ck: Checkpoint = if comm.rank() == 0 {
         let text = std::fs::read_to_string(path)?;
-        let ck: Checkpoint = serde_json::from_str(&text).map_err(std::io::Error::other)?;
+        let ck: Checkpoint = beatnik_json::from_str(&text).map_err(std::io::Error::other)?;
         comm.broadcast(0, Some(vec![ck.clone()]));
         ck
     } else {

@@ -25,12 +25,13 @@ pub use stats::{RunLog, StepRecord};
 
 use beatnik_core::ProblemManager;
 
-/// Gather the full global surface on rank 0 as `(rows, cols, points)`,
-/// where `points[gr * cols + gc] = ([x, y, z], [w1, w2])`. Returns `None`
-/// on other ranks. Collective.
-pub fn gather_surface(
-    pm: &ProblemManager,
-) -> Option<(usize, usize, Vec<([f64; 3], [f64; 2])>)> {
+/// The gathered surface: `(rows, cols, points)` where
+/// `points[gr * cols + gc] = ([x, y, z], [w1, w2])`.
+pub type GatheredSurface = (usize, usize, Vec<([f64; 3], [f64; 2])>);
+
+/// Gather the full global surface on rank 0. Returns `None` on other
+/// ranks. Collective.
+pub fn gather_surface(pm: &ProblemManager) -> Option<GatheredSurface> {
     let mesh = pm.mesh();
     let [nr, nc] = mesh.global();
     // Each rank contributes (gr, gc, x, y, z, w1, w2) tuples.
@@ -40,14 +41,12 @@ pub fn gather_surface(
         let w = pm.w().node(lr, lc);
         local.push((gr as u64, gc as u64, [z[0], z[1], z[2]], [w[0], w[1]]));
     }
-    let gathered = mesh.comm().gather(0, local)?;
+    let gathered = mesh.comm().gather(0, &local)?;
     let mut out = vec![([0.0; 3], [0.0; 2]); nr * nc];
     let mut seen = 0usize;
-    for block in gathered {
-        for (gr, gc, z, w) in block {
-            out[gr as usize * nc + gc as usize] = (z, w);
-            seen += 1;
-        }
+    for (gr, gc, z, w) in gathered {
+        out[gr as usize * nc + gc as usize] = (z, w);
+        seen += 1;
     }
     assert_eq!(seen, nr * nc, "gather_surface: incomplete surface");
     Some((nr, nc, out))

@@ -2,12 +2,12 @@
 //! consumed by the figure harnesses and EXPERIMENTS.md tooling.
 
 use beatnik_core::Diagnostics;
-use serde::{Deserialize, Serialize};
+use beatnik_json::impl_json_struct;
 use std::io::Write;
 use std::path::Path;
 
 /// One recorded timestep.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StepRecord {
     /// Completed step index.
     pub step: usize,
@@ -15,19 +15,23 @@ pub struct StepRecord {
     pub time: f64,
     /// Global diagnostics at this step.
     pub diagnostics: Diagnostics,
-    /// Optional per-spatial-rank ownership fractions (Figures 6/7).
-    #[serde(skip_serializing_if = "Option::is_none")]
+    /// Optional per-spatial-rank ownership fractions (Figures 6/7);
+    /// serialized as `null` when absent.
     pub ownership: Option<Vec<f64>>,
 }
 
+impl_json_struct!(StepRecord { step, time, diagnostics, ownership });
+
 /// A whole run's record.
-#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunLog {
     /// Free-form description of the run configuration.
     pub label: String,
     /// Recorded steps in order.
     pub steps: Vec<StepRecord>,
 }
+
+impl_json_struct!(RunLog { label, steps });
 
 impl RunLog {
     /// Create an empty log with a label.
@@ -47,14 +51,14 @@ impl RunLog {
     pub fn write_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
         let file = std::fs::File::create(path)?;
         let mut out = std::io::BufWriter::new(file);
-        serde_json::to_writer_pretty(&mut out, self)?;
+        beatnik_json::to_writer_pretty(&mut out, self)?;
         out.flush()
     }
 
     /// Load from JSON.
     pub fn read_json(path: impl AsRef<Path>) -> std::io::Result<Self> {
         let text = std::fs::read_to_string(path)?;
-        serde_json::from_str(&text).map_err(std::io::Error::other)
+        beatnik_json::from_str(&text).map_err(std::io::Error::other)
     }
 
     /// Estimate the exponential growth rate of the interface amplitude

@@ -1,0 +1,501 @@
+//! # beatnik-json — dependency-free JSON for run artifacts
+//!
+//! The repo's JSON needs are narrow: write/read checkpoints, run logs,
+//! scaling tables, and configuration structs, with **bit-exact `f64`
+//! round-trips** (checkpoint/restart must resume bitwise-identically).
+//! This crate covers exactly that without an external dependency, which
+//! keeps the workspace hermetic — it builds with no registry access.
+//!
+//! * [`Value`] — a JSON document tree.
+//! * [`ToJson`] / [`FromJson`] — conversion traits, implemented for the
+//!   primitives, arrays, tuples, `Option`, `Vec`, `String`, `PathBuf`.
+//! * [`impl_json_struct!`] / [`impl_json_unit_enum!`] — derive-style
+//!   macros for plain structs and C-like enums; data-carrying enums
+//!   write the two trait impls by hand (externally tagged, matching the
+//!   layout serde's derive would have produced, so pre-existing JSON
+//!   artifacts stay readable).
+//! * [`to_string`], [`to_string_pretty`], [`to_writer`],
+//!   [`to_writer_pretty`], [`from_str`] — the serde_json-shaped entry
+//!   points.
+//!
+//! Floats are printed with Rust's shortest-round-trip formatting (`{:?}`)
+//! and parsed with `str::parse::<f64>` (correctly rounded), so
+//! `f64 → text → f64` is the identity for every finite value. Non-finite
+//! floats serialize as `null` and fail to deserialize as numbers.
+
+mod parse;
+mod value;
+mod write;
+
+pub use parse::parse;
+pub use value::Value;
+
+use std::path::PathBuf;
+
+/// Error raised by parsing or by [`FromJson`] conversions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    msg: String,
+}
+
+impl JsonError {
+    /// An error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        JsonError { msg: msg.into() }
+    }
+
+    /// Wrap the error with the field it occurred in.
+    pub fn in_field(self, key: &str) -> Self {
+        JsonError {
+            msg: format!("field '{key}': {}", self.msg),
+        }
+    }
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json: {}", self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Convert a value into a JSON document tree.
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Value;
+}
+
+/// Convert a JSON document tree back into a value.
+pub trait FromJson: Sized {
+    /// Parse `self` out of a JSON value.
+    fn from_json(v: &Value) -> Result<Self, JsonError>;
+}
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> String {
+    write::compact(&value.to_json())
+}
+
+/// Serialize to an indented JSON string.
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    write::pretty(&value.to_json())
+}
+
+/// Serialize compactly into a writer.
+pub fn to_writer<W: std::io::Write, T: ToJson + ?Sized>(
+    mut w: W,
+    value: &T,
+) -> std::io::Result<()> {
+    w.write_all(to_string(value).as_bytes())
+}
+
+/// Serialize with indentation into a writer.
+pub fn to_writer_pretty<W: std::io::Write, T: ToJson + ?Sized>(
+    mut w: W,
+    value: &T,
+) -> std::io::Result<()> {
+    w.write_all(to_string_pretty(value).as_bytes())
+}
+
+/// Parse a value out of JSON text.
+pub fn from_str<T: FromJson>(text: &str) -> Result<T, JsonError> {
+    T::from_json(&parse(text)?)
+}
+
+/// Read `key` from an object, converting to `T`.
+///
+/// A missing key is handed to `T` as [`Value::Null`], so `Option` fields
+/// treat absent and `null` identically (serde's behavior); every other
+/// type reports a missing-field error.
+pub fn field<T: FromJson>(v: &Value, key: &str) -> Result<T, JsonError> {
+    let Value::Object(pairs) = v else {
+        return Err(JsonError::new(format!(
+            "expected object with field '{key}', got {}",
+            v.kind()
+        )));
+    };
+    match pairs.iter().find(|(k, _)| k == key) {
+        Some((_, val)) => T::from_json(val).map_err(|e| e.in_field(key)),
+        None => T::from_json(&Value::Null)
+            .map_err(|_| JsonError::new(format!("missing field '{key}'"))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trait impls for the building-block types.
+// ---------------------------------------------------------------------
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl FromJson for Value {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(v.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(JsonError::new(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        v.as_f64()
+            .ok_or_else(|| JsonError::new(format!("expected number, got {}", v.kind())))
+    }
+}
+
+macro_rules! impl_json_uint {
+    ($($t:ty),+) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(v: &Value) -> Result<Self, JsonError> {
+                let n = v.as_u64().ok_or_else(|| {
+                    JsonError::new(format!("expected unsigned integer, got {}", v.kind()))
+                })?;
+                <$t>::try_from(n).map_err(|_| {
+                    JsonError::new(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )+};
+}
+impl_json_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_json_int {
+    ($($t:ty),+) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(v: &Value) -> Result<Self, JsonError> {
+                let n = v.as_i64().ok_or_else(|| {
+                    JsonError::new(format!("expected integer, got {}", v.kind()))
+                })?;
+                <$t>::try_from(n).map_err(|_| {
+                    JsonError::new(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )+};
+}
+impl_json_int!(i8, i16, i32, i64, isize);
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(JsonError::new(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl ToJson for PathBuf {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_string_lossy().into_owned())
+    }
+}
+
+impl FromJson for PathBuf {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(PathBuf::from(String::from_json(v)?))
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(x) => x.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_json).collect(),
+            other => Err(JsonError::new(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson, const N: usize> FromJson for [T; N] {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let items = Vec::<T>::from_json(v)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| JsonError::new(format!("expected array of {N} elements, got {got}")))
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Value {
+        Value::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_json(&items[0])?, B::from_json(&items[1])?))
+            }
+            other => Err(JsonError::new(format!(
+                "expected 2-element array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json(&self) -> Value {
+        Value::Array(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson, C: FromJson> FromJson for (A, B, C) {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Array(items) if items.len() == 3 => Ok((
+                A::from_json(&items[0])?,
+                B::from_json(&items[1])?,
+                C::from_json(&items[2])?,
+            )),
+            other => Err(JsonError::new(format!(
+                "expected 3-element array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Derive-style macros.
+// ---------------------------------------------------------------------
+
+/// Implement [`ToJson`]/[`FromJson`] for a plain struct with named
+/// fields: `impl_json_struct!(Params { atwood, gravity, ... });`.
+/// The JSON shape is the object serde's derive would produce.
+#[macro_export]
+macro_rules! impl_json_struct {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Value {
+                $crate::Value::Object(vec![
+                    $((stringify!($field).to_string(), $crate::ToJson::to_json(&self.$field))),+
+                ])
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Value) -> Result<Self, $crate::JsonError> {
+                Ok($ty {
+                    $($field: $crate::field(v, stringify!($field))?),+
+                })
+            }
+        }
+    };
+}
+
+/// Implement [`ToJson`]/[`FromJson`] for a C-like enum (unit variants
+/// only): `impl_json_unit_enum!(Order { Low, Medium, High });`.
+/// Variants serialize as bare strings (serde's externally-tagged form).
+#[macro_export]
+macro_rules! impl_json_unit_enum {
+    ($ty:ident { $($variant:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Value {
+                match self {
+                    $($ty::$variant => $crate::Value::Str(stringify!($variant).to_string())),+
+                }
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Value) -> Result<Self, $crate::JsonError> {
+                match v {
+                    $($crate::Value::Str(s) if s == stringify!($variant) => Ok($ty::$variant),)+
+                    other => Err($crate::JsonError::new(format!(
+                        "unknown {} variant: {:?}", stringify!($ty), other
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Demo {
+        n: usize,
+        x: f64,
+        name: String,
+        tags: Vec<u64>,
+        opt: Option<f64>,
+    }
+    impl_json_struct!(Demo { n, x, name, tags, opt });
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Tri {
+        A,
+        B,
+        C,
+    }
+    impl_json_unit_enum!(Tri { A, B, C });
+
+    fn demo() -> Demo {
+        Demo {
+            n: 42,
+            x: 0.1 + 0.2, // not representable exactly: exercises round-trip
+            name: "hello \"world\"\n".to_string(),
+            tags: vec![1, u64::MAX],
+            opt: None,
+        }
+    }
+
+    #[test]
+    fn struct_roundtrip_compact_and_pretty() {
+        let d = demo();
+        let back: Demo = from_str(&to_string(&d)).unwrap();
+        assert_eq!(back, d);
+        let back: Demo = from_str(&to_string_pretty(&d)).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn option_field_absent_or_null_reads_as_none() {
+        let d: Demo = from_str(r#"{"n":1,"x":2.0,"name":"a","tags":[],"opt":null}"#).unwrap();
+        assert_eq!(d.opt, None);
+        let d: Demo = from_str(r#"{"n":1,"x":2.0,"name":"a","tags":[]}"#).unwrap();
+        assert_eq!(d.opt, None);
+        let d: Demo = from_str(r#"{"n":1,"x":2.0,"name":"a","tags":[],"opt":3.5}"#).unwrap();
+        assert_eq!(d.opt, Some(3.5));
+    }
+
+    #[test]
+    fn missing_required_field_errors() {
+        let err = from_str::<Demo>(r#"{"x":2.0,"name":"a","tags":[]}"#).unwrap_err();
+        assert!(err.to_string().contains("missing field 'n'"), "{err}");
+    }
+
+    #[test]
+    fn unit_enum_roundtrip() {
+        for t in [Tri::A, Tri::B, Tri::C] {
+            let back: Tri = from_str(&to_string(&t)).unwrap();
+            assert_eq!(back, t);
+        }
+        assert!(from_str::<Tri>("\"D\"").is_err());
+    }
+
+    #[test]
+    fn f64_bit_exact_roundtrip() {
+        // A spread of awkward values, including subnormals and the
+        // extremes; each must survive text round-trip bit-for-bit.
+        for &x in &[
+            0.1,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            f64::MIN_POSITIVE / 8.0,
+            f64::MAX,
+            -2.225_073_858_507_201e-308,
+            6.02e23,
+            -0.0,
+        ] {
+            let back: f64 = from_str(&to_string(&x)).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x:e}");
+        }
+    }
+
+    #[test]
+    fn arrays_and_tuples() {
+        let v: ([f64; 3], [f64; 2]) = ([1.5, -2.0, 0.25], [9.0, 8.0]);
+        let nodes = vec![v, ([0.0; 3], [0.0; 2])];
+        let back: Vec<([f64; 3], [f64; 2])> = from_str(&to_string(&nodes)).unwrap();
+        assert_eq!(back, nodes);
+    }
+
+    #[test]
+    fn u64_beyond_f64_precision_survives() {
+        let seed: u64 = (1 << 60) + 1; // not representable as f64
+        let back: u64 = from_str(&to_string(&seed)).unwrap();
+        assert_eq!(back, seed);
+    }
+
+    #[test]
+    fn writer_entry_points() {
+        let mut buf = Vec::new();
+        to_writer(&mut buf, &demo()).unwrap();
+        let back: Demo = from_str(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(back, demo());
+    }
+}

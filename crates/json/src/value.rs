@@ -1,0 +1,115 @@
+//! The JSON document tree.
+
+/// A parsed JSON value.
+///
+/// Numbers keep three lexical classes so integers survive beyond the
+/// 2^53 range where `f64` loses exactness (`u64` seeds, counters) while
+/// floats keep their sign and full precision.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A negative integer literal.
+    Int(i64),
+    /// A non-negative integer literal.
+    UInt(u64),
+    /// A number with a fraction or exponent (or out of integer range).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object; insertion order preserved (stable output).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value's type name, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) | Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Numeric view as `f64` (integers convert; may round beyond 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(n) => Some(n as f64),
+            Value::UInt(n) => Some(n as f64),
+            Value::Float(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `u64`; floats qualify only when integral and
+    /// in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(n) => Some(n),
+            Value::Int(n) => u64::try_from(n).ok(),
+            Value::Float(x) if x >= 0.0 && x <= u64::MAX as f64 && x.fract() == 0.0 => {
+                Some(x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `i64`; floats qualify only when integral and
+    /// in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(n) => Some(n),
+            Value::UInt(n) => i64::try_from(n).ok(),
+            Value::Float(x) if x >= i64::MIN as f64 && x <= i64::MAX as f64 && x.fract() == 0.0 => {
+                Some(x as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Object member lookup by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_views_cross_convert() {
+        assert_eq!(Value::UInt(7).as_i64(), Some(7));
+        assert_eq!(Value::Int(-7).as_u64(), None);
+        assert_eq!(Value::Float(3.0).as_u64(), Some(3));
+        assert_eq!(Value::Float(3.5).as_u64(), None);
+        assert_eq!(Value::UInt(u64::MAX).as_i64(), None);
+        assert_eq!(Value::Str("3".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn object_lookup() {
+        let v = Value::Object(vec![("a".into(), Value::Bool(true))]);
+        assert!(matches!(v.get("a"), Some(Value::Bool(true))));
+        assert!(v.get("b").is_none());
+        assert!(Value::Null.get("a").is_none());
+    }
+}

@@ -1,0 +1,152 @@
+//! JSON writers: compact and 2-space-indented pretty output.
+//!
+//! Floats use Rust's `{:?}` formatting — the shortest decimal string
+//! that round-trips to the same bits — which is what makes checkpoint
+//! files bit-exact. Non-finite floats have no JSON representation and
+//! are written as `null` (serde_json's `to_value` behavior).
+
+use crate::Value;
+use std::fmt::Write as _;
+
+/// Serialize without whitespace.
+pub fn compact(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, None, 0);
+    out
+}
+
+/// Serialize with 2-space indentation.
+pub fn pretty(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, Some(2), 0);
+    out
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::UInt(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::Float(x) => write_f64(out, *x),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => write_seq(out, items.iter(), indent, depth, ('[', ']'), |o, x, d| {
+            write_value(o, x, indent, d)
+        }),
+        Value::Object(pairs) => {
+            write_seq(out, pairs.iter(), indent, depth, ('{', '}'), |o, (k, x), d| {
+                write_string(o, k);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                write_value(o, x, indent, d);
+            })
+        }
+    }
+}
+
+fn write_seq<I: ExactSizeIterator>(
+    out: &mut String,
+    items: I,
+    indent: Option<usize>,
+    depth: usize,
+    (open, close): (char, char),
+    mut write_item: impl FnMut(&mut String, I::Item, usize),
+) {
+    out.push(open);
+    let n = items.len();
+    for (i, item) in items.enumerate() {
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', w * (depth + 1)));
+        }
+        write_item(out, item, depth + 1);
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    if n > 0 {
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', w * depth));
+        }
+    }
+    out.push(close);
+}
+
+fn write_f64(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    // `{:?}` prints shortest-round-trip and always marks the value as a
+    // float ("1.0", "1e300"), so the parser reads it back as Float.
+    let _ = write!(out, "{x:?}");
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn compact_output_shape() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Array(vec![Value::UInt(1), Value::Float(2.0)])),
+            ("b".into(), Value::Str("x\"y".into())),
+        ]);
+        assert_eq!(compact(&v), r#"{"a":[1,2.0],"b":"x\"y"}"#);
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_reparses() {
+        let v = Value::Object(vec![(
+            "steps".into(),
+            Value::Array(vec![Value::Object(vec![("n".into(), Value::UInt(3))])]),
+        )]);
+        let text = pretty(&v);
+        assert!(text.contains("\n  \"steps\": [\n"));
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn empty_containers_stay_tight() {
+        assert_eq!(pretty(&Value::Array(vec![])), "[]");
+        assert_eq!(pretty(&Value::Object(vec![])), "{}");
+    }
+
+    #[test]
+    fn non_finite_floats_write_null() {
+        assert_eq!(compact(&Value::Float(f64::NAN)), "null");
+        assert_eq!(compact(&Value::Float(f64::INFINITY)), "null");
+    }
+
+    #[test]
+    fn control_characters_escape() {
+        assert_eq!(compact(&Value::Str("\u{0001}".into())), "\"\\u0001\"");
+    }
+}

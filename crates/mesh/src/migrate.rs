@@ -59,7 +59,8 @@ pub fn migrate_to_spatial<D: PointDecomposition + ?Sized>(
     for pt in points {
         blocks[smesh.rank_of_point(pt.pos)].push(pt);
     }
-    comm.alltoallv(blocks).into_iter().flatten().collect()
+    let counts: Vec<usize> = blocks.iter().map(Vec::len).collect();
+    comm.alltoallv(&blocks.concat(), &counts).0
 }
 
 /// Step 2: halo points within `cutoff` of neighboring regions. Returns
@@ -81,7 +82,8 @@ pub fn halo_exchange_points<D: PointDecomposition + ?Sized>(
             }
         }
     }
-    comm.alltoallv(blocks).into_iter().flatten().collect()
+    let counts: Vec<usize> = blocks.iter().map(Vec::len).collect();
+    comm.alltoallv(&blocks.concat(), &counts).0
 }
 
 /// Step 4: return per-point results to home ranks. `results` pairs each
@@ -102,17 +104,16 @@ pub fn migrate_results_home(
     for (dest, r) in results {
         blocks[dest].push(r);
     }
-    let incoming = comm.alltoallv(blocks);
+    let counts: Vec<usize> = blocks.iter().map(Vec::len).collect();
+    let (incoming, _) = comm.alltoallv(&blocks.concat(), &counts);
     let mut out = vec![[f64::NAN; 3]; n_local];
     let mut seen = vec![false; n_local];
-    for block in incoming {
-        for r in block {
-            let i = r.home_idx as usize;
-            assert!(i < n_local, "migrate_results_home: index {i} out of range");
-            assert!(!seen[i], "migrate_results_home: duplicate result for {i}");
-            seen[i] = true;
-            out[i] = r.value;
-        }
+    for r in incoming {
+        let i = r.home_idx as usize;
+        assert!(i < n_local, "migrate_results_home: index {i} out of range");
+        assert!(!seen[i], "migrate_results_home: duplicate result for {i}");
+        seen[i] = true;
+        out[i] = r.value;
     }
     assert!(
         seen.iter().all(|&s| s),
@@ -179,11 +180,7 @@ mod tests {
             let owned = migrate_to_spatial(&comm, &sm, cloud(comm.rank(), 30));
             let ghosts = halo_exchange_points(&comm, &sm, &owned, cutoff);
             // Gather all points everywhere for a brute-force check.
-            let all: Vec<SurfacePoint> = comm
-                .allgather(owned.clone())
-                .into_iter()
-                .flatten()
-                .collect();
+            let all: Vec<SurfacePoint> = comm.allgather(&owned);
             for a in &all {
                 if sm.rank_of_point(a.pos) == comm.rank() {
                     continue; // my own point, not a ghost

@@ -52,11 +52,7 @@ impl RcbDecomposition {
         lo: [f64; 2],
         hi: [f64; 2],
     ) -> Self {
-        let all: Vec<[f64; 3]> = comm
-            .allgather(local_points.to_vec())
-            .into_iter()
-            .flatten()
-            .collect();
+        let all: Vec<[f64; 3]> = comm.allgather(local_points);
         Self::build(&all, ranks, lo, hi)
     }
 

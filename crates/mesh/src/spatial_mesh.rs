@@ -7,12 +7,13 @@
 //! pure geometry — ownership and neighborhood queries derived from rank
 //! indices — shared by the migration engine and the figure harnesses.
 
-use serde::{Deserialize, Serialize};
+
+use beatnik_json::impl_json_struct;
 
 /// A 3D axis-aligned domain decomposed over a `[Py, Px]` rank grid in
 /// the x/y plane (rank = `iy * Px + ix`, matching `CartComm` row-major
 /// ordering).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpatialMesh {
     /// Domain lower corner `[x, y, z]`.
     pub lo: [f64; 3],
@@ -21,6 +22,8 @@ pub struct SpatialMesh {
     /// Rank-grid extents `[Py, Px]`.
     pub dims: [usize; 2],
 }
+
+impl_json_struct!(SpatialMesh { lo, hi, dims });
 
 impl SpatialMesh {
     /// Create a mesh over `[lo, hi]` decomposed over `dims` ranks.

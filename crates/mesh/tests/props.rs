@@ -1,82 +1,98 @@
-//! Property-based tests of the mesh layer: partitions, halo-exchange
-//! correctness on random fields, RCB balance, and migration conservation.
+//! Randomized-property tests of the mesh layer: partitions,
+//! halo-exchange correctness on random fields, RCB balance, and spatial
+//! ownership. Cases come from the workspace's deterministic PRNG —
+//! reproducible and hermetic.
 
 use beatnik_comm::World;
 use beatnik_mesh::{
     split_even, Partition2d, PointDecomposition, RcbDecomposition, SpatialMesh, SurfaceMesh,
 };
-use proptest::prelude::*;
+use beatnik_prng::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    #[test]
-    fn split_even_partitions_exactly(n in 0usize..100_000, parts in 1usize..256) {
+#[test]
+fn split_even_partitions_exactly() {
+    let mut rng = Rng::seed_from_u64(0x3E5_0001);
+    for _ in 0..CASES {
+        let n = rng.gen_index(0..100_000);
+        let parts = rng.gen_index(1..256);
         let mut end = 0;
         for i in 0..parts {
             let r = split_even(n, parts, i);
-            prop_assert_eq!(r.start, end);
+            assert_eq!(r.start, end);
             end = r.end;
-            prop_assert!(r.len() <= n / parts + 1);
+            assert!(r.len() <= n / parts + 1);
         }
-        prop_assert_eq!(end, n);
+        assert_eq!(end, n, "n {n}, parts {parts}");
     }
+}
 
-    #[test]
-    fn partition_owner_is_consistent(
-        nr in 4usize..200, nc in 4usize..200,
-        pr in 1usize..8, pc in 1usize..8,
-        gr_frac in 0.0f64..1.0, gc_frac in 0.0f64..1.0,
-    ) {
+#[test]
+fn partition_owner_is_consistent() {
+    let mut rng = Rng::seed_from_u64(0x3E5_0002);
+    for _ in 0..CASES {
+        let nr = rng.gen_index(4..200);
+        let nc = rng.gen_index(4..200);
+        let pr = rng.gen_index(1..8);
+        let pc = rng.gen_index(1..8);
         let p = Partition2d::with_dims([nr, nc], [pr, pc]);
-        let gr = ((nr as f64 * gr_frac) as usize).min(nr - 1);
-        let gc = ((nc as f64 * gc_frac) as usize).min(nc - 1);
+        let gr = ((nr as f64 * rng.next_f64()) as usize).min(nr - 1);
+        let gc = ((nc as f64 * rng.next_f64()) as usize).min(nc - 1);
         let [opr, opc] = p.owner_of(gr, gc);
-        prop_assert!(p.rows_of(opr).contains(&gr));
-        prop_assert!(p.cols_of(opc).contains(&gc));
+        assert!(p.rows_of(opr).contains(&gr));
+        assert!(p.cols_of(opc).contains(&gc));
     }
+}
 
-    #[test]
-    fn spatial_mesh_ranks_within_includes_owner(
-        x in -5.0f64..5.0, y in -5.0f64..5.0,
-        cutoff in 0.0f64..3.0,
-        py in 1usize..6, px in 1usize..6,
-    ) {
+#[test]
+fn spatial_mesh_ranks_within_includes_owner() {
+    let mut rng = Rng::seed_from_u64(0x3E5_0003);
+    for _ in 0..CASES {
+        let x = rng.gen_range(-5.0..5.0);
+        let y = rng.gen_range(-5.0..5.0);
+        let cutoff = rng.gen_range(0.0..3.0);
+        let py = rng.gen_index(1..6);
+        let px = rng.gen_index(1..6);
         let m = SpatialMesh::new([-3.0, -3.0, -1.0], [3.0, 3.0, 1.0], [py, px]);
         let p = [x, y, 0.0];
         let own = m.rank_of_point(p);
         let within = m.ranks_within(p, cutoff);
-        prop_assert!(within.contains(&own), "{own} not in {within:?}");
-        prop_assert!(within.iter().all(|&r| r < m.ranks()));
+        assert!(within.contains(&own), "{own} not in {within:?}");
+        assert!(within.iter().all(|&r| r < m.ranks()));
     }
+}
 
-    #[test]
-    fn rcb_regions_balance_any_cloud(
-        seeds in prop::collection::vec((-3.0f64..3.0, -3.0f64..3.0), 32..200),
-        ranks in 2usize..17,
-    ) {
-        let pts: Vec<[f64; 3]> = seeds.iter().map(|&(x, y)| [x, y, 0.0]).collect();
+#[test]
+fn rcb_regions_balance_any_cloud() {
+    let mut rng = Rng::seed_from_u64(0x3E5_0004);
+    for _ in 0..CASES {
+        let n = rng.gen_index(32..200);
+        let pts: Vec<[f64; 3]> = (0..n)
+            .map(|_| [rng.gen_range(-3.0..3.0), rng.gen_range(-3.0..3.0), 0.0])
+            .collect();
+        let ranks = rng.gen_index(2..17);
         let d = RcbDecomposition::build(&pts, ranks, [-3.0, -3.0], [3.0, 3.0]);
         let mut counts = vec![0usize; ranks];
         for p in &pts {
             counts[d.rank_of_point(*p)] += 1;
         }
-        prop_assert_eq!(counts.iter().sum::<usize>(), pts.len());
+        assert_eq!(counts.iter().sum::<usize>(), pts.len());
         // Median splits keep every region within a small additive band of
         // the ideal share (ties on duplicate coordinates can shift a few
         // points).
         let ideal = pts.len() as f64 / ranks as f64;
         let max = *counts.iter().max().unwrap() as f64;
-        prop_assert!(max <= 2.0 * ideal + 4.0, "counts {counts:?}");
+        assert!(max <= 2.0 * ideal + 4.0, "counts {counts:?}");
     }
 }
 
-proptest! {
-    // World-spawning cases are costlier.
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    #[test]
-    fn halo_exchange_delivers_wrapped_values(seed in 0u64..1000) {
+#[test]
+fn halo_exchange_delivers_wrapped_values() {
+    // World-spawning cases are costlier: fewer of them.
+    let mut rng = Rng::seed_from_u64(0x3E5_0005);
+    for _ in 0..8 {
+        let seed = rng.next_u64() % 1000;
         World::run(4, move |comm| {
             let mesh = SurfaceMesh::new(
                 &comm,

@@ -2,10 +2,11 @@
 //! harnesses: (rank count, predicted runtime) points plus speedup and
 //! parallel-efficiency derivations and an aligned-text table printer.
 
-use serde::{Deserialize, Serialize};
+
+use beatnik_json::impl_json_struct;
 
 /// One point of a scaling study.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScalingPoint {
     /// Number of ranks (= GPUs in the paper's configuration).
     pub ranks: usize,
@@ -13,14 +14,18 @@ pub struct ScalingPoint {
     pub time: f64,
 }
 
+impl_json_struct!(ScalingPoint { ranks, time });
+
 /// A named scaling series (one line in a paper figure).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ScalingSeries {
     /// Legend label.
     pub label: String,
     /// Points ordered by rank count.
     pub points: Vec<ScalingPoint>,
 }
+
+impl_json_struct!(ScalingSeries { label, points });
 
 impl ScalingSeries {
     /// Empty series with a label.
@@ -159,8 +164,8 @@ mod tests {
     #[test]
     fn json_roundtrip() {
         let s = sample();
-        let j = serde_json::to_string(&s).unwrap();
-        let back: ScalingSeries = serde_json::from_str(&j).unwrap();
+        let j = beatnik_json::to_string(&s);
+        let back: ScalingSeries = beatnik_json::from_str(&j).unwrap();
         assert_eq!(back.points, s.points);
         assert_eq!(back.label, s.label);
     }

@@ -22,8 +22,8 @@ use beatnik_core::solver::BrChoice;
 use beatnik_core::{Diagnostics, InitialCondition, Order, Params, Solver, SolverConfig};
 use beatnik_dfft::FftConfig;
 use beatnik_io::stats::{RunLog, StepRecord};
+use beatnik_json::{impl_json_struct, impl_json_unit_enum};
 use beatnik_mesh::{BoundaryCondition, SpatialMesh, SurfaceMesh};
-use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 
 pub mod cli;
@@ -31,7 +31,7 @@ pub mod cli;
 pub use cli::parse_args;
 
 /// The two paper input decks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Deck {
     /// Multi-mode periodic rocket rig (paper Fig. 1): even point
     /// distribution, FFT-friendly.
@@ -40,6 +40,8 @@ pub enum Deck {
     /// rollup and load imbalance; requires a high-order solver.
     SingleModeOpen,
 }
+
+impl_json_unit_enum!(Deck { MultiModePeriodic, SingleModeOpen });
 
 impl Deck {
     /// The x/y/z domain box the paper uses for this deck family:
@@ -73,7 +75,7 @@ impl Deck {
 }
 
 /// Full run configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RigConfig {
     /// Which input deck.
     pub deck: Deck,
@@ -108,6 +110,23 @@ pub struct RigConfig {
     /// Output directory for VTK/JSON artifacts.
     pub out_dir: PathBuf,
 }
+
+impl_json_struct!(RigConfig {
+    deck,
+    order,
+    mesh_n,
+    steps,
+    cutoff_solver,
+    tree_theta,
+    balanced,
+    params,
+    fft,
+    diag_every,
+    record_ownership,
+    ownership_ranks,
+    vtk_every,
+    out_dir,
+});
 
 impl Default for RigConfig {
     fn default() -> Self {
@@ -210,7 +229,7 @@ pub fn run_rig(comm: &Communicator, cfg: &RigConfig) -> RunLog {
     for _ in 0..cfg.steps {
         solver.step();
         let s = solver.step_count();
-        if cfg.diag_every > 0 && s % cfg.diag_every == 0 {
+        if cfg.diag_every > 0 && s.is_multiple_of(cfg.diag_every) {
             let ownership = cfg
                 .record_ownership
                 .then(|| beatnik_core::diagnostics::ownership_fractions(solver.problem(), &smesh));
@@ -221,7 +240,7 @@ pub fn run_rig(comm: &Communicator, cfg: &RigConfig) -> RunLog {
                 ownership,
             });
         }
-        if cfg.vtk_every > 0 && s % cfg.vtk_every == 0 {
+        if cfg.vtk_every > 0 && s.is_multiple_of(cfg.vtk_every) {
             let path = cfg.out_dir.join(format!("surface_{s:05}.vtk"));
             beatnik_io::vtk::write_vtk(solver.problem(), path).expect("vtk write failed");
         }
@@ -230,7 +249,7 @@ pub fn run_rig(comm: &Communicator, cfg: &RigConfig) -> RunLog {
 }
 
 /// The paper's four benchmark test cases (§4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BenchCase {
     /// Multi-mode low-order weak scaling (network bandwidth).
     LowOrderWeak,
@@ -241,6 +260,13 @@ pub enum BenchCase {
     /// Single-mode high-order (cutoff) strong scaling (load imbalance).
     CutoffStrong,
 }
+
+impl_json_unit_enum!(BenchCase {
+    LowOrderWeak,
+    LowOrderStrong,
+    CutoffWeak,
+    CutoffStrong,
+});
 
 impl BenchCase {
     /// A laptop-scale configuration for the case (the figure harnesses

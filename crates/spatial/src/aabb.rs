@@ -49,8 +49,8 @@ impl Aabb {
     /// Squared distance from a point to the box (0 when inside).
     pub fn dist2_to(&self, p: [f64; 3]) -> f64 {
         let mut d2 = 0.0;
-        for d in 0..3 {
-            let gap = (self.lo[d] - p[d]).max(p[d] - self.hi[d]).max(0.0);
+        for ((&lo, &hi), &x) in self.lo.iter().zip(&self.hi).zip(&p) {
+            let gap = (lo - x).max(x - hi).max(0.0);
             d2 += gap * gap;
         }
         d2

@@ -296,8 +296,8 @@ mod tests {
         });
         let tree = BhTree::build(pts, strengths);
         let root = &tree.nodes[0];
-        for k in 0..3 {
-            assert!((root.strength[k] - total[k]).abs() < 1e-9);
+        for (got, want) in root.strength.iter().zip(&total) {
+            assert!((got - want).abs() < 1e-9);
         }
         assert_eq!(root.count, 500);
         assert!(tree.node_count() > 8);

@@ -1,48 +1,66 @@
-//! Property-based tests of the spatial search structures.
+//! Randomized-property tests of the spatial search structures, driven
+//! by the workspace's deterministic PRNG (reproducible and hermetic).
 
+use beatnik_prng::Rng;
 use beatnik_spatial::neighbors::{brute_force_neighbors, Backend, NeighborList};
 use beatnik_spatial::{dist2, Aabb, BhTree};
-use proptest::prelude::*;
 
-fn points(max_n: usize) -> impl Strategy<Value = Vec<[f64; 3]>> {
-    prop::collection::vec(
-        (-10.0f64..10.0, -10.0f64..10.0, -2.0f64..2.0).prop_map(|(x, y, z)| [x, y, z]),
-        0..max_n,
-    )
+/// `0..max_n` random points in the `[-10, 10]² × [-2, 2]` box.
+fn points(rng: &mut Rng, max_n: usize) -> Vec<[f64; 3]> {
+    let n = rng.gen_index(0..max_n);
+    (0..n)
+        .map(|_| {
+            [
+                rng.gen_range(-10.0..10.0),
+                rng.gen_range(-10.0..10.0),
+                rng.gen_range(-2.0..2.0),
+            ]
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: usize = 48;
 
-    #[test]
-    fn both_backends_equal_brute_force(
-        pts in points(60),
-        radius in 0.05f64..5.0,
-    ) {
+#[test]
+fn both_backends_equal_brute_force() {
+    let mut rng = Rng::seed_from_u64(0x59A_0001);
+    for _ in 0..CASES {
+        let pts = points(&mut rng, 60);
+        let radius = rng.gen_range(0.05..5.0);
         let want = brute_force_neighbors(&pts, &pts, radius);
         for backend in [Backend::Grid, Backend::KdTree] {
             let got = NeighborList::build(&pts, &pts, radius, backend);
-            prop_assert_eq!(&got, &want);
+            assert_eq!(got, want, "backend {backend:?}, n {}", pts.len());
         }
     }
+}
 
-    #[test]
-    fn aabb_contains_its_points(pts in points(50)) {
-        prop_assume!(!pts.is_empty());
+#[test]
+fn aabb_contains_its_points() {
+    let mut rng = Rng::seed_from_u64(0x59A_0002);
+    for _ in 0..CASES {
+        let pts = points(&mut rng, 50);
+        if pts.is_empty() {
+            continue;
+        }
         let b = Aabb::bounding(&pts).unwrap();
         for p in &pts {
-            prop_assert!(b.contains(*p));
-            prop_assert_eq!(b.dist2_to(*p), 0.0);
+            assert!(b.contains(*p));
+            assert_eq!(b.dist2_to(*p), 0.0);
         }
         // Expanding never loses containment.
         let e = b.expanded(1.5);
         for p in &pts {
-            prop_assert!(e.contains(*p));
+            assert!(e.contains(*p));
         }
     }
+}
 
-    #[test]
-    fn bhtree_theta_zero_is_exact_summation(pts in points(80)) {
+#[test]
+fn bhtree_theta_zero_is_exact_summation() {
+    let mut rng = Rng::seed_from_u64(0x59A_0003);
+    for _ in 0..CASES {
+        let pts = points(&mut rng, 80);
         let strengths: Vec<[f64; 3]> = pts
             .iter()
             .map(|p| [p[1] * 0.1, -p[0] * 0.1, 0.05])
@@ -63,21 +81,27 @@ proptest! {
             want[2] += u[2];
         }
         for k in 0..3 {
-            prop_assert!((got[k] - want[k]).abs() < 1e-9 * (1.0 + want[k].abs()));
+            assert!((got[k] - want[k]).abs() < 1e-9 * (1.0 + want[k].abs()));
         }
     }
+}
 
-    #[test]
-    fn bhtree_interaction_count_monotone_in_theta(pts in points(120)) {
-        prop_assume!(pts.len() >= 20);
+#[test]
+fn bhtree_interaction_count_monotone_in_theta() {
+    let mut rng = Rng::seed_from_u64(0x59A_0004);
+    for _ in 0..CASES {
+        let pts = points(&mut rng, 120);
+        if pts.len() < 20 {
+            continue;
+        }
         let strengths = vec![[0.1, 0.0, 0.0]; pts.len()];
         let tree = BhTree::build(pts.clone(), strengths);
         let t = pts[0];
         let exact = tree.interaction_count(t, 0.0);
         let mid = tree.interaction_count(t, 0.5);
         let coarse = tree.interaction_count(t, 1.5);
-        prop_assert_eq!(exact, pts.len());
-        prop_assert!(mid <= exact);
-        prop_assert!(coarse <= mid);
+        assert_eq!(exact, pts.len());
+        assert!(mid <= exact);
+        assert!(coarse <= mid);
     }
 }

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repo verification gate: release build, full test suite, and lints.
+# Hermetic — never touches the network.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "== cargo clippy -- -D warnings =="
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "== clippy not installed; skipping lints =="
+fi
+
+echo "verify: OK"

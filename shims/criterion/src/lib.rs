@@ -1,0 +1,266 @@
+//! Hermetic stand-in for the `criterion` bench harness.
+//!
+//! The build container has no registry access, so the real criterion
+//! crate cannot be resolved; this shim implements the subset of its API
+//! the `beatnik-bench` targets use (`Criterion`, `benchmark_group`,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `measurement_time` / `sample_size`, `b.iter`, and the
+//! `criterion_group!` / `criterion_main!` macros) as a plain wall-clock
+//! timing harness. Each benchmark runs a short warmup, then `samples`
+//! timed batches, and prints min/median mean-per-iteration times —
+//! enough to compare variants (blocking vs nonblocking paths) without
+//! criterion's statistics machinery. Not a statistical benchmark; for
+//! rigorous numbers run the real criterion outside the container.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+pub struct Criterion {
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_secs(1),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.measurement_time, self.sample_size, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing time/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    sample_size: usize,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Total time budget per benchmark (split across samples).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark with an input parameter.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(&label, self.measurement_time, self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Run one benchmark without an input parameter.
+    pub fn bench_function<F>(&mut self, id: impl IntoLabel, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_benchmark(&label, self.measurement_time, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// End the group (no-op; exists for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark identifier: function name plus parameter rendering.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Id from a name and a displayed parameter.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{param}"),
+        }
+    }
+
+    /// Id from a displayed parameter alone.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+/// Things accepted as a benchmark label.
+pub trait IntoLabel {
+    /// Render to the printed label.
+    fn into_label(self) -> String;
+}
+
+impl IntoLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` `self.iters` times, recording total elapsed time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    measurement_time: Duration,
+    sample_size: usize,
+    mut f: F,
+) {
+    // Calibrate: run single iterations until we know roughly how long
+    // one takes (bounded so very slow benchmarks still finish).
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let once = b.elapsed.max(Duration::from_nanos(1));
+    let budget = measurement_time.max(once);
+    let samples = sample_size.max(2);
+    // Split the budget into `samples` batches of equal iteration count.
+    let total_iters = (budget.as_nanos() / once.as_nanos()).clamp(1, u64::MAX as u128) as u64;
+    let per_sample = (total_iters / samples as u64).max(1);
+
+    let mut means: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        means.push(b.elapsed.as_secs_f64() / per_sample as f64);
+    }
+    means.sort_by(f64::total_cmp);
+    let min = means[0];
+    let median = means[means.len() / 2];
+    println!(
+        "bench {label:<52} {:>12}/iter  (min {:>12}, {} x {} iters)",
+        fmt_time(median),
+        fmt_time(min),
+        samples,
+        per_sample,
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Build a function running the listed benchmark targets in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Build `main()` from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(3);
+        let mut count = 0u64;
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| {
+                count += 1;
+                (0..n).sum::<u64>()
+            })
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("a", 4).label, "a/4");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+}
