@@ -217,6 +217,73 @@ mod tests {
     }
 
     #[test]
+    fn shift_on_2x3_periodic_wraps_both_dims() {
+        // Non-square grid: row shifts wrap over 2, col shifts over 3,
+        // and every (src, dst) pair must be exact, not just present.
+        World::run(6, |c| {
+            let r = c.rank();
+            let cart = CartComm::new(c, [2, 3], [true, true]).unwrap();
+            let [row, col] = cart.coords();
+            let at = |row: usize, col: usize| row * 3 + col;
+
+            let (src, dst) = cart.shift(0, 1);
+            assert_eq!(src, Some(at((row + 1) % 2, col)));
+            assert_eq!(dst, Some(at((row + 1) % 2, col)));
+
+            let (src, dst) = cart.shift(1, 1);
+            assert_eq!(src, Some(at(row, (col + 2) % 3)));
+            assert_eq!(dst, Some(at(row, (col + 1) % 3)));
+
+            // A displacement of the full column extent wraps to self.
+            let (src, dst) = cart.shift(1, 3);
+            assert_eq!(src, Some(r));
+            assert_eq!(dst, Some(r));
+
+            // Negative displacement swaps source and destination.
+            let (src_n, dst_n) = cart.shift(1, -1);
+            let (src_p, dst_p) = cart.shift(1, 1);
+            assert_eq!((src_n, dst_n), (dst_p, src_p));
+        });
+    }
+
+    #[test]
+    fn shift_on_1x6_degenerate_row_dimension() {
+        // 1x6 grid: the row dimension has extent 1, so a periodic row
+        // shift is a self-loop and an open row shift hits both edges.
+        World::run(6, |c| {
+            let r = c.rank();
+            let cart = CartComm::new(c, [1, 6], [true, true]).unwrap();
+            assert_eq!(cart.coords(), [0, r]);
+            assert_eq!(cart.shift(0, 1), (Some(r), Some(r)));
+            let (src, dst) = cart.shift(1, 1);
+            assert_eq!(src, Some((r + 5) % 6));
+            assert_eq!(dst, Some((r + 1) % 6));
+        });
+        World::run(6, |c| {
+            let r = c.rank();
+            let cart = CartComm::new(c, [1, 6], [false, false]).unwrap();
+            assert_eq!(cart.shift(0, 1), (None, None));
+            let (src, dst) = cart.shift(1, 1);
+            assert_eq!(src, if r > 0 { Some(r - 1) } else { None });
+            assert_eq!(dst, if r < 5 { Some(r + 1) } else { None });
+        });
+    }
+
+    #[test]
+    fn halo_style_exchange_along_1x6_ring() {
+        // Periodic wraparound carries data all the way around the ring.
+        World::run(6, |c| {
+            let r = c.rank();
+            let cart = CartComm::new(c, [1, 6], [true, true]).unwrap();
+            let (src, dst) = cart.shift(1, 1);
+            let got = cart
+                .comm()
+                .sendrecv(dst.unwrap(), vec![r as u64], src.unwrap(), 78);
+            assert_eq!(got[0], ((r + 5) % 6) as u64);
+        });
+    }
+
+    #[test]
     fn row_and_col_comms_partition_the_grid() {
         World::run(6, |c| {
             let world_rank = c.rank();

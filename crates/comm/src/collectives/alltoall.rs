@@ -21,6 +21,7 @@
 use crate::communicator::Communicator;
 use crate::message::CommData;
 use crate::trace::OpKind;
+use beatnik_telemetry::CommOp;
 
 /// Algorithm selector for [`alltoall`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -40,6 +41,8 @@ pub fn alltoall<T: CommData + Clone>(
     algo: AllToAllAlgo,
 ) -> Vec<Vec<T>> {
     comm.coll_begin(OpKind::Alltoall);
+    let mut span = comm.telemetry().op(CommOp::Alltoall);
+    span.bytes(block_bytes(&blocks));
     exchange(comm, blocks, algo, OpKind::Alltoall)
 }
 
@@ -57,7 +60,17 @@ pub fn alltoallv_with<T: CommData + Clone>(
     algo: AllToAllAlgo,
 ) -> Vec<Vec<T>> {
     comm.coll_begin(OpKind::Alltoallv);
+    let mut span = comm.telemetry().op(CommOp::Alltoallv);
+    span.bytes(block_bytes(&blocks));
     exchange(comm, blocks, algo, OpKind::Alltoallv)
+}
+
+/// Total payload bytes this rank contributes to an exchange.
+fn block_bytes<T>(blocks: &[Vec<T>]) -> u64 {
+    blocks
+        .iter()
+        .map(|b| std::mem::size_of_val(b.as_slice()) as u64)
+        .sum()
 }
 
 fn exchange<T: CommData + Clone>(

@@ -8,10 +8,13 @@
 
 use crate::communicator::Communicator;
 use crate::trace::OpKind;
+use beatnik_telemetry::CommOp;
 
 /// Block until all ranks of `comm` have entered.
 pub fn barrier(comm: &Communicator) {
     comm.coll_begin(OpKind::Barrier);
+    // RAII guard: the span closes on every exit path (incl. p == 1).
+    let _span = comm.telemetry().op(CommOp::Barrier);
     let p = comm.size();
     if p == 1 {
         return;

@@ -7,6 +7,7 @@
 use crate::communicator::Communicator;
 use crate::message::CommData;
 use crate::trace::OpKind;
+use beatnik_telemetry::CommOp;
 
 /// Broadcast `root`'s buffer to all ranks. The root passes `Some(data)`,
 /// all other ranks pass `None`; every rank returns the full buffer.
@@ -20,6 +21,8 @@ pub fn broadcast<T: CommData + Clone>(
     data: Option<Vec<T>>,
 ) -> Vec<T> {
     comm.coll_begin(OpKind::Broadcast);
+    let mut span = comm.telemetry().op(CommOp::Broadcast);
+    span.peer(root);
     let p = comm.size();
     let r = comm.rank();
     assert!(root < p, "broadcast: root {root} out of range");
@@ -29,7 +32,9 @@ pub fn broadcast<T: CommData + Clone>(
         assert!(data.is_none(), "broadcast: non-root must pass None");
     }
     if p == 1 {
-        return data.expect("broadcast: root must supply data");
+        let buf = data.expect("broadcast: root must supply data");
+        span.bytes(std::mem::size_of_val(buf.as_slice()) as u64);
+        return buf;
     }
 
     let vrank = (r + p - root) % p;
@@ -66,6 +71,7 @@ pub fn broadcast<T: CommData + Clone>(
         }
         mask >>= 1;
     }
+    span.bytes(std::mem::size_of_val(buf.as_slice()) as u64);
     buf
 }
 

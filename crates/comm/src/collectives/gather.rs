@@ -9,6 +9,7 @@
 use crate::communicator::Communicator;
 use crate::message::CommData;
 use crate::trace::OpKind;
+use beatnik_telemetry::CommOp;
 
 /// Gather per-rank buffers to `root`. The root receives a `Vec` indexed by
 /// source rank; other ranks get `None`. Buffers may have differing lengths.
@@ -18,6 +19,9 @@ pub fn gather<T: CommData + Clone>(
     data: Vec<T>,
 ) -> Option<Vec<Vec<T>>> {
     comm.coll_begin(OpKind::Gather);
+    let mut span = comm.telemetry().op(CommOp::Gather);
+    span.peer(root);
+    span.bytes(std::mem::size_of_val(data.as_slice()) as u64);
     let p = comm.size();
     let r = comm.rank();
     assert!(root < p, "gather: root {root} out of range");
@@ -40,6 +44,8 @@ pub fn gather<T: CommData + Clone>(
 /// the same `Vec` indexed by source rank. Buffers may differ in length.
 pub fn allgather<T: CommData + Clone>(comm: &Communicator, data: Vec<T>) -> Vec<Vec<T>> {
     comm.coll_begin(OpKind::Allgather);
+    let mut span = comm.telemetry().op(CommOp::Allgather);
+    span.bytes(std::mem::size_of_val(data.as_slice()) as u64);
     let p = comm.size();
     let r = comm.rank();
     let mut out: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();

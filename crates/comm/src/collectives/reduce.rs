@@ -6,6 +6,7 @@ use crate::communicator::Communicator;
 use crate::message::CommData;
 use crate::reduce_op::ReduceOp;
 use crate::trace::OpKind;
+use beatnik_telemetry::CommOp;
 
 /// Reduce a single value to `root` with a binomial tree. Non-root ranks
 /// receive `None`.
@@ -28,6 +29,9 @@ pub fn reduce_vec<T: CommData + Clone, O: ReduceOp<T>>(
     op: &O,
 ) -> Option<Vec<T>> {
     comm.coll_begin(OpKind::Reduce);
+    let mut span = comm.telemetry().op(CommOp::Reduce);
+    span.peer(root);
+    span.bytes(std::mem::size_of_val(value.as_slice()) as u64);
     reduce_impl(comm, root, value, op, OpKind::Reduce)
 }
 
@@ -87,6 +91,8 @@ pub fn allreduce_vec<T: CommData + Clone, O: ReduceOp<T>>(
     op: &O,
 ) -> Vec<T> {
     comm.coll_begin(OpKind::Allreduce);
+    let mut span = comm.telemetry().op(CommOp::Allreduce);
+    span.bytes(std::mem::size_of_val(value.as_slice()) as u64);
     let p = comm.size();
     if p == 1 {
         return value;

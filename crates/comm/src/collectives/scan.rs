@@ -12,10 +12,13 @@ use crate::communicator::Communicator;
 use crate::message::CommData;
 use crate::reduce_op::ReduceOp;
 use crate::trace::OpKind;
+use beatnik_telemetry::CommOp;
 
 /// Inclusive prefix reduction: rank `r` returns `v₀ ⊕ v₁ ⊕ … ⊕ v_r`.
 pub fn scan<T: CommData + Clone, O: ReduceOp<T>>(comm: &Communicator, value: T, op: &O) -> T {
     comm.coll_begin(OpKind::Reduce); // accounted with the reduce family
+    let mut span = comm.telemetry().op(CommOp::Scan);
+    span.bytes(std::mem::size_of::<T>() as u64);
     let p = comm.size();
     let r = comm.rank();
     let mut acc = value;
@@ -47,6 +50,8 @@ pub fn exscan<T: CommData + Clone, O: ReduceOp<T>>(
     // Inclusive scan of the *previous* rank's value: shift by one via a
     // ring send, then scan. Simpler: run inclusive scan, then shift the
     // results right by one rank.
+    let mut span = comm.telemetry().op(CommOp::Exscan);
+    span.bytes(std::mem::size_of::<T>() as u64);
     let inclusive = scan(comm, value, op);
     let p = comm.size();
     let r = comm.rank();
@@ -71,12 +76,19 @@ pub fn reduce_scatter<T: CommData + Clone, O: ReduceOp<T>>(
     op: &O,
 ) -> Vec<T> {
     comm.coll_begin(OpKind::Reduce);
+    let mut span = comm.telemetry().op(CommOp::ReduceScatter);
     let p = comm.size();
     let r = comm.rank();
     assert_eq!(
         contributions.len(),
         p,
         "reduce_scatter: need one block per rank"
+    );
+    span.bytes(
+        contributions
+            .iter()
+            .map(|b| std::mem::size_of_val(b.as_slice()) as u64)
+            .sum(),
     );
     // Pairwise-exchange with block accumulation (any P): in step s, send
     // the block destined for rank (r+s) and fold the received block for

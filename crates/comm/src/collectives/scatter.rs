@@ -7,6 +7,7 @@
 use crate::communicator::Communicator;
 use crate::message::CommData;
 use crate::trace::OpKind;
+use beatnik_telemetry::CommOp;
 
 /// Scatter `root`'s per-rank buffers. The root passes `Some(blocks)` with
 /// exactly `size()` entries (block `d` goes to rank `d`); other ranks pass
@@ -17,10 +18,12 @@ pub fn scatter<T: CommData + Clone>(
     data: Option<Vec<Vec<T>>>,
 ) -> Vec<T> {
     comm.coll_begin(OpKind::Scatter);
+    let mut span = comm.telemetry().op(CommOp::Scatter);
+    span.peer(root);
     let p = comm.size();
     let r = comm.rank();
     assert!(root < p, "scatter: root {root} out of range");
-    if r == root {
+    let mine = if r == root {
         let mut blocks = data.expect("scatter: root must supply blocks");
         assert_eq!(blocks.len(), p, "scatter: need exactly one block per rank");
         // Keep our own block; send everyone else theirs.
@@ -34,7 +37,9 @@ pub fn scatter<T: CommData + Clone>(
     } else {
         assert!(data.is_none(), "scatter: non-root must pass None");
         comm.coll_recv::<T>(root, root as u64)
-    }
+    };
+    span.bytes(std::mem::size_of_val(mine.as_slice()) as u64);
+    mine
 }
 
 #[cfg(test)]
@@ -77,12 +82,11 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     #[should_panic(expected = "one block per rank")]
     fn wrong_block_count_panics() {
         World::run(2, |c| {
             let data = if c.rank() == 0 { Some(vec![vec![1u8]]) } else { None };
-            let _ = c.scatter_nested(0, data);
+            let _ = super::scatter(&c, 0, data);
         });
     }
 }

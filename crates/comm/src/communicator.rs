@@ -10,6 +10,7 @@ use crate::reduce_op::ReduceOp;
 use crate::registry::{CommId, Registry};
 use crate::request::{RecvRequest, SendRequest};
 use crate::trace::{OpKind, RankTrace};
+use beatnik_telemetry::{CommOp, SpanKind, SpanRecorder};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -44,6 +45,10 @@ pub struct Communicator {
     /// matrix.
     world_of: Arc<Vec<usize>>,
     trace: Arc<RankTrace>,
+    /// Per-rank span recorder (disabled unless the world was launched
+    /// with profiling); shared with derived communicators, which run on
+    /// the same rank thread — the recorder's single-writer invariant.
+    telemetry: Arc<SpanRecorder>,
     /// Per-rank pool of reusable send buffers backing
     /// [`Communicator::isend`]; shared with communicators derived via
     /// [`Communicator::split`] (same thread, same pool).
@@ -65,6 +70,7 @@ impl Communicator {
         size: usize,
         world_of: Arc<Vec<usize>>,
         trace: Arc<RankTrace>,
+        telemetry: Arc<SpanRecorder>,
         pool: Arc<BufferPool>,
         recv_timeout: Duration,
     ) -> Self {
@@ -75,6 +81,7 @@ impl Communicator {
             size,
             world_of,
             trace,
+            telemetry,
             pool,
             recv_timeout,
         }
@@ -103,6 +110,14 @@ impl Communicator {
         &self.trace
     }
 
+    /// This rank's span recorder. Disabled (a no-op recorder) unless
+    /// the world was launched with [`crate::World::run_profiled`];
+    /// solver layers use it to record algorithmic phase spans, e.g.
+    /// `let _g = comm.telemetry().phase("halo");`.
+    pub fn telemetry(&self) -> &Arc<SpanRecorder> {
+        &self.telemetry
+    }
+
     /// Identifier of this communicator within its world (diagnostics).
     pub fn id(&self) -> CommId {
         self.comm_id
@@ -129,8 +144,14 @@ impl Communicator {
     }
 
     /// Blocking user-channel receive for [`crate::request::RecvRequest`].
+    /// The blocked interval records as a `wait` span.
     pub(crate) fn blocking_user_recv(&self, src: usize, tag: Tag, ctx: &str) -> Envelope {
-        self.blocking_recv(0, src, tag, ctx)
+        let mut g = self.telemetry.op(CommOp::Wait);
+        let env = self.blocking_recv(0, src, tag, ctx);
+        g.peer(env.src);
+        g.tag(env.tag);
+        g.bytes(env.bytes as u64);
+        env
     }
 
     fn check_rank(&self, r: usize) -> Result<(), CommError> {
@@ -185,10 +206,14 @@ impl Communicator {
     /// eager-protocol send at intra-process speed.
     pub fn send<T: CommData>(&self, dest: usize, tag: Tag, data: Vec<T>) {
         self.check_rank(dest).expect("send: invalid destination");
+        let t = self.telemetry.begin();
         let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
         self.trace.record(OpKind::Send, 1, bytes);
+        self.trace.record_message(OpKind::Send, bytes);
         self.trace.record_peer(self.world_of[dest], bytes);
         self.mailbox_for(0, dest).push(Envelope::new(self.rank, tag, data));
+        self.telemetry
+            .end(t, SpanKind::Op(CommOp::Send), dest as i64, tag, bytes);
     }
 
     /// Convenience: send a single value.
@@ -209,15 +234,25 @@ impl Communicator {
     /// Blocking receive allowing [`ANY_SOURCE`] / [`ANY_TAG`] wildcards.
     /// Returns the payload together with the actual source and tag.
     pub fn recv_any<T: CommData>(&self, src: usize, tag: Tag) -> (Vec<T>, usize, Tag) {
+        let mut g = self.telemetry.op(CommOp::Recv);
         let env = self.blocking_recv(0, src, tag, "recv_any");
         self.trace.record(OpKind::Recv, 0, 0);
+        g.peer(env.src);
+        g.tag(env.tag);
+        g.bytes(env.bytes as u64);
+        drop(g);
         let (s, t) = (env.src, env.tag);
         (env.into_data(), s, t)
     }
 
     fn recv_selected<T: CommData>(&self, src: usize, tag: Tag) -> Vec<T> {
+        let mut g = self.telemetry.op(CommOp::Recv);
         let env = self.blocking_recv(0, src, tag, "recv");
         self.trace.record(OpKind::Recv, 0, 0);
+        g.peer(env.src);
+        g.tag(env.tag);
+        g.bytes(env.bytes as u64);
+        drop(g);
         env.into_data()
     }
 
@@ -256,8 +291,16 @@ impl Communicator {
         }
         // A matching message exists and nothing else drains this mailbox
         // (one receiver per rank), so this cannot block.
+        let t = self.telemetry.begin();
         let env = mb.recv_matching(src, tag);
         self.trace.record(OpKind::Recv, 0, 0);
+        self.telemetry.end(
+            t,
+            SpanKind::Op(CommOp::Recv),
+            env.src as i64,
+            env.tag,
+            env.bytes as u64,
+        );
         Some(env.into_data())
     }
 
@@ -291,6 +334,7 @@ impl Communicator {
             self.check_rank(src)?;
         }
         let mb = self.mailbox_for(0, self.rank);
+        let t = self.telemetry.begin();
         let deadline = std::time::Instant::now() + timeout;
         // Short slices so an abort by a peer rank still surfaces promptly.
         let slice = Duration::from_millis(100).min(timeout);
@@ -298,6 +342,13 @@ impl Communicator {
             match mb.recv_matching_timeout(self.rank, src, tag, slice) {
                 Ok(env) => {
                     self.trace.record(OpKind::Recv, 0, 0);
+                    self.telemetry.end(
+                        t,
+                        SpanKind::Op(CommOp::Recv),
+                        env.src as i64,
+                        env.tag,
+                        env.bytes as u64,
+                    );
                     return Ok(env);
                 }
                 Err(e) => {
@@ -308,6 +359,11 @@ impl Communicator {
                         );
                     }
                     if std::time::Instant::now() >= deadline {
+                        // The timed-out wait still burned real blocked
+                        // time; keep it on the timeline.
+                        let peer = if src == ANY_SOURCE { -1 } else { src as i64 };
+                        self.telemetry
+                            .end(t, SpanKind::Op(CommOp::Recv), peer, tag, 0);
                         return Err(e);
                     }
                 }
@@ -330,14 +386,18 @@ impl Communicator {
     /// nothing.
     pub fn isend<T: CommData + Copy>(&self, dest: usize, tag: Tag, data: &[T]) -> SendRequest<'_> {
         self.check_rank(dest).expect("isend: invalid destination");
+        let t = self.telemetry.begin();
         let bytes = std::mem::size_of_val(data);
         let (buf, hit) = self.pool.acquire(bytes);
         self.trace.record_pool(hit);
         self.trace.record(OpKind::Send, 1, bytes as u64);
+        self.trace.record_message(OpKind::Send, bytes as u64);
         self.trace.record_peer(self.world_of[dest], bytes as u64);
         self.trace.request_posted();
         self.mailbox_for(0, dest)
             .push(Envelope::from_slice(self.rank, tag, data, buf));
+        self.telemetry
+            .end(t, SpanKind::Op(CommOp::Isend), dest as i64, tag, bytes as u64);
         SendRequest::new(self)
     }
 
@@ -351,6 +411,9 @@ impl Communicator {
             self.check_rank(src).expect("irecv: invalid source");
         }
         self.trace.request_posted();
+        let peer = if src == ANY_SOURCE { -1 } else { src as i64 };
+        self.telemetry
+            .instant(SpanKind::Op(CommOp::Irecv), peer, tag, 0);
         RecvRequest::new(self, src, tag)
     }
 
@@ -370,6 +433,7 @@ impl Communicator {
         debug_assert!(dest < self.size);
         let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
         self.trace.add_traffic(kind, 1, bytes);
+        self.trace.record_message(kind, bytes);
         self.trace.record_peer(self.world_of[dest], bytes);
         self.mailbox_for(COLLECTIVE_CHANNEL, dest)
             .push(Envelope::new(self.rank, tag, data));
@@ -804,10 +868,14 @@ impl Communicator {
     }
 
     // ------------------------------------------------------------------
-    // Deprecated nested-Vec collective shapes (pre-redesign API)
+    // Deprecated nested-Vec collective shapes (pre-redesign API).
+    // Gated behind the `compat` cargo feature: all in-repo callers have
+    // migrated to the flat-slice API; out-of-tree code that has not can
+    // enable `beatnik-comm/compat` while porting.
     // ------------------------------------------------------------------
 
     /// Gather keeping the received buffers as one `Vec` per source rank.
+    #[cfg(feature = "compat")]
     #[deprecated(note = "use gather(root, &[T]) or gatherv for flat buffers with counts")]
     pub fn gather_nested<T: CommData + Clone>(
         &self,
@@ -818,12 +886,14 @@ impl Communicator {
     }
 
     /// Allgather keeping one `Vec` per source rank.
+    #[cfg(feature = "compat")]
     #[deprecated(note = "use allgather(&[T]) or allgatherv for flat buffers with counts")]
     pub fn allgather_nested<T: CommData + Clone>(&self, data: Vec<T>) -> Vec<Vec<T>> {
         collectives::gather::allgather(self, data)
     }
 
     /// Scatter from pre-chunked per-destination buffers.
+    #[cfg(feature = "compat")]
     #[deprecated(note = "use scatter(root, Option<&[T]>) or scatterv with explicit counts")]
     pub fn scatter_nested<T: CommData + Clone>(
         &self,
@@ -834,12 +904,14 @@ impl Communicator {
     }
 
     /// All-to-all over pre-chunked per-destination blocks.
+    #[cfg(feature = "compat")]
     #[deprecated(note = "use alltoall(&[T]) with a flat buffer")]
     pub fn alltoall_nested<T: CommData + Clone>(&self, blocks: Vec<Vec<T>>) -> Vec<Vec<T>> {
         collectives::alltoall::alltoall(self, blocks, collectives::alltoall::AllToAllAlgo::Pairwise)
     }
 
     /// All-to-all over pre-chunked blocks with an explicit algorithm.
+    #[cfg(feature = "compat")]
     #[deprecated(note = "use alltoall_with(&[T], algo) with a flat buffer")]
     pub fn alltoall_with_nested<T: CommData + Clone>(
         &self,
@@ -850,6 +922,7 @@ impl Communicator {
     }
 
     /// Irregular all-to-all over pre-chunked per-destination blocks.
+    #[cfg(feature = "compat")]
     #[deprecated(note = "use alltoallv(&[T], &counts) with a flat buffer")]
     pub fn alltoallv_nested<T: CommData + Clone>(&self, blocks: Vec<Vec<T>>) -> Vec<Vec<T>> {
         collectives::alltoall::alltoallv(self, blocks)
@@ -857,6 +930,7 @@ impl Communicator {
 
     /// Irregular all-to-all over pre-chunked blocks with an explicit
     /// algorithm.
+    #[cfg(feature = "compat")]
     #[deprecated(note = "use alltoallv_with(&[T], &counts, algo) with a flat buffer")]
     pub fn alltoallv_with_nested<T: CommData + Clone>(
         &self,
@@ -867,6 +941,7 @@ impl Communicator {
     }
 
     /// Reduce-scatter over pre-chunked per-destination contributions.
+    #[cfg(feature = "compat")]
     #[deprecated(note = "use reduce_scatter(&[T], op) with a flat buffer")]
     pub fn reduce_scatter_nested<T: CommData + Clone, O: ReduceOp<T>>(
         &self,
@@ -938,6 +1013,7 @@ impl Communicator {
             members.len(),
             world_of,
             Arc::clone(&self.trace),
+            Arc::clone(&self.telemetry),
             Arc::clone(&self.pool),
             self.recv_timeout,
         ))
@@ -1294,6 +1370,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "compat")]
     #[allow(deprecated)]
     fn nested_wrappers_preserve_old_shapes() {
         World::run(2, |c| {

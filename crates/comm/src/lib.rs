@@ -20,7 +20,11 @@
 //! * **Instrumentation**: every operation is counted (messages, bytes,
 //!   calls) in a per-rank [`trace::RankTrace`], which the analytic
 //!   performance model (`beatnik-model`) consumes to extrapolate runs to
-//!   the paper's 4–1024 GPU scales.
+//!   the paper's 4–1024 GPU scales. With profiling enabled
+//!   ([`World::run_profiled`]), every operation additionally records a
+//!   timestamped span into a per-rank `beatnik-telemetry` ring buffer,
+//!   aggregated into a [`telemetry::WorldTimeline`] for wait-time
+//!   attribution, collective-skew, and Chrome-trace export.
 //!
 //! Messages move `Vec<T>` buffers by pointer between threads (no
 //! serialization), so sends are essentially free of copies; byte counts
@@ -62,3 +66,8 @@ pub use trace::{OpKind, OpStats, RankTrace, WorldTrace};
 pub use world::World;
 
 pub use collectives::alltoall::AllToAllAlgo;
+
+/// Re-export of the span-tracing layer so downstream crates reach the
+/// telemetry types through their existing `beatnik-comm` dependency.
+pub use beatnik_telemetry as telemetry;
+pub use beatnik_telemetry::{SpanRecorder, WorldTimeline};

@@ -20,6 +20,7 @@
 use crate::communicator::{Communicator, Tag};
 use crate::message::{CommData, Envelope};
 use crate::trace::OpKind;
+use beatnik_telemetry::CommOp;
 use std::time::Duration;
 
 /// Handle for a posted nonblocking send.
@@ -209,6 +210,7 @@ pub fn wait_all<T: CommData>(mut requests: Vec<RecvRequest<'_, T>>) -> Vec<Vec<T
         requests.iter().all(|r| std::ptr::eq(r.comm, comm)),
         "wait_all: requests from different communicators"
     );
+    let mut span = comm.telemetry().op(CommOp::WaitAll);
     let mb = comm.user_mailbox();
     let deadline = std::time::Instant::now() + comm.recv_timeout();
     // Poll in short slices purely to observe the abort flag; arrivals
@@ -239,10 +241,13 @@ pub fn wait_all<T: CommData>(mut requests: Vec<RecvRequest<'_, T>>) -> Vec<Vec<T
         }
         let _ = mb.wait_any(&pending, slice);
     }
-    requests
+    let out: Vec<Vec<T>> = requests
         .into_iter()
         .map(|mut r| r.data.take().expect("wait_all: incomplete request"))
-        .collect()
+        .collect();
+    let bytes: usize = out.iter().map(|v| std::mem::size_of_val(v.as_slice())).sum();
+    span.bytes(bytes as u64);
+    out
 }
 
 #[cfg(test)]

@@ -8,10 +8,18 @@
 //! these counts onto machine parameters to predict time at scale.
 
 use crate::sync::Mutex;
+use beatnik_telemetry::sizebins;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Per-message size histogram over the shared power-of-two buckets of
+/// [`beatnik_telemetry::sizebins`]: `hist[i]` counts messages whose
+/// payload falls in bucket `i`. Telemetry skew reports and the `model`
+/// crate's network predictions use the same buckets, so a measured
+/// histogram feeds the analytic model directly.
+pub type ByteHistogram = [u64; sizebins::NUM_BUCKETS];
 
 /// The kinds of operations the runtime distinguishes in traces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -69,6 +77,9 @@ impl OpStats {
 #[derive(Debug, Default)]
 pub struct RankTrace {
     inner: Mutex<BTreeMap<OpKind, OpStats>>,
+    /// Per-op histogram of individual message sizes (not just totals):
+    /// `hist[kind][bucket]` counts messages, bucketed per [`sizebins`].
+    hist: Mutex<BTreeMap<OpKind, ByteHistogram>>,
     /// Bytes sent to each *world* peer rank (communication matrix row).
     peers: Mutex<BTreeMap<usize, u64>>,
     /// Send-buffer pool acquisitions served from the free list.
@@ -104,6 +115,30 @@ impl RankTrace {
         let e = m.entry(kind).or_default();
         e.messages += messages;
         e.bytes += bytes;
+    }
+
+    /// Record one message of `bytes` payload bytes in `kind`'s size
+    /// histogram. Called once per point-to-point message the runtime
+    /// puts on the "wire" (user sends and collective-internal sends).
+    pub fn record_message(&self, kind: OpKind, bytes: u64) {
+        let mut m = self.hist.lock();
+        let h = m.entry(kind).or_insert([0; sizebins::NUM_BUCKETS]);
+        h[sizebins::bucket_of(bytes)] += 1;
+    }
+
+    /// The per-message size histogram for one op kind (zeroed if the op
+    /// never sent a message).
+    pub fn byte_histogram(&self, kind: OpKind) -> ByteHistogram {
+        self.hist
+            .lock()
+            .get(&kind)
+            .copied()
+            .unwrap_or([0; sizebins::NUM_BUCKETS])
+    }
+
+    /// All per-op message-size histograms.
+    pub fn byte_histograms(&self) -> BTreeMap<OpKind, ByteHistogram> {
+        self.hist.lock().clone()
     }
 
     /// Record bytes sent to a world peer (communication-matrix entry).
@@ -193,6 +228,7 @@ impl RankTrace {
     /// warmup and measured phases).
     pub fn reset(&self) {
         self.inner.lock().clear();
+        self.hist.lock().clear();
         self.peers.lock().clear();
         self.pool_hits.store(0, Ordering::Relaxed);
         self.pool_misses.store(0, Ordering::Relaxed);
@@ -268,6 +304,46 @@ impl WorldTrace {
             .map(|t| t.peak_outstanding())
             .max()
             .unwrap_or(0)
+    }
+
+    /// Sum of one op's per-message size histogram over all ranks.
+    pub fn byte_histogram(&self, kind: OpKind) -> ByteHistogram {
+        let mut acc = [0u64; sizebins::NUM_BUCKETS];
+        for t in &self.per_rank {
+            for (i, c) in t.byte_histogram(kind).iter().enumerate() {
+                acc[i] += c;
+            }
+        }
+        acc
+    }
+
+    /// Render the non-empty per-op message-size histograms as a table
+    /// (one row per populated size bucket).
+    pub fn histogram_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut kinds: BTreeMap<OpKind, ByteHistogram> = BTreeMap::new();
+        for t in &self.per_rank {
+            for (k, h) in t.byte_histograms() {
+                let acc = kinds.entry(k).or_insert([0; sizebins::NUM_BUCKETS]);
+                for (i, c) in h.iter().enumerate() {
+                    acc[i] += c;
+                }
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "message-size histograms (shared model buckets):");
+        for (k, h) in kinds {
+            if h.iter().all(|&c| c == 0) {
+                continue;
+            }
+            let _ = writeln!(out, "  {k}:");
+            for (i, &c) in h.iter().enumerate() {
+                if c > 0 {
+                    let _ = writeln!(out, "    {:>8} {c:>10}", sizebins::label(i));
+                }
+            }
+        }
+        out
     }
 
     /// The world communication matrix: `matrix[src][dst]` = bytes sent.
@@ -388,6 +464,40 @@ mod tests {
         t.reset();
         assert_eq!(t.pool_hits(), 0);
         assert_eq!(t.peak_outstanding(), 0);
+    }
+
+    #[test]
+    fn byte_histograms_share_model_buckets() {
+        let t = RankTrace::new();
+        t.record_message(OpKind::Send, 1); // bucket 0
+        t.record_message(OpKind::Send, 100); // 64 < 100 <= 128 -> bucket 7
+        t.record_message(OpKind::Send, 128); // bucket 7
+        t.record_message(OpKind::Alltoall, 4096); // bucket 12
+        let h = t.byte_histogram(OpKind::Send);
+        assert_eq!(h[0], 1);
+        assert_eq!(h[sizebins::bucket_of(100)], 2);
+        assert_eq!(h.iter().sum::<u64>(), 3);
+        assert_eq!(t.byte_histogram(OpKind::Alltoall)[12], 1);
+        // Never-recorded op yields an all-zero histogram.
+        assert_eq!(t.byte_histogram(OpKind::Barrier), [0; sizebins::NUM_BUCKETS]);
+        t.reset();
+        assert!(t.byte_histograms().is_empty());
+    }
+
+    #[test]
+    fn world_histogram_sums_ranks() {
+        let a = Arc::new(RankTrace::new());
+        let b = Arc::new(RankTrace::new());
+        a.record_message(OpKind::Send, 1024);
+        b.record_message(OpKind::Send, 1024);
+        b.record_message(OpKind::Send, 3);
+        let w = WorldTrace::new(vec![a, b]);
+        let h = w.byte_histogram(OpKind::Send);
+        assert_eq!(h[sizebins::bucket_of(1024)], 2);
+        assert_eq!(h[sizebins::bucket_of(3)], 1);
+        let text = w.histogram_text();
+        assert!(text.contains("Send"), "{text}");
+        assert!(text.contains("message-size histograms"), "{text}");
     }
 
     #[test]

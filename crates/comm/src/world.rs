@@ -4,8 +4,9 @@ use crate::communicator::Communicator;
 use crate::pool::BufferPool;
 use crate::registry::{Registry, WORLD_COMM_ID};
 use crate::trace::{RankTrace, WorldTrace};
+use beatnik_telemetry::{RankTimeline, SpanRecorder, WorldTimeline, DEFAULT_SPAN_CAPACITY};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Default stall limit for blocking receives: long enough for heavyweight
 /// kernels between messages, short enough that a genuine deadlock fails a
@@ -44,8 +45,52 @@ impl World {
         Self::run_config(num_ranks, DEFAULT_RECV_TIMEOUT, f)
     }
 
+    /// Like [`World::run`], with span profiling enabled: every comm
+    /// operation and solver phase records into a per-rank
+    /// `beatnik-telemetry` ring buffer of [`DEFAULT_SPAN_CAPACITY`]
+    /// spans (drop-oldest on overflow). Returns the aggregated
+    /// [`WorldTimeline`] alongside the counters.
+    pub fn run_profiled<R, F>(num_ranks: usize, f: F) -> (Vec<R>, WorldTrace, WorldTimeline)
+    where
+        R: Send,
+        F: Fn(Communicator) -> R + Send + Sync,
+    {
+        Self::run_profiled_config(num_ranks, DEFAULT_RECV_TIMEOUT, DEFAULT_SPAN_CAPACITY, f)
+    }
+
+    /// Full-control profiled variant: explicit receive-stall timeout and
+    /// per-rank span-ring capacity.
+    pub fn run_profiled_config<R, F>(
+        num_ranks: usize,
+        recv_timeout: Duration,
+        span_capacity: usize,
+        f: F,
+    ) -> (Vec<R>, WorldTrace, WorldTimeline)
+    where
+        R: Send,
+        F: Fn(Communicator) -> R + Send + Sync,
+    {
+        let (results, trace, timeline) =
+            Self::run_inner(num_ranks, recv_timeout, Some(span_capacity), f);
+        (results, trace, timeline.expect("profiled run yields a timeline"))
+    }
+
     /// Full-control variant: explicit receive-stall timeout.
     pub fn run_config<R, F>(num_ranks: usize, recv_timeout: Duration, f: F) -> (Vec<R>, WorldTrace)
+    where
+        R: Send,
+        F: Fn(Communicator) -> R + Send + Sync,
+    {
+        let (results, trace, _) = Self::run_inner(num_ranks, recv_timeout, None, f);
+        (results, trace)
+    }
+
+    fn run_inner<R, F>(
+        num_ranks: usize,
+        recv_timeout: Duration,
+        span_capacity: Option<usize>,
+        f: F,
+    ) -> (Vec<R>, WorldTrace, Option<WorldTimeline>)
     where
         R: Send,
         F: Fn(Communicator) -> R + Send + Sync,
@@ -54,6 +99,17 @@ impl World {
         let registry = Arc::new(Registry::new());
         let traces: Vec<Arc<RankTrace>> =
             (0..num_ranks).map(|_| Arc::new(RankTrace::new())).collect();
+        // All ranks stamp spans against one epoch so cross-rank skew is
+        // meaningful; `None` capacity yields inert recorders.
+        let epoch = Instant::now();
+        let recorders: Vec<Arc<SpanRecorder>> = (0..num_ranks)
+            .map(|_| {
+                Arc::new(match span_capacity {
+                    Some(cap) => SpanRecorder::new(cap, epoch),
+                    None => SpanRecorder::disabled(),
+                })
+            })
+            .collect();
         let identity: Arc<Vec<usize>> = Arc::new((0..num_ranks).collect());
 
         let mut results: Vec<Option<R>> = (0..num_ranks).map(|_| None).collect();
@@ -70,6 +126,7 @@ impl World {
                         num_ranks,
                         Arc::clone(&identity),
                         Arc::clone(&traces[rank]),
+                        Arc::clone(&recorders[rank]),
                         // One send-buffer pool per rank; subcommunicators
                         // derived from this rank share it.
                         Arc::new(BufferPool::new()),
@@ -116,7 +173,25 @@ impl World {
             .into_iter()
             .map(|r| r.expect("rank produced no result"))
             .collect();
-        (results, WorldTrace::new(traces))
+        // All rank threads have joined: snapshotting the recorders is
+        // race-free (single-writer protocol).
+        let timeline = span_capacity.map(|_| {
+            WorldTimeline::new(
+                recorders
+                    .iter()
+                    .enumerate()
+                    .map(|(rank, rec)| {
+                        let (spans, dropped) = rec.snapshot();
+                        RankTimeline {
+                            rank,
+                            spans,
+                            dropped,
+                        }
+                    })
+                    .collect(),
+            )
+        });
+        (results, WorldTrace::new(traces), timeline)
     }
 }
 

@@ -57,6 +57,7 @@ impl BrSolver for CutoffBrSolver {
         points: &[BrPoint],
         epsilon: f64,
     ) -> Vec<[f64; 3]> {
+        let _phase = comm.telemetry().phase("br-cutoff");
         let eps2 = epsilon * epsilon;
         let me = comm.rank() as u32;
 

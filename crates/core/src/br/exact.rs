@@ -32,6 +32,7 @@ impl BrSolver for ExactBrSolver {
         points: &[BrPoint],
         epsilon: f64,
     ) -> Vec<[f64; 3]> {
+        let _phase = comm.telemetry().phase("br-exact");
         let eps2 = epsilon * epsilon;
         let p = comm.size();
         let me = comm.rank();
@@ -43,6 +44,7 @@ impl BrSolver for ExactBrSolver {
             points.iter().map(|b| (b.pos, b.strength)).collect();
 
         for step in 0..p {
+            let _stage = comm.telemetry().phase("br-ring-stage");
             // Post the next ring exchange before computing on the current
             // block, so the transfer overlaps the pair kernel.
             let pending = if step + 1 < p {
@@ -86,6 +88,7 @@ impl ExactBrSolver {
         points: &[BrPoint],
         epsilon: f64,
     ) -> Vec<[f64; 3]> {
+        let _phase = comm.telemetry().phase("br-exact");
         let eps2 = epsilon * epsilon;
         let p = comm.size();
         let me = comm.rank();
@@ -95,6 +98,7 @@ impl ExactBrSolver {
             points.iter().map(|b| (b.pos, b.strength)).collect();
 
         for step in 0..p {
+            let _stage = comm.telemetry().phase("br-ring-stage");
             vel.par_chunks_mut(256)
                 .zip(targets.par_chunks(256))
                 .for_each(|(v, t)| accumulate_block(v, t, &circ, eps2));

@@ -193,6 +193,10 @@ impl Solver {
     /// Advance one timestep (applying the Krasny filter on the
     /// configured cadence).
     pub fn step(&mut self) {
+        // Clone the recorder handle so the guard does not hold a borrow
+        // of `self.pm` across the mutable integrator call.
+        let telemetry = std::sync::Arc::clone(self.pm.mesh().comm().telemetry());
+        let _phase = telemetry.phase("step");
         self.integrator.step(&self.zmodel, &mut self.pm, self.dt);
         self.time += self.dt;
         self.step += 1;

@@ -114,12 +114,14 @@ impl DistributedFft2d {
     /// Forward transform: consumes block-layout data, returns the
     /// block-layout spectrum (unnormalized). Collective.
     pub fn forward(&self, block: Vec<Complex>) -> Vec<Complex> {
+        let _phase = self.cart.comm().telemetry().phase("dfft-forward");
         self.run(block, true)
     }
 
     /// Inverse transform: consumes a block-layout spectrum, returns
     /// block-layout data normalized by `1/(nr·nc)`. Collective.
     pub fn inverse(&self, block: Vec<Complex>) -> Vec<Complex> {
+        let _phase = self.cart.comm().telemetry().phase("dfft-inverse");
         self.run(block, false)
     }
 
@@ -130,6 +132,7 @@ impl DistributedFft2d {
     /// [`DistributedFft2d::inverse_transposed`] saves two of the six
     /// reshapes. Returns the spectrum's rectangle and data.
     pub fn forward_transposed(&self, block: Vec<Complex>) -> (Rect, Vec<Complex>) {
+        let _phase = self.cart.comm().telemetry().phase("dfft-forward");
         assert_eq!(
             block.len(),
             self.local_rect().area(),
@@ -168,6 +171,7 @@ impl DistributedFft2d {
     /// [`DistributedFft2d::forward_transposed`]; returns block-layout data
     /// normalized by `1/(nr·nc)`.
     pub fn inverse_transposed(&self, spectrum: Vec<Complex>) -> Vec<Complex> {
+        let _phase = self.cart.comm().telemetry().phase("dfft-inverse");
         let algo = self.algo();
         if self.config.pencils {
             let [my_pr, my_pc] = self.cart.coords();

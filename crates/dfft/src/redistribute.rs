@@ -35,6 +35,7 @@ pub fn redistribute(
     dest_rect: &dyn Fn(usize) -> Rect,
     algo: AllToAllAlgo,
 ) -> (Rect, Vec<Complex>) {
+    let _phase = comm.telemetry().phase("dfft-redistribute");
     let p = comm.size();
     let me = comm.rank();
     let my_src = src_rect(me);

@@ -10,17 +10,21 @@
 //! * [`csv`] — flat per-point tables for ad-hoc analysis;
 //! * [`stats`] — JSON time-series of global diagnostics and ownership
 //!   distributions (consumed by the figure harnesses and EXPERIMENTS.md);
-//! * [`checkpoint`] — full-state save/restore for long campaigns.
+//! * [`checkpoint`] — full-state save/restore for long campaigns;
+//! * [`profile`] — Chrome Trace Event JSON and CSV summaries of the
+//!   span timelines recorded by `World::run_profiled`.
 //!
 //! All writers gather to rank 0 and write a single file; at benchmark
 //! scale this is exactly what the paper's visualization dumps do too.
 
 pub mod checkpoint;
 pub mod csv;
+pub mod profile;
 pub mod stats;
 pub mod vtk;
 
 pub use checkpoint::Checkpoint;
+pub use profile::{write_chrome_trace, write_phase_csv, write_skew_csv};
 pub use stats::{RunLog, StepRecord};
 
 use beatnik_core::ProblemManager;

@@ -1,0 +1,116 @@
+//! Profiling exports: Chrome Trace Event JSON and CSV summaries of a
+//! [`WorldTimeline`] recorded by `World::run_profiled`.
+//!
+//! The JSON file loads directly in `chrome://tracing` or Perfetto
+//! (one track per rank); the CSVs carry the wait-time attribution and
+//! collective-skew tables for scripted analysis.
+
+use beatnik_comm::telemetry::{chrome_trace, WorldTimeline};
+use std::io::Write;
+use std::path::Path;
+
+/// Write the timeline as Chrome Trace Event JSON. Single-writer (the
+/// timeline is already aggregated on the launching thread).
+pub fn write_chrome_trace(
+    timeline: &WorldTimeline,
+    path: impl AsRef<Path>,
+) -> std::io::Result<()> {
+    let json = beatnik_json::to_string(&chrome_trace(timeline));
+    let file = std::fs::File::create(path)?;
+    let mut out = std::io::BufWriter::new(file);
+    out.write_all(json.as_bytes())?;
+    out.flush()
+}
+
+/// Write the per-phase wait-time attribution table as CSV.
+pub fn write_phase_csv(
+    timeline: &WorldTimeline,
+    path: impl AsRef<Path>,
+) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut out = std::io::BufWriter::new(file);
+    writeln!(
+        out,
+        "phase,calls,total_s,self_s,wait_s,compute_s,max_wait_s,max_wait_rank"
+    )?;
+    for row in timeline.phase_attribution() {
+        writeln!(
+            out,
+            "{},{},{},{},{},{},{},{}",
+            row.name,
+            row.calls,
+            row.total_s,
+            row.self_s,
+            row.wait_s,
+            row.compute_s,
+            row.max_wait_s,
+            row.max_wait_rank
+        )?;
+    }
+    out.flush()
+}
+
+/// Write the collective entry/exit skew table as CSV.
+pub fn write_skew_csv(
+    timeline: &WorldTimeline,
+    path: impl AsRef<Path>,
+) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut out = std::io::BufWriter::new(file);
+    writeln!(
+        out,
+        "op,matched,entry_mean_us,entry_max_us,exit_mean_us,exit_max_us"
+    )?;
+    for row in timeline.collective_skew() {
+        writeln!(
+            out,
+            "{},{},{},{},{},{}",
+            row.op.name(),
+            row.matched,
+            row.entry.mean_us(),
+            row.entry.max_us(),
+            row.exit.mean_us(),
+            row.exit.max_us()
+        )?;
+    }
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beatnik_comm::World;
+
+    #[test]
+    fn profiled_run_exports_parseable_trace_and_csvs() {
+        let (_, _, timeline) = World::run_profiled(3, |c| {
+            let _g = c.telemetry().phase("work");
+            c.barrier();
+            let _ = c.allreduce_sum(c.rank() as f64);
+        });
+        let dir = std::env::temp_dir().join("beatnik_profile_test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let trace_path = dir.join("trace.json");
+        write_chrome_trace(&timeline, &trace_path).unwrap();
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        let v = beatnik_json::parse(&text).unwrap();
+        let events = v.get("traceEvents").unwrap();
+        let beatnik_json::Value::Array(events) = events else {
+            panic!("traceEvents must be an array");
+        };
+        assert!(!events.is_empty());
+
+        let phase_path = dir.join("phases.csv");
+        write_phase_csv(&timeline, &phase_path).unwrap();
+        let text = std::fs::read_to_string(&phase_path).unwrap();
+        assert!(text.starts_with("phase,calls"));
+        assert!(text.contains("work"));
+
+        let skew_path = dir.join("skew.csv");
+        write_skew_csv(&timeline, &skew_path).unwrap();
+        let text = std::fs::read_to_string(&skew_path).unwrap();
+        assert!(text.starts_with("op,matched"));
+        assert!(text.contains("barrier"));
+    }
+}

@@ -54,6 +54,7 @@ pub fn migrate_to_spatial<D: PointDecomposition + ?Sized>(
         comm.size(),
         "spatial mesh decomposition must match communicator size"
     );
+    let _phase = comm.telemetry().phase("migrate-to-spatial");
     let p = comm.size();
     let mut blocks: Vec<Vec<SurfacePoint>> = (0..p).map(|_| Vec::new()).collect();
     for pt in points {
@@ -72,6 +73,7 @@ pub fn halo_exchange_points<D: PointDecomposition + ?Sized>(
     owned: &[SurfacePoint],
     cutoff: f64,
 ) -> Vec<SurfacePoint> {
+    let _phase = comm.telemetry().phase("halo-points");
     let p = comm.size();
     let me = comm.rank();
     let mut blocks: Vec<Vec<SurfacePoint>> = (0..p).map(|_| Vec::new()).collect();
@@ -99,6 +101,7 @@ pub fn migrate_results_home(
     results: Vec<(usize, PointResult)>,
     n_local: usize,
 ) -> Vec<[f64; 3]> {
+    let _phase = comm.telemetry().phase("migrate-home");
     let p = comm.size();
     let mut blocks: Vec<Vec<PointResult>> = (0..p).map(|_| Vec::new()).collect();
     for (dest, r) in results {

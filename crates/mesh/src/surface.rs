@@ -203,6 +203,7 @@ impl SurfaceMesh {
     /// (non-periodic) edges are left untouched — the boundary-condition
     /// pass fills them afterwards.
     pub fn halo_exchange(&self, field: &mut Field) {
+        let _phase = self.cart.comm().telemetry().phase("halo");
         let h = self.halo;
         let [lr, lc] = self.local_shape();
         assert_eq!(field.rows(), lr, "halo_exchange: field shape mismatch");

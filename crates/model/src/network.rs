@@ -2,6 +2,7 @@
 //! per-message overhead and node-level injection sharing).
 
 use crate::machine::Machine;
+use beatnik_telemetry::sizebins;
 
 /// Network model specialized to a job of `ranks` ranks on a given machine.
 ///
@@ -70,6 +71,19 @@ impl NetworkModel {
     /// Time for one `bytes`-byte message under concurrent communication.
     pub fn p2p_time(&self, bytes: usize) -> f64 {
         self.latency() + self.overhead() + bytes as f64 / self.effective_bandwidth()
+    }
+
+    /// Total time for the messages of a measured size histogram (the
+    /// shared [`sizebins`] buckets recorded per-op by
+    /// `beatnik_comm::RankTrace`): each bucket's count is priced at the
+    /// bucket's representative (midpoint) size. This is how a traced run
+    /// feeds the analytic model without replaying individual messages.
+    pub fn histogram_time(&self, hist: &[u64; sizebins::NUM_BUCKETS]) -> f64 {
+        hist.iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| c as f64 * self.p2p_time(sizebins::midpoint(i) as usize))
+            .sum()
     }
 
     /// Time for `count` back-to-back messages of `bytes` each from one
@@ -147,6 +161,21 @@ mod tests {
         assert!(burst < 10.0 * single);
         assert!(burst > 9.0 * (1 << 16) as f64 / net.effective_bandwidth());
         assert_eq!(net.burst_time(0, 1 << 16), 0.0);
+    }
+
+    #[test]
+    fn histogram_time_prices_buckets_at_midpoints() {
+        use beatnik_telemetry::sizebins;
+        let net = NetworkModel::new(&Machine::lassen(), 16);
+        let mut hist = [0u64; sizebins::NUM_BUCKETS];
+        assert_eq!(net.histogram_time(&hist), 0.0);
+        let b = sizebins::bucket_of(1 << 16);
+        hist[b] = 10;
+        let expect = 10.0 * net.p2p_time(sizebins::midpoint(b) as usize);
+        assert!((net.histogram_time(&hist) - expect).abs() < 1e-15);
+        // Adding messages in another bucket adds their cost.
+        hist[0] = 5;
+        assert!(net.histogram_time(&hist) > expect);
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! Smoke-checker for `rocketrig --profile` output, used by
+//! `scripts/verify.sh`: parses a Chrome Trace Event JSON file and
+//! asserts it contains complete spans for each required name.
+//!
+//! Usage: `profile_check <trace.json> [required-span-name]...`
+//! Exits 0 if the file parses, `traceEvents` is a non-empty array, and
+//! every required name appears among the `"ph":"X"` events; exits 1
+//! with a message otherwise.
+
+use std::collections::BTreeSet;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("profile_check: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first() else {
+        fail("usage: profile_check <trace.json> [required-span-name]...");
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => fail(&format!("cannot read {path}: {e}")),
+    };
+    let v = match beatnik_json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => fail(&format!("{path} is not valid JSON: {e}")),
+    };
+    let Some(beatnik_json::Value::Array(events)) = v.get("traceEvents") else {
+        fail(&format!("{path}: traceEvents is missing or not an array"));
+    };
+    if events.is_empty() {
+        fail(&format!("{path}: traceEvents is empty"));
+    }
+
+    let names: BTreeSet<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+        .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+        .collect();
+    let missing: Vec<&str> = args[1..]
+        .iter()
+        .map(String::as_str)
+        .filter(|want| !names.contains(want))
+        .collect();
+    if !missing.is_empty() {
+        fail(&format!(
+            "{path}: missing required spans {missing:?}; present: {names:?}"
+        ));
+    }
+    println!(
+        "profile_check: {path} ok ({} events, {} distinct span names)",
+        events.len(),
+        names.len()
+    );
+}

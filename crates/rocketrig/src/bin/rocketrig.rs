@@ -24,7 +24,14 @@ fn main() {
 
     let start = std::time::Instant::now();
     let cfg2 = cfg.clone();
-    let (logs, trace) = World::run_traced(opts.ranks, move |comm| run_rig(&comm, &cfg2));
+    let (logs, trace, timeline) = if opts.profiling() {
+        let (logs, trace, timeline) =
+            World::run_profiled(opts.ranks, move |comm| run_rig(&comm, &cfg2));
+        (logs, trace, Some(timeline))
+    } else {
+        let (logs, trace) = World::run_traced(opts.ranks, move |comm| run_rig(&comm, &cfg2));
+        (logs, trace, None)
+    };
     let elapsed = start.elapsed();
     let log = logs.into_iter().next().expect("no rank output");
 
@@ -53,6 +60,30 @@ fn main() {
         println!("{}", trace.matrix_text());
     }
     println!("wall time: {:.3} s", elapsed.as_secs_f64());
+
+    if let Some(timeline) = &timeline {
+        if opts.profile_summary {
+            println!("\ntelemetry summary:\n{}", timeline.summary());
+        }
+        if let Some(path) = &opts.profile_path {
+            if let Some(dir) = path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            beatnik_io::write_chrome_trace(timeline, path).expect("failed to write trace");
+            let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("profile");
+            let phases = path.with_file_name(format!("{stem}-phases.csv"));
+            let skew = path.with_file_name(format!("{stem}-skew.csv"));
+            beatnik_io::write_phase_csv(timeline, &phases).expect("failed to write phase CSV");
+            beatnik_io::write_skew_csv(timeline, &skew).expect("failed to write skew CSV");
+            println!(
+                "profile written to {} (open in chrome://tracing or Perfetto); \
+                 tables: {}, {}",
+                path.display(),
+                phases.display(),
+                skew.display()
+            );
+        }
+    }
 
     if let Some(path) = opts.log_path {
         if let Some(dir) = path.parent() {

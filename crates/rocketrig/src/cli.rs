@@ -18,6 +18,20 @@ pub struct CliOptions {
     pub log_path: Option<PathBuf>,
     /// Print the per-rank communication matrix (`--matrix`).
     pub print_matrix: bool,
+    /// Record span telemetry and write a Chrome Trace Event JSON here,
+    /// plus `<stem>-phases.csv` / `<stem>-skew.csv` next to it
+    /// (`--profile`).
+    pub profile_path: Option<PathBuf>,
+    /// Record span telemetry and print the wait-time-attribution /
+    /// collective-skew summary (`--profile-summary`).
+    pub profile_summary: bool,
+}
+
+impl CliOptions {
+    /// Whether either profiling flag asks for a span-recorded run.
+    pub fn profiling(&self) -> bool {
+        self.profile_path.is_some() || self.profile_summary
+    }
 }
 
 /// Usage text.
@@ -49,6 +63,11 @@ OPTIONS:
     --vtk-every <N>                 VTK dump cadence      [0 = off]
     --out <DIR>                     output directory      [rocketrig-out]
     --log <FILE>                    write run log JSON
+    --profile <FILE>                record span telemetry; write Chrome
+                                    Trace Event JSON (chrome://tracing /
+                                    Perfetto) plus phase/skew CSVs
+    --profile-summary               record span telemetry; print wait-time
+                                    attribution and collective skew
     --help                          print this text
 ";
 
@@ -60,6 +79,8 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         ranks: 4,
         log_path: None,
         print_matrix: false,
+        profile_path: None,
+        profile_summary: false,
     };
     let mut i = 0;
     let take = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
@@ -137,6 +158,8 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             "--vtk-every" => opts.config.vtk_every = parse_num(&take(args, &mut i, flag)?, flag)?,
             "--out" => opts.config.out_dir = PathBuf::from(take(args, &mut i, flag)?),
             "--log" => opts.log_path = Some(PathBuf::from(take(args, &mut i, flag)?)),
+            "--profile" => opts.profile_path = Some(PathBuf::from(take(args, &mut i, flag)?)),
+            "--profile-summary" => opts.profile_summary = true,
             other => return Err(format!("unknown option '{other}'\n\n{USAGE}")),
         }
         i += 1;
@@ -226,6 +249,18 @@ mod tests {
         assert_eq!(o.config.tree_theta, None);
         let o = parse_args(&sv(&["--solver", "balanced"])).unwrap();
         assert!(o.config.balanced && o.config.cutoff_solver);
+    }
+
+    #[test]
+    fn profile_options() {
+        let o = parse_args(&[]).unwrap();
+        assert!(!o.profiling());
+        let o = parse_args(&sv(&["--profile", "/tmp/t.json"])).unwrap();
+        assert_eq!(o.profile_path.unwrap(), PathBuf::from("/tmp/t.json"));
+        assert!(!o.profile_summary);
+        let o = parse_args(&sv(&["--profile-summary"])).unwrap();
+        assert!(o.profile_summary && o.profiling());
+        assert!(parse_args(&sv(&["--profile"])).is_err());
     }
 
     #[test]

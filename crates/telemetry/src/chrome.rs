@@ -1,0 +1,139 @@
+//! Chrome Trace Event JSON export.
+//!
+//! Emits the [Trace Event Format] understood by `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev): one complete (`"ph": "X"`)
+//! event per span, one process per world, one thread per rank. Times
+//! are microseconds since the world's shared epoch, so rank timelines
+//! line up in the viewer.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::timeline::WorldTimeline;
+use beatnik_json::Value;
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Render the timeline as a Chrome Trace Event JSON document.
+///
+/// Shape: `{"traceEvents": [...], "displayTimeUnit": "ms",
+/// "beatnik": {"ranks": N, "dropped_spans": D}}`; each span event
+/// carries `name`, `cat` (`"comm"` or `"phase"`), `ph: "X"`, `ts`/
+/// `dur` in µs, `pid: 0`, `tid: rank`, and
+/// `args: {peer, tag, bytes}`.
+pub fn chrome_trace(tl: &WorldTimeline) -> Value {
+    let mut events = Vec::with_capacity(tl.total_spans() + tl.num_ranks());
+    for rt in &tl.ranks {
+        events.push(obj(vec![
+            ("name", Value::Str("thread_name".into())),
+            ("ph", Value::Str("M".into())),
+            ("pid", Value::UInt(0)),
+            ("tid", Value::UInt(rt.rank as u64)),
+            (
+                "args",
+                obj(vec![("name", Value::Str(format!("rank {}", rt.rank)))]),
+            ),
+        ]));
+    }
+    for rt in &tl.ranks {
+        for s in &rt.spans {
+            events.push(obj(vec![
+                ("name", Value::Str(s.kind.name().into())),
+                ("cat", Value::Str(s.kind.category().into())),
+                ("ph", Value::Str("X".into())),
+                ("ts", Value::Float(s.start_ns as f64 / 1000.0)),
+                ("dur", Value::Float(s.dur_ns() as f64 / 1000.0)),
+                ("pid", Value::UInt(0)),
+                ("tid", Value::UInt(rt.rank as u64)),
+                (
+                    "args",
+                    obj(vec![
+                        ("peer", Value::Int(s.peer)),
+                        ("tag", Value::UInt(s.tag)),
+                        ("bytes", Value::UInt(s.bytes)),
+                    ]),
+                ),
+            ]));
+        }
+    }
+    obj(vec![
+        ("traceEvents", Value::Array(events)),
+        ("displayTimeUnit", Value::Str("ms".into())),
+        (
+            "beatnik",
+            obj(vec![
+                ("ranks", Value::UInt(tl.num_ranks() as u64)),
+                ("dropped_spans", Value::UInt(tl.total_dropped())),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{CommOp, Span, SpanKind};
+    use crate::timeline::RankTimeline;
+
+    #[test]
+    fn events_cover_every_span_plus_thread_metadata() {
+        let tl = WorldTimeline::new(vec![
+            RankTimeline {
+                rank: 0,
+                spans: vec![Span {
+                    kind: SpanKind::Op(CommOp::Send),
+                    peer: 1,
+                    tag: 4,
+                    bytes: 32,
+                    start_ns: 1000,
+                    end_ns: 3500,
+                }],
+                dropped: 0,
+            },
+            RankTimeline {
+                rank: 1,
+                spans: vec![Span {
+                    kind: SpanKind::Phase("halo"),
+                    peer: -1,
+                    tag: 0,
+                    bytes: 0,
+                    start_ns: 0,
+                    end_ns: 9000,
+                }],
+                dropped: 2,
+            },
+        ]);
+        let v = chrome_trace(&tl);
+        let Value::Array(events) = v.get("traceEvents").unwrap() else {
+            panic!("traceEvents not an array");
+        };
+        assert_eq!(events.len(), 4); // 2 metadata + 2 spans
+        let send = &events[2];
+        assert_eq!(send.get("name").unwrap().as_str(), Some("send"));
+        assert_eq!(send.get("cat").unwrap().as_str(), Some("comm"));
+        assert_eq!(send.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(send.get("ts").unwrap().as_f64(), Some(1.0));
+        assert_eq!(send.get("dur").unwrap().as_f64(), Some(2.5));
+        assert_eq!(send.get("tid").unwrap().as_u64(), Some(0));
+        let args = send.get("args").unwrap();
+        assert_eq!(args.get("peer").unwrap().as_i64(), Some(1));
+        assert_eq!(args.get("bytes").unwrap().as_u64(), Some(32));
+        assert_eq!(
+            v.get("beatnik").unwrap().get("dropped_spans").unwrap().as_u64(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn output_parses_back_as_json() {
+        let tl = WorldTimeline::new(vec![RankTimeline {
+            rank: 0,
+            spans: vec![Span::default()],
+            dropped: 0,
+        }]);
+        let text = beatnik_json::to_string(&chrome_trace(&tl));
+        let back = beatnik_json::parse(&text).unwrap();
+        assert!(back.get("traceEvents").is_some());
+    }
+}

@@ -1,0 +1,52 @@
+//! # beatnik-telemetry — span-based timeline tracing
+//!
+//! `RankTrace` (in `beatnik-comm`) answers *how much* each rank
+//! communicated; this crate answers *when*. Every communication
+//! operation and every solver phase records a [`Span`] — a start/end
+//! pair on a monotonic clock shared by all ranks — into a per-rank
+//! [`SpanRecorder`]. After the world joins, the recorders aggregate
+//! into a [`WorldTimeline`] which computes:
+//!
+//! * **wait-time attribution** — how much of each solver phase a rank
+//!   spent blocked in a receive, a request wait, or a collective,
+//!   versus computing;
+//! * **collective entry/exit skew** — histograms of how far apart the
+//!   ranks were when they entered and left the k-th occurrence of each
+//!   collective;
+//! * **a dominant-path summary per timestep** — which rank was
+//!   critical and which phase dominated it.
+//!
+//! The timeline exports as Chrome Trace Event JSON
+//! (`chrome://tracing` / [Perfetto](https://ui.perfetto.dev)) and CSV
+//! (through `beatnik-io`).
+//!
+//! ## Overhead budget
+//!
+//! The recorder is designed so instrumentation can stay compiled into
+//! the hot paths:
+//!
+//! * **Disabled** (the default): [`SpanRecorder::begin`] reads one
+//!   bool and returns; [`SpanRecorder::end`] is a no-op. No
+//!   allocation, no atomics, no clock read.
+//! * **Enabled**: one `Instant::now()` per span edge and one store
+//!   into a **preallocated ring buffer** — no locks, no allocation.
+//!   Each recorder is written only by its own rank thread (the
+//!   single-writer protocol documented on [`SpanRecorder`]), so the
+//!   hot path is a plain indexed store plus a release counter bump.
+//!
+//! Overflow drops the *oldest* spans (the ring wraps) and counts them
+//! in [`SpanRecorder::dropped_spans`], so a too-small buffer degrades
+//! to a truncated-history timeline instead of an error or a stall.
+
+mod chrome;
+mod recorder;
+pub mod sizebins;
+mod span;
+mod timeline;
+
+pub use chrome::chrome_trace;
+pub use recorder::{OpGuard, PhaseGuard, SpanRecorder, Ticket, DEFAULT_SPAN_CAPACITY};
+pub use span::{CommOp, Span, SpanKind};
+pub use timeline::{
+    PhaseRow, RankTimeline, SkewHistogram, SkewRow, StepRow, WorldTimeline, SKEW_BUCKETS,
+};

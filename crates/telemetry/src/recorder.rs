@@ -1,0 +1,357 @@
+//! The per-rank lock-free span ring buffer.
+
+use crate::span::{CommOp, Span, SpanKind};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Default ring capacity: 64 Ki spans ≈ 3 MiB per rank, enough for
+/// several hundred rocketrig timesteps before the ring wraps.
+pub const DEFAULT_SPAN_CAPACITY: usize = 1 << 16;
+
+/// Opaque start-of-span timestamp handed out by [`SpanRecorder::begin`].
+///
+/// Carrying the disabled state in the ticket keeps the `end` call
+/// branch-cheap and means callers never test an `Option`.
+#[derive(Debug, Clone, Copy)]
+pub struct Ticket(u64);
+
+const DISABLED: u64 = u64::MAX;
+
+/// A per-rank span recorder: a preallocated ring buffer of [`Span`]s
+/// stamped against a monotonic epoch shared by every rank of a world.
+///
+/// # Single-writer protocol (why this is lock-free *and* sound)
+///
+/// Each rank's `Communicator` — and every communicator split or
+/// duplicated from it — runs on exactly one OS thread and shares one
+/// recorder, so **all writes to a given recorder come from one
+/// thread**. The world keeps a second handle per rank but only reads
+/// it after `thread::scope` joins the rank threads, which establishes
+/// a happens-before edge covering every slot write. The hot path is
+/// therefore a plain indexed store plus one release counter bump: no
+/// locks, no CAS loops, no allocation.
+///
+/// [`snapshot`](SpanRecorder::snapshot) must only be called when the
+/// writing thread has finished (after the world joins) or from the
+/// writing thread itself; calling it concurrently with recording can
+/// observe a half-written slot.
+///
+/// # Overflow policy
+///
+/// The ring wraps: the newest span overwrites the oldest, and the
+/// number of overwritten spans is reported by
+/// [`dropped_spans`](SpanRecorder::dropped_spans). Recent history is
+/// what the timeline analyses need, so drop-oldest degrades gracefully.
+pub struct SpanRecorder {
+    epoch: Instant,
+    slots: Box<[UnsafeCell<Span>]>,
+    /// Total spans ever pushed (monotonic; `pushed % capacity` is the
+    /// next write index, `pushed - capacity` the drop count).
+    pushed: AtomicU64,
+}
+
+// SAFETY: see "Single-writer protocol" above — slot writes never race
+// with each other (one writing thread) and reads happen only after a
+// join (happens-before) or on the writing thread.
+unsafe impl Sync for SpanRecorder {}
+
+impl SpanRecorder {
+    /// An enabled recorder with `capacity` preallocated slots.
+    /// `capacity == 0` yields a disabled recorder.
+    pub fn new(capacity: usize, epoch: Instant) -> Self {
+        let slots: Vec<UnsafeCell<Span>> =
+            (0..capacity).map(|_| UnsafeCell::new(Span::default())).collect();
+        SpanRecorder {
+            epoch,
+            slots: slots.into_boxed_slice(),
+            pushed: AtomicU64::new(0),
+        }
+    }
+
+    /// A recorder that records nothing and costs one branch per call.
+    /// This is what every world uses unless profiling is requested.
+    pub fn disabled() -> Self {
+        SpanRecorder::new(0, Instant::now())
+    }
+
+    /// Whether spans are being recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        !self.slots.is_empty()
+    }
+
+    /// Nanoseconds since the shared epoch.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Start a span. Returns a [`Ticket`] to hand back to
+    /// [`end`](SpanRecorder::end). When disabled this reads one bool
+    /// and touches neither the clock nor the buffer.
+    #[inline]
+    pub fn begin(&self) -> Ticket {
+        if self.slots.is_empty() {
+            return Ticket(DISABLED);
+        }
+        Ticket(self.now_ns())
+    }
+
+    /// Finish a span started with [`begin`](SpanRecorder::begin).
+    #[inline]
+    pub fn end(&self, ticket: Ticket, kind: SpanKind, peer: i64, tag: u64, bytes: u64) {
+        if ticket.0 == DISABLED {
+            return;
+        }
+        let end_ns = self.now_ns();
+        self.push(Span {
+            kind,
+            peer,
+            tag,
+            bytes,
+            start_ns: ticket.0,
+            end_ns,
+        });
+    }
+
+    /// Record a zero-duration marker (e.g. an `irecv` post).
+    #[inline]
+    pub fn instant(&self, kind: SpanKind, peer: i64, tag: u64, bytes: u64) {
+        if self.slots.is_empty() {
+            return;
+        }
+        let now = self.now_ns();
+        self.push(Span {
+            kind,
+            peer,
+            tag,
+            bytes,
+            start_ns: now,
+            end_ns: now,
+        });
+    }
+
+    /// RAII guard recording a named phase span over its lifetime.
+    #[inline]
+    pub fn phase(&self, name: &'static str) -> PhaseGuard<'_> {
+        PhaseGuard {
+            rec: self,
+            start: self.begin(),
+            name,
+        }
+    }
+
+    /// RAII guard recording a communication-op span over its lifetime.
+    /// Peer/tag/bytes can be filled in before the guard drops.
+    #[inline]
+    pub fn op(&self, op: CommOp) -> OpGuard<'_> {
+        OpGuard {
+            rec: self,
+            start: self.begin(),
+            op,
+            peer: -1,
+            tag: 0,
+            bytes: 0,
+        }
+    }
+
+    #[inline]
+    fn push(&self, span: Span) {
+        let cap = self.slots.len() as u64;
+        let n = self.pushed.load(Ordering::Relaxed);
+        // SAFETY: single-writer protocol (see type docs) — no other
+        // thread writes this slot, and readers synchronize via the
+        // release store below or via thread join.
+        unsafe {
+            *self.slots[(n % cap) as usize].get() = span;
+        }
+        self.pushed.store(n + 1, Ordering::Release);
+    }
+
+    /// Spans pushed over the recorder's lifetime (including dropped).
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed.load(Ordering::Acquire)
+    }
+
+    /// Spans lost to ring wrap-around (drop-oldest overflow gauge).
+    pub fn dropped_spans(&self) -> u64 {
+        self.total_pushed().saturating_sub(self.slots.len() as u64)
+    }
+
+    /// Spans currently held in the ring.
+    pub fn len(&self) -> usize {
+        self.total_pushed().min(self.slots.len() as u64) as usize
+    }
+
+    /// Whether no spans have been recorded (always true when disabled).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy out the retained spans in chronological (record) order,
+    /// plus the dropped-span count.
+    ///
+    /// Call only after the writing rank thread has finished, or from
+    /// that thread — see the single-writer protocol in the type docs.
+    pub fn snapshot(&self) -> (Vec<Span>, u64) {
+        let pushed = self.pushed.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        if cap == 0 || pushed == 0 {
+            return (Vec::new(), 0);
+        }
+        let kept = pushed.min(cap);
+        let first = if pushed > cap { pushed % cap } else { 0 };
+        let mut out = Vec::with_capacity(kept as usize);
+        for i in 0..kept {
+            let idx = ((first + i) % cap) as usize;
+            // SAFETY: the writer has finished (caller contract), so the
+            // slot is not being concurrently written.
+            out.push(unsafe { *self.slots[idx].get() });
+        }
+        (out, pushed - kept)
+    }
+}
+
+/// Records a phase span when dropped. See [`SpanRecorder::phase`].
+pub struct PhaseGuard<'a> {
+    rec: &'a SpanRecorder,
+    start: Ticket,
+    name: &'static str,
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        self.rec
+            .end(self.start, SpanKind::Phase(self.name), -1, 0, 0);
+    }
+}
+
+/// Records a comm-op span when dropped. See [`SpanRecorder::op`].
+pub struct OpGuard<'a> {
+    rec: &'a SpanRecorder,
+    start: Ticket,
+    op: CommOp,
+    peer: i64,
+    tag: u64,
+    bytes: u64,
+}
+
+impl OpGuard<'_> {
+    /// Set the peer rank recorded with the span.
+    #[inline]
+    pub fn peer(&mut self, peer: usize) {
+        self.peer = if peer == usize::MAX { -1 } else { peer as i64 };
+    }
+
+    /// Set the matching tag recorded with the span.
+    #[inline]
+    pub fn tag(&mut self, tag: u64) {
+        self.tag = tag;
+    }
+
+    /// Set (or accumulate onto) the byte count recorded with the span.
+    #[inline]
+    pub fn bytes(&mut self, bytes: u64) {
+        self.bytes = bytes;
+    }
+
+    /// Add to the byte count (for batched waits).
+    #[inline]
+    pub fn add_bytes(&mut self, bytes: u64) {
+        self.bytes += bytes;
+    }
+}
+
+impl Drop for OpGuard<'_> {
+    fn drop(&mut self) {
+        self.rec.end(
+            self.start,
+            SpanKind::Op(self.op),
+            self.peer,
+            self.tag,
+            self.bytes,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_with_metadata() {
+        let rec = SpanRecorder::new(16, Instant::now());
+        assert!(rec.is_enabled());
+        let t = rec.begin();
+        rec.end(t, SpanKind::Op(CommOp::Send), 3, 7, 64);
+        rec.instant(SpanKind::Op(CommOp::Irecv), 1, 9, 0);
+        {
+            let _g = rec.phase("halo");
+        }
+        let (spans, dropped) = rec.snapshot();
+        assert_eq!(dropped, 0);
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].kind, SpanKind::Op(CommOp::Send));
+        assert_eq!((spans[0].peer, spans[0].tag, spans[0].bytes), (3, 7, 64));
+        assert_eq!(spans[1].dur_ns(), 0);
+        assert_eq!(spans[2].kind, SpanKind::Phase("halo"));
+        // Chronological: start times never decrease.
+        assert!(spans.windows(2).all(|w| w[0].start_ns <= w[1].start_ns));
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let rec = SpanRecorder::new(4, Instant::now());
+        for i in 0..10u64 {
+            rec.instant(SpanKind::Op(CommOp::Send), 0, i, i);
+        }
+        assert_eq!(rec.total_pushed(), 10);
+        assert_eq!(rec.dropped_spans(), 6);
+        assert_eq!(rec.len(), 4);
+        let (spans, dropped) = rec.snapshot();
+        assert_eq!(dropped, 6);
+        // The four *newest* spans survive, oldest-first.
+        let tags: Vec<u64> = spans.iter().map(|s| s.tag).collect();
+        assert_eq!(tags, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = SpanRecorder::disabled();
+        assert!(!rec.is_enabled());
+        let t = rec.begin();
+        rec.end(t, SpanKind::Op(CommOp::Recv), 0, 0, 8);
+        rec.instant(SpanKind::Op(CommOp::Irecv), 0, 0, 0);
+        {
+            let mut g = rec.op(CommOp::Allreduce);
+            g.bytes(128);
+            let _p = rec.phase("step");
+        }
+        assert_eq!(rec.total_pushed(), 0);
+        assert_eq!(rec.dropped_spans(), 0);
+        let (spans, dropped) = rec.snapshot();
+        assert!(spans.is_empty());
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn op_guard_records_peer_tag_bytes() {
+        let rec = SpanRecorder::new(8, Instant::now());
+        {
+            let mut g = rec.op(CommOp::Alltoallv);
+            g.peer(2);
+            g.tag(5);
+            g.bytes(100);
+            g.add_bytes(28);
+        }
+        {
+            let mut g = rec.op(CommOp::Recv);
+            g.peer(usize::MAX); // ANY_SOURCE maps to -1
+        }
+        let (spans, _) = rec.snapshot();
+        assert_eq!(spans[0].kind, SpanKind::Op(CommOp::Alltoallv));
+        assert_eq!((spans[0].peer, spans[0].tag, spans[0].bytes), (2, 5, 128));
+        assert_eq!(spans[1].peer, -1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Shared power-of-two message-size buckets.
+//!
+//! The comm layer's per-op byte histograms (`RankTrace`) and the
+//! `model` crate's network predictions bucket message sizes the same
+//! way, so a measured histogram can be fed straight into the analytic
+//! model. Bucket `i` holds messages of `2^(i-1) < bytes ≤ 2^i` (bucket
+//! 0 holds zero- and one-byte messages); the last bucket absorbs
+//! everything ≥ 2^(NUM_BUCKETS-1).
+
+/// Number of buckets: sizes up to 2^30 (1 GiB) resolve exactly; larger
+/// messages land in the final bucket.
+pub const NUM_BUCKETS: usize = 31;
+
+/// Bucket index for a message of `bytes` bytes.
+#[inline]
+pub fn bucket_of(bytes: u64) -> usize {
+    if bytes <= 1 {
+        return 0;
+    }
+    let b = (64 - (bytes - 1).leading_zeros()) as usize;
+    b.min(NUM_BUCKETS - 1)
+}
+
+/// Inclusive upper edge of bucket `i` in bytes (`2^i`).
+pub fn bucket_hi(i: usize) -> u64 {
+    1u64 << i.min(62)
+}
+
+/// Exclusive lower edge of bucket `i` in bytes.
+pub fn bucket_lo(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1).min(62)
+    }
+}
+
+/// Representative size for bucket `i`: the geometric-ish midpoint
+/// `3 · 2^(i-2)` (= 0.75 · hi), or `1` for bucket 0. Used by the
+/// network model to price a histogram of messages.
+pub fn midpoint(i: usize) -> u64 {
+    if i == 0 {
+        1
+    } else if i == 1 {
+        2
+    } else {
+        3u64 << (i - 2).min(60)
+    }
+}
+
+/// Human-readable bucket label, e.g. `"≤64B"`, `"≤4KiB"`.
+pub fn label(i: usize) -> String {
+    let hi = bucket_hi(i);
+    if hi < 1024 {
+        format!("≤{hi}B")
+    } else if hi < 1024 * 1024 {
+        format!("≤{}KiB", hi / 1024)
+    } else if hi < 1024 * 1024 * 1024 {
+        format!("≤{}MiB", hi / (1024 * 1024))
+    } else {
+        format!("≤{}GiB", hi / (1024 * 1024 * 1024))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(5), 3);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(1025), 11);
+        assert_eq!(bucket_of(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn every_size_lands_within_its_edges() {
+        for bytes in [0u64, 1, 2, 7, 8, 9, 63, 64, 65, 4096, 1 << 20] {
+            let i = bucket_of(bytes);
+            assert!(bytes <= bucket_hi(i), "bytes {bytes} above hi of bucket {i}");
+            if i > 0 && i < NUM_BUCKETS - 1 {
+                assert!(bytes > bucket_lo(i), "bytes {bytes} below lo of bucket {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn midpoints_sit_inside_buckets() {
+        for i in 1..NUM_BUCKETS - 1 {
+            let m = midpoint(i);
+            assert!(m > bucket_lo(i) && m <= bucket_hi(i), "bucket {i}: mid {m}");
+        }
+    }
+
+    #[test]
+    fn labels_render() {
+        assert_eq!(label(0), "≤1B");
+        assert_eq!(label(10), "≤1KiB");
+        assert_eq!(label(20), "≤1MiB");
+        assert_eq!(label(30), "≤1GiB");
+    }
+}

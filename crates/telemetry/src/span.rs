@@ -1,0 +1,237 @@
+//! The span record and its vocabulary of operation kinds.
+
+/// Communication operations a span can describe.
+///
+/// These mirror the runtime's surface rather than `beatnik-comm`'s
+/// `OpKind` counters: the nonblocking post (`Isend`/`Irecv`) and the
+/// blocking completion (`Wait`/`WaitAll`) are distinct here because
+/// the whole point of a timeline is separating the cheap post from
+/// the time spent blocked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CommOp {
+    /// Blocking buffered send (returns as soon as the envelope is queued).
+    Send,
+    /// Nonblocking pooled send post.
+    Isend,
+    /// Blocking receive (includes all time blocked in the mailbox).
+    Recv,
+    /// Nonblocking receive post (instant: marks the posting time).
+    Irecv,
+    /// Blocking wait on a single receive request.
+    Wait,
+    /// Blocking wait on a batch of requests.
+    WaitAll,
+    Barrier,
+    Broadcast,
+    Reduce,
+    Allreduce,
+    Gather,
+    Allgather,
+    Scatter,
+    Alltoall,
+    Alltoallv,
+    Scan,
+    Exscan,
+    ReduceScatter,
+}
+
+impl CommOp {
+    /// Spans of this kind represent time the rank could not compute:
+    /// blocked in a receive/wait or inside a collective. Posts and
+    /// buffered sends return immediately and do not count.
+    pub fn is_blocking(self) -> bool {
+        !matches!(self, CommOp::Send | CommOp::Isend | CommOp::Irecv)
+    }
+
+    /// True for collective operations (used by the skew analysis).
+    pub fn is_collective(self) -> bool {
+        matches!(
+            self,
+            CommOp::Barrier
+                | CommOp::Broadcast
+                | CommOp::Reduce
+                | CommOp::Allreduce
+                | CommOp::Gather
+                | CommOp::Allgather
+                | CommOp::Scatter
+                | CommOp::Alltoall
+                | CommOp::Alltoallv
+                | CommOp::Scan
+                | CommOp::Exscan
+                | CommOp::ReduceScatter
+        )
+    }
+
+    /// Stable lowercase name (used in trace exports and summaries).
+    pub fn name(self) -> &'static str {
+        match self {
+            CommOp::Send => "send",
+            CommOp::Isend => "isend",
+            CommOp::Recv => "recv",
+            CommOp::Irecv => "irecv",
+            CommOp::Wait => "wait",
+            CommOp::WaitAll => "wait_all",
+            CommOp::Barrier => "barrier",
+            CommOp::Broadcast => "broadcast",
+            CommOp::Reduce => "reduce",
+            CommOp::Allreduce => "allreduce",
+            CommOp::Gather => "gather",
+            CommOp::Allgather => "allgather",
+            CommOp::Scatter => "scatter",
+            CommOp::Alltoall => "alltoall",
+            CommOp::Alltoallv => "alltoallv",
+            CommOp::Scan => "scan",
+            CommOp::Exscan => "exscan",
+            CommOp::ReduceScatter => "reduce_scatter",
+        }
+    }
+
+    /// Every operation kind, in export order.
+    pub const ALL: [CommOp; 18] = [
+        CommOp::Send,
+        CommOp::Isend,
+        CommOp::Recv,
+        CommOp::Irecv,
+        CommOp::Wait,
+        CommOp::WaitAll,
+        CommOp::Barrier,
+        CommOp::Broadcast,
+        CommOp::Reduce,
+        CommOp::Allreduce,
+        CommOp::Gather,
+        CommOp::Allgather,
+        CommOp::Scatter,
+        CommOp::Alltoall,
+        CommOp::Alltoallv,
+        CommOp::Scan,
+        CommOp::Exscan,
+        CommOp::ReduceScatter,
+    ];
+}
+
+/// What a span describes: a communication operation or a named
+/// algorithmic phase (solver step, FFT reshape, halo exchange, ...).
+///
+/// Phase names are `&'static str` so recording a span never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    Op(CommOp),
+    Phase(&'static str),
+}
+
+impl SpanKind {
+    /// Display name for exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Op(op) => op.name(),
+            SpanKind::Phase(p) => p,
+        }
+    }
+
+    /// Chrome-trace category: `"comm"` or `"phase"`.
+    pub fn category(self) -> &'static str {
+        match self {
+            SpanKind::Op(_) => "comm",
+            SpanKind::Phase(_) => "phase",
+        }
+    }
+}
+
+/// One recorded interval on a rank's timeline. `Copy` and fixed-size
+/// so the ring buffer is a flat preallocated array.
+///
+/// Times are nanoseconds since the world's shared epoch (the same
+/// monotonic clock on every rank, so cross-rank skew is meaningful).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span {
+    pub kind: SpanKind,
+    /// Peer rank (destination for sends, source for receives, root for
+    /// rooted collectives); `-1` when not applicable.
+    pub peer: i64,
+    /// Message-matching tag, `0` when not applicable.
+    pub tag: u64,
+    /// Payload bytes this rank contributed to / received from the op.
+    pub bytes: u64,
+    pub start_ns: u64,
+    pub end_ns: u64,
+}
+
+impl Span {
+    /// Duration in nanoseconds (0 for instant spans).
+    #[inline]
+    pub fn dur_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Duration in seconds.
+    pub fn dur_s(&self) -> f64 {
+        self.dur_ns() as f64 * 1e-9
+    }
+
+    /// Whether `inner` lies within this span (inclusive bounds) and is
+    /// not the very same interval.
+    pub fn contains(&self, inner: &Span) -> bool {
+        self.start_ns <= inner.start_ns
+            && inner.end_ns <= self.end_ns
+            && (self.start_ns, self.end_ns) != (inner.start_ns, inner.end_ns)
+    }
+}
+
+impl Default for Span {
+    fn default() -> Self {
+        Span {
+            kind: SpanKind::Phase(""),
+            peer: -1,
+            tag: 0,
+            bytes: 0,
+            start_ns: 0,
+            end_ns: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocking_classification() {
+        assert!(!CommOp::Send.is_blocking());
+        assert!(!CommOp::Isend.is_blocking());
+        assert!(!CommOp::Irecv.is_blocking());
+        assert!(CommOp::Recv.is_blocking());
+        assert!(CommOp::Wait.is_blocking());
+        assert!(CommOp::Allreduce.is_blocking());
+        for op in CommOp::ALL {
+            assert_eq!(
+                op.is_collective(),
+                !matches!(
+                    op,
+                    CommOp::Send
+                        | CommOp::Isend
+                        | CommOp::Recv
+                        | CommOp::Irecv
+                        | CommOp::Wait
+                        | CommOp::WaitAll
+                ),
+            );
+        }
+    }
+
+    #[test]
+    fn containment_is_strict_on_identical_intervals() {
+        let outer = Span {
+            start_ns: 10,
+            end_ns: 50,
+            ..Span::default()
+        };
+        let inner = Span {
+            start_ns: 20,
+            end_ns: 30,
+            ..Span::default()
+        };
+        assert!(outer.contains(&inner));
+        assert!(!inner.contains(&outer));
+        assert!(!outer.contains(&outer));
+    }
+}

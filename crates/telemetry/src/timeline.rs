@@ -1,0 +1,609 @@
+//! Aggregating rank span buffers into a world timeline and computing
+//! wait-time attribution, collective skew, and the per-step dominant
+//! path.
+
+use crate::sizebins;
+use crate::span::{CommOp, Span, SpanKind};
+use std::collections::BTreeMap;
+
+/// One rank's recorded spans in chronological (record) order, plus the
+/// ring-overflow gauge.
+#[derive(Debug, Clone)]
+pub struct RankTimeline {
+    pub rank: usize,
+    pub spans: Vec<Span>,
+    /// Spans lost to ring wrap-around on this rank.
+    pub dropped: u64,
+}
+
+/// All ranks' timelines on the shared epoch clock.
+#[derive(Debug, Clone)]
+pub struct WorldTimeline {
+    pub ranks: Vec<RankTimeline>,
+}
+
+/// Aggregated wait/compute attribution for one phase name.
+#[derive(Debug, Clone)]
+pub struct PhaseRow {
+    pub name: String,
+    /// Phase invocations summed across ranks.
+    pub calls: u64,
+    /// Summed span duration across ranks (nested child phases included).
+    pub total_s: f64,
+    /// Summed duration excluding time inside nested phases.
+    pub self_s: f64,
+    /// Time blocked in receives/waits/collectives attributed to this
+    /// phase (innermost enclosing phase wins), summed across ranks.
+    pub wait_s: f64,
+    /// `self − wait`: time the ranks actually computed in this phase.
+    pub compute_s: f64,
+    /// The single worst rank's wait time in this phase.
+    pub max_wait_s: f64,
+    pub max_wait_rank: usize,
+}
+
+/// Number of skew-histogram buckets (powers of two of nanoseconds,
+/// same bucketing as [`sizebins`]).
+pub const SKEW_BUCKETS: usize = sizebins::NUM_BUCKETS;
+
+/// Histogram of collective entry or exit skews.
+#[derive(Debug, Clone, Default)]
+pub struct SkewHistogram {
+    /// `buckets[i]` counts skews of `2^(i-1) < ns ≤ 2^i`.
+    pub buckets: [u64; SKEW_BUCKETS],
+    pub count: u64,
+    pub sum_ns: u64,
+    pub max_ns: u64,
+}
+
+impl SkewHistogram {
+    fn add(&mut self, ns: u64) {
+        self.buckets[sizebins::bucket_of(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += ns;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Mean skew in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64 / 1000.0
+        }
+    }
+
+    /// Maximum skew in microseconds.
+    pub fn max_us(&self) -> f64 {
+        self.max_ns as f64 / 1000.0
+    }
+}
+
+/// Entry/exit skew for one collective op, over its matched occurrences.
+#[derive(Debug, Clone)]
+pub struct SkewRow {
+    pub op: CommOp,
+    /// Occurrences matched across every rank (k-th call on rank 0
+    /// pairs with k-th call on every other rank — SPMD ordering).
+    pub matched: usize,
+    pub entry: SkewHistogram,
+    pub exit: SkewHistogram,
+}
+
+/// Critical-path summary for one matched timestep.
+#[derive(Debug, Clone)]
+pub struct StepRow {
+    pub step: usize,
+    /// Slowest rank's step duration.
+    pub dur_s: f64,
+    /// The rank on the critical path (slowest this step).
+    pub critical_rank: usize,
+    /// Phase with the most self-time on the critical rank this step.
+    pub dominant_phase: String,
+    pub dominant_s: f64,
+    /// Critical rank's blocked time within the step.
+    pub wait_s: f64,
+}
+
+/// Per-span derived facts for one rank, computed in a single sweep.
+struct RankAnalysis {
+    /// Sorted-by-start order of span indices used by the sweep.
+    order: Vec<usize>,
+    /// For phase spans: duration minus nested-phase time (ns).
+    self_ns: Vec<u64>,
+    /// For blocking comm spans: not nested in another blocking span.
+    top_level: Vec<bool>,
+    /// For top-level blocking spans: index of the innermost enclosing
+    /// phase span, if any.
+    enclosing_phase: Vec<Option<usize>>,
+}
+
+fn is_blocking(span: &Span) -> bool {
+    matches!(span.kind, SpanKind::Op(op) if op.is_blocking())
+}
+
+fn encloses(outer: &Span, inner: &Span) -> bool {
+    outer.start_ns <= inner.start_ns && inner.end_ns <= outer.end_ns
+}
+
+fn analyze(rt: &RankTimeline) -> RankAnalysis {
+    let spans = &rt.spans;
+    let n = spans.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    // Start ascending; on ties the longer (enclosing) span first.
+    order.sort_by(|&a, &b| {
+        spans[a]
+            .start_ns
+            .cmp(&spans[b].start_ns)
+            .then(spans[b].end_ns.cmp(&spans[a].end_ns))
+            .then(a.cmp(&b))
+    });
+    let mut self_ns: Vec<u64> = spans.iter().map(Span::dur_ns).collect();
+    let mut top_level = vec![false; n];
+    let mut enclosing_phase = vec![None; n];
+    // Spans from one rank thread are RAII-scoped, hence properly
+    // nested; a stack sweep recovers the tree.
+    let mut phase_stack: Vec<usize> = Vec::new();
+    let mut block_stack: Vec<usize> = Vec::new();
+    for &i in &order {
+        let s = &spans[i];
+        while let Some(&top) = phase_stack.last() {
+            if encloses(&spans[top], s) {
+                break;
+            }
+            phase_stack.pop();
+        }
+        while let Some(&top) = block_stack.last() {
+            if encloses(&spans[top], s) {
+                break;
+            }
+            block_stack.pop();
+        }
+        match s.kind {
+            SpanKind::Phase(_) => {
+                if let Some(&parent) = phase_stack.last() {
+                    self_ns[parent] = self_ns[parent].saturating_sub(s.dur_ns());
+                }
+                phase_stack.push(i);
+            }
+            SpanKind::Op(op) if op.is_blocking() => {
+                if block_stack.is_empty() {
+                    top_level[i] = true;
+                    enclosing_phase[i] = phase_stack.last().copied();
+                }
+                block_stack.push(i);
+            }
+            SpanKind::Op(_) => {}
+        }
+    }
+    RankAnalysis {
+        order,
+        self_ns,
+        top_level,
+        enclosing_phase,
+    }
+}
+
+impl WorldTimeline {
+    pub fn new(mut ranks: Vec<RankTimeline>) -> Self {
+        ranks.sort_by_key(|r| r.rank);
+        WorldTimeline { ranks }
+    }
+
+    pub fn num_ranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Total spans retained across all ranks.
+    pub fn total_spans(&self) -> usize {
+        self.ranks.iter().map(|r| r.spans.len()).sum()
+    }
+
+    /// Total spans lost to ring overflow across all ranks.
+    pub fn total_dropped(&self) -> u64 {
+        self.ranks.iter().map(|r| r.dropped).sum()
+    }
+
+    /// Per-phase wait/compute attribution, aggregated across ranks.
+    ///
+    /// A blocked interval (receive, request wait, or collective) is
+    /// charged to the *innermost* phase that encloses it on that rank;
+    /// blocked intervals nested inside another blocked interval (e.g.
+    /// the per-request receives inside a `wait_all`) are not double
+    /// counted. Phase `total` includes nested child phases, `self`
+    /// excludes them, and `compute = self − wait`. Blocked time outside
+    /// any phase lands in the `"(no phase)"` row.
+    pub fn phase_attribution(&self) -> Vec<PhaseRow> {
+        let mut rows: Vec<PhaseRow> = Vec::new();
+        let mut index: BTreeMap<String, usize> = BTreeMap::new();
+        let mut row = |rows: &mut Vec<PhaseRow>, name: &str| -> usize {
+            *index.entry(name.to_string()).or_insert_with(|| {
+                rows.push(PhaseRow {
+                    name: name.to_string(),
+                    calls: 0,
+                    total_s: 0.0,
+                    self_s: 0.0,
+                    wait_s: 0.0,
+                    compute_s: 0.0,
+                    max_wait_s: 0.0,
+                    max_wait_rank: 0,
+                });
+                rows.len() - 1
+            })
+        };
+        for rt in &self.ranks {
+            let a = analyze(rt);
+            // Per-rank wait per phase row, to find the worst rank.
+            let mut rank_wait: BTreeMap<usize, f64> = BTreeMap::new();
+            for &i in &a.order {
+                let s = &rt.spans[i];
+                if let SpanKind::Phase(name) = s.kind {
+                    let r = row(&mut rows, name);
+                    rows[r].calls += 1;
+                    rows[r].total_s += s.dur_s();
+                    rows[r].self_s += a.self_ns[i] as f64 * 1e-9;
+                }
+            }
+            for &i in &a.order {
+                let s = &rt.spans[i];
+                if !a.top_level[i] {
+                    continue;
+                }
+                let name = match a.enclosing_phase[i] {
+                    Some(p) => rt.spans[p].kind.name(),
+                    None => "(no phase)",
+                };
+                let r = row(&mut rows, name);
+                rows[r].wait_s += s.dur_s();
+                *rank_wait.entry(r).or_insert(0.0) += s.dur_s();
+            }
+            for (r, w) in rank_wait {
+                if w > rows[r].max_wait_s {
+                    rows[r].max_wait_s = w;
+                    rows[r].max_wait_rank = rt.rank;
+                }
+            }
+        }
+        for r in &mut rows {
+            r.compute_s = (r.self_s - r.wait_s).max(0.0);
+        }
+        rows
+    }
+
+    /// Entry/exit skew histograms per collective op.
+    ///
+    /// The k-th occurrence of an op on each rank is matched against the
+    /// k-th occurrence on every other rank (collectives are SPMD, so
+    /// call order is identical across ranks); entry skew is the spread
+    /// of start times, exit skew the spread of end times. Occurrences
+    /// beyond the smallest per-rank count are left unmatched.
+    pub fn collective_skew(&self) -> Vec<SkewRow> {
+        if self.ranks.len() < 2 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for op in CommOp::ALL {
+            if !op.is_collective() {
+                continue;
+            }
+            let per_rank: Vec<Vec<(u64, u64)>> = self
+                .ranks
+                .iter()
+                .map(|rt| {
+                    rt.spans
+                        .iter()
+                        .filter(|s| s.kind == SpanKind::Op(op))
+                        .map(|s| (s.start_ns, s.end_ns))
+                        .collect()
+                })
+                .collect();
+            let matched = per_rank.iter().map(Vec::len).min().unwrap_or(0);
+            if matched == 0 {
+                continue;
+            }
+            let mut entry = SkewHistogram::default();
+            let mut exit = SkewHistogram::default();
+            for k in 0..matched {
+                let starts = per_rank.iter().map(|v| v[k].0);
+                let ends = per_rank.iter().map(|v| v[k].1);
+                entry.add(starts.clone().max().unwrap() - starts.min().unwrap());
+                exit.add(ends.clone().max().unwrap() - ends.min().unwrap());
+            }
+            out.push(SkewRow {
+                op,
+                matched,
+                entry,
+                exit,
+            });
+        }
+        out
+    }
+
+    /// Dominant-path summary per matched occurrence of `step_phase`
+    /// (the solver records one `"step"` phase per timestep).
+    ///
+    /// For each step: the slowest rank is the critical rank; the phase
+    /// with the most *self* time inside that rank's step interval is
+    /// the dominant phase; `wait_s` is the critical rank's blocked
+    /// time within the step.
+    pub fn step_summary(&self, step_phase: &str) -> Vec<StepRow> {
+        let analyses: Vec<RankAnalysis> = self.ranks.iter().map(analyze).collect();
+        let steps_per_rank: Vec<Vec<usize>> = self
+            .ranks
+            .iter()
+            .map(|rt| {
+                (0..rt.spans.len())
+                    .filter(|&i| matches!(rt.spans[i].kind, SpanKind::Phase(n) if n == step_phase))
+                    .collect()
+            })
+            .collect();
+        let matched = steps_per_rank.iter().map(Vec::len).min().unwrap_or(0);
+        let mut out = Vec::new();
+        // `k` selects the k-th step occurrence *within each rank's* index
+        // list, not an element of `steps_per_rank` itself.
+        #[allow(clippy::needless_range_loop)]
+        for k in 0..matched {
+            let (critical, &ci) = self
+                .ranks
+                .iter()
+                .enumerate()
+                .map(|(r, rt)| (r, &steps_per_rank[r][k], rt))
+                .max_by_key(|(_, &i, rt)| rt.spans[i].dur_ns())
+                .map(|(r, i, _)| (r, i))
+                .unwrap();
+            let rt = &self.ranks[critical];
+            let a = &analyses[critical];
+            let interval = rt.spans[ci];
+            let mut by_phase: BTreeMap<&str, u64> = BTreeMap::new();
+            let mut wait_ns = 0u64;
+            for (i, s) in rt.spans.iter().enumerate() {
+                if i == ci || !encloses(&interval, s) {
+                    continue;
+                }
+                if let SpanKind::Phase(name) = s.kind {
+                    *by_phase.entry(name).or_insert(0) += a.self_ns[i];
+                }
+                if a.top_level[i] && is_blocking(s) {
+                    wait_ns += s.dur_ns();
+                }
+            }
+            let (dominant, dom_ns) = by_phase
+                .into_iter()
+                .max_by_key(|&(_, ns)| ns)
+                .unwrap_or(("(none)", 0));
+            out.push(StepRow {
+                step: k,
+                dur_s: interval.dur_s(),
+                critical_rank: rt.rank,
+                dominant_phase: dominant.to_string(),
+                dominant_s: dom_ns as f64 * 1e-9,
+                wait_s: wait_ns as f64 * 1e-9,
+            });
+        }
+        out
+    }
+
+    /// Multi-section human-readable report: phase attribution,
+    /// collective skew, and the dominant path per `"step"`.
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        let p = self.num_ranks();
+        s.push_str(&format!(
+            "== telemetry: {} spans on {} ranks ({} dropped) ==\n",
+            self.total_spans(),
+            p,
+            self.total_dropped()
+        ));
+        s.push_str("\n-- phase wait-time attribution (seconds, summed over ranks) --\n");
+        s.push_str(&format!(
+            "{:<22} {:>7} {:>10} {:>10} {:>10} {:>10} {:>6}  worst-rank\n",
+            "phase", "calls", "total", "self", "wait", "compute", "wait%"
+        ));
+        for r in self.phase_attribution() {
+            let pct = if r.self_s > 0.0 {
+                100.0 * r.wait_s / r.self_s
+            } else {
+                0.0
+            };
+            s.push_str(&format!(
+                "{:<22} {:>7} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>5.1}%  {:.4}s @ r{}\n",
+                r.name,
+                r.calls,
+                r.total_s,
+                r.self_s,
+                r.wait_s,
+                r.compute_s,
+                pct,
+                r.max_wait_s,
+                r.max_wait_rank
+            ));
+        }
+        let skew = self.collective_skew();
+        if !skew.is_empty() {
+            s.push_str("\n-- collective entry/exit skew (µs across ranks) --\n");
+            s.push_str(&format!(
+                "{:<16} {:>7} {:>11} {:>11} {:>11} {:>11}\n",
+                "op", "matched", "entry-mean", "entry-max", "exit-mean", "exit-max"
+            ));
+            for r in skew {
+                s.push_str(&format!(
+                    "{:<16} {:>7} {:>11.2} {:>11.2} {:>11.2} {:>11.2}\n",
+                    r.op.name(),
+                    r.matched,
+                    r.entry.mean_us(),
+                    r.entry.max_us(),
+                    r.exit.mean_us(),
+                    r.exit.max_us()
+                ));
+            }
+        }
+        let steps = self.step_summary("step");
+        if !steps.is_empty() {
+            s.push_str("\n-- dominant path per timestep --\n");
+            s.push_str(&format!(
+                "{:<6} {:>10} {:>9} {:<22} {:>10} {:>6}\n",
+                "step", "dur(ms)", "critical", "dominant-phase", "wait(ms)", "wait%"
+            ));
+            for r in steps {
+                let pct = if r.dur_s > 0.0 {
+                    100.0 * r.wait_s / r.dur_s
+                } else {
+                    0.0
+                };
+                s.push_str(&format!(
+                    "{:<6} {:>10.3} {:>9} {:<22} {:>10.3} {:>5.1}%\n",
+                    r.step,
+                    r.dur_s * 1e3,
+                    format!("r{}", r.critical_rank),
+                    r.dominant_phase,
+                    r.wait_s * 1e3,
+                    pct
+                ));
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase(name: &'static str, start: u64, end: u64) -> Span {
+        Span {
+            kind: SpanKind::Phase(name),
+            start_ns: start,
+            end_ns: end,
+            ..Span::default()
+        }
+    }
+
+    fn op(op: CommOp, start: u64, end: u64) -> Span {
+        Span {
+            kind: SpanKind::Op(op),
+            start_ns: start,
+            end_ns: end,
+            ..Span::default()
+        }
+    }
+
+    fn tl(ranks: Vec<Vec<Span>>) -> WorldTimeline {
+        WorldTimeline::new(
+            ranks
+                .into_iter()
+                .enumerate()
+                .map(|(rank, spans)| RankTimeline {
+                    rank,
+                    spans,
+                    dropped: 0,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn wait_goes_to_innermost_phase_and_self_excludes_children() {
+        // step [0,100] contains halo [10,40]; a recv [15,35] inside
+        // halo and another [50,70] directly inside step.
+        let w = tl(vec![vec![
+            op(CommOp::Recv, 15, 35),
+            phase("halo", 10, 40),
+            op(CommOp::Recv, 50, 70),
+            phase("step", 0, 100),
+        ]]);
+        let rows = w.phase_attribution();
+        let get = |n: &str| rows.iter().find(|r| r.name == n).unwrap().clone();
+        let step = get("step");
+        let halo = get("halo");
+        assert!((step.total_s - 100e-9).abs() < 1e-15);
+        assert!((step.self_s - 70e-9).abs() < 1e-15); // minus halo's 30
+        assert!((step.wait_s - 20e-9).abs() < 1e-15); // the [50,70] recv
+        assert!((halo.wait_s - 20e-9).abs() < 1e-15); // the [15,35] recv
+        assert!((halo.compute_s - 10e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn nested_blocking_spans_count_once() {
+        // wait_all [0,100] containing two instant recv markers: only
+        // the outer 100 ns counts as wait.
+        let w = tl(vec![vec![
+            op(CommOp::Recv, 20, 20),
+            op(CommOp::Recv, 60, 60),
+            op(CommOp::WaitAll, 0, 100),
+            phase("step", 0, 200),
+        ]]);
+        let rows = w.phase_attribution();
+        let step = rows.iter().find(|r| r.name == "step").unwrap();
+        assert!((step.wait_s - 100e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn wait_outside_phases_is_binned_separately() {
+        let w = tl(vec![vec![op(CommOp::Barrier, 0, 50)]]);
+        let rows = w.phase_attribution();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].name, "(no phase)");
+        assert!((rows[0].wait_s - 50e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn skew_matches_kth_occurrence_across_ranks() {
+        // Two allreduces; second has 400 ns entry skew, 100 ns exit.
+        let w = tl(vec![
+            vec![op(CommOp::Allreduce, 0, 100), op(CommOp::Allreduce, 1000, 2000)],
+            vec![op(CommOp::Allreduce, 0, 100), op(CommOp::Allreduce, 1400, 2100)],
+        ]);
+        let skew = w.collective_skew();
+        assert_eq!(skew.len(), 1);
+        let r = &skew[0];
+        assert_eq!(r.op, CommOp::Allreduce);
+        assert_eq!(r.matched, 2);
+        assert_eq!(r.entry.max_ns, 400);
+        assert_eq!(r.exit.max_ns, 100);
+        assert_eq!(r.entry.count, 2);
+        // 0-skew first occurrence lands in bucket 0.
+        assert_eq!(r.entry.buckets[0], 1);
+    }
+
+    #[test]
+    fn step_summary_finds_critical_rank_and_dominant_phase() {
+        // Rank 1 is slower; its step is dominated by "fft" self time.
+        let w = tl(vec![
+            vec![
+                phase("fft", 10, 20),
+                phase("step", 0, 100),
+            ],
+            vec![
+                phase("fft", 10, 150),
+                op(CommOp::Recv, 160, 180),
+                phase("step", 0, 200),
+            ],
+        ]);
+        let steps = w.step_summary("step");
+        assert_eq!(steps.len(), 1);
+        let s = &steps[0];
+        assert_eq!(s.critical_rank, 1);
+        assert_eq!(s.dominant_phase, "fft");
+        assert!((s.dur_s - 200e-9).abs() < 1e-15);
+        assert!((s.wait_s - 20e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn summary_renders_all_sections() {
+        let w = tl(vec![
+            vec![
+                op(CommOp::Allreduce, 10, 30),
+                phase("step", 0, 100),
+            ],
+            vec![
+                op(CommOp::Allreduce, 12, 30),
+                phase("step", 0, 90),
+            ],
+        ]);
+        let text = w.summary();
+        assert!(text.contains("phase wait-time attribution"));
+        assert!(text.contains("collective entry/exit skew"));
+        assert!(text.contains("dominant path per timestep"));
+        assert!(text.contains("allreduce"));
+    }
+}

@@ -1,0 +1,86 @@
+//! Golden-file check of the Chrome Trace Event export: a synthetic
+//! two-rank timeline with fixed timestamps must serialize byte-for-byte
+//! to `tests/golden/chrome_trace.json`. Any change to the event shape
+//! (field order, metadata records, µs conversion, the `beatnik` footer)
+//! shows up as a diff here and must update the fixture deliberately —
+//! the format is consumed by chrome://tracing, Perfetto, and
+//! `profile_check`, none of which we control.
+
+use beatnik_telemetry::{
+    chrome_trace, CommOp, RankTimeline, Span, SpanKind, WorldTimeline,
+};
+
+const GOLDEN: &str = include_str!("golden/chrome_trace.json");
+
+fn synthetic_timeline() -> WorldTimeline {
+    WorldTimeline::new(vec![
+        RankTimeline {
+            rank: 0,
+            spans: vec![
+                Span {
+                    kind: SpanKind::Phase("step"),
+                    peer: -1,
+                    tag: 0,
+                    bytes: 0,
+                    start_ns: 0,
+                    end_ns: 5000,
+                },
+                Span {
+                    kind: SpanKind::Op(CommOp::Send),
+                    peer: 1,
+                    tag: 7,
+                    bytes: 64,
+                    start_ns: 1000,
+                    end_ns: 2500,
+                },
+            ],
+            dropped: 0,
+        },
+        RankTimeline {
+            rank: 1,
+            spans: vec![Span {
+                kind: SpanKind::Op(CommOp::Recv),
+                peer: 0,
+                tag: 7,
+                bytes: 64,
+                start_ns: 1500,
+                end_ns: 3000,
+            }],
+            dropped: 3,
+        },
+    ])
+}
+
+#[test]
+fn chrome_trace_matches_golden_file() {
+    let text = beatnik_json::to_string(&chrome_trace(&synthetic_timeline()));
+    assert_eq!(
+        text,
+        GOLDEN.trim_end(),
+        "Chrome trace shape drifted from tests/golden/chrome_trace.json"
+    );
+}
+
+#[test]
+fn golden_file_is_valid_json_with_expected_shape() {
+    // The fixture itself must stay loadable: parse it back and check the
+    // invariants profile_check relies on.
+    let v = beatnik_json::parse(GOLDEN).unwrap();
+    let beatnik_json::Value::Array(events) = v.get("traceEvents").unwrap() else {
+        panic!("traceEvents not an array");
+    };
+    assert_eq!(events.len(), 5);
+    let metas = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M"))
+        .count();
+    let spans = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+        .count();
+    assert_eq!((metas, spans), (2, 3));
+    assert_eq!(
+        v.get("beatnik").unwrap().get("ranks").unwrap().as_u64(),
+        Some(2)
+    );
+}

@@ -19,4 +19,31 @@ else
     echo "== clippy not installed; skipping lints =="
 fi
 
+echo "== rocketrig --profile smoke (4 ranks, all three solver orders) =="
+# Each order must emit a parseable Chrome trace containing the solver
+# phases that order exercises; profile_check exits nonzero otherwise.
+PROF_DIR="$(mktemp -d)"
+trap 'rm -rf "$PROF_DIR"' EXIT
+RIG=target/release/rocketrig
+CHECK=target/release/profile_check
+
+"$RIG" --order low --n 16 --steps 2 --ranks 4 \
+    --profile "$PROF_DIR/low.json" >/dev/null
+"$CHECK" "$PROF_DIR/low.json" step dfft-forward dfft-inverse \
+    dfft-redistribute
+
+"$RIG" --order medium --n 16 --steps 2 --ranks 4 \
+    --profile "$PROF_DIR/medium.json" >/dev/null
+"$CHECK" "$PROF_DIR/medium.json" step br-cutoff migrate-to-spatial \
+    halo-points migrate-home dfft-forward dfft-redistribute
+
+"$RIG" --order high --solver exact --n 12 --steps 2 --ranks 4 \
+    --profile "$PROF_DIR/high.json" >/dev/null
+"$CHECK" "$PROF_DIR/high.json" step br-exact br-ring-stage halo
+
+for stem in low medium high; do
+    test -s "$PROF_DIR/$stem-phases.csv"
+    test -s "$PROF_DIR/$stem-skew.csv"
+done
+
 echo "verify: OK"
