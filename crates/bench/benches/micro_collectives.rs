@@ -48,6 +48,8 @@ fn bench_collectives(c: &mut Criterion) {
     for (name, algo) in [
         ("alltoall_pairwise_4k", AllToAllAlgo::Pairwise),
         ("alltoall_direct_4k", AllToAllAlgo::Direct),
+        ("alltoall_bruck_4k", AllToAllAlgo::Bruck),
+        ("alltoall_adaptive_4k", AllToAllAlgo::Adaptive),
     ] {
         g.bench_with_input(BenchmarkId::new(name, p), &algo, |b, &algo| {
             b.iter(|| {

@@ -1,10 +1,10 @@
 //! All-to-all exchanges — the communication pattern at the heart of the
 //! paper's low-order (FFT) benchmark.
 //!
-//! Two algorithms are provided because the heFFTe evaluation in the paper
-//! (Section 5.5, Figure 9) is precisely about the difference between
-//! MPI's built-in `MPI_Alltoall` and a library's custom point-to-point
-//! exchange:
+//! Three base algorithms are provided because the heFFTe evaluation in
+//! the paper (Section 5.5, Figure 9) is precisely about the difference
+//! between MPI's built-in `MPI_Alltoall` and a library's custom
+//! point-to-point exchange:
 //!
 //! * [`AllToAllAlgo::Pairwise`] — the scheduled pairwise exchange used by
 //!   `MPI_Alltoall` for large messages: P−1 steps, in step `s` rank `r`
@@ -14,14 +14,37 @@
 //!   custom exchange code (like heFFTe's `AllToAll=False` path) typically
 //!   uses; fewer synchronization constraints, but all P−1 messages
 //!   contend simultaneously.
+//! * [`AllToAllAlgo::Bruck`] — the log-P store-and-forward algorithm MPI
+//!   libraries use for *small* messages: ⌈log₂P⌉ rounds of aggregated
+//!   exchanges instead of P−1 point-to-point steps, trading extra data
+//!   movement for far fewer messages. The win is latency-bound traffic.
 //!
-//! Both produce identical results; they differ (on a real network) in
-//! congestion behaviour, which `beatnik-model` models for the figures.
+//! [`AllToAllAlgo::Adaptive`] picks among them per call from the message
+//! size, using the same power-of-two size bins
+//! ([`beatnik_telemetry::sizebins`]) the trace histograms are keyed by:
+//!
+//! | condition (regular alltoall)        | choice   |
+//! |-------------------------------------|----------|
+//! | P ≥ 8 and block ≤ 256 B             | Bruck    |
+//! | block ≥ 32 KiB                      | Pairwise |
+//! | otherwise                           | Direct   |
+//!
+//! For the irregular [`alltoallv`] the per-rank volumes differ, so a
+//! rank-local decision is only safe between Pairwise and Direct (their
+//! message sets and tags are identical — ranks may disagree without
+//! deadlocking). Bruck needs a globally consistent choice and is only
+//! entered when every rank requests it explicitly, or from the regular
+//! [`alltoall`], where the uniform block size makes every rank's
+//! adaptive decision identical by construction.
+//!
+//! All algorithms produce identical results; they differ (on a real
+//! network) in congestion behaviour, which `beatnik-model` models for
+//! the figures.
 
 use crate::communicator::Communicator;
 use crate::message::CommData;
 use crate::trace::OpKind;
-use beatnik_telemetry::CommOp;
+use beatnik_telemetry::{algos, sizebins, CommOp};
 
 /// Algorithm selector for [`alltoall`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -31,6 +54,72 @@ pub enum AllToAllAlgo {
     Pairwise,
     /// Post all sends, then receive (custom p2p exchange style).
     Direct,
+    /// Bruck log-P store-and-forward; best for small blocks at scale.
+    Bruck,
+    /// Choose per call from communicator size and message size.
+    Adaptive,
+}
+
+/// Size-bin thresholds for [`AllToAllAlgo::Adaptive`], expressed as
+/// [`sizebins`] bucket indices so the selection table lines up with the
+/// trace histograms that motivated it.
+///
+/// Blocks in buckets `..= BRUCK_MAX_BUCKET` (≤256 B) are latency-bound:
+/// ⌈log₂P⌉ aggregated messages beat P−1 tiny ones once P is at least
+/// [`BRUCK_MIN_RANKS`]. Blocks in buckets `>= PAIRWISE_MIN_BUCKET`
+/// (≥32 KiB) are bandwidth-bound: the scheduled pairwise exchange keeps
+/// each link to one transfer at a time. Between the two, Direct's
+/// unsynchronized posts win.
+pub const BRUCK_MAX_BUCKET: usize = 8; // ≤256 B
+/// See [`BRUCK_MAX_BUCKET`].
+pub const BRUCK_MIN_RANKS: usize = 8;
+/// See [`BRUCK_MAX_BUCKET`].
+pub const PAIRWISE_MIN_BUCKET: usize = 15; // ≥32 KiB
+
+/// Tag bases for Bruck phases. Far above the small step-distance tags
+/// Pairwise/Direct use, so a Bruck exchange can never cross-match an
+/// adjacent pairwise collective on the shadow channel.
+const BRUCK_TAG: u64 = 0x4252_5543_0000; // "BRUC"
+const BRUCK_HDR_TAG: u64 = 0x4252_4844_0000; // "BRHD"
+
+/// Resolve [`AllToAllAlgo::Adaptive`] for a *regular* exchange with
+/// uniform `block_bytes` per destination. Every rank computes the same
+/// answer (the inputs are communicator-wide constants), which makes
+/// even the globally-coordinated Bruck safe to select locally.
+fn resolve_regular(p: usize, block_bytes: u64) -> AllToAllAlgo {
+    let bucket = sizebins::bucket_of(block_bytes);
+    if p >= BRUCK_MIN_RANKS && bucket <= BRUCK_MAX_BUCKET {
+        AllToAllAlgo::Bruck
+    } else if bucket >= PAIRWISE_MIN_BUCKET {
+        AllToAllAlgo::Pairwise
+    } else {
+        AllToAllAlgo::Direct
+    }
+}
+
+/// Resolve [`AllToAllAlgo::Adaptive`] for an *irregular* exchange from
+/// this rank's local send volume. Ranks may disagree — Pairwise and
+/// Direct post identical message sets with identical tags, so a mixed
+/// world still matches up. Bruck is deliberately excluded here: it
+/// reroutes payloads through intermediate ranks and must be chosen by
+/// every rank or none.
+fn resolve_irregular(p: usize, total_bytes: u64) -> AllToAllAlgo {
+    let per_dest = total_bytes / p.max(1) as u64;
+    if sizebins::bucket_of(per_dest) >= PAIRWISE_MIN_BUCKET {
+        AllToAllAlgo::Pairwise
+    } else {
+        AllToAllAlgo::Direct
+    }
+}
+
+/// Telemetry code for a resolved algorithm (for Chrome-trace op spans).
+fn algo_code(algo: AllToAllAlgo) -> u8 {
+    match algo {
+        AllToAllAlgo::Pairwise => algos::PAIRWISE,
+        AllToAllAlgo::Direct => algos::DIRECT,
+        AllToAllAlgo::Bruck => algos::BRUCK,
+        AllToAllAlgo::Adaptive => algos::NONE, // resolved before stamping
+    }
 }
 
 /// Regular all-to-all: `blocks[d]` goes to rank `d`; returns blocks
@@ -43,6 +132,17 @@ pub fn alltoall<T: CommData + Clone>(
     comm.coll_begin(OpKind::Alltoall);
     let mut span = comm.telemetry().op(CommOp::Alltoall);
     span.bytes(block_bytes(&blocks));
+    let algo = match algo {
+        AllToAllAlgo::Adaptive => {
+            let per_block = blocks
+                .first()
+                .map(|b| std::mem::size_of_val(b.as_slice()) as u64)
+                .unwrap_or(0);
+            resolve_regular(comm.size(), per_block)
+        }
+        a => a,
+    };
+    span.algo(algo_code(algo));
     exchange(comm, blocks, algo, OpKind::Alltoall)
 }
 
@@ -61,7 +161,13 @@ pub fn alltoallv_with<T: CommData + Clone>(
 ) -> Vec<Vec<T>> {
     comm.coll_begin(OpKind::Alltoallv);
     let mut span = comm.telemetry().op(CommOp::Alltoallv);
-    span.bytes(block_bytes(&blocks));
+    let total = block_bytes(&blocks);
+    span.bytes(total);
+    let algo = match algo {
+        AllToAllAlgo::Adaptive => resolve_irregular(comm.size(), total),
+        a => a,
+    };
+    span.algo(algo_code(algo));
     exchange(comm, blocks, algo, OpKind::Alltoallv)
 }
 
@@ -82,6 +188,18 @@ fn exchange<T: CommData + Clone>(
     let p = comm.size();
     let r = comm.rank();
     assert_eq!(blocks.len(), p, "alltoall: need exactly one block per rank");
+    if let AllToAllAlgo::Bruck = algo {
+        // The regular alltoall's contract fixes one block length for the
+        // whole communicator (the same invariant the Adaptive resolver
+        // leans on), so Bruck can skip its per-phase length headers —
+        // halving its message count in exactly the latency-bound regime
+        // it exists for. The irregular variant always ships headers.
+        let uniform_len = match kind {
+            OpKind::Alltoall => blocks.first().map(Vec::len),
+            _ => None,
+        };
+        return bruck(comm, blocks, kind, uniform_len);
+    }
     let mut out: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
     out[r] = std::mem::take(&mut blocks[r]);
     match algo {
@@ -108,13 +226,139 @@ fn exchange<T: CommData + Clone>(
                 out[src] = comm.coll_recv::<T>(src, s as u64);
             }
         }
+        AllToAllAlgo::Bruck | AllToAllAlgo::Adaptive => {
+            unreachable!("resolved before exchange")
+        }
+    }
+    out
+}
+
+/// Bruck store-and-forward all-to-all in ⌈log₂P⌉ rounds.
+///
+/// 1. *Rotate*: slot `i` holds the block destined for rank `(r+i) mod P`.
+/// 2. *Phases*: for `dist = 1, 2, 4, …` rank `r` forwards every slot
+///    whose index has the `dist` bit set to rank `(r+dist) mod P` as one
+///    aggregated message, and receives the matching slots from
+///    `(r−dist) mod P`. After all phases, slot `i` holds the block *from*
+///    rank `(r−i) mod P` — every block reached its destination through
+///    at most log₂P hops.
+/// 3. *Inverse rotate*: `out[(r+P−i) mod P] = slot[i]`.
+///
+/// For the irregular variant block lengths change as foreign blocks
+/// pass through, so each phase sends a small length header ahead of the
+/// aggregated payload. The regular alltoall passes `uniform_len` — its
+/// contract guarantees every block in the communicator has that length,
+/// forwarding preserves it, and the headers (and their per-message
+/// latency) disappear: one message per phase.
+fn bruck<T: CommData + Clone>(
+    comm: &Communicator,
+    blocks: Vec<Vec<T>>,
+    kind: OpKind,
+    uniform_len: Option<usize>,
+) -> Vec<Vec<T>> {
+    if let Some(n) = uniform_len {
+        return bruck_uniform(comm, blocks, kind, n);
+    }
+    bruck_general(comm, blocks, kind)
+}
+
+/// Uniform-length Bruck: all slots live in one contiguous slab, so a
+/// phase costs a single payload allocation (the typed receive hands the
+/// sender's Vec over by pointer) instead of re-boxing every forwarded
+/// slot. This is the latency-critical regime — small blocks at scale —
+/// so the allocator traffic saved here is the point of the algorithm.
+fn bruck_uniform<T: CommData + Clone>(
+    comm: &Communicator,
+    mut blocks: Vec<Vec<T>>,
+    kind: OpKind,
+    n: usize,
+) -> Vec<Vec<T>> {
+    let p = comm.size();
+    let r = comm.rank();
+    // slab[i*n..(i+1)*n] is slot i: the block for rank (r+i) mod p.
+    let mut slab: Vec<T> = Vec::with_capacity(p * n);
+    for i in 0..p {
+        let b = std::mem::take(&mut blocks[(r + i) % p]);
+        debug_assert_eq!(b.len(), n, "regular alltoall requires uniform blocks");
+        slab.extend(b);
+    }
+    let mut dist = 1;
+    let mut phase = 0u64;
+    while dist < p {
+        let dst = (r + dist) % p;
+        let src = (r + p - dist) % p;
+        let idxs: Vec<usize> = (1..p).filter(|i| i & dist != 0).collect();
+        let mut payload: Vec<T> = Vec::with_capacity(idxs.len() * n);
+        for &i in &idxs {
+            payload.extend_from_slice(&slab[i * n..(i + 1) * n]);
+        }
+        comm.coll_send(dst, BRUCK_TAG + phase, payload, kind);
+        let incoming: Vec<T> = comm.coll_recv(src, BRUCK_TAG + phase);
+        debug_assert_eq!(incoming.len(), idxs.len() * n);
+        for (k, &i) in idxs.iter().enumerate() {
+            slab[i * n..(i + 1) * n].clone_from_slice(&incoming[k * n..(k + 1) * n]);
+        }
+        dist <<= 1;
+        phase += 1;
+    }
+    // Slot i now holds the block from rank (r−i) mod p; undo the rotation.
+    let mut out: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+    for (i, chunk) in slab.chunks(n.max(1)).enumerate().take(p) {
+        out[(r + p - i) % p] = chunk.to_vec();
+    }
+    out
+}
+
+/// General (irregular-capable) Bruck: slots are individually boxed and
+/// every phase ships a length header ahead of the payload.
+fn bruck_general<T: CommData + Clone>(
+    comm: &Communicator,
+    mut blocks: Vec<Vec<T>>,
+    kind: OpKind,
+) -> Vec<Vec<T>> {
+    let p = comm.size();
+    let r = comm.rank();
+    // Rotate so slot i is the block for rank (r+i) mod p; slot 0 (our own
+    // block) never moves.
+    let mut slots: Vec<Vec<T>> = (0..p)
+        .map(|i| std::mem::take(&mut blocks[(r + i) % p]))
+        .collect();
+    let mut dist = 1;
+    let mut phase = 0u64;
+    while dist < p {
+        let dst = (r + dist) % p;
+        let src = (r + p - dist) % p;
+        let idxs: Vec<usize> = (1..p).filter(|i| i & dist != 0).collect();
+        let payload: Vec<T> = idxs
+            .iter()
+            .flat_map(|&i| slots[i].iter().cloned())
+            .collect();
+        let lens: Vec<u64> = idxs.iter().map(|&i| slots[i].len() as u64).collect();
+        comm.coll_send(dst, BRUCK_HDR_TAG + phase, lens, kind);
+        comm.coll_send(dst, BRUCK_TAG + phase, payload, kind);
+        let in_lens: Vec<u64> = comm.coll_recv(src, BRUCK_HDR_TAG + phase);
+        let incoming: Vec<T> = comm.coll_recv(src, BRUCK_TAG + phase);
+        debug_assert_eq!(in_lens.len(), idxs.len());
+        let mut rest = incoming.as_slice();
+        for (&i, &n) in idxs.iter().zip(&in_lens) {
+            let (head, tail) = rest.split_at(n as usize);
+            rest = tail;
+            slots[i] = head.to_vec();
+        }
+        dist <<= 1;
+        phase += 1;
+    }
+    // Slot i now holds the block from rank (r−i) mod p; undo the rotation.
+    let mut out: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+    for (i, slot) in slots.into_iter().enumerate() {
+        out[(r + p - i) % p] = slot;
     }
     out
 }
 
 #[cfg(test)]
 mod tests {
-    use super::AllToAllAlgo;
+    use super::{resolve_irregular, resolve_regular, AllToAllAlgo};
     use crate::trace::OpKind;
     use crate::world::World;
 
@@ -148,6 +392,36 @@ mod tests {
     }
 
     #[test]
+    fn bruck_all_sizes_including_non_powers_of_two() {
+        for p in [1, 2, 3, 4, 5, 6, 7, 8, 9, 16] {
+            roundtrip(p, AllToAllAlgo::Bruck);
+        }
+    }
+
+    #[test]
+    fn adaptive_all_sizes() {
+        for p in [1, 2, 3, 4, 5, 8, 9] {
+            roundtrip(p, AllToAllAlgo::Adaptive);
+        }
+    }
+
+    #[test]
+    fn adaptive_resolution_follows_size_table() {
+        use AllToAllAlgo::*;
+        // Small blocks at scale: Bruck; small worlds never Bruck.
+        assert_eq!(resolve_regular(16, 64), Bruck);
+        assert_eq!(resolve_regular(8, 256), Bruck);
+        assert_eq!(resolve_regular(4, 64), Direct);
+        // Mid sizes: Direct. Large: Pairwise.
+        assert_eq!(resolve_regular(16, 4096), Direct);
+        assert_eq!(resolve_regular(16, 32 * 1024), Pairwise);
+        assert_eq!(resolve_regular(2, 1 << 20), Pairwise);
+        // Irregular never picks Bruck, even tiny at scale.
+        assert_eq!(resolve_irregular(16, 16 * 64), Direct);
+        assert_eq!(resolve_irregular(4, 4 * 64 * 1024), Pairwise);
+    }
+
+    #[test]
     fn alltoallv_with_empty_and_ragged_blocks() {
         let out = World::run(4, |c| {
             // Rank r sends r+1 copies of its rank to each destination of
@@ -172,6 +446,54 @@ mod tests {
         }
     }
 
+    /// Some destinations get zero elements; every algorithm must agree
+    /// on the result at several world sizes.
+    fn alltoallv_zero_blocks(p: usize, algo: AllToAllAlgo) {
+        let out = World::run(p, move |c| {
+            // Rank r sends r+1 copies of (r*P+d) to each *even* rank d,
+            // nothing to odd ranks.
+            let counts: Vec<usize> = (0..p)
+                .map(|d| if d % 2 == 0 { c.rank() + 1 } else { 0 })
+                .collect();
+            let send: Vec<u64> = (0..p)
+                .flat_map(|d| vec![(c.rank() * p + d) as u64; counts[d]])
+                .collect();
+            c.alltoallv_with(&send, &counts, algo)
+        });
+        for (r, (flat, rcounts)) in out.into_iter().enumerate() {
+            assert_eq!(rcounts.len(), p, "p={p} algo={algo:?}");
+            let mut rest = flat.as_slice();
+            for (src, &n) in rcounts.iter().enumerate() {
+                let (block, tail) = rest.split_at(n);
+                rest = tail;
+                if r % 2 == 0 {
+                    assert_eq!(n, src + 1, "p={p} algo={algo:?}");
+                    assert_eq!(
+                        block,
+                        vec![(src * p + r) as u64; src + 1],
+                        "p={p} algo={algo:?}"
+                    );
+                } else {
+                    assert!(block.is_empty(), "p={p} algo={algo:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_zero_length_blocks_all_algorithms() {
+        for p in [2, 6, 16] {
+            for algo in [
+                AllToAllAlgo::Pairwise,
+                AllToAllAlgo::Direct,
+                AllToAllAlgo::Bruck,
+                AllToAllAlgo::Adaptive,
+            ] {
+                alltoallv_zero_blocks(p, algo);
+            }
+        }
+    }
+
     #[test]
     fn alltoall_message_counts() {
         let (_, trace) = World::run_traced(4, |c| {
@@ -186,6 +508,27 @@ mod tests {
     }
 
     #[test]
+    fn bruck_sends_log_p_aggregated_messages() {
+        let (_, trace) = World::run_traced(8, |c| {
+            let _ = c.alltoall_with(&[0u8; 8], AllToAllAlgo::Bruck);
+            let _ = c.alltoallv_with(&[0u8; 8], &[1; 8], AllToAllAlgo::Bruck);
+        });
+        for r in 0..8 {
+            // Regular: log2(8) = 3 phases, one aggregated payload each
+            // (uniform blocks, headers elided) vs 7 messages for
+            // Pairwise/Direct.
+            let s = trace.rank(r).get(OpKind::Alltoall);
+            assert_eq!(s.calls, 1);
+            assert_eq!(s.messages, 3);
+            // Irregular: lengths vary in flight, so each phase ships a
+            // length header ahead of the payload.
+            let v = trace.rank(r).get(OpKind::Alltoallv);
+            assert_eq!(v.calls, 1);
+            assert_eq!(v.messages, 6);
+        }
+    }
+
+    #[test]
     fn repeated_alltoalls_do_not_cross_match() {
         World::run(3, |c| {
             for i in 0..10u64 {
@@ -194,6 +537,37 @@ mod tests {
                 assert_eq!(got, vec![i * 100 + c.rank() as u64; 3], "iter {i}");
             }
         });
+    }
+
+    #[test]
+    fn repeated_bruck_exchanges_do_not_cross_match() {
+        World::run(6, |c| {
+            for i in 0..10u64 {
+                let send: Vec<u64> = (0..6).map(|d| i * 100 + d).collect();
+                let got = c.alltoall_with(&send, AllToAllAlgo::Bruck);
+                assert_eq!(got, vec![i * 100 + c.rank() as u64; 6], "iter {i}");
+            }
+        });
+    }
+
+    #[test]
+    fn mixed_pairwise_and_direct_ranks_interoperate() {
+        // Pairwise and Direct post identical message sets with identical
+        // tags, so an irregular-adaptive world where ranks disagree must
+        // still complete. Force maximal disagreement explicitly.
+        let out = World::run(5, |c| {
+            let algo = if c.rank() % 2 == 0 {
+                AllToAllAlgo::Pairwise
+            } else {
+                AllToAllAlgo::Direct
+            };
+            let send: Vec<i32> = (0..5).map(|d| (c.rank() * 5 + d) as i32).collect();
+            c.alltoall_with(&send, algo)
+        });
+        for (r, flat) in out.into_iter().enumerate() {
+            let expect: Vec<i32> = (0..5).map(|s| (s * 5 + r) as i32).collect();
+            assert_eq!(flat, expect);
+        }
     }
 
     #[test]

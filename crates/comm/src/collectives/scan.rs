@@ -5,8 +5,12 @@
 //! and `reduce_scatter` is the building block production MPIs use inside
 //! large-message allreduce. Both use the standard algorithms: inclusive
 //! scan by recursive doubling (⌈log₂P⌉ rounds), reduce-scatter by
-//! pairwise exchange with block halving on power-of-two groups and a
-//! reduce+scatter fallback otherwise.
+//! pairwise exchange with block accumulation.
+//!
+//! Rounds forward borrowed slices ([`Communicator::coll_send_slice`])
+//! rather than cloning a fresh `Vec` per round, so the per-round cost is
+//! one pooled-envelope copy (or a single owned copy on the rendezvous
+//! path), not an allocation.
 
 use crate::communicator::Communicator;
 use crate::message::CommData;
@@ -15,8 +19,8 @@ use crate::trace::OpKind;
 use beatnik_telemetry::CommOp;
 
 /// Inclusive prefix reduction: rank `r` returns `v₀ ⊕ v₁ ⊕ … ⊕ v_r`.
-pub fn scan<T: CommData + Clone, O: ReduceOp<T>>(comm: &Communicator, value: T, op: &O) -> T {
-    comm.coll_begin(OpKind::Reduce); // accounted with the reduce family
+pub fn scan<T: CommData + Copy, O: ReduceOp<T>>(comm: &Communicator, value: T, op: &O) -> T {
+    comm.coll_begin(OpKind::Scan);
     let mut span = comm.telemetry().op(CommOp::Scan);
     span.bytes(std::mem::size_of::<T>() as u64);
     let p = comm.size();
@@ -28,7 +32,7 @@ pub fn scan<T: CommData + Clone, O: ReduceOp<T>>(comm: &Communicator, value: T, 
     while dist < p {
         // Send the running prefix up; receive from below and fold in.
         if r + dist < p {
-            comm.coll_send(r + dist, TAG + round, vec![acc.clone()], OpKind::Reduce);
+            comm.coll_send_slice(r + dist, TAG + round, std::slice::from_ref(&acc), OpKind::Scan);
         }
         if r >= dist {
             let low: Vec<T> = comm.coll_recv(r - dist, TAG + round);
@@ -42,7 +46,7 @@ pub fn scan<T: CommData + Clone, O: ReduceOp<T>>(comm: &Communicator, value: T, 
 
 /// Exclusive prefix reduction: rank 0 returns `None`; rank `r > 0`
 /// returns `v₀ ⊕ … ⊕ v_{r−1}`.
-pub fn exscan<T: CommData + Clone, O: ReduceOp<T>>(
+pub fn exscan<T: CommData + Copy, O: ReduceOp<T>>(
     comm: &Communicator,
     value: T,
     op: &O,
@@ -57,7 +61,7 @@ pub fn exscan<T: CommData + Clone, O: ReduceOp<T>>(
     let r = comm.rank();
     const TAG: u64 = 0x4558_5343; // "EXSC"
     if r + 1 < p {
-        comm.coll_send(r + 1, TAG, vec![inclusive], OpKind::Reduce);
+        comm.coll_send_slice(r + 1, TAG, std::slice::from_ref(&inclusive), OpKind::Scan);
     }
     if r > 0 {
         let v: Vec<T> = comm.coll_recv(r - 1, TAG);
@@ -70,7 +74,7 @@ pub fn exscan<T: CommData + Clone, O: ReduceOp<T>>(
 /// Reduce-scatter: element-wise reduce `contributions` (one equal-length
 /// block per destination rank from every rank), returning this rank's
 /// reduced block.
-pub fn reduce_scatter<T: CommData + Clone, O: ReduceOp<T>>(
+pub fn reduce_scatter<T: CommData + Copy, O: ReduceOp<T>>(
     comm: &Communicator,
     contributions: Vec<Vec<T>>,
     op: &O,
@@ -98,7 +102,7 @@ pub fn reduce_scatter<T: CommData + Clone, O: ReduceOp<T>>(
     for s in 1..p {
         let dst = (r + s) % p;
         let src = (r + p - s) % p;
-        comm.coll_send(dst, TAG + s as u64, contributions[dst].clone(), OpKind::Reduce);
+        comm.coll_send_slice(dst, TAG + s as u64, &contributions[dst], OpKind::Reduce);
         let theirs: Vec<T> = comm.coll_recv(src, TAG + s as u64);
         assert_eq!(theirs.len(), mine.len(), "reduce_scatter: ragged blocks");
         for (a, b) in mine.iter_mut().zip(theirs.iter()) {
@@ -142,6 +146,25 @@ mod tests {
             scan(&comm, v, &MaxOp)
         });
         assert_eq!(out, vec![3, 3, 4, 4, 5]);
+    }
+
+    #[test]
+    fn scan_traffic_is_attributed_to_scan_not_reduce() {
+        let (_, trace) = World::run_traced(4, |comm| {
+            let _ = scan(&comm, comm.rank() as u64, &SumOp);
+        });
+        // Recursive doubling on 4 ranks: rank 0 sends in rounds dist=1,2
+        // (to ranks 1 and 2), receives nothing. Nothing may leak into the
+        // Reduce bucket.
+        let s0 = trace.rank(0).get(OpKind::Scan);
+        assert_eq!(s0.calls, 1);
+        assert_eq!(s0.messages, 2);
+        assert_eq!(s0.bytes, 2 * 8);
+        for r in 0..4 {
+            let red = trace.rank(r).get(OpKind::Reduce);
+            assert_eq!(red.messages, 0, "rank {r} scan traffic leaked into Reduce");
+            assert_eq!(red.calls, 0, "rank {r} scan call leaked into Reduce");
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use crate::collectives;
 use crate::error::CommError;
-use crate::mailbox::Mailbox;
+use crate::mailbox::{Mailbox, PostedId};
 use crate::message::{CommData, Envelope};
 use crate::pool::BufferPool;
 use crate::reduce_op::ReduceOp;
@@ -57,6 +57,12 @@ pub struct Communicator {
     /// converts distributed deadlocks (a bug class this runtime exists to
     /// help find) into loud failures rather than silent hangs.
     recv_timeout: Duration,
+    /// Eager/rendezvous crossover for slice sends, in payload bytes:
+    /// at or below, the payload is copied into a pooled envelope (two
+    /// copies total); above, it is materialised once into an owned
+    /// buffer that travels by pointer (one copy total). See
+    /// [`crate::transport`].
+    eager_limit: usize,
 }
 
 impl Communicator {
@@ -73,6 +79,7 @@ impl Communicator {
         telemetry: Arc<SpanRecorder>,
         pool: Arc<BufferPool>,
         recv_timeout: Duration,
+        eager_limit: usize,
     ) -> Self {
         Communicator {
             registry,
@@ -84,6 +91,7 @@ impl Communicator {
             telemetry,
             pool,
             recv_timeout,
+            eager_limit,
         }
     }
 
@@ -128,6 +136,12 @@ impl Communicator {
         &self.pool
     }
 
+    /// The eager/rendezvous crossover for slice sends, in payload bytes
+    /// (see [`crate::transport`]).
+    pub fn eager_limit(&self) -> usize {
+        self.eager_limit
+    }
+
     /// This rank's own user-channel mailbox (where peers' messages land).
     pub(crate) fn user_mailbox(&self) -> Arc<Mailbox> {
         self.mailbox_for(0, self.rank)
@@ -143,15 +157,50 @@ impl Communicator {
         self.recv_timeout
     }
 
-    /// Blocking user-channel receive for [`crate::request::RecvRequest`].
-    /// The blocked interval records as a `wait` span.
-    pub(crate) fn blocking_user_recv(&self, src: usize, tag: Tag, ctx: &str) -> Envelope {
+    /// Blocking claim of a posted receive slot for
+    /// [`crate::request::RecvRequest::wait`]. The blocked interval
+    /// records as a `wait` span.
+    pub(crate) fn blocking_user_claim(
+        &self,
+        posted: PostedId,
+        src: usize,
+        tag: Tag,
+        ctx: &str,
+    ) -> Envelope {
         let mut g = self.telemetry.op(CommOp::Wait);
-        let env = self.blocking_recv(0, src, tag, ctx);
+        let env = self.blocking_claim(posted, src, tag, ctx);
         g.peer(env.src);
         g.tag(env.tag);
         g.bytes(env.bytes as u64);
         env
+    }
+
+    /// Claim from a posted slot, waking early on world abort and
+    /// panicking on the receive timeout — the posted-slot analogue of
+    /// [`Communicator::blocking_recv`].
+    fn blocking_claim(&self, posted: PostedId, src: usize, tag: Tag, ctx: &str) -> Envelope {
+        let mb = self.user_mailbox();
+        let deadline = std::time::Instant::now() + self.recv_timeout;
+        let slice = Duration::from_millis(100).min(self.recv_timeout);
+        loop {
+            if let Some(env) = mb.wait_claim(posted, slice) {
+                return env;
+            }
+            if self.registry.aborted() {
+                panic!(
+                    "rank {} aborting during {ctx}: a peer rank failed",
+                    self.rank
+                );
+            }
+            if std::time::Instant::now() >= deadline {
+                let e = CommError::Timeout {
+                    rank: self.rank,
+                    src,
+                    tag,
+                };
+                panic!("{ctx} deadlock on rank {}: {e}", self.rank);
+            }
+        }
     }
 
     fn check_rank(&self, r: usize) -> Result<(), CommError> {
@@ -377,25 +426,37 @@ impl Communicator {
 
     /// Nonblocking send of a slice to `dest`.
     ///
-    /// The payload is copied into a reusable byte envelope from this
-    /// rank's [`BufferPool`] and delivered immediately (sends are
-    /// buffered); the returned [`SendRequest`] completes via
-    /// [`SendRequest::wait`]/[`SendRequest::test`] or on drop. The
-    /// envelope's backing buffer returns to this rank's pool when the
-    /// receiver unpacks it, so steady-state communication allocates
-    /// nothing.
+    /// Below the [eager limit](Communicator::eager_limit) the payload is
+    /// copied into a reusable byte envelope from this rank's
+    /// [`BufferPool`] (copied out again at the receiver: two copies,
+    /// allocation-free after warmup). Above it the send takes the
+    /// rendezvous path: the payload is materialised once into an owned
+    /// buffer that travels by pointer and — when the receiver posted an
+    /// [`Communicator::irecv`] — deposits directly into that slot, for
+    /// one copy total. Either way the send is buffered and completes
+    /// immediately; the returned [`SendRequest`] completes via
+    /// [`SendRequest::wait`]/[`SendRequest::test`] or on drop.
     pub fn isend<T: CommData + Copy>(&self, dest: usize, tag: Tag, data: &[T]) -> SendRequest<'_> {
         self.check_rank(dest).expect("isend: invalid destination");
         let t = self.telemetry.begin();
         let bytes = std::mem::size_of_val(data);
-        let (buf, hit) = self.pool.acquire(bytes);
-        self.trace.record_pool(hit);
+        let env = if bytes > self.eager_limit {
+            // Rendezvous: one copy here, then the Vec moves by pointer.
+            self.trace.record_copied(bytes as u64);
+            Envelope::new(self.rank, tag, data.to_vec())
+        } else {
+            // Eager: copy into a pooled envelope now, out of it at the
+            // receiver.
+            let (buf, hit) = self.pool.acquire(bytes);
+            self.trace.record_pool(hit);
+            self.trace.record_copied(2 * bytes as u64);
+            Envelope::from_slice(self.rank, tag, data, buf)
+        };
         self.trace.record(OpKind::Send, 1, bytes as u64);
         self.trace.record_message(OpKind::Send, bytes as u64);
         self.trace.record_peer(self.world_of[dest], bytes as u64);
         self.trace.request_posted();
-        self.mailbox_for(0, dest)
-            .push(Envelope::from_slice(self.rank, tag, data, buf));
+        self.mailbox_for(0, dest).push(env);
         self.telemetry
             .end(t, SpanKind::Op(CommOp::Isend), dest as i64, tag, bytes as u64);
         SendRequest::new(self)
@@ -405,16 +466,19 @@ impl Communicator {
     /// (wildcards allowed). Complete it with [`RecvRequest::wait`],
     /// poll with [`RecvRequest::test`], or batch with
     /// [`crate::wait_all`]. Posting receives *before* independent
-    /// computation is how solvers overlap communication with compute.
+    /// computation is how solvers overlap communication with compute —
+    /// and it publishes a destination slot that rendezvous sends
+    /// deposit into directly, skipping the shared queue.
     pub fn irecv<T: CommData>(&self, src: usize, tag: Tag) -> RecvRequest<'_, T> {
         if src != ANY_SOURCE {
             self.check_rank(src).expect("irecv: invalid source");
         }
+        let posted = self.user_mailbox().post_recv(src, tag);
         self.trace.request_posted();
         let peer = if src == ANY_SOURCE { -1 } else { src as i64 };
         self.telemetry
             .instant(SpanKind::Op(CommOp::Irecv), peer, tag, 0);
-        RecvRequest::new(self, src, tag)
+        RecvRequest::new(self, src, tag, posted)
     }
 
     /// Blocking slice send through the pooled path: `isend` + `wait`.
@@ -437,6 +501,35 @@ impl Communicator {
         self.trace.record_peer(self.world_of[dest], bytes);
         self.mailbox_for(COLLECTIVE_CHANNEL, dest)
             .push(Envelope::new(self.rank, tag, data));
+    }
+
+    /// Send a borrowed slice on the collective channel, attributing
+    /// traffic to `kind`. Size-adaptive like [`Communicator::isend`]:
+    /// pooled below the eager limit, one owned copy above it. Lets
+    /// collective rounds forward partial results without cloning a
+    /// `Vec` per round.
+    pub(crate) fn coll_send_slice<T: CommData + Copy>(
+        &self,
+        dest: usize,
+        tag: Tag,
+        data: &[T],
+        kind: OpKind,
+    ) {
+        debug_assert!(dest < self.size);
+        let bytes = std::mem::size_of_val(data);
+        let env = if bytes > self.eager_limit {
+            self.trace.record_copied(bytes as u64);
+            Envelope::new(self.rank, tag, data.to_vec())
+        } else {
+            let (buf, hit) = self.pool.acquire(bytes);
+            self.trace.record_pool(hit);
+            self.trace.record_copied(2 * bytes as u64);
+            Envelope::from_slice(self.rank, tag, data, buf)
+        };
+        self.trace.add_traffic(kind, 1, bytes as u64);
+        self.trace.record_message(kind, bytes as u64);
+        self.trace.record_peer(self.world_of[dest], bytes as u64);
+        self.mailbox_for(COLLECTIVE_CHANNEL, dest).push(env);
     }
 
     /// Receive on the collective channel.
@@ -794,12 +887,12 @@ impl Communicator {
     }
 
     /// Inclusive prefix reduction: rank r gets `v_0 ⊕ … ⊕ v_r`.
-    pub fn scan<T: CommData + Clone, O: ReduceOp<T>>(&self, value: T, op: &O) -> T {
+    pub fn scan<T: CommData + Copy, O: ReduceOp<T>>(&self, value: T, op: &O) -> T {
         collectives::scan::scan(self, value, op)
     }
 
     /// Exclusive prefix reduction (`None` on rank 0).
-    pub fn exscan<T: CommData + Clone, O: ReduceOp<T>>(&self, value: T, op: &O) -> Option<T> {
+    pub fn exscan<T: CommData + Copy, O: ReduceOp<T>>(&self, value: T, op: &O) -> Option<T> {
         collectives::scan::exscan(self, value, op)
     }
 
@@ -807,7 +900,7 @@ impl Communicator {
     /// this rank's contribution toward destination `d`; the returned
     /// block is the element-wise reduction of every rank's chunk for this
     /// destination.
-    pub fn reduce_scatter<T: CommData + Clone, O: ReduceOp<T>>(
+    pub fn reduce_scatter<T: CommData + Copy, O: ReduceOp<T>>(
         &self,
         contributions: &[T],
         op: &O,
@@ -817,7 +910,7 @@ impl Communicator {
     }
 
     /// Fallible [`Communicator::reduce_scatter`].
-    pub fn try_reduce_scatter<T: CommData + Clone, O: ReduceOp<T>>(
+    pub fn try_reduce_scatter<T: CommData + Copy, O: ReduceOp<T>>(
         &self,
         contributions: &[T],
         op: &O,
@@ -943,7 +1036,7 @@ impl Communicator {
     /// Reduce-scatter over pre-chunked per-destination contributions.
     #[cfg(feature = "compat")]
     #[deprecated(note = "use reduce_scatter(&[T], op) with a flat buffer")]
-    pub fn reduce_scatter_nested<T: CommData + Clone, O: ReduceOp<T>>(
+    pub fn reduce_scatter_nested<T: CommData + Copy, O: ReduceOp<T>>(
         &self,
         contributions: Vec<Vec<T>>,
         op: &O,
@@ -1016,6 +1109,7 @@ impl Communicator {
             Arc::clone(&self.telemetry),
             Arc::clone(&self.pool),
             self.recv_timeout,
+            self.eager_limit,
         ))
     }
 

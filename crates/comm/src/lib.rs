@@ -27,8 +27,11 @@
 //!   attribution, collective-skew, and Chrome-trace export.
 //!
 //! Messages move `Vec<T>` buffers by pointer between threads (no
-//! serialization), so sends are essentially free of copies; byte counts
-//! for the trace are computed as `len * size_of::<T>()`.
+//! serialization). Slice sends pick a protocol by payload size (see
+//! [`transport`]): small messages go eagerly through a pooled byte
+//! envelope, large ones take a rendezvous path that performs a single
+//! copy and deposits directly into a posted receive when one exists.
+//! Byte counts for the trace are computed as `len * size_of::<T>()`.
 //!
 //! ## Example
 //!
@@ -54,6 +57,7 @@ pub mod registry;
 pub mod request;
 pub mod sync;
 pub mod trace;
+pub mod transport;
 pub mod world;
 
 pub use cart::{dims_create, CartComm};
@@ -63,6 +67,7 @@ pub use pool::{BufferPool, PoolStats};
 pub use reduce_op::{MaxOp, MinOp, ProdOp, ReduceOp, SumOp};
 pub use request::{wait_all, RecvRequest, SendRequest};
 pub use trace::{OpKind, OpStats, RankTrace, WorldTrace};
+pub use transport::{eager_limit_from_env, DEFAULT_EAGER_LIMIT, EAGER_LIMIT_ENV};
 pub use world::World;
 
 pub use collectives::alltoall::AllToAllAlgo;

@@ -1,22 +1,221 @@
-//! Per-rank mailboxes with MPI-style `(source, tag)` matching.
+//! Per-rank indexed mailboxes with MPI-style `(source, tag)` matching.
 //!
 //! Each `(communicator, rank)` pair owns one mailbox. Senders push
 //! envelopes (never blocking — sends are buffered, as with small/eager MPI
-//! messages); receivers block on a condition variable until an envelope
-//! matching their `(src, tag)` selector arrives. Matching scans in arrival
-//! order, which preserves MPI's non-overtaking guarantee for messages from
-//! the same sender with the same tag.
+//! messages); receivers either consume a queued match immediately or
+//! register themselves and sleep until a matching push hands them an
+//! envelope directly.
+//!
+//! Unlike the original linear-scan queue, the mailbox is **indexed**:
+//!
+//! * Queued envelopes live in per-`(src, tag)` FIFO buckets, so an
+//!   exact-selector receive (the overwhelmingly common case — every
+//!   collective round uses exact selectors) matches in O(1) instead of
+//!   scanning every resident message.
+//! * A **wildcard arrival list** records `(seq, src, tag)` in global
+//!   arrival order. Wildcard receives (`ANY_SOURCE`/`ANY_TAG`) walk it
+//!   front-to-back, so they still match the *oldest* arrival; entries
+//!   consumed through the exact path are pruned lazily when encountered
+//!   or when the list grows past twice the resident message count.
+//! * Blocked receivers and posted nonblocking receives form a FIFO
+//!   **consumer registry**, each with its *own* condition variable. A
+//!   push that matches a registered consumer deposits the envelope
+//!   straight into that consumer's slot and wakes only that thread — a
+//!   targeted wakeup, where the old design `notify_all`ed every waiter
+//!   on every arrival. A message deposited this way never touches the
+//!   queue at all (the in-process analogue of MPI's matched
+//!   posted-receive fast path).
+//!
+//! Non-overtaking is preserved by construction: a receiver registers
+//! only under the same lock where it found no queued match, consumers
+//! are matched in registration order, and same-`(src, tag)` envelopes
+//! share one FIFO bucket.
 
 use crate::error::CommError;
 use crate::message::Envelope;
 use crate::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Identifier for a posted receive slot (see [`Mailbox::post_recv`]).
+pub type PostedId = u64;
+
+/// A registered consumer: a blocked `recv` or a posted `irecv`. Matched
+/// against arriving envelopes in registration (FIFO) order.
+struct Consumer {
+    id: u64,
+    src: usize,
+    tag: u64,
+    /// Condvar private to this consumer — pushes wake exactly one thread.
+    cond: Arc<Condvar>,
+    /// Extra condvar notified on deposit, installed by
+    /// [`Mailbox::wait_any_posted`] so one thread can sleep on several
+    /// posted slots at once.
+    watcher: Option<Arc<Condvar>>,
+}
+
+/// A non-consuming waiter (the [`Mailbox::wait_any`] progress primitive):
+/// notified when a matching envelope is *queued*, but never handed one.
+struct Notifier {
+    id: u64,
+    sels: Vec<(usize, u64)>,
+    cond: Arc<Condvar>,
+}
+
+#[derive(Default)]
+struct State {
+    /// Next arrival sequence number (monotone per mailbox).
+    seq: u64,
+    /// Resident (queued, unconsumed) envelope count.
+    queued: usize,
+    /// Per-`(src, tag)` FIFO buckets of `(seq, envelope)`.
+    buckets: HashMap<(usize, u64), VecDeque<(u64, Envelope)>>,
+    /// Global arrival order `(seq, src, tag)` for wildcard matching.
+    /// May contain stale entries (consumed via the exact path); pruned
+    /// lazily.
+    arrivals: VecDeque<(u64, usize, u64)>,
+    /// FIFO registry of blocked receives and posted receive slots.
+    consumers: VecDeque<Consumer>,
+    /// Envelopes deposited directly into a consumer slot, keyed by
+    /// consumer id, tagged with their arrival seq (needed to requeue in
+    /// order if the posted receive is cancelled).
+    delivered: HashMap<u64, (u64, Envelope)>,
+    /// Registered `wait_any` watchers.
+    notifiers: Vec<Notifier>,
+    next_id: u64,
+}
+
+impl State {
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    fn is_exact(src: usize, tag: u64) -> bool {
+        src != usize::MAX && tag != u64::MAX
+    }
+
+    /// Enqueue an envelope into its bucket and the arrival list.
+    fn enqueue(&mut self, seq: u64, env: Envelope) {
+        self.arrivals.push_back((seq, env.src, env.tag));
+        self.buckets
+            .entry((env.src, env.tag))
+            .or_default()
+            .push_back((seq, env));
+        self.queued += 1;
+        // Exact-selector receives consume from buckets without touching
+        // `arrivals`; sweep the stale entries once they dominate.
+        if self.arrivals.len() > 32 && self.arrivals.len() > 2 * self.queued {
+            let buckets = &self.buckets;
+            self.arrivals.retain(|&(s, src, tag)| {
+                buckets
+                    .get(&(src, tag))
+                    .and_then(|b| b.front())
+                    .is_some_and(|&(front, _)| front <= s)
+            });
+        }
+    }
+
+    /// Remove and return the oldest queued envelope matching `(src, tag)`,
+    /// if any. Wildcards (`usize::MAX`/`u64::MAX`) allowed.
+    fn take_match(&mut self, src: usize, tag: u64) -> Option<Envelope> {
+        if Self::is_exact(src, tag) {
+            let bucket = self.buckets.get_mut(&(src, tag))?;
+            let (_, env) = bucket.pop_front()?;
+            if bucket.is_empty() {
+                self.buckets.remove(&(src, tag));
+            }
+            self.queued -= 1;
+            return Some(env);
+        }
+        // Wildcard: walk arrivals oldest-first, pruning stale entries for
+        // keys this selector covers as we meet them.
+        let mut i = 0;
+        while i < self.arrivals.len() {
+            let (s, esrc, etag) = self.arrivals[i];
+            let sel_match =
+                (src == usize::MAX || esrc == src) && (tag == u64::MAX || etag == tag);
+            if !sel_match {
+                i += 1;
+                continue;
+            }
+            let live = self
+                .buckets
+                .get(&(esrc, etag))
+                .and_then(|b| b.front())
+                .is_some_and(|&(front, _)| front == s);
+            if !live {
+                // Consumed through the exact path earlier; drop the entry.
+                self.arrivals.remove(i);
+                continue;
+            }
+            self.arrivals.remove(i);
+            let bucket = self.buckets.get_mut(&(esrc, etag)).expect("live bucket");
+            let (_, env) = bucket.pop_front().expect("live front");
+            if bucket.is_empty() {
+                self.buckets.remove(&(esrc, etag));
+            }
+            self.queued -= 1;
+            return Some(env);
+        }
+        None
+    }
+
+    /// Whether any queued envelope matches `(src, tag)` (no consuming).
+    fn has_match(&self, src: usize, tag: u64) -> bool {
+        if Self::is_exact(src, tag) {
+            return self.buckets.get(&(src, tag)).is_some_and(|b| !b.is_empty());
+        }
+        self.buckets.iter().any(|(&(s, t), b)| {
+            !b.is_empty() && (src == usize::MAX || s == src) && (tag == u64::MAX || t == tag)
+        })
+    }
+
+    fn register_consumer(&mut self, src: usize, tag: u64) -> (u64, Arc<Condvar>) {
+        let id = self.fresh_id();
+        let cond = Arc::new(Condvar::new());
+        self.consumers.push_back(Consumer {
+            id,
+            src,
+            tag,
+            cond: Arc::clone(&cond),
+            watcher: None,
+        });
+        (id, cond)
+    }
+
+    fn remove_consumer(&mut self, id: u64) {
+        if let Some(pos) = self.consumers.iter().position(|c| c.id == id) {
+            self.consumers.remove(pos);
+        }
+    }
+
+    fn consumer_cond(&self, id: u64) -> Option<Arc<Condvar>> {
+        self.consumers
+            .iter()
+            .find(|c| c.id == id)
+            .map(|c| Arc::clone(&c.cond))
+    }
+
+    /// Requeue a delivered-but-unclaimed envelope (cancelled posted
+    /// receive) at its original arrival position.
+    fn requeue(&mut self, seq: u64, env: Envelope) {
+        let key = (env.src, env.tag);
+        // Deposits happen before younger same-key envelopes can queue, so
+        // this envelope is older than anything resident in its bucket.
+        self.buckets.entry(key).or_default().push_front((seq, env));
+        let pos = self.arrivals.partition_point(|&(s, _, _)| s < seq);
+        self.arrivals.insert(pos, (seq, key.0, key.1));
+        self.queued += 1;
+    }
+}
 
 /// A blocking, matching message queue for one rank of one communicator.
 #[derive(Default)]
 pub struct Mailbox {
-    queue: Mutex<Vec<Envelope>>,
-    cond: Condvar,
+    state: Mutex<State>,
 }
 
 impl Mailbox {
@@ -25,25 +224,52 @@ impl Mailbox {
         Self::default()
     }
 
-    /// Deposit an envelope and wake any waiting receiver.
+    /// Deposit an envelope, handing it directly to the oldest matching
+    /// registered consumer if one exists (waking only that thread), else
+    /// queueing it and nudging any matching [`Mailbox::wait_any`] waiters.
     pub fn push(&self, env: Envelope) {
-        let mut q = self.queue.lock();
-        q.push(env);
-        // Receivers with non-matching selectors re-check and sleep again, so
-        // notify_all is required for correctness when multiple receives with
-        // different selectors could be outstanding.
-        self.cond.notify_all();
+        let mut st = self.state.lock();
+        let seq = st.seq;
+        st.seq += 1;
+        if let Some(pos) = st
+            .consumers
+            .iter()
+            .position(|c| env.matches(c.src, c.tag))
+        {
+            let consumer = st.consumers.remove(pos).expect("matched consumer");
+            st.delivered.insert(consumer.id, (seq, env));
+            consumer.cond.notify_all();
+            if let Some(w) = consumer.watcher {
+                w.notify_all();
+            }
+            return;
+        }
+        let (src, tag) = (env.src, env.tag);
+        st.enqueue(seq, env);
+        for n in &st.notifiers {
+            if n.sels
+                .iter()
+                .any(|&(s, t)| (s == usize::MAX || src == s) && (t == u64::MAX || tag == t))
+            {
+                n.cond.notify_all();
+            }
+        }
     }
 
     /// Block until an envelope matching `(src, tag)` is available and
     /// remove it. `usize::MAX`/`u64::MAX` are wildcards.
     pub fn recv_matching(&self, src: usize, tag: u64) -> Envelope {
-        let mut q = self.queue.lock();
+        let mut st = self.state.lock();
+        if let Some(env) = st.take_match(src, tag) {
+            return env;
+        }
+        let (id, cond) = st.register_consumer(src, tag);
         loop {
-            if let Some(pos) = q.iter().position(|e| e.matches(src, tag)) {
-                return q.remove(pos);
+            cond.wait(&mut st);
+            if let Some((_, env)) = st.delivered.remove(&id) {
+                return env;
             }
-            self.cond.wait(&mut q);
+            // Spurious wakeup: still registered, keep waiting.
         }
     }
 
@@ -57,22 +283,115 @@ impl Mailbox {
         tag: u64,
         timeout: Duration,
     ) -> Result<Envelope, CommError> {
-        let deadline = std::time::Instant::now() + timeout;
-        let mut q = self.queue.lock();
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        if let Some(env) = st.take_match(src, tag) {
+            return Ok(env);
+        }
+        let (id, cond) = st.register_consumer(src, tag);
         loop {
-            if let Some(pos) = q.iter().position(|e| e.matches(src, tag)) {
-                return Ok(q.remove(pos));
+            // A deposit may land between our timeout and reacquiring the
+            // lock; always drain the slot before giving up, or the
+            // message would be lost.
+            if let Some((_, env)) = st.delivered.remove(&id) {
+                return Ok(env);
             }
-            // Recompute the remaining window on every pass: wakeups for
-            // non-matching messages (and spurious wakeups) must shorten the
-            // wait, never restart the full timeout.
-            let now = std::time::Instant::now();
+            let now = Instant::now();
             if now >= deadline {
+                st.remove_consumer(id);
                 return Err(CommError::Timeout { rank, src, tag });
             }
-            let remaining = deadline - now;
-            let _ = self.cond.wait_for(&mut q, remaining);
+            // Waking recomputes the remaining window: spurious wakeups
+            // must shorten the wait, never restart the full timeout.
+            let _ = cond.wait_for(&mut st, deadline - now);
         }
+    }
+
+    /// Post a receive slot: future matching pushes deposit their envelope
+    /// here (oldest-post-first) without touching the queue. If a match is
+    /// already queued it is claimed into the slot immediately. Claim with
+    /// [`Mailbox::try_claim`]/[`Mailbox::wait_claim`]; a slot that will
+    /// never be claimed must be [`Mailbox::cancel_post`]ed.
+    pub fn post_recv(&self, src: usize, tag: u64) -> PostedId {
+        let mut st = self.state.lock();
+        if let Some(env) = st.take_match(src, tag) {
+            let id = st.fresh_id();
+            // Seq is only used for requeue ordering; a message claimed
+            // from the queue re-enters it with a fresh seq, which is
+            // still older than anything arriving after this lock drops.
+            let seq = st.seq;
+            st.seq += 1;
+            st.delivered.insert(id, (seq, env));
+            return id;
+        }
+        st.register_consumer(src, tag).0
+    }
+
+    /// Nonblocking claim of a posted receive slot.
+    pub fn try_claim(&self, id: PostedId) -> Option<Envelope> {
+        self.state.lock().delivered.remove(&id).map(|(_, env)| env)
+    }
+
+    /// Block until the posted slot `id` holds an envelope, or `timeout`
+    /// elapses. Returns `None` on timeout (the slot stays posted).
+    pub fn wait_claim(&self, id: PostedId, timeout: Duration) -> Option<Envelope> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        loop {
+            if let Some((_, env)) = st.delivered.remove(&id) {
+                return Some(env);
+            }
+            let cond = st.consumer_cond(id)?; // cancelled or double-claimed
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let _ = cond.wait_for(&mut st, deadline - now);
+        }
+    }
+
+    /// Cancel a posted receive. An envelope already deposited in the slot
+    /// is returned to the queue at its original arrival position, so a
+    /// later receive still sees it in order.
+    pub fn cancel_post(&self, id: PostedId) {
+        let mut st = self.state.lock();
+        st.remove_consumer(id);
+        if let Some((seq, env)) = st.delivered.remove(&id) {
+            st.requeue(seq, env);
+        }
+    }
+
+    /// Block until one of several posted slots holds an envelope, or
+    /// `timeout` elapses. Returns the index into `ids` of a ready slot
+    /// without claiming it. This is the progress primitive behind
+    /// [`crate::request::wait_all`]: one watcher condvar is attached to
+    /// every listed slot, so the caller sleeps once and wakes on the
+    /// first deposit.
+    pub fn wait_any_posted(&self, ids: &[PostedId], timeout: Duration) -> Option<usize> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        let watcher = Arc::new(Condvar::new());
+        let result = loop {
+            if let Some(i) = ids.iter().position(|id| st.delivered.contains_key(id)) {
+                break Some(i);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break None;
+            }
+            for c in st.consumers.iter_mut() {
+                if ids.contains(&c.id) {
+                    c.watcher = Some(Arc::clone(&watcher));
+                }
+            }
+            let _ = watcher.wait_for(&mut st, deadline - now);
+        };
+        for c in st.consumers.iter_mut() {
+            if ids.contains(&c.id) {
+                c.watcher = None;
+            }
+        }
+        result
     }
 
     /// Block until some queued envelope matches one of `selectors`
@@ -80,36 +399,54 @@ impl Mailbox {
     /// elapses. Returns the index of the first selector with a waiting
     /// match, without consuming the envelope.
     ///
-    /// This is the progress primitive behind
-    /// [`crate::request::wait_all`]: checking the selectors and sleeping
-    /// happen under one lock, so a message that arrives between the two
-    /// cannot be missed.
+    /// Checking the selectors and sleeping happen under one lock, so a
+    /// message that arrives between the two cannot be missed. Note this
+    /// only observes *queued* envelopes — messages deposited into posted
+    /// receive slots are invisible here, exactly as `MPI_Probe` never
+    /// sees messages matched to posted receives.
     pub fn wait_any(&self, selectors: &[(usize, u64)], timeout: Duration) -> Option<usize> {
-        let deadline = std::time::Instant::now() + timeout;
-        let mut q = self.queue.lock();
-        loop {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        let mut reg: Option<(u64, Arc<Condvar>)> = None;
+        let result = loop {
             if let Some(i) = selectors
                 .iter()
-                .position(|&(s, t)| q.iter().any(|e| e.matches(s, t)))
+                .position(|&(s, t)| st.has_match(s, t))
             {
-                return Some(i);
+                break Some(i);
             }
-            let now = std::time::Instant::now();
+            let now = Instant::now();
             if now >= deadline {
-                return None;
+                break None;
             }
-            let _ = self.cond.wait_for(&mut q, deadline - now);
+            if reg.is_none() {
+                let id = st.fresh_id();
+                let cond = Arc::new(Condvar::new());
+                st.notifiers.push(Notifier {
+                    id,
+                    sels: selectors.to_vec(),
+                    cond: Arc::clone(&cond),
+                });
+                reg = Some((id, cond));
+            }
+            let cond = Arc::clone(&reg.as_ref().expect("registered").1);
+            let _ = cond.wait_for(&mut st, deadline - now);
+        };
+        if let Some((id, _)) = reg {
+            st.notifiers.retain(|n| n.id != id);
         }
+        result
     }
 
     /// Non-blocking probe: does any queued envelope match `(src, tag)`?
     pub fn probe(&self, src: usize, tag: u64) -> bool {
-        self.queue.lock().iter().any(|e| e.matches(src, tag))
+        self.state.lock().has_match(src, tag)
     }
 
-    /// Number of queued envelopes (any selector).
+    /// Number of queued envelopes (any selector). Envelopes deposited in
+    /// posted receive slots are already matched and not counted.
     pub fn len(&self) -> usize {
-        self.queue.lock().len()
+        self.state.lock().queued
     }
 
     /// Whether the mailbox has no pending envelopes.
@@ -153,6 +490,43 @@ mod tests {
     }
 
     #[test]
+    fn wildcard_recv_takes_oldest_arrival_across_buckets() {
+        let mb = Mailbox::new();
+        mb.push(Envelope::new(2, 7, vec![1u8]));
+        mb.push(Envelope::new(0, 3, vec![2u8]));
+        mb.push(Envelope::new(2, 7, vec![3u8]));
+        // ANY_SOURCE/ANY_TAG must see global arrival order, not bucket
+        // order.
+        assert_eq!(
+            mb.recv_matching(usize::MAX, u64::MAX).into_data::<u8>(),
+            vec![1]
+        );
+        assert_eq!(
+            mb.recv_matching(usize::MAX, u64::MAX).into_data::<u8>(),
+            vec![2]
+        );
+        assert_eq!(
+            mb.recv_matching(usize::MAX, u64::MAX).into_data::<u8>(),
+            vec![3]
+        );
+    }
+
+    #[test]
+    fn wildcard_skips_entries_consumed_through_exact_path() {
+        let mb = Mailbox::new();
+        mb.push(Envelope::new(0, 1, vec![1u8]));
+        mb.push(Envelope::new(1, 1, vec![2u8]));
+        // Exact receive drains the older bucket; its arrival entry goes
+        // stale and the wildcard must fall through to the younger one.
+        assert_eq!(mb.recv_matching(0, 1).into_data::<u8>(), vec![1]);
+        assert_eq!(
+            mb.recv_matching(usize::MAX, u64::MAX).into_data::<u8>(),
+            vec![2]
+        );
+        assert!(mb.is_empty());
+    }
+
+    #[test]
     fn blocking_recv_wakes_on_cross_thread_push() {
         let mb = Arc::new(Mailbox::new());
         let mb2 = Arc::clone(&mb);
@@ -180,11 +554,11 @@ mod tests {
 
     #[test]
     fn timeout_deadline_survives_spurious_wakeups() {
-        // Regression: a steady stream of *non-matching* messages wakes the
-        // receiver over and over; each wakeup must shorten the remaining
-        // window rather than restart the full timeout, so the receive
-        // still fails at ~deadline instead of being kept alive
-        // indefinitely.
+        // Regression: a steady stream of *non-matching* messages used to
+        // wake the receiver over and over under the shared-condvar
+        // design; with per-consumer condvars they no longer even wake it,
+        // but the deadline must still hold against genuinely spurious
+        // wakeups, so the scenario stays.
         let mb = Arc::new(Mailbox::new());
         let feeder = {
             let mb = Arc::clone(&mb);
@@ -208,6 +582,26 @@ mod tests {
             "deadline restarted on spurious wakeups: {elapsed:?}"
         );
         feeder.join().unwrap();
+    }
+
+    #[test]
+    fn deposit_during_timeout_race_is_not_lost() {
+        // A push that matches a timed receiver exactly at its deadline
+        // must end up either received or queued — never dropped.
+        for _ in 0..50 {
+            let mb = Arc::new(Mailbox::new());
+            let mb2 = Arc::clone(&mb);
+            let recv = std::thread::spawn(move || {
+                mb2.recv_matching_timeout(0, 1, 1, Duration::from_millis(2)).ok()
+            });
+            std::thread::sleep(Duration::from_millis(2));
+            mb.push(Envelope::new(1, 1, vec![7u8]));
+            let got = recv.join().unwrap();
+            match got {
+                Some(env) => assert_eq!(env.into_data::<u8>(), vec![7]),
+                None => assert_eq!(mb.len(), 1),
+            }
+        }
     }
 
     #[test]
@@ -244,5 +638,94 @@ mod tests {
         assert!(mb.probe(usize::MAX, u64::MAX));
         assert!(!mb.probe(2, 4));
         assert_eq!(mb.len(), 1);
+    }
+
+    #[test]
+    fn posted_recv_claims_queued_then_future_messages() {
+        let mb = Mailbox::new();
+        mb.push(Envelope::new(0, 9, vec![1u16]));
+        let first = mb.post_recv(0, 9);
+        // The queued message moved into the slot: invisible to probe.
+        assert!(!mb.probe(0, 9));
+        assert_eq!(mb.try_claim(first).unwrap().into_data::<u16>(), vec![1]);
+        assert!(mb.try_claim(first).is_none());
+        // A slot posted before the message arrives gets the deposit.
+        let second = mb.post_recv(0, 9);
+        assert!(mb.try_claim(second).is_none());
+        mb.push(Envelope::new(0, 9, vec![2u16]));
+        assert!(!mb.probe(0, 9));
+        assert_eq!(mb.try_claim(second).unwrap().into_data::<u16>(), vec![2]);
+    }
+
+    #[test]
+    fn posted_slots_match_in_post_order() {
+        let mb = Mailbox::new();
+        let a = mb.post_recv(3, 1);
+        let b = mb.post_recv(3, 1);
+        mb.push(Envelope::new(3, 1, vec![10u8]));
+        mb.push(Envelope::new(3, 1, vec![20u8]));
+        assert_eq!(mb.try_claim(a).unwrap().into_data::<u8>(), vec![10]);
+        assert_eq!(mb.try_claim(b).unwrap().into_data::<u8>(), vec![20]);
+    }
+
+    #[test]
+    fn cancelled_post_requeues_deposit_in_arrival_order() {
+        let mb = Mailbox::new();
+        let slot = mb.post_recv(2, 2);
+        mb.push(Envelope::new(2, 2, vec![1u8]));
+        mb.push(Envelope::new(2, 2, vec![2u8]));
+        mb.cancel_post(slot);
+        // The deposited message went back in *front* of the younger one.
+        assert_eq!(mb.len(), 2);
+        assert_eq!(mb.recv_matching(2, 2).into_data::<u8>(), vec![1]);
+        assert_eq!(mb.recv_matching(2, 2).into_data::<u8>(), vec![2]);
+    }
+
+    #[test]
+    fn wait_claim_wakes_on_deposit() {
+        let mb = Arc::new(Mailbox::new());
+        let slot = mb.post_recv(4, 4);
+        let mb2 = Arc::clone(&mb);
+        let waiter = std::thread::spawn(move || {
+            mb2.wait_claim(slot, Duration::from_secs(5))
+                .map(|e| e.into_data::<u32>())
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        mb.push(Envelope::new(4, 4, vec![77u32]));
+        assert_eq!(waiter.join().unwrap(), Some(vec![77]));
+    }
+
+    #[test]
+    fn wait_any_posted_wakes_on_any_deposit() {
+        let mb = Arc::new(Mailbox::new());
+        let a = mb.post_recv(0, 1);
+        let b = mb.post_recv(0, 2);
+        assert_eq!(mb.wait_any_posted(&[a, b], Duration::from_millis(10)), None);
+        let mb2 = Arc::clone(&mb);
+        let waiter = std::thread::spawn(move || {
+            mb2.wait_any_posted(&[a, b], Duration::from_secs(5))
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        mb.push(Envelope::new(0, 2, vec![5u8]));
+        assert_eq!(waiter.join().unwrap(), Some(1));
+        // The ready slot is reported, not claimed.
+        assert_eq!(mb.try_claim(b).unwrap().into_data::<u8>(), vec![5]);
+        mb.cancel_post(a);
+    }
+
+    #[test]
+    fn blocked_receiver_beats_younger_posted_slot() {
+        // Consumer matching is FIFO across blocked receives and posted
+        // slots: the older blocked receive gets the first message.
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = Arc::clone(&mb);
+        let blocked = std::thread::spawn(move || mb2.recv_matching(6, 6).into_data::<u8>());
+        // Give the blocked receive time to register.
+        std::thread::sleep(Duration::from_millis(20));
+        let slot = mb.post_recv(6, 6);
+        mb.push(Envelope::new(6, 6, vec![1u8]));
+        mb.push(Envelope::new(6, 6, vec![2u8]));
+        assert_eq!(blocked.join().unwrap(), vec![1]);
+        assert_eq!(mb.try_claim(slot).unwrap().into_data::<u8>(), vec![2]);
     }
 }

@@ -5,13 +5,16 @@
 //! * **Typed** — a `Vec<T>` boxed as `dyn Any`, so the mailbox can be
 //!   type-agnostic while transfers stay zero-copy (the vector's heap
 //!   buffer moves between threads untouched). Used by the blocking
-//!   by-value send path.
+//!   by-value send path and by the **rendezvous** protocol: slice sends
+//!   above the eager limit materialise the payload once into an owned
+//!   `Vec` that then moves by pointer.
 //! * **Pooled** — raw bytes in a [`PooledBuf`] checked out of the sending
 //!   rank's [`crate::pool::BufferPool`], tagged with the element
-//!   `TypeId`. Used by the nonblocking slice-based send path
-//!   ([`crate::Communicator::isend`]): the sender copies the slice into a
-//!   reused envelope, and when the receiver unpacks the payload the
-//!   envelope returns to the sender's pool. Restricted to `T: Copy`.
+//!   `TypeId`. Used by the **eager** protocol for slice sends at or
+//!   below the limit ([`crate::Communicator::isend`]): the sender copies
+//!   the slice into a reused envelope, and when the receiver unpacks the
+//!   payload the envelope returns to the sender's pool. Restricted to
+//!   `T: Copy`.
 //!
 //! The envelope carries the metadata MPI would put on the wire: source
 //! rank, tag, and the payload size in bytes (used by the instrumentation

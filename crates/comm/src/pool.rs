@@ -30,6 +30,11 @@ pub struct PoolStats {
     pub misses: u64,
     /// Buffers currently parked on the free list.
     pub free: usize,
+    /// Buffers currently checked out (acquired, not yet returned).
+    pub in_flight: u64,
+    /// High-water mark of simultaneously checked-out buffers — how much
+    /// envelope memory the communication pattern actually pins at once.
+    pub peak_in_flight: u64,
 }
 
 impl PoolStats {
@@ -51,6 +56,8 @@ pub struct BufferPool {
     max_pooled: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    in_flight: AtomicU64,
+    peak_in_flight: AtomicU64,
 }
 
 impl BufferPool {
@@ -67,6 +74,8 @@ impl BufferPool {
             max_pooled,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            peak_in_flight: AtomicU64::new(0),
         }
     }
 
@@ -94,6 +103,8 @@ impl BufferPool {
             }
         };
         data.clear();
+        let now = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_in_flight.fetch_max(now, Ordering::Relaxed);
         (
             PooledBuf {
                 data,
@@ -104,6 +115,7 @@ impl BufferPool {
     }
 
     fn release(&self, data: Vec<u8>) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
         let mut free = self.free.lock();
         if free.len() < self.max_pooled {
             free.push(data);
@@ -116,6 +128,8 @@ impl BufferPool {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             free: self.free.lock().len(),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            peak_in_flight: self.peak_in_flight.load(Ordering::Relaxed),
         }
     }
 }
@@ -260,6 +274,23 @@ mod tests {
         let bufs: Vec<_> = (0..5).map(|_| pool.acquire(8).0).collect();
         drop(bufs);
         assert_eq!(pool.stats().free, 2);
+    }
+
+    #[test]
+    fn in_flight_gauge_tracks_checkouts_and_peak() {
+        let pool = Arc::new(BufferPool::new());
+        let a = pool.acquire(8).0;
+        let b = pool.acquire(8).0;
+        assert_eq!(pool.stats().in_flight, 2);
+        drop(a);
+        assert_eq!(pool.stats().in_flight, 1);
+        let c = pool.acquire(8).0;
+        let d = pool.acquire(8).0;
+        assert_eq!(pool.stats().in_flight, 3);
+        drop((b, c, d));
+        let s = pool.stats();
+        assert_eq!(s.in_flight, 0);
+        assert_eq!(s.peak_in_flight, 3);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! communication pattern pipelines (`peak_outstanding`).
 
 use crate::communicator::{Communicator, Tag};
+use crate::mailbox::PostedId;
 use crate::message::{CommData, Envelope};
 use crate::trace::OpKind;
 use beatnik_telemetry::CommOp;
@@ -81,6 +82,9 @@ pub struct RecvRequest<'c, T: CommData> {
     comm: &'c Communicator,
     src: usize,
     tag: Tag,
+    /// Posted slot in the mailbox's receive registry. Rendezvous sends
+    /// matching `(src, tag)` deposit their payload directly here.
+    posted: PostedId,
     data: Option<Vec<T>>,
     /// Actual `(source, tag)` once completed (resolves wildcards).
     meta: Option<(usize, Tag)>,
@@ -88,11 +92,12 @@ pub struct RecvRequest<'c, T: CommData> {
 }
 
 impl<'c, T: CommData> RecvRequest<'c, T> {
-    pub(crate) fn new(comm: &'c Communicator, src: usize, tag: Tag) -> Self {
+    pub(crate) fn new(comm: &'c Communicator, src: usize, tag: Tag, posted: PostedId) -> Self {
         RecvRequest {
             comm,
             src,
             tag,
+            posted,
             data: None,
             meta: None,
             retired: false,
@@ -129,17 +134,15 @@ impl<'c, T: CommData> RecvRequest<'c, T> {
         self.data = Some(env.into_data());
     }
 
-    /// Nonblocking poll: absorb the message if it has arrived. Returns
-    /// whether the request is complete.
+    /// Nonblocking poll: absorb the message if it has been delivered to
+    /// this request's posted slot. Returns whether the request is
+    /// complete.
     pub fn test(&mut self) -> bool {
         if self.data.is_some() {
             return true;
         }
         let mb = self.comm.user_mailbox();
-        if mb.probe(self.src, self.tag) {
-            // One receiver per rank drains this mailbox, so the probed
-            // message cannot disappear before the matching receive.
-            let env = mb.recv_matching(self.src, self.tag);
+        if let Some(env) = mb.try_claim(self.posted) {
             self.absorb(env);
             true
         } else {
@@ -176,17 +179,20 @@ impl<'c, T: CommData> RecvRequest<'c, T> {
         }
         let env = self
             .comm
-            .blocking_user_recv(self.src, self.tag, "irecv wait");
+            .blocking_user_claim(self.posted, self.src, self.tag, "irecv wait");
         self.absorb(env);
     }
 }
 
 impl<T: CommData> Drop for RecvRequest<'_, T> {
     fn drop(&mut self) {
-        // Cancelled (never completed) requests still retire in the
-        // outstanding-depth gauge so it balances back to zero.
+        // Cancelled (never completed) requests withdraw their posted
+        // slot — an already-deposited message is requeued at its
+        // original position for a later receive — and still retire in
+        // the outstanding-depth gauge so it balances back to zero.
         if !self.retired {
             self.retired = true;
+            self.comm.user_mailbox().cancel_post(self.posted);
             self.comm.trace().request_completed();
         }
     }
@@ -217,10 +223,10 @@ pub fn wait_all<T: CommData>(mut requests: Vec<RecvRequest<'_, T>>) -> Vec<Vec<T
     // wake the mailbox condvar directly, so latency is unaffected.
     let slice = Duration::from_millis(100).min(comm.recv_timeout());
     loop {
-        let mut pending: Vec<(usize, u64)> = Vec::new();
+        let mut pending: Vec<PostedId> = Vec::new();
         for r in requests.iter_mut() {
             if !r.test() {
-                pending.push((r.src, r.tag));
+                pending.push(r.posted);
             }
         }
         if pending.is_empty() {
@@ -239,7 +245,7 @@ pub fn wait_all<T: CommData>(mut requests: Vec<RecvRequest<'_, T>>) -> Vec<Vec<T
                 pending.len()
             );
         }
-        let _ = mb.wait_any(&pending, slice);
+        let _ = mb.wait_any_posted(&pending, slice);
     }
     let out: Vec<Vec<T>> = requests
         .into_iter()

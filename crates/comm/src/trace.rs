@@ -36,6 +36,8 @@ pub enum OpKind {
     Reduce,
     /// Allreduce participation.
     Allreduce,
+    /// Scan / exscan participation (prefix reductions).
+    Scan,
     /// Gather participation.
     Gather,
     /// Allgather participation.
@@ -90,6 +92,14 @@ pub struct RankTrace {
     outstanding: AtomicU64,
     /// High-water mark of `outstanding` — how deeply the program pipelines.
     peak_outstanding: AtomicU64,
+    /// Payload bytes physically copied by the transport on this rank's
+    /// sends (eager/pooled sends count the payload twice — once into the
+    /// envelope, once out at the receiver; rendezvous sends count it
+    /// once; owned-`Vec` sends move the allocation and count zero).
+    copied: AtomicU64,
+    /// Peak simultaneously checked-out send-pool buffers, mirrored from
+    /// [`crate::BufferPool`] when the world joins.
+    pool_peak_in_flight: AtomicU64,
 }
 
 impl RankTrace {
@@ -214,6 +224,28 @@ impl RankTrace {
         }
     }
 
+    /// Record that the transport physically copied `bytes` payload bytes
+    /// while sending (see the `copied` field for the accounting rules).
+    pub fn record_copied(&self, bytes: u64) {
+        self.copied.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Payload bytes physically copied by this rank's sends.
+    pub fn copied_bytes(&self) -> u64 {
+        self.copied.load(Ordering::Relaxed)
+    }
+
+    /// Mirror the send pool's peak-in-flight gauge into the trace (the
+    /// world does this after joining so summaries can report it).
+    pub fn set_pool_peak_in_flight(&self, peak: u64) {
+        self.pool_peak_in_flight.store(peak, Ordering::Relaxed);
+    }
+
+    /// Peak simultaneously checked-out send-pool buffers on this rank.
+    pub fn pool_peak_in_flight(&self) -> u64 {
+        self.pool_peak_in_flight.load(Ordering::Relaxed)
+    }
+
     /// Nonblocking requests currently posted and not yet retired.
     pub fn outstanding_requests(&self) -> u64 {
         self.outstanding.load(Ordering::Relaxed)
@@ -234,6 +266,8 @@ impl RankTrace {
         self.pool_misses.store(0, Ordering::Relaxed);
         self.outstanding.store(0, Ordering::Relaxed);
         self.peak_outstanding.store(0, Ordering::Relaxed);
+        self.copied.store(0, Ordering::Relaxed);
+        self.pool_peak_in_flight.store(0, Ordering::Relaxed);
     }
 }
 
@@ -302,6 +336,23 @@ impl WorldTrace {
         self.per_rank
             .iter()
             .map(|t| t.peak_outstanding())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Payload bytes physically copied by sends across the whole world.
+    /// Compare against [`total_bytes`](WorldTrace::total_bytes) to see
+    /// the copy factor the transport achieved (2× = fully eager/pooled,
+    /// 1× = fully rendezvous, 0× = owned-`Vec` moves).
+    pub fn copied_bytes(&self) -> u64 {
+        self.per_rank.iter().map(|t| t.copied_bytes()).sum()
+    }
+
+    /// Largest send-pool peak-in-flight gauge over all ranks.
+    pub fn pool_peak_in_flight(&self) -> u64 {
+        self.per_rank
+            .iter()
+            .map(|t| t.pool_peak_in_flight())
             .max()
             .unwrap_or(0)
     }
@@ -412,6 +463,14 @@ impl WorldTrace {
                 self.pool_hit_rate() * 100.0
             );
         }
+        let pool_peak = self.pool_peak_in_flight();
+        if pool_peak > 0 {
+            let _ = writeln!(out, "send-buffer pool peak in flight (any rank): {pool_peak}");
+        }
+        let copied = self.copied_bytes();
+        if copied > 0 {
+            let _ = writeln!(out, "payload bytes copied by transport: {copied}");
+        }
         let peak = self.peak_outstanding();
         if peak > 0 {
             let _ = writeln!(out, "peak outstanding requests (any rank): {peak}");
@@ -516,6 +575,27 @@ mod tests {
         let s = w.summary();
         assert!(s.contains("send-buffer pool"));
         assert!(s.contains("peak outstanding"));
+    }
+
+    #[test]
+    fn copied_bytes_and_pool_peak_aggregate() {
+        let a = Arc::new(RankTrace::new());
+        let b = Arc::new(RankTrace::new());
+        a.record_copied(100);
+        a.record_copied(28);
+        b.record_copied(72);
+        a.set_pool_peak_in_flight(3);
+        b.set_pool_peak_in_flight(9);
+        assert_eq!(a.copied_bytes(), 128);
+        let w = WorldTrace::new(vec![Arc::clone(&a), b]);
+        assert_eq!(w.copied_bytes(), 200);
+        assert_eq!(w.pool_peak_in_flight(), 9);
+        let s = w.summary();
+        assert!(s.contains("payload bytes copied by transport: 200"), "{s}");
+        assert!(s.contains("peak in flight (any rank): 9"), "{s}");
+        a.reset();
+        assert_eq!(a.copied_bytes(), 0);
+        assert_eq!(a.pool_peak_in_flight(), 0);
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Transport protocol thresholds.
+//!
+//! The point-to-point engine runs two send protocols, chosen per
+//! message by payload size:
+//!
+//! * **Eager** (at or below the limit): the payload is copied into a
+//!   pooled byte envelope at the sender and copied out at the receiver
+//!   — two copies, but the send completes immediately and the pool
+//!   makes the envelope allocation-free after warmup.
+//! * **Rendezvous** (above the limit): the payload is materialised
+//!   once into an owned buffer that travels by pointer and is handed
+//!   to the receiver — one copy total, no pooled envelope round-trip.
+//!   Matching posted receives ([`crate::Communicator::irecv`]) take
+//!   delivery directly from their slot.
+//!
+//! The crossover defaults to [`DEFAULT_EAGER_LIMIT`] and can be tuned
+//! per run with the `BEATNIK_EAGER_LIMIT` environment variable (bytes;
+//! `0` forces every sized send onto the rendezvous path).
+
+/// Default eager/rendezvous crossover in payload bytes. Mirrors the
+/// 8 KiB eager limit common to production MPI transports: below it the
+/// extra copy is cheaper than the envelope round-trip it avoids.
+pub const DEFAULT_EAGER_LIMIT: usize = 8192;
+
+/// Name of the environment variable overriding the eager limit.
+pub const EAGER_LIMIT_ENV: &str = "BEATNIK_EAGER_LIMIT";
+
+/// The eager limit for a new world: `BEATNIK_EAGER_LIMIT` when set to
+/// a parseable byte count, [`DEFAULT_EAGER_LIMIT`] otherwise.
+///
+/// Read once at world construction, not per message, so a mid-run env
+/// change cannot split a world across two protocols.
+pub fn eager_limit_from_env() -> usize {
+    parse_eager_limit(std::env::var(EAGER_LIMIT_ENV).ok().as_deref())
+}
+
+/// Parse an eager-limit override; `None` or garbage falls back to the
+/// default. Split out from the env read so it is testable without
+/// mutating process-global state under a parallel test runner.
+fn parse_eager_limit(raw: Option<&str>) -> usize {
+    raw.and_then(|s| s.trim().parse().ok()).unwrap_or(DEFAULT_EAGER_LIMIT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_and_garbage_fall_back_to_default() {
+        assert_eq!(parse_eager_limit(None), DEFAULT_EAGER_LIMIT);
+        assert_eq!(parse_eager_limit(Some("")), DEFAULT_EAGER_LIMIT);
+        assert_eq!(parse_eager_limit(Some("lots")), DEFAULT_EAGER_LIMIT);
+        assert_eq!(parse_eager_limit(Some("-1")), DEFAULT_EAGER_LIMIT);
+    }
+
+    #[test]
+    fn numeric_overrides_parse() {
+        assert_eq!(parse_eager_limit(Some("0")), 0);
+        assert_eq!(parse_eager_limit(Some("65536")), 65536);
+        assert_eq!(parse_eager_limit(Some(" 1024 ")), 1024);
+    }
+}

@@ -85,10 +85,44 @@ impl World {
         (results, trace)
     }
 
+    /// Traced variant with an explicit eager/rendezvous crossover
+    /// (bytes), overriding [`crate::transport::eager_limit_from_env`].
+    /// Tests use this to force one protocol or the other without
+    /// touching process-global environment state.
+    pub fn run_transport_config<R, F>(
+        num_ranks: usize,
+        recv_timeout: Duration,
+        eager_limit: usize,
+        f: F,
+    ) -> (Vec<R>, WorldTrace)
+    where
+        R: Send,
+        F: Fn(Communicator) -> R + Send + Sync,
+    {
+        let (results, trace, _) =
+            Self::run_inner_with_limit(num_ranks, recv_timeout, None, eager_limit, f);
+        (results, trace)
+    }
+
     fn run_inner<R, F>(
         num_ranks: usize,
         recv_timeout: Duration,
         span_capacity: Option<usize>,
+        f: F,
+    ) -> (Vec<R>, WorldTrace, Option<WorldTimeline>)
+    where
+        R: Send,
+        F: Fn(Communicator) -> R + Send + Sync,
+    {
+        let eager_limit = crate::transport::eager_limit_from_env();
+        Self::run_inner_with_limit(num_ranks, recv_timeout, span_capacity, eager_limit, f)
+    }
+
+    fn run_inner_with_limit<R, F>(
+        num_ranks: usize,
+        recv_timeout: Duration,
+        span_capacity: Option<usize>,
+        eager_limit: usize,
         f: F,
     ) -> (Vec<R>, WorldTrace, Option<WorldTimeline>)
     where
@@ -111,6 +145,12 @@ impl World {
             })
             .collect();
         let identity: Arc<Vec<usize>> = Arc::new((0..num_ranks).collect());
+        // One send-buffer pool per rank; subcommunicators derived from a
+        // rank share it. Kept out here so the high-water mark survives
+        // into the trace after the rank threads join.
+        let pools: Vec<Arc<BufferPool>> = (0..num_ranks)
+            .map(|_| Arc::new(BufferPool::new()))
+            .collect();
 
         let mut results: Vec<Option<R>> = (0..num_ranks).map(|_| None).collect();
         let f = &f;
@@ -127,10 +167,9 @@ impl World {
                         Arc::clone(&identity),
                         Arc::clone(&traces[rank]),
                         Arc::clone(&recorders[rank]),
-                        // One send-buffer pool per rank; subcommunicators
-                        // derived from this rank share it.
-                        Arc::new(BufferPool::new()),
+                        Arc::clone(&pools[rank]),
                         recv_timeout,
+                        eager_limit,
                     );
                     let reg = Arc::clone(&registry);
                     scope.spawn(move || {
@@ -173,6 +212,11 @@ impl World {
             .into_iter()
             .map(|r| r.expect("rank produced no result"))
             .collect();
+        // Mirror each pool's high-water mark into its rank trace so the
+        // profile summary can report envelope-memory pressure.
+        for (trace, pool) in traces.iter().zip(&pools) {
+            trace.set_pool_peak_in_flight(pool.stats().peak_in_flight);
+        }
         // All rank threads have joined: snapshotting the recorders is
         // race-free (single-writer protocol).
         let timeline = span_capacity.map(|_| {

@@ -93,7 +93,9 @@ impl DistributedFft2d {
 
     fn algo(&self) -> AllToAllAlgo {
         if self.config.all_to_all {
-            AllToAllAlgo::Pairwise
+            // Collective path: let the transport pick the engine per
+            // reshape from the actual exchange volume.
+            AllToAllAlgo::Adaptive
         } else {
             AllToAllAlgo::Direct
         }

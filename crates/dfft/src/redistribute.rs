@@ -22,12 +22,14 @@ const DFFT_TAG: u64 = 0x4446_4654; // "DFFT"
 /// shapes). Returns this rank's new rectangle and its row-major contents.
 ///
 /// `algo` selects the exchange engine (the heFFTe `AllToAll` knob):
-/// [`AllToAllAlgo::Pairwise`] runs the collective `alltoallv`, while
 /// [`AllToAllAlgo::Direct`] runs nonblocking point-to-point — every
 /// receive is posted up front, sends go out pairwise, and arrivals
-/// complete in whatever order they land. The p2p path also skips peers
+/// complete in whatever order they land; the p2p path also skips peers
 /// whose rectangle intersection is empty, so sparse reshapes send fewer
-/// messages than the collective.
+/// messages than the collective. Every other choice runs the collective
+/// `alltoallv` with that algorithm — including
+/// [`AllToAllAlgo::Adaptive`], which picks the engine per call from
+/// this rank's send volume.
 pub fn redistribute(
     comm: &Communicator,
     data: &[Complex],
@@ -55,20 +57,6 @@ pub fn redistribute(
         .collect();
 
     let received: Vec<Vec<Complex>> = match algo {
-        AllToAllAlgo::Pairwise => {
-            let counts: Vec<usize> = blocks.iter().map(Vec::len).collect();
-            let send = blocks.concat();
-            let (flat, rcounts) = comm.alltoallv_with(&send, &counts, algo);
-            let mut rest = flat.as_slice();
-            rcounts
-                .iter()
-                .map(|&n| {
-                    let (head, tail) = rest.split_at(n);
-                    rest = tail;
-                    head.to_vec()
-                })
-                .collect()
-        }
         AllToAllAlgo::Direct => {
             // Both sides compute the same intersections, so receiver and
             // sender agree on exactly which peers exchange a message.
@@ -96,6 +84,20 @@ pub fn redistribute(
                 received[s] = block;
             }
             received
+        }
+        collective => {
+            let counts: Vec<usize> = blocks.iter().map(Vec::len).collect();
+            let send = blocks.concat();
+            let (flat, rcounts) = comm.alltoallv_with(&send, &counts, collective);
+            let mut rest = flat.as_slice();
+            rcounts
+                .iter()
+                .map(|&n| {
+                    let (head, tail) = rest.split_at(n);
+                    rest = tail;
+                    head.to_vec()
+                })
+                .collect()
         }
     };
 

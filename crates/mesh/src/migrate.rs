@@ -17,7 +17,7 @@
 //! lookup tables.
 
 use crate::decomposition::PointDecomposition;
-use beatnik_comm::Communicator;
+use beatnik_comm::{AllToAllAlgo, Communicator};
 
 /// A surface-mesh point traveling through the spatial decomposition.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,7 +61,8 @@ pub fn migrate_to_spatial<D: PointDecomposition + ?Sized>(
         blocks[smesh.rank_of_point(pt.pos)].push(pt);
     }
     let counts: Vec<usize> = blocks.iter().map(Vec::len).collect();
-    comm.alltoallv(&blocks.concat(), &counts).0
+    comm.alltoallv_with(&blocks.concat(), &counts, AllToAllAlgo::Adaptive)
+        .0
 }
 
 /// Step 2: halo points within `cutoff` of neighboring regions. Returns
@@ -85,7 +86,8 @@ pub fn halo_exchange_points<D: PointDecomposition + ?Sized>(
         }
     }
     let counts: Vec<usize> = blocks.iter().map(Vec::len).collect();
-    comm.alltoallv(&blocks.concat(), &counts).0
+    comm.alltoallv_with(&blocks.concat(), &counts, AllToAllAlgo::Adaptive)
+        .0
 }
 
 /// Step 4: return per-point results to home ranks. `results` pairs each
@@ -108,7 +110,7 @@ pub fn migrate_results_home(
         blocks[dest].push(r);
     }
     let counts: Vec<usize> = blocks.iter().map(Vec::len).collect();
-    let (incoming, _) = comm.alltoallv(&blocks.concat(), &counts);
+    let (incoming, _) = comm.alltoallv_with(&blocks.concat(), &counts, AllToAllAlgo::Adaptive);
     let mut out = vec![[f64::NAN; 3]; n_local];
     let mut seen = vec![false; n_local];
     for r in incoming {

@@ -8,6 +8,7 @@
 //!
 //! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 
+use crate::span::algos;
 use crate::timeline::WorldTimeline;
 use beatnik_json::Value;
 
@@ -21,7 +22,8 @@ fn obj(pairs: Vec<(&str, Value)>) -> Value {
 /// "beatnik": {"ranks": N, "dropped_spans": D}}`; each span event
 /// carries `name`, `cat` (`"comm"` or `"phase"`), `ph: "X"`, `ts`/
 /// `dur` in µs, `pid: 0`, `tid: rank`, and
-/// `args: {peer, tag, bytes}`.
+/// `args: {peer, tag, bytes}` — plus `algo` when the span recorded a
+/// collective-algorithm choice (see [`crate::span::algos`]).
 pub fn chrome_trace(tl: &WorldTimeline) -> Value {
     let mut events = Vec::with_capacity(tl.total_spans() + tl.num_ranks());
     for rt in &tl.ranks {
@@ -46,14 +48,17 @@ pub fn chrome_trace(tl: &WorldTimeline) -> Value {
                 ("dur", Value::Float(s.dur_ns() as f64 / 1000.0)),
                 ("pid", Value::UInt(0)),
                 ("tid", Value::UInt(rt.rank as u64)),
-                (
-                    "args",
-                    obj(vec![
+                ("args", {
+                    let mut args = vec![
                         ("peer", Value::Int(s.peer)),
                         ("tag", Value::UInt(s.tag)),
                         ("bytes", Value::UInt(s.bytes)),
-                    ]),
-                ),
+                    ];
+                    if let Some(name) = algos::name(s.algo) {
+                        args.push(("algo", Value::Str(name.into())));
+                    }
+                    obj(args)
+                }),
             ]));
         }
     }
@@ -88,6 +93,7 @@ mod tests {
                     bytes: 32,
                     start_ns: 1000,
                     end_ns: 3500,
+                    ..Span::default()
                 }],
                 dropped: 0,
             },
@@ -95,11 +101,9 @@ mod tests {
                 rank: 1,
                 spans: vec![Span {
                     kind: SpanKind::Phase("halo"),
-                    peer: -1,
-                    tag: 0,
-                    bytes: 0,
                     start_ns: 0,
                     end_ns: 9000,
+                    ..Span::default()
                 }],
                 dropped: 2,
             },
@@ -123,6 +127,41 @@ mod tests {
             v.get("beatnik").unwrap().get("dropped_spans").unwrap().as_u64(),
             Some(2)
         );
+    }
+
+    #[test]
+    fn algo_arg_appears_only_when_recorded() {
+        let tl = WorldTimeline::new(vec![RankTimeline {
+            rank: 0,
+            spans: vec![
+                Span {
+                    kind: SpanKind::Op(CommOp::Alltoall),
+                    bytes: 64,
+                    algo: algos::BRUCK,
+                    start_ns: 0,
+                    end_ns: 100,
+                    ..Span::default()
+                },
+                Span {
+                    kind: SpanKind::Op(CommOp::Send),
+                    start_ns: 100,
+                    end_ns: 200,
+                    ..Span::default()
+                },
+            ],
+            dropped: 0,
+        }]);
+        let v = chrome_trace(&tl);
+        let Value::Array(events) = v.get("traceEvents").unwrap() else {
+            panic!("traceEvents not an array");
+        };
+        let a2a = &events[1];
+        assert_eq!(
+            a2a.get("args").unwrap().get("algo").unwrap().as_str(),
+            Some("bruck")
+        );
+        let send = &events[2];
+        assert!(send.get("args").unwrap().get("algo").is_none());
     }
 
     #[test]

@@ -46,7 +46,7 @@ mod timeline;
 
 pub use chrome::chrome_trace;
 pub use recorder::{OpGuard, PhaseGuard, SpanRecorder, Ticket, DEFAULT_SPAN_CAPACITY};
-pub use span::{CommOp, Span, SpanKind};
+pub use span::{algos, CommOp, Span, SpanKind};
 pub use timeline::{
     PhaseRow, RankTimeline, SkewHistogram, SkewRow, StepRow, WorldTimeline, SKEW_BUCKETS,
 };

@@ -1,6 +1,6 @@
 //! The per-rank lock-free span ring buffer.
 
-use crate::span::{CommOp, Span, SpanKind};
+use crate::span::{algos, CommOp, Span, SpanKind};
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -101,6 +101,12 @@ impl SpanRecorder {
     /// Finish a span started with [`begin`](SpanRecorder::begin).
     #[inline]
     pub fn end(&self, ticket: Ticket, kind: SpanKind, peer: i64, tag: u64, bytes: u64) {
+        self.end_full(ticket, kind, peer, tag, bytes, algos::NONE);
+    }
+
+    /// [`end`](SpanRecorder::end) with an algorithm code attached.
+    #[inline]
+    fn end_full(&self, ticket: Ticket, kind: SpanKind, peer: i64, tag: u64, bytes: u64, algo: u8) {
         if ticket.0 == DISABLED {
             return;
         }
@@ -110,6 +116,7 @@ impl SpanRecorder {
             peer,
             tag,
             bytes,
+            algo,
             start_ns: ticket.0,
             end_ns,
         });
@@ -127,6 +134,7 @@ impl SpanRecorder {
             peer,
             tag,
             bytes,
+            algo: algos::NONE,
             start_ns: now,
             end_ns: now,
         });
@@ -153,6 +161,7 @@ impl SpanRecorder {
             peer: -1,
             tag: 0,
             bytes: 0,
+            algo: algos::NONE,
         }
     }
 
@@ -235,6 +244,7 @@ pub struct OpGuard<'a> {
     peer: i64,
     tag: u64,
     bytes: u64,
+    algo: u8,
 }
 
 impl OpGuard<'_> {
@@ -261,16 +271,24 @@ impl OpGuard<'_> {
     pub fn add_bytes(&mut self, bytes: u64) {
         self.bytes += bytes;
     }
+
+    /// Set the collective-algorithm code (see [`crate::span::algos`])
+    /// recorded with the span.
+    #[inline]
+    pub fn algo(&mut self, code: u8) {
+        self.algo = code;
+    }
 }
 
 impl Drop for OpGuard<'_> {
     fn drop(&mut self) {
-        self.rec.end(
+        self.rec.end_full(
             self.start,
             SpanKind::Op(self.op),
             self.peer,
             self.tag,
             self.bytes,
+            self.algo,
         );
     }
 }
@@ -353,5 +371,20 @@ mod tests {
         assert_eq!(spans[0].kind, SpanKind::Op(CommOp::Alltoallv));
         assert_eq!((spans[0].peer, spans[0].tag, spans[0].bytes), (2, 5, 128));
         assert_eq!(spans[1].peer, -1);
+    }
+
+    #[test]
+    fn op_guard_records_algorithm_code() {
+        let rec = SpanRecorder::new(8, Instant::now());
+        {
+            let mut g = rec.op(CommOp::Alltoall);
+            g.algo(algos::BRUCK);
+        }
+        {
+            let _g = rec.op(CommOp::Barrier);
+        }
+        let (spans, _) = rec.snapshot();
+        assert_eq!(spans[0].algo, algos::BRUCK);
+        assert_eq!(spans[1].algo, algos::NONE);
     }
 }

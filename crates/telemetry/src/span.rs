@@ -137,6 +137,32 @@ impl SpanKind {
     }
 }
 
+/// Codes identifying the collective algorithm a span executed, for the
+/// `algo` field of [`Span`]. Kept as small integers (not an enum) so
+/// `Span` stays `Copy` + fixed-size and the comm crate can stamp them
+/// without telemetry depending on comm types.
+pub mod algos {
+    /// No algorithm recorded (point-to-point ops, rooted collectives).
+    pub const NONE: u8 = 0;
+    /// Pairwise-exchange alltoall (`p - 1` synchronized rounds).
+    pub const PAIRWISE: u8 = 1;
+    /// Direct post-all-then-receive alltoall.
+    pub const DIRECT: u8 = 2;
+    /// Bruck log-P alltoall for small blocks.
+    pub const BRUCK: u8 = 3;
+
+    /// Stable lowercase name for trace exports; `None` for [`NONE`]
+    /// and unknown codes.
+    pub fn name(code: u8) -> Option<&'static str> {
+        match code {
+            PAIRWISE => Some("pairwise"),
+            DIRECT => Some("direct"),
+            BRUCK => Some("bruck"),
+            _ => None,
+        }
+    }
+}
+
 /// One recorded interval on a rank's timeline. `Copy` and fixed-size
 /// so the ring buffer is a flat preallocated array.
 ///
@@ -152,6 +178,9 @@ pub struct Span {
     pub tag: u64,
     /// Payload bytes this rank contributed to / received from the op.
     pub bytes: u64,
+    /// Collective algorithm code from [`algos`]; `algos::NONE` when not
+    /// applicable.
+    pub algo: u8,
     pub start_ns: u64,
     pub end_ns: u64,
 }
@@ -184,6 +213,7 @@ impl Default for Span {
             peer: -1,
             tag: 0,
             bytes: 0,
+            algo: algos::NONE,
             start_ns: 0,
             end_ns: 0,
         }

@@ -24,6 +24,7 @@ fn synthetic_timeline() -> WorldTimeline {
                     bytes: 0,
                     start_ns: 0,
                     end_ns: 5000,
+                    ..Span::default()
                 },
                 Span {
                     kind: SpanKind::Op(CommOp::Send),
@@ -32,6 +33,7 @@ fn synthetic_timeline() -> WorldTimeline {
                     bytes: 64,
                     start_ns: 1000,
                     end_ns: 2500,
+                    ..Span::default()
                 },
             ],
             dropped: 0,
@@ -45,6 +47,7 @@ fn synthetic_timeline() -> WorldTimeline {
                 bytes: 64,
                 start_ns: 1500,
                 end_ns: 3000,
+                ..Span::default()
             }],
             dropped: 3,
         },

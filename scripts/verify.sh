@@ -46,4 +46,13 @@ for stem in low medium high; do
     test -s "$PROF_DIR/$stem-skew.csv"
 done
 
+echo "== transport microbench -> BENCH_comm.json =="
+target/release/bench_comm BENCH_comm.json
+test -s BENCH_comm.json
+grep -q '"algo": "bruck"' BENCH_comm.json
+
+echo "== criterion smoke: micro_br / micro_dfft =="
+cargo bench --bench micro_br -- --test
+cargo bench --bench micro_dfft -- --test
+
 echo "verify: OK"
