@@ -1,0 +1,177 @@
+//! Fault-tolerance benchmark emitting `BENCH_fault.json`.
+//!
+//! Two questions the fault-injection engine exists to answer, measured
+//! on real thread-ranks:
+//!
+//! 1. **Detection latency** — how long after a rank dies do the
+//!    survivors observe the failure? Survivors hammer `try_barrier`
+//!    until it errors; the latency is the failure ledger's age at the
+//!    moment of observation (`failure_age`), so thread-spawn and
+//!    barrier cadence don't pollute the number. Reported as the worst
+//!    survivor (the rank recovery has to wait for).
+//!
+//! 2. **Recovery cost vs. checkpoint interval** — total wall time of a
+//!    rocketrig run that loses a rank mid-flight and recovers via
+//!    revoke/shrink/restore, across checkpoint cadences. A clean run of
+//!    the same deck is the baseline; `recovery_time` is the difference.
+//!    Tighter cadences re-execute fewer steps after restore but pay the
+//!    gather/write on more steps — this table is that trade-off.
+//!
+//! Usage: `bench_fault [output.json]` (default `BENCH_fault.json`).
+
+use beatnik_comm::{FaultPlan, World};
+use beatnik_json::Value;
+use beatnik_rocketrig::{run_rig, run_rig_ft, RigConfig};
+use std::time::{Duration, Instant};
+
+/// Generous stall limit: CI machines can oversubscribe 16 thread-ranks.
+const TIMEOUT: Duration = Duration::from_secs(120);
+
+struct Row {
+    metric: &'static str,
+    ranks: usize,
+    checkpoint_every: usize,
+    ns: f64,
+}
+
+impl Row {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("metric".into(), Value::Str(self.metric.into())),
+            ("ranks".into(), Value::UInt(self.ranks as u64)),
+            (
+                "checkpoint_every".into(),
+                Value::UInt(self.checkpoint_every as u64),
+            ),
+            ("ns".into(), Value::Float(self.ns)),
+        ])
+    }
+}
+
+/// Worst-survivor detection latency for one world size: kill rank 1
+/// after a few barriers, have every survivor spin on `try_barrier`
+/// until it errors, and read the ledger age at that instant.
+fn detection_latency(p: usize) -> f64 {
+    let plan = FaultPlan::parse("kill:r1@op40", 0).expect("static plan");
+    let report = World::run_ft(p, TIMEOUT, Some(&plan), |comm| {
+        let tight = comm.with_recv_timeout(Duration::from_secs(10));
+        loop {
+            match tight.try_barrier() {
+                Ok(()) => {}
+                Err(_) => {
+                    // Any error here (RankFailed, or Timeout from a
+                    // survivor whose barrier round raced the death) means
+                    // the failure was observed; the ledger holds the
+                    // authoritative death instant.
+                    let failed = tight.failed_ranks();
+                    let age = failed
+                        .first()
+                        .and_then(|&w| tight.failure_age(w))
+                        .unwrap_or_default();
+                    return age.as_nanos() as f64;
+                }
+            }
+        }
+    });
+    assert_eq!(report.killed, [1], "kill did not land");
+    report.results.iter().flatten().cloned().fold(0.0, f64::max)
+}
+
+/// A small low-order deck that finishes in well under a second per run
+/// but spans enough steps for mid-flight death and checkpoint cadence
+/// to matter.
+fn bench_config(out: &std::path::Path) -> RigConfig {
+    let mut cfg = RigConfig {
+        mesh_n: 16,
+        steps: 8,
+        diag_every: 0,
+        out_dir: out.to_path_buf(),
+        ..RigConfig::default()
+    };
+    cfg.params.dt = 1e-3;
+    cfg
+}
+
+/// Wall time of a faulted run (kill one rank at step 5, recover,
+/// finish) at the given checkpoint cadence.
+fn faulted_run(p: usize, every: usize, dir: &std::path::Path) -> f64 {
+    let cfg = bench_config(dir);
+    let ckpt = dir.join("checkpoint.json");
+    let _ = std::fs::remove_file(&ckpt);
+    let plan = FaultPlan::parse("kill:r1@step5", 0).expect("static plan");
+    let start = Instant::now();
+    let report = World::run_ft(p, TIMEOUT, Some(&plan), move |comm| {
+        run_rig_ft(comm, &cfg, every, &ckpt)
+    });
+    let ns = start.elapsed().as_nanos() as f64;
+    assert_eq!(report.killed, [1], "kill did not land");
+    assert!(
+        report.results.iter().any(|r| r.is_some()),
+        "no survivor finished the run"
+    );
+    ns
+}
+
+/// Wall time of the same deck with no faults and no checkpoints.
+fn clean_run(p: usize, dir: &std::path::Path) -> f64 {
+    let cfg = bench_config(dir);
+    let start = Instant::now();
+    World::run(p, move |comm| run_rig(&comm, &cfg));
+    start.elapsed().as_nanos() as f64
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_fault.json".into());
+    let dir = std::env::temp_dir().join("beatnik_bench_fault");
+    std::fs::create_dir_all(&dir).expect("cannot create scratch dir");
+    let mut rows: Vec<Row> = Vec::new();
+
+    for p in [8, 16] {
+        rows.push(Row {
+            metric: "detection_latency",
+            ranks: p,
+            checkpoint_every: 0,
+            ns: detection_latency(p),
+        });
+
+        let baseline = clean_run(p, &dir);
+        rows.push(Row {
+            metric: "clean_run",
+            ranks: p,
+            checkpoint_every: 0,
+            ns: baseline,
+        });
+        for every in [1, 2, 4] {
+            let total = faulted_run(p, every, &dir);
+            rows.push(Row {
+                metric: "faulted_run",
+                ranks: p,
+                checkpoint_every: every,
+                ns: total,
+            });
+            rows.push(Row {
+                metric: "recovery_time",
+                ranks: p,
+                checkpoint_every: every,
+                ns: (total - baseline).max(0.0),
+            });
+        }
+    }
+
+    for r in &rows {
+        eprintln!(
+            "{:<18} p={:<3} ckpt_every={:<2} {:>14.0} ns",
+            r.metric, r.ranks, r.checkpoint_every, r.ns
+        );
+    }
+
+    let doc = Value::Object(vec![(
+        "benches".into(),
+        Value::Array(rows.iter().map(Row::to_value).collect()),
+    )]);
+    std::fs::write(&path, beatnik_json::to_string_pretty(&doc))
+        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    eprintln!("wrote {path}");
+}

@@ -42,6 +42,7 @@
 //! the figures.
 
 use crate::communicator::Communicator;
+use crate::error::CommError;
 use crate::message::CommData;
 use crate::trace::OpKind;
 use beatnik_telemetry::{algos, sizebins, CommOp};
@@ -128,10 +129,11 @@ pub fn alltoall<T: CommData + Clone>(
     comm: &Communicator,
     blocks: Vec<Vec<T>>,
     algo: AllToAllAlgo,
-) -> Vec<Vec<T>> {
+) -> Result<Vec<Vec<T>>, CommError> {
     comm.coll_begin(OpKind::Alltoall);
     let mut span = comm.telemetry().op(CommOp::Alltoall);
     span.bytes(block_bytes(&blocks));
+    comm.check_group_alive()?;
     let algo = match algo {
         AllToAllAlgo::Adaptive => {
             let per_block = blocks
@@ -149,7 +151,10 @@ pub fn alltoall<T: CommData + Clone>(
 /// Irregular all-to-all: per-destination block lengths may differ and may
 /// be zero. Zero-length blocks are still exchanged (as zero-byte
 /// messages), keeping the message-matching schedule deterministic.
-pub fn alltoallv<T: CommData + Clone>(comm: &Communicator, blocks: Vec<Vec<T>>) -> Vec<Vec<T>> {
+pub fn alltoallv<T: CommData + Clone>(
+    comm: &Communicator,
+    blocks: Vec<Vec<T>>,
+) -> Result<Vec<Vec<T>>, CommError> {
     alltoallv_with(comm, blocks, AllToAllAlgo::Pairwise)
 }
 
@@ -158,11 +163,12 @@ pub fn alltoallv_with<T: CommData + Clone>(
     comm: &Communicator,
     blocks: Vec<Vec<T>>,
     algo: AllToAllAlgo,
-) -> Vec<Vec<T>> {
+) -> Result<Vec<Vec<T>>, CommError> {
     comm.coll_begin(OpKind::Alltoallv);
     let mut span = comm.telemetry().op(CommOp::Alltoallv);
     let total = block_bytes(&blocks);
     span.bytes(total);
+    comm.check_group_alive()?;
     let algo = match algo {
         AllToAllAlgo::Adaptive => resolve_irregular(comm.size(), total),
         a => a,
@@ -184,7 +190,7 @@ fn exchange<T: CommData + Clone>(
     mut blocks: Vec<Vec<T>>,
     algo: AllToAllAlgo,
     kind: OpKind,
-) -> Vec<Vec<T>> {
+) -> Result<Vec<Vec<T>>, CommError> {
     let p = comm.size();
     let r = comm.rank();
     assert_eq!(blocks.len(), p, "alltoall: need exactly one block per rank");
@@ -209,7 +215,7 @@ fn exchange<T: CommData + Clone>(
                 let src = (r + p - s) % p;
                 let block = std::mem::take(&mut blocks[dst]);
                 comm.coll_send(dst, s as u64, block, kind);
-                out[src] = comm.coll_recv::<T>(src, s as u64);
+                out[src] = comm.try_coll_recv::<T>(src, s as u64, "alltoall")?;
             }
         }
         AllToAllAlgo::Direct => {
@@ -223,14 +229,14 @@ fn exchange<T: CommData + Clone>(
             }
             for s in 1..p {
                 let src = (r + p - s) % p;
-                out[src] = comm.coll_recv::<T>(src, s as u64);
+                out[src] = comm.try_coll_recv::<T>(src, s as u64, "alltoall")?;
             }
         }
         AllToAllAlgo::Bruck | AllToAllAlgo::Adaptive => {
             unreachable!("resolved before exchange")
         }
     }
-    out
+    Ok(out)
 }
 
 /// Bruck store-and-forward all-to-all in ⌈log₂P⌉ rounds.
@@ -255,7 +261,7 @@ fn bruck<T: CommData + Clone>(
     blocks: Vec<Vec<T>>,
     kind: OpKind,
     uniform_len: Option<usize>,
-) -> Vec<Vec<T>> {
+) -> Result<Vec<Vec<T>>, CommError> {
     if let Some(n) = uniform_len {
         return bruck_uniform(comm, blocks, kind, n);
     }
@@ -272,7 +278,7 @@ fn bruck_uniform<T: CommData + Clone>(
     mut blocks: Vec<Vec<T>>,
     kind: OpKind,
     n: usize,
-) -> Vec<Vec<T>> {
+) -> Result<Vec<Vec<T>>, CommError> {
     let p = comm.size();
     let r = comm.rank();
     // slab[i*n..(i+1)*n] is slot i: the block for rank (r+i) mod p.
@@ -293,7 +299,7 @@ fn bruck_uniform<T: CommData + Clone>(
             payload.extend_from_slice(&slab[i * n..(i + 1) * n]);
         }
         comm.coll_send(dst, BRUCK_TAG + phase, payload, kind);
-        let incoming: Vec<T> = comm.coll_recv(src, BRUCK_TAG + phase);
+        let incoming: Vec<T> = comm.try_coll_recv(src, BRUCK_TAG + phase, "alltoall")?;
         debug_assert_eq!(incoming.len(), idxs.len() * n);
         for (k, &i) in idxs.iter().enumerate() {
             slab[i * n..(i + 1) * n].clone_from_slice(&incoming[k * n..(k + 1) * n]);
@@ -306,7 +312,7 @@ fn bruck_uniform<T: CommData + Clone>(
     for (i, chunk) in slab.chunks(n.max(1)).enumerate().take(p) {
         out[(r + p - i) % p] = chunk.to_vec();
     }
-    out
+    Ok(out)
 }
 
 /// General (irregular-capable) Bruck: slots are individually boxed and
@@ -315,7 +321,7 @@ fn bruck_general<T: CommData + Clone>(
     comm: &Communicator,
     mut blocks: Vec<Vec<T>>,
     kind: OpKind,
-) -> Vec<Vec<T>> {
+) -> Result<Vec<Vec<T>>, CommError> {
     let p = comm.size();
     let r = comm.rank();
     // Rotate so slot i is the block for rank (r+i) mod p; slot 0 (our own
@@ -336,8 +342,8 @@ fn bruck_general<T: CommData + Clone>(
         let lens: Vec<u64> = idxs.iter().map(|&i| slots[i].len() as u64).collect();
         comm.coll_send(dst, BRUCK_HDR_TAG + phase, lens, kind);
         comm.coll_send(dst, BRUCK_TAG + phase, payload, kind);
-        let in_lens: Vec<u64> = comm.coll_recv(src, BRUCK_HDR_TAG + phase);
-        let incoming: Vec<T> = comm.coll_recv(src, BRUCK_TAG + phase);
+        let in_lens: Vec<u64> = comm.try_coll_recv(src, BRUCK_HDR_TAG + phase, "alltoallv")?;
+        let incoming: Vec<T> = comm.try_coll_recv(src, BRUCK_TAG + phase, "alltoallv")?;
         debug_assert_eq!(in_lens.len(), idxs.len());
         let mut rest = incoming.as_slice();
         for (&i, &n) in idxs.iter().zip(&in_lens) {
@@ -353,7 +359,7 @@ fn bruck_general<T: CommData + Clone>(
     for (i, slot) in slots.into_iter().enumerate() {
         out[(r + p - i) % p] = slot;
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -7,17 +7,20 @@
 //! medium process counts.
 
 use crate::communicator::Communicator;
+use crate::error::CommError;
 use crate::trace::OpKind;
 use beatnik_telemetry::CommOp;
 
-/// Block until all ranks of `comm` have entered.
-pub fn barrier(comm: &Communicator) {
+/// Block until all ranks of `comm` have entered, or surface a group
+/// failure / revocation / deadline as a `CommError` instead of hanging.
+pub fn barrier(comm: &Communicator) -> Result<(), CommError> {
     comm.coll_begin(OpKind::Barrier);
     // RAII guard: the span closes on every exit path (incl. p == 1).
     let _span = comm.telemetry().op(CommOp::Barrier);
+    comm.check_group_alive()?;
     let p = comm.size();
     if p == 1 {
-        return;
+        return Ok(());
     }
     let r = comm.rank();
     let mut dist = 1usize;
@@ -26,10 +29,11 @@ pub fn barrier(comm: &Communicator) {
         let dst = (r + dist) % p;
         let src = (r + p - dist) % p;
         comm.coll_send::<u8>(dst, round, Vec::new(), OpKind::Barrier);
-        let _ = comm.coll_recv::<u8>(src, round);
+        let _: Vec<u8> = comm.try_coll_recv(src, round, "barrier")?;
         dist *= 2;
         round += 1;
     }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -5,12 +5,15 @@
 //! sends to at most ⌈log₂P⌉ children.
 
 use crate::communicator::Communicator;
+use crate::error::CommError;
 use crate::message::CommData;
 use crate::trace::OpKind;
 use beatnik_telemetry::CommOp;
 
 /// Broadcast `root`'s buffer to all ranks. The root passes `Some(data)`,
 /// all other ranks pass `None`; every rank returns the full buffer.
+/// A group failure, revocation, or the receive deadline surfaces as a
+/// `CommError`.
 ///
 /// # Panics
 /// Panics if the root passes `None` or a non-root passes `Some` (a
@@ -19,10 +22,11 @@ pub fn broadcast<T: CommData + Clone>(
     comm: &Communicator,
     root: usize,
     data: Option<Vec<T>>,
-) -> Vec<T> {
+) -> Result<Vec<T>, CommError> {
     comm.coll_begin(OpKind::Broadcast);
     let mut span = comm.telemetry().op(CommOp::Broadcast);
     span.peer(root);
+    comm.check_group_alive()?;
     let p = comm.size();
     let r = comm.rank();
     assert!(root < p, "broadcast: root {root} out of range");
@@ -34,7 +38,7 @@ pub fn broadcast<T: CommData + Clone>(
     if p == 1 {
         let buf = data.expect("broadcast: root must supply data");
         span.bytes(std::mem::size_of_val(buf.as_slice()) as u64);
-        return buf;
+        return Ok(buf);
     }
 
     let vrank = (r + p - root) % p;
@@ -46,7 +50,7 @@ pub fn broadcast<T: CommData + Clone>(
         while mask < p {
             if vrank & mask != 0 {
                 let parent = ((vrank - mask) + root) % p;
-                buf = Some(comm.coll_recv::<T>(parent, mask as u64));
+                buf = Some(comm.try_coll_recv::<T>(parent, mask as u64, "broadcast")?);
                 break;
             }
             mask <<= 1;
@@ -72,7 +76,7 @@ pub fn broadcast<T: CommData + Clone>(
         mask >>= 1;
     }
     span.bytes(std::mem::size_of_val(buf.as_slice()) as u64);
-    buf
+    Ok(buf)
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 //! non-alltoall exchanges produce.
 
 use crate::communicator::Communicator;
+use crate::error::CommError;
 use crate::message::CommData;
 use crate::trace::OpKind;
 use beatnik_telemetry::CommOp;
@@ -17,11 +18,12 @@ pub fn gather<T: CommData + Clone>(
     comm: &Communicator,
     root: usize,
     data: Vec<T>,
-) -> Option<Vec<Vec<T>>> {
+) -> Result<Option<Vec<Vec<T>>>, CommError> {
     comm.coll_begin(OpKind::Gather);
     let mut span = comm.telemetry().op(CommOp::Gather);
     span.peer(root);
     span.bytes(std::mem::size_of_val(data.as_slice()) as u64);
+    comm.check_group_alive()?;
     let p = comm.size();
     let r = comm.rank();
     assert!(root < p, "gather: root {root} out of range");
@@ -30,28 +32,32 @@ pub fn gather<T: CommData + Clone>(
         out[root] = data;
         for (src, slot) in out.iter_mut().enumerate() {
             if src != root {
-                *slot = comm.coll_recv::<T>(src, src as u64);
+                *slot = comm.try_coll_recv::<T>(src, src as u64, "gather")?;
             }
         }
-        Some(out)
+        Ok(Some(out))
     } else {
         comm.coll_send(root, r as u64, data, OpKind::Gather);
-        None
+        Ok(None)
     }
 }
 
 /// All-gather per-rank buffers with the ring algorithm; every rank returns
 /// the same `Vec` indexed by source rank. Buffers may differ in length.
-pub fn allgather<T: CommData + Clone>(comm: &Communicator, data: Vec<T>) -> Vec<Vec<T>> {
+pub fn allgather<T: CommData + Clone>(
+    comm: &Communicator,
+    data: Vec<T>,
+) -> Result<Vec<Vec<T>>, CommError> {
     comm.coll_begin(OpKind::Allgather);
     let mut span = comm.telemetry().op(CommOp::Allgather);
     span.bytes(std::mem::size_of_val(data.as_slice()) as u64);
+    comm.check_group_alive()?;
     let p = comm.size();
     let r = comm.rank();
     let mut out: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
     if p == 1 {
         out[0] = data;
-        return out;
+        return Ok(out);
     }
     let right = (r + 1) % p;
     let left = (r + p - 1) % p;
@@ -63,9 +69,9 @@ pub fn allgather<T: CommData + Clone>(comm: &Communicator, data: Vec<T>) -> Vec<
         let recv_origin = (r + p - s) % p;
         let fwd = out[fwd_origin].clone();
         comm.coll_send(right, s as u64, fwd, OpKind::Allgather);
-        out[recv_origin] = comm.coll_recv::<T>(left, s as u64);
+        out[recv_origin] = comm.try_coll_recv::<T>(left, s as u64, "allgather")?;
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

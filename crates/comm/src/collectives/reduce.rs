@@ -3,6 +3,7 @@
 //! groups, as MPICH does).
 
 use crate::communicator::Communicator;
+use crate::error::CommError;
 use crate::message::CommData;
 use crate::reduce_op::ReduceOp;
 use crate::trace::OpKind;
@@ -15,8 +16,8 @@ pub fn reduce<T: CommData + Clone, O: ReduceOp<T>>(
     root: usize,
     value: T,
     op: &O,
-) -> Option<T> {
-    reduce_vec(comm, root, vec![value], op).map(|mut v| v.pop().unwrap())
+) -> Result<Option<T>, CommError> {
+    Ok(reduce_vec(comm, root, vec![value], op)?.map(|mut v| v.pop().unwrap()))
 }
 
 /// Element-wise vector reduce to `root` with a binomial tree.
@@ -27,11 +28,12 @@ pub fn reduce_vec<T: CommData + Clone, O: ReduceOp<T>>(
     root: usize,
     value: Vec<T>,
     op: &O,
-) -> Option<Vec<T>> {
+) -> Result<Option<Vec<T>>, CommError> {
     comm.coll_begin(OpKind::Reduce);
     let mut span = comm.telemetry().op(CommOp::Reduce);
     span.peer(root);
     span.bytes(std::mem::size_of_val(value.as_slice()) as u64);
+    comm.check_group_alive()?;
     reduce_impl(comm, root, value, op, OpKind::Reduce)
 }
 
@@ -41,12 +43,12 @@ fn reduce_impl<T: CommData + Clone, O: ReduceOp<T>>(
     value: Vec<T>,
     op: &O,
     kind: OpKind,
-) -> Option<Vec<T>> {
+) -> Result<Option<Vec<T>>, CommError> {
     let p = comm.size();
     let r = comm.rank();
     assert!(root < p, "reduce: root {root} out of range");
     if p == 1 {
-        return Some(value);
+        return Ok(Some(value));
     }
     let vrank = (r + p - root) % p;
     let mut acc = value;
@@ -55,7 +57,7 @@ fn reduce_impl<T: CommData + Clone, O: ReduceOp<T>>(
         if vrank & mask == 0 {
             let src = vrank | mask;
             if src < p {
-                let other = comm.coll_recv::<T>(((src) + root) % p, mask as u64);
+                let other = comm.try_coll_recv::<T>(((src) + root) % p, mask as u64, "reduce")?;
                 assert_eq!(
                     other.len(),
                     acc.len(),
@@ -68,16 +70,20 @@ fn reduce_impl<T: CommData + Clone, O: ReduceOp<T>>(
         } else {
             let dst = ((vrank & !mask) + root) % p;
             comm.coll_send(dst, mask as u64, acc, kind);
-            return None;
+            return Ok(None);
         }
         mask <<= 1;
     }
-    Some(acc)
+    Ok(Some(acc))
 }
 
 /// Allreduce a single value across all ranks.
-pub fn allreduce<T: CommData + Clone, O: ReduceOp<T>>(comm: &Communicator, value: T, op: &O) -> T {
-    allreduce_vec(comm, vec![value], op).pop().unwrap()
+pub fn allreduce<T: CommData + Clone, O: ReduceOp<T>>(
+    comm: &Communicator,
+    value: T,
+    op: &O,
+) -> Result<T, CommError> {
+    Ok(allreduce_vec(comm, vec![value], op)?.pop().unwrap())
 }
 
 /// Element-wise allreduce over equal-length vectors.
@@ -89,13 +95,14 @@ pub fn allreduce_vec<T: CommData + Clone, O: ReduceOp<T>>(
     comm: &Communicator,
     value: Vec<T>,
     op: &O,
-) -> Vec<T> {
+) -> Result<Vec<T>, CommError> {
     comm.coll_begin(OpKind::Allreduce);
     let mut span = comm.telemetry().op(CommOp::Allreduce);
     span.bytes(std::mem::size_of_val(value.as_slice()) as u64);
+    comm.check_group_alive()?;
     let p = comm.size();
     if p == 1 {
-        return value;
+        return Ok(value);
     }
     if p.is_power_of_two() {
         let r = comm.rank();
@@ -104,7 +111,7 @@ pub fn allreduce_vec<T: CommData + Clone, O: ReduceOp<T>>(
         while mask < p {
             let partner = r ^ mask;
             comm.coll_send(partner, mask as u64, acc.clone(), OpKind::Allreduce);
-            let other = comm.coll_recv::<T>(partner, mask as u64);
+            let other = comm.try_coll_recv::<T>(partner, mask as u64, "allreduce")?;
             assert_eq!(
                 other.len(),
                 acc.len(),
@@ -115,9 +122,9 @@ pub fn allreduce_vec<T: CommData + Clone, O: ReduceOp<T>>(
             }
             mask <<= 1;
         }
-        acc
+        Ok(acc)
     } else {
-        let reduced = reduce_impl(comm, 0, value, op, OpKind::Allreduce);
+        let reduced = reduce_impl(comm, 0, value, op, OpKind::Allreduce)?;
         // Broadcast the result from rank 0 on the allreduce's account.
         crate::collectives::broadcast::broadcast(comm, 0, reduced)
     }

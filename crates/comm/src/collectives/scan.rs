@@ -13,16 +13,22 @@
 //! path), not an allocation.
 
 use crate::communicator::Communicator;
+use crate::error::CommError;
 use crate::message::CommData;
 use crate::reduce_op::ReduceOp;
 use crate::trace::OpKind;
 use beatnik_telemetry::CommOp;
 
 /// Inclusive prefix reduction: rank `r` returns `v₀ ⊕ v₁ ⊕ … ⊕ v_r`.
-pub fn scan<T: CommData + Copy, O: ReduceOp<T>>(comm: &Communicator, value: T, op: &O) -> T {
+pub fn scan<T: CommData + Copy, O: ReduceOp<T>>(
+    comm: &Communicator,
+    value: T,
+    op: &O,
+) -> Result<T, CommError> {
     comm.coll_begin(OpKind::Scan);
     let mut span = comm.telemetry().op(CommOp::Scan);
     span.bytes(std::mem::size_of::<T>() as u64);
+    comm.check_group_alive()?;
     let p = comm.size();
     let r = comm.rank();
     let mut acc = value;
@@ -35,13 +41,13 @@ pub fn scan<T: CommData + Copy, O: ReduceOp<T>>(comm: &Communicator, value: T, o
             comm.coll_send_slice(r + dist, TAG + round, std::slice::from_ref(&acc), OpKind::Scan);
         }
         if r >= dist {
-            let low: Vec<T> = comm.coll_recv(r - dist, TAG + round);
+            let low: Vec<T> = comm.try_coll_recv(r - dist, TAG + round, "scan")?;
             acc = op.combine(&low[0], &acc);
         }
         dist *= 2;
         round += 1;
     }
-    acc
+    Ok(acc)
 }
 
 /// Exclusive prefix reduction: rank 0 returns `None`; rank `r > 0`
@@ -50,13 +56,13 @@ pub fn exscan<T: CommData + Copy, O: ReduceOp<T>>(
     comm: &Communicator,
     value: T,
     op: &O,
-) -> Option<T> {
+) -> Result<Option<T>, CommError> {
     // Inclusive scan of the *previous* rank's value: shift by one via a
     // ring send, then scan. Simpler: run inclusive scan, then shift the
     // results right by one rank.
     let mut span = comm.telemetry().op(CommOp::Exscan);
     span.bytes(std::mem::size_of::<T>() as u64);
-    let inclusive = scan(comm, value, op);
+    let inclusive = scan(comm, value, op)?;
     let p = comm.size();
     let r = comm.rank();
     const TAG: u64 = 0x4558_5343; // "EXSC"
@@ -64,10 +70,10 @@ pub fn exscan<T: CommData + Copy, O: ReduceOp<T>>(
         comm.coll_send_slice(r + 1, TAG, std::slice::from_ref(&inclusive), OpKind::Scan);
     }
     if r > 0 {
-        let v: Vec<T> = comm.coll_recv(r - 1, TAG);
-        Some(v.into_iter().next().unwrap())
+        let v: Vec<T> = comm.try_coll_recv(r - 1, TAG, "exscan")?;
+        Ok(Some(v.into_iter().next().unwrap()))
     } else {
-        None
+        Ok(None)
     }
 }
 
@@ -78,9 +84,10 @@ pub fn reduce_scatter<T: CommData + Copy, O: ReduceOp<T>>(
     comm: &Communicator,
     contributions: Vec<Vec<T>>,
     op: &O,
-) -> Vec<T> {
+) -> Result<Vec<T>, CommError> {
     comm.coll_begin(OpKind::Reduce);
     let mut span = comm.telemetry().op(CommOp::ReduceScatter);
+    comm.check_group_alive()?;
     let p = comm.size();
     let r = comm.rank();
     assert_eq!(
@@ -103,13 +110,13 @@ pub fn reduce_scatter<T: CommData + Copy, O: ReduceOp<T>>(
         let dst = (r + s) % p;
         let src = (r + p - s) % p;
         comm.coll_send_slice(dst, TAG + s as u64, &contributions[dst], OpKind::Reduce);
-        let theirs: Vec<T> = comm.coll_recv(src, TAG + s as u64);
+        let theirs: Vec<T> = comm.try_coll_recv(src, TAG + s as u64, "reduce_scatter")?;
         assert_eq!(theirs.len(), mine.len(), "reduce_scatter: ragged blocks");
         for (a, b) in mine.iter_mut().zip(theirs.iter()) {
             *a = op.combine(a, b);
         }
     }
-    mine
+    Ok(mine)
 }
 
 #[cfg(test)]
@@ -121,7 +128,7 @@ mod tests {
     #[test]
     fn inclusive_scan_all_sizes() {
         for p in [1usize, 2, 3, 5, 8] {
-            let out = World::run(p, |comm| scan(&comm, comm.rank() as u64 + 1, &SumOp));
+            let out = World::run(p, |comm| scan(&comm, comm.rank() as u64 + 1, &SumOp).unwrap());
             for (r, v) in out.into_iter().enumerate() {
                 let expect: u64 = (1..=r as u64 + 1).sum();
                 assert_eq!(v, expect, "p={p} r={r}");
@@ -134,7 +141,7 @@ mod tests {
         // The canonical use: globally contiguous offsets from local counts.
         let out = World::run(4, |comm| {
             let local_count = (comm.rank() + 1) * 10; // 10, 20, 30, 40
-            exscan(&comm, local_count as u64, &SumOp).unwrap_or(0)
+            exscan(&comm, local_count as u64, &SumOp).unwrap().unwrap_or(0)
         });
         assert_eq!(out, vec![0, 10, 30, 60]);
     }
@@ -143,7 +150,7 @@ mod tests {
     fn scan_with_max() {
         let out = World::run(5, |comm| {
             let v = [3i64, 1, 4, 1, 5][comm.rank()];
-            scan(&comm, v, &MaxOp)
+            scan(&comm, v, &MaxOp).unwrap()
         });
         assert_eq!(out, vec![3, 3, 4, 4, 5]);
     }
@@ -175,7 +182,7 @@ mod tests {
                 let blocks: Vec<Vec<u64>> = (0..p)
                     .map(|d| vec![(comm.rank() + d * 100) as u64; 3])
                     .collect();
-                reduce_scatter(&comm, blocks, &SumOp)
+                reduce_scatter(&comm, blocks, &SumOp).unwrap()
             });
             let rank_sum: u64 = (0..p as u64).sum();
             for (d, block) in out.into_iter().enumerate() {
@@ -190,7 +197,7 @@ mod tests {
         let out = World::run(p, move |comm| {
             let full: Vec<f64> = (0..p * 2).map(|i| (i * (comm.rank() + 1)) as f64).collect();
             let blocks: Vec<Vec<f64>> = full.chunks(2).map(|c| c.to_vec()).collect();
-            let scattered = reduce_scatter(&comm, blocks, &SumOp);
+            let scattered = reduce_scatter(&comm, blocks, &SumOp).unwrap();
             let all = comm.allreduce_vec(full, &SumOp);
             (scattered, all)
         });

@@ -5,6 +5,7 @@
 //! scatter behaviour.
 
 use crate::communicator::Communicator;
+use crate::error::CommError;
 use crate::message::CommData;
 use crate::trace::OpKind;
 use beatnik_telemetry::CommOp;
@@ -16,10 +17,11 @@ pub fn scatter<T: CommData + Clone>(
     comm: &Communicator,
     root: usize,
     data: Option<Vec<Vec<T>>>,
-) -> Vec<T> {
+) -> Result<Vec<T>, CommError> {
     comm.coll_begin(OpKind::Scatter);
     let mut span = comm.telemetry().op(CommOp::Scatter);
     span.peer(root);
+    comm.check_group_alive()?;
     let p = comm.size();
     let r = comm.rank();
     assert!(root < p, "scatter: root {root} out of range");
@@ -36,10 +38,10 @@ pub fn scatter<T: CommData + Clone>(
         mine
     } else {
         assert!(data.is_none(), "scatter: non-root must pass None");
-        comm.coll_recv::<T>(root, root as u64)
+        comm.try_coll_recv::<T>(root, root as u64, "scatter")?
     };
     span.bytes(std::mem::size_of_val(mine.as_slice()) as u64);
-    mine
+    Ok(mine)
 }
 
 #[cfg(test)]

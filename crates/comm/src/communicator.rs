@@ -3,6 +3,7 @@
 
 use crate::collectives;
 use crate::error::CommError;
+use crate::fault::{CollectiveFailed, FaultInjector, Injection, RankKilled};
 use crate::mailbox::{Mailbox, PostedId};
 use crate::message::{CommData, Envelope};
 use crate::pool::BufferPool;
@@ -11,6 +12,7 @@ use crate::registry::{CommId, Registry};
 use crate::request::{RecvRequest, SendRequest};
 use crate::trace::{OpKind, RankTrace};
 use beatnik_telemetry::{CommOp, SpanKind, SpanRecorder};
+use std::panic::panic_any;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -63,6 +65,17 @@ pub struct Communicator {
     /// buffer that travels by pointer (one copy total). See
     /// [`crate::transport`].
     eager_limit: usize,
+    /// Fault injector for this rank, present only in worlds launched via
+    /// [`crate::World::run_ft`] with a plan targeting this rank. Shared
+    /// with derived communicators so the op count is per-rank, not
+    /// per-communicator.
+    fault: Option<Arc<FaultInjector>>,
+    /// Registry revoke epoch at construction. Any revocation issued after
+    /// this communicator was built counts as revoking it too, so ranks
+    /// blocked on derived sub-communicators (whose groups may not contain
+    /// the failed rank) unblock as soon as any survivor revokes, instead
+    /// of waiting out their full receive deadline.
+    born_epoch: u64,
 }
 
 impl Communicator {
@@ -81,6 +94,7 @@ impl Communicator {
         recv_timeout: Duration,
         eager_limit: usize,
     ) -> Self {
+        let born_epoch = registry.revoke_epoch();
         Communicator {
             registry,
             comm_id,
@@ -92,6 +106,37 @@ impl Communicator {
             pool,
             recv_timeout,
             eager_limit,
+            fault: None,
+            born_epoch,
+        }
+    }
+
+    /// Attach (or clear) this rank's fault injector. Crate-internal:
+    /// called once per rank by [`crate::World::run_ft`] and propagated to
+    /// derived communicators by [`Communicator::split`].
+    pub(crate) fn with_fault(mut self, fault: Option<Arc<FaultInjector>>) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// A handle to the same communicator (same group, same mailboxes)
+    /// with a different blocking-receive deadline. Lets fault-tolerant
+    /// phases scope a short detection deadline without reconfiguring the
+    /// whole world.
+    pub fn with_recv_timeout(&self, recv_timeout: Duration) -> Communicator {
+        Communicator {
+            registry: Arc::clone(&self.registry),
+            comm_id: self.comm_id,
+            rank: self.rank,
+            size: self.size,
+            world_of: Arc::clone(&self.world_of),
+            trace: Arc::clone(&self.trace),
+            telemetry: Arc::clone(&self.telemetry),
+            pool: Arc::clone(&self.pool),
+            recv_timeout,
+            eager_limit: self.eager_limit,
+            fault: self.fault.clone(),
+            born_epoch: self.born_epoch,
         }
     }
 
@@ -165,7 +210,7 @@ impl Communicator {
         posted: PostedId,
         src: usize,
         tag: Tag,
-        ctx: &str,
+        ctx: &'static str,
     ) -> Envelope {
         let mut g = self.telemetry.op(CommOp::Wait);
         let env = self.blocking_claim(posted, src, tag, ctx);
@@ -177,14 +222,37 @@ impl Communicator {
 
     /// Claim from a posted slot, waking early on world abort and
     /// panicking on the receive timeout — the posted-slot analogue of
-    /// [`Communicator::blocking_recv`].
-    fn blocking_claim(&self, posted: PostedId, src: usize, tag: Tag, ctx: &str) -> Envelope {
+    /// [`Communicator::blocking_recv`]. Peer failure and revocation
+    /// escalate through [`Communicator::escalate`].
+    fn blocking_claim(
+        &self,
+        posted: PostedId,
+        src: usize,
+        tag: Tag,
+        ctx: &'static str,
+    ) -> Envelope {
+        match self.ft_claim(posted, src, tag, ctx) {
+            Ok(env) => env,
+            Err(e) => self.escalate(ctx, e),
+        }
+    }
+
+    /// Fallible claim from a posted slot: drains the slot first, then
+    /// surfaces peer failure, revocation, or the deadline as a
+    /// `CommError` instead of hanging.
+    pub(crate) fn ft_claim(
+        &self,
+        posted: PostedId,
+        src: usize,
+        tag: Tag,
+        ctx: &'static str,
+    ) -> Result<Envelope, CommError> {
         let mb = self.user_mailbox();
         let deadline = std::time::Instant::now() + self.recv_timeout;
         let slice = Duration::from_millis(100).min(self.recv_timeout);
         loop {
             if let Some(env) = mb.wait_claim(posted, slice) {
-                return env;
+                return Ok(env);
             }
             if self.registry.aborted() {
                 panic!(
@@ -192,15 +260,85 @@ impl Communicator {
                     self.rank
                 );
             }
+            if self.is_revoked() {
+                return Err(CommError::Revoked { rank: self.rank });
+            }
+            if let Some(failed) = self.relevant_failure(src) {
+                return Err(CommError::RankFailed {
+                    rank: self.rank,
+                    failed,
+                });
+            }
             if std::time::Instant::now() >= deadline {
-                let e = CommError::Timeout {
+                return Err(CommError::Timeout {
                     rank: self.rank,
                     src,
                     tag,
-                };
-                panic!("{ctx} deadlock on rank {}: {e}", self.rank);
+                });
             }
         }
+    }
+
+    /// Convert a `CommError` from a blocking (non-`try`) op into the
+    /// panic the panicking API promises: timeouts keep the historical
+    /// "deadlock" message; peer failure and revocation carry a
+    /// [`CollectiveFailed`] payload so recovery drivers can catch and
+    /// downcast them; local argument errors keep the plain "op: error"
+    /// string panic they have always had.
+    pub(crate) fn escalate(&self, op: &'static str, e: CommError) -> ! {
+        match e {
+            CommError::Timeout { .. } => {
+                panic!("{op} deadlock on rank {}: {e}", self.rank)
+            }
+            error @ (CommError::RankFailed { .. } | CommError::Revoked { .. }) => {
+                panic_any(CollectiveFailed { op, error })
+            }
+            e => panic!("{op}: {e}"),
+        }
+    }
+
+    /// The world rank of a failed peer this receive cares about, if any:
+    /// a specific `src` watches only that rank, wildcard receives (and
+    /// collectives, via [`Communicator::check_group_alive`]) watch the
+    /// whole group.
+    fn relevant_failure(&self, src: usize) -> Option<usize> {
+        if !self.registry.any_failed() {
+            return None;
+        }
+        if src == ANY_SOURCE {
+            self.world_of
+                .iter()
+                .copied()
+                .find(|&w| self.registry.is_failed(w))
+        } else {
+            let w = self.world_of[src];
+            self.registry.is_failed(w).then_some(w)
+        }
+    }
+
+    /// Collective entry/progress check: `Err(Revoked)` if this
+    /// communicator was revoked, `Err(RankFailed)` naming the
+    /// lowest-numbered dead member if any member died. The ULFM-style
+    /// recovery ops ([`Communicator::agree`], [`Communicator::shrink`])
+    /// deliberately bypass this — they must make progress *despite*
+    /// failures.
+    pub(crate) fn check_group_alive(&self) -> Result<(), CommError> {
+        match self.group_error(ANY_SOURCE) {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// The error a blocking wait on `src` should fail with right now, if
+    /// any: revocation of this communicator, or a relevant peer failure.
+    pub(crate) fn group_error(&self, src: usize) -> Option<CommError> {
+        if self.is_revoked() {
+            return Some(CommError::Revoked { rank: self.rank });
+        }
+        self.relevant_failure(src).map(|failed| CommError::RankFailed {
+            rank: self.rank,
+            failed,
+        })
     }
 
     fn check_rank(&self, r: usize) -> Result<(), CommError> {
@@ -220,16 +358,36 @@ impl Communicator {
 
     /// Blocking receive that wakes early when the world aborts (a peer
     /// rank panicked), so failures surface immediately instead of after a
-    /// full receive timeout.
-    fn blocking_recv(&self, channel: CommId, src: usize, tag: Tag, ctx: &str) -> Envelope {
+    /// full receive timeout. Peer failure and revocation escalate through
+    /// [`Communicator::escalate`].
+    fn blocking_recv(&self, channel: CommId, src: usize, tag: Tag, ctx: &'static str) -> Envelope {
+        match self.ft_recv(channel, src, tag, ctx) {
+            Ok(env) => env,
+            Err(e) => self.escalate(ctx, e),
+        }
+    }
+
+    /// The failure-aware receive core every blocking path funnels
+    /// through: drains queued messages first (a message sent before the
+    /// peer died must still be delivered — ULFM allows non-uniform
+    /// completion), then surfaces revocation, relevant rank death, or the
+    /// configured deadline as a `CommError` instead of hanging.
+    fn ft_recv(
+        &self,
+        channel: CommId,
+        src: usize,
+        tag: Tag,
+        ctx: &'static str,
+    ) -> Result<Envelope, CommError> {
         let mb = self.mailbox_for(channel, self.rank);
         let deadline = std::time::Instant::now() + self.recv_timeout;
-        // Poll in short slices purely to observe the abort flag; messages
-        // wake the condvar directly, so latency is unaffected.
+        // Poll in short slices purely to observe the abort flag and the
+        // failure ledger; messages and interrupts wake the condvar
+        // directly, so latency is unaffected.
         let slice = Duration::from_millis(100).min(self.recv_timeout);
         loop {
             match mb.recv_matching_timeout(self.rank, src, tag, slice) {
-                Ok(env) => return env,
+                Ok(env) => return Ok(env),
                 Err(e) => {
                     if self.registry.aborted() {
                         panic!(
@@ -237,8 +395,22 @@ impl Communicator {
                             self.rank
                         );
                     }
+                    if self.is_revoked() {
+                        return Err(CommError::Revoked { rank: self.rank });
+                    }
+                    let watched = if channel == COLLECTIVE_CHANNEL {
+                        ANY_SOURCE // a collective depends on the whole group
+                    } else {
+                        src
+                    };
+                    if let Some(failed) = self.relevant_failure(watched) {
+                        return Err(CommError::RankFailed {
+                            rank: self.rank,
+                            failed,
+                        });
+                    }
                     if std::time::Instant::now() >= deadline {
-                        panic!("{ctx} deadlock on rank {}: {e}", self.rank);
+                        return Err(e);
                     }
                 }
             }
@@ -255,14 +427,101 @@ impl Communicator {
     /// eager-protocol send at intra-process speed.
     pub fn send<T: CommData>(&self, dest: usize, tag: Tag, data: Vec<T>) {
         self.check_rank(dest).expect("send: invalid destination");
+        let deliver = self.fault_point();
         let t = self.telemetry.begin();
         let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
         self.trace.record(OpKind::Send, 1, bytes);
         self.trace.record_message(OpKind::Send, bytes);
         self.trace.record_peer(self.world_of[dest], bytes);
-        self.mailbox_for(0, dest).push(Envelope::new(self.rank, tag, data));
+        if deliver {
+            self.mailbox_for(0, dest).push(Envelope::new(self.rank, tag, data));
+        }
         self.telemetry
             .end(t, SpanKind::Op(CommOp::Send), dest as i64, tag, bytes);
+    }
+
+    /// Fault-injection hook on every send-side op. Returns `false` when
+    /// the message must be dropped; delays sleep in place; kills mark
+    /// this world rank failed, stamp a telemetry instant, and panic with
+    /// a [`RankKilled`] payload. A no-op (`true`) without a fault plan.
+    fn fault_point(&self) -> bool {
+        let Some(inj) = &self.fault else { return true };
+        match inj.on_op() {
+            Injection::Proceed => true,
+            Injection::Drop => {
+                self.telemetry.instant(
+                    SpanKind::Phase(crate::fault::FAULT_DROP_PHASE),
+                    self.world_of[self.rank] as i64,
+                    inj.op_count(),
+                    0,
+                );
+                false
+            }
+            Injection::Delay(d) => {
+                let t = self.telemetry.begin();
+                std::thread::sleep(d);
+                self.telemetry.end(
+                    t,
+                    SpanKind::Phase(crate::fault::FAULT_DELAY_PHASE),
+                    self.world_of[self.rank] as i64,
+                    inj.op_count(),
+                    0,
+                );
+                true
+            }
+            Injection::Kill => self.die(inj, None),
+        }
+    }
+
+    /// Carry out an injected kill: mark this world rank failed (which
+    /// interrupts every mailbox so peers detect the death promptly),
+    /// stamp the telemetry instant, and panic with a [`RankKilled`]
+    /// payload that [`crate::World::run_ft`] recognizes.
+    fn die(&self, inj: &FaultInjector, step: Option<u64>) -> ! {
+        let world_rank = self.world_of[self.rank];
+        self.telemetry.instant(
+            SpanKind::Phase(crate::fault::FAULT_KILL_PHASE),
+            world_rank as i64,
+            inj.op_count(),
+            0,
+        );
+        self.registry.mark_failed(world_rank);
+        panic_any(RankKilled {
+            world_rank,
+            step,
+            op: inj.op_count(),
+        })
+    }
+
+    /// Driver hook: report the start of solver step `step` to the fault
+    /// engine, firing any step-triggered kill configured for this rank.
+    /// A no-op without a fault plan.
+    pub fn fault_step(&self, step: u64) {
+        if let Some(inj) = &self.fault {
+            if inj.on_step(step) == Injection::Kill {
+                self.die(inj, Some(step));
+            }
+        }
+    }
+
+    /// The faults this rank has injected so far (fault-plan worlds only).
+    pub fn fault_events(&self) -> Vec<crate::fault::FaultEvent> {
+        self.fault.as_ref().map(|i| i.events()).unwrap_or_default()
+    }
+
+    /// How long ago the failure of `world_rank` was first detected, if it
+    /// has been. The reference point for detection-latency measurements.
+    pub fn failure_age(&self, world_rank: usize) -> Option<Duration> {
+        self.registry.failed_at(world_rank).map(|t| t.elapsed())
+    }
+
+    /// World ranks of this communicator's members that have failed.
+    pub fn failed_ranks(&self) -> Vec<usize> {
+        self.world_of
+            .iter()
+            .copied()
+            .filter(|&w| self.registry.is_failed(w))
+            .collect()
     }
 
     /// Convenience: send a single value.
@@ -438,6 +697,7 @@ impl Communicator {
     /// [`SendRequest::wait`]/[`SendRequest::test`] or on drop.
     pub fn isend<T: CommData + Copy>(&self, dest: usize, tag: Tag, data: &[T]) -> SendRequest<'_> {
         self.check_rank(dest).expect("isend: invalid destination");
+        let deliver = self.fault_point();
         let t = self.telemetry.begin();
         let bytes = std::mem::size_of_val(data);
         let env = if bytes > self.eager_limit {
@@ -456,7 +716,9 @@ impl Communicator {
         self.trace.record_message(OpKind::Send, bytes as u64);
         self.trace.record_peer(self.world_of[dest], bytes as u64);
         self.trace.request_posted();
-        self.mailbox_for(0, dest).push(env);
+        if deliver {
+            self.mailbox_for(0, dest).push(env);
+        }
         self.telemetry
             .end(t, SpanKind::Op(CommOp::Isend), dest as i64, tag, bytes as u64);
         SendRequest::new(self)
@@ -495,12 +757,15 @@ impl Communicator {
     /// Send on the collective channel, attributing traffic to `kind`.
     pub(crate) fn coll_send<T: CommData>(&self, dest: usize, tag: Tag, data: Vec<T>, kind: OpKind) {
         debug_assert!(dest < self.size);
+        let deliver = self.fault_point();
         let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
         self.trace.add_traffic(kind, 1, bytes);
         self.trace.record_message(kind, bytes);
         self.trace.record_peer(self.world_of[dest], bytes);
-        self.mailbox_for(COLLECTIVE_CHANNEL, dest)
-            .push(Envelope::new(self.rank, tag, data));
+        if deliver {
+            self.mailbox_for(COLLECTIVE_CHANNEL, dest)
+                .push(Envelope::new(self.rank, tag, data));
+        }
     }
 
     /// Send a borrowed slice on the collective channel, attributing
@@ -516,6 +781,7 @@ impl Communicator {
         kind: OpKind,
     ) {
         debug_assert!(dest < self.size);
+        let deliver = self.fault_point();
         let bytes = std::mem::size_of_val(data);
         let env = if bytes > self.eager_limit {
             self.trace.record_copied(bytes as u64);
@@ -529,13 +795,21 @@ impl Communicator {
         self.trace.add_traffic(kind, 1, bytes as u64);
         self.trace.record_message(kind, bytes as u64);
         self.trace.record_peer(self.world_of[dest], bytes as u64);
-        self.mailbox_for(COLLECTIVE_CHANNEL, dest).push(env);
+        if deliver {
+            self.mailbox_for(COLLECTIVE_CHANNEL, dest).push(env);
+        }
     }
 
-    /// Receive on the collective channel.
-    pub(crate) fn coll_recv<T: CommData>(&self, src: usize, tag: Tag) -> Vec<T> {
-        self.blocking_recv(COLLECTIVE_CHANNEL, src, tag, "collective")
-            .into_data()
+    /// Fallible receive on the collective channel: `Err(RankFailed)` when
+    /// any group member dies mid-collective, `Err(Revoked)` after
+    /// revocation, `Err(Timeout)` past the deadline — never a hang.
+    pub(crate) fn try_coll_recv<T: CommData>(
+        &self,
+        src: usize,
+        tag: Tag,
+        ctx: &'static str,
+    ) -> Result<Vec<T>, CommError> {
+        self.ft_recv(COLLECTIVE_CHANNEL, src, tag, ctx)?.try_into_data()
     }
 
     /// Record that a collective of `kind` was invoked once on this rank.
@@ -549,12 +823,21 @@ impl Communicator {
 
     /// Block until every rank of the communicator has entered the barrier.
     pub fn barrier(&self) {
-        collectives::barrier::barrier(self);
+        if let Err(e) = collectives::barrier::barrier(self) {
+            self.escalate("barrier", e)
+        }
+    }
+
+    /// Fallible [`Communicator::barrier`]: `Err(RankFailed)` / `Err(Revoked)`
+    /// / `Err(Timeout)` instead of panicking when the group cannot complete.
+    pub fn try_barrier(&self) -> Result<(), CommError> {
+        collectives::barrier::barrier(self)
     }
 
     /// Broadcast `root`'s buffer to every rank (binomial tree).
     pub fn broadcast<T: CommData + Clone>(&self, root: usize, data: Option<Vec<T>>) -> Vec<T> {
-        collectives::broadcast::broadcast(self, root, data)
+        self.try_broadcast(root, data)
+            .unwrap_or_else(|e| self.escalate("broadcast", e))
     }
 
     /// Reduce values to `root` with `op` (binomial tree). Non-roots get `None`.
@@ -564,7 +847,8 @@ impl Communicator {
         value: T,
         op: &O,
     ) -> Option<T> {
-        collectives::reduce::reduce(self, root, value, op)
+        self.try_reduce(root, value, op)
+            .unwrap_or_else(|e| self.escalate("reduce", e))
     }
 
     /// Reduce element-wise over vectors to `root`.
@@ -574,16 +858,48 @@ impl Communicator {
         value: Vec<T>,
         op: &O,
     ) -> Option<Vec<T>> {
+        self.try_reduce_vec(root, value, op)
+            .unwrap_or_else(|e| self.escalate("reduce_vec", e))
+    }
+
+    /// Fallible [`Communicator::reduce_vec`].
+    pub fn try_reduce_vec<T: CommData + Clone, O: ReduceOp<T>>(
+        &self,
+        root: usize,
+        value: Vec<T>,
+        op: &O,
+    ) -> Result<Option<Vec<T>>, CommError> {
+        self.check_rank(root)?;
         collectives::reduce::reduce_vec(self, root, value, op)
     }
 
     /// Allreduce a single value (recursive doubling / reduce+broadcast).
     pub fn allreduce<T: CommData + Clone, O: ReduceOp<T>>(&self, value: T, op: &O) -> T {
+        self.try_allreduce(value, op)
+            .unwrap_or_else(|e| self.escalate("allreduce", e))
+    }
+
+    /// Fallible [`Communicator::allreduce`].
+    pub fn try_allreduce<T: CommData + Clone, O: ReduceOp<T>>(
+        &self,
+        value: T,
+        op: &O,
+    ) -> Result<T, CommError> {
         collectives::reduce::allreduce(self, value, op)
     }
 
     /// Element-wise allreduce over vectors.
     pub fn allreduce_vec<T: CommData + Clone, O: ReduceOp<T>>(&self, value: Vec<T>, op: &O) -> Vec<T> {
+        self.try_allreduce_vec(value, op)
+            .unwrap_or_else(|e| self.escalate("allreduce_vec", e))
+    }
+
+    /// Fallible [`Communicator::allreduce_vec`].
+    pub fn try_allreduce_vec<T: CommData + Clone, O: ReduceOp<T>>(
+        &self,
+        value: Vec<T>,
+        op: &O,
+    ) -> Result<Vec<T>, CommError> {
         collectives::reduce::allreduce_vec(self, value, op)
     }
 
@@ -607,7 +923,7 @@ impl Communicator {
     /// [`Communicator::gatherv`] to recover the boundaries.
     pub fn gather<T: CommData + Clone>(&self, root: usize, data: &[T]) -> Option<Vec<T>> {
         self.try_gather(root, data)
-            .unwrap_or_else(|e| panic!("gather: {e}"))
+            .unwrap_or_else(|e| self.escalate("gather", e))
     }
 
     /// Fallible [`Communicator::gather`]: `Err` on an out-of-range root.
@@ -629,7 +945,7 @@ impl Communicator {
         data: &[T],
     ) -> Option<(Vec<T>, Vec<usize>)> {
         self.try_gatherv(root, data)
-            .unwrap_or_else(|e| panic!("gatherv: {e}"))
+            .unwrap_or_else(|e| self.escalate("gatherv", e))
     }
 
     /// Fallible [`Communicator::gatherv`].
@@ -639,7 +955,7 @@ impl Communicator {
         data: &[T],
     ) -> Result<GathervResult<T>, CommError> {
         self.check_rank(root)?;
-        Ok(collectives::gather::gather(self, root, data.to_vec()).map(|blocks| {
+        Ok(collectives::gather::gather(self, root, data.to_vec())?.map(|blocks| {
             let counts: Vec<usize> = blocks.iter().map(Vec::len).collect();
             (blocks.into_iter().flatten().collect(), counts)
         }))
@@ -649,18 +965,33 @@ impl Communicator {
     /// concatenated in rank order. Per-rank lengths may differ; use
     /// [`Communicator::allgatherv`] to recover the boundaries.
     pub fn allgather<T: CommData + Clone>(&self, data: &[T]) -> Vec<T> {
-        collectives::gather::allgather(self, data.to_vec())
+        self.try_allgather(data)
+            .unwrap_or_else(|e| self.escalate("allgather", e))
+    }
+
+    /// Fallible [`Communicator::allgather`].
+    pub fn try_allgather<T: CommData + Clone>(&self, data: &[T]) -> Result<Vec<T>, CommError> {
+        Ok(collectives::gather::allgather(self, data.to_vec())?
             .into_iter()
             .flatten()
-            .collect()
+            .collect())
     }
 
     /// Like [`Communicator::allgather`], also returning each rank's
     /// element count.
     pub fn allgatherv<T: CommData + Clone>(&self, data: &[T]) -> (Vec<T>, Vec<usize>) {
-        let blocks = collectives::gather::allgather(self, data.to_vec());
+        self.try_allgatherv(data)
+            .unwrap_or_else(|e| self.escalate("allgatherv", e))
+    }
+
+    /// Fallible [`Communicator::allgatherv`].
+    pub fn try_allgatherv<T: CommData + Clone>(
+        &self,
+        data: &[T],
+    ) -> Result<(Vec<T>, Vec<usize>), CommError> {
+        let blocks = collectives::gather::allgather(self, data.to_vec())?;
         let counts: Vec<usize> = blocks.iter().map(Vec::len).collect();
-        (blocks.into_iter().flatten().collect(), counts)
+        Ok((blocks.into_iter().flatten().collect(), counts))
     }
 
     /// Scatter equal chunks of `root`'s flat buffer: rank `r` receives
@@ -668,7 +999,7 @@ impl Communicator {
     /// evenly by the communicator size. Non-roots pass `None`.
     pub fn scatter<T: CommData + Clone>(&self, root: usize, data: Option<&[T]>) -> Vec<T> {
         self.try_scatter(root, data)
-            .unwrap_or_else(|e| panic!("scatter: {e}"))
+            .unwrap_or_else(|e| self.escalate("scatter", e))
     }
 
     /// Fallible [`Communicator::scatter`]: `Err` on an out-of-range root
@@ -704,7 +1035,7 @@ impl Communicator {
             }
             (false, _) => None,
         };
-        Ok(collectives::scatter::scatter(self, root, blocks))
+        collectives::scatter::scatter(self, root, blocks)
     }
 
     /// Scatter variable-length chunks: `counts[r]` elements go to rank
@@ -716,7 +1047,7 @@ impl Communicator {
         data: Option<(&[T], &[usize])>,
     ) -> Vec<T> {
         self.try_scatterv(root, data)
-            .unwrap_or_else(|e| panic!("scatterv: {e}"))
+            .unwrap_or_else(|e| self.escalate("scatterv", e))
     }
 
     /// Fallible [`Communicator::scatterv`].
@@ -764,7 +1095,7 @@ impl Communicator {
             }
             (false, _) => None,
         };
-        Ok(collectives::scatter::scatter(self, root, blocks))
+        collectives::scatter::scatter(self, root, blocks)
     }
 
     /// Regular all-to-all over a flat buffer with the default
@@ -774,7 +1105,7 @@ impl Communicator {
     /// communicator size.
     pub fn alltoall<T: CommData + Clone>(&self, send: &[T]) -> Vec<T> {
         self.try_alltoall(send)
-            .unwrap_or_else(|e| panic!("alltoall: {e}"))
+            .unwrap_or_else(|e| self.escalate("alltoall", e))
     }
 
     /// Fallible [`Communicator::alltoall`].
@@ -789,7 +1120,7 @@ impl Communicator {
         algo: collectives::alltoall::AllToAllAlgo,
     ) -> Vec<T> {
         self.try_alltoall_with(send, algo)
-            .unwrap_or_else(|e| panic!("alltoall: {e}"))
+            .unwrap_or_else(|e| self.escalate("alltoall", e))
     }
 
     /// Fallible [`Communicator::alltoall_with`].
@@ -811,7 +1142,7 @@ impl Communicator {
         } else {
             send.chunks(chunk).map(<[T]>::to_vec).collect()
         };
-        Ok(collectives::alltoall::alltoall(self, blocks, algo)
+        Ok(collectives::alltoall::alltoall(self, blocks, algo)?
             .into_iter()
             .flatten()
             .collect())
@@ -827,7 +1158,7 @@ impl Communicator {
         counts: &[usize],
     ) -> (Vec<T>, Vec<usize>) {
         self.try_alltoallv(send, counts)
-            .unwrap_or_else(|e| panic!("alltoallv: {e}"))
+            .unwrap_or_else(|e| self.escalate("alltoallv", e))
     }
 
     /// Fallible [`Communicator::alltoallv`].
@@ -847,7 +1178,7 @@ impl Communicator {
         algo: collectives::alltoall::AllToAllAlgo,
     ) -> (Vec<T>, Vec<usize>) {
         self.try_alltoallv_with(send, counts, algo)
-            .unwrap_or_else(|e| panic!("alltoallv: {e}"))
+            .unwrap_or_else(|e| self.escalate("alltoallv", e))
     }
 
     /// Fallible [`Communicator::alltoallv_with`].
@@ -881,18 +1212,38 @@ impl Communicator {
                 head.to_vec()
             })
             .collect();
-        let recv = collectives::alltoall::alltoallv_with(self, blocks, algo);
+        let recv = collectives::alltoall::alltoallv_with(self, blocks, algo)?;
         let recv_counts: Vec<usize> = recv.iter().map(Vec::len).collect();
         Ok((recv.into_iter().flatten().collect(), recv_counts))
     }
 
     /// Inclusive prefix reduction: rank r gets `v_0 ⊕ … ⊕ v_r`.
     pub fn scan<T: CommData + Copy, O: ReduceOp<T>>(&self, value: T, op: &O) -> T {
+        self.try_scan(value, op)
+            .unwrap_or_else(|e| self.escalate("scan", e))
+    }
+
+    /// Fallible [`Communicator::scan`].
+    pub fn try_scan<T: CommData + Copy, O: ReduceOp<T>>(
+        &self,
+        value: T,
+        op: &O,
+    ) -> Result<T, CommError> {
         collectives::scan::scan(self, value, op)
     }
 
     /// Exclusive prefix reduction (`None` on rank 0).
     pub fn exscan<T: CommData + Copy, O: ReduceOp<T>>(&self, value: T, op: &O) -> Option<T> {
+        self.try_exscan(value, op)
+            .unwrap_or_else(|e| self.escalate("exscan", e))
+    }
+
+    /// Fallible [`Communicator::exscan`].
+    pub fn try_exscan<T: CommData + Copy, O: ReduceOp<T>>(
+        &self,
+        value: T,
+        op: &O,
+    ) -> Result<Option<T>, CommError> {
         collectives::scan::exscan(self, value, op)
     }
 
@@ -906,7 +1257,7 @@ impl Communicator {
         op: &O,
     ) -> Vec<T> {
         self.try_reduce_scatter(contributions, op)
-            .unwrap_or_else(|e| panic!("reduce_scatter: {e}"))
+            .unwrap_or_else(|e| self.escalate("reduce_scatter", e))
     }
 
     /// Fallible [`Communicator::reduce_scatter`].
@@ -928,7 +1279,7 @@ impl Communicator {
         } else {
             contributions.chunks(chunk).map(<[T]>::to_vec).collect()
         };
-        Ok(collectives::scan::reduce_scatter(self, blocks, op))
+        collectives::scan::reduce_scatter(self, blocks, op)
     }
 
     /// Fallible [`Communicator::broadcast`]: `Err` on an out-of-range
@@ -946,7 +1297,7 @@ impl Communicator {
                 got: 0,
             });
         }
-        Ok(collectives::broadcast::broadcast(self, root, data))
+        collectives::broadcast::broadcast(self, root, data)
     }
 
     /// Fallible [`Communicator::reduce`]: `Err` on an out-of-range root.
@@ -957,7 +1308,7 @@ impl Communicator {
         op: &O,
     ) -> Result<Option<T>, CommError> {
         self.check_rank(root)?;
-        Ok(collectives::reduce::reduce(self, root, value, op))
+        collectives::reduce::reduce(self, root, value, op)
     }
 
     // ------------------------------------------------------------------
@@ -976,6 +1327,7 @@ impl Communicator {
         data: Vec<T>,
     ) -> Option<Vec<Vec<T>>> {
         collectives::gather::gather(self, root, data)
+            .unwrap_or_else(|e| self.escalate("gather", e))
     }
 
     /// Allgather keeping one `Vec` per source rank.
@@ -983,6 +1335,7 @@ impl Communicator {
     #[deprecated(note = "use allgather(&[T]) or allgatherv for flat buffers with counts")]
     pub fn allgather_nested<T: CommData + Clone>(&self, data: Vec<T>) -> Vec<Vec<T>> {
         collectives::gather::allgather(self, data)
+            .unwrap_or_else(|e| self.escalate("allgather", e))
     }
 
     /// Scatter from pre-chunked per-destination buffers.
@@ -994,6 +1347,7 @@ impl Communicator {
         data: Option<Vec<Vec<T>>>,
     ) -> Vec<T> {
         collectives::scatter::scatter(self, root, data)
+            .unwrap_or_else(|e| self.escalate("scatter", e))
     }
 
     /// All-to-all over pre-chunked per-destination blocks.
@@ -1001,6 +1355,7 @@ impl Communicator {
     #[deprecated(note = "use alltoall(&[T]) with a flat buffer")]
     pub fn alltoall_nested<T: CommData + Clone>(&self, blocks: Vec<Vec<T>>) -> Vec<Vec<T>> {
         collectives::alltoall::alltoall(self, blocks, collectives::alltoall::AllToAllAlgo::Pairwise)
+            .unwrap_or_else(|e| self.escalate("alltoall", e))
     }
 
     /// All-to-all over pre-chunked blocks with an explicit algorithm.
@@ -1012,6 +1367,7 @@ impl Communicator {
         algo: collectives::alltoall::AllToAllAlgo,
     ) -> Vec<Vec<T>> {
         collectives::alltoall::alltoall(self, blocks, algo)
+            .unwrap_or_else(|e| self.escalate("alltoall", e))
     }
 
     /// Irregular all-to-all over pre-chunked per-destination blocks.
@@ -1019,6 +1375,7 @@ impl Communicator {
     #[deprecated(note = "use alltoallv(&[T], &counts) with a flat buffer")]
     pub fn alltoallv_nested<T: CommData + Clone>(&self, blocks: Vec<Vec<T>>) -> Vec<Vec<T>> {
         collectives::alltoall::alltoallv(self, blocks)
+            .unwrap_or_else(|e| self.escalate("alltoallv", e))
     }
 
     /// Irregular all-to-all over pre-chunked blocks with an explicit
@@ -1031,6 +1388,7 @@ impl Communicator {
         algo: collectives::alltoall::AllToAllAlgo,
     ) -> Vec<Vec<T>> {
         collectives::alltoall::alltoallv_with(self, blocks, algo)
+            .unwrap_or_else(|e| self.escalate("alltoallv", e))
     }
 
     /// Reduce-scatter over pre-chunked per-destination contributions.
@@ -1042,6 +1400,141 @@ impl Communicator {
         op: &O,
     ) -> Vec<T> {
         collectives::scan::reduce_scatter(self, contributions, op)
+            .unwrap_or_else(|e| self.escalate("reduce_scatter", e))
+    }
+
+    // ------------------------------------------------------------------
+    // ULFM-style recovery operations
+    // ------------------------------------------------------------------
+
+    /// Revoke this communicator (ULFM's `MPI_Comm_revoke`): every pending
+    /// and future operation on it — on every rank — errors with
+    /// [`CommError::Revoked`]. The first step of recovery: one rank
+    /// observes a failure, revokes, and all ranks converge on the error
+    /// path instead of some completing and some hanging.
+    pub fn revoke(&self) {
+        self.telemetry.instant(
+            SpanKind::Phase(crate::fault::REVOKE_PHASE),
+            self.rank as i64,
+            self.comm_id,
+            0,
+        );
+        self.registry.revoke(self.comm_id);
+    }
+
+    /// Whether this communicator counts as revoked: either its id was
+    /// revoked directly, or *any* revocation was issued after it was
+    /// built. The epoch clause is how revocation reaches derived
+    /// sub-communicators — a rank blocked in a pencil-FFT row exchange
+    /// whose group excludes the failed rank still unblocks the moment a
+    /// survivor revokes the parent. Communicators built after the
+    /// revocation (the child of a [`Communicator::shrink`]) are clean.
+    pub fn is_revoked(&self) -> bool {
+        self.registry.is_revoked(self.comm_id) || self.registry.revoke_epoch() > self.born_epoch
+    }
+
+    /// Fault-tolerant agreement on the surviving group (ULFM's
+    /// `MPI_Comm_agree`, specialised to the failure ledger): returns the
+    /// world ranks of this communicator's live members, in comm-rank
+    /// order. Works on revoked communicators and *despite* failures: the
+    /// survivors run a dissemination barrier among themselves, tagged by
+    /// a hash of the observed failed set, and restart with fresh tags
+    /// whenever a new failure lands mid-agreement. Because the failed set
+    /// only grows, every restart uses tags no earlier attempt used, so
+    /// stale tokens from an interrupted attempt can never satisfy a later
+    /// one.
+    pub fn agree(&self) -> Result<Vec<usize>, CommError> {
+        let deadline = std::time::Instant::now() + self.recv_timeout;
+        let mb = self.mailbox_for(COLLECTIVE_CHANNEL, self.rank);
+        'attempt: loop {
+            let snap = self.registry.failed_snapshot();
+            let survivors: Vec<usize> = (0..self.size)
+                .filter(|&r| !snap.contains(&self.world_of[r]))
+                .collect();
+            let me = survivors
+                .iter()
+                .position(|&r| r == self.rank)
+                .expect("agree: calling rank is marked failed");
+            let p = survivors.len();
+            let tagbase = agree_tagbase(&snap);
+            let mut dist = 1usize;
+            let mut round = 0u64;
+            while dist < p {
+                let dst = survivors[(me + dist) % p];
+                let src = survivors[(me + p - dist) % p];
+                self.coll_send::<u8>(dst, tagbase + round, Vec::new(), OpKind::Barrier);
+                let slice = Duration::from_millis(50).min(self.recv_timeout);
+                loop {
+                    match mb.recv_matching_timeout(self.rank, src, tagbase + round, slice) {
+                        Ok(_) => break,
+                        Err(e) => {
+                            if self.registry.aborted() {
+                                panic!(
+                                    "rank {} aborting during agree: a peer rank failed",
+                                    self.rank
+                                );
+                            }
+                            if self.registry.failed_snapshot() != snap {
+                                continue 'attempt; // new failure: fresh tags
+                            }
+                            if std::time::Instant::now() >= deadline {
+                                return Err(e);
+                            }
+                        }
+                    }
+                }
+                dist *= 2;
+                round += 1;
+            }
+            if self.registry.failed_snapshot() != snap {
+                continue 'attempt;
+            }
+            return Ok(survivors.iter().map(|&r| self.world_of[r]).collect());
+        }
+    }
+
+    /// Build a new communicator containing only the surviving ranks
+    /// (ULFM's `MPI_Comm_shrink`). Survivors keep their relative order;
+    /// the new communicator gets a fresh id (fresh mailboxes, so stale
+    /// messages from before the failure cannot pollute recovery). If a
+    /// further failure strikes during the shrink itself, the closing
+    /// barrier errors and the caller retries `shrink()` on the parent.
+    pub fn shrink(&self) -> Result<Communicator, CommError> {
+        let survivors_world = self.agree()?;
+        let me_world = self.world_of[self.rank];
+        let new_rank = survivors_world
+            .iter()
+            .position(|&w| w == me_world)
+            .expect("shrink: calling rank is marked failed");
+        let size = survivors_world.len();
+        let new_id = self.registry.shrink_id(self.comm_id, &survivors_world);
+        self.telemetry.instant(
+            SpanKind::Phase(crate::fault::SHRINK_PHASE),
+            new_rank as i64,
+            size as u64,
+            0,
+        );
+        let child = Communicator::new(
+            Arc::clone(&self.registry),
+            new_id,
+            new_rank,
+            size,
+            Arc::new(survivors_world),
+            Arc::clone(&self.trace),
+            Arc::clone(&self.telemetry),
+            Arc::clone(&self.pool),
+            self.recv_timeout,
+            self.eager_limit,
+        )
+        .with_fault(self.fault.clone());
+        // Confirm every survivor reached the same group. If agreement was
+        // broken by a failure racing the barrier above, ranks land in
+        // different child communicators and this times out quickly (short
+        // deadline) — a retryable error, not a hang.
+        child
+            .with_recv_timeout(self.recv_timeout.min(Duration::from_secs(5)))
+            .try_barrier()?;
+        Ok(child)
     }
 
     // ------------------------------------------------------------------
@@ -1099,18 +1592,21 @@ impl Communicator {
                 .map(|&(_, _, old)| self.world_of[old])
                 .collect(),
         );
-        Some(Communicator::new(
-            Arc::clone(&self.registry),
-            base + group_index,
-            new_rank,
-            members.len(),
-            world_of,
-            Arc::clone(&self.trace),
-            Arc::clone(&self.telemetry),
-            Arc::clone(&self.pool),
-            self.recv_timeout,
-            self.eager_limit,
-        ))
+        Some(
+            Communicator::new(
+                Arc::clone(&self.registry),
+                base + group_index,
+                new_rank,
+                members.len(),
+                world_of,
+                Arc::clone(&self.trace),
+                Arc::clone(&self.telemetry),
+                Arc::clone(&self.pool),
+                self.recv_timeout,
+                self.eager_limit,
+            )
+            .with_fault(self.fault.clone()),
+        )
     }
 
     /// Duplicate the communicator into an independent message space with
@@ -1119,6 +1615,20 @@ impl Communicator {
         self.split(Some(0), self.rank as i64)
             .expect("duplicate: split returned None")
     }
+}
+
+/// Tag base for one `agree` attempt: an FNV-1a hash of the observed
+/// failed set, shifted into a high tag region so agreement tokens can
+/// never collide with ordinary collective tags on the shadow channel.
+/// The failed set is monotone, so each distinct set — and therefore each
+/// restarted attempt — gets tags no earlier attempt used.
+fn agree_tagbase(snap: &[usize]) -> Tag {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &r in snap {
+        h ^= r as u64 + 1;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (0xA9EE_u64 << 48) | ((h & 0xFFFF_FFFF) << 16)
 }
 
 #[cfg(test)]

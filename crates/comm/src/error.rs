@@ -44,6 +44,35 @@ pub enum CommError {
         /// The size the caller supplied.
         got: usize,
     },
+    /// A peer rank the operation depends on has died (ULFM's
+    /// `MPI_ERR_PROC_FAILED`). Collectives report the lowest-numbered
+    /// failed member of the communicator.
+    RankFailed {
+        /// Rank that observed the failure.
+        rank: usize,
+        /// World rank of the failed peer.
+        failed: usize,
+    },
+    /// The communicator was revoked (ULFM's `MPI_ERR_REVOKED`): some rank
+    /// called `revoke()` to interrupt all pending and future operations,
+    /// typically as the first step of recovery.
+    Revoked {
+        /// Rank that observed the revocation.
+        rank: usize,
+    },
+    /// The received message's element type does not match the type the
+    /// receiver asked for — the moral equivalent of an MPI datatype
+    /// mismatch.
+    TypeMismatch {
+        /// Element type name the receiver requested.
+        expected: &'static str,
+        /// Element type name the sender actually sent.
+        got: &'static str,
+        /// Sender's rank within the communicator.
+        src: usize,
+        /// Message tag.
+        tag: u64,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -65,6 +94,23 @@ impl fmt::Display for CommError {
                 expected,
                 got,
             } => write!(f, "{what}: expected {expected}, got {got}"),
+            CommError::RankFailed { rank, failed } => write!(
+                f,
+                "rank {rank} detected failure of world rank {failed}"
+            ),
+            CommError::Revoked { rank } => {
+                write!(f, "communicator revoked (observed on rank {rank})")
+            }
+            CommError::TypeMismatch {
+                expected,
+                got,
+                src,
+                tag,
+            } => write!(
+                f,
+                "message type mismatch: received {got} from rank {src} (tag {tag}) but tried \
+                 to receive as Vec<{expected}>"
+            ),
         }
     }
 }
@@ -96,5 +142,17 @@ mod tests {
             got: 3,
         };
         assert!(e.to_string().contains("expected 4, got 3"));
+        let e = CommError::RankFailed { rank: 0, failed: 2 };
+        assert!(e.to_string().contains("world rank 2"));
+        let e = CommError::Revoked { rank: 1 };
+        assert!(e.to_string().contains("revoked"));
+        let e = CommError::TypeMismatch {
+            expected: "f64",
+            got: "u32",
+            src: 3,
+            tag: 9,
+        };
+        assert!(e.to_string().contains("message type mismatch"));
+        assert!(e.to_string().contains("Vec<f64>"));
     }
 }

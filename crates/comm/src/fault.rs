@@ -1,0 +1,547 @@
+//! Deterministic, seeded fault injection for the message-passing runtime.
+//!
+//! Large-scale MPI runs die in ways a correctness test suite never
+//! exercises: a rank is lost mid-collective, a message stalls in a
+//! congested NIC, a packet is dropped. This module injects exactly those
+//! three failure modes — **rank death**, **message delay**, and
+//! **message drop** — at configured `(rank, op-count)` or `(rank, step)`
+//! points, driven by [`beatnik_prng`] so a run with the same
+//! [`FaultPlan`] and seed replays *identically*: same op indices, same
+//! delays, same telemetry.
+//!
+//! # Spec grammar
+//!
+//! A plan is a comma-separated list of actions:
+//!
+//! ```text
+//! kill:r2@step5            kill rank 2 at the start of step 5
+//! kill:r2@op100            kill rank 2 on its 100th counted comm op
+//! drop:r0@op3              silently drop rank 0's 3rd sent message
+//! delay:r1@op10:50ms       delay rank 1's 10th send by ~50ms (seeded jitter)
+//! ```
+//!
+//! Op counts are **send-side**: every `send`, `isend`, and collective
+//! fan-out message a rank initiates bumps its counter, so the trigger
+//! point is a deterministic function of the program, independent of
+//! scheduling. Step triggers (driver-level, via
+//! [`crate::Communicator::fault_step`]) are only meaningful for `kill`.
+//!
+//! The seed comes from `BEATNIK_FAULT_SEED` (see [`seed_from_env`]); each
+//! rank derives its own stream as `seed ^ rank`, so delay jitter is
+//! deterministic per rank and uncorrelated across ranks.
+
+use crate::error::CommError;
+use crate::sync::Mutex;
+use beatnik_prng::Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Environment variable naming the fault-plan seed.
+pub const FAULT_SEED_ENV: &str = "BEATNIK_FAULT_SEED";
+
+/// Default seed when `BEATNIK_FAULT_SEED` is unset.
+pub const DEFAULT_FAULT_SEED: u64 = 0xBEA7;
+
+/// Telemetry phase name stamped (as an instant) when a kill fires.
+pub const FAULT_KILL_PHASE: &str = "fault-kill";
+/// Telemetry phase name stamped when a message is dropped.
+pub const FAULT_DROP_PHASE: &str = "fault-drop";
+/// Telemetry phase name spanning an injected message delay.
+pub const FAULT_DELAY_PHASE: &str = "fault-delay";
+/// Telemetry phase name stamped when a communicator is revoked.
+pub const REVOKE_PHASE: &str = "revoke";
+/// Telemetry phase name stamped when a `shrink` builds a survivor comm.
+pub const SHRINK_PHASE: &str = "shrink";
+/// Telemetry phase name spanning an app-level recovery epoch
+/// (revoke + shrink + checkpoint restore in the driver).
+pub const RECOVERY_PHASE: &str = "recovery";
+
+/// Read the fault seed from `BEATNIK_FAULT_SEED`, falling back to
+/// [`DEFAULT_FAULT_SEED`].
+pub fn seed_from_env() -> u64 {
+    std::env::var(FAULT_SEED_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(DEFAULT_FAULT_SEED)
+}
+
+/// What an injected fault does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The rank dies (panics with a [`RankKilled`] payload).
+    Kill,
+    /// One outgoing message is silently discarded.
+    Drop,
+    /// One outgoing message is held for the given base duration
+    /// (±50% seeded jitter) before delivery.
+    Delay(Duration),
+}
+
+impl FaultKind {
+    /// Short label used in telemetry span names and event listings.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::Kill => "kill",
+            FaultKind::Drop => "drop",
+            FaultKind::Delay(_) => "delay",
+        }
+    }
+}
+
+/// When an action fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trigger {
+    /// On the rank's `n`th counted (1-based, send-side) comm operation.
+    Op(u64),
+    /// At the start of solver step `n` (driver calls
+    /// [`crate::Communicator::fault_step`]). `kill` only.
+    Step(u64),
+}
+
+/// One configured fault: do `kind` on `rank` when `trigger` fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultAction {
+    /// What to inject.
+    pub kind: FaultKind,
+    /// World rank the action applies to.
+    pub rank: usize,
+    /// When it fires.
+    pub trigger: Trigger,
+}
+
+/// A parsed, seeded fault plan. Cheap to clone; seed included so two
+/// plans replay identically iff both spec and seed match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The configured actions, in spec order.
+    pub actions: Vec<FaultAction>,
+    /// Seed for per-rank jitter streams.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// Parse a comma-separated fault spec (see module docs for grammar).
+    pub fn parse(spec: &str, seed: u64) -> Result<FaultPlan, String> {
+        let mut actions = Vec::new();
+        for part in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            actions.push(parse_action(part)?);
+        }
+        if actions.is_empty() {
+            return Err(format!("fault spec {spec:?} contains no actions"));
+        }
+        Ok(FaultPlan { actions, seed })
+    }
+
+    /// Build the per-rank injector for `world_rank`. Returns `None` when
+    /// the plan has no actions for that rank, so untargeted ranks pay
+    /// nothing on their send paths.
+    pub fn injector_for(&self, world_rank: usize) -> Option<Arc<FaultInjector>> {
+        let mine: Vec<FaultAction> = self
+            .actions
+            .iter()
+            .filter(|a| a.rank == world_rank)
+            .cloned()
+            .collect();
+        if mine.is_empty() {
+            return None;
+        }
+        Some(Arc::new(FaultInjector {
+            world_rank,
+            actions: mine,
+            ops: AtomicU64::new(0),
+            rng: Mutex::new(Rng::seed_from_u64(self.seed ^ world_rank as u64)),
+            events: Mutex::new(Vec::new()),
+        }))
+    }
+}
+
+fn parse_action(part: &str) -> Result<FaultAction, String> {
+    let mut fields = part.split(':');
+    let kind_str = fields.next().unwrap_or("");
+    let target = fields
+        .next()
+        .ok_or_else(|| format!("fault action {part:?}: missing ':rN@...' target"))?;
+    let extra = fields.next();
+    if fields.next().is_some() {
+        return Err(format!("fault action {part:?}: too many ':' fields"));
+    }
+
+    let (rank_str, when_str) = target
+        .split_once('@')
+        .ok_or_else(|| format!("fault action {part:?}: target needs 'rN@opM' or 'rN@stepM'"))?;
+    let rank: usize = rank_str
+        .strip_prefix('r')
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("fault action {part:?}: bad rank {rank_str:?} (want e.g. r2)"))?;
+    let trigger = if let Some(n) = when_str.strip_prefix("op") {
+        Trigger::Op(
+            n.parse()
+                .map_err(|_| format!("fault action {part:?}: bad op count {n:?}"))?,
+        )
+    } else if let Some(n) = when_str.strip_prefix("step") {
+        Trigger::Step(
+            n.parse()
+                .map_err(|_| format!("fault action {part:?}: bad step {n:?}"))?,
+        )
+    } else {
+        return Err(format!(
+            "fault action {part:?}: trigger {when_str:?} must be opN or stepN"
+        ));
+    };
+
+    let kind = match kind_str {
+        "kill" => {
+            if extra.is_some() {
+                return Err(format!("fault action {part:?}: kill takes no duration"));
+            }
+            FaultKind::Kill
+        }
+        "drop" => {
+            if extra.is_some() {
+                return Err(format!("fault action {part:?}: drop takes no duration"));
+            }
+            FaultKind::Drop
+        }
+        "delay" => {
+            let dur = extra
+                .ok_or_else(|| format!("fault action {part:?}: delay needs a duration"))?;
+            FaultKind::Delay(parse_duration(dur).ok_or_else(|| {
+                format!("fault action {part:?}: bad duration {dur:?} (want e.g. 50ms, 2s)")
+            })?)
+        }
+        other => {
+            return Err(format!(
+                "fault action {part:?}: unknown kind {other:?} (want kill|drop|delay)"
+            ))
+        }
+    };
+    if matches!(trigger, Trigger::Step(_)) && kind != FaultKind::Kill {
+        return Err(format!(
+            "fault action {part:?}: step triggers only apply to kill (drop/delay need @opN)"
+        ));
+    }
+    Ok(FaultAction { kind, rank, trigger })
+}
+
+fn parse_duration(s: &str) -> Option<Duration> {
+    let (num, mul_ns) = if let Some(n) = s.strip_suffix("ms") {
+        (n, 1_000_000u64)
+    } else if let Some(n) = s.strip_suffix("us") {
+        (n, 1_000u64)
+    } else if let Some(n) = s.strip_suffix('s') {
+        (n, 1_000_000_000u64)
+    } else {
+        return None;
+    };
+    let v: u64 = num.parse().ok()?;
+    Some(Duration::from_nanos(v.checked_mul(mul_ns)?))
+}
+
+/// What the communicator should do at the current injection point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Injection {
+    /// Proceed normally.
+    Proceed,
+    /// Discard this message.
+    Drop,
+    /// Hold this message for the given (jittered) duration.
+    Delay(Duration),
+    /// Die now.
+    Kill,
+}
+
+/// One injected fault, recorded for replay verification and telemetry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// The action's kind label ("kill" / "drop" / "delay").
+    pub kind: &'static str,
+    /// World rank the fault fired on.
+    pub rank: usize,
+    /// The rank's send-side op count when it fired (0 for step kills
+    /// that fired before any op).
+    pub op_index: u64,
+    /// Solver step, for step-triggered kills.
+    pub step: Option<u64>,
+    /// Applied delay in nanoseconds (delay faults only).
+    pub delay_ns: u64,
+}
+
+impl std::fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} r{} @ op {}", self.kind, self.rank, self.op_index)?;
+        if let Some(s) = self.step {
+            write!(f, " (step {s})")?;
+        }
+        if self.delay_ns > 0 {
+            write!(f, " [{} ns]", self.delay_ns)?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-rank injection state: op counter, this rank's actions, and the
+/// seeded jitter stream. Shared (`Arc`) between the communicator and any
+/// communicators derived from it by `split`/`duplicate`/`shrink`, so the
+/// op count is global to the rank, not per-communicator.
+pub struct FaultInjector {
+    world_rank: usize,
+    actions: Vec<FaultAction>,
+    ops: AtomicU64,
+    rng: Mutex<Rng>,
+    events: Mutex<Vec<FaultEvent>>,
+}
+
+impl FaultInjector {
+    /// Count one send-side op and report what to inject for it.
+    pub fn on_op(&self) -> Injection {
+        let n = self.ops.fetch_add(1, Ordering::SeqCst) + 1;
+        let hit = self
+            .actions
+            .iter()
+            .find(|a| a.trigger == Trigger::Op(n));
+        let Some(action) = hit else {
+            return Injection::Proceed;
+        };
+        match action.kind {
+            FaultKind::Kill => {
+                self.record(FaultEvent {
+                    kind: "kill",
+                    rank: self.world_rank,
+                    op_index: n,
+                    step: None,
+                    delay_ns: 0,
+                });
+                Injection::Kill
+            }
+            FaultKind::Drop => {
+                self.record(FaultEvent {
+                    kind: "drop",
+                    rank: self.world_rank,
+                    op_index: n,
+                    step: None,
+                    delay_ns: 0,
+                });
+                Injection::Drop
+            }
+            FaultKind::Delay(base) => {
+                // ±50% jitter from the per-rank seeded stream: identical
+                // across replays, uncorrelated across ranks.
+                let factor = 0.5 + self.rng.lock().next_f64();
+                let jittered = Duration::from_nanos(
+                    (base.as_nanos() as f64 * factor).round() as u64,
+                );
+                self.record(FaultEvent {
+                    kind: "delay",
+                    rank: self.world_rank,
+                    op_index: n,
+                    step: None,
+                    delay_ns: jittered.as_nanos() as u64,
+                });
+                Injection::Delay(jittered)
+            }
+        }
+    }
+
+    /// Report whether a step-triggered kill fires at `step`, recording it.
+    pub fn on_step(&self, step: u64) -> Injection {
+        let fires = self
+            .actions
+            .iter()
+            .any(|a| a.kind == FaultKind::Kill && a.trigger == Trigger::Step(step));
+        if !fires {
+            return Injection::Proceed;
+        }
+        self.record(FaultEvent {
+            kind: "kill",
+            rank: self.world_rank,
+            op_index: self.ops.load(Ordering::SeqCst),
+            step: Some(step),
+            delay_ns: 0,
+        });
+        Injection::Kill
+    }
+
+    /// The rank's current send-side op count.
+    pub fn op_count(&self) -> u64 {
+        self.ops.load(Ordering::SeqCst)
+    }
+
+    /// World rank this injector belongs to.
+    pub fn world_rank(&self) -> usize {
+        self.world_rank
+    }
+
+    /// Snapshot of the faults injected so far, in firing order.
+    pub fn events(&self) -> Vec<FaultEvent> {
+        self.events.lock().clone()
+    }
+
+    fn record(&self, ev: FaultEvent) {
+        self.events.lock().push(ev);
+    }
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("world_rank", &self.world_rank)
+            .field("actions", &self.actions)
+            .field("ops", &self.op_count())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Panic payload carried by a rank killed by fault injection. The world
+/// runner ([`crate::World::run_ft`]) downcasts for this to tell an
+/// injected death from a genuine bug.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankKilled {
+    /// World rank that died.
+    pub world_rank: usize,
+    /// Step the kill was triggered at, if step-triggered.
+    pub step: Option<u64>,
+    /// The rank's send-side op count at death.
+    pub op: u64,
+}
+
+/// Panic payload thrown by the panicking collective wrappers when a
+/// *peer failure* — not a local bug — prevented completion. Recovery
+/// drivers (`rocketrig`'s fault loop) catch and downcast for this to
+/// start shrink/restart instead of crashing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectiveFailed {
+    /// Name of the collective that could not complete.
+    pub op: &'static str,
+    /// The underlying failure.
+    pub error: CommError,
+}
+
+impl std::fmt::Display for CollectiveFailed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} failed: {}", self.op, self.error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grammar_round_trips_all_kinds() {
+        let plan =
+            FaultPlan::parse("kill:r2@step5, drop:r0@op3,delay:r1@op10:50ms", 7).unwrap();
+        assert_eq!(plan.actions.len(), 3);
+        assert_eq!(
+            plan.actions[0],
+            FaultAction {
+                kind: FaultKind::Kill,
+                rank: 2,
+                trigger: Trigger::Step(5)
+            }
+        );
+        assert_eq!(
+            plan.actions[1],
+            FaultAction {
+                kind: FaultKind::Drop,
+                rank: 0,
+                trigger: Trigger::Op(3)
+            }
+        );
+        assert_eq!(
+            plan.actions[2],
+            FaultAction {
+                kind: FaultKind::Delay(Duration::from_millis(50)),
+                rank: 1,
+                trigger: Trigger::Op(10)
+            }
+        );
+    }
+
+    #[test]
+    fn grammar_rejects_malformed_specs() {
+        for bad in [
+            "",
+            "kill",
+            "kill:r2",
+            "kill:2@step5",
+            "kill:r2@banana5",
+            "explode:r2@step5",
+            "delay:r1@op10",       // missing duration
+            "delay:r1@op10:fast",  // bad duration
+            "drop:r0@step3",       // step trigger on non-kill
+            "kill:r2@step5:50ms",  // kill takes no duration
+        ] {
+            assert!(FaultPlan::parse(bad, 0).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn durations_parse_with_all_suffixes() {
+        assert_eq!(parse_duration("50ms"), Some(Duration::from_millis(50)));
+        assert_eq!(parse_duration("2s"), Some(Duration::from_secs(2)));
+        assert_eq!(parse_duration("100us"), Some(Duration::from_micros(100)));
+        assert_eq!(parse_duration("50"), None);
+        assert_eq!(parse_duration("ms"), None);
+    }
+
+    #[test]
+    fn injector_fires_on_exact_op_and_counts_deterministically() {
+        let plan = FaultPlan::parse("drop:r1@op3", 42).unwrap();
+        assert!(plan.injector_for(0).is_none(), "untargeted rank has no injector");
+        let inj = plan.injector_for(1).unwrap();
+        assert_eq!(inj.on_op(), Injection::Proceed);
+        assert_eq!(inj.on_op(), Injection::Proceed);
+        assert_eq!(inj.on_op(), Injection::Drop);
+        assert_eq!(inj.on_op(), Injection::Proceed);
+        assert_eq!(inj.op_count(), 4);
+        let events = inj.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, "drop");
+        assert_eq!(events[0].op_index, 3);
+    }
+
+    #[test]
+    fn delay_jitter_replays_identically_per_seed() {
+        let ev = |seed: u64| {
+            let inj = FaultPlan::parse("delay:r0@op1:10ms", seed)
+                .unwrap()
+                .injector_for(0)
+                .unwrap();
+            match inj.on_op() {
+                Injection::Delay(d) => d,
+                other => panic!("expected delay, got {other:?}"),
+            }
+        };
+        let a = ev(5);
+        let b = ev(5);
+        let c = ev(6);
+        assert_eq!(a, b, "same seed must replay the same jitter");
+        assert_ne!(a, c, "different seed should jitter differently");
+        // Jitter stays within ±50% of the 10ms base.
+        assert!(a >= Duration::from_millis(5) && a < Duration::from_millis(15));
+    }
+
+    #[test]
+    fn step_kills_fire_only_on_their_step() {
+        let inj = FaultPlan::parse("kill:r2@step5", 0)
+            .unwrap()
+            .injector_for(2)
+            .unwrap();
+        assert_eq!(inj.on_step(4), Injection::Proceed);
+        assert_eq!(inj.on_step(5), Injection::Kill);
+        let events = inj.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].step, Some(5));
+    }
+
+    #[test]
+    fn seed_env_parses_and_defaults() {
+        // Avoid mutating process env (tests run in parallel); exercise the
+        // parse path through a plan equality check instead.
+        assert_eq!(
+            FaultPlan::parse("kill:r0@op1", DEFAULT_FAULT_SEED).unwrap().seed,
+            DEFAULT_FAULT_SEED
+        );
+    }
+}

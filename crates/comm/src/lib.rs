@@ -49,6 +49,7 @@ pub mod cart;
 pub mod collectives;
 pub mod communicator;
 pub mod error;
+pub mod fault;
 pub mod mailbox;
 pub mod message;
 pub mod pool;
@@ -63,12 +64,16 @@ pub mod world;
 pub use cart::{dims_create, CartComm};
 pub use communicator::{Communicator, Tag, ANY_SOURCE, ANY_TAG};
 pub use error::CommError;
+pub use fault::{
+    seed_from_env, CollectiveFailed, FaultEvent, FaultKind, FaultPlan, RankKilled,
+    DEFAULT_FAULT_SEED, FAULT_SEED_ENV, RECOVERY_PHASE, SHRINK_PHASE,
+};
 pub use pool::{BufferPool, PoolStats};
 pub use reduce_op::{MaxOp, MinOp, ProdOp, ReduceOp, SumOp};
-pub use request::{wait_all, RecvRequest, SendRequest};
+pub use request::{try_wait_all, wait_all, RecvRequest, SendRequest};
 pub use trace::{OpKind, OpStats, RankTrace, WorldTrace};
 pub use transport::{eager_limit_from_env, DEFAULT_EAGER_LIMIT, EAGER_LIMIT_ENV};
-pub use world::World;
+pub use world::{FtReport, World};
 
 pub use collectives::alltoall::AllToAllAlgo;
 

@@ -84,6 +84,10 @@ struct State {
     /// Registered `wait_any` watchers.
     notifiers: Vec<Notifier>,
     next_id: u64,
+    /// Bumped by [`Mailbox::interrupt`]; sleeping waiters snapshot it and
+    /// return early when it changes, so failure/revocation news reaches
+    /// blocked receives without waiting out their timeout slice.
+    interrupt_seq: u64,
 }
 
 impl State {
@@ -210,6 +214,38 @@ impl State {
         self.arrivals.insert(pos, (seq, key.0, key.1));
         self.queued += 1;
     }
+
+    /// Hand an envelope to the oldest matching registered consumer,
+    /// waking only that thread. Gives the envelope back if nobody
+    /// matches. Shared by [`Mailbox::push`] and [`Mailbox::cancel_post`]
+    /// so a requeued envelope re-enters matching exactly like a fresh
+    /// arrival.
+    fn try_deposit(&mut self, seq: u64, env: Envelope) -> Result<(), Envelope> {
+        match self.consumers.iter().position(|c| env.matches(c.src, c.tag)) {
+            Some(pos) => {
+                let consumer = self.consumers.remove(pos).expect("matched consumer");
+                self.delivered.insert(consumer.id, (seq, env));
+                consumer.cond.notify_all();
+                if let Some(w) = consumer.watcher {
+                    w.notify_all();
+                }
+                Ok(())
+            }
+            None => Err(env),
+        }
+    }
+
+    /// Nudge every `wait_any` notifier whose selectors cover `(src, tag)`.
+    fn notify_matching(&self, src: usize, tag: u64) {
+        for n in &self.notifiers {
+            if n.sels
+                .iter()
+                .any(|&(s, t)| (s == usize::MAX || src == s) && (t == u64::MAX || tag == t))
+            {
+                n.cond.notify_all();
+            }
+        }
+    }
 }
 
 /// A blocking, matching message queue for one rank of one communicator.
@@ -231,28 +267,29 @@ impl Mailbox {
         let mut st = self.state.lock();
         let seq = st.seq;
         st.seq += 1;
-        if let Some(pos) = st
-            .consumers
-            .iter()
-            .position(|c| env.matches(c.src, c.tag))
-        {
-            let consumer = st.consumers.remove(pos).expect("matched consumer");
-            st.delivered.insert(consumer.id, (seq, env));
-            consumer.cond.notify_all();
-            if let Some(w) = consumer.watcher {
+        if let Err(env) = st.try_deposit(seq, env) {
+            let (src, tag) = (env.src, env.tag);
+            st.enqueue(seq, env);
+            st.notify_matching(src, tag);
+        }
+    }
+
+    /// Wake every waiter — blocked receives, claim waits, `wait_any`
+    /// watchers — so they return early and let their callers re-examine
+    /// failure state. Called when a rank is marked failed or a
+    /// communicator revoked; without it, news of a death would wait out
+    /// the full timeout slice of every sleeping receiver.
+    pub fn interrupt(&self) {
+        let mut st = self.state.lock();
+        st.interrupt_seq += 1;
+        for c in st.consumers.iter() {
+            c.cond.notify_all();
+            if let Some(w) = &c.watcher {
                 w.notify_all();
             }
-            return;
         }
-        let (src, tag) = (env.src, env.tag);
-        st.enqueue(seq, env);
         for n in &st.notifiers {
-            if n.sels
-                .iter()
-                .any(|&(s, t)| (s == usize::MAX || src == s) && (t == u64::MAX || tag == t))
-            {
-                n.cond.notify_all();
-            }
+            n.cond.notify_all();
         }
     }
 
@@ -288,6 +325,7 @@ impl Mailbox {
         if let Some(env) = st.take_match(src, tag) {
             return Ok(env);
         }
+        let intr = st.interrupt_seq;
         let (id, cond) = st.register_consumer(src, tag);
         loop {
             // A deposit may land between our timeout and reacquiring the
@@ -297,7 +335,7 @@ impl Mailbox {
                 return Ok(env);
             }
             let now = Instant::now();
-            if now >= deadline {
+            if now >= deadline || st.interrupt_seq != intr {
                 st.remove_consumer(id);
                 return Err(CommError::Timeout { rank, src, tag });
             }
@@ -337,13 +375,14 @@ impl Mailbox {
     pub fn wait_claim(&self, id: PostedId, timeout: Duration) -> Option<Envelope> {
         let deadline = Instant::now() + timeout;
         let mut st = self.state.lock();
+        let intr = st.interrupt_seq;
         loop {
             if let Some((_, env)) = st.delivered.remove(&id) {
                 return Some(env);
             }
             let cond = st.consumer_cond(id)?; // cancelled or double-claimed
             let now = Instant::now();
-            if now >= deadline {
+            if now >= deadline || st.interrupt_seq != intr {
                 return None;
             }
             let _ = cond.wait_for(&mut st, deadline - now);
@@ -351,13 +390,20 @@ impl Mailbox {
     }
 
     /// Cancel a posted receive. An envelope already deposited in the slot
-    /// is returned to the queue at its original arrival position, so a
-    /// later receive still sees it in order.
+    /// re-enters matching exactly as a fresh arrival would: it is handed
+    /// to the oldest registered consumer if one matches (the receiver may
+    /// have registered while the envelope sat in the cancelled slot —
+    /// this is the cancel-after-rendezvous-handshake hang), else queued
+    /// at its original arrival position with `wait_any` waiters nudged.
     pub fn cancel_post(&self, id: PostedId) {
         let mut st = self.state.lock();
         st.remove_consumer(id);
         if let Some((seq, env)) = st.delivered.remove(&id) {
-            st.requeue(seq, env);
+            if let Err(env) = st.try_deposit(seq, env) {
+                let (src, tag) = (env.src, env.tag);
+                st.requeue(seq, env);
+                st.notify_matching(src, tag);
+            }
         }
     }
 
@@ -370,13 +416,14 @@ impl Mailbox {
     pub fn wait_any_posted(&self, ids: &[PostedId], timeout: Duration) -> Option<usize> {
         let deadline = Instant::now() + timeout;
         let mut st = self.state.lock();
+        let intr = st.interrupt_seq;
         let watcher = Arc::new(Condvar::new());
         let result = loop {
             if let Some(i) = ids.iter().position(|id| st.delivered.contains_key(id)) {
                 break Some(i);
             }
             let now = Instant::now();
-            if now >= deadline {
+            if now >= deadline || st.interrupt_seq != intr {
                 break None;
             }
             for c in st.consumers.iter_mut() {
@@ -407,6 +454,7 @@ impl Mailbox {
     pub fn wait_any(&self, selectors: &[(usize, u64)], timeout: Duration) -> Option<usize> {
         let deadline = Instant::now() + timeout;
         let mut st = self.state.lock();
+        let intr = st.interrupt_seq;
         let mut reg: Option<(u64, Arc<Condvar>)> = None;
         let result = loop {
             if let Some(i) = selectors
@@ -416,7 +464,7 @@ impl Mailbox {
                 break Some(i);
             }
             let now = Instant::now();
-            if now >= deadline {
+            if now >= deadline || st.interrupt_seq != intr {
                 break None;
             }
             if reg.is_none() {
@@ -679,6 +727,82 @@ mod tests {
         assert_eq!(mb.len(), 2);
         assert_eq!(mb.recv_matching(2, 2).into_data::<u8>(), vec![1]);
         assert_eq!(mb.recv_matching(2, 2).into_data::<u8>(), vec![2]);
+    }
+
+    #[test]
+    fn cancelled_post_hands_deposit_to_blocked_receiver() {
+        // Regression (cancel-after-rendezvous-handshake hang): a receiver
+        // that registers while the envelope sits in a posted slot must be
+        // woken when the slot is cancelled, not sleep until timeout.
+        let mb = Arc::new(Mailbox::new());
+        let slot = mb.post_recv(2, 2);
+        mb.push(Envelope::new(2, 2, vec![9u8]));
+        let mb2 = Arc::clone(&mb);
+        let blocked = std::thread::spawn(move || {
+            mb2.recv_matching_timeout(0, 2, 2, Duration::from_secs(5))
+                .map(|e| e.into_data::<u8>())
+        });
+        // Give the receiver time to register as a consumer.
+        std::thread::sleep(Duration::from_millis(30));
+        let t0 = std::time::Instant::now();
+        mb.cancel_post(slot);
+        let got = blocked.join().unwrap();
+        assert_eq!(got.unwrap(), vec![9]);
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "receiver slept through the cancel handoff"
+        );
+    }
+
+    #[test]
+    fn cancelled_post_nudges_wait_any_watchers() {
+        let mb = Arc::new(Mailbox::new());
+        let slot = mb.post_recv(3, 3);
+        mb.push(Envelope::new(3, 3, vec![1u8]));
+        let mb2 = Arc::clone(&mb);
+        let waiter =
+            std::thread::spawn(move || mb2.wait_any(&[(3, 3)], Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(30));
+        mb.cancel_post(slot);
+        assert_eq!(waiter.join().unwrap(), Some(0));
+    }
+
+    #[test]
+    fn interrupt_wakes_blocked_receivers_early() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = Arc::clone(&mb);
+        let blocked = std::thread::spawn(move || {
+            mb2.recv_matching_timeout(0, 1, 1, Duration::from_secs(30))
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        let t0 = std::time::Instant::now();
+        mb.interrupt();
+        let got = blocked.join().unwrap();
+        assert!(matches!(got, Err(CommError::Timeout { .. })));
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "interrupt did not cut the wait short"
+        );
+    }
+
+    #[test]
+    fn interrupt_wakes_claim_and_watcher_waits() {
+        let mb = Arc::new(Mailbox::new());
+        let slot = mb.post_recv(0, 7);
+        let mb2 = Arc::clone(&mb);
+        let claim =
+            std::thread::spawn(move || mb2.wait_claim(slot, Duration::from_secs(30)));
+        let mb3 = Arc::clone(&mb);
+        let any = std::thread::spawn(move || {
+            mb3.wait_any_posted(&[slot], Duration::from_secs(30))
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        mb.interrupt();
+        assert!(claim.join().unwrap().is_none());
+        assert!(any.join().unwrap().is_none());
+        // The slot itself stays posted — only the waits were cut short.
+        mb.push(Envelope::new(0, 7, vec![1u8]));
+        assert!(mb.try_claim(slot).is_some());
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! rank, tag, and the payload size in bytes (used by the instrumentation
 //! layer).
 
+use crate::error::CommError;
 use crate::pool::PooledBuf;
 use std::any::{Any, TypeId};
 
@@ -114,28 +115,28 @@ impl Envelope {
     /// and (on drop of the internal buffer) returns the envelope to the
     /// sender's pool.
     pub fn into_data<T: CommData>(self) -> Vec<T> {
+        self.try_into_data().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Recover the typed buffer, returning [`CommError::TypeMismatch`]
+    /// instead of panicking when the element types disagree. Used by the
+    /// fallible receive paths, which must surface protocol errors without
+    /// tearing the rank down.
+    pub fn try_into_data<T: CommData>(self) -> Result<Vec<T>, CommError> {
+        let mismatch = CommError::TypeMismatch {
+            expected: std::any::type_name::<T>(),
+            got: self.type_name,
+            src: self.src,
+            tag: self.tag,
+        };
         match self.payload {
             Payload::Typed(any) => match any.downcast::<Vec<T>>() {
-                Ok(v) => *v,
-                Err(_) => panic!(
-                    "message type mismatch: received {} from rank {} (tag {}) but tried to \
-                     receive as Vec<{}>",
-                    self.type_name,
-                    self.src,
-                    self.tag,
-                    std::any::type_name::<T>()
-                ),
+                Ok(v) => Ok(*v),
+                Err(_) => Err(mismatch),
             },
             Payload::Pooled { buf, elem } => {
                 if elem != TypeId::of::<T>() {
-                    panic!(
-                        "message type mismatch: received {} from rank {} (tag {}) but tried \
-                         to receive as Vec<{}>",
-                        self.type_name,
-                        self.src,
-                        self.tag,
-                        std::any::type_name::<T>()
-                    );
+                    return Err(mismatch);
                 }
                 // The TypeId check proves this T is exactly the `T: Copy`
                 // the buffer was filled from in `from_slice` (the only
@@ -153,7 +154,7 @@ impl Envelope {
                     );
                     out.set_len(self.count);
                 }
-                out
+                Ok(out)
             }
         }
     }
@@ -221,6 +222,17 @@ mod tests {
         let (buf, _) = pool.acquire(8);
         let env = Envelope::from_slice(0, 0, &[1u32, 2], buf);
         let _: Vec<f32> = env.into_data();
+    }
+
+    #[test]
+    fn try_into_data_reports_mismatch_as_error() {
+        let env = Envelope::new(4, 11, vec![1u32, 2]);
+        let err = env.try_into_data::<f32>().unwrap_err();
+        assert!(matches!(
+            err,
+            CommError::TypeMismatch { src: 4, tag: 11, .. }
+        ));
+        assert!(err.to_string().contains("message type mismatch"));
     }
 
     #[test]

@@ -5,12 +5,20 @@
 //! communicators produced by `split` need no global setup phase: the first
 //! send to — or receive on — a `(comm, rank)` address materializes its
 //! mailbox.
+//!
+//! The registry is also the world's **failure ledger** (the shared-memory
+//! analogue of an MPI runtime's out-of-band failure detector): a dying
+//! rank marks itself failed here, every mailbox is interrupted so blocked
+//! receives re-check the ledger, and revoked communicator ids and agreed
+//! shrink ids live here so all survivors converge on the same recovery
+//! state without extra messages.
 
 use crate::mailbox::Mailbox;
-use crate::sync::RwLock;
-use std::collections::HashMap;
+use crate::sync::{Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Identifier of a communicator within one `World`.
 pub type CommId = u64;
@@ -25,6 +33,26 @@ pub struct Registry {
     /// Set when any rank panics, so ranks blocked in receives fail fast
     /// instead of waiting out their full timeout.
     abort: AtomicBool,
+    /// World ranks marked dead, with the instant each was first marked
+    /// (the reference point for detection-latency measurements).
+    failed: Mutex<HashMap<usize, Instant>>,
+    /// Communicator ids revoked ULFM-style: every pending and future
+    /// operation on them errors with [`crate::CommError::Revoked`].
+    revoked: RwLock<HashSet<CommId>>,
+    /// Count of revocations ever issued in this world. Communicators
+    /// snapshot it at construction; one created *before* a revocation
+    /// treats itself as revoked too. This is the propagation mechanism
+    /// ULFM gets from out-of-band runtime messages: a rank blocked on a
+    /// derived sub-communicator whose group does not contain the failed
+    /// rank would otherwise never learn the world is being torn down and
+    /// would sit out its full receive deadline. Communicators created
+    /// after the revocation (the fresh child a `shrink` builds) observe
+    /// an unchanged epoch and are unaffected.
+    revoke_epoch: AtomicU64,
+    /// Interned `(parent, survivor world ranks) -> child id` so every
+    /// survivor of a `shrink` lands on the same fresh communicator id
+    /// without communicating (they all observe the same failed set).
+    shrink_ids: Mutex<HashMap<(CommId, Vec<usize>), CommId>>,
 }
 
 impl Registry {
@@ -34,6 +62,10 @@ impl Registry {
             mailboxes: RwLock::new(HashMap::new()),
             next_comm_id: AtomicU64::new(WORLD_COMM_ID + 1),
             abort: AtomicBool::new(false),
+            failed: Mutex::new(HashMap::new()),
+            revoked: RwLock::new(HashSet::new()),
+            revoke_epoch: AtomicU64::new(0),
+            shrink_ids: Mutex::new(HashMap::new()),
         }
     }
 
@@ -45,6 +77,79 @@ impl Registry {
     /// Whether a rank has panicked and the world is tearing down.
     pub fn aborted(&self) -> bool {
         self.abort.load(Ordering::SeqCst)
+    }
+
+    /// Mark a world rank dead and interrupt every mailbox so blocked
+    /// receives observe the failure promptly. Idempotent: the first mark
+    /// wins, keeping the original failure instant.
+    pub fn mark_failed(&self, world_rank: usize) {
+        self.failed
+            .lock()
+            .entry(world_rank)
+            .or_insert_with(Instant::now);
+        self.interrupt_all();
+    }
+
+    /// Whether any rank has been marked failed.
+    pub fn any_failed(&self) -> bool {
+        !self.failed.lock().is_empty()
+    }
+
+    /// Whether a specific world rank has been marked failed.
+    pub fn is_failed(&self, world_rank: usize) -> bool {
+        self.failed.lock().contains_key(&world_rank)
+    }
+
+    /// Sorted snapshot of the failed world ranks.
+    pub fn failed_snapshot(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.failed.lock().keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// When `world_rank` was first marked failed, if it has been.
+    pub fn failed_at(&self, world_rank: usize) -> Option<Instant> {
+        self.failed.lock().get(&world_rank).copied()
+    }
+
+    /// Revoke a communicator: all its pending and future operations error
+    /// with `CommError::Revoked`. Also advances the revoke epoch so every
+    /// communicator that existed before this call — including derived
+    /// sub-communicators whose groups are disjoint from the failure —
+    /// observes the revocation, and interrupts every mailbox so sleepers
+    /// re-check promptly.
+    pub fn revoke(&self, comm: CommId) {
+        self.revoked.write().insert(comm);
+        self.revoke_epoch.fetch_add(1, Ordering::SeqCst);
+        self.interrupt_all();
+    }
+
+    /// Whether a communicator id has been revoked directly.
+    pub fn is_revoked(&self, comm: CommId) -> bool {
+        self.revoked.read().contains(&comm)
+    }
+
+    /// Number of revocations issued so far (see the `revoke_epoch` field).
+    pub fn revoke_epoch(&self) -> u64 {
+        self.revoke_epoch.load(Ordering::SeqCst)
+    }
+
+    /// The communicator id every survivor of a `shrink` of `parent` with
+    /// the given surviving world ranks agrees on, allocating it on first
+    /// ask. Survivors need not communicate: they all observe the same
+    /// failed set, compute the same key, and intern the same id.
+    pub fn shrink_id(&self, parent: CommId, survivors: &[usize]) -> CommId {
+        let mut ids = self.shrink_ids.lock();
+        *ids.entry((parent, survivors.to_vec()))
+            .or_insert_with(|| self.allocate_comm_ids(1))
+    }
+
+    /// Wake every sleeping waiter in every mailbox so they re-check the
+    /// failure ledger.
+    fn interrupt_all(&self) {
+        for mb in self.mailboxes.read().values() {
+            mb.interrupt();
+        }
     }
 
     /// Fetch the mailbox for `(comm, rank)`, creating it if needed.
@@ -102,5 +207,43 @@ mod tests {
         let b = reg.allocate_comm_ids(2);
         assert!(a > WORLD_COMM_ID);
         assert!(b >= a + 4);
+    }
+
+    #[test]
+    fn failure_ledger_is_idempotent_and_sorted() {
+        let reg = Registry::new();
+        assert!(!reg.any_failed());
+        assert_eq!(reg.failed_snapshot(), Vec::<usize>::new());
+        reg.mark_failed(3);
+        let t0 = reg.failed_at(3).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        reg.mark_failed(3); // second mark must not move the timestamp
+        assert_eq!(reg.failed_at(3), Some(t0));
+        reg.mark_failed(1);
+        assert!(reg.any_failed());
+        assert!(reg.is_failed(1) && reg.is_failed(3) && !reg.is_failed(0));
+        assert_eq!(reg.failed_snapshot(), vec![1, 3]);
+    }
+
+    #[test]
+    fn revocation_and_shrink_ids_are_stable() {
+        let reg = Registry::new();
+        assert!(!reg.is_revoked(7));
+        assert_eq!(reg.revoke_epoch(), 0);
+        reg.revoke(7);
+        assert!(reg.is_revoked(7));
+        // Each revocation advances the epoch so pre-existing communicators
+        // (which snapshot it at construction) observe the teardown.
+        assert_eq!(reg.revoke_epoch(), 1);
+        reg.revoke(9);
+        assert_eq!(reg.revoke_epoch(), 2);
+        // Every survivor asking for the same (parent, survivors) key must
+        // intern the same fresh id; a different survivor set gets its own.
+        let a = reg.shrink_id(0, &[0, 1, 3]);
+        let b = reg.shrink_id(0, &[0, 1, 3]);
+        let c = reg.shrink_id(0, &[0, 1]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a > WORLD_COMM_ID && c > WORLD_COMM_ID);
     }
 }

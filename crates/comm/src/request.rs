@@ -182,6 +182,29 @@ impl<'c, T: CommData> RecvRequest<'c, T> {
             .blocking_user_claim(self.posted, self.src, self.tag, "irecv wait");
         self.absorb(env);
     }
+
+    /// Fallible completion: like [`RecvRequest::wait`], but peer failure,
+    /// revocation, and the receive deadline come back as a [`CommError`]
+    /// instead of a panic. On error the request is consumed (its posted
+    /// slot is withdrawn on drop), so the message — if it ever arrives —
+    /// stays in the mailbox for a later receive.
+    pub fn try_wait(mut self) -> Result<Vec<T>, crate::error::CommError> {
+        if self.data.is_none() {
+            let mut span = self.comm.telemetry().op(CommOp::Wait);
+            let env = self
+                .comm
+                .ft_claim(self.posted, self.src, self.tag, "irecv wait")?;
+            span.peer(env.src);
+            span.tag(env.tag);
+            span.bytes(env.bytes as u64);
+            self.comm.trace().record(OpKind::Recv, 0, 0);
+            self.comm.trace().request_completed();
+            self.retired = true;
+            self.meta = Some((env.src, env.tag));
+            self.data = Some(env.try_into_data()?);
+        }
+        Ok(self.data.take().expect("try_wait: completed without payload"))
+    }
 }
 
 impl<T: CommData> Drop for RecvRequest<'_, T> {
@@ -254,6 +277,67 @@ pub fn wait_all<T: CommData>(mut requests: Vec<RecvRequest<'_, T>>) -> Vec<Vec<T
     let bytes: usize = out.iter().map(|v| std::mem::size_of_val(v.as_slice())).sum();
     span.bytes(bytes as u64);
     out
+}
+
+/// Fallible [`wait_all`]: peer failure, revocation, and the receive
+/// deadline come back as a [`crate::CommError`] instead of a panic. On
+/// error the incomplete requests are dropped (cancelling their posted
+/// slots); completed payloads absorbed before the failure are discarded
+/// with them, matching MPI's non-uniform-completion semantics.
+pub fn try_wait_all<T: CommData>(
+    mut requests: Vec<RecvRequest<'_, T>>,
+) -> Result<Vec<Vec<T>>, crate::error::CommError> {
+    if requests.is_empty() {
+        return Ok(Vec::new());
+    }
+    let comm = requests[0].comm;
+    debug_assert!(
+        requests.iter().all(|r| std::ptr::eq(r.comm, comm)),
+        "try_wait_all: requests from different communicators"
+    );
+    let mut span = comm.telemetry().op(CommOp::WaitAll);
+    let mb = comm.user_mailbox();
+    let deadline = std::time::Instant::now() + comm.recv_timeout();
+    let slice = Duration::from_millis(100).min(comm.recv_timeout());
+    loop {
+        let mut pending: Vec<PostedId> = Vec::new();
+        let mut watched_src = None;
+        for r in requests.iter_mut() {
+            if !r.test() {
+                pending.push(r.posted);
+                watched_src = Some(r.src);
+            }
+        }
+        let Some(watched) = watched_src else { break };
+        if comm.world_aborted() {
+            panic!(
+                "rank {} aborting during try_wait_all: a peer rank failed",
+                comm.rank()
+            );
+        }
+        if let Some(e) = comm.group_error(watched) {
+            return Err(e);
+        }
+        if std::time::Instant::now() >= deadline {
+            return Err(crate::error::CommError::Timeout {
+                rank: comm.rank(),
+                src: watched,
+                tag: requests
+                    .iter()
+                    .find(|r| !r.is_complete())
+                    .map(|r| r.tag)
+                    .unwrap_or(0),
+            });
+        }
+        let _ = mb.wait_any_posted(&pending, slice);
+    }
+    let out: Vec<Vec<T>> = requests
+        .into_iter()
+        .map(|mut r| r.data.take().expect("try_wait_all: incomplete request"))
+        .collect();
+    let bytes: usize = out.iter().map(|v| std::mem::size_of_val(v.as_slice())).sum();
+    span.bytes(bytes as u64);
+    Ok(out)
 }
 
 #[cfg(test)]

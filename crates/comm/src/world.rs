@@ -1,8 +1,10 @@
 //! World launch: ranks as scoped threads.
 
 use crate::communicator::Communicator;
+use crate::fault::{FaultEvent, FaultInjector, FaultPlan, RankKilled};
 use crate::pool::BufferPool;
 use crate::registry::{Registry, WORLD_COMM_ID};
+use crate::sync::Mutex;
 use crate::trace::{RankTrace, WorldTrace};
 use beatnik_telemetry::{RankTimeline, SpanRecorder, WorldTimeline, DEFAULT_SPAN_CAPACITY};
 use std::sync::Arc;
@@ -18,6 +20,23 @@ pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(120);
 /// Mirrors `mpirun -np P`: the closure is the program `main`, executed once
 /// per rank with that rank's [`Communicator`] for the world group.
 pub struct World;
+
+/// Outcome of a fault-tolerant run ([`World::run_ft`]): unlike the plain
+/// runners, an injected rank death is *data*, not a propagated panic.
+pub struct FtReport<R> {
+    /// Per-rank results; `None` for ranks that died (by injection) before
+    /// producing one.
+    pub results: Vec<Option<R>>,
+    /// World ranks killed by fault injection, in rank order.
+    pub killed: Vec<usize>,
+    /// Aggregated communication counters for the whole run.
+    pub trace: WorldTrace,
+    /// Span timeline when profiling was enabled.
+    pub timeline: Option<WorldTimeline>,
+    /// Every fault the plan actually fired, sorted by `(rank, op_index)`.
+    /// Byte-identical across runs with the same plan, seed, and program.
+    pub fault_events: Vec<FaultEvent>,
+}
 
 impl World {
     /// Run `f` on `num_ranks` ranks; returns each rank's result, indexed by
@@ -102,6 +121,200 @@ impl World {
         let (results, trace, _) =
             Self::run_inner_with_limit(num_ranks, recv_timeout, None, eager_limit, f);
         (results, trace)
+    }
+
+    /// Fault-tolerant runner: like [`World::run_config`], but ranks killed
+    /// by `plan` terminate quietly (recorded in [`FtReport::killed`])
+    /// instead of tearing the world down, and survivors observe the death
+    /// as `CommError::RankFailed` / `Timeout` on their next blocking op.
+    ///
+    /// `recv_timeout` doubles as the failure-detection deadline, so
+    /// fault-tolerant drivers typically pass seconds, not minutes.
+    /// Panics that are *not* injected kills propagate exactly as in
+    /// [`World::run`].
+    pub fn run_ft<R, F>(
+        num_ranks: usize,
+        recv_timeout: Duration,
+        plan: Option<&FaultPlan>,
+        f: F,
+    ) -> FtReport<R>
+    where
+        R: Send,
+        F: Fn(Communicator) -> R + Send + Sync,
+    {
+        Self::run_ft_inner(num_ranks, recv_timeout, None, plan, f)
+    }
+
+    /// [`World::run_ft`] with span profiling enabled (capacity as in
+    /// [`World::run_profiled_config`]); [`FtReport::timeline`] is `Some`.
+    pub fn run_ft_profiled<R, F>(
+        num_ranks: usize,
+        recv_timeout: Duration,
+        span_capacity: usize,
+        plan: Option<&FaultPlan>,
+        f: F,
+    ) -> FtReport<R>
+    where
+        R: Send,
+        F: Fn(Communicator) -> R + Send + Sync,
+    {
+        Self::run_ft_inner(num_ranks, recv_timeout, Some(span_capacity), plan, f)
+    }
+
+    fn run_ft_inner<R, F>(
+        num_ranks: usize,
+        recv_timeout: Duration,
+        span_capacity: Option<usize>,
+        plan: Option<&FaultPlan>,
+        f: F,
+    ) -> FtReport<R>
+    where
+        R: Send,
+        F: Fn(Communicator) -> R + Send + Sync,
+    {
+        assert!(num_ranks > 0, "world needs at least one rank");
+        Self::silence_injected_kills();
+        let eager_limit = crate::transport::eager_limit_from_env();
+        let registry = Arc::new(Registry::new());
+        let traces: Vec<Arc<RankTrace>> =
+            (0..num_ranks).map(|_| Arc::new(RankTrace::new())).collect();
+        let epoch = Instant::now();
+        let recorders: Vec<Arc<SpanRecorder>> = (0..num_ranks)
+            .map(|_| {
+                Arc::new(match span_capacity {
+                    Some(cap) => SpanRecorder::new(cap, epoch),
+                    None => SpanRecorder::disabled(),
+                })
+            })
+            .collect();
+        let identity: Arc<Vec<usize>> = Arc::new((0..num_ranks).collect());
+        let pools: Vec<Arc<BufferPool>> = (0..num_ranks)
+            .map(|_| Arc::new(BufferPool::new()))
+            .collect();
+        let injectors: Vec<Option<Arc<FaultInjector>>> = (0..num_ranks)
+            .map(|rank| plan.and_then(|p| p.injector_for(rank)))
+            .collect();
+
+        let mut results: Vec<Option<R>> = (0..num_ranks).map(|_| None).collect();
+        let killed: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        let f = &f;
+        let killed_ref = &killed;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = results
+                .iter_mut()
+                .enumerate()
+                .map(|(rank, slot)| {
+                    let comm = Communicator::new(
+                        Arc::clone(&registry),
+                        WORLD_COMM_ID,
+                        rank,
+                        num_ranks,
+                        Arc::clone(&identity),
+                        Arc::clone(&traces[rank]),
+                        Arc::clone(&recorders[rank]),
+                        Arc::clone(&pools[rank]),
+                        recv_timeout,
+                        eager_limit,
+                    )
+                    .with_fault(injectors[rank].clone());
+                    let reg = Arc::clone(&registry);
+                    scope.spawn(move || {
+                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(comm)));
+                        match out {
+                            Ok(r) => *slot = Some(r),
+                            Err(p) => {
+                                // An injected kill is part of the
+                                // experiment: record it and let survivors
+                                // carry on. Anything else is a real bug.
+                                if let Some(k) = p.downcast_ref::<RankKilled>() {
+                                    killed_ref.lock().push(k.world_rank);
+                                } else {
+                                    reg.signal_abort();
+                                    std::panic::resume_unwind(p);
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            let mut panics: Vec<Box<dyn std::any::Any + Send>> = Vec::new();
+            for h in handles {
+                if let Err(p) = h.join() {
+                    panics.push(p);
+                }
+            }
+            if !panics.is_empty() {
+                let is_secondary = |p: &Box<dyn std::any::Any + Send>| {
+                    let msg = p
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| p.downcast_ref::<&str>().copied())
+                        .unwrap_or("");
+                    msg.contains("a peer rank failed")
+                };
+                let idx = panics.iter().position(|p| !is_secondary(p)).unwrap_or(0);
+                std::panic::resume_unwind(panics.swap_remove(idx));
+            }
+        });
+
+        for (trace, pool) in traces.iter().zip(&pools) {
+            trace.set_pool_peak_in_flight(pool.stats().peak_in_flight);
+        }
+        let timeline = span_capacity.map(|_| {
+            WorldTimeline::new(
+                recorders
+                    .iter()
+                    .enumerate()
+                    .map(|(rank, rec)| {
+                        let (spans, dropped) = rec.snapshot();
+                        RankTimeline {
+                            rank,
+                            spans,
+                            dropped,
+                        }
+                    })
+                    .collect(),
+            )
+        });
+        let mut killed = std::mem::take(&mut *killed.lock());
+        killed.sort_unstable();
+        let mut fault_events: Vec<FaultEvent> = injectors
+            .iter()
+            .flatten()
+            .flat_map(|inj| inj.events())
+            .collect();
+        fault_events.sort_by_key(|e| (e.rank, e.op_index));
+        FtReport {
+            results,
+            killed,
+            trace: WorldTrace::new(traces),
+            timeline,
+            fault_events,
+        }
+    }
+
+    /// Install (once, process-wide) a panic hook that swallows the two
+    /// panic payloads fault tolerance uses as control flow: the
+    /// [`RankKilled`] payload injection takes a rank down with, and the
+    /// [`CollectiveFailed`] payload [`Communicator::escalate`] throws for
+    /// recovery drivers to catch. Both are the *experiment*, not a bug —
+    /// the default hook's "thread panicked" banner and backtrace for each
+    /// would bury real failures in noise. Every other panic reaches the
+    /// previous hook untouched, and the payloads themselves still
+    /// propagate to whoever catches (or fails to catch) them.
+    fn silence_injected_kills() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            let previous = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let p = info.payload();
+                if p.downcast_ref::<RankKilled>().is_none()
+                    && p.downcast_ref::<crate::fault::CollectiveFailed>().is_none()
+                {
+                    previous(info);
+                }
+            }));
+        });
     }
 
     fn run_inner<R, F>(

@@ -1,0 +1,274 @@
+//! Fault-injection integration tests: every collective must surface a
+//! mid-operation rank death as `Err(RankFailed)` or `Err(Timeout)`
+//! within its deadline — never hang — and the seeded fault engine must
+//! replay byte-identically.
+
+use beatnik_comm::{CommError, Communicator, FaultPlan, SumOp, World};
+use std::time::{Duration, Instant};
+
+/// Base world deadline: generous, only reached if detection is broken.
+const WORLD_TIMEOUT: Duration = Duration::from_secs(60);
+/// Detection deadline the survivors run under; errors must land inside
+/// a small multiple of this.
+const DETECT: Duration = Duration::from_secs(2);
+
+/// Outcome of one survivor: which error ended its loop and how long
+/// after the faulted iteration began it took to surface.
+type Survivor = (usize, CommError, Duration);
+
+/// Run `coll` in a loop on `p` ranks with rank `victim` killed at the
+/// start of iteration 2 (iteration 1 must complete cleanly). Returns
+/// each survivor's terminating error and its latency.
+fn kill_mid_collective<F>(p: usize, victim: usize, coll: F) -> Vec<Survivor>
+where
+    F: Fn(&Communicator) -> Result<(), CommError> + Send + Sync,
+{
+    let spec = format!("kill:r{victim}@step2");
+    let plan = FaultPlan::parse(&spec, 0).expect("static plan");
+    let coll = &coll;
+    let report = World::run_ft(p, WORLD_TIMEOUT, Some(&plan), move |comm| {
+        let comm = comm.with_recv_timeout(DETECT);
+        for step in 1..=100u64 {
+            let started = Instant::now();
+            comm.fault_step(step); // victim dies here on step 2
+            // Non-uniform completion is allowed: a survivor whose
+            // messages don't route through the victim (a broadcast root
+            // only sends) may legitimately finish the faulted iteration
+            // — and without lockstep it could finish the whole loop
+            // before the victim even reaches its kill point. The barrier
+            // makes every iteration mutually dependent, so each survivor
+            // observes the death either inside the collective under test
+            // or in the same iteration's barrier.
+            match coll(&comm).and_then(|()| comm.try_barrier()) {
+                Ok(()) => {}
+                Err(e) => return (comm.rank(), e, started.elapsed()),
+            }
+        }
+        panic!("rank {} never observed the failure", comm.rank());
+    });
+    assert_eq!(report.killed, [victim], "kill did not land");
+    let survivors: Vec<Survivor> = report.results.into_iter().flatten().collect();
+    assert_eq!(survivors.len(), p - 1, "every survivor must report");
+    survivors
+}
+
+/// Assert every survivor failed with `RankFailed` (or `Timeout`, if its
+/// receive raced the ledger update) well inside the deadline budget.
+fn assert_failed_fast(survivors: &[Survivor], what: &str) {
+    for (rank, err, latency) in survivors {
+        match err {
+            CommError::RankFailed { failed, .. } => {
+                assert_eq!(*failed, 2, "{what}: wrong culprit on rank {rank}")
+            }
+            CommError::Timeout { .. } => {}
+            other => panic!("{what}: rank {rank} got unexpected error {other}"),
+        }
+        assert!(
+            *latency < DETECT + Duration::from_secs(8),
+            "{what}: rank {rank} took {latency:?} to observe the failure"
+        );
+    }
+}
+
+/// Every collective, one rank killed mid-stream, at world size `p`.
+/// The victim is rank 2 so it is an interior participant of every
+/// algorithm (tree child and parent, ring member, Bruck peer).
+type Case = Box<dyn Fn(&Communicator) -> Result<(), CommError> + Send + Sync>;
+
+fn all_collectives_fail_fast(p: usize) {
+    let cases: Vec<(&str, Case)> = vec![
+        ("barrier", Box::new(|c: &Communicator| c.try_barrier())),
+        (
+            "broadcast",
+            Box::new(|c: &Communicator| {
+                let root_data = (c.rank() == 0).then(|| vec![7u64; 16]);
+                c.try_broadcast(0, root_data).map(|_| ())
+            }),
+        ),
+        (
+            "reduce",
+            Box::new(|c: &Communicator| c.try_reduce(0, c.rank() as f64, &SumOp).map(|_| ())),
+        ),
+        (
+            "allreduce",
+            Box::new(|c: &Communicator| c.try_allreduce(c.rank() as f64, &SumOp).map(|_| ())),
+        ),
+        (
+            "gather",
+            Box::new(|c: &Communicator| c.try_gather(0, &[c.rank() as u64; 4]).map(|_| ())),
+        ),
+        (
+            "allgather",
+            Box::new(|c: &Communicator| c.try_allgather(&[c.rank() as u64; 4]).map(|_| ())),
+        ),
+        (
+            "scatter",
+            Box::new(|c: &Communicator| {
+                let root_data: Option<Vec<u64>> = (c.rank() == 0).then(|| vec![1; c.size()]);
+                c.try_scatter(0, root_data.as_deref()).map(|_| ())
+            }),
+        ),
+        (
+            "alltoall",
+            Box::new(|c: &Communicator| c.try_alltoall(&vec![c.rank() as u64; c.size()]).map(|_| ())),
+        ),
+        (
+            "alltoallv",
+            Box::new(|c: &Communicator| {
+                let counts = vec![1usize; c.size()];
+                c.try_alltoallv(&vec![c.rank() as u64; c.size()], &counts).map(|_| ())
+            }),
+        ),
+        (
+            "scan",
+            Box::new(|c: &Communicator| c.try_scan(c.rank() as i64, &SumOp).map(|_| ())),
+        ),
+        (
+            "exscan",
+            Box::new(|c: &Communicator| c.try_exscan(c.rank() as i64, &SumOp).map(|_| ())),
+        ),
+        (
+            "reduce_scatter",
+            Box::new(|c: &Communicator| {
+                c.try_reduce_scatter(&vec![1.0f64; c.size()], &SumOp).map(|_| ())
+            }),
+        ),
+    ];
+    for (name, coll) in cases {
+        eprintln!("case: {name} p={p}");
+        let survivors = kill_mid_collective(p, 2, coll);
+        assert_failed_fast(&survivors, name);
+    }
+}
+
+#[test]
+fn every_collective_fails_fast_when_a_rank_dies_4_ranks() {
+    all_collectives_fail_fast(4);
+}
+
+#[test]
+fn every_collective_fails_fast_when_a_rank_dies_9_ranks() {
+    all_collectives_fail_fast(9);
+}
+
+/// A dropped message is not a death: the waiting rank must time out
+/// (no rank is marked failed) instead of hanging.
+#[test]
+fn dropped_message_surfaces_as_timeout_not_hang() {
+    let plan = FaultPlan::parse("drop:r1@op1", 0).expect("static plan");
+    let report = World::run_ft(
+        4,
+        WORLD_TIMEOUT,
+        Some(&plan),
+        |comm| {
+            let comm = comm.with_recv_timeout(Duration::from_millis(500));
+            comm.try_allreduce(comm.rank() as f64, &SumOp)
+        },
+    );
+    assert!(report.killed.is_empty(), "a drop must not kill anyone");
+    assert_eq!(report.fault_events.len(), 1);
+    assert_eq!(report.fault_events[0].rank, 1);
+    let errors: Vec<&CommError> = report
+        .results
+        .iter()
+        .flatten()
+        .filter_map(|r| r.as_ref().err())
+        .collect();
+    assert!(!errors.is_empty(), "someone must miss the dropped message");
+    for e in errors {
+        assert!(
+            matches!(e, CommError::Timeout { .. }),
+            "drop must surface as Timeout, got {e}"
+        );
+    }
+}
+
+/// A delayed message still arrives: the collective completes correctly,
+/// and the jittered delay is recorded in the fault ledger.
+#[test]
+fn delayed_message_is_still_delivered() {
+    let plan = FaultPlan::parse("delay:r1@op1:20ms", 0).expect("static plan");
+    let report = World::run_ft(4, WORLD_TIMEOUT, Some(&plan), |comm| {
+        comm.try_allreduce(comm.rank() as f64, &SumOp)
+    });
+    assert!(report.killed.is_empty());
+    for r in report.results.iter().flatten() {
+        assert_eq!(*r.as_ref().expect("delay must not fail the op"), 6.0);
+    }
+    assert_eq!(report.fault_events.len(), 1);
+    assert!(report.fault_events[0].delay_ns > 0, "jittered delay recorded");
+}
+
+/// The full ULFM recovery sequence: a rank dies, survivors shrink, and
+/// collectives on the shrunken communicator work — with the dead rank
+/// still in the failure ledger.
+#[test]
+fn shrink_after_death_yields_working_communicator() {
+    let plan = FaultPlan::parse("kill:r2@step1", 0).expect("static plan");
+    let report = World::run_ft(4, WORLD_TIMEOUT, Some(&plan), |comm| {
+        comm.fault_step(1); // rank 2 dies here
+        let shrunk = comm.shrink().expect("survivors agree and shrink");
+        assert_eq!(shrunk.size(), 3);
+        // World ranks 0, 1, 3 survive; their sum distinguishes a correct
+        // group from one that silently kept or renumbered the dead rank.
+        let sum = shrunk
+            .try_allreduce(comm.rank() as f64, &SumOp)
+            .expect("collective on shrunken comm");
+        assert_eq!(sum, 4.0);
+        shrunk.rank()
+    });
+    assert_eq!(report.killed, [2]);
+    let mut new_ranks: Vec<usize> = report.results.into_iter().flatten().collect();
+    new_ranks.sort_unstable();
+    assert_eq!(new_ranks, [0, 1, 2], "survivors renumber densely");
+}
+
+/// Same seed, same plan, same program: the fault ledger — including
+/// jittered delay durations — and the kill set replay identically.
+#[test]
+fn seeded_fault_replay_is_deterministic() {
+    let run = || {
+        // Both delays fire during the clean steps (1 and 2, two sends
+        // per allreduce at p=4), before the kill makes surviving-rank op
+        // counts race-dependent: the *ledger* must replay byte-for-byte.
+        let plan =
+            FaultPlan::parse("delay:r1@op2:10ms, delay:r3@op3:3ms, kill:r2@step3", 42)
+                .expect("static plan");
+        World::run_ft(4, WORLD_TIMEOUT, Some(&plan), |comm| {
+            let comm = comm.with_recv_timeout(DETECT);
+            for step in 1..=3u64 {
+                comm.fault_step(step);
+                if comm.try_allreduce(1.0f64, &SumOp).is_err() {
+                    break;
+                }
+            }
+        })
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.killed, b.killed);
+    assert_eq!(a.fault_events, b.fault_events, "fault ledger must replay");
+    assert_eq!(a.killed, [2]);
+    // The delays actually fired and carried jitter from the seeded PRNG.
+    assert!(a.fault_events.iter().any(|e| e.delay_ns > 0));
+}
+
+/// A different seed perturbs the jitter: determinism comes from the
+/// seed, not from the delays being constants.
+#[test]
+fn different_seed_changes_delay_jitter() {
+    let run = |seed: u64| {
+        let plan = FaultPlan::parse("delay:r1@op1:10ms", seed).expect("static plan");
+        World::run_ft(2, WORLD_TIMEOUT, Some(&plan), |comm| {
+            comm.try_allreduce(1.0f64, &SumOp).expect("no deaths here")
+        })
+    };
+    let a = run(7);
+    let b = run(8);
+    assert_eq!(a.fault_events.len(), 1);
+    assert_eq!(b.fault_events.len(), 1);
+    assert_ne!(
+        a.fault_events[0].delay_ns, b.fault_events[0].delay_ns,
+        "jitter must depend on the seed"
+    );
+}

@@ -28,6 +28,11 @@ pub struct Checkpoint {
 impl_json_struct!(Checkpoint { step, time, global, nodes });
 
 /// Gather and write a checkpoint (rank 0 writes). Collective.
+///
+/// The write is atomic: the state goes to `<path>.tmp` and is renamed
+/// into place only after a successful flush, so a rank dying mid-write
+/// (the fault-injection scenario recovery restarts from) can never leave
+/// a truncated checkpoint behind — the previous complete one survives.
 pub fn save(
     pm: &ProblemManager,
     step: usize,
@@ -41,11 +46,18 @@ pub fn save(
             global: [nr, nc],
             nodes,
         };
-        let file = std::fs::File::create(path)?;
-        let mut w = std::io::BufWriter::new(file);
-        beatnik_json::to_writer(&mut w, &ck)?;
-        use std::io::Write as _;
-        w.flush()?;
+        let path = path.as_ref();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        {
+            let file = std::fs::File::create(&tmp)?;
+            let mut w = std::io::BufWriter::new(file);
+            beatnik_json::to_writer(&mut w, &ck)?;
+            use std::io::Write as _;
+            w.flush()?;
+        }
+        std::fs::rename(&tmp, path)?;
     }
     Ok(())
 }

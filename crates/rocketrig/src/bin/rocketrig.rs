@@ -3,8 +3,9 @@
 //! configured deck, prints per-step diagnostics, and optionally writes
 //! VTK dumps and a JSON run log.
 
+use beatnik_comm::telemetry::DEFAULT_SPAN_CAPACITY;
 use beatnik_comm::World;
-use beatnik_rocketrig::{parse_args, run_rig};
+use beatnik_rocketrig::{parse_args, run_rig, run_rig_ft, FT_RECV_TIMEOUT};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,17 +24,63 @@ fn main() {
     );
 
     let start = std::time::Instant::now();
-    let cfg2 = cfg.clone();
-    let (logs, trace, timeline) = if opts.profiling() {
-        let (logs, trace, timeline) =
-            World::run_profiled(opts.ranks, move |comm| run_rig(&comm, &cfg2));
-        (logs, trace, Some(timeline))
+    let (log, trace, timeline) = if opts.fault_tolerant() {
+        let plan = opts.fault_spec.as_deref().map(|s| {
+            beatnik_comm::FaultPlan::parse(s, beatnik_comm::seed_from_env())
+                .expect("spec validated during argument parsing")
+        });
+        std::fs::create_dir_all(&cfg.out_dir).expect("cannot create output dir");
+        let ckpt = cfg.out_dir.join("checkpoint.json");
+        let _ = std::fs::remove_file(&ckpt); // stale state must not leak in
+        let every = opts.checkpoint_every;
+        let report = if opts.profiling() {
+            let (cfg2, ckpt2) = (cfg.clone(), ckpt.clone());
+            World::run_ft_profiled(
+                opts.ranks,
+                FT_RECV_TIMEOUT,
+                DEFAULT_SPAN_CAPACITY,
+                plan.as_ref(),
+                move |comm| run_rig_ft(comm, &cfg2, every, &ckpt2),
+            )
+        } else {
+            let (cfg2, ckpt2) = (cfg.clone(), ckpt.clone());
+            World::run_ft(opts.ranks, FT_RECV_TIMEOUT, plan.as_ref(), move |comm| {
+                run_rig_ft(comm, &cfg2, every, &ckpt2)
+            })
+        };
+        if !report.killed.is_empty() {
+            println!("ranks killed by fault injection: {:?}", report.killed);
+        }
+        for ev in &report.fault_events {
+            println!("fault: {ev}");
+        }
+        if !report.fault_events.is_empty() {
+            let path = cfg.out_dir.join("fault-events.json");
+            write_fault_events(&report.fault_events, &path)
+                .expect("failed to write fault events");
+            println!("fault events written to {}", path.display());
+        }
+        let log = report
+            .results
+            .into_iter()
+            .flatten()
+            .next()
+            .expect("no surviving rank produced a log");
+        (log, report.trace, report.timeline)
     } else {
-        let (logs, trace) = World::run_traced(opts.ranks, move |comm| run_rig(&comm, &cfg2));
-        (logs, trace, None)
+        let cfg2 = cfg.clone();
+        if opts.profiling() {
+            let (logs, trace, timeline) =
+                World::run_profiled(opts.ranks, move |comm| run_rig(&comm, &cfg2));
+            let log = logs.into_iter().next().expect("no rank output");
+            (log, trace, Some(timeline))
+        } else {
+            let (logs, trace) = World::run_traced(opts.ranks, move |comm| run_rig(&comm, &cfg2));
+            let log = logs.into_iter().next().expect("no rank output");
+            (log, trace, None)
+        }
     };
     let elapsed = start.elapsed();
-    let log = logs.into_iter().next().expect("no rank output");
 
     for rec in &log.steps {
         println!(
@@ -96,4 +143,29 @@ fn main() {
         log.write_json(&path).expect("failed to write run log");
         println!("run log written to {}", path.display());
     }
+}
+
+/// Write the injected-fault ledger as a JSON array (one object per
+/// fault, in `(rank, op_index)` order — byte-identical across replays
+/// with the same plan and seed).
+fn write_fault_events(
+    events: &[beatnik_comm::FaultEvent],
+    path: &std::path::Path,
+) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "[")?;
+    for (i, ev) in events.iter().enumerate() {
+        let step = ev
+            .step
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| "null".into());
+        write!(
+            f,
+            "  {{\"kind\": \"{}\", \"rank\": {}, \"op_index\": {}, \"step\": {}, \"delay_ns\": {}}}",
+            ev.kind, ev.rank, ev.op_index, step, ev.delay_ns
+        )?;
+        writeln!(f, "{}", if i + 1 < events.len() { "," } else { "" })?;
+    }
+    writeln!(f, "]")
 }

@@ -25,12 +25,24 @@ pub struct CliOptions {
     /// Record span telemetry and print the wait-time-attribution /
     /// collective-skew summary (`--profile-summary`).
     pub profile_summary: bool,
+    /// Fault-injection plan spec (`--faults`), validated at parse time;
+    /// seeded from `BEATNIK_FAULT_SEED`.
+    pub fault_spec: Option<String>,
+    /// Checkpoint cadence in steps (`--checkpoint-every`, 0 = off). The
+    /// checkpoint file is `<out>/checkpoint.json`.
+    pub checkpoint_every: usize,
 }
 
 impl CliOptions {
     /// Whether either profiling flag asks for a span-recorded run.
     pub fn profiling(&self) -> bool {
         self.profile_path.is_some() || self.profile_summary
+    }
+
+    /// Whether the fault-tolerant driver loop should run (any fault plan
+    /// or checkpoint cadence opts in).
+    pub fn fault_tolerant(&self) -> bool {
+        self.fault_spec.is_some() || self.checkpoint_every > 0
     }
 }
 
@@ -68,6 +80,12 @@ OPTIONS:
                                     Perfetto) plus phase/skew CSVs
     --profile-summary               record span telemetry; print wait-time
                                     attribution and collective skew
+    --faults <SPEC>                 inject faults, e.g.
+                                    kill:r2@step5,delay:r1@op10:50ms
+                                    (seeded by BEATNIK_FAULT_SEED)
+    --checkpoint-every <N>          checkpoint cadence    [0 = off];
+                                    writes <out>/checkpoint.json and
+                                    enables shrink+restart recovery
     --help                          print this text
 ";
 
@@ -81,6 +99,8 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         print_matrix: false,
         profile_path: None,
         profile_summary: false,
+        fault_spec: None,
+        checkpoint_every: 0,
     };
     let mut i = 0;
     let take = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
@@ -160,6 +180,16 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             "--log" => opts.log_path = Some(PathBuf::from(take(args, &mut i, flag)?)),
             "--profile" => opts.profile_path = Some(PathBuf::from(take(args, &mut i, flag)?)),
             "--profile-summary" => opts.profile_summary = true,
+            "--faults" => {
+                let spec = take(args, &mut i, flag)?;
+                // Validate eagerly so a typo fails at the prompt, not
+                // five minutes into the run.
+                beatnik_comm::FaultPlan::parse(&spec, beatnik_comm::seed_from_env())?;
+                opts.fault_spec = Some(spec);
+            }
+            "--checkpoint-every" => {
+                opts.checkpoint_every = parse_num(&take(args, &mut i, flag)?, flag)?
+            }
             other => return Err(format!("unknown option '{other}'\n\n{USAGE}")),
         }
         i += 1;
@@ -261,6 +291,29 @@ mod tests {
         let o = parse_args(&sv(&["--profile-summary"])).unwrap();
         assert!(o.profile_summary && o.profiling());
         assert!(parse_args(&sv(&["--profile"])).is_err());
+    }
+
+    #[test]
+    fn fault_options() {
+        let o = parse_args(&[]).unwrap();
+        assert!(!o.fault_tolerant());
+        let o = parse_args(&sv(&[
+            "--faults",
+            "kill:r2@step5",
+            "--checkpoint-every",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(o.fault_spec.as_deref(), Some("kill:r2@step5"));
+        assert_eq!(o.checkpoint_every, 2);
+        assert!(o.fault_tolerant());
+        // Checkpointing alone also opts into the recovery loop.
+        let o = parse_args(&sv(&["--checkpoint-every", "3"])).unwrap();
+        assert!(o.fault_tolerant());
+        // Bad specs fail at the prompt.
+        assert!(parse_args(&sv(&["--faults", "explode:r2@step5"])).is_err());
+        assert!(parse_args(&sv(&["--faults", "drop:r0@step3"])).is_err());
+        assert!(parse_args(&sv(&["--faults"])).is_err());
     }
 
     #[test]

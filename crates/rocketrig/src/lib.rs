@@ -248,6 +248,138 @@ pub fn run_rig(comm: &Communicator, cfg: &RigConfig) -> RunLog {
     log
 }
 
+/// Receive deadline used by the fault-tolerant driver: long enough for
+/// any smoke-scale solver step, short enough that a dropped message is
+/// detected and recovered from in CI time rather than the plain runner's
+/// two-minute deadlock window.
+pub const FT_RECV_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(15);
+
+/// Attempt cap for the fault-tolerant driver: each rank death or dropped
+/// message costs one restart, so a bounded plan converges well under
+/// this; an unbounded retry loop would mask a genuine solver bug.
+const MAX_FT_ATTEMPTS: usize = 8;
+
+/// Fault-tolerant driver loop (the ULFM recovery pattern): run the rig,
+/// checkpointing every `checkpoint_every` steps to `ckpt_path`, and when
+/// a peer rank dies mid-step, revoke the communicator, shrink to the
+/// agreed survivor group, rebuild the solver at the smaller world size,
+/// and restart from the last complete checkpoint. Message-loss timeouts
+/// recover the same way (the "shrunk" group is simply everyone, on a
+/// fresh communicator with clean mailboxes).
+///
+/// Survivors return the run log for the completed simulation; a rank
+/// killed by fault injection never returns (its `RankKilled` panic
+/// propagates to [`beatnik_comm::World::run_ft`], which records it).
+/// Each recovery epoch is stamped as a `recovery` telemetry phase span.
+///
+/// # Panics
+/// Propagates non-failure panics (genuine bugs), and gives up with a
+/// panic after [`MAX_FT_ATTEMPTS`] restarts.
+pub fn run_rig_ft(
+    comm: Communicator,
+    cfg: &RigConfig,
+    checkpoint_every: usize,
+    ckpt_path: &std::path::Path,
+) -> RunLog {
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    let mut comm = comm;
+    let mut log = RunLog::new(format!(
+        "{:?}/{}/{}^2/{} steps (fault-tolerant)",
+        cfg.deck, cfg.order, cfg.mesh_n, cfg.steps
+    ));
+    for _attempt in 0..MAX_FT_ATTEMPTS {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            run_ft_attempt(&comm, cfg, checkpoint_every, ckpt_path, &mut log)
+        }));
+        match outcome {
+            Ok(()) => return log,
+            Err(p) => {
+                if p.downcast_ref::<beatnik_comm::RankKilled>().is_some() {
+                    // This rank is the casualty: die for real so the world
+                    // runner records it.
+                    resume_unwind(p);
+                }
+                let failure = p.downcast_ref::<beatnik_comm::CollectiveFailed>().is_some();
+                let deadlock = p
+                    .downcast_ref::<String>()
+                    .is_some_and(|m| m.contains(" deadlock on rank "));
+                if !failure && !deadlock {
+                    resume_unwind(p); // a genuine bug, not a peer failure
+                }
+                comm = recover(&comm);
+            }
+        }
+    }
+    panic!(
+        "rank {} giving up after {MAX_FT_ATTEMPTS} recovery attempts",
+        comm.rank()
+    );
+}
+
+/// One run attempt on the current communicator: (re)build the solver,
+/// restore the newest checkpoint if one exists, and step to completion,
+/// checkpointing on the configured cadence. Log records for recomputed
+/// steps replace the ones lost to the failure.
+fn run_ft_attempt(
+    comm: &Communicator,
+    cfg: &RigConfig,
+    checkpoint_every: usize,
+    ckpt_path: &std::path::Path,
+    log: &mut RunLog,
+) {
+    let mesh = cfg.build_mesh(comm);
+    let bc = cfg.boundary_condition();
+    let mut solver = Solver::new(mesh, bc, cfg.solver_config());
+    if ckpt_path.exists() {
+        let (step, time) = beatnik_io::checkpoint::load(solver.problem_mut(), ckpt_path)
+            .expect("checkpoint restore failed");
+        solver.restore_clock(step, time);
+    }
+    let start_step = solver.step_count();
+    log.steps.retain(|r| r.step <= start_step);
+    let smesh = cfg.spatial_mesh(cfg.ownership_ranks.unwrap_or_else(|| comm.size()));
+
+    while solver.step_count() < cfg.steps {
+        // Step-triggered kills fire at the start of the step (1-based).
+        comm.fault_step(solver.step_count() as u64 + 1);
+        solver.step();
+        let s = solver.step_count();
+        if cfg.diag_every > 0 && s.is_multiple_of(cfg.diag_every) {
+            let ownership = cfg
+                .record_ownership
+                .then(|| beatnik_core::diagnostics::ownership_fractions(solver.problem(), &smesh));
+            log.push(StepRecord {
+                step: s,
+                time: solver.time(),
+                diagnostics: Diagnostics::compute(solver.problem()),
+                ownership,
+            });
+        }
+        if checkpoint_every > 0 && s.is_multiple_of(checkpoint_every) {
+            beatnik_io::checkpoint::save(solver.problem(), s, solver.time(), ckpt_path)
+                .expect("checkpoint write failed");
+        }
+    }
+}
+
+/// Recovery epoch: revoke the damaged communicator (so stragglers blocked
+/// in its collectives fail fast instead of timing out), then shrink to
+/// the agreed survivor group, retrying while agreement itself is racing a
+/// new failure. Spanned as a `recovery` telemetry phase.
+fn recover(comm: &Communicator) -> Communicator {
+    let telemetry = std::sync::Arc::clone(comm.telemetry());
+    let _span = telemetry.phase(beatnik_comm::RECOVERY_PHASE);
+    comm.revoke();
+    for _ in 0..MAX_FT_ATTEMPTS {
+        match comm.shrink() {
+            Ok(next) => return next,
+            Err(beatnik_comm::CommError::Timeout { .. }) => continue,
+            Err(e) => panic!("recovery failed on rank {}: {e}", comm.rank()),
+        }
+    }
+    panic!("rank {} could not agree on a survivor group", comm.rank());
+}
+
 /// The paper's four benchmark test cases (§4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BenchCase {

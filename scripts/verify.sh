@@ -46,10 +46,29 @@ for stem in low medium high; do
     test -s "$PROF_DIR/$stem-skew.csv"
 done
 
+echo "== chaos smoke: kill rank 2 at step 5, recover via shrink+restart =="
+# The run must exit 0 despite the death, report the injected kill, and
+# stamp a recovery epoch into the Chrome trace.
+# Capture to a file rather than piping into grep -q: -q exits at first
+# match and the resulting broken pipe would fail the run under pipefail.
+"$RIG" --n 16 --steps 8 --ranks 4 --faults kill:r2@step5 \
+    --checkpoint-every 2 --out "$PROF_DIR/ftout" \
+    --profile "$PROF_DIR/ftout/trace.json" > "$PROF_DIR/ftout.log"
+grep -q 'ranks killed by fault injection: \[2\]' "$PROF_DIR/ftout.log"
+grep -q '"recovery"' "$PROF_DIR/ftout/trace.json"
+grep -q '"shrink"' "$PROF_DIR/ftout/trace.json"
+test -s "$PROF_DIR/ftout/fault-events.json"
+
 echo "== transport microbench -> BENCH_comm.json =="
 target/release/bench_comm BENCH_comm.json
 test -s BENCH_comm.json
 grep -q '"algo": "bruck"' BENCH_comm.json
+
+echo "== fault-tolerance bench -> BENCH_fault.json =="
+target/release/bench_fault BENCH_fault.json
+test -s BENCH_fault.json
+grep -q '"metric": "detection_latency"' BENCH_fault.json
+grep -q '"metric": "recovery_time"' BENCH_fault.json
 
 echo "== criterion smoke: micro_br / micro_dfft =="
 cargo bench --bench micro_br -- --test
