@@ -1,0 +1,142 @@
+//! CI regression gate over the committed bench baselines.
+//!
+//! ```text
+//! bench_gate [--comm FRESH] [--fault FRESH] [--baseline-dir DIR]
+//!            [--time-ratio R] [--time-floor-ns NS]
+//! ```
+//!
+//! Compares freshly generated `BENCH_comm.json` / `BENCH_fault.json`
+//! against the copies in `crates/bench/baselines/`, prints a verdict
+//! table, and exits non-zero when any metric regressed past its
+//! ceiling (see `beatnik_bench::gate` for the threshold policy).
+
+use beatnik_bench::{gate_comm, gate_fault, GatePolicy, GateReport};
+use beatnik_json::Value;
+use std::path::{Path, PathBuf};
+
+const USAGE: &str = "USAGE: bench_gate [OPTIONS]
+  --comm <FILE>           fresh comm bench results [BENCH_comm.json]
+  --fault <FILE>          fresh fault bench results [BENCH_fault.json]
+  --baseline-dir <DIR>    committed baselines [crates/bench/baselines]
+  --time-ratio <R>        ceiling multiplier for time metrics [2.0]
+  --time-floor-ns <NS>    additive jitter floor for comm time metrics [1e7]
+  --fault-floor-ns <NS>   additive jitter floor for fault metrics [1.5e8]
+  --help                  print this message";
+
+struct Options {
+    comm: PathBuf,
+    fault: PathBuf,
+    baseline_dir: PathBuf,
+    policy: GatePolicy,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        comm: PathBuf::from("BENCH_comm.json"),
+        fault: PathBuf::from("BENCH_fault.json"),
+        baseline_dir: PathBuf::from("crates/bench/baselines"),
+        policy: GatePolicy::default(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--comm" => opts.comm = PathBuf::from(value("--comm")?),
+            "--fault" => opts.fault = PathBuf::from(value("--fault")?),
+            "--baseline-dir" => opts.baseline_dir = PathBuf::from(value("--baseline-dir")?),
+            "--time-ratio" => {
+                opts.policy.time_ratio = value("--time-ratio")?
+                    .parse()
+                    .map_err(|e| format!("--time-ratio: {e}"))?;
+            }
+            "--time-floor-ns" => {
+                opts.policy.time_floor_ns = value("--time-floor-ns")?
+                    .parse()
+                    .map_err(|e| format!("--time-floor-ns: {e}"))?;
+            }
+            "--fault-floor-ns" => {
+                opts.policy.fault_floor_ns = value("--fault-floor-ns")?
+                    .parse()
+                    .map_err(|e| format!("--fault-floor-ns: {e}"))?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown option {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn load(path: &Path) -> Result<Value, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    beatnik_json::parse(&text).map_err(|e| format!("cannot parse {}: {e:?}", path.display()))
+}
+
+fn run_gate(
+    name: &str,
+    baseline: &Path,
+    fresh: &Path,
+    gate: impl Fn(&Value, &Value) -> Result<GateReport, String>,
+) -> Result<usize, String> {
+    let report = gate(&load(baseline)?, &load(fresh)?)?;
+    println!(
+        "-- {name}: {} vs baseline {} --",
+        fresh.display(),
+        baseline.display()
+    );
+    print!("{}", report.text());
+    let bad = report.regressions();
+    println!(
+        "{name}: {}/{} comparisons ok{}\n",
+        report.rows.len() - bad,
+        report.rows.len(),
+        if bad > 0 {
+            format!(", {bad} REGRESSED")
+        } else {
+            String::new()
+        }
+    );
+    Ok(bad)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(if msg == USAGE { 0 } else { 2 });
+        }
+    };
+    let policy = opts.policy;
+    let result = run_gate(
+        "comm",
+        &opts.baseline_dir.join("BENCH_comm.json"),
+        &opts.comm,
+        |b, f| gate_comm(b, f, &policy),
+    )
+    .and_then(|bad| {
+        Ok(bad
+            + run_gate(
+                "fault",
+                &opts.baseline_dir.join("BENCH_fault.json"),
+                &opts.fault,
+                |b, f| gate_fault(b, f, &policy),
+            )?)
+    });
+    match result {
+        Ok(0) => println!("bench gate: PASS"),
+        Ok(n) => {
+            println!("bench gate: FAIL ({n} regressions)");
+            std::process::exit(1);
+        }
+        Err(msg) => {
+            eprintln!("bench gate: error: {msg}");
+            std::process::exit(2);
+        }
+    }
+}

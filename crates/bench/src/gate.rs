@@ -1,0 +1,344 @@
+//! The bench regression gate: diff a freshly generated `BENCH_comm.json`
+//! / `BENCH_fault.json` against the committed baselines and fail on
+//! regressions.
+//!
+//! Thresholds are per-metric-class, not global:
+//!
+//! * **time-like** metrics (`ns_per_op`, `ns`) are noisy on shared CI
+//!   hosts, so the ceiling is `max(baseline * time_ratio, baseline +
+//!   floor)`. The additive floor matters for metrics whose baseline is
+//!   near zero (a `recovery_time` of 0.7 ms would otherwise flag on
+//!   scheduler jitter alone); the fault bench's single-shot timings get
+//!   a wider floor than the comm bench's per-op averages.
+//! * **deterministic** metrics (`bytes_copied_per_op`) are exact
+//!   properties of the algorithm, so the ceiling is tight:
+//!   `max(baseline * bytes_ratio, baseline + bytes_floor)`.
+//!
+//! A baseline row with no matching fresh row is itself a regression —
+//! silently dropping a bench case must not pass the gate.
+
+use beatnik_json::Value;
+use std::collections::BTreeMap;
+
+/// Per-metric-class ceilings. See the module docs for the rationale.
+#[derive(Debug, Clone, Copy)]
+pub struct GatePolicy {
+    /// Multiplicative ceiling for time-like metrics (`ns_per_op`, `ns`).
+    pub time_ratio: f64,
+    /// Additive floor (ns) for time-like metrics; absorbs jitter on
+    /// near-zero baselines.
+    pub time_floor_ns: f64,
+    /// Additive floor (ns) for the fault-bench metrics, which are
+    /// single-shot run timings, not per-op averages: detection latency
+    /// legitimately lands anywhere inside the detector's poll slice
+    /// (sub-ms to ~100 ms) and recovery time swings with where the kill
+    /// falls relative to a checkpoint boundary.
+    pub fault_floor_ns: f64,
+    /// Multiplicative ceiling for deterministic byte counts.
+    pub bytes_ratio: f64,
+    /// Additive floor (bytes) for deterministic byte counts; absorbs
+    /// zero baselines.
+    pub bytes_floor: f64,
+}
+
+impl Default for GatePolicy {
+    fn default() -> Self {
+        GatePolicy {
+            time_ratio: 2.0,
+            time_floor_ns: 1.0e7,
+            fault_floor_ns: 1.5e8,
+            bytes_ratio: 1.10,
+            bytes_floor: 64.0,
+        }
+    }
+}
+
+/// One gated comparison: a baseline value, the matching fresh value (if
+/// any), and the verdict.
+#[derive(Debug, Clone)]
+pub struct GateRow {
+    /// Human-readable join key, e.g. `alltoall/bruck r=16 b=64`.
+    pub key: String,
+    /// The compared field (`ns_per_op`, `bytes_copied_per_op`, `ns`).
+    pub metric: String,
+    /// Committed baseline value.
+    pub baseline: f64,
+    /// Freshly measured value; `None` when the bench case disappeared.
+    pub fresh: Option<f64>,
+    /// The ceiling the fresh value must stay under.
+    pub limit: f64,
+    /// Verdict.
+    pub pass: bool,
+}
+
+/// The gate's verdict over one baseline/fresh document pair.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// One row per `(baseline row, metric)` comparison.
+    pub rows: Vec<GateRow>,
+}
+
+impl GateReport {
+    /// Number of failed comparisons.
+    pub fn regressions(&self) -> usize {
+        self.rows.iter().filter(|r| !r.pass).count()
+    }
+
+    /// Fixed-width report table, failures marked `FAIL`.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        let keyw = self
+            .rows
+            .iter()
+            .map(|r| r.key.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        out.push_str(&format!(
+            "{:<keyw$}  {:<19}  {:>14}  {:>14}  {:>14}  verdict\n",
+            "case", "metric", "baseline", "fresh", "limit"
+        ));
+        for r in &self.rows {
+            let fresh = match r.fresh {
+                Some(v) => format!("{v:.1}"),
+                None => "missing".to_string(),
+            };
+            out.push_str(&format!(
+                "{:<keyw$}  {:<19}  {:>14.1}  {:>14}  {:>14.1}  {}\n",
+                r.key,
+                r.metric,
+                r.baseline,
+                fresh,
+                r.limit,
+                if r.pass { "ok" } else { "FAIL" }
+            ));
+        }
+        out
+    }
+}
+
+fn bench_rows(doc: &Value) -> Result<&[Value], String> {
+    match doc.get("benches") {
+        Some(Value::Array(rows)) => Ok(rows),
+        _ => Err("document has no \"benches\" array".to_string()),
+    }
+}
+
+fn field_f64(row: &Value, key: &str) -> Result<f64, String> {
+    row.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("bench row missing numeric field {key:?}"))
+}
+
+fn field_str<'v>(row: &'v Value, key: &str) -> Result<&'v str, String> {
+    row.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("bench row missing string field {key:?}"))
+}
+
+fn check(
+    report: &mut GateReport,
+    key: &str,
+    metric: &str,
+    baseline: f64,
+    fresh: Option<f64>,
+    ratio: f64,
+    floor: f64,
+) {
+    let limit = (baseline * ratio).max(baseline + floor);
+    let pass = matches!(fresh, Some(v) if v <= limit);
+    report.rows.push(GateRow {
+        key: key.to_string(),
+        metric: metric.to_string(),
+        baseline,
+        fresh,
+        limit,
+        pass,
+    });
+}
+
+/// Gate a fresh `BENCH_comm.json` against its baseline. Rows join on
+/// `(op, algo, ranks, bytes)`; `ns_per_op` is time-like, while
+/// `bytes_copied_per_op` is deterministic and held tight.
+pub fn gate_comm(baseline: &Value, fresh: &Value, policy: &GatePolicy) -> Result<GateReport, String> {
+    let mut fresh_by_key = BTreeMap::new();
+    for row in bench_rows(fresh)? {
+        let key = (
+            field_str(row, "op")?.to_string(),
+            field_str(row, "algo")?.to_string(),
+            field_f64(row, "ranks")? as u64,
+            field_f64(row, "bytes")? as u64,
+        );
+        fresh_by_key.insert(key, row);
+    }
+    let mut report = GateReport::default();
+    for row in bench_rows(baseline)? {
+        let op = field_str(row, "op")?;
+        let algo = field_str(row, "algo")?;
+        let ranks = field_f64(row, "ranks")? as u64;
+        let bytes = field_f64(row, "bytes")? as u64;
+        let key = format!("{op}/{algo} r={ranks} b={bytes}");
+        let hit = fresh_by_key
+            .get(&(op.to_string(), algo.to_string(), ranks, bytes))
+            .copied();
+        let fresh_ns = hit.map(|r| field_f64(r, "ns_per_op")).transpose()?;
+        check(
+            &mut report,
+            &key,
+            "ns_per_op",
+            field_f64(row, "ns_per_op")?,
+            fresh_ns,
+            policy.time_ratio,
+            policy.time_floor_ns,
+        );
+        let fresh_bytes = hit.map(|r| field_f64(r, "bytes_copied_per_op")).transpose()?;
+        check(
+            &mut report,
+            &key,
+            "bytes_copied_per_op",
+            field_f64(row, "bytes_copied_per_op")?,
+            fresh_bytes,
+            policy.bytes_ratio,
+            policy.bytes_floor,
+        );
+    }
+    Ok(report)
+}
+
+/// Gate a fresh `BENCH_fault.json` against its baseline. Rows join on
+/// `(metric, ranks, checkpoint_every)`; every `ns` value is time-like.
+pub fn gate_fault(
+    baseline: &Value,
+    fresh: &Value,
+    policy: &GatePolicy,
+) -> Result<GateReport, String> {
+    let mut fresh_by_key = BTreeMap::new();
+    for row in bench_rows(fresh)? {
+        let key = (
+            field_str(row, "metric")?.to_string(),
+            field_f64(row, "ranks")? as u64,
+            field_f64(row, "checkpoint_every")? as u64,
+        );
+        fresh_by_key.insert(key, row);
+    }
+    let mut report = GateReport::default();
+    for row in bench_rows(baseline)? {
+        let metric = field_str(row, "metric")?;
+        let ranks = field_f64(row, "ranks")? as u64;
+        let every = field_f64(row, "checkpoint_every")? as u64;
+        let key = format!("{metric} r={ranks} ckpt={every}");
+        let fresh_ns = fresh_by_key
+            .get(&(metric.to_string(), ranks, every))
+            .map(|r| field_f64(r, "ns"))
+            .transpose()?;
+        check(
+            &mut report,
+            &key,
+            "ns",
+            field_f64(row, "ns")?,
+            fresh_ns,
+            policy.time_ratio,
+            policy.fault_floor_ns,
+        );
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comm_doc(ns: f64, copied: f64) -> Value {
+        beatnik_json::parse(&format!(
+            r#"{{"benches": [{{"op": "alltoall", "algo": "bruck", "ranks": 16,
+                 "bytes": 64, "size_bin": "≤64B", "ns_per_op": {ns},
+                 "bytes_copied_per_op": {copied}}}]}}"#
+        ))
+        .unwrap()
+    }
+
+    fn fault_doc(metric: &str, ns: f64) -> Value {
+        beatnik_json::parse(&format!(
+            r#"{{"benches": [{{"metric": "{metric}", "ranks": 8,
+                 "checkpoint_every": 1, "ns": {ns}}}]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let doc = comm_doc(1.0e6, 4096.0);
+        let report = gate_comm(&doc, &doc, &GatePolicy::default()).unwrap();
+        assert_eq!(report.rows.len(), 2);
+        assert_eq!(report.regressions(), 0);
+
+        let doc = fault_doc("recovery_time", 7.4e5);
+        let report = gate_fault(&doc, &doc, &GatePolicy::default()).unwrap();
+        assert_eq!(report.regressions(), 0);
+    }
+
+    #[test]
+    fn synthetic_twenty_percent_regression_fails_a_tight_gate() {
+        let baseline = comm_doc(1.0e9, 4096.0);
+        let fresh = comm_doc(1.2e9, 4096.0);
+        // A strict CI policy (15% ceiling, no jitter floor at this
+        // magnitude) must flag a +20% time regression...
+        let tight = GatePolicy {
+            time_ratio: 1.15,
+            time_floor_ns: 0.0,
+            ..GatePolicy::default()
+        };
+        let report = gate_comm(&baseline, &fresh, &tight).unwrap();
+        assert_eq!(report.regressions(), 1);
+        assert!(report.text().contains("FAIL"), "{}", report.text());
+        // ...while the default shared-host policy tolerates it.
+        let report = gate_comm(&baseline, &fresh, &GatePolicy::default()).unwrap();
+        assert_eq!(report.regressions(), 0);
+    }
+
+    #[test]
+    fn deterministic_bytes_are_held_tight() {
+        let baseline = comm_doc(1.0e6, 4096.0);
+        // +20% copied bytes means the algorithm changed shape: always a
+        // failure, even under the default policy.
+        let fresh = comm_doc(1.0e6, 4915.2);
+        let report = gate_comm(&baseline, &fresh, &GatePolicy::default()).unwrap();
+        assert_eq!(report.regressions(), 1);
+        let bad = report.rows.iter().find(|r| !r.pass).unwrap();
+        assert_eq!(bad.metric, "bytes_copied_per_op");
+    }
+
+    #[test]
+    fn missing_fresh_row_is_a_regression() {
+        let baseline = comm_doc(1.0e6, 0.0);
+        let fresh = beatnik_json::parse(r#"{"benches": []}"#).unwrap();
+        let report = gate_comm(&baseline, &fresh, &GatePolicy::default()).unwrap();
+        assert_eq!(report.regressions(), 2);
+        assert!(report.text().contains("missing"));
+    }
+
+    #[test]
+    fn additive_floor_absorbs_jitter_on_near_zero_baselines() {
+        // recovery_time can legitimately be ~0 in the baseline, and
+        // single-shot fault timings swing by tens of ms run to run; the
+        // fault floor must absorb that.
+        let baseline = fault_doc("recovery_time", 0.0);
+        let fresh = fault_doc("recovery_time", 1.2e8);
+        let report = gate_fault(&baseline, &fresh, &GatePolicy::default()).unwrap();
+        assert_eq!(report.regressions(), 0);
+        // But a genuinely slow recovery still fails.
+        let fresh = fault_doc("recovery_time", 5.0e8);
+        let report = gate_fault(&baseline, &fresh, &GatePolicy::default()).unwrap();
+        assert_eq!(report.regressions(), 1);
+    }
+
+    #[test]
+    fn malformed_documents_error() {
+        let ok = comm_doc(1.0, 0.0);
+        let bad = beatnik_json::parse(r#"{"nope": 1}"#).unwrap();
+        assert!(gate_comm(&bad, &ok, &GatePolicy::default()).is_err());
+        let missing_field =
+            beatnik_json::parse(r#"{"benches": [{"op": "alltoall"}]}"#).unwrap();
+        assert!(gate_comm(&missing_field, &ok, &GatePolicy::default()).is_err());
+    }
+}

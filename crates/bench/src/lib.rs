@@ -23,10 +23,12 @@
 use beatnik_model::{AllToAllCost, CollectiveCosts, ComputeModel, Machine, NetworkModel};
 
 pub mod figures;
+pub mod gate;
 pub mod lowmodel;
 pub mod cutoffmodel;
 
 pub use figures::*;
+pub use gate::{gate_comm, gate_fault, GatePolicy, GateReport};
 pub use lowmodel::LowOrderModel;
 pub use cutoffmodel::CutoffModel;
 

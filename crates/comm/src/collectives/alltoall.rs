@@ -194,6 +194,10 @@ fn exchange<T: CommData + Clone>(
     let p = comm.size();
     let r = comm.rank();
     assert_eq!(blocks.len(), p, "alltoall: need exactly one block per rank");
+    // Stamp the resolved algorithm for the duration of the exchange so
+    // the per-phase communication matrix attributes each send round to
+    // pairwise/direct/Bruck.
+    let _algo_scope = comm.telemetry().algo_scope(algo_code(algo));
     if let AllToAllAlgo::Bruck = algo {
         // The regular alltoall's contract fixes one block length for the
         // whole communicator (the same invariant the Adaptive resolver

@@ -187,6 +187,17 @@ impl Communicator {
         self.eager_limit
     }
 
+    /// A live snapshot of the world's metrics plane: every registered
+    /// counter/gauge/histogram plus the synthesized per-phase comm
+    /// matrix and phase-entry families. `None` when the communicator
+    /// was built outside a `World` runner. Any rank may call this
+    /// mid-run (rank 0 typically flushes it on a step cadence).
+    pub fn metrics_snapshot(&self) -> Option<beatnik_telemetry::metrics::MetricsSnapshot> {
+        self.registry
+            .metrics_plane()
+            .map(|p| p.snapshot(&self.registry))
+    }
+
     /// This rank's own user-channel mailbox (where peers' messages land).
     pub(crate) fn user_mailbox(&self) -> Arc<Mailbox> {
         self.mailbox_for(0, self.rank)
@@ -421,6 +432,20 @@ impl Communicator {
     // Point-to-point, user channel
     // ------------------------------------------------------------------
 
+    /// Record one message to comm-local `dest` in the communication
+    /// matrix, attributed to the innermost open solver phase and the
+    /// collective algorithm currently in force (both tracked by the
+    /// rank's [`SpanRecorder`] even when span recording is disabled).
+    #[inline]
+    fn record_peer_traffic(&self, dest: usize, bytes: u64) {
+        self.trace.record_peer_ctx(
+            self.world_of[dest],
+            bytes,
+            self.telemetry.current_phase(),
+            self.telemetry.current_algo(),
+        );
+    }
+
     /// Buffered send of an owned buffer to `dest`. Never blocks.
     ///
     /// The buffer moves to the receiver without copying, mirroring an MPI
@@ -432,7 +457,7 @@ impl Communicator {
         let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
         self.trace.record(OpKind::Send, 1, bytes);
         self.trace.record_message(OpKind::Send, bytes);
-        self.trace.record_peer(self.world_of[dest], bytes);
+        self.record_peer_traffic(dest, bytes);
         if deliver {
             self.mailbox_for(0, dest).push(Envelope::new(self.rank, tag, data));
         }
@@ -714,7 +739,7 @@ impl Communicator {
         };
         self.trace.record(OpKind::Send, 1, bytes as u64);
         self.trace.record_message(OpKind::Send, bytes as u64);
-        self.trace.record_peer(self.world_of[dest], bytes as u64);
+        self.record_peer_traffic(dest, bytes as u64);
         self.trace.request_posted();
         if deliver {
             self.mailbox_for(0, dest).push(env);
@@ -761,7 +786,7 @@ impl Communicator {
         let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
         self.trace.add_traffic(kind, 1, bytes);
         self.trace.record_message(kind, bytes);
-        self.trace.record_peer(self.world_of[dest], bytes);
+        self.record_peer_traffic(dest, bytes);
         if deliver {
             self.mailbox_for(COLLECTIVE_CHANNEL, dest)
                 .push(Envelope::new(self.rank, tag, data));
@@ -794,7 +819,7 @@ impl Communicator {
         };
         self.trace.add_traffic(kind, 1, bytes as u64);
         self.trace.record_message(kind, bytes as u64);
-        self.trace.record_peer(self.world_of[dest], bytes as u64);
+        self.record_peer_traffic(dest, bytes as u64);
         if deliver {
             self.mailbox_for(COLLECTIVE_CHANNEL, dest).push(env);
         }

@@ -52,6 +52,7 @@ pub mod error;
 pub mod fault;
 pub mod mailbox;
 pub mod message;
+pub mod metrics;
 pub mod pool;
 pub mod reduce_op;
 pub mod registry;
@@ -68,10 +69,13 @@ pub use fault::{
     seed_from_env, CollectiveFailed, FaultEvent, FaultKind, FaultPlan, RankKilled,
     DEFAULT_FAULT_SEED, FAULT_SEED_ENV, RECOVERY_PHASE, SHRINK_PHASE,
 };
+pub use metrics::MetricsPlane;
 pub use pool::{BufferPool, PoolStats};
 pub use reduce_op::{MaxOp, MinOp, ProdOp, ReduceOp, SumOp};
 pub use request::{try_wait_all, wait_all, RecvRequest, SendRequest};
-pub use trace::{OpKind, OpStats, RankTrace, WorldTrace};
+pub use trace::{
+    MatrixCell, MatrixImbalance, OpKind, OpStats, RankTrace, WorldMatrixCell, WorldTrace,
+};
 pub use transport::{eager_limit_from_env, DEFAULT_EAGER_LIMIT, EAGER_LIMIT_ENV};
 pub use world::{FtReport, World};
 

@@ -501,6 +501,15 @@ impl Mailbox {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Depth of the posted-receive registry: consumers currently waiting
+    /// for a match (blocked receives and posted `irecv` slots) plus
+    /// matched envelopes delivered to a slot but not yet claimed by
+    /// `RecvRequest::wait`.
+    pub fn posted_len(&self) -> usize {
+        let st = self.state.lock();
+        st.consumers.len() + st.delivered.len()
+    }
 }
 
 #[cfg(test)]

@@ -53,6 +53,10 @@ pub struct Registry {
     /// survivor of a `shrink` lands on the same fresh communicator id
     /// without communicating (they all observe the same failed set).
     shrink_ids: Mutex<HashMap<(CommId, Vec<usize>), CommId>>,
+    /// The world's metrics plane, installed by the `World` runners after
+    /// every per-rank publisher exists. `None` only for registries built
+    /// outside a `World` (unit tests, ad-hoc harnesses).
+    metrics: Mutex<Option<Arc<crate::metrics::MetricsPlane>>>,
 }
 
 impl Registry {
@@ -66,7 +70,18 @@ impl Registry {
             revoked: RwLock::new(HashSet::new()),
             revoke_epoch: AtomicU64::new(0),
             shrink_ids: Mutex::new(HashMap::new()),
+            metrics: Mutex::new(None),
         }
+    }
+
+    /// Install the world's metrics plane (once, at world setup).
+    pub fn install_metrics(&self, plane: Arc<crate::metrics::MetricsPlane>) {
+        *self.metrics.lock() = Some(plane);
+    }
+
+    /// The world's metrics plane, if one was installed.
+    pub fn metrics_plane(&self) -> Option<Arc<crate::metrics::MetricsPlane>> {
+        self.metrics.lock().clone()
     }
 
     /// Mark the world as aborting (a rank panicked).

@@ -8,10 +8,10 @@
 //! these counts onto machine parameters to predict time at scale.
 
 use crate::sync::Mutex;
-use beatnik_telemetry::sizebins;
+use beatnik_telemetry::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+use beatnik_telemetry::{algos, sizebins};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Per-message size histogram over the shared power-of-two buckets of
@@ -50,6 +50,48 @@ pub enum OpKind {
     Alltoallv,
 }
 
+impl OpKind {
+    /// Every op kind, in trace order (`index` order).
+    pub const ALL: [OpKind; 12] = [
+        OpKind::Send,
+        OpKind::Recv,
+        OpKind::Barrier,
+        OpKind::Broadcast,
+        OpKind::Reduce,
+        OpKind::Allreduce,
+        OpKind::Scan,
+        OpKind::Gather,
+        OpKind::Allgather,
+        OpKind::Scatter,
+        OpKind::Alltoall,
+        OpKind::Alltoallv,
+    ];
+
+    /// Dense index of this kind into [`OpKind::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Lowercase label used for the `op` metric label.
+    pub fn metric_label(self) -> &'static str {
+        match self {
+            OpKind::Send => "send",
+            OpKind::Recv => "recv",
+            OpKind::Barrier => "barrier",
+            OpKind::Broadcast => "broadcast",
+            OpKind::Reduce => "reduce",
+            OpKind::Allreduce => "allreduce",
+            OpKind::Scan => "scan",
+            OpKind::Gather => "gather",
+            OpKind::Allgather => "allgather",
+            OpKind::Scatter => "scatter",
+            OpKind::Alltoall => "alltoall",
+            OpKind::Alltoallv => "alltoallv",
+        }
+    }
+}
+
 impl fmt::Display for OpKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{self:?}")
@@ -75,141 +117,294 @@ impl OpStats {
     }
 }
 
+/// One (phase, algorithm, destination) cell of a rank's communication
+/// matrix row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatrixCell {
+    /// Innermost solver phase open when the traffic was sent (`""` for
+    /// traffic outside any phase).
+    pub phase: &'static str,
+    /// Collective-algorithm code in force ([`algos::NONE`] outside any
+    /// all-to-all engine).
+    pub algo: u8,
+    /// Destination *world* rank.
+    pub dst: usize,
+    /// Point-to-point messages sent to `dst` in this (phase, algo).
+    pub messages: u64,
+    /// Payload bytes sent to `dst` in this (phase, algo).
+    pub bytes: u64,
+}
+
+/// Registry-backed atomic cells for one op kind: the per-op byte
+/// accounting of this trace *is* the metrics registry's cells, so the
+/// summary tables and the OpenMetrics exposition can never drift.
+#[derive(Debug)]
+struct OpCells {
+    calls: Counter,
+    messages: Counter,
+    bytes: Counter,
+    sizes: Histogram,
+}
+
+/// Matrix cells keyed by `(phase, algo, dst)`, holding
+/// `(messages, bytes)`.
+type PhasedCells = BTreeMap<(&'static str, u8, usize), (u64, u64)>;
+
 /// All counters for one rank, shared across its derived communicators.
-#[derive(Debug, Default)]
+///
+/// Since the metrics plane landed, the per-op counters and size
+/// histograms are handles into a [`MetricsRegistry`] (lock-free atomic
+/// cells registered under `beatnik_comm_*{rank,op}`); the old ad-hoc
+/// mutex-map accounting is gone and every read path — summaries, the
+/// analytic model, OpenMetrics — observes the same cells.
+#[derive(Debug)]
 pub struct RankTrace {
-    inner: Mutex<BTreeMap<OpKind, OpStats>>,
-    /// Per-op histogram of individual message sizes (not just totals):
-    /// `hist[kind][bucket]` counts messages, bucketed per [`sizebins`].
-    hist: Mutex<BTreeMap<OpKind, ByteHistogram>>,
-    /// Bytes sent to each *world* peer rank (communication matrix row).
-    peers: Mutex<BTreeMap<usize, u64>>,
+    /// Registry-backed per-op cells, indexed by [`OpKind::index`].
+    ops: Vec<OpCells>,
+    /// Per-(phase, algo, dst) communication-matrix row. `peer_bytes` is
+    /// derived from this by summing over phases, so the per-phase
+    /// matrix and the classic byte matrix agree *exactly* by
+    /// construction.
+    phased: Mutex<PhasedCells>,
     /// Send-buffer pool acquisitions served from the free list.
-    pool_hits: AtomicU64,
+    pool_hits: Counter,
     /// Send-buffer pool acquisitions that had to allocate.
-    pool_misses: AtomicU64,
+    pool_misses: Counter,
     /// Nonblocking requests currently posted but not yet retired.
-    outstanding: AtomicU64,
+    outstanding: Gauge,
     /// High-water mark of `outstanding` — how deeply the program pipelines.
-    peak_outstanding: AtomicU64,
+    peak_outstanding: Gauge,
     /// Payload bytes physically copied by the transport on this rank's
     /// sends (eager/pooled sends count the payload twice — once into the
     /// envelope, once out at the receiver; rendezvous sends count it
     /// once; owned-`Vec` sends move the allocation and count zero).
-    copied: AtomicU64,
+    copied: Counter,
     /// Peak simultaneously checked-out send-pool buffers, mirrored from
     /// [`crate::BufferPool`] when the world joins.
-    pool_peak_in_flight: AtomicU64,
+    pool_peak_in_flight: Gauge,
+}
+
+impl Default for RankTrace {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl RankTrace {
-    /// Fresh, zeroed trace.
+    /// Fresh, zeroed trace backed by a private registry (rank label 0).
+    /// Worlds use [`with_registry`](RankTrace::with_registry) so every
+    /// rank publishes into one shared registry.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_registry(&MetricsRegistry::new(), 0)
+    }
+
+    /// A trace whose counters are registered in `reg` under
+    /// `rank="<rank>"` labels.
+    pub fn with_registry(reg: &MetricsRegistry, rank: usize) -> Self {
+        let r = rank.to_string();
+        let ops = OpKind::ALL
+            .iter()
+            .map(|k| {
+                let labels: [(&str, &str); 2] = [("rank", &r), ("op", k.metric_label())];
+                OpCells {
+                    calls: reg.counter(
+                        "beatnik_comm_calls_total",
+                        "communication operation calls",
+                        &labels,
+                    ),
+                    messages: reg.counter(
+                        "beatnik_comm_messages_total",
+                        "point-to-point messages put on the wire",
+                        &labels,
+                    ),
+                    bytes: reg.counter(
+                        "beatnik_comm_bytes_total",
+                        "payload bytes sent",
+                        &labels,
+                    ),
+                    sizes: reg.histogram(
+                        "beatnik_comm_message_size_bytes",
+                        "per-message payload size",
+                        &labels,
+                    ),
+                }
+            })
+            .collect();
+        let rl: [(&str, &str); 1] = [("rank", &r)];
+        RankTrace {
+            ops,
+            phased: Mutex::new(BTreeMap::new()),
+            pool_hits: reg.counter(
+                "beatnik_pool_hits_total",
+                "send-pool acquisitions served from the free list",
+                &rl,
+            ),
+            pool_misses: reg.counter(
+                "beatnik_pool_misses_total",
+                "send-pool acquisitions that allocated",
+                &rl,
+            ),
+            outstanding: reg.gauge(
+                "beatnik_requests_outstanding",
+                "nonblocking requests posted but not retired",
+                &rl,
+            ),
+            peak_outstanding: reg.gauge(
+                "beatnik_requests_outstanding_peak",
+                "high-water mark of outstanding nonblocking requests",
+                &rl,
+            ),
+            copied: reg.counter(
+                "beatnik_transport_copied_bytes_total",
+                "payload bytes physically copied by the transport",
+                &rl,
+            ),
+            pool_peak_in_flight: reg.gauge(
+                "beatnik_pool_peak_in_flight",
+                "peak simultaneously checked-out send-pool buffers",
+                &rl,
+            ),
+        }
     }
 
     /// Record one *call* of `kind` that sent `messages` messages totalling
     /// `bytes` payload bytes from this rank.
     pub fn record(&self, kind: OpKind, messages: u64, bytes: u64) {
-        let mut m = self.inner.lock();
-        let e = m.entry(kind).or_default();
-        e.calls += 1;
-        e.messages += messages;
-        e.bytes += bytes;
+        let c = &self.ops[kind.index()];
+        c.calls.inc();
+        c.messages.add(messages);
+        c.bytes.add(bytes);
     }
 
     /// Add messages/bytes to an already-counted call (used by collectives
     /// built from several point-to-point rounds).
     pub fn add_traffic(&self, kind: OpKind, messages: u64, bytes: u64) {
-        let mut m = self.inner.lock();
-        let e = m.entry(kind).or_default();
-        e.messages += messages;
-        e.bytes += bytes;
+        let c = &self.ops[kind.index()];
+        c.messages.add(messages);
+        c.bytes.add(bytes);
     }
 
     /// Record one message of `bytes` payload bytes in `kind`'s size
     /// histogram. Called once per point-to-point message the runtime
     /// puts on the "wire" (user sends and collective-internal sends).
     pub fn record_message(&self, kind: OpKind, bytes: u64) {
-        let mut m = self.hist.lock();
-        let h = m.entry(kind).or_insert([0; sizebins::NUM_BUCKETS]);
-        h[sizebins::bucket_of(bytes)] += 1;
+        self.ops[kind.index()].sizes.observe(bytes);
     }
 
     /// The per-message size histogram for one op kind (zeroed if the op
     /// never sent a message).
     pub fn byte_histogram(&self, kind: OpKind) -> ByteHistogram {
-        self.hist
-            .lock()
-            .get(&kind)
-            .copied()
-            .unwrap_or([0; sizebins::NUM_BUCKETS])
+        self.ops[kind.index()].sizes.bucket_counts()
     }
 
-    /// All per-op message-size histograms.
+    /// All per-op message-size histograms (ops that never sent are
+    /// omitted).
     pub fn byte_histograms(&self) -> BTreeMap<OpKind, ByteHistogram> {
-        self.hist.lock().clone()
+        OpKind::ALL
+            .iter()
+            .filter(|k| self.ops[k.index()].sizes.count() > 0)
+            .map(|&k| (k, self.byte_histogram(k)))
+            .collect()
     }
 
-    /// Record bytes sent to a world peer (communication-matrix entry).
+    /// Record bytes sent to a world peer (communication-matrix entry),
+    /// attributed to no phase or algorithm. The send paths use
+    /// [`record_peer_ctx`](RankTrace::record_peer_ctx).
     pub fn record_peer(&self, peer: usize, bytes: u64) {
-        *self.peers.lock().entry(peer).or_default() += bytes;
+        self.record_peer_ctx(peer, bytes, "", algos::NONE);
     }
 
-    /// Bytes sent per world peer.
+    /// Record one message of `bytes` to world rank `peer`, attributed to
+    /// the given solver phase and collective-algorithm code.
+    pub fn record_peer_ctx(&self, peer: usize, bytes: u64, phase: &'static str, algo: u8) {
+        let mut m = self.phased.lock();
+        let e = m.entry((phase, algo, peer)).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += bytes;
+    }
+
+    /// Bytes sent per world peer (summed over phases and algorithms).
     pub fn peer_bytes(&self) -> BTreeMap<usize, u64> {
-        self.peers.lock().clone()
+        let mut out: BTreeMap<usize, u64> = BTreeMap::new();
+        for (&(_, _, dst), &(_, bytes)) in self.phased.lock().iter() {
+            *out.entry(dst).or_default() += bytes;
+        }
+        out
     }
 
-    /// Snapshot the counters.
+    /// The full per-(phase, algo, dst) communication-matrix row.
+    pub fn matrix_cells(&self) -> Vec<MatrixCell> {
+        self.phased
+            .lock()
+            .iter()
+            .map(|(&(phase, algo, dst), &(messages, bytes))| MatrixCell {
+                phase,
+                algo,
+                dst,
+                messages,
+                bytes,
+            })
+            .collect()
+    }
+
+    /// Snapshot the per-op counters (ops never recorded are omitted).
     pub fn snapshot(&self) -> BTreeMap<OpKind, OpStats> {
-        self.inner.lock().clone()
+        OpKind::ALL
+            .iter()
+            .map(|&k| (k, self.get(k)))
+            .filter(|(_, s)| *s != OpStats::default())
+            .collect()
     }
 
     /// Stats for one op kind (zeroed if never recorded).
     pub fn get(&self, kind: OpKind) -> OpStats {
-        self.inner.lock().get(&kind).copied().unwrap_or_default()
+        let c = &self.ops[kind.index()];
+        OpStats {
+            calls: c.calls.get(),
+            messages: c.messages.get(),
+            bytes: c.bytes.get(),
+        }
     }
 
     /// Total bytes sent by this rank across all op kinds.
     pub fn total_bytes(&self) -> u64 {
-        self.inner.lock().values().map(|s| s.bytes).sum()
+        self.ops.iter().map(|c| c.bytes.get()).sum()
     }
 
     /// Total messages sent by this rank across all op kinds.
     pub fn total_messages(&self) -> u64 {
-        self.inner.lock().values().map(|s| s.messages).sum()
+        self.ops.iter().map(|c| c.messages.get()).sum()
     }
 
     /// Record one buffer-pool acquisition on the nonblocking send path.
     pub fn record_pool(&self, hit: bool) {
         if hit {
-            self.pool_hits.fetch_add(1, Ordering::Relaxed);
+            self.pool_hits.inc();
         } else {
-            self.pool_misses.fetch_add(1, Ordering::Relaxed);
+            self.pool_misses.inc();
         }
     }
 
     /// Record that a nonblocking request (`isend`/`irecv`) was posted.
     pub fn request_posted(&self) {
-        let now = self.outstanding.fetch_add(1, Ordering::Relaxed) + 1;
-        self.peak_outstanding.fetch_max(now, Ordering::Relaxed);
+        let now = self.outstanding.add(1);
+        self.peak_outstanding.max_with(now);
     }
 
     /// Record that a nonblocking request completed (wait/test success or
     /// handle drop).
     pub fn request_completed(&self) {
-        self.outstanding.fetch_sub(1, Ordering::Relaxed);
+        self.outstanding.sub(1);
     }
 
     /// Buffer-pool acquisitions served without allocating.
     pub fn pool_hits(&self) -> u64 {
-        self.pool_hits.load(Ordering::Relaxed)
+        self.pool_hits.get()
     }
 
     /// Buffer-pool acquisitions that allocated a fresh buffer.
     pub fn pool_misses(&self) -> u64 {
-        self.pool_misses.load(Ordering::Relaxed)
+        self.pool_misses.get()
     }
 
     /// Fraction of pool acquisitions served from the free list, in
@@ -227,47 +422,51 @@ impl RankTrace {
     /// Record that the transport physically copied `bytes` payload bytes
     /// while sending (see the `copied` field for the accounting rules).
     pub fn record_copied(&self, bytes: u64) {
-        self.copied.fetch_add(bytes, Ordering::Relaxed);
+        self.copied.add(bytes);
     }
 
     /// Payload bytes physically copied by this rank's sends.
     pub fn copied_bytes(&self) -> u64 {
-        self.copied.load(Ordering::Relaxed)
+        self.copied.get()
     }
 
     /// Mirror the send pool's peak-in-flight gauge into the trace (the
     /// world does this after joining so summaries can report it).
     pub fn set_pool_peak_in_flight(&self, peak: u64) {
-        self.pool_peak_in_flight.store(peak, Ordering::Relaxed);
+        self.pool_peak_in_flight.set(peak);
     }
 
     /// Peak simultaneously checked-out send-pool buffers on this rank.
     pub fn pool_peak_in_flight(&self) -> u64 {
-        self.pool_peak_in_flight.load(Ordering::Relaxed)
+        self.pool_peak_in_flight.get()
     }
 
     /// Nonblocking requests currently posted and not yet retired.
     pub fn outstanding_requests(&self) -> u64 {
-        self.outstanding.load(Ordering::Relaxed)
+        self.outstanding.get()
     }
 
     /// High-water mark of simultaneously outstanding requests.
     pub fn peak_outstanding(&self) -> u64 {
-        self.peak_outstanding.load(Ordering::Relaxed)
+        self.peak_outstanding.get()
     }
 
     /// Reset every counter to zero (benchmark harnesses call this between
     /// warmup and measured phases).
     pub fn reset(&self) {
-        self.inner.lock().clear();
-        self.hist.lock().clear();
-        self.peers.lock().clear();
-        self.pool_hits.store(0, Ordering::Relaxed);
-        self.pool_misses.store(0, Ordering::Relaxed);
-        self.outstanding.store(0, Ordering::Relaxed);
-        self.peak_outstanding.store(0, Ordering::Relaxed);
-        self.copied.store(0, Ordering::Relaxed);
-        self.pool_peak_in_flight.store(0, Ordering::Relaxed);
+        for c in &self.ops {
+            c.calls.reset();
+            c.messages.reset();
+            c.bytes.reset();
+            c.sizes.reset();
+        }
+        self.phased.lock().clear();
+        self.pool_hits.reset();
+        self.pool_misses.reset();
+        self.outstanding.reset();
+        self.peak_outstanding.reset();
+        self.copied.reset();
+        self.pool_peak_in_flight.reset();
     }
 }
 
@@ -433,6 +632,38 @@ impl WorldTrace {
         out
     }
 
+    /// The full per-phase communication matrix: one entry per
+    /// (src, phase, algo, dst) with traffic, sorted by source rank then
+    /// phase. Summing a (src, dst) pair over phases and algorithms
+    /// reproduces [`peer_matrix`](WorldTrace::peer_matrix) exactly.
+    pub fn phased_matrix(&self) -> Vec<WorldMatrixCell> {
+        let mut out = Vec::new();
+        for (src, t) in self.per_rank.iter().enumerate() {
+            for c in t.matrix_cells() {
+                out.push(WorldMatrixCell {
+                    src,
+                    phase: c.phase,
+                    algo: c.algo,
+                    dst: c.dst,
+                    messages: c.messages,
+                    bytes: c.bytes,
+                });
+            }
+        }
+        out
+    }
+
+    /// Communication-volume imbalance statistics over the per-rank
+    /// total bytes sent (the row sums of the matrix).
+    pub fn imbalance(&self) -> MatrixImbalance {
+        let rows: Vec<u64> = self
+            .per_rank
+            .iter()
+            .map(|t| t.peer_bytes().values().sum::<u64>())
+            .collect();
+        MatrixImbalance::from_rank_bytes(&rows)
+    }
+
     /// Human-readable multi-line summary table.
     pub fn summary(&self) -> String {
         use std::fmt::Write as _;
@@ -476,6 +707,80 @@ impl WorldTrace {
             let _ = writeln!(out, "peak outstanding requests (any rank): {peak}");
         }
         out
+    }
+}
+
+/// One world-scope cell of the per-phase communication matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorldMatrixCell {
+    /// Source world rank.
+    pub src: usize,
+    /// Solver phase the traffic was sent under (`""` if none).
+    pub phase: &'static str,
+    /// Collective-algorithm code (see [`algos`]).
+    pub algo: u8,
+    /// Destination world rank.
+    pub dst: usize,
+    /// Messages sent.
+    pub messages: u64,
+    /// Payload bytes sent.
+    pub bytes: u64,
+}
+
+/// Communication-volume imbalance over the matrix row sums.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatrixImbalance {
+    /// Largest per-rank total bytes sent.
+    pub max_bytes: u64,
+    /// Mean per-rank total bytes sent.
+    pub mean_bytes: f64,
+    /// `max / mean` — 1.0 is perfectly balanced; meaningless (reported
+    /// as 0) when nothing was sent.
+    pub max_over_mean: f64,
+    /// Gini coefficient of the per-rank totals in `[0, 1)`; 0 is
+    /// perfectly balanced.
+    pub gini: f64,
+}
+
+impl MatrixImbalance {
+    /// Compute from per-rank total sent bytes.
+    pub fn from_rank_bytes(rows: &[u64]) -> Self {
+        let n = rows.len();
+        if n == 0 {
+            return MatrixImbalance {
+                max_bytes: 0,
+                mean_bytes: 0.0,
+                max_over_mean: 0.0,
+                gini: 0.0,
+            };
+        }
+        let total: u64 = rows.iter().sum();
+        let mean = total as f64 / n as f64;
+        let max = rows.iter().copied().max().unwrap_or(0);
+        if total == 0 {
+            return MatrixImbalance {
+                max_bytes: 0,
+                mean_bytes: 0.0,
+                max_over_mean: 0.0,
+                gini: 0.0,
+            };
+        }
+        // Gini via the sorted formulation: G = (2·Σ i·x_i)/(n·Σ x) − (n+1)/n
+        // with 1-based index i over ascending x.
+        let mut sorted: Vec<u64> = rows.to_vec();
+        sorted.sort_unstable();
+        let weighted: f64 = sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
+            .sum();
+        let gini = (2.0 * weighted) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64;
+        MatrixImbalance {
+            max_bytes: max,
+            mean_bytes: mean,
+            max_over_mean: max as f64 / mean,
+            gini: gini.max(0.0),
+        }
     }
 }
 
@@ -596,6 +901,127 @@ mod tests {
         a.reset();
         assert_eq!(a.copied_bytes(), 0);
         assert_eq!(a.pool_peak_in_flight(), 0);
+    }
+
+    #[test]
+    fn phased_matrix_sums_to_peer_bytes_exactly() {
+        let t = RankTrace::new();
+        t.record_peer_ctx(1, 100, "halo", algos::NONE);
+        t.record_peer_ctx(1, 50, "halo", algos::NONE);
+        t.record_peer_ctx(1, 25, "dfft-redistribute", algos::BRUCK);
+        t.record_peer_ctx(2, 8, "dfft-redistribute", algos::BRUCK);
+        t.record_peer(2, 7); // phaseless traffic still lands in the matrix
+        let peers = t.peer_bytes();
+        assert_eq!(peers.get(&1), Some(&175));
+        assert_eq!(peers.get(&2), Some(&15));
+        let cells = t.matrix_cells();
+        assert_eq!(cells.len(), 4);
+        let by_dst: u64 = cells.iter().filter(|c| c.dst == 1).map(|c| c.bytes).sum();
+        assert_eq!(by_dst, 175);
+        let halo = cells.iter().find(|c| c.phase == "halo").unwrap();
+        assert_eq!((halo.messages, halo.bytes), (2, 150));
+        let bruck: u64 = cells
+            .iter()
+            .filter(|c| c.algo == algos::BRUCK)
+            .map(|c| c.bytes)
+            .sum();
+        assert_eq!(bruck, 33);
+        t.reset();
+        assert!(t.matrix_cells().is_empty());
+        assert!(t.peer_bytes().is_empty());
+    }
+
+    #[test]
+    fn world_phased_matrix_and_imbalance() {
+        let a = Arc::new(RankTrace::new());
+        let b = Arc::new(RankTrace::new());
+        a.record_peer_ctx(1, 300, "step", algos::NONE);
+        b.record_peer_ctx(0, 100, "step", algos::NONE);
+        let w = WorldTrace::new(vec![a, b]);
+        let cells = w.phased_matrix();
+        assert_eq!(cells.len(), 2);
+        assert!(cells.iter().any(|c| c.src == 0 && c.dst == 1 && c.bytes == 300));
+        // Per-(src,dst) totals reproduce the classic matrix exactly.
+        let m = w.peer_matrix();
+        for c in &cells {
+            assert_eq!(m[c.src][c.dst], c.bytes);
+        }
+        let imb = w.imbalance();
+        assert_eq!(imb.max_bytes, 300);
+        assert!((imb.mean_bytes - 200.0).abs() < 1e-9);
+        assert!((imb.max_over_mean - 1.5).abs() < 1e-9);
+        // Two ranks at 300/100: Gini = |300-100| / (2·2·200) = 0.25.
+        assert!((imb.gini - 0.25).abs() < 1e-9, "{}", imb.gini);
+    }
+
+    #[test]
+    fn imbalance_degenerate_cases() {
+        let z = MatrixImbalance::from_rank_bytes(&[]);
+        assert_eq!(z.max_over_mean, 0.0);
+        let z = MatrixImbalance::from_rank_bytes(&[0, 0]);
+        assert_eq!((z.max_bytes, z.gini), (0, 0.0));
+        let even = MatrixImbalance::from_rank_bytes(&[50, 50, 50, 50]);
+        assert!((even.max_over_mean - 1.0).abs() < 1e-12);
+        assert!(even.gini.abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_publishes_into_shared_registry() {
+        let reg = MetricsRegistry::new();
+        let t0 = RankTrace::with_registry(&reg, 0);
+        let t1 = RankTrace::with_registry(&reg, 1);
+        t0.record(OpKind::Send, 1, 64);
+        t0.record_message(OpKind::Send, 64);
+        t1.record(OpKind::Alltoall, 3, 300);
+        t1.record_pool(true);
+        t1.request_posted();
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.value("beatnik_comm_bytes_total", &[("rank", "0"), ("op", "send")]),
+            Some(64)
+        );
+        assert_eq!(
+            snap.value("beatnik_comm_calls_total", &[("rank", "1"), ("op", "alltoall")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.value("beatnik_comm_message_size_bytes", &[("rank", "0"), ("op", "send")]),
+            Some(1)
+        );
+        assert_eq!(snap.value("beatnik_pool_hits_total", &[("rank", "1")]), Some(1));
+        assert_eq!(
+            snap.value("beatnik_requests_outstanding_peak", &[("rank", "1")]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn registry_backed_traces_leave_the_summary_byte_identical() {
+        // Redirecting the counters through a metrics registry is a pure
+        // publication change: the human-facing summary — the text users
+        // diff across runs — must not move by a single byte.
+        let record = |t: &RankTrace| {
+            t.record(OpKind::Send, 2, 128);
+            t.record_message(OpKind::Send, 64);
+            t.record_message(OpKind::Send, 64);
+            t.record(OpKind::Alltoall, 3, 300);
+            t.record_message(OpKind::Alltoall, 100);
+            t.record_copied(100);
+            t.record_pool(true);
+            t.record_pool(false);
+            t.request_posted();
+            t.set_pool_peak_in_flight(2);
+        };
+        let plain = Arc::new(RankTrace::new());
+        record(&plain);
+        let reg = MetricsRegistry::new();
+        let backed = Arc::new(RankTrace::with_registry(&reg, 0));
+        record(&backed);
+        let w_plain = WorldTrace::new(vec![plain]);
+        let w_backed = WorldTrace::new(vec![backed]);
+        assert_eq!(w_plain.summary(), w_backed.summary());
+        assert_eq!(w_plain.histogram_text(), w_backed.histogram_text());
+        assert_eq!(w_plain.matrix_text(), w_backed.matrix_text());
     }
 
     #[test]

@@ -2,10 +2,12 @@
 
 use crate::communicator::Communicator;
 use crate::fault::{FaultEvent, FaultInjector, FaultPlan, RankKilled};
+use crate::metrics::MetricsPlane;
 use crate::pool::BufferPool;
 use crate::registry::{Registry, WORLD_COMM_ID};
 use crate::sync::Mutex;
 use crate::trace::{RankTrace, WorldTrace};
+use beatnik_telemetry::metrics::MetricsRegistry;
 use beatnik_telemetry::{RankTimeline, SpanRecorder, WorldTimeline, DEFAULT_SPAN_CAPACITY};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -176,8 +178,10 @@ impl World {
         Self::silence_injected_kills();
         let eager_limit = crate::transport::eager_limit_from_env();
         let registry = Arc::new(Registry::new());
-        let traces: Vec<Arc<RankTrace>> =
-            (0..num_ranks).map(|_| Arc::new(RankTrace::new())).collect();
+        let metrics = Arc::new(MetricsRegistry::new());
+        let traces: Vec<Arc<RankTrace>> = (0..num_ranks)
+            .map(|rank| Arc::new(RankTrace::with_registry(&metrics, rank)))
+            .collect();
         let epoch = Instant::now();
         let recorders: Vec<Arc<SpanRecorder>> = (0..num_ranks)
             .map(|_| {
@@ -191,6 +195,12 @@ impl World {
         let pools: Vec<Arc<BufferPool>> = (0..num_ranks)
             .map(|_| Arc::new(BufferPool::new()))
             .collect();
+        registry.install_metrics(Arc::new(MetricsPlane::new(
+            metrics,
+            traces.clone(),
+            recorders.clone(),
+            pools.clone(),
+        )));
         let injectors: Vec<Option<Arc<FaultInjector>>> = (0..num_ranks)
             .map(|rank| plan.and_then(|p| p.injector_for(rank)))
             .collect();
@@ -344,8 +354,13 @@ impl World {
     {
         assert!(num_ranks > 0, "world needs at least one rank");
         let registry = Arc::new(Registry::new());
-        let traces: Vec<Arc<RankTrace>> =
-            (0..num_ranks).map(|_| Arc::new(RankTrace::new())).collect();
+        // One shared metrics registry per world: every rank trace
+        // publishes its counters into it, and the metrics plane
+        // (installed below) snapshots it live.
+        let metrics = Arc::new(MetricsRegistry::new());
+        let traces: Vec<Arc<RankTrace>> = (0..num_ranks)
+            .map(|rank| Arc::new(RankTrace::with_registry(&metrics, rank)))
+            .collect();
         // All ranks stamp spans against one epoch so cross-rank skew is
         // meaningful; `None` capacity yields inert recorders.
         let epoch = Instant::now();
@@ -364,6 +379,12 @@ impl World {
         let pools: Vec<Arc<BufferPool>> = (0..num_ranks)
             .map(|_| Arc::new(BufferPool::new()))
             .collect();
+        registry.install_metrics(Arc::new(MetricsPlane::new(
+            metrics,
+            traces.clone(),
+            recorders.clone(),
+            pools.clone(),
+        )));
 
         let mut results: Vec<Option<R>> = (0..num_ranks).map(|_| None).collect();
         let f = &f;

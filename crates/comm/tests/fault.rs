@@ -272,3 +272,138 @@ fn different_seed_changes_delay_jitter() {
         "jitter must depend on the seed"
     );
 }
+
+/// A rank death must be *observable*, not just survivable: the
+/// revoke/shrink/recovery sequence has to show up in the span timeline
+/// (what the Chrome trace is written from), in the metrics snapshot's
+/// phase-entry counters, and in the per-phase communication matrix —
+/// where the dead rank's rows freeze at their pre-death values.
+#[test]
+fn killed_run_surfaces_recovery_in_metrics_and_timeline() {
+    use beatnik_comm::telemetry::metrics::{MetricValue, MetricsSnapshot};
+    use beatnik_comm::telemetry::{SpanKind, DEFAULT_SPAN_CAPACITY};
+    use std::sync::Mutex;
+
+    // Sum every sample of `name` whose labels contain all of `want`.
+    fn family_sum(snap: &MetricsSnapshot, name: &str, want: &[(&str, &str)]) -> u64 {
+        snap.families
+            .iter()
+            .filter(|f| f.name == name)
+            .flat_map(|f| &f.samples)
+            .filter(|s| {
+                want.iter()
+                    .all(|(k, v)| s.labels.iter().any(|(sk, sv)| sk == k && sv == v))
+            })
+            .map(|s| match &s.value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => *v,
+                MetricValue::Histogram { .. } => 0,
+            })
+            .sum()
+    }
+
+    let plan = FaultPlan::parse("kill:r2@step2", 0).expect("static plan");
+    let snap_slot: Mutex<Option<MetricsSnapshot>> = Mutex::new(None);
+    let report = World::run_ft_profiled(
+        4,
+        WORLD_TIMEOUT,
+        DEFAULT_SPAN_CAPACITY,
+        Some(&plan),
+        |comm| {
+            let comm = comm.with_recv_timeout(DETECT);
+            comm.fault_step(1);
+            {
+                // One clean step so the victim has matrix rows to freeze.
+                let _p = comm.telemetry().phase("step");
+                let sum = comm.try_allreduce(1.0f64, &SumOp).expect("clean step");
+                assert_eq!(sum, 4.0);
+            }
+            comm.fault_step(2); // rank 2 dies here
+            if comm.try_allreduce(1.0f64, &SumOp).is_err() {
+                comm.revoke();
+            }
+            let shrunk = {
+                let _span = comm.telemetry().phase(beatnik_comm::RECOVERY_PHASE);
+                let shrunk = comm.shrink().expect("survivors shrink");
+                let sum = shrunk
+                    .try_allreduce(comm.rank() as f64, &SumOp)
+                    .expect("collective on shrunken comm");
+                assert_eq!(sum, 4.0); // world ranks 0 + 1 + 3
+                shrunk
+            };
+            // Quiesce before sampling: survivors hand rank 0 a token as
+            // their final send (peer-traffic counters are bumped before a
+            // message is enqueued, so receiving the token means every
+            // earlier byte from that rank is already counted). Nothing is
+            // sent afterwards, so the snapshot equals the final totals.
+            if shrunk.rank() == 0 {
+                for src in 1..shrunk.size() {
+                    let _ = shrunk.recv::<u8>(src, 77);
+                }
+                *snap_slot.lock().unwrap() = comm.metrics_snapshot();
+            } else {
+                shrunk.send(0, 77, vec![1u8]);
+            }
+        },
+    );
+    assert_eq!(report.killed, [2]);
+
+    // The recovery sequence is on the span timeline (the Chrome trace is
+    // a straight serialization of these spans).
+    let timeline = report.timeline.expect("profiled run has a timeline");
+    for phase in ["revoke", "shrink", beatnik_comm::RECOVERY_PHASE] {
+        assert!(
+            timeline
+                .ranks
+                .iter()
+                .flat_map(|r| &r.spans)
+                .any(|s| s.kind == SpanKind::Phase(phase)),
+            "phase {phase:?} missing from the timeline"
+        );
+    }
+
+    let snap = snap_slot.into_inner().unwrap().expect("rank 0 snapshot");
+
+    // ...and in the always-on phase-entry counters: each of the three
+    // survivors revokes, shrinks, and enters recovery exactly once.
+    for phase in ["revoke", "shrink", beatnik_comm::RECOVERY_PHASE] {
+        assert_eq!(
+            family_sum(&snap, "beatnik_phase_entries_total", &[("phase", phase)]),
+            3,
+            "phase {phase:?} entry count"
+        );
+    }
+
+    // The dead rank earned matrix rows in the clean step, then froze:
+    // no recovery-phase traffic may carry src=2.
+    let matrix = "beatnik_comm_matrix_bytes_total";
+    assert!(family_sum(&snap, matrix, &[("src", "2"), ("phase", "step")]) > 0);
+    assert_eq!(
+        family_sum(
+            &snap,
+            "beatnik_comm_matrix_messages_total",
+            &[("src", "2"), ("phase", "recovery")]
+        ),
+        0,
+        "dead rank must not appear in recovery-phase matrix rows"
+    );
+    for survivor in ["0", "1", "3"] {
+        assert!(
+            family_sum(&snap, matrix, &[("src", survivor), ("phase", "recovery")]) > 0,
+            "survivor {survivor} must have recovery-phase matrix bytes"
+        );
+    }
+
+    // The snapshot's matrix agrees with the RankTrace counters exactly:
+    // same total as the post-join phased matrix and the classic P×P
+    // byte matrix.
+    let snap_total = family_sum(&snap, matrix, &[]);
+    let phased_total: u64 = report.trace.phased_matrix().iter().map(|c| c.bytes).sum();
+    let classic_total: u64 = report
+        .trace
+        .peer_matrix()
+        .iter()
+        .flat_map(|row| row.iter())
+        .sum();
+    assert_eq!(snap_total, phased_total);
+    assert_eq!(snap_total, classic_total);
+}

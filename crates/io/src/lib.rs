@@ -19,11 +19,15 @@
 
 pub mod checkpoint;
 pub mod csv;
+pub mod metrics;
 pub mod profile;
 pub mod stats;
 pub mod vtk;
 
 pub use checkpoint::Checkpoint;
+pub use metrics::{
+    write_comm_matrix_csv, write_critical_path_json, write_metrics_json, write_openmetrics,
+};
 pub use profile::{write_chrome_trace, write_phase_csv, write_skew_csv};
 pub use stats::{RunLog, StepRecord};
 

@@ -1,0 +1,235 @@
+//! Metrics-plane exports: OpenMetrics text exposition, JSON snapshots,
+//! the per-phase communication matrix as CSV, and the critical-path
+//! analysis as JSON.
+//!
+//! The text exposition is the scrape format Prometheus-compatible
+//! collectors ingest; `rocketrig --metrics <path>` rewrites it every N
+//! steps so a file-tailing exporter (or a human with `watch cat`) sees
+//! the run live. The JSON snapshot carries the same families for
+//! scripted analysis without an OpenMetrics parser.
+
+use beatnik_comm::telemetry::metrics::{
+    openmetrics_text, MetricKind, MetricValue, MetricsSnapshot,
+};
+use beatnik_comm::telemetry::{algos, sizebins, CriticalPath};
+use beatnik_comm::WorldTrace;
+use beatnik_json::Value;
+use std::io::Write;
+use std::path::Path;
+
+/// Write a snapshot as OpenMetrics / Prometheus text exposition.
+pub fn write_openmetrics(snap: &MetricsSnapshot, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let text = openmetrics_text(snap);
+    let file = std::fs::File::create(path)?;
+    let mut out = std::io::BufWriter::new(file);
+    out.write_all(text.as_bytes())?;
+    out.flush()
+}
+
+/// The JSON form of a metrics snapshot (stable family/sample order —
+/// registration order, synthesized families last).
+pub fn metrics_json(snap: &MetricsSnapshot) -> Value {
+    let families: Vec<Value> = snap
+        .families
+        .iter()
+        .map(|fam| {
+            let kind = match fam.kind {
+                MetricKind::Counter => "counter",
+                MetricKind::Gauge => "gauge",
+                MetricKind::Histogram => "histogram",
+            };
+            let samples: Vec<Value> = fam
+                .samples
+                .iter()
+                .map(|s| {
+                    let labels = Value::Object(
+                        s.labels
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                            .collect(),
+                    );
+                    let mut obj = vec![("labels".to_string(), labels)];
+                    match &s.value {
+                        MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                            obj.push(("value".to_string(), Value::UInt(*v)));
+                        }
+                        MetricValue::Histogram { buckets, count, sum } => {
+                            // Only occupied buckets, labelled by the
+                            // canonical sizebin edge, to keep files small.
+                            let b: Vec<Value> = buckets
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, &c)| c > 0)
+                                .map(|(i, &c)| {
+                                    Value::Object(vec![
+                                        ("le".to_string(), Value::Str(sizebins::label(i))),
+                                        ("count".to_string(), Value::UInt(c)),
+                                    ])
+                                })
+                                .collect();
+                            obj.push(("buckets".to_string(), Value::Array(b)));
+                            obj.push(("count".to_string(), Value::UInt(*count)));
+                            obj.push(("sum".to_string(), Value::UInt(*sum)));
+                        }
+                    }
+                    Value::Object(obj)
+                })
+                .collect();
+            Value::Object(vec![
+                ("name".to_string(), Value::Str(fam.name.clone())),
+                ("kind".to_string(), Value::Str(kind.to_string())),
+                ("help".to_string(), Value::Str(fam.help.clone())),
+                ("samples".to_string(), Value::Array(samples)),
+            ])
+        })
+        .collect();
+    Value::Object(vec![("families".to_string(), Value::Array(families))])
+}
+
+/// Write a snapshot as JSON.
+pub fn write_metrics_json(snap: &MetricsSnapshot, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let json = beatnik_json::to_string_pretty(&metrics_json(snap));
+    let file = std::fs::File::create(path)?;
+    let mut out = std::io::BufWriter::new(file);
+    out.write_all(json.as_bytes())?;
+    out.flush()
+}
+
+/// Write the per-phase P×P communication matrix as CSV, one row per
+/// `(src, dst, phase, algo)` cell with message and byte totals.
+pub fn write_comm_matrix_csv(trace: &WorldTrace, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut out = std::io::BufWriter::new(file);
+    writeln!(out, "src,dst,phase,algo,messages,bytes")?;
+    for cell in trace.phased_matrix() {
+        writeln!(
+            out,
+            "{},{},{},{},{},{}",
+            cell.src,
+            cell.dst,
+            cell.phase,
+            algos::name(cell.algo).unwrap_or(""),
+            cell.messages,
+            cell.bytes
+        )?;
+    }
+    out.flush()
+}
+
+/// The JSON form of a critical-path analysis.
+pub fn critical_path_json(cp: &CriticalPath) -> Value {
+    let steps: Vec<Value> = cp
+        .steps
+        .iter()
+        .map(|s| {
+            let segments: Vec<Value> = s
+                .segments
+                .iter()
+                .map(|seg| {
+                    Value::Object(vec![
+                        ("phase".to_string(), Value::Str(seg.phase.clone())),
+                        ("dur_s".to_string(), Value::Float(seg.dur_s)),
+                        ("wait_s".to_string(), Value::Float(seg.wait_s)),
+                    ])
+                })
+                .collect();
+            Value::Object(vec![
+                ("step".to_string(), Value::UInt(s.step as u64)),
+                ("critical_rank".to_string(), Value::UInt(s.critical_rank as u64)),
+                ("dur_s".to_string(), Value::Float(s.dur_s)),
+                ("segments".to_string(), Value::Array(segments)),
+                (
+                    "slack_s".to_string(),
+                    Value::Array(s.slack_s.iter().map(|&x| Value::Float(x)).collect()),
+                ),
+            ])
+        })
+        .collect();
+    let bound_by: Vec<Value> = cp
+        .bound_by
+        .iter()
+        .map(|(phase, secs)| {
+            Value::Object(vec![
+                ("phase".to_string(), Value::Str(phase.clone())),
+                ("time_s".to_string(), Value::Float(*secs)),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        ("steps".to_string(), Value::Array(steps)),
+        ("total_s".to_string(), Value::Float(cp.total_s)),
+        ("bound_by".to_string(), Value::Array(bound_by)),
+        (
+            "mean_slack_s".to_string(),
+            Value::Array(cp.mean_slack_s.iter().map(|&x| Value::Float(x)).collect()),
+        ),
+    ])
+}
+
+/// Write a critical-path analysis as JSON (`critical-path.json`).
+pub fn write_critical_path_json(cp: &CriticalPath, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let json = beatnik_json::to_string_pretty(&critical_path_json(cp));
+    let file = std::fs::File::create(path)?;
+    let mut out = std::io::BufWriter::new(file);
+    out.write_all(json.as_bytes())?;
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beatnik_comm::World;
+
+    #[test]
+    fn metrics_exports_roundtrip_through_files() {
+        let dir = std::env::temp_dir().join("beatnik_metrics_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap_slot: std::sync::Mutex<Option<MetricsSnapshot>> = std::sync::Mutex::new(None);
+        let (_, trace, timeline) = World::run_profiled(2, |c| {
+            {
+                let _p = c.telemetry().phase("step");
+                let _h = c.telemetry().phase("halo");
+                if c.rank() == 0 {
+                    c.send(1, 9, vec![1u8, 2, 3]);
+                } else {
+                    let _ = c.recv::<u8>(0, 9);
+                }
+            }
+            c.barrier();
+            if c.rank() == 0 {
+                *snap_slot.lock().unwrap() = c.metrics_snapshot();
+            }
+        });
+        let snap = snap_slot.into_inner().unwrap().unwrap();
+
+        let om = dir.join("metrics.om");
+        write_openmetrics(&snap, &om).unwrap();
+        let text = std::fs::read_to_string(&om).unwrap();
+        assert!(text.contains("# TYPE beatnik_comm_bytes counter"), "{text}");
+        assert!(text.contains("beatnik_comm_matrix_bytes_total{"), "{text}");
+        assert!(text.ends_with("# EOF\n"));
+
+        let js = dir.join("metrics.json");
+        write_metrics_json(&snap, &js).unwrap();
+        let v = beatnik_json::parse(&std::fs::read_to_string(&js).unwrap()).unwrap();
+        let Value::Array(fams) = v.get("families").unwrap() else {
+            panic!("families must be an array");
+        };
+        assert!(fams.iter().any(|f| {
+            matches!(f.get("name"), Some(Value::Str(n)) if n == "beatnik_comm_messages_total")
+        }));
+
+        let csv = dir.join("matrix.csv");
+        write_comm_matrix_csv(&trace, &csv).unwrap();
+        let text = std::fs::read_to_string(&csv).unwrap();
+        assert!(text.starts_with("src,dst,phase,algo,messages,bytes"));
+        assert!(text.contains("0,1,halo,,1,3"), "{text}");
+
+        let cp = timeline.critical_path("step");
+        let cpj = dir.join("critical-path.json");
+        write_critical_path_json(&cp, &cpj).unwrap();
+        let v = beatnik_json::parse(&std::fs::read_to_string(&cpj).unwrap()).unwrap();
+        assert!(matches!(v.get("steps"), Some(Value::Array(_))));
+        assert!(v.get("total_s").is_some());
+    }
+}

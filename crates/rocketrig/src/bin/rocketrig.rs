@@ -136,6 +136,24 @@ fn main() {
         }
     }
 
+    if let Some(mpath) = &cfg.metrics_path {
+        // The live files were flushed by rank 0 during the run; add the
+        // post-run artifacts that need the aggregated trace/timeline.
+        let stem = mpath.file_stem().and_then(|s| s.to_str()).unwrap_or("metrics");
+        let matrix = mpath.with_file_name(format!("{stem}-matrix.csv"));
+        beatnik_io::write_comm_matrix_csv(&trace, &matrix)
+            .expect("failed to write comm-matrix CSV");
+        let mut outputs = format!("{}, {}", mpath.display(), matrix.display());
+        if let Some(timeline) = &timeline {
+            let cp = timeline.critical_path("step");
+            let cp_path = mpath.with_file_name("critical-path.json");
+            beatnik_io::write_critical_path_json(&cp, &cp_path)
+                .expect("failed to write critical-path JSON");
+            outputs.push_str(&format!(", {}", cp_path.display()));
+        }
+        println!("metrics written to {outputs}");
+    }
+
     if let Some(path) = opts.log_path {
         if let Some(dir) = path.parent() {
             let _ = std::fs::create_dir_all(dir);

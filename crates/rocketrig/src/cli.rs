@@ -34,9 +34,11 @@ pub struct CliOptions {
 }
 
 impl CliOptions {
-    /// Whether either profiling flag asks for a span-recorded run.
+    /// Whether a span-recorded run is needed: either profiling flag, or
+    /// `--metrics` (the live metrics plane emits `critical-path.json`
+    /// from the span timeline, so metrics runs record spans too).
     pub fn profiling(&self) -> bool {
-        self.profile_path.is_some() || self.profile_summary
+        self.profile_path.is_some() || self.profile_summary || self.config.metrics_path.is_some()
     }
 
     /// Whether the fault-tolerant driver loop should run (any fault plan
@@ -79,7 +81,14 @@ OPTIONS:
                                     Trace Event JSON (chrome://tracing /
                                     Perfetto) plus phase/skew CSVs
     --profile-summary               record span telemetry; print wait-time
-                                    attribution and collective skew
+                                    attribution, collective skew, and the
+                                    critical-path decomposition
+    --metrics <FILE>                flush live metrics as OpenMetrics text
+                                    at FILE (JSON twin at FILE.json); also
+                                    writes <FILE stem>-matrix.csv and
+                                    critical-path.json after the run
+    --metrics-every <N>             metrics flush cadence in steps
+                                    [0 = final step only]
     --faults <SPEC>                 inject faults, e.g.
                                     kill:r2@step5,delay:r1@op10:50ms
                                     (seeded by BEATNIK_FAULT_SEED)
@@ -180,6 +189,12 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             "--log" => opts.log_path = Some(PathBuf::from(take(args, &mut i, flag)?)),
             "--profile" => opts.profile_path = Some(PathBuf::from(take(args, &mut i, flag)?)),
             "--profile-summary" => opts.profile_summary = true,
+            "--metrics" => {
+                opts.config.metrics_path = Some(PathBuf::from(take(args, &mut i, flag)?))
+            }
+            "--metrics-every" => {
+                opts.config.metrics_every = parse_num(&take(args, &mut i, flag)?, flag)?
+            }
             "--faults" => {
                 let spec = take(args, &mut i, flag)?;
                 // Validate eagerly so a typo fails at the prompt, not
@@ -291,6 +306,20 @@ mod tests {
         let o = parse_args(&sv(&["--profile-summary"])).unwrap();
         assert!(o.profile_summary && o.profiling());
         assert!(parse_args(&sv(&["--profile"])).is_err());
+    }
+
+    #[test]
+    fn metrics_options() {
+        let o = parse_args(&[]).unwrap();
+        assert!(o.config.metrics_path.is_none());
+        assert_eq!(o.config.metrics_every, 0);
+        let o = parse_args(&sv(&["--metrics", "/tmp/m.om", "--metrics-every", "5"])).unwrap();
+        assert_eq!(o.config.metrics_path, Some(PathBuf::from("/tmp/m.om")));
+        assert_eq!(o.config.metrics_every, 5);
+        // --metrics implies a span-recorded run (for critical-path.json).
+        assert!(o.profiling());
+        assert!(parse_args(&sv(&["--metrics"])).is_err());
+        assert!(parse_args(&sv(&["--metrics-every", "x"])).is_err());
     }
 
     #[test]

@@ -109,6 +109,11 @@ pub struct RigConfig {
     pub vtk_every: usize,
     /// Output directory for VTK/JSON artifacts.
     pub out_dir: PathBuf,
+    /// Flush live metrics (OpenMetrics text plus a JSON twin) here.
+    pub metrics_path: Option<PathBuf>,
+    /// Rewrite the metrics files every this many steps (0 = only at the
+    /// final step). Applies when `metrics_path` is set.
+    pub metrics_every: usize,
 }
 
 impl_json_struct!(RigConfig {
@@ -126,6 +131,8 @@ impl_json_struct!(RigConfig {
     ownership_ranks,
     vtk_every,
     out_dir,
+    metrics_path,
+    metrics_every,
 });
 
 impl Default for RigConfig {
@@ -145,6 +152,8 @@ impl Default for RigConfig {
             ownership_ranks: None,
             vtk_every: 0,
             out_dir: PathBuf::from("rocketrig-out"),
+            metrics_path: None,
+            metrics_every: 0,
         }
     }
 }
@@ -244,8 +253,43 @@ pub fn run_rig(comm: &Communicator, cfg: &RigConfig) -> RunLog {
             let path = cfg.out_dir.join(format!("surface_{s:05}.vtk"));
             beatnik_io::vtk::write_vtk(solver.problem(), path).expect("vtk write failed");
         }
+        maybe_flush_metrics(comm, cfg, s);
     }
     log
+}
+
+/// Flush the live metrics files when the step cadence (or the final
+/// step) asks for it. Rank 0 only; a no-op outside a `World` runner.
+fn maybe_flush_metrics(comm: &Communicator, cfg: &RigConfig, step: usize) {
+    let Some(path) = &cfg.metrics_path else {
+        return;
+    };
+    let due = step == cfg.steps
+        || (cfg.metrics_every > 0 && step.is_multiple_of(cfg.metrics_every));
+    if comm.rank() != 0 || !due {
+        return;
+    }
+    flush_metrics(comm, path);
+}
+
+/// Write a live snapshot of the world's metrics plane: OpenMetrics text
+/// exposition at `path` and a JSON twin at `<path>.json`. Scrapers tail
+/// the text file; scripts read the JSON. No-op when the communicator
+/// has no metrics plane (built outside a `World` runner).
+pub fn flush_metrics(comm: &Communicator, path: &std::path::Path) {
+    let Some(snap) = comm.metrics_snapshot() else {
+        return;
+    };
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    beatnik_io::write_openmetrics(&snap, path).expect("metrics write failed");
+    let name = path
+        .file_name()
+        .and_then(|s| s.to_str())
+        .unwrap_or("metrics");
+    let json = path.with_file_name(format!("{name}.json"));
+    beatnik_io::write_metrics_json(&snap, &json).expect("metrics JSON write failed");
 }
 
 /// Receive deadline used by the fault-tolerant driver: long enough for
@@ -359,6 +403,7 @@ fn run_ft_attempt(
             beatnik_io::checkpoint::save(solver.problem(), s, solver.time(), ckpt_path)
                 .expect("checkpoint write failed");
         }
+        maybe_flush_metrics(comm, cfg, s);
     }
 }
 

@@ -39,14 +39,16 @@
 //! to a truncated-history timeline instead of an error or a stall.
 
 mod chrome;
+pub mod metrics;
 mod recorder;
 pub mod sizebins;
 mod span;
 mod timeline;
 
 pub use chrome::chrome_trace;
-pub use recorder::{OpGuard, PhaseGuard, SpanRecorder, Ticket, DEFAULT_SPAN_CAPACITY};
+pub use recorder::{AlgoScope, OpGuard, PhaseGuard, SpanRecorder, Ticket, DEFAULT_SPAN_CAPACITY};
 pub use span::{algos, CommOp, Span, SpanKind};
 pub use timeline::{
-    PhaseRow, RankTimeline, SkewHistogram, SkewRow, StepRow, WorldTimeline, SKEW_BUCKETS,
+    CriticalPath, CriticalSegment, CriticalStep, PhaseRow, RankTimeline, SkewHistogram, SkewRow,
+    StepRow, WorldTimeline, SKEW_BUCKETS,
 };

@@ -2,7 +2,9 @@
 
 use crate::span::{algos, CommOp, Span, SpanKind};
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Default ring capacity: 64 Ki spans ≈ 3 MiB per rank, enough for
@@ -49,6 +51,21 @@ pub struct SpanRecorder {
     /// Total spans ever pushed (monotonic; `pushed % capacity` is the
     /// next write index, `pushed - capacity` the drop count).
     pushed: AtomicU64,
+    /// Stack of currently open phase names, maintained even when span
+    /// recording is disabled so the comm layer can attribute traffic to
+    /// the innermost solver phase (the live comm-matrix dimension).
+    /// Written and read only by the owning rank thread — the same
+    /// single-writer protocol as the ring itself.
+    phase_stack: UnsafeCell<Vec<&'static str>>,
+    /// Collective-algorithm code currently in force (see
+    /// [`algos`]), set by the all-to-all engines around their send
+    /// rounds via [`algo_scope`](SpanRecorder::algo_scope).
+    current_algo: AtomicU8,
+    /// Always-on phase entry counters (phase name → entries), published
+    /// into the metrics snapshot so recovery/revoke/shrink occurrences
+    /// are visible without span recording. Entered phases are not hot
+    /// (a handful per timestep), so an uncontended mutex is fine here.
+    phase_counts: Mutex<BTreeMap<&'static str, u64>>,
 }
 
 // SAFETY: see "Single-writer protocol" above — slot writes never race
@@ -66,6 +83,9 @@ impl SpanRecorder {
             epoch,
             slots: slots.into_boxed_slice(),
             pushed: AtomicU64::new(0),
+            phase_stack: UnsafeCell::new(Vec::with_capacity(8)),
+            current_algo: AtomicU8::new(algos::NONE),
+            phase_counts: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -125,6 +145,11 @@ impl SpanRecorder {
     /// Record a zero-duration marker (e.g. an `irecv` post).
     #[inline]
     pub fn instant(&self, kind: SpanKind, peer: i64, tag: u64, bytes: u64) {
+        if let SpanKind::Phase(name) = kind {
+            // Instant phase markers (revoke, shrink, fault injections)
+            // count as phase entries even when span recording is off.
+            self.count_phase(name);
+        }
         if self.slots.is_empty() {
             return;
         }
@@ -141,13 +166,62 @@ impl SpanRecorder {
     }
 
     /// RAII guard recording a named phase span over its lifetime.
+    ///
+    /// Also pushes `name` onto the always-on phase stack (popped when
+    /// the guard drops) and bumps the phase entry counter, so the comm
+    /// matrix and metrics snapshot see phases even when span recording
+    /// is disabled.
     #[inline]
     pub fn phase(&self, name: &'static str) -> PhaseGuard<'_> {
+        self.count_phase(name);
+        // SAFETY: single-writer protocol — only the owning rank thread
+        // touches the phase stack (see the field docs).
+        unsafe {
+            (*self.phase_stack.get()).push(name);
+        }
         PhaseGuard {
             rec: self,
             start: self.begin(),
             name,
         }
+    }
+
+    /// The innermost currently open phase, or `""` outside any phase.
+    /// Must be called from the owning rank thread.
+    #[inline]
+    pub fn current_phase(&self) -> &'static str {
+        // SAFETY: single-writer protocol — caller is the owning thread.
+        unsafe { (*self.phase_stack.get()).last().copied().unwrap_or("") }
+    }
+
+    /// The collective-algorithm code currently in force (see
+    /// [`algos`]); [`algos::NONE`] outside any algorithm scope.
+    #[inline]
+    pub fn current_algo(&self) -> u8 {
+        self.current_algo.load(Ordering::Relaxed)
+    }
+
+    /// RAII scope stamping `code` as the current collective algorithm;
+    /// the previous code is restored on drop. The all-to-all engines
+    /// wrap their send rounds in this so matrix traffic is attributed
+    /// per algorithm.
+    #[inline]
+    pub fn algo_scope(&self, code: u8) -> AlgoScope<'_> {
+        let prev = self.current_algo.swap(code, Ordering::Relaxed);
+        AlgoScope { rec: self, prev }
+    }
+
+    #[inline]
+    fn count_phase(&self, name: &'static str) {
+        let mut m = self.phase_counts.lock().unwrap_or_else(|p| p.into_inner());
+        *m.entry(name).or_insert(0) += 1;
+    }
+
+    /// Phase entry counts (phase name → times entered), always on.
+    /// Safe to call from any thread.
+    pub fn phase_counts(&self) -> Vec<(&'static str, u64)> {
+        let m = self.phase_counts.lock().unwrap_or_else(|p| p.into_inner());
+        m.iter().map(|(&k, &v)| (k, v)).collect()
     }
 
     /// RAII guard recording a communication-op span over its lifetime.
@@ -231,8 +305,26 @@ pub struct PhaseGuard<'a> {
 
 impl Drop for PhaseGuard<'_> {
     fn drop(&mut self) {
+        // SAFETY: single-writer protocol — guards live on the owning
+        // rank thread and drop LIFO, mirroring the pushes in `phase`.
+        unsafe {
+            (*self.rec.phase_stack.get()).pop();
+        }
         self.rec
             .end(self.start, SpanKind::Phase(self.name), -1, 0, 0);
+    }
+}
+
+/// Restores the previous collective-algorithm code when dropped. See
+/// [`SpanRecorder::algo_scope`].
+pub struct AlgoScope<'a> {
+    rec: &'a SpanRecorder,
+    prev: u8,
+}
+
+impl Drop for AlgoScope<'_> {
+    fn drop(&mut self) {
+        self.rec.current_algo.store(self.prev, Ordering::Relaxed);
     }
 }
 
@@ -371,6 +463,46 @@ mod tests {
         assert_eq!(spans[0].kind, SpanKind::Op(CommOp::Alltoallv));
         assert_eq!((spans[0].peer, spans[0].tag, spans[0].bytes), (2, 5, 128));
         assert_eq!(spans[1].peer, -1);
+    }
+
+    #[test]
+    fn phase_context_tracks_even_when_disabled() {
+        let rec = SpanRecorder::disabled();
+        assert_eq!(rec.current_phase(), "");
+        {
+            let _step = rec.phase("step");
+            assert_eq!(rec.current_phase(), "step");
+            {
+                let _halo = rec.phase("halo");
+                assert_eq!(rec.current_phase(), "halo");
+            }
+            assert_eq!(rec.current_phase(), "step");
+            let _halo2 = rec.phase("halo");
+        }
+        assert_eq!(rec.current_phase(), "");
+        rec.instant(SpanKind::Phase("revoke"), -1, 0, 0);
+        assert_eq!(rec.total_pushed(), 0, "disabled ring stays empty");
+        let counts: std::collections::BTreeMap<_, _> =
+            rec.phase_counts().into_iter().collect();
+        assert_eq!(counts.get("step"), Some(&1));
+        assert_eq!(counts.get("halo"), Some(&2));
+        assert_eq!(counts.get("revoke"), Some(&1));
+    }
+
+    #[test]
+    fn algo_scope_nests_and_restores() {
+        let rec = SpanRecorder::disabled();
+        assert_eq!(rec.current_algo(), algos::NONE);
+        {
+            let _a = rec.algo_scope(algos::BRUCK);
+            assert_eq!(rec.current_algo(), algos::BRUCK);
+            {
+                let _b = rec.algo_scope(algos::PAIRWISE);
+                assert_eq!(rec.current_algo(), algos::PAIRWISE);
+            }
+            assert_eq!(rec.current_algo(), algos::BRUCK);
+        }
+        assert_eq!(rec.current_algo(), algos::NONE);
     }
 
     #[test]

@@ -105,6 +105,84 @@ pub struct StepRow {
     pub wait_s: f64,
 }
 
+/// One segment of a step's bounding chain: a direct-child phase of the
+/// critical rank's step span (occurrences merged by name), or the
+/// `"(other)"` remainder. Segment durations sum exactly to the step
+/// duration by construction.
+#[derive(Debug, Clone)]
+pub struct CriticalSegment {
+    /// Phase name, or `"(other)"` for time outside any child phase.
+    pub phase: String,
+    /// Summed duration of this segment within the step (seconds).
+    pub dur_s: f64,
+    /// Blocked time (receives, waits, collectives) the critical rank
+    /// spent inside this segment (seconds).
+    pub wait_s: f64,
+}
+
+/// Critical-path decomposition of one matched timestep.
+#[derive(Debug, Clone)]
+pub struct CriticalStep {
+    pub step: usize,
+    /// The bounding (slowest) rank this step.
+    pub critical_rank: usize,
+    /// The bounding rank's step duration — the step's wall-clock.
+    pub dur_s: f64,
+    /// Bounding chain on the critical rank; `Σ dur_s` equals `dur_s`.
+    pub segments: Vec<CriticalSegment>,
+    /// Per-rank slack: how much earlier each rank finished the step
+    /// than the critical rank (zero for the critical rank). Indexed by
+    /// position in [`WorldTimeline::ranks`].
+    pub slack_s: Vec<f64>,
+}
+
+/// Whole-run critical-path analysis over the matched `"step"` phases.
+#[derive(Debug, Clone, Default)]
+pub struct CriticalPath {
+    pub steps: Vec<CriticalStep>,
+    /// Summed step wall-clock (seconds).
+    pub total_s: f64,
+    /// Time each phase bounded the run (summed segment durations across
+    /// steps), descending.
+    pub bound_by: Vec<(String, f64)>,
+    /// Mean per-rank slack across steps, indexed like
+    /// [`CriticalStep::slack_s`].
+    pub mean_slack_s: Vec<f64>,
+}
+
+impl CriticalPath {
+    /// Human-readable report: which phases bound the run, and per-rank
+    /// slack. Appended to the profile summary by the drivers.
+    pub fn text(&self) -> String {
+        let mut s = String::new();
+        if self.steps.is_empty() {
+            return s;
+        }
+        s.push_str(&format!(
+            "-- critical path over {} steps ({:.3} ms total) --\n",
+            self.steps.len(),
+            self.total_s * 1e3
+        ));
+        s.push_str(&format!(
+            "{:<22} {:>10} {:>6}\n",
+            "bounding phase", "time(ms)", "share"
+        ));
+        for (name, secs) in &self.bound_by {
+            let share = if self.total_s > 0.0 {
+                100.0 * secs / self.total_s
+            } else {
+                0.0
+            };
+            s.push_str(&format!("{name:<22} {:>10.3} {share:>5.1}%\n", secs * 1e3));
+        }
+        s.push_str("\n-- per-rank mean slack (ms behind the critical rank) --\n");
+        for (r, slack) in self.mean_slack_s.iter().enumerate() {
+            s.push_str(&format!("r{r:<4} {:>10.3}\n", slack * 1e3));
+        }
+        s
+    }
+}
+
 /// Per-span derived facts for one rank, computed in a single sweep.
 struct RankAnalysis {
     /// Sorted-by-start order of span indices used by the sweep.
@@ -116,6 +194,8 @@ struct RankAnalysis {
     /// For top-level blocking spans: index of the innermost enclosing
     /// phase span, if any.
     enclosing_phase: Vec<Option<usize>>,
+    /// For phase spans: index of the parent phase span, if any.
+    phase_parent: Vec<Option<usize>>,
 }
 
 fn is_blocking(span: &Span) -> bool {
@@ -141,6 +221,7 @@ fn analyze(rt: &RankTimeline) -> RankAnalysis {
     let mut self_ns: Vec<u64> = spans.iter().map(Span::dur_ns).collect();
     let mut top_level = vec![false; n];
     let mut enclosing_phase = vec![None; n];
+    let mut phase_parent = vec![None; n];
     // Spans from one rank thread are RAII-scoped, hence properly
     // nested; a stack sweep recovers the tree.
     let mut phase_stack: Vec<usize> = Vec::new();
@@ -163,6 +244,7 @@ fn analyze(rt: &RankTimeline) -> RankAnalysis {
             SpanKind::Phase(_) => {
                 if let Some(&parent) = phase_stack.last() {
                     self_ns[parent] = self_ns[parent].saturating_sub(s.dur_ns());
+                    phase_parent[i] = Some(parent);
                 }
                 phase_stack.push(i);
             }
@@ -181,6 +263,7 @@ fn analyze(rt: &RankTimeline) -> RankAnalysis {
         self_ns,
         top_level,
         enclosing_phase,
+        phase_parent,
     }
 }
 
@@ -383,6 +466,128 @@ impl WorldTimeline {
         out
     }
 
+    /// Critical-path decomposition over the matched occurrences of
+    /// `step_phase` (see [`CriticalPath`]).
+    ///
+    /// Per step, the slowest rank is the *bounding* rank — wall-clock
+    /// cannot beat it. Its step interval is decomposed into the
+    /// direct-child phases of the step span (merged by name) plus an
+    /// `"(other)"` remainder, so the segment durations sum exactly to
+    /// the step duration. Every other rank's slack is how much earlier
+    /// it finished: the headroom a rebalance could exploit.
+    pub fn critical_path(&self, step_phase: &str) -> CriticalPath {
+        let analyses: Vec<RankAnalysis> = self.ranks.iter().map(analyze).collect();
+        let steps_per_rank: Vec<Vec<usize>> = self
+            .ranks
+            .iter()
+            .map(|rt| {
+                (0..rt.spans.len())
+                    .filter(|&i| matches!(rt.spans[i].kind, SpanKind::Phase(n) if n == step_phase))
+                    .collect()
+            })
+            .collect();
+        let matched = steps_per_rank.iter().map(Vec::len).min().unwrap_or(0);
+        let nranks = self.ranks.len();
+        let mut steps = Vec::with_capacity(matched);
+        let mut bound: BTreeMap<String, f64> = BTreeMap::new();
+        let mut slack_sum = vec![0.0; nranks];
+        let mut total_s = 0.0;
+        // k indexes the k-th step occurrence on *every* rank at once.
+        #[allow(clippy::needless_range_loop)]
+        for k in 0..matched {
+            let durs: Vec<u64> = (0..nranks)
+                .map(|r| self.ranks[r].spans[steps_per_rank[r][k]].dur_ns())
+                .collect();
+            let critical = (0..nranks).max_by_key(|&r| durs[r]).unwrap();
+            let ci = steps_per_rank[critical][k];
+            let rt = &self.ranks[critical];
+            let a = &analyses[critical];
+            let interval = rt.spans[ci];
+            // Direct-child phases of the step span, merged by name.
+            let mut seg: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+            let mut child_ns = 0u64;
+            let mut other_wait_ns = 0u64;
+            for (i, s) in rt.spans.iter().enumerate() {
+                match s.kind {
+                    SpanKind::Phase(name) if a.phase_parent[i] == Some(ci) => {
+                        seg.entry(name).or_insert((0, 0)).0 += s.dur_ns();
+                        child_ns += s.dur_ns();
+                    }
+                    SpanKind::Op(op) if op.is_blocking() => {
+                        if !a.top_level[i] || !encloses(&interval, s) {
+                            continue;
+                        }
+                        // Climb to the direct-child segment this blocked
+                        // interval belongs to; directly-in-step blocks
+                        // land in "(other)".
+                        let mut p = a.enclosing_phase[i];
+                        let target = loop {
+                            match p {
+                                None => break None,
+                                Some(j) if j == ci => break None,
+                                Some(j) if a.phase_parent[j] == Some(ci) => break Some(j),
+                                Some(j) => p = a.phase_parent[j],
+                            }
+                        };
+                        match target.map(|j| rt.spans[j].kind.name()) {
+                            Some(name) => seg.entry(name).or_insert((0, 0)).1 += s.dur_ns(),
+                            None => other_wait_ns += s.dur_ns(),
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let mut segments: Vec<CriticalSegment> = seg
+                .into_iter()
+                .map(|(name, (dur, wait))| CriticalSegment {
+                    phase: name.to_string(),
+                    dur_s: dur as f64 * 1e-9,
+                    wait_s: wait as f64 * 1e-9,
+                })
+                .collect();
+            let remainder = interval.dur_ns().saturating_sub(child_ns);
+            if remainder > 0 || other_wait_ns > 0 {
+                segments.push(CriticalSegment {
+                    phase: "(other)".to_string(),
+                    dur_s: remainder as f64 * 1e-9,
+                    wait_s: other_wait_ns as f64 * 1e-9,
+                });
+            }
+            segments.sort_by(|x, y| y.dur_s.total_cmp(&x.dur_s));
+            for s in &segments {
+                *bound.entry(s.phase.clone()).or_insert(0.0) += s.dur_s;
+            }
+            let dur_s = interval.dur_s();
+            total_s += dur_s;
+            let slack_s: Vec<f64> = durs
+                .iter()
+                .map(|&d| (durs[critical] - d) as f64 * 1e-9)
+                .collect();
+            for (acc, s) in slack_sum.iter_mut().zip(&slack_s) {
+                *acc += s;
+            }
+            steps.push(CriticalStep {
+                step: k,
+                critical_rank: rt.rank,
+                dur_s,
+                segments,
+                slack_s,
+            });
+        }
+        let mut bound_by: Vec<(String, f64)> = bound.into_iter().collect();
+        bound_by.sort_by(|x, y| y.1.total_cmp(&x.1));
+        let mean_slack_s = slack_sum
+            .into_iter()
+            .map(|s| if matched > 0 { s / matched as f64 } else { 0.0 })
+            .collect();
+        CriticalPath {
+            steps,
+            total_s,
+            bound_by,
+            mean_slack_s,
+        }
+    }
+
     /// Multi-section human-readable report: phase attribution,
     /// collective skew, and the dominant path per `"step"`.
     pub fn summary(&self) -> String {
@@ -460,6 +665,11 @@ impl WorldTimeline {
                     pct
                 ));
             }
+        }
+        let cp = self.critical_path("step");
+        if !cp.steps.is_empty() {
+            s.push('\n');
+            s.push_str(&cp.text());
         }
         s
     }
@@ -586,6 +796,62 @@ mod tests {
         assert_eq!(s.dominant_phase, "fft");
         assert!((s.dur_s - 200e-9).abs() < 1e-15);
         assert!((s.wait_s - 20e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn critical_path_segments_sum_exactly_to_step_duration() {
+        // Rank 1 bounds the step: halo [10,50] + fft [60,160] direct
+        // children (fft contains a nested phase that must NOT appear as
+        // a segment), recv [20,40] inside halo, recv [170,190] directly
+        // in the step.
+        let w = tl(vec![
+            vec![phase("step", 0, 120)],
+            vec![
+                op(CommOp::Recv, 20, 40),
+                phase("halo", 10, 50),
+                phase("transpose", 70, 90),
+                phase("fft", 60, 160),
+                op(CommOp::Recv, 170, 190),
+                phase("step", 0, 200),
+            ],
+        ]);
+        let cp = w.critical_path("step");
+        assert_eq!(cp.steps.len(), 1);
+        let st = &cp.steps[0];
+        assert_eq!(st.critical_rank, 1);
+        assert!((st.dur_s - 200e-9).abs() < 1e-15);
+        // Segments: fft 100, halo 40, (other) 60 — exact sum.
+        let total: f64 = st.segments.iter().map(|s| s.dur_s).sum();
+        assert!((total - st.dur_s).abs() < 1e-15);
+        let get = |n: &str| st.segments.iter().find(|s| s.phase == n).unwrap();
+        assert!((get("fft").dur_s - 100e-9).abs() < 1e-15);
+        assert!((get("halo").dur_s - 40e-9).abs() < 1e-15);
+        assert!((get("halo").wait_s - 20e-9).abs() < 1e-15);
+        assert!((get("(other)").dur_s - 60e-9).abs() < 1e-15);
+        assert!((get("(other)").wait_s - 20e-9).abs() < 1e-15);
+        assert!(st.segments.iter().all(|s| s.phase != "transpose"));
+        // Slack: rank 0 finished 80 ns early, the critical rank has 0.
+        assert!((st.slack_s[0] - 80e-9).abs() < 1e-15);
+        assert_eq!(st.slack_s[1], 0.0);
+        assert!((cp.mean_slack_s[0] - 80e-9).abs() < 1e-15);
+        // fft bounds the run.
+        assert_eq!(cp.bound_by[0].0, "fft");
+        assert!(cp.text().contains("critical path over 1 steps"));
+    }
+
+    #[test]
+    fn critical_path_merges_repeated_child_phases() {
+        let w = tl(vec![vec![
+            phase("halo", 0, 30),
+            phase("halo", 40, 80),
+            phase("step", 0, 100),
+        ]]);
+        let cp = w.critical_path("step");
+        let st = &cp.steps[0];
+        let halo = st.segments.iter().find(|s| s.phase == "halo").unwrap();
+        assert!((halo.dur_s - 70e-9).abs() < 1e-15);
+        let total: f64 = st.segments.iter().map(|s| s.dur_s).sum();
+        assert!((total - 100e-9).abs() < 1e-15);
     }
 
     #[test]

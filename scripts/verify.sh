@@ -28,22 +28,44 @@ RIG=target/release/rocketrig
 CHECK=target/release/profile_check
 
 "$RIG" --order low --n 16 --steps 2 --ranks 4 \
-    --profile "$PROF_DIR/low.json" >/dev/null
+    --profile "$PROF_DIR/low.json" \
+    --metrics "$PROF_DIR/low-metrics.om" >/dev/null
 "$CHECK" "$PROF_DIR/low.json" step dfft-forward dfft-inverse \
     dfft-redistribute
 
 "$RIG" --order medium --n 16 --steps 2 --ranks 4 \
-    --profile "$PROF_DIR/medium.json" >/dev/null
+    --profile "$PROF_DIR/medium.json" \
+    --metrics "$PROF_DIR/medium-metrics.om" >/dev/null
 "$CHECK" "$PROF_DIR/medium.json" step br-cutoff migrate-to-spatial \
     halo-points migrate-home dfft-forward dfft-redistribute
 
 "$RIG" --order high --solver exact --n 12 --steps 2 --ranks 4 \
-    --profile "$PROF_DIR/high.json" >/dev/null
+    --profile "$PROF_DIR/high.json" \
+    --metrics "$PROF_DIR/high-metrics.om" >/dev/null
 "$CHECK" "$PROF_DIR/high.json" step br-exact br-ring-stage halo
 
 for stem in low medium high; do
     test -s "$PROF_DIR/$stem-phases.csv"
     test -s "$PROF_DIR/$stem-skew.csv"
+done
+
+echo "== live-metrics smoke: OpenMetrics + comm-matrix + critical path =="
+# Every order's metrics file must be well-formed OpenMetrics carrying
+# the comm-matrix families, with the matrix CSV and per-step critical
+# path alongside it.
+for stem in low medium high; do
+    om="$PROF_DIR/$stem-metrics.om"
+    test -s "$om"
+    tail -c 8 "$om" | grep -q '# EOF'
+    grep -q '^# TYPE beatnik_comm_bytes counter' "$om"
+    grep -q 'beatnik_comm_matrix_bytes_total{' "$om"
+    grep -q 'beatnik_phase_entries_total{' "$om"
+    test -s "$PROF_DIR/$stem-metrics.om.json"
+    matrix="$PROF_DIR/$stem-metrics-matrix.csv"
+    test -s "$matrix"
+    head -1 "$matrix" | grep -q '^src,dst,phase,algo,messages,bytes$'
+    test -s "$PROF_DIR/critical-path.json"
+    grep -q '"critical_rank"' "$PROF_DIR/critical-path.json"
 done
 
 echo "== chaos smoke: kill rank 2 at step 5, recover via shrink+restart =="
@@ -69,6 +91,11 @@ target/release/bench_fault BENCH_fault.json
 test -s BENCH_fault.json
 grep -q '"metric": "detection_latency"' BENCH_fault.json
 grep -q '"metric": "recovery_time"' BENCH_fault.json
+
+echo "== bench regression gate vs crates/bench/baselines =="
+# Fresh numbers above must stay under the committed-baseline ceilings
+# (time-like: 2x + 10ms jitter floor; deterministic bytes: 1.10x).
+target/release/bench_gate
 
 echo "== criterion smoke: micro_br / micro_dfft =="
 cargo bench --bench micro_br -- --test
