@@ -16,7 +16,7 @@ fn main() {
     println!("running the scaled single-mode cutoff simulation (48^2 mesh, 4 ranks)...\n");
 
     // Gather the late-time point positions from a real run.
-    let positions: Vec<[f64; 3]> = World::run(4, |comm| {
+    let positions: Vec<[f64; 3]> = World::builder(4).run(|comm| {
         let mut cfg = BenchCase::CutoffStrong.config(48, 200);
         cfg.params.dt = 6e-3;
         cfg.params.gravity = 20.0;

@@ -44,7 +44,7 @@ fn main() {
 
     for &cutoff in &cutoffs {
         let all2 = all.clone();
-        let out = World::run(ranks, move |comm| {
+        let out = World::builder(ranks).run(move |comm| {
             let chunk = n / comm.size();
             let lo = comm.rank() * chunk;
             let hi = if comm.rank() + 1 == comm.size() { n } else { lo + chunk };

@@ -32,7 +32,7 @@ fn run(order: Order) -> (f64, f64, u64, u64) {
         ..Params::default()
     };
     let start = std::time::Instant::now();
-    let (out, trace) = World::run_traced(RANKS, move |comm| {
+    let (out, trace) = World::builder(RANKS).run_traced(move |comm| {
         let mesh = SurfaceMesh::new(&comm, [N, N], [true, true], 2, [0.0, 0.0], [L, L]);
         let bc = BoundaryCondition::Periodic { periods: [L, L] };
         let br = if order.needs_br_solver() {

@@ -43,7 +43,7 @@ fn main() {
 
     for &theta in &thetas {
         let all2 = all.clone();
-        let out = World::run(ranks, move |comm| {
+        let out = World::builder(ranks).run(move |comm| {
             let chunk = n / comm.size();
             let lo = comm.rank() * chunk;
             let mine = &all2[lo..lo + chunk];
@@ -78,7 +78,7 @@ fn main() {
 
     // Communication shape: one allgather per evaluation, nothing else.
     let all3 = all.clone();
-    let (_, trace) = World::run_traced(ranks, move |comm| {
+    let (_, trace) = World::builder(ranks).run_traced(move |comm| {
         let chunk = n / comm.size();
         let lo = comm.rank() * chunk;
         let _ = TreeBrSolver::new(0.5).velocities(&comm, &all3[lo..lo + chunk], 0.1);

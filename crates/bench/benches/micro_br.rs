@@ -37,7 +37,7 @@ fn bench_br(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("exact_ring", n), &n, |b, _| {
             b.iter(|| {
                 let all = all_e.clone();
-                World::run(ranks, move |comm| {
+                World::builder(ranks).run(move |comm| {
                     let lo = comm.rank() * chunk;
                     ExactBrSolver
                         .velocities(&comm, &all[lo..lo + chunk], 0.05)
@@ -51,7 +51,7 @@ fn bench_br(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("exact_ring_blocking", n), &n, |b, _| {
             b.iter(|| {
                 let all = all_b.clone();
-                World::run(ranks, move |comm| {
+                World::builder(ranks).run(move |comm| {
                     let lo = comm.rank() * chunk;
                     ExactBrSolver
                         .velocities_blocking(&comm, &all[lo..lo + chunk], 0.05)
@@ -67,7 +67,7 @@ fn bench_br(c: &mut Criterion) {
                 |b, _| {
                     b.iter(|| {
                         let all = all_c.clone();
-                        World::run(ranks, move |comm| {
+                        World::builder(ranks).run(move |comm| {
                             let smesh = SpatialMesh::new(
                                 [-3.0, -3.0, -3.0],
                                 [3.0, 3.0, 3.0],

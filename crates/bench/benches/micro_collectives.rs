@@ -15,7 +15,7 @@ fn bench_collectives(c: &mut Criterion) {
 
     g.bench_function("barrier", |b| {
         b.iter(|| {
-            World::run(p, |comm| {
+            World::builder(p).run(|comm| {
                 for _ in 0..reps {
                     comm.barrier();
                 }
@@ -25,7 +25,7 @@ fn bench_collectives(c: &mut Criterion) {
 
     g.bench_function("allreduce_f64", |b| {
         b.iter(|| {
-            World::run(p, |comm| {
+            World::builder(p).run(|comm| {
                 let mut acc = comm.rank() as f64;
                 for _ in 0..reps {
                     acc = comm.allreduce_sum(acc);
@@ -37,7 +37,7 @@ fn bench_collectives(c: &mut Criterion) {
 
     g.bench_function("allgather_1k", |b| {
         b.iter(|| {
-            World::run(p, |comm| {
+            World::builder(p).run(|comm| {
                 for _ in 0..reps {
                     let _ = comm.allgather(&[0u64; 128]);
                 }
@@ -53,7 +53,7 @@ fn bench_collectives(c: &mut Criterion) {
     ] {
         g.bench_with_input(BenchmarkId::new(name, p), &algo, |b, &algo| {
             b.iter(|| {
-                World::run(p, move |comm| {
+                World::builder(p).run(move |comm| {
                     for _ in 0..reps {
                         let send = vec![0u64; comm.size() * 64];
                         let _ = comm.alltoall_with(&send, algo);

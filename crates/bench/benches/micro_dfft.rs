@@ -19,7 +19,7 @@ fn bench_configs(c: &mut Criterion) {
             &config,
             |b, &config| {
                 b.iter(|| {
-                    World::run(ranks, move |comm| {
+                    World::builder(ranks).run(move |comm| {
                         let dims = dims_create(comm.size());
                         let plan = DistributedFft2d::new(&comm, dims, n, n, config);
                         let rect = plan.local_rect();
@@ -42,7 +42,7 @@ fn bench_rank_counts(c: &mut Criterion) {
     for ranks in [1usize, 2, 4, 8] {
         g.bench_with_input(BenchmarkId::new("forward_128x128", ranks), &ranks, |b, &ranks| {
             b.iter(|| {
-                World::run(ranks, move |comm| {
+                World::builder(ranks).run(move |comm| {
                     let dims = dims_create(comm.size());
                     let plan =
                         DistributedFft2d::new(&comm, dims, n, n, FftConfig::default());
@@ -75,7 +75,7 @@ fn bench_redistribution_transport(c: &mut Criterion) {
             &all_to_all,
             |b, &all_to_all| {
                 b.iter(|| {
-                    World::run(ranks, move |comm| {
+                    World::builder(ranks).run(move |comm| {
                         let config = FftConfig {
                             all_to_all,
                             ..FftConfig::default()

@@ -18,7 +18,7 @@ fn bench_halo(c: &mut Criterion) {
                 &ranks,
                 |b, &ranks| {
                     b.iter(|| {
-                        World::run(ranks, move |comm| {
+                        World::builder(ranks).run(move |comm| {
                             let mesh = SurfaceMesh::new(
                                 &comm,
                                 [128, 128],

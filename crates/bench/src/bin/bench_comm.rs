@@ -3,14 +3,19 @@
 //! Times the all-to-all engines across the message-size bins the
 //! adaptive selector switches on, plus the point-to-point eager and
 //! rendezvous protocols, on real thread-ranks. Each row records the
-//! operation, algorithm, size bin (shared [`sizebins`] labels), ns per
-//! operation, and transport bytes *copied* per operation (from the
-//! trace's copy accounting — the number the rendezvous path exists to
-//! cut).
+//! operation, algorithm, transport backend, size bin (shared
+//! [`sizebins`] labels), ns per operation, and transport bytes *copied*
+//! per operation (from the trace's copy accounting — the number the
+//! rendezvous path exists to cut).
+//!
+//! The full algorithm sweep runs on the thread backend (the regression
+//! target); a smaller sweep then repeats representative cases on the
+//! shmem and tcp loopback backends so wire-path regressions land in the
+//! same gate.
 //!
 //! Usage: `bench_comm [output.json]` (default `BENCH_comm.json`).
 
-use beatnik_comm::{telemetry::sizebins, AllToAllAlgo, World};
+use beatnik_comm::{telemetry::sizebins, AllToAllAlgo, TransportKind, World};
 use beatnik_json::Value;
 use std::time::{Duration, Instant};
 
@@ -20,6 +25,7 @@ const TIMEOUT: Duration = Duration::from_secs(120);
 struct Row {
     op: &'static str,
     algo: &'static str,
+    transport: TransportKind,
     ranks: usize,
     bytes: usize,
     ns_per_op: f64,
@@ -31,6 +37,7 @@ impl Row {
         Value::Object(vec![
             ("op".into(), Value::Str(self.op.into())),
             ("algo".into(), Value::Str(self.algo.into())),
+            ("transport".into(), Value::Str(self.transport.name().into())),
             ("ranks".into(), Value::UInt(self.ranks as u64)),
             ("bytes".into(), Value::UInt(self.bytes as u64)),
             (
@@ -62,8 +69,14 @@ const TRIALS: usize = 5;
 /// over `p` ranks; returns (ns/op, copied bytes/op summed over ranks).
 /// The timed region sits between barriers *inside* the world, so thread
 /// spawn and join don't pollute the per-op number.
-fn bench_alltoall(p: usize, block: usize, algo: AllToAllAlgo, reps: usize) -> (f64, f64) {
-    let (elapsed, trace) = World::run_config(p, TIMEOUT, move |c| {
+fn bench_alltoall(
+    p: usize,
+    block: usize,
+    algo: AllToAllAlgo,
+    reps: usize,
+    kind: TransportKind,
+) -> (f64, f64) {
+    let (elapsed, trace) = World::builder(p).transport(kind).recv_timeout(TIMEOUT).run_traced(move |c| {
         let send = vec![0u8; p * block];
         c.barrier();
         let start = Instant::now();
@@ -82,11 +95,11 @@ fn bench_alltoall(p: usize, block: usize, algo: AllToAllAlgo, reps: usize) -> (f
 
 /// Time `reps` ping-pongs of a `bytes`-sized isend/irecv pair under an
 /// explicit eager limit (0 forces rendezvous on every send).
-fn bench_p2p(bytes: usize, eager_limit: usize, reps: usize) -> (f64, f64) {
+fn bench_p2p(bytes: usize, eager_limit: usize, reps: usize, kind: TransportKind) -> (f64, f64) {
     let mut best_ns = f64::INFINITY;
     let mut copied = 0.0;
     for _ in 0..TRIALS {
-        let (elapsed, trace) = World::run_transport_config(2, TIMEOUT, eager_limit, move |c| {
+        let (elapsed, trace) = World::builder(2).transport(kind).recv_timeout(TIMEOUT).eager_limit(eager_limit).run_traced(move |c| {
             let buf = vec![0u8; bytes];
             c.barrier();
             let start = Instant::now();
@@ -134,12 +147,12 @@ fn main() {
         // Warmup worlds (thread spawn + pool fill), then interleave
         // best-of-TRIALS measurements round-robin across the algorithms.
         for algo in algos {
-            let _ = bench_alltoall(p, block, algo, 5);
+            let _ = bench_alltoall(p, block, algo, 5, TransportKind::Thread);
         }
         let mut best = [(f64::INFINITY, 0.0); 4];
         for _ in 0..TRIALS {
             for (slot, &algo) in best.iter_mut().zip(&algos) {
-                let (ns, copied) = bench_alltoall(p, block, algo, reps);
+                let (ns, copied) = bench_alltoall(p, block, algo, reps, TransportKind::Thread);
                 if ns < slot.0 {
                     *slot = (ns, copied);
                 }
@@ -149,6 +162,7 @@ fn main() {
             rows.push(Row {
                 op: "alltoall",
                 algo: algo_name(algo),
+                transport: TransportKind::Thread,
                 ranks: p,
                 bytes: block,
                 ns_per_op: ns,
@@ -161,11 +175,48 @@ fn main() {
     // vs rendezvous (1 copy), same message pattern.
     let p2p_bytes = 64 * 1024;
     for (name, limit) in [("p2p_eager", usize::MAX), ("p2p_rendezvous", 0)] {
-        let _ = bench_p2p(p2p_bytes, limit, 5);
-        let (ns, copied) = bench_p2p(p2p_bytes, limit, 50);
+        let _ = bench_p2p(p2p_bytes, limit, 5, TransportKind::Thread);
+        let (ns, copied) = bench_p2p(p2p_bytes, limit, 50, TransportKind::Thread);
         rows.push(Row {
             op: name,
             algo: "-",
+            transport: TransportKind::Thread,
+            ranks: 2,
+            bytes: p2p_bytes,
+            ns_per_op: ns,
+            copied_per_op: copied,
+        });
+    }
+
+    // Wire backends: one representative alltoall case (adaptive picks
+    // the engine) plus the eager p2p ping-pong, per backend. Loopback
+    // mode, so inter-rank envelopes cross real rings/sockets.
+    for kind in [TransportKind::Shmem, TransportKind::Tcp] {
+        let (p, block, reps) = (4, 1024, 20);
+        let _ = bench_alltoall(p, block, AllToAllAlgo::Adaptive, 5, kind);
+        let mut best = (f64::INFINITY, 0.0);
+        for _ in 0..TRIALS {
+            let (ns, copied) = bench_alltoall(p, block, AllToAllAlgo::Adaptive, reps, kind);
+            if ns < best.0 {
+                best = (ns, copied);
+            }
+        }
+        rows.push(Row {
+            op: "alltoall",
+            algo: "adaptive",
+            transport: kind,
+            ranks: p,
+            bytes: block,
+            ns_per_op: best.0,
+            copied_per_op: best.1,
+        });
+
+        let _ = bench_p2p(p2p_bytes, usize::MAX, 5, kind);
+        let (ns, copied) = bench_p2p(p2p_bytes, usize::MAX, 30, kind);
+        rows.push(Row {
+            op: "p2p_eager",
+            algo: "-",
+            transport: kind,
             ranks: 2,
             bytes: p2p_bytes,
             ns_per_op: ns,
@@ -175,8 +226,8 @@ fn main() {
 
     for r in &rows {
         eprintln!(
-            "{:<16} {:<9} p={:<3} {:>8} B  {:>12.0} ns/op  {:>12.0} copied B/op",
-            r.op, r.algo, r.ranks, r.bytes, r.ns_per_op, r.copied_per_op
+            "{:<16} {:<9} {:<7} p={:<3} {:>8} B  {:>12.0} ns/op  {:>12.0} copied B/op",
+            r.op, r.algo, r.transport, r.ranks, r.bytes, r.ns_per_op, r.copied_per_op
         );
     }
 

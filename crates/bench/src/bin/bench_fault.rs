@@ -53,7 +53,7 @@ impl Row {
 /// until it errors, and read the ledger age at that instant.
 fn detection_latency(p: usize) -> f64 {
     let plan = FaultPlan::parse("kill:r1@op40", 0).expect("static plan");
-    let report = World::run_ft(p, TIMEOUT, Some(&plan), |comm| {
+    let report = World::builder(p).recv_timeout(TIMEOUT).fault_plan(&plan).run_ft(|comm| {
         let tight = comm.with_recv_timeout(Duration::from_secs(10));
         loop {
             match tight.try_barrier() {
@@ -100,7 +100,7 @@ fn faulted_run(p: usize, every: usize, dir: &std::path::Path) -> f64 {
     let _ = std::fs::remove_file(&ckpt);
     let plan = FaultPlan::parse("kill:r1@step5", 0).expect("static plan");
     let start = Instant::now();
-    let report = World::run_ft(p, TIMEOUT, Some(&plan), move |comm| {
+    let report = World::builder(p).recv_timeout(TIMEOUT).fault_plan(&plan).run_ft(move |comm| {
         run_rig_ft(comm, &cfg, every, &ckpt)
     });
     let ns = start.elapsed().as_nanos() as f64;
@@ -116,7 +116,7 @@ fn faulted_run(p: usize, every: usize, dir: &std::path::Path) -> f64 {
 fn clean_run(p: usize, dir: &std::path::Path) -> f64 {
     let cfg = bench_config(dir);
     let start = Instant::now();
-    World::run(p, move |comm| run_rig(&comm, &cfg));
+    World::builder(p).run(move |comm| run_rig(&comm, &cfg));
     start.elapsed().as_nanos() as f64
 }
 

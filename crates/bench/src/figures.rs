@@ -92,7 +92,7 @@ pub struct SingleModeReference {
 pub fn singlemode_reference(mesh_n: usize, early_step: usize, late_step: usize) -> SingleModeReference {
     let ranks = 4;
     let sweep = crate::paper_rank_sweep();
-    let out = World::run(ranks, move |comm| {
+    let out = World::builder(ranks).run(move |comm| {
         let mut cfg: RigConfig = BenchCase::CutoffStrong.config(mesh_n, late_step);
         cfg.params.dt = 6e-3;
         cfg.params.gravity = 20.0;

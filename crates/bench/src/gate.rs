@@ -136,6 +136,13 @@ fn field_str<'v>(row: &'v Value, key: &str) -> Result<&'v str, String> {
         .ok_or_else(|| format!("bench row missing string field {key:?}"))
 }
 
+/// The row's transport backend. Baselines (and fresh files) written
+/// before the transport was pluggable carry no field — every row was
+/// implicitly the thread backend, so that is the fallback.
+fn transport_of(row: &Value) -> &str {
+    row.get("transport").and_then(Value::as_str).unwrap_or("thread")
+}
+
 fn check(
     report: &mut GateReport,
     key: &str,
@@ -158,14 +165,17 @@ fn check(
 }
 
 /// Gate a fresh `BENCH_comm.json` against its baseline. Rows join on
-/// `(op, algo, ranks, bytes)`; `ns_per_op` is time-like, while
-/// `bytes_copied_per_op` is deterministic and held tight.
+/// `(op, algo, transport, ranks, bytes)` — a missing `transport` field
+/// (pre-pluggable baselines) reads as `thread`; `ns_per_op` is
+/// time-like, while `bytes_copied_per_op` is deterministic and held
+/// tight.
 pub fn gate_comm(baseline: &Value, fresh: &Value, policy: &GatePolicy) -> Result<GateReport, String> {
     let mut fresh_by_key = BTreeMap::new();
     for row in bench_rows(fresh)? {
         let key = (
             field_str(row, "op")?.to_string(),
             field_str(row, "algo")?.to_string(),
+            transport_of(row).to_string(),
             field_f64(row, "ranks")? as u64,
             field_f64(row, "bytes")? as u64,
         );
@@ -175,11 +185,18 @@ pub fn gate_comm(baseline: &Value, fresh: &Value, policy: &GatePolicy) -> Result
     for row in bench_rows(baseline)? {
         let op = field_str(row, "op")?;
         let algo = field_str(row, "algo")?;
+        let transport = transport_of(row);
         let ranks = field_f64(row, "ranks")? as u64;
         let bytes = field_f64(row, "bytes")? as u64;
-        let key = format!("{op}/{algo} r={ranks} b={bytes}");
+        let key = format!("{op}/{algo}@{transport} r={ranks} b={bytes}");
         let hit = fresh_by_key
-            .get(&(op.to_string(), algo.to_string(), ranks, bytes))
+            .get(&(
+                op.to_string(),
+                algo.to_string(),
+                transport.to_string(),
+                ranks,
+                bytes,
+            ))
             .copied();
         let fresh_ns = hit.map(|r| field_f64(r, "ns_per_op")).transpose()?;
         check(
@@ -330,6 +347,34 @@ mod tests {
         let fresh = fault_doc("recovery_time", 5.0e8);
         let report = gate_fault(&baseline, &fresh, &GatePolicy::default()).unwrap();
         assert_eq!(report.regressions(), 1);
+    }
+
+    #[test]
+    fn transportless_baseline_joins_fresh_thread_rows() {
+        // A pre-pluggable baseline row (no transport field) must match
+        // a fresh row tagged "transport": "thread"...
+        let baseline = comm_doc(1.0e6, 4096.0);
+        let fresh = beatnik_json::parse(
+            r#"{"benches": [{"op": "alltoall", "algo": "bruck", "transport": "thread",
+                 "ranks": 16, "bytes": 64, "size_bin": "≤64B", "ns_per_op": 1.0e6,
+                 "bytes_copied_per_op": 4096.0},
+                {"op": "alltoall", "algo": "bruck", "transport": "tcp",
+                 "ranks": 16, "bytes": 64, "size_bin": "≤64B", "ns_per_op": 9.9e9,
+                 "bytes_copied_per_op": 4096.0}]}"#,
+        )
+        .unwrap();
+        let report = gate_comm(&baseline, &fresh, &GatePolicy::default()).unwrap();
+        assert_eq!(report.regressions(), 0, "{}", report.text());
+        // ...and must NOT match a fresh row from another backend.
+        let fresh_tcp_only = beatnik_json::parse(
+            r#"{"benches": [{"op": "alltoall", "algo": "bruck", "transport": "tcp",
+                 "ranks": 16, "bytes": 64, "size_bin": "≤64B", "ns_per_op": 1.0e6,
+                 "bytes_copied_per_op": 4096.0}]}"#,
+        )
+        .unwrap();
+        let report = gate_comm(&baseline, &fresh_tcp_only, &GatePolicy::default()).unwrap();
+        assert_eq!(report.regressions(), 2);
+        assert!(report.text().contains("@thread"));
     }
 
     #[test]

@@ -162,7 +162,7 @@ mod tests {
 
     #[test]
     fn coords_roundtrip() {
-        World::run(6, |c| {
+        World::builder(6).run(|c| {
             let r = c.rank();
             let cart = CartComm::new(c, [2, 3], [true, true]).unwrap();
             let [row, col] = cart.coords();
@@ -172,7 +172,7 @@ mod tests {
 
     #[test]
     fn bad_dims_rejected() {
-        World::run(5, |c| {
+        World::builder(5).run(|c| {
             assert!(matches!(
                 CartComm::new(c, [2, 2], [false, false]),
                 Err(CommError::BadDims { product: 4, size: 5 })
@@ -182,7 +182,7 @@ mod tests {
 
     #[test]
     fn periodic_shift_wraps_and_open_shift_ends() {
-        World::run(4, |c| {
+        World::builder(4).run(|c| {
             let r = c.rank();
             let cart = CartComm::new(c, [2, 2], [true, false]).unwrap();
             let (src_row, dst_row) = cart.shift(0, 1);
@@ -203,7 +203,7 @@ mod tests {
     #[test]
     fn halo_style_exchange_along_rows() {
         // Shift data right along each row of a 2x3 periodic grid.
-        World::run(6, |c| {
+        World::builder(6).run(|c| {
             let r = c.rank();
             let cart = CartComm::new(c, [2, 3], [true, true]).unwrap();
             let (src, dst) = cart.shift(1, 1);
@@ -220,7 +220,7 @@ mod tests {
     fn shift_on_2x3_periodic_wraps_both_dims() {
         // Non-square grid: row shifts wrap over 2, col shifts over 3,
         // and every (src, dst) pair must be exact, not just present.
-        World::run(6, |c| {
+        World::builder(6).run(|c| {
             let r = c.rank();
             let cart = CartComm::new(c, [2, 3], [true, true]).unwrap();
             let [row, col] = cart.coords();
@@ -250,7 +250,7 @@ mod tests {
     fn shift_on_1x6_degenerate_row_dimension() {
         // 1x6 grid: the row dimension has extent 1, so a periodic row
         // shift is a self-loop and an open row shift hits both edges.
-        World::run(6, |c| {
+        World::builder(6).run(|c| {
             let r = c.rank();
             let cart = CartComm::new(c, [1, 6], [true, true]).unwrap();
             assert_eq!(cart.coords(), [0, r]);
@@ -259,7 +259,7 @@ mod tests {
             assert_eq!(src, Some((r + 5) % 6));
             assert_eq!(dst, Some((r + 1) % 6));
         });
-        World::run(6, |c| {
+        World::builder(6).run(|c| {
             let r = c.rank();
             let cart = CartComm::new(c, [1, 6], [false, false]).unwrap();
             assert_eq!(cart.shift(0, 1), (None, None));
@@ -272,7 +272,7 @@ mod tests {
     #[test]
     fn halo_style_exchange_along_1x6_ring() {
         // Periodic wraparound carries data all the way around the ring.
-        World::run(6, |c| {
+        World::builder(6).run(|c| {
             let r = c.rank();
             let cart = CartComm::new(c, [1, 6], [true, true]).unwrap();
             let (src, dst) = cart.shift(1, 1);
@@ -285,7 +285,7 @@ mod tests {
 
     #[test]
     fn row_and_col_comms_partition_the_grid() {
-        World::run(6, |c| {
+        World::builder(6).run(|c| {
             let world_rank = c.rank();
             let cart = CartComm::new(c, [2, 3], [false, false]).unwrap();
             let [row, col] = cart.coords();
@@ -304,7 +304,7 @@ mod tests {
 
     #[test]
     fn neighbors8_center_of_3x3_open_grid() {
-        World::run(9, |c| {
+        World::builder(9).run(|c| {
             let r = c.rank();
             let cart = CartComm::new(c, [3, 3], [false, false]).unwrap();
             let n = cart.neighbors8();
@@ -318,7 +318,7 @@ mod tests {
 
     #[test]
     fn neighbors8_periodic_grid_always_eight() {
-        World::run(9, |c| {
+        World::builder(9).run(|c| {
             let cart = CartComm::new(c, [3, 3], [true, true]).unwrap();
             assert_eq!(cart.neighbors8().len(), 8);
         });

@@ -374,7 +374,7 @@ mod tests {
 
     /// Every rank sends `[r, d]` to rank `d`; verify receipt from all.
     fn roundtrip(p: usize, algo: AllToAllAlgo) {
-        let out = World::run(p, move |c| {
+        let out = World::builder(p).run(move |c| {
             let send: Vec<u64> = (0..p)
                 .flat_map(|d| [c.rank() as u64, d as u64])
                 .collect();
@@ -433,7 +433,7 @@ mod tests {
 
     #[test]
     fn alltoallv_with_empty_and_ragged_blocks() {
-        let out = World::run(4, |c| {
+        let out = World::builder(4).run(|c| {
             // Rank r sends r+1 copies of its rank to each destination of
             // higher rank, nothing to lower ranks.
             let counts: Vec<usize> = (0..4)
@@ -459,7 +459,7 @@ mod tests {
     /// Some destinations get zero elements; every algorithm must agree
     /// on the result at several world sizes.
     fn alltoallv_zero_blocks(p: usize, algo: AllToAllAlgo) {
-        let out = World::run(p, move |c| {
+        let out = World::builder(p).run(move |c| {
             // Rank r sends r+1 copies of (r*P+d) to each *even* rank d,
             // nothing to odd ranks.
             let counts: Vec<usize> = (0..p)
@@ -506,7 +506,7 @@ mod tests {
 
     #[test]
     fn alltoall_message_counts() {
-        let (_, trace) = World::run_traced(4, |c| {
+        let (_, trace) = World::builder(4).run_traced(|c| {
             let _ = c.alltoall(&[0f64; 40]); // 10 elements per destination
         });
         for r in 0..4 {
@@ -519,7 +519,7 @@ mod tests {
 
     #[test]
     fn bruck_sends_log_p_aggregated_messages() {
-        let (_, trace) = World::run_traced(8, |c| {
+        let (_, trace) = World::builder(8).run_traced(|c| {
             let _ = c.alltoall_with(&[0u8; 8], AllToAllAlgo::Bruck);
             let _ = c.alltoallv_with(&[0u8; 8], &[1; 8], AllToAllAlgo::Bruck);
         });
@@ -540,7 +540,7 @@ mod tests {
 
     #[test]
     fn repeated_alltoalls_do_not_cross_match() {
-        World::run(3, |c| {
+        World::builder(3).run(|c| {
             for i in 0..10u64 {
                 let send: Vec<u64> = (0..3).map(|d| i * 100 + d).collect();
                 let got = c.alltoall(&send);
@@ -551,7 +551,7 @@ mod tests {
 
     #[test]
     fn repeated_bruck_exchanges_do_not_cross_match() {
-        World::run(6, |c| {
+        World::builder(6).run(|c| {
             for i in 0..10u64 {
                 let send: Vec<u64> = (0..6).map(|d| i * 100 + d).collect();
                 let got = c.alltoall_with(&send, AllToAllAlgo::Bruck);
@@ -565,7 +565,7 @@ mod tests {
         // Pairwise and Direct post identical message sets with identical
         // tags, so an irregular-adaptive world where ranks disagree must
         // still complete. Force maximal disagreement explicitly.
-        let out = World::run(5, |c| {
+        let out = World::builder(5).run(|c| {
             let algo = if c.rank() % 2 == 0 {
                 AllToAllAlgo::Pairwise
             } else {
@@ -583,11 +583,11 @@ mod tests {
     #[test]
     fn direct_and_pairwise_agree() {
         for p in [2usize, 5, 6] {
-            let a = World::run(p, move |c| {
+            let a = World::builder(p).run(move |c| {
                 let send: Vec<i32> = (0..p).map(|d| (c.rank() * p + d) as i32).collect();
                 c.alltoall_with(&send, AllToAllAlgo::Pairwise)
             });
-            let b = World::run(p, move |c| {
+            let b = World::builder(p).run(move |c| {
                 let send: Vec<i32> = (0..p).map(|d| (c.rank() * p + d) as i32).collect();
                 c.alltoall_with(&send, AllToAllAlgo::Direct)
             });

@@ -50,7 +50,7 @@ mod tests {
         for p in [1usize, 2, 3, 4, 7, 8] {
             let counter = Arc::new(AtomicUsize::new(0));
             let c2 = Arc::clone(&counter);
-            World::run(p, move |comm| {
+            World::builder(p).run(move |comm| {
                 c2.fetch_add(1, Ordering::SeqCst);
                 comm.barrier();
                 assert_eq!(c2.load(Ordering::SeqCst), p);
@@ -60,7 +60,7 @@ mod tests {
 
     #[test]
     fn barrier_message_count_is_log2() {
-        let (_, trace) = World::run_traced(8, |comm| {
+        let (_, trace) = World::builder(8).run_traced(|comm| {
             comm.barrier();
         });
         for r in 0..8 {
@@ -73,7 +73,7 @@ mod tests {
 
     #[test]
     fn repeated_barriers_do_not_interfere() {
-        World::run(5, |comm| {
+        World::builder(5).run(|comm| {
             for _ in 0..20 {
                 comm.barrier();
             }

@@ -88,7 +88,7 @@ mod tests {
     fn broadcast_from_every_root_every_size() {
         for p in [1usize, 2, 3, 4, 5, 8, 9] {
             for root in 0..p {
-                let out = World::run(p, move |c| {
+                let out = World::builder(p).run(move |c| {
                     let data = if c.rank() == root {
                         Some(vec![root as f64, 42.0])
                     } else {
@@ -105,7 +105,7 @@ mod tests {
 
     #[test]
     fn broadcast_message_budget_is_logarithmic() {
-        let (_, trace) = World::run_traced(8, |c| {
+        let (_, trace) = World::builder(8).run_traced(|c| {
             let data = if c.rank() == 0 { Some(vec![1u8; 10]) } else { None };
             let _ = c.broadcast(0, data);
         });
@@ -117,7 +117,7 @@ mod tests {
 
     #[test]
     fn consecutive_broadcasts_keep_order() {
-        World::run(4, |c| {
+        World::builder(4).run(|c| {
             for i in 0..10u64 {
                 let data = if c.rank() == 1 { Some(vec![i]) } else { None };
                 let v = c.broadcast(1, data);
@@ -129,7 +129,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "root must supply data")]
     fn root_without_data_panics() {
-        World::run(1, |c| {
+        World::builder(1).run(|c| {
             let _ = c.broadcast::<u8>(0, None);
         });
     }

@@ -82,7 +82,7 @@ mod tests {
     #[test]
     fn gather_collects_in_rank_order() {
         for p in [1usize, 2, 3, 5, 8] {
-            let out = World::run(p, |c| c.gatherv(0, &vec![c.rank() as u32; c.rank() + 1]));
+            let out = World::builder(p).run(|c| c.gatherv(0, &vec![c.rank() as u32; c.rank() + 1]));
             let (flat, counts) = out[0].as_ref().unwrap();
             assert_eq!(counts, &(1..=p).collect::<Vec<_>>());
             let mut rest = flat.as_slice();
@@ -100,7 +100,7 @@ mod tests {
     #[test]
     fn allgather_all_sizes_variable_lengths() {
         for p in [1usize, 2, 3, 4, 7] {
-            let out = World::run(p, |c| c.allgatherv(&vec![c.rank() as i64; c.rank() % 3 + 1]));
+            let out = World::builder(p).run(|c| c.allgatherv(&vec![c.rank() as i64; c.rank() % 3 + 1]));
             for (flat, counts) in out {
                 assert_eq!(counts.len(), p);
                 let mut rest = flat.as_slice();
@@ -115,7 +115,7 @@ mod tests {
 
     #[test]
     fn allgather_ring_message_count() {
-        let (_, trace) = World::run_traced(4, |c| {
+        let (_, trace) = World::builder(4).run_traced(|c| {
             let _ = c.allgather(&[0u64; 8]); // 64 bytes per block
         });
         for r in 0..4 {

@@ -140,7 +140,7 @@ mod tests {
     fn reduce_sum_to_each_root() {
         for p in [1usize, 2, 3, 4, 6, 8] {
             for root in [0, p - 1] {
-                let out = World::run(p, move |c| c.reduce(root, c.rank() as u64, &SumOp));
+                let out = World::builder(p).run(move |c| c.reduce(root, c.rank() as u64, &SumOp));
                 let expect: u64 = (0..p as u64).sum();
                 for (r, v) in out.into_iter().enumerate() {
                     if r == root {
@@ -155,7 +155,7 @@ mod tests {
 
     #[test]
     fn reduce_vec_is_elementwise() {
-        let out = World::run(4, |c| {
+        let out = World::builder(4).run(|c| {
             c.reduce_vec(0, vec![c.rank() as f64, 1.0], &SumOp)
         });
         assert_eq!(out[0], Some(vec![6.0, 4.0]));
@@ -164,7 +164,7 @@ mod tests {
     #[test]
     fn allreduce_sum_min_max_all_sizes() {
         for p in [1usize, 2, 3, 4, 5, 7, 8, 16] {
-            let out = World::run(p, |c| {
+            let out = World::builder(p).run(|c| {
                 let r = c.rank() as f64;
                 (c.allreduce_sum(r), c.allreduce_min(r), c.allreduce_max(r))
             });
@@ -179,7 +179,7 @@ mod tests {
 
     #[test]
     fn allreduce_with_custom_argmax_op() {
-        let out = World::run(5, |c| {
+        let out = World::builder(5).run(|c| {
             let v = (c.rank() as f64 - 2.0).abs(); // max at ranks 0 and 4
             let op = FnOp(|a: &(f64, u64), b: &(f64, u64)| {
                 if (a.0, a.1) >= (b.0, b.1) {
@@ -198,7 +198,7 @@ mod tests {
 
     #[test]
     fn allreduce_vec_recursive_doubling_message_count() {
-        let (_, trace) = World::run_traced(8, |c| {
+        let (_, trace) = World::builder(8).run_traced(|c| {
             let _ = c.allreduce_vec(vec![1.0f64; 4], &SumOp);
         });
         for r in 0..8 {
@@ -211,7 +211,7 @@ mod tests {
 
     #[test]
     fn min_max_ops_on_integers() {
-        let out = World::run(3, |c| {
+        let out = World::builder(3).run(|c| {
             let r = c.rank() as i64 - 1; // -1, 0, 1
             (c.allreduce(r, &MinOp), c.allreduce(r, &MaxOp))
         });

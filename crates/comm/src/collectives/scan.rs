@@ -128,7 +128,7 @@ mod tests {
     #[test]
     fn inclusive_scan_all_sizes() {
         for p in [1usize, 2, 3, 5, 8] {
-            let out = World::run(p, |comm| scan(&comm, comm.rank() as u64 + 1, &SumOp).unwrap());
+            let out = World::builder(p).run(|comm| scan(&comm, comm.rank() as u64 + 1, &SumOp).unwrap());
             for (r, v) in out.into_iter().enumerate() {
                 let expect: u64 = (1..=r as u64 + 1).sum();
                 assert_eq!(v, expect, "p={p} r={r}");
@@ -139,7 +139,7 @@ mod tests {
     #[test]
     fn exclusive_scan_offsets() {
         // The canonical use: globally contiguous offsets from local counts.
-        let out = World::run(4, |comm| {
+        let out = World::builder(4).run(|comm| {
             let local_count = (comm.rank() + 1) * 10; // 10, 20, 30, 40
             exscan(&comm, local_count as u64, &SumOp).unwrap().unwrap_or(0)
         });
@@ -148,7 +148,7 @@ mod tests {
 
     #[test]
     fn scan_with_max() {
-        let out = World::run(5, |comm| {
+        let out = World::builder(5).run(|comm| {
             let v = [3i64, 1, 4, 1, 5][comm.rank()];
             scan(&comm, v, &MaxOp).unwrap()
         });
@@ -157,7 +157,7 @@ mod tests {
 
     #[test]
     fn scan_traffic_is_attributed_to_scan_not_reduce() {
-        let (_, trace) = World::run_traced(4, |comm| {
+        let (_, trace) = World::builder(4).run_traced(|comm| {
             let _ = scan(&comm, comm.rank() as u64, &SumOp);
         });
         // Recursive doubling on 4 ranks: rank 0 sends in rounds dist=1,2
@@ -177,7 +177,7 @@ mod tests {
     #[test]
     fn reduce_scatter_sums_blocks() {
         for p in [1usize, 2, 3, 4] {
-            let out = World::run(p, move |comm| {
+            let out = World::builder(p).run(move |comm| {
                 // Rank r contributes block[d] = [r + d*100; 3].
                 let blocks: Vec<Vec<u64>> = (0..p)
                     .map(|d| vec![(comm.rank() + d * 100) as u64; 3])
@@ -194,7 +194,7 @@ mod tests {
     #[test]
     fn reduce_scatter_matches_allreduce_slice() {
         let p = 4;
-        let out = World::run(p, move |comm| {
+        let out = World::builder(p).run(move |comm| {
             let full: Vec<f64> = (0..p * 2).map(|i| (i * (comm.rank() + 1)) as f64).collect();
             let blocks: Vec<Vec<f64>> = full.chunks(2).map(|c| c.to_vec()).collect();
             let scattered = reduce_scatter(&comm, blocks, &SumOp).unwrap();

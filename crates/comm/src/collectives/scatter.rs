@@ -53,7 +53,7 @@ mod tests {
     fn scatter_delivers_correct_blocks() {
         for p in [1usize, 2, 4, 5] {
             for root in 0..p {
-                let out = World::run(p, move |c| {
+                let out = World::builder(p).run(move |c| {
                     if c.rank() == root {
                         let data: Vec<u64> = (0..p)
                             .flat_map(|d| [d as u64 * 10, root as u64])
@@ -72,7 +72,7 @@ mod tests {
 
     #[test]
     fn scatter_root_sends_p_minus_one_messages() {
-        let (_, trace) = World::run_traced(6, |c| {
+        let (_, trace) = World::builder(6).run_traced(|c| {
             let _ = if c.rank() == 2 {
                 c.scatter(2, Some(&[0f32; 24]))
             } else {
@@ -86,7 +86,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "one block per rank")]
     fn wrong_block_count_panics() {
-        World::run(2, |c| {
+        World::builder(2).run(|c| {
             let data = if c.rank() == 0 { Some(vec![vec![1u8]]) } else { None };
             let _ = super::scatter(&c, 0, data);
         });

@@ -11,6 +11,7 @@ use crate::reduce_op::ReduceOp;
 use crate::registry::{CommId, Registry};
 use crate::request::{RecvRequest, SendRequest};
 use crate::trace::{OpKind, RankTrace};
+use crate::transport::Route;
 use beatnik_telemetry::{CommOp, SpanKind, SpanRecorder};
 use std::panic::panic_any;
 use std::sync::Arc;
@@ -66,7 +67,7 @@ pub struct Communicator {
     /// [`crate::transport`].
     eager_limit: usize,
     /// Fault injector for this rank, present only in worlds launched via
-    /// [`crate::World::run_ft`] with a plan targeting this rank. Shared
+    /// [`crate::WorldBuilder::run_ft`] with a plan targeting this rank. Shared
     /// with derived communicators so the op count is per-rank, not
     /// per-communicator.
     fault: Option<Arc<FaultInjector>>,
@@ -112,7 +113,7 @@ impl Communicator {
     }
 
     /// Attach (or clear) this rank's fault injector. Crate-internal:
-    /// called once per rank by [`crate::World::run_ft`] and propagated to
+    /// called once per rank by [`crate::WorldBuilder::run_ft`] and propagated to
     /// derived communicators by [`Communicator::split`].
     pub(crate) fn with_fault(mut self, fault: Option<Arc<FaultInjector>>) -> Self {
         self.fault = fault;
@@ -164,7 +165,7 @@ impl Communicator {
     }
 
     /// This rank's span recorder. Disabled (a no-op recorder) unless
-    /// the world was launched with [`crate::World::run_profiled`];
+    /// the world was launched with [`crate::WorldBuilder::run_profiled`];
     /// solver layers use it to record algorithmic phase spans, e.g.
     /// `let _g = comm.telemetry().phase("halo");`.
     pub fn telemetry(&self) -> &Arc<SpanRecorder> {
@@ -367,6 +368,22 @@ impl Communicator {
         self.registry.mailbox(self.comm_id | channel, rank)
     }
 
+    /// Send one envelope toward `dest` through the world's transport
+    /// (direct mailbox push when none is installed). This is the single
+    /// choke point where comm-local addressing is translated to a world
+    /// [`Route`], so every backend sees the same traffic shape.
+    fn deliver(&self, channel: CommId, dest: usize, env: Envelope) {
+        self.registry.deliver(
+            Route {
+                comm: self.comm_id | channel,
+                dst_local: dest,
+                src_world: self.world_of[self.rank],
+                dst_world: self.world_of[dest],
+            },
+            env,
+        );
+    }
+
     /// Blocking receive that wakes early when the world aborts (a peer
     /// rank panicked), so failures surface immediately instead of after a
     /// full receive timeout. Peer failure and revocation escalate through
@@ -459,7 +476,7 @@ impl Communicator {
         self.trace.record_message(OpKind::Send, bytes);
         self.record_peer_traffic(dest, bytes);
         if deliver {
-            self.mailbox_for(0, dest).push(Envelope::new(self.rank, tag, data));
+            self.deliver(0, dest, Envelope::new(self.rank, tag, data));
         }
         self.telemetry
             .end(t, SpanKind::Op(CommOp::Send), dest as i64, tag, bytes);
@@ -501,7 +518,7 @@ impl Communicator {
     /// Carry out an injected kill: mark this world rank failed (which
     /// interrupts every mailbox so peers detect the death promptly),
     /// stamp the telemetry instant, and panic with a [`RankKilled`]
-    /// payload that [`crate::World::run_ft`] recognizes.
+    /// payload that [`crate::WorldBuilder::run_ft`] recognizes.
     fn die(&self, inj: &FaultInjector, step: Option<u64>) -> ! {
         let world_rank = self.world_of[self.rank];
         self.telemetry.instant(
@@ -742,7 +759,7 @@ impl Communicator {
         self.record_peer_traffic(dest, bytes as u64);
         self.trace.request_posted();
         if deliver {
-            self.mailbox_for(0, dest).push(env);
+            self.deliver(0, dest, env);
         }
         self.telemetry
             .end(t, SpanKind::Op(CommOp::Isend), dest as i64, tag, bytes as u64);
@@ -788,8 +805,7 @@ impl Communicator {
         self.trace.record_message(kind, bytes);
         self.record_peer_traffic(dest, bytes);
         if deliver {
-            self.mailbox_for(COLLECTIVE_CHANNEL, dest)
-                .push(Envelope::new(self.rank, tag, data));
+            self.deliver(COLLECTIVE_CHANNEL, dest, Envelope::new(self.rank, tag, data));
         }
     }
 
@@ -821,7 +837,7 @@ impl Communicator {
         self.trace.record_message(kind, bytes as u64);
         self.record_peer_traffic(dest, bytes as u64);
         if deliver {
-            self.mailbox_for(COLLECTIVE_CHANNEL, dest).push(env);
+            self.deliver(COLLECTIVE_CHANNEL, dest, env);
         }
     }
 
@@ -1337,98 +1353,6 @@ impl Communicator {
     }
 
     // ------------------------------------------------------------------
-    // Deprecated nested-Vec collective shapes (pre-redesign API).
-    // Gated behind the `compat` cargo feature: all in-repo callers have
-    // migrated to the flat-slice API; out-of-tree code that has not can
-    // enable `beatnik-comm/compat` while porting.
-    // ------------------------------------------------------------------
-
-    /// Gather keeping the received buffers as one `Vec` per source rank.
-    #[cfg(feature = "compat")]
-    #[deprecated(note = "use gather(root, &[T]) or gatherv for flat buffers with counts")]
-    pub fn gather_nested<T: CommData + Clone>(
-        &self,
-        root: usize,
-        data: Vec<T>,
-    ) -> Option<Vec<Vec<T>>> {
-        collectives::gather::gather(self, root, data)
-            .unwrap_or_else(|e| self.escalate("gather", e))
-    }
-
-    /// Allgather keeping one `Vec` per source rank.
-    #[cfg(feature = "compat")]
-    #[deprecated(note = "use allgather(&[T]) or allgatherv for flat buffers with counts")]
-    pub fn allgather_nested<T: CommData + Clone>(&self, data: Vec<T>) -> Vec<Vec<T>> {
-        collectives::gather::allgather(self, data)
-            .unwrap_or_else(|e| self.escalate("allgather", e))
-    }
-
-    /// Scatter from pre-chunked per-destination buffers.
-    #[cfg(feature = "compat")]
-    #[deprecated(note = "use scatter(root, Option<&[T]>) or scatterv with explicit counts")]
-    pub fn scatter_nested<T: CommData + Clone>(
-        &self,
-        root: usize,
-        data: Option<Vec<Vec<T>>>,
-    ) -> Vec<T> {
-        collectives::scatter::scatter(self, root, data)
-            .unwrap_or_else(|e| self.escalate("scatter", e))
-    }
-
-    /// All-to-all over pre-chunked per-destination blocks.
-    #[cfg(feature = "compat")]
-    #[deprecated(note = "use alltoall(&[T]) with a flat buffer")]
-    pub fn alltoall_nested<T: CommData + Clone>(&self, blocks: Vec<Vec<T>>) -> Vec<Vec<T>> {
-        collectives::alltoall::alltoall(self, blocks, collectives::alltoall::AllToAllAlgo::Pairwise)
-            .unwrap_or_else(|e| self.escalate("alltoall", e))
-    }
-
-    /// All-to-all over pre-chunked blocks with an explicit algorithm.
-    #[cfg(feature = "compat")]
-    #[deprecated(note = "use alltoall_with(&[T], algo) with a flat buffer")]
-    pub fn alltoall_with_nested<T: CommData + Clone>(
-        &self,
-        blocks: Vec<Vec<T>>,
-        algo: collectives::alltoall::AllToAllAlgo,
-    ) -> Vec<Vec<T>> {
-        collectives::alltoall::alltoall(self, blocks, algo)
-            .unwrap_or_else(|e| self.escalate("alltoall", e))
-    }
-
-    /// Irregular all-to-all over pre-chunked per-destination blocks.
-    #[cfg(feature = "compat")]
-    #[deprecated(note = "use alltoallv(&[T], &counts) with a flat buffer")]
-    pub fn alltoallv_nested<T: CommData + Clone>(&self, blocks: Vec<Vec<T>>) -> Vec<Vec<T>> {
-        collectives::alltoall::alltoallv(self, blocks)
-            .unwrap_or_else(|e| self.escalate("alltoallv", e))
-    }
-
-    /// Irregular all-to-all over pre-chunked blocks with an explicit
-    /// algorithm.
-    #[cfg(feature = "compat")]
-    #[deprecated(note = "use alltoallv_with(&[T], &counts, algo) with a flat buffer")]
-    pub fn alltoallv_with_nested<T: CommData + Clone>(
-        &self,
-        blocks: Vec<Vec<T>>,
-        algo: collectives::alltoall::AllToAllAlgo,
-    ) -> Vec<Vec<T>> {
-        collectives::alltoall::alltoallv_with(self, blocks, algo)
-            .unwrap_or_else(|e| self.escalate("alltoallv", e))
-    }
-
-    /// Reduce-scatter over pre-chunked per-destination contributions.
-    #[cfg(feature = "compat")]
-    #[deprecated(note = "use reduce_scatter(&[T], op) with a flat buffer")]
-    pub fn reduce_scatter_nested<T: CommData + Copy, O: ReduceOp<T>>(
-        &self,
-        contributions: Vec<Vec<T>>,
-        op: &O,
-    ) -> Vec<T> {
-        collectives::scan::reduce_scatter(self, contributions, op)
-            .unwrap_or_else(|e| self.escalate("reduce_scatter", e))
-    }
-
-    // ------------------------------------------------------------------
     // ULFM-style recovery operations
     // ------------------------------------------------------------------
 
@@ -1663,7 +1587,7 @@ mod tests {
 
     #[test]
     fn rank_and_size_are_consistent() {
-        let sizes = World::run(5, |c| {
+        let sizes = World::builder(5).run(|c| {
             assert!(c.rank() < c.size());
             c.size()
         });
@@ -1672,7 +1596,7 @@ mod tests {
 
     #[test]
     fn p2p_roundtrip_between_two_ranks() {
-        World::run(2, |c| {
+        World::builder(2).run(|c| {
             if c.rank() == 0 {
                 c.send(1, 7, vec![1.5f64, 2.5]);
                 let back: Vec<f64> = c.recv(1, 8);
@@ -1687,7 +1611,7 @@ mod tests {
 
     #[test]
     fn wildcard_recv_reports_actual_source_and_tag() {
-        World::run(3, |c| {
+        World::builder(3).run(|c| {
             if c.rank() == 0 {
                 let mut seen = vec![];
                 for _ in 0..2 {
@@ -1706,7 +1630,7 @@ mod tests {
 
     #[test]
     fn sendrecv_ring_shifts_values() {
-        let out = World::run(4, |c| {
+        let out = World::builder(4).run(|c| {
             let right = (c.rank() + 1) % 4;
             let left = (c.rank() + 3) % 4;
             let got = c.sendrecv(right, vec![c.rank() as u64], left, 3);
@@ -1717,7 +1641,7 @@ mod tests {
 
     #[test]
     fn probe_sees_pending_message() {
-        World::run(2, |c| {
+        World::builder(2).run(|c| {
             if c.rank() == 0 {
                 c.send(1, 9, vec![1u8]);
                 c.barrier();
@@ -1733,7 +1657,7 @@ mod tests {
 
     #[test]
     fn messages_with_same_selector_do_not_overtake() {
-        World::run(2, |c| {
+        World::builder(2).run(|c| {
             if c.rank() == 0 {
                 for i in 0..50u32 {
                     c.send(1, 1, vec![i]);
@@ -1748,7 +1672,7 @@ mod tests {
 
     #[test]
     fn split_groups_by_parity() {
-        World::run(6, |c| {
+        World::builder(6).run(|c| {
             let color = (c.rank() % 2) as u64;
             let sub = c.split(Some(color), c.rank() as i64).unwrap();
             assert_eq!(sub.size(), 3);
@@ -1765,7 +1689,7 @@ mod tests {
 
     #[test]
     fn split_with_undefined_color_returns_none() {
-        World::run(4, |c| {
+        World::builder(4).run(|c| {
             let sub = if c.rank() == 0 {
                 c.split(None, 0)
             } else {
@@ -1782,7 +1706,7 @@ mod tests {
 
     #[test]
     fn split_key_reverses_rank_order() {
-        World::run(4, |c| {
+        World::builder(4).run(|c| {
             let sub = c.split(Some(0), -(c.rank() as i64)).unwrap();
             assert_eq!(sub.rank(), 3 - c.rank());
         });
@@ -1790,7 +1714,7 @@ mod tests {
 
     #[test]
     fn duplicated_comm_is_an_independent_message_space() {
-        World::run(2, |c| {
+        World::builder(2).run(|c| {
             let dup = c.duplicate();
             assert_eq!(dup.size(), 2);
             if c.rank() == 0 {
@@ -1808,14 +1732,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid destination")]
     fn send_to_out_of_range_rank_panics() {
-        World::run(1, |c| {
+        World::builder(1).run(|c| {
             c.send(5, 0, vec![0u8]);
         });
     }
 
     #[test]
     fn trace_counts_p2p_bytes() {
-        let (_, trace) = World::run_traced(2, |c| {
+        let (_, trace) = World::builder(2).run_traced(|c| {
             if c.rank() == 0 {
                 c.send(1, 0, vec![0u64; 16]); // 128 bytes
             } else {
@@ -1831,7 +1755,7 @@ mod tests {
 
     #[test]
     fn flat_gather_concatenates_in_rank_order() {
-        World::run(3, |c| {
+        World::builder(3).run(|c| {
             let mine = vec![c.rank() as u32 * 10, c.rank() as u32 * 10 + 1];
             let got = c.gather(1, &mine);
             if c.rank() == 1 {
@@ -1844,7 +1768,7 @@ mod tests {
 
     #[test]
     fn gatherv_reports_ragged_counts() {
-        World::run(3, |c| {
+        World::builder(3).run(|c| {
             // Rank r contributes r elements.
             let mine = vec![c.rank() as u64; c.rank()];
             if let Some((flat, counts)) = c.gatherv(0, &mine) {
@@ -1856,7 +1780,7 @@ mod tests {
 
     #[test]
     fn flat_allgather_and_allgatherv() {
-        World::run(4, |c| {
+        World::builder(4).run(|c| {
             let got = c.allgather(&[c.rank() as u8]);
             assert_eq!(got, vec![0, 1, 2, 3]);
             let mine = vec![c.rank() as u8; c.rank() % 2 + 1];
@@ -1868,7 +1792,7 @@ mod tests {
 
     #[test]
     fn flat_scatter_deals_equal_chunks() {
-        World::run(3, |c| {
+        World::builder(3).run(|c| {
             let data: Vec<u32> = (0..6).collect();
             let mine = if c.rank() == 0 {
                 c.scatter(0, Some(&data))
@@ -1882,7 +1806,7 @@ mod tests {
 
     #[test]
     fn scatterv_deals_by_counts() {
-        World::run(3, |c| {
+        World::builder(3).run(|c| {
             let data: Vec<u32> = (0..6).collect();
             let counts = [3usize, 0, 3];
             let mine = if c.rank() == 0 {
@@ -1900,7 +1824,7 @@ mod tests {
 
     #[test]
     fn flat_alltoall_transposes_chunks() {
-        World::run(3, |c| {
+        World::builder(3).run(|c| {
             let me = c.rank() as u64;
             // Chunk for destination d is [me*10 + d].
             let send: Vec<u64> = (0..3).map(|d| me * 10 + d).collect();
@@ -1912,7 +1836,7 @@ mod tests {
 
     #[test]
     fn flat_alltoallv_returns_counts() {
-        World::run(3, |c| {
+        World::builder(3).run(|c| {
             let me = c.rank();
             // Rank r sends r+1 copies of its rank to every destination.
             let counts = vec![me + 1; 3];
@@ -1925,7 +1849,7 @@ mod tests {
 
     #[test]
     fn flat_reduce_scatter_sums_chunks() {
-        World::run(2, |c| {
+        World::builder(2).run(|c| {
             let contributions = vec![c.rank() as f64 + 1.0; 4];
             let mine = c.reduce_scatter(&contributions, &crate::reduce_op::SumOp);
             assert_eq!(mine, vec![3.0, 3.0]);
@@ -1934,7 +1858,7 @@ mod tests {
 
     #[test]
     fn try_variants_reject_bad_arguments_locally() {
-        World::run(2, |c| {
+        World::builder(2).run(|c| {
             assert!(matches!(
                 c.try_gather(5, &[0u8]),
                 Err(CommError::InvalidRank { rank: 5, size: 2 })
@@ -1977,7 +1901,7 @@ mod tests {
 
     #[test]
     fn recv_within_times_out_instead_of_panicking() {
-        World::run(2, |c| {
+        World::builder(2).run(|c| {
             if c.rank() == 0 {
                 // Tag 99 is never sent: this must time out even though a
                 // non-matching message (tag 4) may already be queued.
@@ -1999,25 +1923,8 @@ mod tests {
     }
 
     #[test]
-    #[cfg(feature = "compat")]
-    #[allow(deprecated)]
-    fn nested_wrappers_preserve_old_shapes() {
-        World::run(2, |c| {
-            let g = c.allgather_nested(vec![c.rank() as u16]);
-            assert_eq!(g, vec![vec![0], vec![1]]);
-            let blocks = vec![vec![c.rank() as u16]; 2];
-            let t = c.alltoall_nested(blocks);
-            assert_eq!(t, vec![vec![0], vec![1]]);
-            let got = c.gather_nested(0, vec![c.rank() as u16]);
-            if c.rank() == 0 {
-                assert_eq!(got.unwrap(), vec![vec![0], vec![1]]);
-            }
-        });
-    }
-
-    #[test]
     fn send_slice_keeps_caller_ownership() {
-        World::run(2, |c| {
+        World::builder(2).run(|c| {
             let data = vec![1.0f32, 2.0, 3.0];
             if c.rank() == 0 {
                 c.send_slice(1, 2, &data);

@@ -393,7 +393,7 @@ impl std::fmt::Debug for FaultInjector {
 }
 
 /// Panic payload carried by a rank killed by fault injection. The world
-/// runner ([`crate::World::run_ft`]) downcasts for this to tell an
+/// runner ([`crate::WorldBuilder::run_ft`]) downcasts for this to tell an
 /// injected death from a genuine bug.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RankKilled {

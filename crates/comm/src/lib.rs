@@ -4,8 +4,8 @@
 //! Beatnik runs on MPI; Rust has no mature MPI story, so this crate
 //! reimplements the message-passing model Beatnik needs, from scratch:
 //!
-//! * **Ranks as threads.** [`World::run`] spawns `P` scoped threads, each
-//!   receiving its own [`Communicator`] handle for the world group.
+//! * **Ranks as threads.** [`World::builder`] spawns `P` scoped threads,
+//!   each receiving its own [`Communicator`] handle for the world group.
 //! * **Point-to-point messaging** with MPI-style `(source, tag)` matching,
 //!   buffered (non-blocking) sends and blocking receives.
 //! * **Collectives** implemented with the same algorithms production MPI
@@ -21,7 +21,7 @@
 //!   calls) in a per-rank [`trace::RankTrace`], which the analytic
 //!   performance model (`beatnik-model`) consumes to extrapolate runs to
 //!   the paper's 4–1024 GPU scales. With profiling enabled
-//!   ([`World::run_profiled`]), every operation additionally records a
+//!   ([`WorldBuilder::run_profiled`]), every operation additionally records a
 //!   timestamped span into a per-rank `beatnik-telemetry` ring buffer,
 //!   aggregated into a [`telemetry::WorldTimeline`] for wait-time
 //!   attribution, collective-skew, and Chrome-trace export.
@@ -39,21 +39,28 @@
 //! use beatnik_comm::World;
 //!
 //! // Sum ranks with an allreduce across 4 ranks.
-//! let results = World::run(4, |comm| {
+//! let results = World::builder(4).run(|comm| {
 //!     comm.allreduce_sum(comm.rank() as f64)
 //! });
 //! assert!(results.iter().all(|&s| s == 6.0));
 //! ```
+//!
+//! Ranks default to threads of this process, but the transport is
+//! pluggable ([`transport::Transport`]): `World::builder(n).transport(...)`
+//! selects shared-memory rings or TCP sockets, and [`proc`] launches one
+//! process per rank.
 
 pub mod cart;
 pub mod collectives;
 pub mod communicator;
+pub mod config;
 pub mod error;
 pub mod fault;
 pub mod mailbox;
 pub mod message;
 pub mod metrics;
 pub mod pool;
+pub mod proc;
 pub mod reduce_op;
 pub mod registry;
 pub mod request;
@@ -64,6 +71,7 @@ pub mod world;
 
 pub use cart::{dims_create, CartComm};
 pub use communicator::{Communicator, Tag, ANY_SOURCE, ANY_TAG};
+pub use config::{CommConfig, RECV_TIMEOUT_ENV, SHM_RING_BYTES_ENV, TRANSPORT_ENV};
 pub use error::CommError;
 pub use fault::{
     seed_from_env, CollectiveFailed, FaultEvent, FaultKind, FaultPlan, RankKilled,
@@ -76,8 +84,10 @@ pub use request::{try_wait_all, wait_all, RecvRequest, SendRequest};
 pub use trace::{
     MatrixCell, MatrixImbalance, OpKind, OpStats, RankTrace, WorldMatrixCell, WorldTrace,
 };
-pub use transport::{eager_limit_from_env, DEFAULT_EAGER_LIMIT, EAGER_LIMIT_ENV};
-pub use world::{FtReport, World};
+pub use transport::{
+    eager_limit_from_env, Transport, TransportKind, DEFAULT_EAGER_LIMIT, EAGER_LIMIT_ENV,
+};
+pub use world::{FtReport, World, WorldBuilder, DEFAULT_RECV_TIMEOUT};
 
 pub use collectives::alltoall::AllToAllAlgo;
 

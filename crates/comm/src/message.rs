@@ -32,13 +32,55 @@ use std::any::{Any, TypeId};
 pub trait CommData: Send + 'static {}
 impl<T: Send + 'static> CommData for T {}
 
-/// The two payload transports.
+/// The three payload transports.
 enum Payload {
     /// An owned `Vec<T>` moved by pointer.
     Typed(Box<dyn Any + Send>),
     /// `count` elements of the type with id `elem`, memcpy'd into a
     /// pooled byte envelope.
     Pooled { buf: PooledBuf, elem: TypeId },
+    /// Raw bytes reconstructed from a wire frame (shmem/TCP backends).
+    /// Type identity is the envelope's `type_name` — sound across
+    /// processes because every rank runs the same binary, and the
+    /// sender only produces a wire view for plain-data types (no drop
+    /// glue; see [`Envelope::wire_view`]).
+    Raw(Vec<u8>),
+}
+
+/// Monomorphized byte view of a `Payload::Typed` buffer. Captured as a
+/// plain `fn` pointer at [`Envelope::new`] so the type-erased envelope
+/// can be serialized later without specialization. Only instantiated
+/// for `T` without drop glue, which is what makes the byte reading (and
+/// the receiving side's byte reconstruction) sound.
+fn typed_bytes<T: 'static>(any: &(dyn Any + Send)) -> &[u8] {
+    let v = any
+        .downcast_ref::<Vec<T>>()
+        .expect("wire view called with foreign payload");
+    // SAFETY: T has no drop glue and no interior references (checked at
+    // capture time via needs_drop); viewing its memory as bytes is a
+    // plain reinterpretation of initialized POD storage.
+    unsafe {
+        std::slice::from_raw_parts(v.as_ptr().cast::<u8>(), std::mem::size_of_val(v.as_slice()))
+    }
+}
+
+/// Intern a wire-received type name so reconstructed envelopes can
+/// carry the same `&'static str` the in-process path does. The set of
+/// element types a program sends is small and fixed, so the leak is
+/// bounded (one allocation per distinct type name per process).
+fn intern_type_name(name: &str) -> &'static str {
+    use crate::sync::Mutex;
+    use std::collections::HashSet;
+    use std::sync::OnceLock;
+    static NAMES: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let names = NAMES.get_or_init(|| Mutex::new(HashSet::new()));
+    let mut set = names.lock();
+    if let Some(&interned) = set.get(name) {
+        return interned;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    set.insert(leaked);
+    leaked
 }
 
 /// A typed message in flight between two ranks of one communicator.
@@ -53,8 +95,16 @@ pub struct Envelope {
     pub bytes: usize,
     /// Number of elements in the payload.
     pub count: usize,
-    /// Name of the element type, for diagnostics on mismatched receives.
+    /// Name of the element type: diagnostics on mismatched receives,
+    /// and the cross-process type identity for wire transports (every
+    /// rank runs the same binary, so equal names mean equal layouts).
     pub type_name: &'static str,
+    /// Size of one element in bytes (`size_of::<T>()`).
+    pub elem_size: usize,
+    /// Byte view of a `Typed` payload, captured at construction when
+    /// the element type is plain data (no drop glue). `None` means the
+    /// payload cannot cross a wire transport.
+    byte_view: Option<fn(&(dyn Any + Send)) -> &[u8]>,
 }
 
 impl std::fmt::Debug for Envelope {
@@ -82,6 +132,8 @@ impl Envelope {
             bytes,
             count,
             type_name: std::any::type_name::<T>(),
+            elem_size: std::mem::size_of::<T>(),
+            byte_view: (!std::mem::needs_drop::<T>()).then_some(typed_bytes::<T> as _),
         }
     }
 
@@ -104,6 +156,45 @@ impl Envelope {
                 elem: TypeId::of::<T>(),
             },
             type_name: std::any::type_name::<T>(),
+            elem_size: std::mem::size_of::<T>(),
+            byte_view: None, // pooled payloads are already bytes
+        }
+    }
+
+    /// Serialized view of the payload for wire transports: the raw
+    /// bytes. `None` when the element type has drop glue — such a
+    /// payload cannot leave the process, and a wire backend asked to
+    /// carry one must fail loudly rather than corrupt it.
+    pub(crate) fn wire_view(&self) -> Option<&[u8]> {
+        match &self.payload {
+            Payload::Typed(any) => self.byte_view.map(|view| view(any.as_ref())),
+            Payload::Pooled { buf, .. } => Some(&buf.as_slice()[..self.bytes]),
+            Payload::Raw(bytes) => Some(bytes),
+        }
+    }
+
+    /// Reconstruct an envelope from a decoded wire frame. The payload
+    /// stays as raw bytes until the receiver claims it with a concrete
+    /// type, at which point `type_name` equality (same binary on every
+    /// rank) proves the layout matches.
+    pub(crate) fn from_wire(
+        src: usize,
+        tag: u64,
+        count: usize,
+        elem_size: usize,
+        type_name: &str,
+        bytes: Vec<u8>,
+    ) -> Self {
+        debug_assert_eq!(bytes.len(), count * elem_size);
+        Envelope {
+            src,
+            tag,
+            bytes: bytes.len(),
+            count,
+            payload: Payload::Raw(bytes),
+            type_name: intern_type_name(type_name),
+            elem_size,
+            byte_view: None,
         }
     }
 
@@ -151,6 +242,34 @@ impl Envelope {
                         buf.as_slice().as_ptr(),
                         out.as_mut_ptr().cast::<u8>(),
                         n,
+                    );
+                    out.set_len(self.count);
+                }
+                Ok(out)
+            }
+            Payload::Raw(bytes) => {
+                // Wire frames carry type identity by name: equal names
+                // in the same binary mean the same type. The layout and
+                // drop checks are defense in depth — a name can only
+                // disagree with them across incompatible binaries,
+                // which the proc launcher never mixes.
+                if self.type_name != std::any::type_name::<T>()
+                    || self.elem_size != std::mem::size_of::<T>()
+                    || std::mem::needs_drop::<T>()
+                {
+                    return Err(mismatch);
+                }
+                debug_assert_eq!(bytes.len(), self.count * self.elem_size);
+                let mut out: Vec<T> = Vec::with_capacity(self.count);
+                // SAFETY: the sender produced these bytes from a
+                // `Vec<T>` of a drop-free T with this exact name and
+                // size (the only way a wire view exists), so copying
+                // them back into T storage reconstructs the values.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        bytes.as_ptr(),
+                        out.as_mut_ptr().cast::<u8>(),
+                        bytes.len(),
                     );
                     out.set_len(self.count);
                 }
@@ -233,6 +352,45 @@ mod tests {
             CommError::TypeMismatch { src: 4, tag: 11, .. }
         ));
         assert!(err.to_string().contains("message type mismatch"));
+    }
+
+    #[test]
+    fn wire_view_roundtrips_plain_data() {
+        let env = Envelope::new(3, 21, vec![1.5f64, -2.5, 4.0]);
+        let bytes = env.wire_view().expect("f64 is wire-safe").to_vec();
+        assert_eq!(bytes.len(), 24);
+        let back = Envelope::from_wire(env.src, env.tag, env.count, env.elem_size, env.type_name, bytes);
+        assert_eq!(back.src, 3);
+        assert_eq!(back.tag, 21);
+        assert_eq!(back.count, 3);
+        assert_eq!(back.into_data::<f64>(), vec![1.5, -2.5, 4.0]);
+    }
+
+    #[test]
+    fn wire_view_roundtrips_pooled_payloads() {
+        let pool = Arc::new(BufferPool::new());
+        let (buf, _) = pool.acquire(12);
+        let env = Envelope::from_slice(1, 9, &[10u32, 20, 30], buf);
+        let bytes = env.wire_view().expect("pooled is already bytes").to_vec();
+        let back = Envelope::from_wire(1, 9, env.count, env.elem_size, env.type_name, bytes);
+        assert_eq!(back.into_data::<u32>(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn droppy_types_have_no_wire_view() {
+        let env = Envelope::new(0, 0, vec![String::from("not"), String::from("wireable")]);
+        assert!(env.wire_view().is_none());
+        // ...but still round-trip in process.
+        assert_eq!(env.into_data::<String>().len(), 2);
+    }
+
+    #[test]
+    fn wire_reconstruction_rejects_type_confusion() {
+        let env = Envelope::new(0, 0, vec![7u32, 8]);
+        let bytes = env.wire_view().unwrap().to_vec();
+        let back = Envelope::from_wire(0, 0, env.count, env.elem_size, env.type_name, bytes);
+        let err = back.try_into_data::<f32>().unwrap_err();
+        assert!(matches!(err, CommError::TypeMismatch { .. }));
     }
 
     #[test]

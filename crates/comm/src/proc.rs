@@ -1,0 +1,319 @@
+//! One process per rank: spawn, rendezvous, join.
+//!
+//! [`spmd`] turns the current binary into an `mpirun`-style launcher.
+//! The calling process hosts **world rank 0**; every other rank is a
+//! re-exec of `std::env::current_exe()` with a role, rank, and
+//! rendezvous information carried in `BEATNIK_PROC_*` environment
+//! variables (plus the parent's resolved [`CommConfig`], re-exported as
+//! the ordinary `BEATNIK_*` variables so every process agrees on eager
+//! limit, timeouts, and ring sizes without re-reading a possibly-racing
+//! environment).
+//!
+//! The child re-enters the same code path the parent ran — a test
+//! re-runs itself via libtest's `--exact` filter, `rocketrig` re-runs
+//! its own argv — and [`spmd`] detects the child role, joins the world,
+//! runs the rank closure, and **exits the process** (it never returns
+//! in a child). Exit codes form the join protocol:
+//!
+//! * `0` — clean completion (the rank also said `Bye` on the wire),
+//! * [`EXIT_KILLED`] (86) — the rank died by fault injection
+//!   ([`crate::fault::RankKilled`]); the parent records it and carries on,
+//! * anything else — a real failure; the parent panics after reaping.
+//!
+//! Communicator ids that normally come from shared-memory interning
+//! (`shrink` children) switch to hash-derived ids via
+//! [`Registry::set_deterministic_ids`], since survivor processes cannot
+//! share an interning table.
+
+use crate::communicator::Communicator;
+use crate::config::CommConfig;
+use crate::fault::RankKilled;
+use crate::pool::BufferPool;
+use crate::registry::{Registry, WORLD_COMM_ID};
+use crate::trace::RankTrace;
+use crate::transport::{shmem::ShmemTransport, tcp::TcpTransport, CtrlMsg, Transport, TransportKind};
+use beatnik_telemetry::metrics::MetricsRegistry;
+use beatnik_telemetry::SpanRecorder;
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Role marker: set (to the child's rank) in every spawned process.
+pub const RANK_ENV: &str = "BEATNIK_PROC_RANK";
+
+/// World size, set in every spawned process.
+pub const SIZE_ENV: &str = "BEATNIK_PROC_SIZE";
+
+/// Shmem rendezvous: the ring directory created by the parent.
+pub const SHM_DIR_ENV: &str = "BEATNIK_PROC_SHM_DIR";
+
+/// TCP rendezvous: the parent's listen address.
+pub const TCP_PARENT_ENV: &str = "BEATNIK_PROC_TCP_PARENT";
+
+/// Exit code of a child whose rank died by fault injection: part of the
+/// experiment, not a launcher failure.
+pub const EXIT_KILLED: i32 = 86;
+
+/// How long the parent waits for children to exit after its own rank
+/// completes before killing them.
+const REAP_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Whether this process is a spawned child rank (and which rank).
+pub fn child_rank() -> Option<usize> {
+    std::env::var(RANK_ENV).ok()?.parse().ok()
+}
+
+/// Run `f` as an SPMD program over `num_ranks` processes, one per rank.
+///
+/// In the launching process this spawns `num_ranks - 1` children (each
+/// re-executes the current binary with `child_args`), hosts rank 0
+/// itself, reaps the children, and returns `(rank 0's result, killed
+/// world ranks)`. In a child process (detected via [`child_rank`]) it
+/// joins the world, runs `f`, and exits — it never returns.
+///
+/// `child_args` must make the re-executed binary reach this same
+/// [`spmd`] call: for a libtest binary, `["<exact test path>",
+/// "--exact", "--nocapture", "--test-threads=1"]`; for an application,
+/// usually its own argv tail.
+pub fn spmd<R, F>(
+    num_ranks: usize,
+    kind: TransportKind,
+    child_args: &[&str],
+    f: F,
+) -> (R, Vec<usize>)
+where
+    F: FnOnce(Communicator) -> R,
+{
+    assert!(num_ranks > 0, "world needs at least one rank");
+    let config = {
+        let mut c = CommConfig::from_env();
+        c.transport = kind;
+        c
+    };
+    match child_rank() {
+        Some(rank) => child_main(rank, &config, f),
+        None => parent_main(num_ranks, &config, child_args, f),
+    }
+}
+
+/// Build the per-process world plumbing shared by parent and children.
+fn join_world<R, F>(
+    rank: usize,
+    num_ranks: usize,
+    config: &CommConfig,
+    transport: Arc<dyn Transport>,
+    f: F,
+) -> std::thread::Result<R>
+where
+    F: FnOnce(Communicator) -> R,
+{
+    let registry = Arc::new(Registry::new());
+    registry.set_deterministic_ids();
+    registry.install_transport(Arc::clone(&transport));
+    transport.attach(&registry);
+
+    let metrics = Arc::new(MetricsRegistry::new());
+    let trace = Arc::new(RankTrace::with_registry(&metrics, rank));
+    let comm = Communicator::new(
+        Arc::clone(&registry),
+        WORLD_COMM_ID,
+        rank,
+        num_ranks,
+        Arc::new((0..num_ranks).collect()),
+        trace,
+        Arc::new(SpanRecorder::disabled()),
+        Arc::new(BufferPool::new()),
+        config.recv_timeout,
+        config.eager_limit,
+    );
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(comm)));
+    match &out {
+        // A clean goodbye first, so peers treat the coming disconnect
+        // as shutdown rather than failure.
+        Ok(_) => transport.publish_ctrl(CtrlMsg::Bye(rank)),
+        Err(p) if p.downcast_ref::<RankKilled>().is_some() => {
+            // The ledger broadcast already happened in mark_failed.
+        }
+        Err(_) => registry.signal_abort(),
+    }
+    transport.shutdown();
+    out
+}
+
+fn build_child_transport(rank: usize, num_ranks: usize, config: &CommConfig) -> Arc<dyn Transport> {
+    match config.transport {
+        TransportKind::Thread => {
+            panic!("the thread transport cannot span processes; use shmem or tcp")
+        }
+        TransportKind::Shmem => {
+            let dir = std::env::var(SHM_DIR_ENV)
+                .unwrap_or_else(|_| panic!("child missing {SHM_DIR_ENV}"));
+            Arc::new(
+                ShmemTransport::for_process(
+                    std::path::Path::new(&dir),
+                    rank,
+                    num_ranks,
+                    config.shm_ring_bytes,
+                )
+                .unwrap_or_else(|e| panic!("rank {rank}: joining shm world: {e}")),
+            )
+        }
+        TransportKind::Tcp => {
+            let addr = std::env::var(TCP_PARENT_ENV)
+                .unwrap_or_else(|_| panic!("child missing {TCP_PARENT_ENV}"));
+            Arc::new(
+                TcpTransport::child(&addr, rank, num_ranks)
+                    .unwrap_or_else(|e| panic!("rank {rank}: joining tcp world: {e}")),
+            )
+        }
+    }
+}
+
+fn child_main<R, F>(rank: usize, config: &CommConfig, f: F) -> !
+where
+    F: FnOnce(Communicator) -> R,
+{
+    let num_ranks: usize = std::env::var(SIZE_ENV)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("child missing {SIZE_ENV}"));
+    let transport = build_child_transport(rank, num_ranks, config);
+    match join_world(rank, num_ranks, config, transport, f) {
+        Ok(_) => std::process::exit(0),
+        Err(p) if p.downcast_ref::<RankKilled>().is_some() => std::process::exit(EXIT_KILLED),
+        Err(_) => std::process::exit(101),
+    }
+}
+
+fn parent_main<R, F>(
+    num_ranks: usize,
+    config: &CommConfig,
+    child_args: &[&str],
+    f: F,
+) -> (R, Vec<usize>)
+where
+    F: FnOnce(Communicator) -> R,
+{
+    let exe = std::env::current_exe().expect("resolving current executable");
+
+    // Rendezvous state the children need, plus our own transport.
+    let (transport, rendezvous): (Arc<dyn Transport>, (&str, String)) = match config.transport {
+        TransportKind::Thread => {
+            panic!("the thread transport cannot span processes; use shmem or tcp")
+        }
+        TransportKind::Shmem => {
+            let dir = ShmemTransport::create_world_dir(num_ranks, config.shm_ring_bytes)
+                .expect("creating the shm world directory");
+            let t = ShmemTransport::for_process(&dir, 0, num_ranks, config.shm_ring_bytes)
+                .expect("joining the shm world as rank 0");
+            let dir_str = dir.to_string_lossy().into_owned();
+            (Arc::new(t), (SHM_DIR_ENV, dir_str))
+        }
+        TransportKind::Tcp => {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("binding the parent listener");
+            let addr = listener.local_addr().unwrap().to_string();
+            // Children connect while we block in TcpTransport::parent
+            // below, so spawn first, accept after.
+            let children = spawn_children(
+                &exe,
+                child_args,
+                num_ranks,
+                config,
+                (TCP_PARENT_ENV, addr.clone()),
+            );
+            let t = TcpTransport::parent(listener, num_ranks).expect("tcp rendezvous as rank 0");
+            let out = run_parent_rank(num_ranks, config, Arc::new(t), children, f);
+            return out;
+        }
+    };
+
+    let children = spawn_children(&exe, child_args, num_ranks, config, rendezvous);
+    run_parent_rank(num_ranks, config, transport, children, f)
+}
+
+fn spawn_children(
+    exe: &std::path::Path,
+    child_args: &[&str],
+    num_ranks: usize,
+    config: &CommConfig,
+    rendezvous: (&str, String),
+) -> Vec<(usize, std::process::Child)> {
+    (1..num_ranks)
+        .map(|rank| {
+            let child = std::process::Command::new(exe)
+                .args(child_args)
+                .env(RANK_ENV, rank.to_string())
+                .env(SIZE_ENV, num_ranks.to_string())
+                .env(rendezvous.0, &rendezvous.1)
+                // Ship the *resolved* config so every process agrees.
+                .env(crate::config::TRANSPORT_ENV, config.transport.name())
+                .env(
+                    crate::transport::EAGER_LIMIT_ENV,
+                    config.eager_limit.to_string(),
+                )
+                .env(crate::fault::FAULT_SEED_ENV, config.fault_seed.to_string())
+                .env(
+                    crate::config::RECV_TIMEOUT_ENV,
+                    config.recv_timeout.as_millis().to_string(),
+                )
+                .env(
+                    crate::config::SHM_RING_BYTES_ENV,
+                    config.shm_ring_bytes.to_string(),
+                )
+                .spawn()
+                .unwrap_or_else(|e| panic!("spawning child rank {rank}: {e}"));
+            (rank, child)
+        })
+        .collect()
+}
+
+fn run_parent_rank<R, F>(
+    num_ranks: usize,
+    config: &CommConfig,
+    transport: Arc<dyn Transport>,
+    children: Vec<(usize, std::process::Child)>,
+    f: F,
+) -> (R, Vec<usize>)
+where
+    F: FnOnce(Communicator) -> R,
+{
+    let out = join_world(0, num_ranks, config, transport, f);
+    let killed = reap(children, out.is_err());
+    match out {
+        Ok(r) => (r, killed),
+        Err(p) => std::panic::resume_unwind(p),
+    }
+}
+
+/// Wait for every child, killing stragglers past [`REAP_TIMEOUT`] (or
+/// immediately when the parent rank itself failed). Returns the world
+/// ranks that exited with [`EXIT_KILLED`]; panics on any other nonzero
+/// exit.
+fn reap(children: Vec<(usize, std::process::Child)>, parent_failed: bool) -> Vec<usize> {
+    let deadline = Instant::now() + if parent_failed { Duration::ZERO } else { REAP_TIMEOUT };
+    let mut killed = Vec::new();
+    let mut bad: Vec<String> = Vec::new();
+    for (rank, mut child) in children {
+        let status = loop {
+            match child.try_wait() {
+                Ok(Some(status)) => break status,
+                Ok(None) if Instant::now() > deadline => {
+                    let _ = child.kill();
+                    break child.wait().expect("reaping a killed child");
+                }
+                Ok(None) => std::thread::sleep(Duration::from_millis(10)),
+                Err(e) => panic!("waiting for child rank {rank}: {e}"),
+            }
+        };
+        match status.code() {
+            Some(0) => {}
+            Some(EXIT_KILLED) => killed.push(rank),
+            other => bad.push(format!("rank {rank} exited with {other:?}")),
+        }
+    }
+    if !bad.is_empty() && !parent_failed {
+        panic!("child ranks failed: {}", bad.join(", "));
+    }
+    killed.sort_unstable();
+    killed
+}

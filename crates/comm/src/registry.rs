@@ -14,7 +14,9 @@
 //! state without extra messages.
 
 use crate::mailbox::Mailbox;
+use crate::message::Envelope;
 use crate::sync::{Mutex, RwLock};
+use crate::transport::{CtrlMsg, Route, Transport};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -57,6 +59,16 @@ pub struct Registry {
     /// every per-rank publisher exists. `None` only for registries built
     /// outside a `World` (unit tests, ad-hoc harnesses).
     metrics: Mutex<Option<Arc<crate::metrics::MetricsPlane>>>,
+    /// The transport carrying envelopes between ranks, installed by the
+    /// `World` runners (or the `proc` launcher) before rank code runs.
+    /// `None` means direct mailbox delivery — the behavior raw-registry
+    /// unit tests and ad-hoc harnesses have always had.
+    transport: RwLock<Option<Arc<dyn Transport>>>,
+    /// When set (multi-process worlds), `shrink_id` derives child ids by
+    /// hashing instead of interning from the local counter, so survivors
+    /// in *different processes* — which cannot share an interning table —
+    /// still converge on the same id.
+    deterministic_ids: AtomicBool,
 }
 
 impl Registry {
@@ -71,12 +83,75 @@ impl Registry {
             revoke_epoch: AtomicU64::new(0),
             shrink_ids: Mutex::new(HashMap::new()),
             metrics: Mutex::new(None),
+            transport: RwLock::new(None),
+            deterministic_ids: AtomicBool::new(false),
         }
     }
 
     /// Install the world's metrics plane (once, at world setup).
     pub fn install_metrics(&self, plane: Arc<crate::metrics::MetricsPlane>) {
         *self.metrics.lock() = Some(plane);
+    }
+
+    /// Install the transport that carries envelopes between ranks (once,
+    /// at world setup, before any rank code runs).
+    pub fn install_transport(&self, transport: Arc<dyn Transport>) {
+        *self.transport.write() = Some(transport);
+    }
+
+    /// The installed transport, if any.
+    pub fn transport(&self) -> Option<Arc<dyn Transport>> {
+        self.transport.read().clone()
+    }
+
+    /// Route one envelope through the installed transport; with none
+    /// installed, fall back to a direct mailbox push (the historical
+    /// in-process behavior raw-registry harnesses rely on).
+    pub fn deliver(&self, route: Route, env: Envelope) {
+        match self.transport.read().as_ref() {
+            Some(t) => t.deliver(self, route, env),
+            None => self.mailbox(route.comm, route.dst_local).push(env),
+        }
+    }
+
+    /// Switch `shrink_id` to hash-derived ids (multi-process worlds; see
+    /// the `deterministic_ids` field).
+    pub fn set_deterministic_ids(&self) {
+        self.deterministic_ids.store(true, Ordering::SeqCst);
+    }
+
+    /// Broadcast failure-ledger news through the transport, if one is
+    /// installed and has peers to tell.
+    fn publish_ctrl(&self, msg: CtrlMsg) {
+        if let Some(t) = self.transport.read().as_ref() {
+            t.publish_ctrl(msg);
+        }
+    }
+
+    /// Fold remotely-published ledger news into this registry *without*
+    /// re-publishing (the news arrived over the wire; echoing it back
+    /// would ping-pong forever).
+    pub fn apply_remote_ctrl(&self, msg: CtrlMsg) {
+        match msg {
+            CtrlMsg::Failed(rank) => {
+                self.failed.lock().entry(rank).or_insert_with(Instant::now);
+                self.interrupt_all();
+            }
+            CtrlMsg::Revoke(comm) => {
+                if self.revoked.write().insert(comm) {
+                    self.revoke_epoch.fetch_add(1, Ordering::SeqCst);
+                }
+                self.interrupt_all();
+            }
+            CtrlMsg::Abort => {
+                self.abort.store(true, Ordering::SeqCst);
+                self.interrupt_all();
+            }
+            // Clean goodbyes matter to connection-oriented transports
+            // (they suppress failure detection on the coming EOF), not
+            // to the ledger.
+            CtrlMsg::Bye(_) => {}
+        }
     }
 
     /// The world's metrics plane, if one was installed.
@@ -86,7 +161,10 @@ impl Registry {
 
     /// Mark the world as aborting (a rank panicked).
     pub fn signal_abort(&self) {
-        self.abort.store(true, Ordering::SeqCst);
+        let fresh = !self.abort.swap(true, Ordering::SeqCst);
+        if fresh {
+            self.publish_ctrl(CtrlMsg::Abort);
+        }
     }
 
     /// Whether a rank has panicked and the world is tearing down.
@@ -98,11 +176,22 @@ impl Registry {
     /// receives observe the failure promptly. Idempotent: the first mark
     /// wins, keeping the original failure instant.
     pub fn mark_failed(&self, world_rank: usize) {
-        self.failed
-            .lock()
-            .entry(world_rank)
-            .or_insert_with(Instant::now);
+        let fresh = {
+            let mut failed = self.failed.lock();
+            match failed.entry(world_rank) {
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(Instant::now());
+                    true
+                }
+                std::collections::hash_map::Entry::Occupied(_) => false,
+            }
+        };
         self.interrupt_all();
+        if fresh {
+            // Publish outside the ledger lock: a transport may fold its
+            // own bookkeeping into the broadcast.
+            self.publish_ctrl(CtrlMsg::Failed(world_rank));
+        }
     }
 
     /// Whether any rank has been marked failed.
@@ -134,9 +223,14 @@ impl Registry {
     /// observes the revocation, and interrupts every mailbox so sleepers
     /// re-check promptly.
     pub fn revoke(&self, comm: CommId) {
-        self.revoked.write().insert(comm);
-        self.revoke_epoch.fetch_add(1, Ordering::SeqCst);
+        let fresh = self.revoked.write().insert(comm);
+        if fresh {
+            self.revoke_epoch.fetch_add(1, Ordering::SeqCst);
+        }
         self.interrupt_all();
+        if fresh {
+            self.publish_ctrl(CtrlMsg::Revoke(comm));
+        }
     }
 
     /// Whether a communicator id has been revoked directly.
@@ -154,6 +248,22 @@ impl Registry {
     /// ask. Survivors need not communicate: they all observe the same
     /// failed set, compute the same key, and intern the same id.
     pub fn shrink_id(&self, parent: CommId, survivors: &[usize]) -> CommId {
+        if self.deterministic_ids.load(Ordering::SeqCst) {
+            // Multi-process worlds cannot share an interning table, so
+            // derive the id as an FNV hash of the key. Bit 62 marks the
+            // id as hash-allocated (counter ids stay far below it); bit
+            // 63 stays clear — it is the collective-channel bit.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            let mut mix = |v: u64| {
+                h ^= v;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            };
+            mix(parent);
+            for &s in survivors {
+                mix(s as u64 + 1);
+            }
+            return (h & !(1 << 63)) | (1 << 62);
+        }
         let mut ids = self.shrink_ids.lock();
         *ids.entry((parent, survivors.to_vec()))
             .or_insert_with(|| self.allocate_comm_ids(1))

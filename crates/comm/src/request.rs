@@ -348,7 +348,7 @@ mod tests {
 
     #[test]
     fn isend_irecv_roundtrip() {
-        World::run(2, |c| {
+        World::builder(2).run(|c| {
             if c.rank() == 0 {
                 let req = c.isend(1, 3, &[1.5f64, 2.5, 3.5]);
                 req.wait();
@@ -361,7 +361,7 @@ mod tests {
 
     #[test]
     fn irecv_test_polls_without_blocking() {
-        World::run(2, |c| {
+        World::builder(2).run(|c| {
             if c.rank() == 0 {
                 c.barrier();
                 c.isend(1, 9, &[42u32]).wait();
@@ -380,7 +380,7 @@ mod tests {
 
     #[test]
     fn irecv_wildcards_resolve_on_completion() {
-        World::run(2, |c| {
+        World::builder(2).run(|c| {
             if c.rank() == 0 {
                 c.isend(1, 77, &[5u8]).wait();
             } else {
@@ -395,7 +395,7 @@ mod tests {
 
     #[test]
     fn wait_all_returns_in_posted_order() {
-        World::run(4, |c| {
+        World::builder(4).run(|c| {
             if c.rank() == 0 {
                 let reqs: Vec<_> = (1..4).map(|s| c.irecv::<u64>(s, 1)).collect();
                 let got = wait_all(reqs);
@@ -408,7 +408,7 @@ mod tests {
 
     #[test]
     fn dropped_incomplete_request_balances_the_gauge() {
-        let (_, trace) = World::run_traced(2, |c| {
+        let (_, trace) = World::builder(2).run_traced(|c| {
             if c.rank() == 1 {
                 let req = c.irecv::<u8>(0, 5);
                 drop(req); // cancelled: rank 0 never sends on tag 5
@@ -421,7 +421,7 @@ mod tests {
 
     #[test]
     fn pooled_sends_hit_after_warmup() {
-        let (_, trace) = World::run_traced(2, |c| {
+        let (_, trace) = World::builder(2).run_traced(|c| {
             for i in 0..50u64 {
                 if c.rank() == 0 {
                     c.isend(1, i, &[i; 64]).wait();

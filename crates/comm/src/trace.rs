@@ -1050,7 +1050,7 @@ mod matrix_tests {
 
     #[test]
     fn matrix_records_world_peers_for_p2p() {
-        let (_, trace) = World::run_traced(3, |c| {
+        let (_, trace) = World::builder(3).run_traced(|c| {
             if c.rank() == 0 {
                 c.send(2, 0, vec![0u8; 1024]);
             } else if c.rank() == 2 {
@@ -1069,7 +1069,7 @@ mod matrix_tests {
     fn matrix_attributes_subcommunicator_traffic_to_world_ranks() {
         // Split into a reversed-order subgroup; traffic must still land on
         // the correct *world* rows/cols.
-        let (_, trace) = World::run_traced(4, |c| {
+        let (_, trace) = World::builder(4).run_traced(|c| {
             let sub = c.split(Some(0), -(c.rank() as i64)).unwrap();
             // sub rank 0 = world rank 3, sub rank 3 = world rank 0.
             if sub.rank() == 0 {
@@ -1088,7 +1088,7 @@ mod matrix_tests {
 
     #[test]
     fn collective_traffic_appears_in_the_matrix() {
-        let (_, trace) = World::run_traced(4, |c| {
+        let (_, trace) = World::builder(4).run_traced(|c| {
             let _ = c.alltoall(&[0u8; 1024]); // 256 bytes per destination
         });
         let m = trace.peer_matrix();

@@ -1,0 +1,266 @@
+//! The pluggable transport layer: how envelopes move between ranks.
+//!
+//! Everything above this module — the eager/rendezvous split, indexed
+//! mailboxes, posted receives, every collective algorithm, fault
+//! injection, and the metrics plane — is written against the indexed
+//! [`crate::mailbox::Mailbox`] and never names a backend. A
+//! [`Transport`] implementation decides what happens *between* a
+//! sender's [`Transport::deliver`] call and the envelope appearing in
+//! the destination mailbox:
+//!
+//! * [`thread::ThreadTransport`] — the classic in-process path: the
+//!   envelope is pushed straight into the destination mailbox, payload
+//!   buffers moving by pointer between rank threads. Zero copies beyond
+//!   what the protocol itself charges.
+//! * [`shmem::ShmemTransport`] — envelopes are serialized into
+//!   memory-mapped SPSC byte rings, one ring per ordered rank pair, and
+//!   a poller thread on the receiving side deserializes frames into the
+//!   local mailboxes. The rings are plain files under a shared
+//!   directory, so the same code serves a single process (loopback
+//!   mode, used by the backend test matrix) and one process per rank
+//!   (spawned by [`crate::proc`]).
+//! * [`tcp::TcpTransport`] — length-prefixed frames over per-pair TCP
+//!   sockets with `TCP_NODELAY`; a nonblocking poller drains every
+//!   peer's stream. An unexpected EOF or read error (no `BYE` control
+//!   frame first) marks the peer failed in the ledger, so ULFM-style
+//!   revoke/shrink works across real process and machine boundaries.
+//!
+//! ## The contract (DESIGN.md §13 in full)
+//!
+//! A backend must (1) deliver envelopes **FIFO per (sender, receiver,
+//! channel)** — the non-overtaking guarantee every collective schedule
+//! leans on; (2) deliver into the *destination mailbox* so posted
+//! receives, wildcard matching, and interrupts behave identically on
+//! every backend; (3) propagate failure-ledger news ([`CtrlMsg`]) to
+//! every rank that does not share the sender's [`Registry`]; and (4)
+//! treat payload bytes as opaque — a wire backend may only carry
+//! [`Envelope`]s whose element type is plain data (no drop glue), and
+//! must refuse loudly otherwise.
+//!
+//! The eager/rendezvous protocol split happens *above* the transport
+//! (in the send paths), so its copy accounting is backend-independent;
+//! wire backends add their own serialization copies, which is why the
+//! copy-count invariant tests pin the thread backend.
+
+pub mod shmem;
+pub mod tcp;
+pub mod thread;
+pub mod wire;
+
+use crate::message::Envelope;
+use crate::registry::{CommId, Registry};
+use std::sync::Arc;
+
+/// Default eager/rendezvous crossover in payload bytes. Mirrors the
+/// 8 KiB eager limit common to production MPI transports: below it the
+/// extra copy is cheaper than the envelope round-trip it avoids.
+pub const DEFAULT_EAGER_LIMIT: usize = 8192;
+
+/// Name of the environment variable overriding the eager limit.
+pub const EAGER_LIMIT_ENV: &str = "BEATNIK_EAGER_LIMIT";
+
+/// The eager limit for a new world: `BEATNIK_EAGER_LIMIT` when set to
+/// a parseable byte count, [`DEFAULT_EAGER_LIMIT`] otherwise.
+///
+/// Read once at world construction (via [`crate::CommConfig`], the
+/// single env-reading point), not per message, so a mid-run env change
+/// cannot split a world across two protocols.
+pub fn eager_limit_from_env() -> usize {
+    crate::config::CommConfig::from_env().eager_limit
+}
+
+/// The selectable transport backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransportKind {
+    /// In-process: ranks are threads, envelopes move by pointer.
+    Thread,
+    /// Memory-mapped shared-memory rings (in-process or one process per
+    /// rank via [`crate::proc`]).
+    Shmem,
+    /// Length-prefixed frames over per-pair TCP sockets.
+    Tcp,
+}
+
+impl TransportKind {
+    /// Every backend, for test matrices and smoke loops.
+    pub fn all() -> [TransportKind; 3] {
+        [TransportKind::Thread, TransportKind::Shmem, TransportKind::Tcp]
+    }
+
+    /// Stable lowercase name (env values, metrics labels, bench rows).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TransportKind::Thread => "thread",
+            TransportKind::Shmem => "shmem",
+            TransportKind::Tcp => "tcp",
+        }
+    }
+}
+
+impl std::fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for TransportKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "thread" => Ok(TransportKind::Thread),
+            "shmem" | "shm" => Ok(TransportKind::Shmem),
+            "tcp" => Ok(TransportKind::Tcp),
+            other => Err(format!(
+                "unknown transport '{other}' (expected thread|shmem|tcp)"
+            )),
+        }
+    }
+}
+
+/// Addressing for one envelope delivery: which mailbox, hosted where,
+/// sent by whom. `comm` already carries the collective-channel bit, so
+/// it is exactly the destination mailbox key's communicator component.
+#[derive(Debug, Clone, Copy)]
+pub struct Route {
+    /// Communicator id OR'd with the channel bit.
+    pub comm: CommId,
+    /// Destination rank *within* that communicator (the mailbox key).
+    pub dst_local: usize,
+    /// World rank sending the envelope (selects the wire, if any).
+    pub src_world: usize,
+    /// World rank hosting the destination mailbox.
+    pub dst_world: usize,
+}
+
+/// Failure-ledger news a transport must carry to ranks that do not
+/// share the sender's [`Registry`]. In-process backends (and wire
+/// backends in loopback mode) never need to: the ledger itself is
+/// shared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtrlMsg {
+    /// A world rank died; peers must mark it in their ledgers.
+    Failed(usize),
+    /// A communicator was revoked ULFM-style.
+    Revoke(CommId),
+    /// A rank panicked with a genuine bug; the world is tearing down.
+    Abort,
+    /// Clean goodbye from a world rank: its connection closing is a
+    /// shutdown, not a failure.
+    Bye(usize),
+}
+
+/// A pluggable envelope-delivery backend. See the module docs for the
+/// contract a backend must uphold.
+pub trait Transport: Send + Sync {
+    /// Which backend this is (metrics labels, diagnostics).
+    fn kind(&self) -> TransportKind;
+
+    /// One-time wiring after the world's registry exists; wire backends
+    /// start their pollers here.
+    fn attach(&self, _registry: &Arc<Registry>) {}
+
+    /// Deliver `env` along `route`. Must preserve per-(sender,
+    /// receiver, channel) FIFO order and terminate in a
+    /// `registry.mailbox(route.comm, route.dst_local).push(env)` on the
+    /// rank that hosts the destination mailbox.
+    fn deliver(&self, registry: &Registry, route: Route, env: Envelope);
+
+    /// Propagate failure-ledger news to ranks with their own registry.
+    /// No-op for backends whose ranks share one.
+    fn publish_ctrl(&self, _ctrl: CtrlMsg) {}
+
+    /// Stop pollers and release wire resources. Called by the world
+    /// runner after every rank thread has joined (loopback) or by the
+    /// process teardown path (multi-process).
+    fn shutdown(&self) {}
+}
+
+/// Build a loopback transport: all `num_ranks` ranks live in this
+/// process and share one registry, but inter-rank envelopes still cross
+/// the backend's real wire (rings or sockets). This is what the world
+/// runners install for `World::builder(n).transport(kind)`.
+pub(crate) fn build_loopback(
+    kind: TransportKind,
+    num_ranks: usize,
+    config: &crate::config::CommConfig,
+) -> Arc<dyn Transport> {
+    match kind {
+        TransportKind::Thread => Arc::new(thread::ThreadTransport),
+        TransportKind::Shmem => Arc::new(
+            shmem::ShmemTransport::loopback(num_ranks, config.shm_ring_bytes)
+                .unwrap_or_else(|e| panic!("shmem transport setup failed: {e}")),
+        ),
+        TransportKind::Tcp => Arc::new(
+            tcp::TcpTransport::loopback(num_ranks)
+                .unwrap_or_else(|e| panic!("tcp transport setup failed: {e}")),
+        ),
+    }
+}
+
+/// Instantiate a block of transport-parameterized tests once per
+/// backend.
+///
+/// Write each test as `fn name(kind: TransportKind) { ... }`; the macro
+/// expands it into `thread_backend::name`, `shmem_backend::name`, and
+/// `tcp_backend::name` `#[test]` functions, binding `kind` to the
+/// matching [`TransportKind`] so the body can do
+/// `World::builder(n).transport(kind)`. Ordinary test attributes
+/// (`#[ignore]`, `#[should_panic]`) pass through.
+///
+/// ```
+/// beatnik_comm::backend_matrix! {
+///     fn allreduce_sums(kind: TransportKind) {
+///         let sums = beatnik_comm::World::builder(2)
+///             .transport(kind)
+///             .run(|c| c.allreduce_sum(1.0));
+///         assert_eq!(sums, [2.0, 2.0]);
+///     }
+/// }
+/// # fn main() {}
+/// ```
+#[macro_export]
+macro_rules! backend_matrix {
+    ($($(#[$attr:meta])* fn $name:ident($kind:ident: TransportKind) $body:block)*) => {
+        $crate::backend_matrix!(@backend thread_backend, Thread,
+            $($(#[$attr])* fn $name($kind) $body)*);
+        $crate::backend_matrix!(@backend shmem_backend, Shmem,
+            $($(#[$attr])* fn $name($kind) $body)*);
+        $crate::backend_matrix!(@backend tcp_backend, Tcp,
+            $($(#[$attr])* fn $name($kind) $body)*);
+    };
+    (@backend $module:ident, $variant:ident,
+     $($(#[$attr:meta])* fn $name:ident($kind:ident) $body:block)*) => {
+        mod $module {
+            #[allow(unused_imports)]
+            use super::*;
+            $(
+                $(#[$attr])*
+                #[test]
+                fn $name() {
+                    let $kind: $crate::TransportKind = $crate::TransportKind::$variant;
+                    $body
+                }
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_roundtrips_through_names() {
+        for kind in TransportKind::all() {
+            assert_eq!(kind.name().parse::<TransportKind>().unwrap(), kind);
+        }
+        assert_eq!("shm".parse::<TransportKind>().unwrap(), TransportKind::Shmem);
+        assert_eq!(" TCP ".parse::<TransportKind>().unwrap(), TransportKind::Tcp);
+        assert!("carrier-pigeon".parse::<TransportKind>().is_err());
+    }
+
+    #[test]
+    fn default_eager_limit_matches_mpi_convention() {
+        assert_eq!(DEFAULT_EAGER_LIMIT, 8192);
+    }
+}

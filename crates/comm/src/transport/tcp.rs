@@ -1,0 +1,444 @@
+//! TCP socket transport: length-prefixed wire frames over one duplex
+//! stream per rank pair.
+//!
+//! Every stream carries `u32`-length-prefixed frames from
+//! [`super::wire`], written with `TCP_NODELAY` so small eager messages
+//! and rendezvous handshakes do not sit in Nagle buffers. A single
+//! nonblocking poller thread drains every peer stream into the local
+//! registry's mailboxes, keeping per-stream byte buffers so frames
+//! split across reads reassemble correctly.
+//!
+//! Failure detection is connection-based and feeds the existing ULFM
+//! ledger: a peer that closes its stream *without* first sending a
+//! `BYE` control frame is marked failed in the [`Registry`], which
+//! interrupts blocked receives and lets revoke/shrink recovery run
+//! across real process (or machine) boundaries. A write error toward a
+//! peer marks it failed the same way — the sender observes the death
+//! on its next send rather than hanging.
+//!
+//! Like the shmem backend, two modes share the code: **loopback**
+//! (ranks are threads, both socket ends live in this process — the
+//! backend test matrix path) and **per-process** (a parent/child
+//! rendezvous handshake builds a full mesh: children connect to the
+//! parent, learn every sibling's listen address from it, then dial
+//! every lower-ranked sibling).
+
+use super::{wire, CtrlMsg, Route, Transport, TransportKind};
+use crate::message::Envelope;
+use crate::registry::Registry;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long handshake accepts/dials wait before declaring the world
+/// failed to assemble.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Write one length-prefixed frame, tolerating `WouldBlock` (the write
+/// half shares its fd with the nonblocking poller clone).
+fn write_frame(stream: &mut TcpStream, frame: &[u8]) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(4 + frame.len());
+    buf.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+    buf.extend_from_slice(frame);
+    let mut off = 0;
+    while off < buf.len() {
+        match stream.write(&buf[off..]) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => off += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::yield_now(),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Read exactly `buf.len()` bytes, spinning through `WouldBlock` until
+/// `deadline`. Handshake-time helper; steady-state reads go through the
+/// nonblocking poller instead.
+fn read_exact_deadline(stream: &mut TcpStream, buf: &mut [u8], deadline: Instant) -> io::Result<()> {
+    let mut off = 0;
+    while off < buf.len() {
+        if Instant::now() > deadline {
+            return Err(io::ErrorKind::TimedOut.into());
+        }
+        match stream.read(&mut buf[off..]) {
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => off += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::yield_now(),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// One stream the poller drains: bytes from world rank `peer`.
+struct Endpoint {
+    stream: TcpStream,
+    peer: usize,
+    buf: Vec<u8>,
+    open: bool,
+    saw_bye: bool,
+}
+
+/// The TCP transport. See the module docs for the two modes.
+pub struct TcpTransport {
+    /// `(src_world, dst_world) -> write half` (clones share the fd with
+    /// the poller's read half, hence the `WouldBlock`-tolerant writes).
+    out: HashMap<(usize, usize), Mutex<TcpStream>>,
+    /// Streams this side consumes, handed to the poller at attach.
+    endpoints: Mutex<Vec<Endpoint>>,
+    /// World ranks hosted by this process (all of them in loopback).
+    local: Vec<usize>,
+    stop: Arc<AtomicBool>,
+    poller: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl TcpTransport {
+    fn empty(local: Vec<usize>) -> TcpTransport {
+        TcpTransport {
+            out: HashMap::new(),
+            endpoints: Mutex::new(Vec::new()),
+            local,
+            stop: Arc::new(AtomicBool::new(false)),
+            poller: Mutex::new(None),
+        }
+    }
+
+    /// Register one duplex stream: `owner` writes into it, and bytes
+    /// arriving on it come from `peer`.
+    fn add_link(&mut self, owner: usize, peer: usize, stream: TcpStream) -> io::Result<()> {
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        read_half.set_nonblocking(true)?;
+        self.out.insert((owner, peer), Mutex::new(stream));
+        self.endpoints.lock().unwrap().push(Endpoint {
+            stream: read_half,
+            peer,
+            buf: Vec::new(),
+            open: true,
+            saw_bye: false,
+        });
+        Ok(())
+    }
+
+    /// Build a loopback transport: all ranks are threads here, and both
+    /// ends of every pair's socket live in this process.
+    pub fn loopback(num_ranks: usize) -> io::Result<TcpTransport> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let mut me = TcpTransport::empty((0..num_ranks).collect());
+        for i in 0..num_ranks {
+            for j in (i + 1)..num_ranks {
+                let a = TcpStream::connect(addr)?;
+                let (b, _) = listener.accept()?;
+                // `a` is rank i's end of the (i, j) pair, `b` is rank
+                // j's: writes into `a` surface on `b` and vice versa.
+                me.add_link(i, j, a)?;
+                me.add_link(j, i, b)?;
+            }
+        }
+        Ok(me)
+    }
+
+    /// Parent side of the per-process rendezvous: accept a connection
+    /// from every child, learn its listen address, then broadcast the
+    /// full table so children can mesh among themselves.
+    pub fn parent(listener: TcpListener, num_ranks: usize) -> io::Result<TcpTransport> {
+        let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+        let mut me = TcpTransport::empty(vec![0]);
+        let mut tab: HashMap<usize, String> = HashMap::new();
+        let mut links: Vec<(usize, TcpStream)> = Vec::new();
+        for _ in 1..num_ranks {
+            let (mut stream, _) = listener.accept()?;
+            let (rank, listen_addr) = read_hello(&mut stream, deadline)?;
+            tab.insert(rank, listen_addr);
+            links.push((rank, stream));
+        }
+        let table = encode_table(&tab);
+        for (_, stream) in links.iter_mut() {
+            write_frame(stream, &table)?;
+        }
+        for (rank, stream) in links {
+            me.add_link(0, rank, stream)?;
+        }
+        Ok(me)
+    }
+
+    /// Child side of the rendezvous: dial the parent, announce our own
+    /// listen address, receive the sibling table, then dial every
+    /// lower-ranked sibling and accept from every higher-ranked one.
+    pub fn child(parent_addr: &str, my_rank: usize, num_ranks: usize) -> io::Result<TcpTransport> {
+        let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let mut me = TcpTransport::empty(vec![my_rank]);
+
+        let mut parent = TcpStream::connect(parent_addr)?;
+        write_hello(&mut parent, my_rank, &listener.local_addr()?.to_string())?;
+        let table = decode_table(&read_one_frame(&mut parent, deadline)?)?;
+        me.add_link(my_rank, 0, parent)?;
+
+        for peer in 1..my_rank {
+            let addr = table.get(&peer).ok_or_else(|| {
+                io::Error::new(io::ErrorKind::NotFound, format!("rank {peer} not in table"))
+            })?;
+            let mut stream = TcpStream::connect(addr.as_str())?;
+            write_hello(&mut stream, my_rank, "")?;
+            me.add_link(my_rank, peer, stream)?;
+        }
+        for _ in (my_rank + 1)..num_ranks {
+            let (mut stream, _) = listener.accept()?;
+            let (rank, _) = read_hello(&mut stream, deadline)?;
+            me.add_link(my_rank, rank, stream)?;
+        }
+        Ok(me)
+    }
+}
+
+fn write_hello(stream: &mut TcpStream, rank: usize, listen_addr: &str) -> io::Result<()> {
+    let mut frame = Vec::with_capacity(10 + listen_addr.len());
+    frame.extend_from_slice(&(rank as u64).to_le_bytes());
+    frame.extend_from_slice(&(listen_addr.len() as u16).to_le_bytes());
+    frame.extend_from_slice(listen_addr.as_bytes());
+    write_frame(stream, &frame)
+}
+
+fn read_hello(stream: &mut TcpStream, deadline: Instant) -> io::Result<(usize, String)> {
+    let frame = read_one_frame(stream, deadline)?;
+    if frame.len() < 10 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "short hello"));
+    }
+    let rank = u64::from_le_bytes(frame[0..8].try_into().unwrap()) as usize;
+    let len = u16::from_le_bytes(frame[8..10].try_into().unwrap()) as usize;
+    let addr = std::str::from_utf8(&frame[10..10 + len])
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+        .to_owned();
+    Ok((rank, addr))
+}
+
+fn read_one_frame(stream: &mut TcpStream, deadline: Instant) -> io::Result<Vec<u8>> {
+    let mut len_bytes = [0u8; 4];
+    read_exact_deadline(stream, &mut len_bytes, deadline)?;
+    let mut frame = vec![0u8; u32::from_le_bytes(len_bytes) as usize];
+    read_exact_deadline(stream, &mut frame, deadline)?;
+    Ok(frame)
+}
+
+fn encode_table(tab: &HashMap<usize, String>) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(tab.len() as u32).to_le_bytes());
+    for (rank, addr) in tab {
+        out.extend_from_slice(&(*rank as u64).to_le_bytes());
+        out.extend_from_slice(&(addr.len() as u16).to_le_bytes());
+        out.extend_from_slice(addr.as_bytes());
+    }
+    out
+}
+
+fn decode_table(frame: &[u8]) -> io::Result<HashMap<usize, String>> {
+    let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_owned());
+    let mut tab = HashMap::new();
+    if frame.len() < 4 {
+        return Err(bad("short table"));
+    }
+    let count = u32::from_le_bytes(frame[0..4].try_into().unwrap()) as usize;
+    let mut pos = 4;
+    for _ in 0..count {
+        if frame.len() < pos + 10 {
+            return Err(bad("truncated table entry"));
+        }
+        let rank = u64::from_le_bytes(frame[pos..pos + 8].try_into().unwrap()) as usize;
+        let len = u16::from_le_bytes(frame[pos + 8..pos + 10].try_into().unwrap()) as usize;
+        pos += 10;
+        if frame.len() < pos + len {
+            return Err(bad("truncated table address"));
+        }
+        let addr = std::str::from_utf8(&frame[pos..pos + len])
+            .map_err(|_| bad("non-utf8 address"))?
+            .to_owned();
+        pos += len;
+        tab.insert(rank, addr);
+    }
+    Ok(tab)
+}
+
+impl Transport for TcpTransport {
+    fn kind(&self) -> TransportKind {
+        TransportKind::Tcp
+    }
+
+    fn attach(&self, registry: &Arc<Registry>) {
+        let registry = Arc::clone(registry);
+        let mut endpoints = std::mem::take(&mut *self.endpoints.lock().unwrap());
+        let stop = Arc::clone(&self.stop);
+        let handle = std::thread::Builder::new()
+            .name("beatnik-tcp-poller".into())
+            .spawn(move || {
+                let mut scratch = vec![0u8; 64 * 1024];
+                let mut idle_sweeps = 0u32;
+                loop {
+                    let stopping = stop.load(Ordering::Acquire);
+                    let mut drained = false;
+                    for ep in endpoints.iter_mut() {
+                        if !ep.open {
+                            continue;
+                        }
+                        match ep.stream.read(&mut scratch) {
+                            Ok(0) => {
+                                ep.open = false;
+                                // EOF without a BYE is a death, unless
+                                // the world is tearing down anyway.
+                                if !ep.saw_bye && !stopping {
+                                    registry.mark_failed(ep.peer);
+                                }
+                            }
+                            Ok(n) => {
+                                drained = true;
+                                ep.buf.extend_from_slice(&scratch[..n]);
+                                drain_frames(ep, &registry);
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                            Err(_) => {
+                                ep.open = false;
+                                if !ep.saw_bye && !stopping {
+                                    registry.mark_failed(ep.peer);
+                                }
+                            }
+                        }
+                    }
+                    if drained {
+                        idle_sweeps = 0;
+                        continue;
+                    }
+                    if stopping {
+                        return;
+                    }
+                    idle_sweeps += 1;
+                    if idle_sweeps < 256 {
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::sleep(Duration::from_micros(100));
+                    }
+                }
+            })
+            .expect("spawning the tcp poller thread");
+        *self.poller.lock().unwrap() = Some(handle);
+    }
+
+    fn deliver(&self, registry: &Registry, route: Route, env: Envelope) {
+        if route.src_world == route.dst_world {
+            // Self-sends never cross the wire.
+            registry.mailbox(route.comm, route.dst_local).push(env);
+            return;
+        }
+        let stream = self
+            .out
+            .get(&(route.src_world, route.dst_world))
+            .unwrap_or_else(|| {
+                panic!("no tcp link for {} -> {}", route.src_world, route.dst_world)
+            });
+        let frame = wire::encode_data(route.comm, route.dst_local, &env);
+        let result = write_frame(&mut stream.lock().unwrap(), &frame);
+        if result.is_err() {
+            // The peer's socket is gone: connection-based failure
+            // detection. The ledger interrupt unblocks any receive
+            // waiting on the dead rank.
+            registry.mark_failed(route.dst_world);
+        }
+    }
+
+    fn publish_ctrl(&self, ctrl: CtrlMsg) {
+        // Loopback worlds share the ledger; only per-process mode (one
+        // local rank) needs to broadcast.
+        if self.local.len() != 1 {
+            return;
+        }
+        let me = self.local[0];
+        let frame = wire::encode_ctrl(ctrl);
+        for ((src, _dst), stream) in &self.out {
+            if *src == me {
+                let _ = write_frame(&mut stream.lock().unwrap(), &frame);
+            }
+        }
+    }
+
+    fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.poller.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Pull every complete frame out of `ep.buf` and apply it.
+fn drain_frames(ep: &mut Endpoint, registry: &Registry) {
+    let mut pos = 0;
+    while ep.buf.len() - pos >= 4 {
+        let len = u32::from_le_bytes(ep.buf[pos..pos + 4].try_into().unwrap()) as usize;
+        if ep.buf.len() - pos < 4 + len {
+            break;
+        }
+        let frame = &ep.buf[pos + 4..pos + 4 + len];
+        match wire::decode(frame) {
+            Ok(wire::Frame::Ctrl(CtrlMsg::Bye(rank))) => {
+                // A clean goodbye: the coming EOF is a shutdown.
+                if rank == ep.peer {
+                    ep.saw_bye = true;
+                }
+            }
+            Ok(f) => wire::apply(f, registry),
+            Err(e) => panic!("corrupt tcp frame from rank {}: {e}", ep.peer),
+        }
+        pos += 4 + len;
+    }
+    ep.buf.drain(..pos);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_builds_a_full_mesh() {
+        let t = TcpTransport::loopback(4).unwrap();
+        assert_eq!(t.out.len(), 12); // 4 * 3 ordered pairs
+        assert_eq!(t.endpoints.lock().unwrap().len(), 12);
+    }
+
+    #[test]
+    fn frames_cross_a_socket_and_reassemble() {
+        let t = TcpTransport::loopback(2).unwrap();
+        let registry = Arc::new(Registry::new());
+        t.attach(&registry);
+        t.deliver(
+            &registry,
+            Route {
+                comm: 0,
+                dst_local: 1,
+                src_world: 0,
+                dst_world: 1,
+            },
+            Envelope::new(0, 9, vec![2.5f64, 3.5]),
+        );
+        let env = registry
+            .mailbox(0, 1)
+            .recv_matching_timeout(1, 0, 9, Duration::from_secs(5))
+            .expect("frame should arrive via the socket");
+        assert_eq!(env.into_data::<f64>(), vec![2.5, 3.5]);
+        t.shutdown();
+    }
+
+    #[test]
+    fn rendezvous_tables_roundtrip() {
+        let mut tab = HashMap::new();
+        tab.insert(1, "127.0.0.1:4001".to_owned());
+        tab.insert(2, "127.0.0.1:4002".to_owned());
+        assert_eq!(decode_table(&encode_table(&tab)).unwrap(), tab);
+        assert!(decode_table(&[1, 0]).is_err());
+    }
+}

@@ -1,0 +1,244 @@
+//! The wire frame format shared by the shmem and TCP backends.
+//!
+//! One frame is one envelope delivery (`DATA`) or one piece of
+//! failure-ledger news (`CTRL`). All integers are little-endian; the
+//! element type travels by *name* — sound because every rank of a world
+//! runs the same binary, so equal names imply equal layouts (and the
+//! receive side re-checks size and drop-freeness before reconstructing
+//! values).
+//!
+//! ```text
+//! DATA: 0x00 | comm u64 | dst_local u32 | src u32 | tag u64
+//!            | count u64 | elem_size u32 | name_len u16 | name bytes
+//!            | payload_len u64 | payload bytes
+//! CTRL: 0x01 | code u8 (0 FAILED, 1 REVOKE, 2 ABORT, 3 BYE) | arg u64
+//! ```
+//!
+//! Frames are self-delimiting inside a shmem ring record; on TCP each
+//! frame is additionally length-prefixed with a `u32` by the stream
+//! layer. `comm` carries the collective-channel bit exactly as the
+//! mailbox key does, so decoding pushes straight into the right
+//! mailbox without knowing about channels.
+
+use super::CtrlMsg;
+use crate::message::Envelope;
+use crate::registry::Registry;
+
+/// A decoded frame.
+#[derive(Debug)]
+pub enum Frame {
+    /// An envelope for mailbox `(comm, dst_local)`.
+    Data {
+        /// Communicator id (channel bit included).
+        comm: u64,
+        /// Destination rank within the communicator.
+        dst_local: usize,
+        /// The reconstructed envelope.
+        env: Envelope,
+    },
+    /// Failure-ledger news.
+    Ctrl(CtrlMsg),
+}
+
+const KIND_DATA: u8 = 0x00;
+const KIND_CTRL: u8 = 0x01;
+
+const CTRL_FAILED: u8 = 0;
+const CTRL_REVOKE: u8 = 1;
+const CTRL_ABORT: u8 = 2;
+const CTRL_BYE: u8 = 3;
+
+/// Encode an envelope delivery. Panics with a diagnostic when the
+/// payload's element type cannot legally cross a process boundary
+/// (drop glue) — the same class of fatal protocol error as an MPI
+/// datatype mismatch.
+pub fn encode_data(comm: u64, dst_local: usize, env: &Envelope) -> Vec<u8> {
+    let payload = env.wire_view().unwrap_or_else(|| {
+        panic!(
+            "payload type `{}` cannot cross a wire transport (it has drop \
+             glue); send plain-data elements or use the thread backend",
+            env.type_name
+        )
+    });
+    let name = env.type_name.as_bytes();
+    assert!(name.len() <= u16::MAX as usize, "absurd type name length");
+    let mut out = Vec::with_capacity(43 + name.len() + payload.len());
+    out.push(KIND_DATA);
+    out.extend_from_slice(&comm.to_le_bytes());
+    out.extend_from_slice(&(dst_local as u32).to_le_bytes());
+    out.extend_from_slice(&(env.src as u32).to_le_bytes());
+    out.extend_from_slice(&env.tag.to_le_bytes());
+    out.extend_from_slice(&(env.count as u64).to_le_bytes());
+    out.extend_from_slice(&(env.elem_size as u32).to_le_bytes());
+    out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    out.extend_from_slice(name);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Encode failure-ledger news.
+pub fn encode_ctrl(msg: CtrlMsg) -> Vec<u8> {
+    let (code, arg) = match msg {
+        CtrlMsg::Failed(rank) => (CTRL_FAILED, rank as u64),
+        CtrlMsg::Revoke(comm) => (CTRL_REVOKE, comm),
+        CtrlMsg::Abort => (CTRL_ABORT, 0),
+        CtrlMsg::Bye(rank) => (CTRL_BYE, rank as u64),
+    };
+    let mut out = Vec::with_capacity(10);
+    out.push(KIND_CTRL);
+    out.push(code);
+    out.extend_from_slice(&arg.to_le_bytes());
+    out
+}
+
+/// Cursor-style reader over a frame buffer.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| format!("truncated frame: wanted {n} bytes at {}", self.pos))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Decode one frame (the full buffer must be exactly one frame).
+pub fn decode(buf: &[u8]) -> Result<Frame, String> {
+    let mut r = Reader { buf, pos: 0 };
+    match r.u8()? {
+        KIND_DATA => {
+            let comm = r.u64()?;
+            let dst_local = r.u32()? as usize;
+            let src = r.u32()? as usize;
+            let tag = r.u64()?;
+            let count = r.u64()? as usize;
+            let elem_size = r.u32()? as usize;
+            let name_len = r.u16()? as usize;
+            let name = std::str::from_utf8(r.take(name_len)?)
+                .map_err(|e| format!("bad type name: {e}"))?
+                .to_owned();
+            let payload_len = r.u64()? as usize;
+            if payload_len != count.saturating_mul(elem_size) {
+                return Err(format!(
+                    "inconsistent frame: {count} x {elem_size}B elements but {payload_len}B payload"
+                ));
+            }
+            let payload = r.take(payload_len)?.to_vec();
+            if r.pos != buf.len() {
+                return Err(format!("{} trailing bytes after frame", buf.len() - r.pos));
+            }
+            Ok(Frame::Data {
+                comm,
+                dst_local,
+                env: Envelope::from_wire(src, tag, count, elem_size, &name, payload),
+            })
+        }
+        KIND_CTRL => {
+            let code = r.u8()?;
+            let arg = r.u64()?;
+            let msg = match code {
+                CTRL_FAILED => CtrlMsg::Failed(arg as usize),
+                CTRL_REVOKE => CtrlMsg::Revoke(arg),
+                CTRL_ABORT => CtrlMsg::Abort,
+                CTRL_BYE => CtrlMsg::Bye(arg as usize),
+                other => return Err(format!("unknown ctrl code {other}")),
+            };
+            Ok(Frame::Ctrl(msg))
+        }
+        other => Err(format!("unknown frame kind {other:#04x}")),
+    }
+}
+
+/// Apply a decoded frame to the local registry: push data into the
+/// destination mailbox, or fold ctrl news into the failure ledger
+/// (without re-publishing — the news came *from* the wire).
+pub fn apply(frame: Frame, registry: &Registry) {
+    match frame {
+        Frame::Data {
+            comm,
+            dst_local,
+            env,
+        } => registry.mailbox(comm, dst_local).push(env),
+        Frame::Ctrl(msg) => registry.apply_remote_ctrl(msg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_frames_roundtrip() {
+        let env = Envelope::new(3, 42, vec![1u64, 2, 3]);
+        let buf = encode_data(7 | (1 << 63), 5, &env);
+        match decode(&buf).unwrap() {
+            Frame::Data {
+                comm,
+                dst_local,
+                env,
+            } => {
+                assert_eq!(comm, 7 | (1 << 63));
+                assert_eq!(dst_local, 5);
+                assert_eq!(env.src, 3);
+                assert_eq!(env.tag, 42);
+                assert_eq!(env.into_data::<u64>(), vec![1, 2, 3]);
+            }
+            other => panic!("wrong frame: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ctrl_frames_roundtrip() {
+        for msg in [
+            CtrlMsg::Failed(2),
+            CtrlMsg::Revoke(9 | (1 << 62)),
+            CtrlMsg::Abort,
+            CtrlMsg::Bye(7),
+        ] {
+            match decode(&encode_ctrl(msg)).unwrap() {
+                Frame::Ctrl(got) => assert_eq!(got, msg),
+                other => panic!("wrong frame: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_and_inconsistent_frames_error() {
+        let env = Envelope::new(0, 0, vec![1u32]);
+        let buf = encode_data(0, 0, &env);
+        assert!(decode(&buf[..buf.len() - 1]).is_err());
+        assert!(decode(&[0x77]).is_err());
+        let mut bad = buf.clone();
+        // Corrupt the count field (offset 1 + 8 + 4 + 4 + 8 = 25).
+        bad[25] = 99;
+        assert!(decode(&bad).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot cross a wire transport")]
+    fn droppy_payloads_refuse_to_encode() {
+        let env = Envelope::new(0, 0, vec![String::from("nope")]);
+        let _ = encode_data(0, 0, &env);
+    }
+}

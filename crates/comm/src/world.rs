@@ -1,12 +1,30 @@
-//! World launch: ranks as scoped threads.
+//! World launch: ranks as scoped threads over a pluggable transport.
+//!
+//! [`World::builder`] is the one entry point. It collapses what used to
+//! be eight `run*` variants into a single fluent configuration —
+//! transport backend, receive timeout, eager limit, profiling, fault
+//! plan — with four terminal runners:
+//!
+//! ```
+//! use beatnik_comm::World;
+//!
+//! let sums = World::builder(4).run(|c| c.allreduce_sum(c.rank() as f64));
+//! assert!(sums.iter().all(|&s| s == 6.0));
+//! ```
+//!
+//! `run_traced` adds the aggregated [`WorldTrace`], `run_profiled` adds
+//! the span [`WorldTimeline`], and `run_ft` returns an [`FtReport`]
+//! where injected rank deaths are data instead of propagated panics.
 
 use crate::communicator::Communicator;
+use crate::config::CommConfig;
 use crate::fault::{FaultEvent, FaultInjector, FaultPlan, RankKilled};
 use crate::metrics::MetricsPlane;
 use crate::pool::BufferPool;
 use crate::registry::{Registry, WORLD_COMM_ID};
 use crate::sync::Mutex;
 use crate::trace::{RankTrace, WorldTrace};
+use crate::transport::TransportKind;
 use beatnik_telemetry::metrics::MetricsRegistry;
 use beatnik_telemetry::{RankTimeline, SpanRecorder, WorldTimeline, DEFAULT_SPAN_CAPACITY};
 use std::sync::Arc;
@@ -23,8 +41,8 @@ pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(120);
 /// per rank with that rank's [`Communicator`] for the world group.
 pub struct World;
 
-/// Outcome of a fault-tolerant run ([`World::run_ft`]): unlike the plain
-/// runners, an injected rank death is *data*, not a propagated panic.
+/// Outcome of a fault-tolerant run ([`WorldBuilder::run_ft`]): unlike the
+/// plain runners, an injected rank death is *data*, not a propagated panic.
 pub struct FtReport<R> {
     /// Per-rank results; `None` for ranks that died (by injection) before
     /// producing one.
@@ -40,148 +58,206 @@ pub struct FtReport<R> {
     pub fault_events: Vec<FaultEvent>,
 }
 
+/// Fluent configuration for a world launch; see the module docs.
+///
+/// Starts from [`CommConfig::from_env`], so `BEATNIK_*` environment
+/// overrides apply unless a setter pins the knob explicitly.
+pub struct WorldBuilder {
+    num_ranks: usize,
+    config: CommConfig,
+    span_capacity: Option<usize>,
+    fault_plan: Option<FaultPlan>,
+}
+
 impl World {
-    /// Run `f` on `num_ranks` ranks; returns each rank's result, indexed by
-    /// rank.
-    ///
-    /// # Panics
-    /// Propagates the first rank panic after all ranks have stopped
-    /// (peers of a panicked rank fail their receive timeouts, so the whole
-    /// world terminates rather than hanging).
+    /// Start configuring a world of `num_ranks` ranks.
+    pub fn builder(num_ranks: usize) -> WorldBuilder {
+        WorldBuilder {
+            num_ranks,
+            config: CommConfig::from_env(),
+            span_capacity: None,
+            fault_plan: None,
+        }
+    }
+
+    /// Run `f` on `num_ranks` ranks; returns each rank's result, indexed
+    /// by rank.
+    #[deprecated(note = "use World::builder(n).run(f)")]
     pub fn run<R, F>(num_ranks: usize, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(Communicator) -> R + Send + Sync,
     {
-        Self::run_config(num_ranks, DEFAULT_RECV_TIMEOUT, f).0
+        Self::builder(num_ranks).run(f)
     }
 
     /// Like [`World::run`], additionally returning the aggregated
     /// communication trace for the whole run.
+    #[deprecated(note = "use World::builder(n).run_traced(f)")]
     pub fn run_traced<R, F>(num_ranks: usize, f: F) -> (Vec<R>, WorldTrace)
     where
         R: Send,
         F: Fn(Communicator) -> R + Send + Sync,
     {
-        Self::run_config(num_ranks, DEFAULT_RECV_TIMEOUT, f)
+        Self::builder(num_ranks).run_traced(f)
+    }
+}
+
+impl WorldBuilder {
+    /// Select the transport backend carrying envelopes between ranks.
+    pub fn transport(mut self, kind: TransportKind) -> Self {
+        self.config.transport = kind;
+        self
     }
 
-    /// Like [`World::run`], with span profiling enabled: every comm
-    /// operation and solver phase records into a per-rank
-    /// `beatnik-telemetry` ring buffer of [`DEFAULT_SPAN_CAPACITY`]
-    /// spans (drop-oldest on overflow). Returns the aggregated
-    /// [`WorldTimeline`] alongside the counters.
-    pub fn run_profiled<R, F>(num_ranks: usize, f: F) -> (Vec<R>, WorldTrace, WorldTimeline)
-    where
-        R: Send,
-        F: Fn(Communicator) -> R + Send + Sync,
-    {
-        Self::run_profiled_config(num_ranks, DEFAULT_RECV_TIMEOUT, DEFAULT_SPAN_CAPACITY, f)
+    /// Replace the whole configuration (all `BEATNIK_*` knobs at once).
+    pub fn config(mut self, config: CommConfig) -> Self {
+        self.config = config;
+        self
     }
 
-    /// Full-control profiled variant: explicit receive-stall timeout and
-    /// per-rank span-ring capacity.
-    pub fn run_profiled_config<R, F>(
-        num_ranks: usize,
-        recv_timeout: Duration,
-        span_capacity: usize,
-        f: F,
-    ) -> (Vec<R>, WorldTrace, WorldTimeline)
-    where
-        R: Send,
-        F: Fn(Communicator) -> R + Send + Sync,
-    {
-        let (results, trace, timeline) =
-            Self::run_inner(num_ranks, recv_timeout, Some(span_capacity), f);
-        (results, trace, timeline.expect("profiled run yields a timeline"))
+    /// Stall limit for blocking receives; doubles as the
+    /// failure-detection deadline for fault-tolerant drivers (which
+    /// typically pass seconds, not minutes).
+    pub fn recv_timeout(mut self, timeout: Duration) -> Self {
+        self.config.recv_timeout = timeout;
+        self
     }
 
-    /// Full-control variant: explicit receive-stall timeout.
-    pub fn run_config<R, F>(num_ranks: usize, recv_timeout: Duration, f: F) -> (Vec<R>, WorldTrace)
-    where
-        R: Send,
-        F: Fn(Communicator) -> R + Send + Sync,
-    {
-        let (results, trace, _) = Self::run_inner(num_ranks, recv_timeout, None, f);
-        (results, trace)
+    /// Eager/rendezvous crossover in payload bytes (`0` forces every
+    /// sized send onto the rendezvous path). Tests use this to pin one
+    /// protocol without touching process-global environment state.
+    pub fn eager_limit(mut self, bytes: usize) -> Self {
+        self.config.eager_limit = bytes;
+        self
     }
 
-    /// Traced variant with an explicit eager/rendezvous crossover
-    /// (bytes), overriding [`crate::transport::eager_limit_from_env`].
-    /// Tests use this to force one protocol or the other without
-    /// touching process-global environment state.
-    pub fn run_transport_config<R, F>(
-        num_ranks: usize,
-        recv_timeout: Duration,
-        eager_limit: usize,
-        f: F,
-    ) -> (Vec<R>, WorldTrace)
-    where
-        R: Send,
-        F: Fn(Communicator) -> R + Send + Sync,
-    {
-        let (results, trace, _) =
-            Self::run_inner_with_limit(num_ranks, recv_timeout, None, eager_limit, f);
-        (results, trace)
+    /// Enable span profiling at [`DEFAULT_SPAN_CAPACITY`] spans per rank
+    /// (drop-oldest on overflow).
+    pub fn profiled(self) -> Self {
+        self.span_capacity(DEFAULT_SPAN_CAPACITY)
     }
 
-    /// Fault-tolerant runner: like [`World::run_config`], but ranks killed
-    /// by `plan` terminate quietly (recorded in [`FtReport::killed`])
-    /// instead of tearing the world down, and survivors observe the death
-    /// as `CommError::RankFailed` / `Timeout` on their next blocking op.
+    /// Enable span profiling with an explicit per-rank ring capacity.
+    pub fn span_capacity(mut self, capacity: usize) -> Self {
+        self.span_capacity = Some(capacity);
+        self
+    }
+
+    /// Inject faults from `plan` (deterministic; see [`FaultPlan`]).
+    /// Meaningful with [`WorldBuilder::run_ft`], which reports injected
+    /// deaths instead of propagating them.
+    pub fn fault_plan(mut self, plan: &FaultPlan) -> Self {
+        self.fault_plan = Some(plan.clone());
+        self
+    }
+
+    /// Run `f` on every rank; returns each rank's result, indexed by rank.
     ///
-    /// `recv_timeout` doubles as the failure-detection deadline, so
-    /// fault-tolerant drivers typically pass seconds, not minutes.
+    /// # Panics
+    /// Propagates the first rank panic after all ranks have stopped
+    /// (peers of a panicked rank fail their receive timeouts, so the
+    /// whole world terminates rather than hanging).
+    pub fn run<R, F>(self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Communicator) -> R + Send + Sync,
+    {
+        self.run_traced(f).0
+    }
+
+    /// Like [`WorldBuilder::run`], additionally returning the aggregated
+    /// communication trace.
+    pub fn run_traced<R, F>(self, f: F) -> (Vec<R>, WorldTrace)
+    where
+        R: Send,
+        F: Fn(Communicator) -> R + Send + Sync,
+    {
+        let report = self.launch(f);
+        (Self::unwrap_results(report.results), report.trace)
+    }
+
+    /// Like [`WorldBuilder::run_traced`], with span profiling enabled
+    /// (implicitly at [`DEFAULT_SPAN_CAPACITY`] unless
+    /// [`WorldBuilder::span_capacity`] set one).
+    pub fn run_profiled<R, F>(mut self, f: F) -> (Vec<R>, WorldTrace, WorldTimeline)
+    where
+        R: Send,
+        F: Fn(Communicator) -> R + Send + Sync,
+    {
+        if self.span_capacity.is_none() {
+            self.span_capacity = Some(DEFAULT_SPAN_CAPACITY);
+        }
+        let report = self.launch(f);
+        (
+            Self::unwrap_results(report.results),
+            report.trace,
+            report.timeline.expect("profiled run yields a timeline"),
+        )
+    }
+
+    /// Fault-tolerant runner: ranks killed by the fault plan terminate
+    /// quietly (recorded in [`FtReport::killed`]) instead of tearing the
+    /// world down, and survivors observe the death as
+    /// `CommError::RankFailed` / `Timeout` on their next blocking op.
     /// Panics that are *not* injected kills propagate exactly as in
-    /// [`World::run`].
-    pub fn run_ft<R, F>(
-        num_ranks: usize,
-        recv_timeout: Duration,
-        plan: Option<&FaultPlan>,
-        f: F,
-    ) -> FtReport<R>
+    /// [`WorldBuilder::run`].
+    pub fn run_ft<R, F>(self, f: F) -> FtReport<R>
     where
         R: Send,
         F: Fn(Communicator) -> R + Send + Sync,
     {
-        Self::run_ft_inner(num_ranks, recv_timeout, None, plan, f)
+        self.launch(f)
     }
 
-    /// [`World::run_ft`] with span profiling enabled (capacity as in
-    /// [`World::run_profiled_config`]); [`FtReport::timeline`] is `Some`.
-    pub fn run_ft_profiled<R, F>(
-        num_ranks: usize,
-        recv_timeout: Duration,
-        span_capacity: usize,
-        plan: Option<&FaultPlan>,
-        f: F,
-    ) -> FtReport<R>
-    where
-        R: Send,
-        F: Fn(Communicator) -> R + Send + Sync,
-    {
-        Self::run_ft_inner(num_ranks, recv_timeout, Some(span_capacity), plan, f)
+    fn unwrap_results<R>(results: Vec<Option<R>>) -> Vec<R> {
+        results
+            .into_iter()
+            .map(|r| r.expect("rank produced no result"))
+            .collect()
     }
 
-    fn run_ft_inner<R, F>(
-        num_ranks: usize,
-        recv_timeout: Duration,
-        span_capacity: Option<usize>,
-        plan: Option<&FaultPlan>,
-        f: F,
-    ) -> FtReport<R>
+    /// The one launch path every terminal runner shares: build the
+    /// transport, the metrics plane, and one communicator per rank; run
+    /// the ranks as scoped threads; tear the transport down after every
+    /// rank has joined.
+    fn launch<R, F>(self, f: F) -> FtReport<R>
     where
         R: Send,
         F: Fn(Communicator) -> R + Send + Sync,
     {
+        let WorldBuilder {
+            num_ranks,
+            config,
+            span_capacity,
+            fault_plan,
+        } = self;
         assert!(num_ranks > 0, "world needs at least one rank");
-        Self::silence_injected_kills();
-        let eager_limit = crate::transport::eager_limit_from_env();
+        if fault_plan.is_some() {
+            Self::silence_injected_kills();
+        }
+
         let registry = Arc::new(Registry::new());
+        let transport = crate::transport::build_loopback(config.transport, num_ranks, &config);
+        registry.install_transport(Arc::clone(&transport));
+        transport.attach(&registry);
+
+        // One shared metrics registry per world: every rank trace
+        // publishes its counters into it, and the metrics plane
+        // (installed below) snapshots it live.
         let metrics = Arc::new(MetricsRegistry::new());
+        metrics
+            .gauge(
+                "beatnik_world_info",
+                "World configuration carried as labels (value is always 1)",
+                &[("transport", config.transport.name())],
+            )
+            .set(1);
         let traces: Vec<Arc<RankTrace>> = (0..num_ranks)
             .map(|rank| Arc::new(RankTrace::with_registry(&metrics, rank)))
             .collect();
+        // All ranks stamp spans against one epoch so cross-rank skew is
+        // meaningful; `None` capacity yields inert recorders.
         let epoch = Instant::now();
         let recorders: Vec<Arc<SpanRecorder>> = (0..num_ranks)
             .map(|_| {
@@ -192,6 +268,9 @@ impl World {
             })
             .collect();
         let identity: Arc<Vec<usize>> = Arc::new((0..num_ranks).collect());
+        // One send-buffer pool per rank; subcommunicators derived from a
+        // rank share it. Kept out here so the high-water mark survives
+        // into the trace after the rank threads join.
         let pools: Vec<Arc<BufferPool>> = (0..num_ranks)
             .map(|_| Arc::new(BufferPool::new()))
             .collect();
@@ -202,7 +281,7 @@ impl World {
             pools.clone(),
         )));
         let injectors: Vec<Option<Arc<FaultInjector>>> = (0..num_ranks)
-            .map(|rank| plan.and_then(|p| p.injector_for(rank)))
+            .map(|rank| fault_plan.as_ref().and_then(|p| p.injector_for(rank)))
             .collect();
 
         let mut results: Vec<Option<R>> = (0..num_ranks).map(|_| None).collect();
@@ -223,12 +302,14 @@ impl World {
                         Arc::clone(&traces[rank]),
                         Arc::clone(&recorders[rank]),
                         Arc::clone(&pools[rank]),
-                        recv_timeout,
-                        eager_limit,
+                        config.recv_timeout,
+                        config.eager_limit,
                     )
                     .with_fault(injectors[rank].clone());
                     let reg = Arc::clone(&registry);
                     scope.spawn(move || {
+                        // On panic, flag the world so peers blocked in
+                        // receives fail fast rather than timing out.
                         let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(comm)));
                         match out {
                             Ok(r) => *slot = Some(r),
@@ -247,6 +328,8 @@ impl World {
                     })
                 })
                 .collect();
+            // Prefer the root-cause panic over secondary "peer failed"
+            // abort panics from ranks that were merely blocked on it.
             let mut panics: Vec<Box<dyn std::any::Any + Send>> = Vec::new();
             for h in handles {
                 if let Err(p) = h.join() {
@@ -263,13 +346,24 @@ impl World {
                     msg.contains("a peer rank failed")
                 };
                 let idx = panics.iter().position(|p| !is_secondary(p)).unwrap_or(0);
+                // The transport must not outlive the world even when a
+                // rank panic propagates out of the launch.
+                transport.shutdown();
                 std::panic::resume_unwind(panics.swap_remove(idx));
             }
         });
 
+        // All rank threads have joined; drain and stop the transport
+        // before snapshotting so in-flight wire frames land first.
+        transport.shutdown();
+
+        // Mirror each pool's high-water mark into its rank trace so the
+        // profile summary can report envelope-memory pressure.
         for (trace, pool) in traces.iter().zip(&pools) {
             trace.set_pool_peak_in_flight(pool.stats().peak_in_flight);
         }
+        // All rank threads have joined: snapshotting the recorders is
+        // race-free (single-writer protocol).
         let timeline = span_capacity.map(|_| {
             WorldTimeline::new(
                 recorders
@@ -306,12 +400,13 @@ impl World {
     /// Install (once, process-wide) a panic hook that swallows the two
     /// panic payloads fault tolerance uses as control flow: the
     /// [`RankKilled`] payload injection takes a rank down with, and the
-    /// [`CollectiveFailed`] payload [`Communicator::escalate`] throws for
-    /// recovery drivers to catch. Both are the *experiment*, not a bug —
-    /// the default hook's "thread panicked" banner and backtrace for each
-    /// would bury real failures in noise. Every other panic reaches the
-    /// previous hook untouched, and the payloads themselves still
-    /// propagate to whoever catches (or fails to catch) them.
+    /// [`crate::fault::CollectiveFailed`] payload
+    /// [`Communicator::escalate`] throws for recovery drivers to catch.
+    /// Both are the *experiment*, not a bug — the default hook's "thread
+    /// panicked" banner and backtrace for each would bury real failures
+    /// in noise. Every other panic reaches the previous hook untouched,
+    /// and the payloads themselves still propagate to whoever catches
+    /// (or fails to catch) them.
     fn silence_injected_kills() {
         static ONCE: std::sync::Once = std::sync::Once::new();
         ONCE.call_once(|| {
@@ -326,151 +421,6 @@ impl World {
             }));
         });
     }
-
-    fn run_inner<R, F>(
-        num_ranks: usize,
-        recv_timeout: Duration,
-        span_capacity: Option<usize>,
-        f: F,
-    ) -> (Vec<R>, WorldTrace, Option<WorldTimeline>)
-    where
-        R: Send,
-        F: Fn(Communicator) -> R + Send + Sync,
-    {
-        let eager_limit = crate::transport::eager_limit_from_env();
-        Self::run_inner_with_limit(num_ranks, recv_timeout, span_capacity, eager_limit, f)
-    }
-
-    fn run_inner_with_limit<R, F>(
-        num_ranks: usize,
-        recv_timeout: Duration,
-        span_capacity: Option<usize>,
-        eager_limit: usize,
-        f: F,
-    ) -> (Vec<R>, WorldTrace, Option<WorldTimeline>)
-    where
-        R: Send,
-        F: Fn(Communicator) -> R + Send + Sync,
-    {
-        assert!(num_ranks > 0, "world needs at least one rank");
-        let registry = Arc::new(Registry::new());
-        // One shared metrics registry per world: every rank trace
-        // publishes its counters into it, and the metrics plane
-        // (installed below) snapshots it live.
-        let metrics = Arc::new(MetricsRegistry::new());
-        let traces: Vec<Arc<RankTrace>> = (0..num_ranks)
-            .map(|rank| Arc::new(RankTrace::with_registry(&metrics, rank)))
-            .collect();
-        // All ranks stamp spans against one epoch so cross-rank skew is
-        // meaningful; `None` capacity yields inert recorders.
-        let epoch = Instant::now();
-        let recorders: Vec<Arc<SpanRecorder>> = (0..num_ranks)
-            .map(|_| {
-                Arc::new(match span_capacity {
-                    Some(cap) => SpanRecorder::new(cap, epoch),
-                    None => SpanRecorder::disabled(),
-                })
-            })
-            .collect();
-        let identity: Arc<Vec<usize>> = Arc::new((0..num_ranks).collect());
-        // One send-buffer pool per rank; subcommunicators derived from a
-        // rank share it. Kept out here so the high-water mark survives
-        // into the trace after the rank threads join.
-        let pools: Vec<Arc<BufferPool>> = (0..num_ranks)
-            .map(|_| Arc::new(BufferPool::new()))
-            .collect();
-        registry.install_metrics(Arc::new(MetricsPlane::new(
-            metrics,
-            traces.clone(),
-            recorders.clone(),
-            pools.clone(),
-        )));
-
-        let mut results: Vec<Option<R>> = (0..num_ranks).map(|_| None).collect();
-        let f = &f;
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = results
-                .iter_mut()
-                .enumerate()
-                .map(|(rank, slot)| {
-                    let comm = Communicator::new(
-                        Arc::clone(&registry),
-                        WORLD_COMM_ID,
-                        rank,
-                        num_ranks,
-                        Arc::clone(&identity),
-                        Arc::clone(&traces[rank]),
-                        Arc::clone(&recorders[rank]),
-                        Arc::clone(&pools[rank]),
-                        recv_timeout,
-                        eager_limit,
-                    );
-                    let reg = Arc::clone(&registry);
-                    scope.spawn(move || {
-                        // On panic, flag the world so peers blocked in
-                        // receives fail fast rather than timing out.
-                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(comm)));
-                        match out {
-                            Ok(r) => *slot = Some(r),
-                            Err(p) => {
-                                reg.signal_abort();
-                                std::panic::resume_unwind(p);
-                            }
-                        }
-                    })
-                })
-                .collect();
-            // Prefer the root-cause panic over secondary "peer failed"
-            // abort panics from ranks that were merely blocked on it.
-            let mut panics: Vec<Box<dyn std::any::Any + Send>> = Vec::new();
-            for h in handles {
-                if let Err(p) = h.join() {
-                    panics.push(p);
-                }
-            }
-            if !panics.is_empty() {
-                let is_secondary = |p: &Box<dyn std::any::Any + Send>| {
-                    let msg = p
-                        .downcast_ref::<String>()
-                        .map(String::as_str)
-                        .or_else(|| p.downcast_ref::<&str>().copied())
-                        .unwrap_or("");
-                    msg.contains("a peer rank failed")
-                };
-                let idx = panics.iter().position(|p| !is_secondary(p)).unwrap_or(0);
-                std::panic::resume_unwind(panics.swap_remove(idx));
-            }
-        });
-
-        let results = results
-            .into_iter()
-            .map(|r| r.expect("rank produced no result"))
-            .collect();
-        // Mirror each pool's high-water mark into its rank trace so the
-        // profile summary can report envelope-memory pressure.
-        for (trace, pool) in traces.iter().zip(&pools) {
-            trace.set_pool_peak_in_flight(pool.stats().peak_in_flight);
-        }
-        // All rank threads have joined: snapshotting the recorders is
-        // race-free (single-writer protocol).
-        let timeline = span_capacity.map(|_| {
-            WorldTimeline::new(
-                recorders
-                    .iter()
-                    .enumerate()
-                    .map(|(rank, rec)| {
-                        let (spans, dropped) = rec.snapshot();
-                        RankTimeline {
-                            rank,
-                            spans,
-                            dropped,
-                        }
-                    })
-                    .collect(),
-            )
-        });
-        (results, WorldTrace::new(traces), timeline)
-    }
 }
 
 #[cfg(test)]
@@ -479,13 +429,13 @@ mod tests {
 
     #[test]
     fn results_are_indexed_by_rank() {
-        let out = World::run(6, |c| c.rank() * 10);
+        let out = World::builder(6).run(|c| c.rank() * 10);
         assert_eq!(out, vec![0, 10, 20, 30, 40, 50]);
     }
 
     #[test]
     fn single_rank_world_works() {
-        let out = World::run(1, |c| {
+        let out = World::builder(1).run(|c| {
             c.barrier();
             let v = c.allgather(&[5u8]);
             (c.size(), v)
@@ -497,13 +447,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one rank")]
     fn zero_ranks_is_rejected() {
-        let _ = World::run(0, |_| ());
+        let _ = World::builder(0).run(|_| ());
     }
 
     #[test]
     #[should_panic(expected = "rank 2 exploded")]
     fn rank_panic_propagates() {
-        World::run(4, |c| {
+        World::builder(4).run(|c| {
             if c.rank() == 2 {
                 panic!("rank 2 exploded");
             }
@@ -513,12 +463,14 @@ mod tests {
     #[test]
     fn deadlock_is_converted_into_panic() {
         let res = std::panic::catch_unwind(|| {
-            World::run_config(2, Duration::from_millis(50), |c| {
-                if c.rank() == 0 {
-                    // Rank 1 never sends: this receive must time out.
-                    let _ = c.recv::<u8>(1, 0);
-                }
-            })
+            World::builder(2)
+                .recv_timeout(Duration::from_millis(50))
+                .run(|c| {
+                    if c.rank() == 0 {
+                        // Rank 1 never sends: this receive must time out.
+                        let _ = c.recv::<u8>(1, 0);
+                    }
+                })
         });
         assert!(res.is_err());
     }
@@ -526,17 +478,45 @@ mod tests {
     #[test]
     fn worlds_are_isolated() {
         // Two sequential worlds must not share mailboxes or traces.
-        let (_, t1) = World::run_traced(2, |c| {
+        let (_, t1) = World::builder(2).run_traced(|c| {
             if c.rank() == 0 {
                 c.send(1, 0, vec![1u8]);
             } else {
                 let _ = c.recv::<u8>(0, 0);
             }
         });
-        let (_, t2) = World::run_traced(2, |c| {
+        let (_, t2) = World::builder(2).run_traced(|c| {
             c.barrier();
         });
         assert_eq!(t1.total(crate::trace::OpKind::Send).messages, 1);
         assert_eq!(t2.total(crate::trace::OpKind::Send).messages, 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_entry_points_still_work() {
+        let out = World::run(2, |c| c.rank());
+        assert_eq!(out, vec![0, 1]);
+        let (_, t) = World::run_traced(2, |c| c.barrier());
+        assert!(t.total(crate::trace::OpKind::Barrier).messages > 0);
+    }
+
+    #[test]
+    fn builder_pins_config_knobs() {
+        let cfg = CommConfig {
+            transport: TransportKind::Thread,
+            eager_limit: 0,
+            recv_timeout: Duration::from_secs(5),
+            ..CommConfig::default()
+        };
+        let (_, trace) = World::builder(2).config(cfg).run_traced(|c| {
+            if c.rank() == 0 {
+                c.isend(1, 1, &[1u8; 64]).wait();
+            } else {
+                let _ = c.recv::<u8>(0, 1);
+            }
+        });
+        // eager_limit 0 forces the rendezvous path: exactly one copy.
+        assert_eq!(trace.rank(0).copied_bytes(), 64);
     }
 }

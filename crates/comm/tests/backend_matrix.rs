@@ -1,0 +1,141 @@
+//! The backend matrix: collective correctness, non-overtaking
+//! point-to-point, and fault kill/shrink behavior must hold on every
+//! transport backend — the suites below run unmodified over the thread,
+//! shared-memory, and TCP loopback transports via [`backend_matrix!`].
+//!
+//! Payloads are plain-old-data (`f64`/`u64`): wire backends serialize
+//! inter-rank envelopes, which droppy element types cannot survive (and
+//! the runtime enforces that with a panic).
+
+use beatnik_comm::{backend_matrix, AllToAllAlgo, CommError, FaultPlan, SumOp, World};
+use std::time::Duration;
+
+/// Per-op receive deadline: long enough for a loaded CI machine, short
+/// enough that a lost wire frame fails the test rather than hanging it.
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+backend_matrix! {
+    /// Every collective family computes the right answer over the wire.
+    fn collectives_are_correct(kind: TransportKind) {
+        World::builder(4).transport(kind).recv_timeout(TIMEOUT).run(|c| {
+            let (rank, size) = (c.rank(), c.size());
+
+            c.barrier();
+
+            let rooted = (rank == 1).then(|| vec![3.0f64, 5.0]);
+            assert_eq!(c.broadcast(1, rooted), [3.0, 5.0]);
+
+            assert_eq!(c.allreduce_sum(rank as f64), 6.0);
+            assert_eq!(c.allreduce_max(rank as f64), 3.0);
+
+            let gathered = c.allgather(&[rank as u64]);
+            assert_eq!(gathered, [0, 1, 2, 3]);
+
+            let reduced = c.reduce(0, rank as f64, &SumOp);
+            assert_eq!(reduced, (rank == 0).then_some(6.0));
+
+            // One element to each peer, all three alltoall algorithms.
+            let send: Vec<u64> = (0..size).map(|d| (rank * 10 + d) as u64).collect();
+            let want: Vec<u64> = (0..size).map(|s| (s * 10 + rank) as u64).collect();
+            for algo in [AllToAllAlgo::Pairwise, AllToAllAlgo::Direct, AllToAllAlgo::Bruck] {
+                assert_eq!(c.alltoall_with(&send, algo), want, "{algo:?}");
+            }
+
+            let (flat, counts) = c.allgatherv(&vec![rank as u64; rank + 1]);
+            assert_eq!(counts, [1, 2, 3, 4]);
+            assert_eq!(flat.len(), 10);
+        });
+    }
+
+    /// Both the eager and the rendezvous protocol move bytes intact
+    /// across the backend, and per-peer message streams never overtake.
+    fn eager_and_rendezvous_streams_stay_ordered(kind: TransportKind) {
+        World::builder(3)
+            .transport(kind)
+            .recv_timeout(TIMEOUT)
+            .eager_limit(256)
+            .run(|c| {
+                let peers = 3usize;
+                for round in 0..20u64 {
+                    for dst in 0..peers {
+                        if dst == c.rank() {
+                            continue;
+                        }
+                        // Alternate below/above the eager limit so both
+                        // protocols interleave on the same stream.
+                        let len = if round % 2 == 0 { 4 } else { 128 };
+                        let msg: Vec<u64> = (0..len).map(|i| round * 1000 + i).collect();
+                        c.send(dst, 7, msg);
+                    }
+                }
+                for src in 0..peers {
+                    if src == c.rank() {
+                        continue;
+                    }
+                    for round in 0..20u64 {
+                        let got: Vec<u64> = c.recv(src, 7);
+                        assert_eq!(got[0], round * 1000, "stream from {src} overtook");
+                        assert!(got.iter().enumerate().all(|(i, &v)| v == round * 1000 + i as u64));
+                    }
+                }
+            });
+    }
+
+    /// A rank killed mid-collective surfaces as `RankFailed`/`Timeout`
+    /// on every survivor — the failure ledger propagates over the
+    /// backend instead of hanging it.
+    fn killed_rank_fails_collectives_fast(kind: TransportKind) {
+        let plan = FaultPlan::parse("kill:r2@step2", 0).expect("static plan");
+        let report = World::builder(4)
+            .transport(kind)
+            .recv_timeout(TIMEOUT)
+            .fault_plan(&plan)
+            .run_ft(|comm| {
+                let comm = comm.with_recv_timeout(Duration::from_secs(5));
+                for step in 1..=50u64 {
+                    comm.fault_step(step); // rank 2 dies at step 2
+                    if let Err(e) = comm
+                        .try_allreduce(comm.rank() as f64, &SumOp)
+                        .and_then(|_| comm.try_barrier())
+                    {
+                        return (comm.rank(), e);
+                    }
+                }
+                panic!("rank {} never observed the failure", comm.rank());
+            });
+        assert_eq!(report.killed, [2]);
+        let survivors: Vec<(usize, CommError)> = report.results.into_iter().flatten().collect();
+        assert_eq!(survivors.len(), 3, "every survivor must report");
+        for (rank, err) in survivors {
+            match err {
+                CommError::RankFailed { failed, .. } => assert_eq!(failed, 2),
+                CommError::Timeout { .. } => {}
+                other => panic!("rank {rank} got unexpected error {other}"),
+            }
+        }
+    }
+
+    /// After a death, `shrink` yields a dense working communicator whose
+    /// collectives run over the same backend.
+    fn shrink_after_death_recovers(kind: TransportKind) {
+        let plan = FaultPlan::parse("kill:r2@step1", 0).expect("static plan");
+        let report = World::builder(4)
+            .transport(kind)
+            .recv_timeout(TIMEOUT)
+            .fault_plan(&plan)
+            .run_ft(|comm| {
+                comm.fault_step(1); // rank 2 dies here
+                let shrunk = comm.shrink().expect("survivors agree and shrink");
+                assert_eq!(shrunk.size(), 3);
+                let sum = shrunk
+                    .try_allreduce(comm.rank() as f64, &SumOp)
+                    .expect("collective on shrunken comm");
+                assert_eq!(sum, 4.0); // world ranks 0 + 1 + 3
+                shrunk.rank()
+            });
+        assert_eq!(report.killed, [2]);
+        let mut new_ranks: Vec<usize> = report.results.into_iter().flatten().collect();
+        new_ranks.sort_unstable();
+        assert_eq!(new_ranks, [0, 1, 2], "survivors renumber densely");
+    }
+}

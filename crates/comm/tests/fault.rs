@@ -26,7 +26,7 @@ where
     let spec = format!("kill:r{victim}@step2");
     let plan = FaultPlan::parse(&spec, 0).expect("static plan");
     let coll = &coll;
-    let report = World::run_ft(p, WORLD_TIMEOUT, Some(&plan), move |comm| {
+    let report = World::builder(p).recv_timeout(WORLD_TIMEOUT).fault_plan(&plan).run_ft(move |comm| {
         let comm = comm.with_recv_timeout(DETECT);
         for step in 1..=100u64 {
             let started = Instant::now();
@@ -156,11 +156,7 @@ fn every_collective_fails_fast_when_a_rank_dies_9_ranks() {
 #[test]
 fn dropped_message_surfaces_as_timeout_not_hang() {
     let plan = FaultPlan::parse("drop:r1@op1", 0).expect("static plan");
-    let report = World::run_ft(
-        4,
-        WORLD_TIMEOUT,
-        Some(&plan),
-        |comm| {
+    let report = World::builder(4).recv_timeout(WORLD_TIMEOUT).fault_plan(&plan).run_ft(|comm| {
             let comm = comm.with_recv_timeout(Duration::from_millis(500));
             comm.try_allreduce(comm.rank() as f64, &SumOp)
         },
@@ -188,7 +184,7 @@ fn dropped_message_surfaces_as_timeout_not_hang() {
 #[test]
 fn delayed_message_is_still_delivered() {
     let plan = FaultPlan::parse("delay:r1@op1:20ms", 0).expect("static plan");
-    let report = World::run_ft(4, WORLD_TIMEOUT, Some(&plan), |comm| {
+    let report = World::builder(4).recv_timeout(WORLD_TIMEOUT).fault_plan(&plan).run_ft(|comm| {
         comm.try_allreduce(comm.rank() as f64, &SumOp)
     });
     assert!(report.killed.is_empty());
@@ -205,7 +201,7 @@ fn delayed_message_is_still_delivered() {
 #[test]
 fn shrink_after_death_yields_working_communicator() {
     let plan = FaultPlan::parse("kill:r2@step1", 0).expect("static plan");
-    let report = World::run_ft(4, WORLD_TIMEOUT, Some(&plan), |comm| {
+    let report = World::builder(4).recv_timeout(WORLD_TIMEOUT).fault_plan(&plan).run_ft(|comm| {
         comm.fault_step(1); // rank 2 dies here
         let shrunk = comm.shrink().expect("survivors agree and shrink");
         assert_eq!(shrunk.size(), 3);
@@ -234,7 +230,7 @@ fn seeded_fault_replay_is_deterministic() {
         let plan =
             FaultPlan::parse("delay:r1@op2:10ms, delay:r3@op3:3ms, kill:r2@step3", 42)
                 .expect("static plan");
-        World::run_ft(4, WORLD_TIMEOUT, Some(&plan), |comm| {
+        World::builder(4).recv_timeout(WORLD_TIMEOUT).fault_plan(&plan).run_ft(|comm| {
             let comm = comm.with_recv_timeout(DETECT);
             for step in 1..=3u64 {
                 comm.fault_step(step);
@@ -259,7 +255,7 @@ fn seeded_fault_replay_is_deterministic() {
 fn different_seed_changes_delay_jitter() {
     let run = |seed: u64| {
         let plan = FaultPlan::parse("delay:r1@op1:10ms", seed).expect("static plan");
-        World::run_ft(2, WORLD_TIMEOUT, Some(&plan), |comm| {
+        World::builder(2).recv_timeout(WORLD_TIMEOUT).fault_plan(&plan).run_ft(|comm| {
             comm.try_allreduce(1.0f64, &SumOp).expect("no deaths here")
         })
     };
@@ -303,12 +299,7 @@ fn killed_run_surfaces_recovery_in_metrics_and_timeline() {
 
     let plan = FaultPlan::parse("kill:r2@step2", 0).expect("static plan");
     let snap_slot: Mutex<Option<MetricsSnapshot>> = Mutex::new(None);
-    let report = World::run_ft_profiled(
-        4,
-        WORLD_TIMEOUT,
-        DEFAULT_SPAN_CAPACITY,
-        Some(&plan),
-        |comm| {
+    let report = World::builder(4).recv_timeout(WORLD_TIMEOUT).span_capacity(DEFAULT_SPAN_CAPACITY).fault_plan(&plan).run_ft(|comm| {
             let comm = comm.with_recv_timeout(DETECT);
             comm.fault_step(1);
             {

@@ -13,7 +13,7 @@ fn multi_sender_storm_drains_through_irecv() {
     // drains them in whatever order they land.
     let p = 5;
     let per_sender = 40u64;
-    World::run(p, move |comm| {
+    World::builder(p).run(move |comm| {
         if comm.rank() == 0 {
             let total = per_sender as usize * (p - 1);
             let reqs: Vec<_> = (0..total)
@@ -43,7 +43,7 @@ fn interleaved_probe_try_recv_and_irecv() {
     // polling of other traffic: the probe/try_recv path must not steal
     // the message the request is waiting on... because matching is by
     // (src, tag), not arrival order.
-    World::run(3, |comm| {
+    World::builder(3).run(|comm| {
         match comm.rank() {
             0 => {
                 let reserved = comm.irecv::<u64>(1, 7);
@@ -80,7 +80,7 @@ fn wait_all_completes_out_of_order_at_several_sizes() {
     // *reverse* rank order (staggered sleeps). wait_all must still
     // return results in posted order.
     for p in [2usize, 4, 9] {
-        World::run(p, move |comm| {
+        World::builder(p).run(move |comm| {
             if comm.rank() == 0 {
                 let reqs: Vec<_> = (1..p).map(|s| comm.irecv::<u64>(s, 5)).collect();
                 let got = wait_all(reqs);
@@ -105,7 +105,7 @@ fn pool_reuse_across_repeated_ring_exchanges() {
     // send should find a warm envelope in the pool.
     let p = 4;
     let laps: u64 = 30;
-    let (_, trace) = World::run_traced(p, move |comm| {
+    let (_, trace) = World::builder(p).run_traced(move |comm| {
         let right = (comm.rank() + 1) % p;
         let left = (comm.rank() + p - 1) % p;
         let mut token = vec![comm.rank() as u64; 256];
@@ -136,7 +136,7 @@ fn pool_reuse_across_repeated_ring_exchanges() {
 fn test_poll_makes_progress_without_blocking() {
     // irecv::test() returns false until the message exists, then
     // completes without ever blocking the receiver.
-    World::run(2, |comm| {
+    World::builder(2).run(|comm| {
         if comm.rank() == 0 {
             let mut req = comm.irecv::<u64>(1, 0);
             let mut polls = 0u64;

@@ -1,0 +1,67 @@
+//! Multi-process smoke tests: [`beatnik_comm::proc::spmd`] re-executes
+//! this very test binary (libtest `--exact` filter) to give every rank
+//! its own OS process, rendezvousing over shared-memory rings or TCP.
+//!
+//! Spawned children re-enter the same `#[test]` function, where `spmd`
+//! detects the `BEATNIK_PROC_RANK` role, joins the world, and exits the
+//! process — only the parent (world rank 0) reaches the assertions.
+#![cfg(unix)]
+
+use beatnik_comm::proc;
+use beatnik_comm::TransportKind;
+
+/// The libtest argv that routes a spawned child back into `test_name`.
+fn reexec_args(test_name: &str) -> [&str; 4] {
+    [test_name, "--exact", "--nocapture", "--test-threads=1"]
+}
+
+/// Collectives + point-to-point over a world of `n` real processes.
+fn spmd_smoke(n: usize, kind: TransportKind, test_name: &str) {
+    let (out, killed) = proc::spmd(n, kind, &reexec_args(test_name), move |comm| {
+        let (rank, size) = (comm.rank(), comm.size());
+        assert_eq!(size, n);
+
+        let sum = comm.allreduce_sum(rank as f64);
+        assert_eq!(sum, (n * (n - 1) / 2) as f64, "rank {rank}");
+
+        // A p2p ring: each rank passes a growing payload to the right.
+        let next = (rank + 1) % size;
+        let prev = (rank + size - 1) % size;
+        comm.send(next, 9, vec![rank as u64; rank + 1]);
+        let got: Vec<u64> = comm.recv(prev, 9);
+        assert_eq!(got, vec![prev as u64; prev + 1], "rank {rank}");
+
+        let gathered = comm.allgather(&[rank as u64 * 100]);
+        assert_eq!(gathered, (0..n as u64).map(|r| r * 100).collect::<Vec<_>>());
+
+        sum
+    });
+    assert_eq!(out, (n * (n - 1) / 2) as f64);
+    assert!(killed.is_empty(), "no rank was faulted: {killed:?}");
+}
+
+#[test]
+fn shmem_world_spans_three_processes() {
+    spmd_smoke(3, TransportKind::Shmem, "shmem_world_spans_three_processes");
+}
+
+#[test]
+fn tcp_world_spans_three_processes() {
+    spmd_smoke(3, TransportKind::Tcp, "tcp_world_spans_three_processes");
+}
+
+#[test]
+fn single_process_world_needs_no_children() {
+    let (rank, killed) = proc::spmd(
+        1,
+        TransportKind::Shmem,
+        &reexec_args("single_process_world_needs_no_children"),
+        |comm| {
+            assert_eq!(comm.size(), 1);
+            assert_eq!(comm.allreduce_sum(5.0), 5.0);
+            comm.rank()
+        },
+    );
+    assert_eq!(rank, 0);
+    assert!(killed.is_empty());
+}

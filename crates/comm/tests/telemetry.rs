@@ -17,7 +17,7 @@ fn nine_rank_nonblocking_stress_records_deterministic_spans() {
     // span sequence is its program order.
     let p = 9usize;
     let per_sender = 20u64;
-    let (_, _, timeline) = World::run_profiled(p, move |comm| {
+    let (_, _, timeline) = World::builder(p).run_profiled(move |comm| {
         if comm.rank() == 0 {
             let total = per_sender as usize * (p - 1);
             let reqs: Vec<_> = (0..total)
@@ -97,7 +97,7 @@ fn stress_pattern_is_reproducible_across_runs() {
     // Two identical runs must produce identical per-rank span *kind*
     // sequences (timestamps differ; structure must not).
     let run = || {
-        let (_, _, tl) = World::run_profiled(9, |comm| {
+        let (_, _, tl) = World::builder(9).run_profiled(|comm| {
             if comm.rank() == 0 {
                 let reqs: Vec<_> = (1..9).map(|s| comm.irecv::<u64>(s, 3)).collect();
                 let _ = wait_all(reqs);
@@ -144,12 +144,12 @@ fn disabled_telemetry_adds_no_allocations_to_pooled_sends() {
             comm.barrier();
         }
     };
-    let (_, traced) = World::run_traced(p, move |comm| {
+    let (_, traced) = World::builder(p).run_traced(move |comm| {
         assert!(!comm.telemetry().is_enabled());
         exchange(&comm);
         assert_eq!(comm.telemetry().total_pushed(), 0);
     });
-    let (_, profiled, timeline) = World::run_profiled(p, move |comm| exchange(&comm));
+    let (_, profiled, timeline) = World::builder(p).run_profiled(move |comm| exchange(&comm));
     assert!(timeline.total_spans() > 0);
     for r in 0..p {
         assert_eq!(
@@ -164,11 +164,7 @@ fn disabled_telemetry_adds_no_allocations_to_pooled_sends() {
 fn tiny_capacity_under_stress_drops_oldest_and_counts() {
     // With a 16-span ring under the same storm, overflow must keep the
     // newest spans and report the exact drop count on the gauge.
-    let (_, _, timeline) = World::run_profiled_config(
-        2,
-        Duration::from_secs(120),
-        16,
-        |comm| {
+    let (_, _, timeline) = World::builder(2).recv_timeout(Duration::from_secs(120)).span_capacity(16).run_profiled(|comm| {
             if comm.rank() == 0 {
                 for i in 0..100u64 {
                     let _: Vec<u64> = comm.recv(1, i);

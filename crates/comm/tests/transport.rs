@@ -15,7 +15,7 @@ const TIMEOUT: Duration = Duration::from_secs(30);
 #[test]
 fn rendezvous_sends_copy_payload_exactly_once() {
     // Eager limit 0: every sized isend takes the rendezvous path.
-    let (_, trace) = World::run_transport_config(2, TIMEOUT, 0, |c| {
+    let (_, trace) = World::builder(2).recv_timeout(TIMEOUT).eager_limit(0).run_traced(|c| {
         if c.rank() == 0 {
             c.isend(1, 1, &[7u64; 100]).wait(); // 800 bytes
         } else {
@@ -37,7 +37,7 @@ fn rendezvous_sends_copy_payload_exactly_once() {
 /// at the sender, out of it at the receiver.
 #[test]
 fn eager_sends_copy_payload_twice() {
-    let (_, trace) = World::run_transport_config(2, TIMEOUT, DEFAULT_EAGER_LIMIT, |c| {
+    let (_, trace) = World::builder(2).recv_timeout(TIMEOUT).eager_limit(DEFAULT_EAGER_LIMIT).run_traced(|c| {
         if c.rank() == 0 {
             c.isend(1, 1, &[7u64; 100]).wait();
         } else {
@@ -52,7 +52,7 @@ fn eager_sends_copy_payload_twice() {
 /// `eager_limit` bytes stays eager; one byte more goes rendezvous.
 #[test]
 fn crossover_boundary_is_exclusive() {
-    let (_, trace) = World::run_transport_config(2, TIMEOUT, 64, |c| {
+    let (_, trace) = World::builder(2).recv_timeout(TIMEOUT).eager_limit(64).run_traced(|c| {
         if c.rank() == 0 {
             c.isend(1, 1, &[1u8; 64]).wait(); // == limit: eager
             c.isend(1, 2, &[2u8; 65]).wait(); // > limit: rendezvous
@@ -70,7 +70,7 @@ fn crossover_boundary_is_exclusive() {
 /// accounting in one run.
 #[test]
 fn rendezvous_deposits_into_posted_receive() {
-    let (_, trace) = World::run_transport_config(2, TIMEOUT, 8, |c| {
+    let (_, trace) = World::builder(2).recv_timeout(TIMEOUT).eager_limit(8).run_traced(|c| {
         if c.rank() == 0 {
             c.barrier(); // ensure rank 1's irecv is posted first
             c.isend(1, 5, &[0.25f64; 64]).wait(); // 512 bytes, rendezvous
@@ -91,7 +91,7 @@ fn rendezvous_deposits_into_posted_receive() {
 fn non_overtaking_under_randomized_mixed_selectors() {
     const MSGS: u64 = 60;
     for seed in 0..4u64 {
-        World::run(4, move |c| {
+        World::builder(4).run(move |c| {
             if c.rank() == 0 {
                 // Per-sender sequence numbers; message value encodes
                 // (sender, seq) so ordering violations are detectable.
@@ -158,7 +158,7 @@ fn non_overtaking_under_randomized_mixed_selectors() {
 /// check every stream is seen in order.
 #[test]
 fn wait_all_wildcards_and_exact_posts_preserve_stream_order() {
-    World::run(3, |c| {
+    World::builder(3).run(|c| {
         if c.rank() == 0 {
             // Post: exact from 1, wildcard, exact from 2, wildcard.
             let reqs = vec![

@@ -167,7 +167,7 @@ mod tests {
     fn huge_cutoff_matches_exact_solver() {
         let n = 48;
         for p in [1usize, 4] {
-            World::run(p, move |comm| {
+            World::builder(p).run(move |comm| {
                 let all = clustered_points(n);
                 let chunk = n / comm.size();
                 let lo = comm.rank() * chunk;
@@ -193,7 +193,7 @@ mod tests {
     fn matches_uniform_cutoff_solver_at_same_cutoff() {
         // Same pairs (cutoff criterion is geometric), different owners:
         // results must agree to FP noise despite different decompositions.
-        World::run(4, |comm| {
+        World::builder(4).run(|comm| {
             let all = clustered_points(80);
             let mine = &all[comm.rank() * 20..comm.rank() * 20 + 20];
             let uniform = CutoffBrSolver::new(
@@ -215,7 +215,7 @@ mod tests {
 
     #[test]
     fn balances_clustered_load_where_uniform_grid_does_not() {
-        World::run(4, |comm| {
+        World::builder(4).run(|comm| {
             let all = clustered_points(400);
             let mine = &all[comm.rank() * 100..comm.rank() * 100 + 100];
             let solver =

@@ -160,7 +160,7 @@ mod tests {
         let n = 48;
         let eps = 0.1;
         for p in [1usize, 2, 4] {
-            World::run(p, move |comm| {
+            World::builder(p).run(move |comm| {
                 let all = global_points(n);
                 let chunk = n / comm.size();
                 let lo = comm.rank() * chunk;
@@ -180,7 +180,7 @@ mod tests {
 
     #[test]
     fn cutoff_error_decreases_with_radius() {
-        World::run(2, |comm| {
+        World::builder(2).run(|comm| {
             let all = global_points(60);
             let chunk = 30;
             let lo = comm.rank() * chunk;
@@ -207,7 +207,7 @@ mod tests {
 
     #[test]
     fn backends_agree() {
-        World::run(2, |comm| {
+        World::builder(2).run(|comm| {
             let all = global_points(40);
             let mine = &all[comm.rank() * 20..comm.rank() * 20 + 20];
             let g = CutoffBrSolver::new(smesh(2), 1.5, Backend::Grid).velocities(&comm, mine, 0.1);
@@ -220,7 +220,7 @@ mod tests {
 
     #[test]
     fn communication_is_migration_shaped() {
-        let (_, trace) = World::run_traced(4, |comm| {
+        let (_, trace) = World::builder(4).run_traced(|comm| {
             let all = global_points(80);
             let mine = &all[comm.rank() * 20..comm.rank() * 20 + 20];
             let s = CutoffBrSolver::new(smesh(4), 0.8, Backend::Grid);

@@ -162,7 +162,7 @@ mod tests {
         for p in [1usize, 2, 3, 4, 9] {
             let all2 = all.clone();
             let want2 = want.clone();
-            World::run(p, move |comm| {
+            World::builder(p).run(move |comm| {
                 let chunk = n / comm.size();
                 let lo = comm.rank() * chunk;
                 let hi = if comm.rank() + 1 == comm.size() { n } else { lo + chunk };
@@ -182,7 +182,7 @@ mod tests {
 
     #[test]
     fn ring_message_pattern() {
-        let (_, trace) = World::run_traced(4, |comm| {
+        let (_, trace) = World::builder(4).run_traced(|comm| {
             let pts = global_points(40);
             let chunk = 10;
             let lo = comm.rank() * chunk;
@@ -207,7 +207,7 @@ mod tests {
         let all = global_points(36);
         for p in [2usize, 4, 9] {
             let all2 = all.clone();
-            World::run(p, move |comm| {
+            World::builder(p).run(move |comm| {
                 let chunk = 36 / comm.size();
                 let lo = comm.rank() * chunk;
                 let hi = if comm.rank() + 1 == comm.size() {
@@ -227,7 +227,7 @@ mod tests {
     #[test]
     fn empty_rank_participates_without_deadlock() {
         // Rank sizes 0 and n must still circulate blocks.
-        World::run(3, |comm| {
+        World::builder(3).run(|comm| {
             let all = global_points(20);
             let mine: &[BrPoint] = match comm.rank() {
                 0 => &all[..0],
@@ -241,7 +241,7 @@ mod tests {
 
     #[test]
     fn two_vortex_points_induce_antisymmetric_velocities() {
-        World::run(1, |comm| {
+        World::builder(1).run(|comm| {
             let pts = [
                 BrPoint {
                     pos: [0.0, 0.0, 0.0],

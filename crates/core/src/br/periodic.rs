@@ -112,7 +112,7 @@ mod tests {
 
     #[test]
     fn zero_images_matches_plain_exact() {
-        World::run(2, |comm| {
+        World::builder(2).run(|comm| {
             let pts: Vec<BrPoint> = (0..20)
                 .map(|i| {
                     let t = i as f64;
@@ -133,7 +133,7 @@ mod tests {
 
     #[test]
     fn wraparound_pairs_interact_strongly() {
-        World::run(1, |comm| {
+        World::builder(1).run(|comm| {
             // Two points separated by 0.2 *through the boundary* (3.9 apart
             // in-box). The periodic solver must see a near-field
             // interaction an order of magnitude stronger.
@@ -159,7 +159,7 @@ mod tests {
 
     #[test]
     fn translation_by_one_period_is_invariant() {
-        World::run(2, |comm| {
+        World::builder(2).run(|comm| {
             let pts: Vec<BrPoint> = (0..16)
                 .map(|i| {
                     let t = i as f64;
@@ -194,7 +194,7 @@ mod tests {
 
     #[test]
     fn image_sum_converges_with_shell_count() {
-        World::run(1, |comm| {
+        World::builder(1).run(|comm| {
             let pts: Vec<BrPoint> = (0..12)
                 .map(|i| {
                     let t = i as f64;

@@ -92,7 +92,7 @@ mod tests {
     fn theta_zero_matches_exact_solver() {
         let n = 48;
         for p in [1usize, 3] {
-            World::run(p, move |comm| {
+            World::builder(p).run(move |comm| {
                 let all = global_points(n);
                 let chunk = n / comm.size();
                 let lo = comm.rank() * chunk;
@@ -111,7 +111,7 @@ mod tests {
 
     #[test]
     fn accuracy_degrades_gracefully_with_theta() {
-        World::run(2, |comm| {
+        World::builder(2).run(|comm| {
             let all = global_points(200);
             let mine = &all[comm.rank() * 100..comm.rank() * 100 + 100];
             let exact = ExactBrSolver.velocities(&comm, mine, 0.1);
@@ -138,7 +138,7 @@ mod tests {
 
     #[test]
     fn communication_is_allgather_shaped() {
-        let (_, trace) = World::run_traced(4, |comm| {
+        let (_, trace) = World::builder(4).run_traced(|comm| {
             let all = global_points(40);
             let mine = &all[comm.rank() * 10..comm.rank() * 10 + 10];
             let _ = TreeBrSolver::new(0.5).velocities(&comm, mine, 0.1);

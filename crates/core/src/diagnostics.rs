@@ -106,7 +106,7 @@ mod tests {
 
     #[test]
     fn diagnostics_of_single_mode() {
-        World::run(4, |comm| {
+        World::builder(4).run(|comm| {
             let mesh =
                 SurfaceMesh::new(&comm, [16, 16], [true, true], 2, [-1.0, -1.0], [1.0, 1.0]);
             let mut pm = ProblemManager::new(
@@ -131,7 +131,7 @@ mod tests {
 
     #[test]
     fn flat_interface_ownership_is_balanced() {
-        World::run(4, |comm| {
+        World::builder(4).run(|comm| {
             let mesh =
                 SurfaceMesh::new(&comm, [16, 16], [true, true], 2, [-1.0, -1.0], [1.0, 1.0]);
             let mut pm = ProblemManager::new(
@@ -157,7 +157,7 @@ mod tests {
 
     #[test]
     fn clustered_interface_shows_imbalance() {
-        World::run(2, |comm| {
+        World::builder(2).run(|comm| {
             let mesh =
                 SurfaceMesh::new(&comm, [16, 16], [true, true], 2, [-1.0, -1.0], [1.0, 1.0]);
             let mut pm = ProblemManager::new(

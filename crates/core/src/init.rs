@@ -180,7 +180,7 @@ mod tests {
 
     #[test]
     fn flat_interface_is_reference_plane() {
-        World::run(1, |comm| {
+        World::builder(1).run(|comm| {
             let mut pm = pm_with(&comm, true, 8);
             InitialCondition::Flat.apply(&mut pm);
             for (lr, lc, gr, gc) in pm.mesh().owned_indices() {
@@ -193,7 +193,7 @@ mod tests {
 
     #[test]
     fn single_mode_peaks_at_amplitude() {
-        World::run(1, |comm| {
+        World::builder(1).run(|comm| {
             let mut pm = pm_with(&comm, true, 16);
             InitialCondition::SingleMode {
                 amplitude: 0.05,
@@ -211,7 +211,7 @@ mod tests {
 
     #[test]
     fn single_mode_open_boundary_has_zero_slope_at_edges() {
-        World::run(1, |comm| {
+        World::builder(1).run(|comm| {
             let mut pm = pm_with(&comm, false, 17);
             InitialCondition::SingleMode {
                 amplitude: 0.1,
@@ -236,7 +236,7 @@ mod tests {
             seed: 42,
         };
         let gather = |p: usize| -> Vec<(usize, usize, f64)> {
-            let out = World::run(p, move |comm| {
+            let out = World::builder(p).run(move |comm| {
                 let mut pm = pm_with(&comm, true, 12);
                 ic.apply(&mut pm);
                 let rows: Vec<(usize, usize, f64)> = pm
@@ -259,7 +259,7 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        World::run(1, |comm| {
+        World::builder(1).run(|comm| {
             let sample = |seed: u64| {
                 let mut pm = pm_with(&comm, true, 8);
                 InitialCondition::MultiMode {

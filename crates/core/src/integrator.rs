@@ -124,7 +124,7 @@ mod tests {
 
     #[test]
     fn rk3_is_higher_order_than_euler() {
-        World::run(1, |comm| {
+        World::builder(1).run(|comm| {
             // Evolve the same problem with RK3 and Euler at a deliberately
             // large dt; RK3 at dt must beat Euler at dt against the
             // fine-step reference.
@@ -154,7 +154,7 @@ mod tests {
 
     #[test]
     fn rk3_convergence_order() {
-        World::run(1, |comm| {
+        World::builder(1).run(|comm| {
             let t_end = 0.4;
             let run = |steps: usize| -> f64 {
                 let (mut pm, zm) = setup(&comm, 16);
@@ -177,7 +177,7 @@ mod tests {
     fn step_is_deterministic_across_rank_counts() {
         // The FFT path is exact: P=1 and P=4 runs must agree to FP noise.
         let amp_at = |p: usize| -> f64 {
-            let out = World::run(p, |comm| {
+            let out = World::builder(p).run(|comm| {
                 let (mut pm, zm) = setup(&comm, 16);
                 let mut ti = TimeIntegrator::new(&pm);
                 for _ in 0..5 {

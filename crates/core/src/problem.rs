@@ -122,7 +122,7 @@ mod tests {
 
     #[test]
     fn state_shapes_match_mesh() {
-        World::run(4, |comm| {
+        World::builder(4).run(|comm| {
             let pm = make(true, &comm);
             assert_eq!(pm.z().ncomp(), 3);
             assert_eq!(pm.w().ncomp(), 2);
@@ -134,7 +134,7 @@ mod tests {
 
     #[test]
     fn halo_all_fills_position_ghosts_logically() {
-        World::run(4, |comm| {
+        World::builder(4).run(|comm| {
             let mut pm = make(true, &comm);
             // Set z = reference coordinates.
             let coords: Vec<_> = pm.mesh().owned_indices().collect();
@@ -157,7 +157,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "requires a periodic mesh")]
     fn periodic_bc_on_open_mesh_rejected() {
-        World::run(1, |comm| {
+        World::builder(1).run(|comm| {
             let mesh =
                 SurfaceMesh::new(&comm, [8, 8], [false, false], 2, [0.0, 0.0], [1.0, 1.0]);
             let _ = ProblemManager::new(

@@ -253,7 +253,7 @@ mod tests {
 
     #[test]
     fn low_order_solver_runs_and_grows() {
-        World::run(4, |comm| {
+        World::builder(4).run(|comm| {
             let mesh = periodic_mesh(&comm, 16);
             let bc = BoundaryCondition::Periodic {
                 periods: [2.0 * PI, 2.0 * PI],
@@ -272,7 +272,7 @@ mod tests {
 
     #[test]
     fn all_three_orders_run_with_each_br_solver() {
-        World::run(2, |comm| {
+        World::builder(2).run(|comm| {
             let l = 2.0 * PI;
             let cutoff = BrChoice::Cutoff {
                 bounds: ([-1.0, -1.0, -2.0], [l + 1.0, l + 1.0, 2.0]),
@@ -304,7 +304,7 @@ mod tests {
 
     #[test]
     fn high_order_supports_open_boundaries() {
-        World::run(2, |comm| {
+        World::builder(2).run(|comm| {
             let mesh =
                 SurfaceMesh::new(&comm, [12, 12], [false, false], 2, [0.0, 0.0], [1.0, 1.0]);
             let mut cfg = config(Order::High, BrChoice::Exact);

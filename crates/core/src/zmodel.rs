@@ -391,7 +391,7 @@ mod tests {
     #[test]
     fn low_order_velocity_matches_analytic_riesz() {
         for p in [1usize, 4] {
-            World::run(p, |comm| {
+            World::builder(p).run(|comm| {
                 let mut pm = periodic_pm(&comm, 16);
                 let coords: Vec<_> = pm.mesh().owned_indices().collect();
                 for (lr, lc, gr, gc) in coords {
@@ -431,7 +431,7 @@ mod tests {
     /// high-order stencil path.
     #[test]
     fn vorticity_forcing_matches_between_orders() {
-        World::run(2, |comm| {
+        World::builder(2).run(|comm| {
             let n = 32;
             let amplitude = 1e-3; // keep |V|² negligible
             let build = |pm: &mut ProblemManager| {
@@ -490,7 +490,7 @@ mod tests {
 
     #[test]
     fn krasny_filter_removes_roundoff_noise_keeps_signal() {
-        World::run(4, |comm| {
+        World::builder(4).run(|comm| {
             let n = 16;
             let mut pm = periodic_pm(&comm, n);
             let coords: Vec<_> = pm.mesh().owned_indices().collect();
@@ -532,7 +532,7 @@ mod tests {
     #[test]
     fn filtered_solve_tracks_unfiltered_solve() {
         // With a sane tolerance the filter must not perturb the physics.
-        World::run(2, |comm| {
+        World::builder(2).run(|comm| {
             let run = |filter_every: usize| -> f64 {
                 let mut pm = periodic_pm(&comm, 16);
                 crate::init::InitialCondition::SingleMode {
@@ -575,7 +575,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "requires an FFT-capable")]
     fn filter_on_high_order_rejected() {
-        World::run(1, |comm| {
+        World::builder(1).run(|comm| {
             let mesh =
                 SurfaceMesh::new(&comm, [8, 8], [true, true], 2, [0.0, 0.0], [1.0, 1.0]);
             let mut pm = ProblemManager::new(
@@ -596,7 +596,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "requires a Birkhoff-Rott solver")]
     fn high_order_without_br_rejected() {
-        World::run(1, |comm| {
+        World::builder(1).run(|comm| {
             let pm = periodic_pm(&comm, 8);
             let _ = ZModel::new(
                 &pm,
@@ -611,7 +611,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "requires periodic boundaries")]
     fn low_order_with_open_boundaries_rejected() {
-        World::run(1, |comm| {
+        World::builder(1).run(|comm| {
             let mesh =
                 SurfaceMesh::new(&comm, [8, 8], [false, false], 2, [0.0, 0.0], [1.0, 1.0]);
             let pm = ProblemManager::new(mesh, BoundaryCondition::Free);

@@ -353,7 +353,7 @@ mod tests {
         let mut reference: Vec<Complex> = (0..nr * nc).map(|i| field(i / nc, i % nc)).collect();
         Fft2d::new(nr, nc).forward(&mut reference);
 
-        World::run(p, move |comm| {
+        World::builder(p).run(move |comm| {
             let dims = dims_create(comm.size());
             let plan = DistributedFft2d::new(&comm, dims, nr, nc, config);
             let rect = plan.local_rect();
@@ -405,7 +405,7 @@ mod tests {
     #[test]
     fn forward_inverse_roundtrip_all_configs() {
         for config in FftConfig::table1() {
-            World::run(4, move |comm| {
+            World::builder(4).run(move |comm| {
                 let dims = dims_create(comm.size());
                 let plan = DistributedFft2d::new(&comm, dims, 8, 8, config);
                 let rect = plan.local_rect();
@@ -429,7 +429,7 @@ mod tests {
         // With pencils, the first/last reshapes run on Pc/Pr-sized groups:
         // strictly fewer alltoallv messages than three global reshapes.
         let count_msgs = |pencils: bool| {
-            let (_, trace) = World::run_traced(4, move |comm| {
+            let (_, trace) = World::builder(4).run_traced(move |comm| {
                 let cfg = FftConfig {
                     all_to_all: true,
                     pencils,
@@ -457,7 +457,7 @@ mod tests {
         // on, nonblocking point-to-point (Send/Recv) when off — moving
         // the same payload volume either way.
         let traffic_with = |a2a: bool| {
-            let (_, trace) = World::run_traced(4, move |comm| {
+            let (_, trace) = World::builder(4).run_traced(move |comm| {
                 let cfg = FftConfig {
                     all_to_all: a2a,
                     pencils: false,
@@ -485,7 +485,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "does not match local rectangle")]
     fn wrong_block_size_panics() {
-        World::run(1, |comm| {
+        World::builder(1).run(|comm| {
             let plan = DistributedFft2d::new(&comm, [1, 1], 4, 4, FftConfig::default());
             let _ = plan.forward(vec![Complex::default(); 3]);
         });
@@ -506,7 +506,7 @@ mod transposed_tests {
     fn transposed_roundtrip_matches_plain_roundtrip() {
         for cfg_idx in [0usize, 3, 7] {
             let config = FftConfig::from_index(cfg_idx);
-            World::run(4, move |comm| {
+            World::builder(4).run(move |comm| {
                 let dims = dims_create(comm.size());
                 let plan = DistributedFft2d::new(&comm, dims, 8, 8, config);
                 let rect = plan.local_rect();
@@ -530,7 +530,7 @@ mod transposed_tests {
     fn transposed_spectrum_values_are_correct() {
         // Values in the transposed layout must equal the plain forward
         // transform's values at the same global indices.
-        World::run(4, |comm| {
+        World::builder(4).run(|comm| {
             let config = FftConfig::default();
             let dims = dims_create(comm.size());
             let plan = DistributedFft2d::new(&comm, dims, 8, 8, config);
@@ -573,7 +573,7 @@ mod transposed_tests {
     #[test]
     fn transposed_roundtrip_saves_reshapes() {
         let msgs = |transposed: bool| {
-            let (_, trace) = World::run_traced(4, move |comm| {
+            let (_, trace) = World::builder(4).run_traced(move |comm| {
                 let config = FftConfig {
                     all_to_all: true,
                     pencils: false,

@@ -164,7 +164,7 @@ mod tests {
     fn block_to_row_slab_and_back() {
         let (nr, nc) = (8usize, 6usize);
         for p in [1usize, 2, 4] {
-            World::run(p, move |comm| {
+            World::builder(p).run(move |comm| {
                 // Source: row blocks of a 2D decomposition collapsed to
                 // 1D rows for simplicity (rows split over p, full width).
                 let rows = Dist::new(nr, p);
@@ -194,7 +194,7 @@ mod tests {
     fn two_d_block_to_row_slab() {
         // 2D 2x2 block layout -> row slabs on 4 ranks.
         let (nr, nc) = (8usize, 8usize);
-        World::run(4, move |comm| {
+        World::builder(4).run(move |comm| {
             let rd = Dist::new(nr, 2);
             let cd = Dist::new(nc, 2);
             let src = move |r: usize| Rect::new(rd.range(r / 2), cd.range(r % 2));
@@ -210,7 +210,7 @@ mod tests {
     #[test]
     fn empty_destinations_are_fine() {
         // 3 ranks, 2 global rows: one destination rank owns nothing.
-        World::run(3, |comm| {
+        World::builder(3).run(|comm| {
             let rows = Dist::new(2, 3);
             let src = move |r: usize| Rect::new(rows.range(r), 0..4);
             let dst = move |r: usize| Rect::new(if r == 0 { 0..2 } else { 2..2 }, 0..4);
@@ -230,7 +230,7 @@ mod tests {
     fn direct_path_is_nonblocking_p2p() {
         use beatnik_comm::OpKind;
         let (nr, nc) = (8usize, 6usize);
-        let (_, trace) = World::run_traced(4, move |comm| {
+        let (_, trace) = World::builder(4).run_traced(move |comm| {
             let rows = Dist::new(nr, 4);
             let src = move |r: usize| Rect::new(rows.range(r), 0..nc);
             let cd = Dist::new(nc, 4);

@@ -10,7 +10,7 @@ fn many_tags_many_sources_storm() {
     // rank; receivers drain with wildcards and verify totals.
     let p = 4;
     let per_pair = 50u64;
-    World::run(p, move |comm| {
+    World::builder(p).run(move |comm| {
         let me = comm.rank() as u64;
         for dst in 0..p {
             if dst == comm.rank() {
@@ -38,7 +38,7 @@ fn many_tags_many_sources_storm() {
 
 #[test]
 fn nested_splits_three_deep() {
-    World::run(8, |comm| {
+    World::builder(8).run(|comm| {
         // 8 -> two groups of 4 -> two groups of 2 -> singletons.
         let g1 = comm.split(Some((comm.rank() / 4) as u64), comm.rank() as i64).unwrap();
         assert_eq!(g1.size(), 4);
@@ -58,7 +58,7 @@ fn nested_splits_three_deep() {
 
 #[test]
 fn try_recv_polling_loop() {
-    World::run(3, |comm| {
+    World::builder(3).run(|comm| {
         if comm.rank() == 0 {
             // Poll until both workers report, doing "useful work" between
             // polls.
@@ -86,7 +86,7 @@ fn try_recv_polling_loop() {
 fn interleaved_collectives_and_p2p() {
     // Collectives on the shadow channel must never capture user p2p
     // traffic even when tags collide with internal round numbers.
-    World::run(4, |comm| {
+    World::builder(4).run(|comm| {
         for round in 0..10u64 {
             if comm.rank() == 0 {
                 comm.send(1, round, vec![round]);
@@ -107,7 +107,7 @@ fn interleaved_collectives_and_p2p() {
 fn large_message_volume() {
     // 8 MiB buffers through the ring: exercises buffered transfer of big
     // payloads (moved, not copied).
-    World::run(2, |comm| {
+    World::builder(2).run(|comm| {
         let big: Vec<f64> = (0..1_048_576).map(|i| i as f64).collect();
         if comm.rank() == 0 {
             comm.send(1, 0, big.clone());
@@ -129,7 +129,7 @@ fn reduction_tree_shapes_agree_with_serial_fold() {
     // Non-power-of-two sizes exercise the reduce+broadcast fallback; all
     // must agree with a serial fold to FP-reassociation tolerance.
     for p in [3usize, 5, 6, 7, 9, 12] {
-        let out = World::run(p, move |comm| {
+        let out = World::builder(p).run(move |comm| {
             let v = 1.0 / (comm.rank() + 1) as f64;
             comm.allreduce_sum(v)
         });

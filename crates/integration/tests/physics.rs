@@ -41,7 +41,7 @@ fn config(order: Order, br: BrChoice, amplitude: f64) -> SolverConfig {
 /// Fit the exponential growth rate of the (1,1) mode from a run:
 /// amplitude(t) = a0·cosh(σt) → late-time slope of ln(a) approaches σ.
 fn measure_growth(order: Order, br: BrChoice, n: usize, steps: usize) -> f64 {
-    let out = World::run(4, move |comm| {
+    let out = World::builder(4).run(move |comm| {
         let mesh = SurfaceMesh::new(&comm, [n, n], [true, true], 2, [0.0, 0.0], [L, L]);
         let bc = BoundaryCondition::Periodic { periods: [L, L] };
         let mut solver = Solver::new(mesh, bc, config(order, br, 1e-5));
@@ -106,7 +106,7 @@ fn medium_order_growth_is_rt_unstable_at_the_right_scale() {
 fn stable_stratification_does_not_grow() {
     // Negative Atwood number (light over heavy): the interface
     // oscillates instead of growing.
-    let out = World::run(2, |comm| {
+    let out = World::builder(2).run(|comm| {
         let mesh = SurfaceMesh::new(&comm, [24, 24], [true, true], 2, [0.0, 0.0], [L, L]);
         let bc = BoundaryCondition::Periodic { periods: [L, L] };
         let mut cfg = config(Order::Low, BrChoice::None, 1e-4);
@@ -129,7 +129,7 @@ fn solver_is_deterministic_across_rank_counts_high_order() {
     // The exact-BR stencil path is order-independent in its reductions:
     // P=1 and P=4 runs agree to tight FP tolerance.
     let run = |p: usize| -> (f64, f64) {
-        let out = World::run(p, |comm| {
+        let out = World::builder(p).run(|comm| {
             let mesh =
                 SurfaceMesh::new(&comm, [16, 16], [true, true], 2, [0.0, 0.0], [L, L]);
             let bc = BoundaryCondition::Periodic { periods: [L, L] };
@@ -149,7 +149,7 @@ fn solver_is_deterministic_across_rank_counts_high_order() {
 #[test]
 fn exact_and_large_cutoff_runs_agree() {
     let run = |br: BrChoice| -> f64 {
-        let out = World::run(2, move |comm| {
+        let out = World::builder(2).run(move |comm| {
             let mesh =
                 SurfaceMesh::new(&comm, [16, 16], [true, true], 2, [0.0, 0.0], [L, L]);
             let bc = BoundaryCondition::Periodic { periods: [L, L] };
@@ -175,7 +175,7 @@ fn mean_interface_height_is_conserved() {
     // height on a periodic problem — must stay constant as the
     // instability grows. This catches sign/consistency errors in the
     // velocity field that pointwise tests miss.
-    let out = World::run(4, |comm| {
+    let out = World::builder(4).run(|comm| {
         let mesh = SurfaceMesh::new(&comm, [24, 24], [true, true], 2, [0.0, 0.0], [L, L]);
         let bc = BoundaryCondition::Periodic { periods: [L, L] };
         let mut solver = Solver::new(mesh, bc, config(Order::Low, BrChoice::None, 1e-3));

@@ -15,7 +15,7 @@ fn quick(case: BenchCase) -> beatnik_rocketrig::RigConfig {
 fn all_four_paper_benchmark_cases_run() {
     for case in BenchCase::all() {
         let cfg = quick(case);
-        let logs = World::run(4, move |comm| run_rig(&comm, &cfg));
+        let logs = World::builder(4).run(move |comm| run_rig(&comm, &cfg));
         let log = &logs[0];
         assert_eq!(log.steps.len(), 3, "{case:?}");
         let last = log.steps.last().unwrap();
@@ -32,11 +32,11 @@ fn all_four_paper_benchmark_cases_run() {
 fn reruns_are_bitwise_deterministic() {
     let cfg = quick(BenchCase::LowOrderWeak);
     let cfg2 = cfg.clone();
-    let a = World::run(4, move |comm| run_rig(&comm, &cfg))
+    let a = World::builder(4).run(move |comm| run_rig(&comm, &cfg))
         .into_iter()
         .next()
         .unwrap();
-    let b = World::run(4, move |comm| run_rig(&comm, &cfg2))
+    let b = World::builder(4).run(move |comm| run_rig(&comm, &cfg2))
         .into_iter()
         .next()
         .unwrap();
@@ -47,7 +47,7 @@ fn reruns_are_bitwise_deterministic() {
 fn multimode_initial_surface_is_rank_count_invariant() {
     let amp = |ranks: usize| -> f64 {
         let cfg = quick(BenchCase::LowOrderWeak);
-        World::run(ranks, move |comm| run_rig(&comm, &cfg))[0]
+        World::builder(ranks).run(move |comm| run_rig(&comm, &cfg))[0]
             .steps
             .last()
             .unwrap()
@@ -64,7 +64,7 @@ fn run_log_json_roundtrips_through_disk() {
     let mut cfg = quick(BenchCase::CutoffStrong);
     cfg.record_ownership = true;
     cfg.ownership_ranks = Some(64);
-    let log = World::run(2, move |comm| run_rig(&comm, &cfg))
+    let log = World::builder(2).run(move |comm| run_rig(&comm, &cfg))
         .into_iter()
         .next()
         .unwrap();
@@ -83,7 +83,7 @@ fn vtk_and_csv_dumps_from_one_run() {
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
     let dir2 = dir.clone();
-    World::run(4, move |comm| {
+    World::builder(4).run(move |comm| {
         let cfg = quick(BenchCase::LowOrderWeak);
         let mesh = cfg.build_mesh(&comm);
         let bc = cfg.boundary_condition();
@@ -138,7 +138,7 @@ fn checkpoint_restart_is_bitwise_identical() {
     };
 
     // Reference: 6 steps straight through.
-    let reference = World::run(4, |comm| {
+    let reference = World::builder(4).run(|comm| {
         let mut s = build(&comm);
         for _ in 0..6 {
             s.step();
@@ -148,7 +148,7 @@ fn checkpoint_restart_is_bitwise_identical() {
 
     // Run 3, checkpoint, new world restores and runs 3 more.
     let p2 = ck_path.clone();
-    World::run(4, move |comm| {
+    World::builder(4).run(move |comm| {
         let mut s = build(&comm);
         for _ in 0..3 {
             s.step();
@@ -157,7 +157,7 @@ fn checkpoint_restart_is_bitwise_identical() {
         comm.barrier();
     });
     let p3 = ck_path.clone();
-    let restarted = World::run(4, move |comm| {
+    let restarted = World::builder(4).run(move |comm| {
         let mut s = build(&comm);
         let (step, time) = beatnik_io::checkpoint::load(s.problem_mut(), &p3).unwrap();
         s.restore_clock(step, time);
@@ -178,7 +178,7 @@ fn rank_failure_mid_run_aborts_the_world() {
     // Failure injection: one rank dies inside the timestep loop; the
     // world must abort with the root-cause panic rather than hang.
     let result = std::panic::catch_unwind(|| {
-        World::run(4, |comm| {
+        World::builder(4).run(|comm| {
             let cfg = quick(BenchCase::LowOrderWeak);
             let mesh = cfg.build_mesh(&comm);
             let bc = cfg.boundary_condition();

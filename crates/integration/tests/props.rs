@@ -170,7 +170,7 @@ fn allreduce_equals_serial_fold() {
         let values: Vec<f64> = (0..4).map(|_| rng.gen_range(-1e6..1e6)).collect();
         let expect: f64 = values.iter().sum();
         let v2 = values.clone();
-        let results = World::run(4, move |comm| comm.allreduce_sum(v2[comm.rank()]));
+        let results = World::builder(4).run(move |comm| comm.allreduce_sum(v2[comm.rank()]));
         for r in results {
             assert!((r - expect).abs() < 1e-6 * (1.0 + expect.abs()));
         }
@@ -183,7 +183,7 @@ fn alltoall_is_a_transpose() {
     let mut rng = Rng::seed_from_u64(0x177_0009);
     for _ in 0..12 {
         let seed = rng.next_u64() % 1_000_000;
-        let results = World::run(3, move |comm| {
+        let results = World::builder(3).run(move |comm| {
             let me = comm.rank() as u64;
             let send: Vec<u64> = (0..3).map(|d| seed ^ (me * 10 + d as u64)).collect();
             comm.alltoall(&send)

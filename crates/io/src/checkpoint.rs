@@ -115,7 +115,7 @@ mod tests {
 
         // Save from a 4-rank world…
         let p2 = path.clone();
-        World::run(4, move |comm| {
+        World::builder(4).run(move |comm| {
             let mut pm = make_pm(&comm);
             InitialCondition::MultiMode {
                 amplitude: 0.07,
@@ -129,7 +129,7 @@ mod tests {
 
         // …restore into a 2-rank world and verify every node.
         let p3 = path.clone();
-        World::run(2, move |comm| {
+        World::builder(2).run(move |comm| {
             let mut pm = make_pm(&comm);
             let (step, time) = load(&mut pm, &p3).unwrap();
             assert_eq!(step, 17);
@@ -155,11 +155,11 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("state.json");
         let p2 = path.clone();
-        World::run(1, move |comm| {
+        World::builder(1).run(move |comm| {
             let pm = make_pm(&comm);
             save(&pm, 0, 0.0, &p2).unwrap();
         });
-        World::run(1, move |comm| {
+        World::builder(1).run(move |comm| {
             let mesh =
                 SurfaceMesh::new(&comm, [12, 12], [true, true], 2, [0.0, 0.0], [1.0, 1.0]);
             let mut pm = ProblemManager::new(

@@ -33,7 +33,7 @@ mod tests {
 
     #[test]
     fn csv_has_header_and_all_rows() {
-        World::run(2, |comm| {
+        World::builder(2).run(|comm| {
             let mesh =
                 SurfaceMesh::new(&comm, [4, 6], [true, true], 2, [0.0, 0.0], [1.0, 1.0]);
             let mut pm = ProblemManager::new(

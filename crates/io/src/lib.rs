@@ -12,7 +12,7 @@
 //!   distributions (consumed by the figure harnesses and EXPERIMENTS.md);
 //! * [`checkpoint`] — full-state save/restore for long campaigns;
 //! * [`profile`] — Chrome Trace Event JSON and CSV summaries of the
-//!   span timelines recorded by `World::run_profiled`.
+//!   span timelines recorded by `WorldBuilder::run_profiled`.
 //!
 //! All writers gather to rank 0 and write a single file; at benchmark
 //! scale this is exactly what the paper's visualization dumps do too.
@@ -70,7 +70,7 @@ mod tests {
     #[test]
     fn gather_reassembles_global_surface() {
         for p in [1usize, 4] {
-            World::run(p, |comm| {
+            World::builder(p).run(|comm| {
                 let mesh = SurfaceMesh::new(
                     &comm,
                     [8, 8],

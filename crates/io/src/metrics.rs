@@ -185,7 +185,7 @@ mod tests {
         let dir = std::env::temp_dir().join("beatnik_metrics_io_test");
         std::fs::create_dir_all(&dir).unwrap();
         let snap_slot: std::sync::Mutex<Option<MetricsSnapshot>> = std::sync::Mutex::new(None);
-        let (_, trace, timeline) = World::run_profiled(2, |c| {
+        let (_, trace, timeline) = World::builder(2).run_profiled(|c| {
             {
                 let _p = c.telemetry().phase("step");
                 let _h = c.telemetry().phase("halo");

@@ -1,5 +1,5 @@
 //! Profiling exports: Chrome Trace Event JSON and CSV summaries of a
-//! [`WorldTimeline`] recorded by `World::run_profiled`.
+//! [`WorldTimeline`] recorded by `WorldBuilder::run_profiled`.
 //!
 //! The JSON file loads directly in `chrome://tracing` or Perfetto
 //! (one track per rank); the CSVs carry the wait-time attribution and
@@ -83,7 +83,7 @@ mod tests {
 
     #[test]
     fn profiled_run_exports_parseable_trace_and_csvs() {
-        let (_, _, timeline) = World::run_profiled(3, |c| {
+        let (_, _, timeline) = World::builder(3).run_profiled(|c| {
             let _g = c.telemetry().phase("work");
             c.barrier();
             let _ = c.allreduce_sum(c.rank() as f64);

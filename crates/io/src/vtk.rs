@@ -51,7 +51,7 @@ mod tests {
 
     #[test]
     fn vtk_file_structure_is_valid() {
-        World::run(4, |comm| {
+        World::builder(4).run(|comm| {
             let mesh =
                 SurfaceMesh::new(&comm, [6, 8], [true, true], 2, [0.0, 0.0], [1.0, 1.0]);
             let mut pm = ProblemManager::new(

@@ -147,7 +147,7 @@ mod tests {
 
     #[test]
     fn periodic_position_correction_offsets_ghosts() {
-        World::run(1, |comm| {
+        World::builder(1).run(|comm| {
             let mesh =
                 SurfaceMesh::new(&comm, [8, 8], [true, true], 2, [0.0, 0.0], [2.0, 2.0]);
             let mut z = mesh.make_field(3);
@@ -176,7 +176,7 @@ mod tests {
     #[test]
     fn periodic_correction_distributed_matches_serial() {
         for p in [2usize, 4] {
-            World::run(p, |comm| {
+            World::builder(p).run(|comm| {
                 let mesh =
                     SurfaceMesh::new(&comm, [8, 8], [true, true], 2, [0.0, 0.0], [2.0, 2.0]);
                 let mut z = mesh.make_field(3);
@@ -205,7 +205,7 @@ mod tests {
         // Linear fields are reproduced exactly by linear extrapolation,
         // including corners.
         for p in [1usize, 4] {
-            World::run(p, |comm| {
+            World::builder(p).run(|comm| {
                 let mesh =
                     SurfaceMesh::new(&comm, [8, 8], [false, false], 2, [0.0, 0.0], [1.0, 1.0]);
                 let mut f = mesh.make_field(2);
@@ -231,7 +231,7 @@ mod tests {
 
     #[test]
     fn periodic_value_fields_need_no_correction() {
-        World::run(1, |comm| {
+        World::builder(1).run(|comm| {
             let mesh =
                 SurfaceMesh::new(&comm, [6, 6], [true, true], 2, [0.0, 0.0], [1.0, 1.0]);
             let mut f = mesh.make_field(1);

@@ -161,7 +161,7 @@ mod tests {
     #[test]
     fn migration_conserves_points_and_routes_correctly() {
         for p in [1usize, 2, 4] {
-            World::run(p, move |comm| {
+            World::builder(p).run(move |comm| {
                 let sm = smesh(p);
                 let mine = cloud(comm.rank(), 40);
                 let owned = migrate_to_spatial(&comm, &sm, mine);
@@ -180,7 +180,7 @@ mod tests {
     fn halo_contains_every_foreign_point_within_cutoff() {
         let p = 4;
         let cutoff = 0.8;
-        World::run(p, move |comm| {
+        World::builder(p).run(move |comm| {
             let sm = smesh(p);
             let owned = migrate_to_spatial(&comm, &sm, cloud(comm.rank(), 30));
             let ghosts = halo_exchange_points(&comm, &sm, &owned, cutoff);
@@ -216,7 +216,7 @@ mod tests {
     #[test]
     fn results_return_to_correct_home_slots() {
         let p = 4;
-        World::run(p, move |comm| {
+        World::builder(p).run(move |comm| {
             let sm = smesh(p);
             let n = 25;
             let mine = cloud(comm.rank(), n);
@@ -247,7 +247,7 @@ mod tests {
 
     #[test]
     fn migration_uses_irregular_alltoallv() {
-        let (_, trace) = World::run_traced(4, |comm| {
+        let (_, trace) = World::builder(4).run_traced(|comm| {
             let sm = smesh(4);
             let owned = migrate_to_spatial(&comm, &sm, cloud(comm.rank(), 10));
             let _ = halo_exchange_points(&comm, &sm, &owned, 0.5);
@@ -260,7 +260,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "missing results")]
     fn lost_results_are_detected() {
-        World::run(1, |comm| {
+        World::builder(1).run(|comm| {
             // Claim 3 local points but return results for only 1.
             let results = vec![(
                 0usize,

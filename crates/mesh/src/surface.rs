@@ -311,7 +311,7 @@ mod tests {
     #[test]
     fn periodic_halo_exchange_all_rank_counts() {
         for p in [1usize, 2, 4, 6, 9] {
-            World::run(p, |comm| {
+            World::builder(p).run(|comm| {
                 let mesh = SurfaceMesh::new(
                     &comm,
                     [12, 12],
@@ -330,7 +330,7 @@ mod tests {
 
     #[test]
     fn open_boundaries_leave_edge_halos_untouched() {
-        World::run(4, |comm| {
+        World::builder(4).run(|comm| {
             let mesh =
                 SurfaceMesh::new(&comm, [8, 8], [false, false], 2, [0.0, 0.0], [1.0, 1.0]);
             let mut f = mesh.make_field(1);
@@ -362,7 +362,7 @@ mod tests {
 
     #[test]
     fn mixed_periodicity() {
-        World::run(2, |comm| {
+        World::builder(2).run(|comm| {
             let mesh =
                 SurfaceMesh::new(&comm, [8, 8], [true, false], 2, [0.0, 0.0], [1.0, 1.0]);
             let mut f = mesh.make_field(2);
@@ -384,7 +384,7 @@ mod tests {
 
     #[test]
     fn spacing_and_coords() {
-        World::run(1, |comm| {
+        World::builder(1).run(|comm| {
             let periodic =
                 SurfaceMesh::new(&comm, [8, 16], [true, true], 2, [0.0, -1.0], [2.0, 1.0]);
             let [dy, dx] = periodic.spacing();
@@ -403,7 +403,7 @@ mod tests {
 
     #[test]
     fn owned_indices_cover_partition() {
-        World::run(4, |comm| {
+        World::builder(4).run(|comm| {
             let mesh =
                 SurfaceMesh::new(&comm, [10, 10], [true, true], 2, [0.0, 0.0], [1.0, 1.0]);
             let count = mesh.owned_indices().count();
@@ -416,7 +416,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "halo of at least 1")]
     fn zero_halo_rejected() {
-        World::run(1, |comm| {
+        World::builder(1).run(|comm| {
             let _ = SurfaceMesh::new(&comm, [8, 8], [true, true], 0, [0.0, 0.0], [1.0, 1.0]);
         });
     }

@@ -93,7 +93,7 @@ fn halo_exchange_delivers_wrapped_values() {
     let mut rng = Rng::seed_from_u64(0x3E5_0005);
     for _ in 0..8 {
         let seed = rng.next_u64() % 1000;
-        World::run(4, move |comm| {
+        World::builder(4).run(move |comm| {
             let mesh = SurfaceMesh::new(
                 &comm,
                 [10, 10],

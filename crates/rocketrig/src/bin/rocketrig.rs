@@ -5,7 +5,7 @@
 
 use beatnik_comm::telemetry::DEFAULT_SPAN_CAPACITY;
 use beatnik_comm::World;
-use beatnik_rocketrig::{parse_args, run_rig, run_rig_ft, FT_RECV_TIMEOUT};
+use beatnik_rocketrig::{parse_args, run_rig, run_rig_ft, CliOptions, FT_RECV_TIMEOUT};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -17,7 +17,18 @@ fn main() {
         }
     };
 
+    if opts.print_config {
+        let mut config = beatnik_comm::CommConfig::from_env();
+        config.transport = opts.transport;
+        println!("{config}");
+        return;
+    }
+
     let cfg = opts.config.clone();
+    if opts.procs {
+        run_procs(&opts, &cfg, &args);
+        return;
+    }
     println!(
         "rocketrig: {:?}, {} order, {}x{} mesh, {} steps, {} ranks, {}",
         cfg.deck, cfg.order, cfg.mesh_n, cfg.mesh_n, cfg.steps, opts.ranks, cfg.fft
@@ -33,20 +44,18 @@ fn main() {
         let ckpt = cfg.out_dir.join("checkpoint.json");
         let _ = std::fs::remove_file(&ckpt); // stale state must not leak in
         let every = opts.checkpoint_every;
-        let report = if opts.profiling() {
+        let report = {
             let (cfg2, ckpt2) = (cfg.clone(), ckpt.clone());
-            World::run_ft_profiled(
-                opts.ranks,
-                FT_RECV_TIMEOUT,
-                DEFAULT_SPAN_CAPACITY,
-                plan.as_ref(),
-                move |comm| run_rig_ft(comm, &cfg2, every, &ckpt2),
-            )
-        } else {
-            let (cfg2, ckpt2) = (cfg.clone(), ckpt.clone());
-            World::run_ft(opts.ranks, FT_RECV_TIMEOUT, plan.as_ref(), move |comm| {
-                run_rig_ft(comm, &cfg2, every, &ckpt2)
-            })
+            let mut builder = World::builder(opts.ranks)
+                .transport(opts.transport)
+                .recv_timeout(FT_RECV_TIMEOUT);
+            if opts.profiling() {
+                builder = builder.span_capacity(DEFAULT_SPAN_CAPACITY);
+            }
+            if let Some(p) = plan.as_ref() {
+                builder = builder.fault_plan(p);
+            }
+            builder.run_ft(move |comm| run_rig_ft(comm, &cfg2, every, &ckpt2))
         };
         if !report.killed.is_empty() {
             println!("ranks killed by fault injection: {:?}", report.killed);
@@ -70,12 +79,15 @@ fn main() {
     } else {
         let cfg2 = cfg.clone();
         if opts.profiling() {
-            let (logs, trace, timeline) =
-                World::run_profiled(opts.ranks, move |comm| run_rig(&comm, &cfg2));
+            let (logs, trace, timeline) = World::builder(opts.ranks)
+                .transport(opts.transport)
+                .run_profiled(move |comm| run_rig(&comm, &cfg2));
             let log = logs.into_iter().next().expect("no rank output");
             (log, trace, Some(timeline))
         } else {
-            let (logs, trace) = World::run_traced(opts.ranks, move |comm| run_rig(&comm, &cfg2));
+            let (logs, trace) = World::builder(opts.ranks)
+                .transport(opts.transport)
+                .run_traced(move |comm| run_rig(&comm, &cfg2));
             let log = logs.into_iter().next().expect("no rank output");
             (log, trace, None)
         }
@@ -159,6 +171,48 @@ fn main() {
             let _ = std::fs::create_dir_all(dir);
         }
         log.write_json(&path).expect("failed to write run log");
+        println!("run log written to {}", path.display());
+    }
+}
+
+/// Multi-process launch (`--procs`): one OS process per rank via
+/// [`beatnik_comm::proc::spmd`]. Children re-execute this binary with
+/// the same argv and are routed back here; only the parent (world
+/// rank 0) returns to print the log. The cross-rank trace summary is
+/// unavailable in this mode — each process owns only its own trace.
+fn run_procs(opts: &CliOptions, cfg: &beatnik_rocketrig::RigConfig, args: &[String]) {
+    let parent = beatnik_comm::proc::child_rank().is_none();
+    if parent {
+        println!(
+            "rocketrig: {:?}, {} order, {}x{} mesh, {} steps, {} process-ranks over {}, {}",
+            cfg.deck, cfg.order, cfg.mesh_n, cfg.mesh_n, cfg.steps, opts.ranks, opts.transport,
+            cfg.fft
+        );
+    }
+    let child_args: Vec<&str> = args.iter().map(String::as_str).collect();
+    let start = std::time::Instant::now();
+    let cfg2 = cfg.clone();
+    let (log, _killed) = beatnik_comm::proc::spmd(opts.ranks, opts.transport, &child_args, {
+        move |comm| run_rig(&comm, &cfg2)
+    });
+    let elapsed = start.elapsed();
+    for rec in &log.steps {
+        println!(
+            "step {:5}  t={:.5}  amplitude={:.6e}  z=[{:+.4e}, {:+.4e}]  enstrophy={:.4e}",
+            rec.step,
+            rec.time,
+            rec.diagnostics.amplitude,
+            rec.diagnostics.z_min,
+            rec.diagnostics.z_max,
+            rec.diagnostics.enstrophy
+        );
+    }
+    println!("wall time: {:.3} s", elapsed.as_secs_f64());
+    if let Some(path) = &opts.log_path {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        log.write_json(path).expect("failed to write run log");
         println!("run log written to {}", path.display());
     }
 }

@@ -2,6 +2,7 @@
 //! dependency-free; the option names mirror the paper's driver flags).
 
 use crate::{Deck, RigConfig};
+use beatnik_comm::TransportKind;
 use beatnik_core::Order;
 use beatnik_dfft::FftConfig;
 use std::path::PathBuf;
@@ -31,6 +32,15 @@ pub struct CliOptions {
     /// Checkpoint cadence in steps (`--checkpoint-every`, 0 = off). The
     /// checkpoint file is `<out>/checkpoint.json`.
     pub checkpoint_every: usize,
+    /// Communication backend (`--transport`); defaults to
+    /// `BEATNIK_TRANSPORT` (or the thread backend).
+    pub transport: TransportKind,
+    /// Launch one OS process per rank instead of one thread per rank
+    /// (`--procs`); requires `--transport shmem` or `--transport tcp`.
+    pub procs: bool,
+    /// Print the resolved communication config and exit
+    /// (`--print-config`).
+    pub print_config: bool,
 }
 
 impl CliOptions {
@@ -62,6 +72,12 @@ OPTIONS:
     --n <N>                         mesh nodes per axis   [64]
     --steps <N>                     timesteps             [20]
     --ranks <N>                     thread-ranks          [4]
+    --transport <thread|shmem|tcp>  communication backend
+                                    [BEATNIK_TRANSPORT or thread]
+    --procs                         one OS process per rank (requires
+                                    --transport shmem or tcp)
+    --print-config                  print the resolved BEATNIK_* comm
+                                    config and exit
     --atwood <F>                    Atwood number         [0.5]
     --gravity <F>                   gravity               [9.8]
     --mu <F>                        artificial viscosity  [1.0]
@@ -110,6 +126,9 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         profile_summary: false,
         fault_spec: None,
         checkpoint_every: 0,
+        transport: beatnik_comm::CommConfig::from_env().transport,
+        procs: false,
+        print_config: false,
     };
     let mut i = 0;
     let take = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
@@ -159,6 +178,13 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             "--n" => opts.config.mesh_n = parse_num(&take(args, &mut i, flag)?, flag)?,
             "--steps" => opts.config.steps = parse_num(&take(args, &mut i, flag)?, flag)?,
             "--ranks" => opts.ranks = parse_num(&take(args, &mut i, flag)?, flag)?,
+            "--transport" => {
+                opts.transport = take(args, &mut i, flag)?
+                    .parse::<TransportKind>()
+                    .map_err(|e| format!("{flag}: {e}"))?
+            }
+            "--procs" => opts.procs = true,
+            "--print-config" => opts.print_config = true,
             "--atwood" => opts.config.params.atwood = parse_f(&take(args, &mut i, flag)?, flag)?,
             "--gravity" => opts.config.params.gravity = parse_f(&take(args, &mut i, flag)?, flag)?,
             "--mu" => opts.config.params.mu = parse_f(&take(args, &mut i, flag)?, flag)?,
@@ -211,6 +237,15 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     }
     if opts.ranks == 0 {
         return Err("--ranks must be at least 1".into());
+    }
+    if opts.procs && opts.transport == TransportKind::Thread {
+        return Err("--procs needs a cross-process backend: --transport shmem or tcp".into());
+    }
+    if opts.procs && (opts.fault_tolerant() || opts.profiling()) {
+        return Err(
+            "--procs runs the plain driver loop; drop --faults/--checkpoint-every/--profile/--metrics"
+                .into(),
+        );
     }
     opts.config.params.validate()?;
     Ok(opts)
@@ -343,6 +378,24 @@ mod tests {
         assert!(parse_args(&sv(&["--faults", "explode:r2@step5"])).is_err());
         assert!(parse_args(&sv(&["--faults", "drop:r0@step3"])).is_err());
         assert!(parse_args(&sv(&["--faults"])).is_err());
+    }
+
+    #[test]
+    fn transport_options() {
+        let o = parse_args(&[]).unwrap();
+        assert!(!o.procs && !o.print_config);
+        let o = parse_args(&sv(&["--transport", "shmem", "--procs"])).unwrap();
+        assert_eq!(o.transport, TransportKind::Shmem);
+        assert!(o.procs);
+        let o = parse_args(&sv(&["--transport", "tcp", "--print-config"])).unwrap();
+        assert_eq!(o.transport, TransportKind::Tcp);
+        assert!(o.print_config);
+        // --procs needs a cross-process backend and the plain loop.
+        assert!(parse_args(&sv(&["--procs"])).is_err());
+        assert!(parse_args(&sv(&["--transport", "carrier-pigeon"])).is_err());
+        assert!(
+            parse_args(&sv(&["--transport", "shmem", "--procs", "--profile-summary"])).is_err()
+        );
     }
 
     #[test]

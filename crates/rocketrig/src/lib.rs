@@ -28,7 +28,7 @@ use std::path::PathBuf;
 
 pub mod cli;
 
-pub use cli::parse_args;
+pub use cli::{parse_args, CliOptions};
 
 /// The two paper input decks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -313,7 +313,7 @@ const MAX_FT_ATTEMPTS: usize = 8;
 ///
 /// Survivors return the run log for the completed simulation; a rank
 /// killed by fault injection never returns (its `RankKilled` panic
-/// propagates to [`beatnik_comm::World::run_ft`], which records it).
+/// propagates to [`beatnik_comm::WorldBuilder::run_ft`], which records it).
 /// Each recovery epoch is stamped as a `recovery` telemetry phase span.
 ///
 /// # Panics
@@ -505,7 +505,7 @@ mod tests {
 
     #[test]
     fn multimode_low_order_runs_end_to_end() {
-        World::run(4, |comm| {
+        World::builder(4).run(|comm| {
             let mut cfg = BenchCase::LowOrderWeak.config(16, 3);
             cfg.params.dt = 1e-3;
             let log = run_rig(&comm, &cfg);
@@ -517,7 +517,7 @@ mod tests {
 
     #[test]
     fn singlemode_cutoff_runs_end_to_end_with_ownership() {
-        World::run(2, |comm| {
+        World::builder(2).run(|comm| {
             let mut cfg = BenchCase::CutoffStrong.config(12, 2);
             cfg.params.dt = 1e-3;
             cfg.record_ownership = true;
@@ -545,7 +545,7 @@ mod tests {
 
     #[test]
     fn vtk_output_is_written_when_requested() {
-        World::run(1, |comm| {
+        World::builder(1).run(|comm| {
             let dir = std::env::temp_dir().join("beatnik_rig_vtk");
             let _ = std::fs::remove_dir_all(&dir);
             let mut cfg = BenchCase::LowOrderWeak.config(12, 2);

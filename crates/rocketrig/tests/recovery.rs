@@ -30,7 +30,7 @@ fn killed_run_recovers_from_checkpoint_and_matches_clean_run() {
 
     // Fault-free reference on the full world.
     let cfg = config(&dir);
-    let clean = World::run(4, move |comm| run_rig(&comm, &cfg))
+    let clean = World::builder(4).run(move |comm| run_rig(&comm, &cfg))
         .into_iter()
         .next()
         .expect("reference log");
@@ -42,7 +42,7 @@ fn killed_run_recovers_from_checkpoint_and_matches_clean_run() {
     let ckpt = dir.join("checkpoint.json");
     let _ = std::fs::remove_file(&ckpt);
     let plan = FaultPlan::parse("kill:r2@step5", 0).expect("static plan");
-    let report = World::run_ft(4, FT_RECV_TIMEOUT, Some(&plan), move |comm| {
+    let report = World::builder(4).recv_timeout(FT_RECV_TIMEOUT).fault_plan(&plan).run_ft(move |comm| {
         run_rig_ft(comm, &cfg, 2, &ckpt)
     });
     assert_eq!(report.killed, [2], "the kill must land");

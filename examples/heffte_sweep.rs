@@ -27,7 +27,7 @@ fn main() {
 
     let mut results = Vec::new();
     for config in FftConfig::table1() {
-        let (out, trace) = World::run_traced(ranks, move |comm| {
+        let (out, trace) = World::builder(ranks).run_traced(move |comm| {
             let dims = dims_create(comm.size());
             let plan = DistributedFft2d::new(&comm, dims, n, n, config);
             let rect = plan.local_rect();

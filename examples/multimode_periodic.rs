@@ -27,7 +27,7 @@ fn main() {
     );
 
     let cfg2 = cfg.clone();
-    let (logs, trace) = World::run_traced(ranks, move |comm| run_rig(&comm, &cfg2));
+    let (logs, trace) = World::builder(ranks).run_traced(move |comm| run_rig(&comm, &cfg2));
     let log: RunLog = logs.into_iter().next().unwrap();
 
     println!("\n{:>6} {:>10} {:>14} {:>14}", "step", "time", "amplitude", "enstrophy");

@@ -29,7 +29,7 @@ fn main() {
 
     println!("Beatnik-RS quickstart: {n}x{n} interface, {ranks} ranks, low-order solver");
 
-    let amplitudes = World::run(ranks, |comm| {
+    let amplitudes = World::builder(ranks).run(|comm| {
         // A [0, 2pi)^2 periodic reference domain.
         let l = 2.0 * PI;
         let mesh = SurfaceMesh::new(&comm, [n, n], [true, true], 2, [0.0, 0.0], [l, l]);

@@ -37,7 +37,7 @@ fn main() {
     );
 
     let cfg2 = cfg.clone();
-    let (logs, trace) = World::run_traced(ranks, move |comm| run_rig(&comm, &cfg2));
+    let (logs, trace) = World::builder(ranks).run_traced(move |comm| run_rig(&comm, &cfg2));
     let log = logs.into_iter().next().unwrap();
 
     println!(

@@ -81,10 +81,33 @@ grep -q '"recovery"' "$PROF_DIR/ftout/trace.json"
 grep -q '"shrink"' "$PROF_DIR/ftout/trace.json"
 test -s "$PROF_DIR/ftout/fault-events.json"
 
+echo "== transport backend matrix: thread / shmem / tcp loopback =="
+# The same small run must complete on every backend, both via the CLI
+# flag and via BEATNIK_TRANSPORT; --procs gives each rank its own OS
+# process over the wire backends.
+"$RIG" --print-config > "$PROF_DIR/config.txt"
+grep -Eq 'transport += thread \(BEATNIK_TRANSPORT\)' "$PROF_DIR/config.txt"
+BEATNIK_TRANSPORT=tcp "$RIG" --print-config > "$PROF_DIR/config-tcp.txt"
+grep -Eq 'transport += tcp' "$PROF_DIR/config-tcp.txt"
+for backend in thread shmem tcp; do
+    "$RIG" --transport "$backend" --n 16 --steps 2 --ranks 4 \
+        --log "$PROF_DIR/$backend.json" >/dev/null
+    test -s "$PROF_DIR/$backend.json"
+done
+BEATNIK_TRANSPORT=shmem "$RIG" --n 16 --steps 2 --ranks 4 >/dev/null
+"$RIG" --transport shmem --procs --n 16 --steps 2 --ranks 2 \
+    > "$PROF_DIR/procs-shmem.log"
+grep -q 'process-ranks over shmem' "$PROF_DIR/procs-shmem.log"
+"$RIG" --transport tcp --procs --n 16 --steps 2 --ranks 2 \
+    > "$PROF_DIR/procs-tcp.log"
+grep -q 'process-ranks over tcp' "$PROF_DIR/procs-tcp.log"
+
 echo "== transport microbench -> BENCH_comm.json =="
 target/release/bench_comm BENCH_comm.json
 test -s BENCH_comm.json
 grep -q '"algo": "bruck"' BENCH_comm.json
+grep -q '"transport": "shmem"' BENCH_comm.json
+grep -q '"transport": "tcp"' BENCH_comm.json
 
 echo "== fault-tolerance bench -> BENCH_fault.json =="
 target/release/bench_fault BENCH_fault.json
