@@ -1,31 +1,35 @@
 //! CI regression gate over the committed bench baselines.
 //!
 //! ```text
-//! bench_gate [--comm FRESH] [--fault FRESH] [--baseline-dir DIR]
-//!            [--time-ratio R] [--time-floor-ns NS]
+//! bench_gate [--comm FRESH] [--fault FRESH] [--serve FRESH]
+//!            [--baseline-dir DIR] [--time-ratio R] [--time-floor-ns NS]
 //! ```
 //!
-//! Compares freshly generated `BENCH_comm.json` / `BENCH_fault.json`
+//! Compares freshly generated `BENCH_comm.json` / `BENCH_fault.json` /
+//! `BENCH_serve.json`
 //! against the copies in `crates/bench/baselines/`, prints a verdict
 //! table, and exits non-zero when any metric regressed past its
 //! ceiling (see `beatnik_bench::gate` for the threshold policy).
 
-use beatnik_bench::{gate_comm, gate_fault, GatePolicy, GateReport};
+use beatnik_bench::{gate_comm, gate_fault, gate_serve, GatePolicy, GateReport};
 use beatnik_json::Value;
 use std::path::{Path, PathBuf};
 
 const USAGE: &str = "USAGE: bench_gate [OPTIONS]
   --comm <FILE>           fresh comm bench results [BENCH_comm.json]
   --fault <FILE>          fresh fault bench results [BENCH_fault.json]
+  --serve <FILE>          fresh serve bench results [BENCH_serve.json]
   --baseline-dir <DIR>    committed baselines [crates/bench/baselines]
   --time-ratio <R>        ceiling multiplier for time metrics [2.0]
   --time-floor-ns <NS>    additive jitter floor for comm time metrics [1e7]
   --fault-floor-ns <NS>   additive jitter floor for fault metrics [1.5e8]
+  --serve-floor-ns <NS>   additive jitter floor for serve metrics [2e9]
   --help                  print this message";
 
 struct Options {
     comm: PathBuf,
     fault: PathBuf,
+    serve: PathBuf,
     baseline_dir: PathBuf,
     policy: GatePolicy,
 }
@@ -34,6 +38,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         comm: PathBuf::from("BENCH_comm.json"),
         fault: PathBuf::from("BENCH_fault.json"),
+        serve: PathBuf::from("BENCH_serve.json"),
         baseline_dir: PathBuf::from("crates/bench/baselines"),
         policy: GatePolicy::default(),
     };
@@ -47,6 +52,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         match arg.as_str() {
             "--comm" => opts.comm = PathBuf::from(value("--comm")?),
             "--fault" => opts.fault = PathBuf::from(value("--fault")?),
+            "--serve" => opts.serve = PathBuf::from(value("--serve")?),
             "--baseline-dir" => opts.baseline_dir = PathBuf::from(value("--baseline-dir")?),
             "--time-ratio" => {
                 opts.policy.time_ratio = value("--time-ratio")?
@@ -62,6 +68,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.policy.fault_floor_ns = value("--fault-floor-ns")?
                     .parse()
                     .map_err(|e| format!("--fault-floor-ns: {e}"))?;
+            }
+            "--serve-floor-ns" => {
+                opts.policy.serve_floor_ns = value("--serve-floor-ns")?
+                    .parse()
+                    .map_err(|e| format!("--serve-floor-ns: {e}"))?;
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown option {other:?}\n{USAGE}")),
@@ -126,6 +137,15 @@ fn main() {
                 &opts.baseline_dir.join("BENCH_fault.json"),
                 &opts.fault,
                 |b, f| gate_fault(b, f, &policy),
+            )?)
+    })
+    .and_then(|bad| {
+        Ok(bad
+            + run_gate(
+                "serve",
+                &opts.baseline_dir.join("BENCH_serve.json"),
+                &opts.serve,
+                |b, f| gate_serve(b, f, &policy),
             )?)
     });
     match result {

@@ -34,6 +34,11 @@ pub struct GatePolicy {
     /// (sub-ms to ~100 ms) and recovery time swings with where the kill
     /// falls relative to a checkpoint boundary.
     pub fault_floor_ns: f64,
+    /// Additive floor (ns) for the serve-bench metrics. These are
+    /// whole-service latencies (queue wait, p99 job latency) over a
+    /// few hundred jobs on a shared pool — one slow scheduling round
+    /// on an oversubscribed CI host moves the tail by whole seconds.
+    pub serve_floor_ns: f64,
     /// Multiplicative ceiling for deterministic byte counts.
     pub bytes_ratio: f64,
     /// Additive floor (bytes) for deterministic byte counts; absorbs
@@ -47,6 +52,7 @@ impl Default for GatePolicy {
             time_ratio: 2.0,
             time_floor_ns: 1.0e7,
             fault_floor_ns: 1.5e8,
+            serve_floor_ns: 2.0e9,
             bytes_ratio: 1.10,
             bytes_floor: 64.0,
         }
@@ -261,6 +267,46 @@ pub fn gate_fault(
     Ok(report)
 }
 
+/// Gate a fresh `BENCH_serve.json` against its baseline. Rows join on
+/// `(metric, jobs, pool_ranks)`; every `ns` value is time-like and
+/// single-shot, so the wide serve floor applies.
+pub fn gate_serve(
+    baseline: &Value,
+    fresh: &Value,
+    policy: &GatePolicy,
+) -> Result<GateReport, String> {
+    let mut fresh_by_key = BTreeMap::new();
+    for row in bench_rows(fresh)? {
+        let key = (
+            field_str(row, "metric")?.to_string(),
+            field_f64(row, "jobs")? as u64,
+            field_f64(row, "pool_ranks")? as u64,
+        );
+        fresh_by_key.insert(key, row);
+    }
+    let mut report = GateReport::default();
+    for row in bench_rows(baseline)? {
+        let metric = field_str(row, "metric")?;
+        let jobs = field_f64(row, "jobs")? as u64;
+        let pool = field_f64(row, "pool_ranks")? as u64;
+        let key = format!("{metric} jobs={jobs} pool={pool}");
+        let fresh_ns = fresh_by_key
+            .get(&(metric.to_string(), jobs, pool))
+            .map(|r| field_f64(r, "ns"))
+            .transpose()?;
+        check(
+            &mut report,
+            &key,
+            "ns",
+            field_f64(row, "ns")?,
+            fresh_ns,
+            policy.time_ratio,
+            policy.serve_floor_ns,
+        );
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -375,6 +421,27 @@ mod tests {
         let report = gate_comm(&baseline, &fresh_tcp_only, &GatePolicy::default()).unwrap();
         assert_eq!(report.regressions(), 2);
         assert!(report.text().contains("@thread"));
+    }
+
+    #[test]
+    fn serve_gate_joins_on_metric_jobs_pool() {
+        let doc = |ns: f64| {
+            beatnik_json::parse(&format!(
+                r#"{{"benches": [{{"metric": "p99_latency", "jobs": 200,
+                     "pool_ranks": 8, "ns": {ns}}}]}}"#
+            ))
+            .unwrap()
+        };
+        // The wide serve floor absorbs single-shot tail jitter...
+        let report = gate_serve(&doc(1.0e9), &doc(2.5e9), &GatePolicy::default()).unwrap();
+        assert_eq!(report.regressions(), 0, "{}", report.text());
+        // ...but a service that got an order of magnitude slower fails.
+        let report = gate_serve(&doc(1.0e9), &doc(1.2e10), &GatePolicy::default()).unwrap();
+        assert_eq!(report.regressions(), 1);
+        // A vanished bench case is a regression.
+        let empty = beatnik_json::parse(r#"{"benches": []}"#).unwrap();
+        let report = gate_serve(&doc(1.0e9), &empty, &GatePolicy::default()).unwrap();
+        assert_eq!(report.regressions(), 1);
     }
 
     #[test]

@@ -81,7 +81,8 @@ pub struct Communicator {
 
 impl Communicator {
     /// Construct a communicator handle. Crate-internal: users obtain
-    /// communicators from [`crate::World::run`] or [`Communicator::split`].
+    /// communicators from [`crate::WorldBuilder::run`] or
+    /// [`Communicator::split`].
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         registry: Arc<Registry>,

@@ -61,6 +61,7 @@ pub mod message;
 pub mod metrics;
 pub mod pool;
 pub mod proc;
+pub mod rankpool;
 pub mod reduce_op;
 pub mod registry;
 pub mod request;
@@ -79,6 +80,7 @@ pub use fault::{
 };
 pub use metrics::MetricsPlane;
 pub use pool::{BufferPool, PoolStats};
+pub use rankpool::{RankLease, RankPool};
 pub use reduce_op::{MaxOp, MinOp, ProdOp, ReduceOp, SumOp};
 pub use request::{try_wait_all, wait_all, RecvRequest, SendRequest};
 pub use trace::{

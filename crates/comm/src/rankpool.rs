@@ -1,0 +1,204 @@
+//! Shared rank-slot pool: the comm-layer hook multi-world schedulers
+//! (the `beatnik-serve` gang scheduler) use to share a fixed budget of
+//! thread-ranks between concurrent [`crate::World`] launches.
+//!
+//! A [`RankPool`] is a counting semaphore over *rank slots*, acquired
+//! all-or-nothing: a job that needs `n` ranks either gets all `n` (a
+//! [`RankLease`]) or none — the gang-scheduling invariant that keeps a
+//! half-granted world from deadlocking against another half-granted
+//! world. Leases release their slots on drop, so a panicking world can
+//! never leak pool capacity.
+
+use crate::sync::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct PoolInner {
+    capacity: usize,
+    free: Mutex<usize>,
+    freed: Condvar,
+}
+
+/// A fixed budget of rank slots shared between worlds. Cloning shares
+/// the pool.
+#[derive(Clone)]
+pub struct RankPool {
+    inner: Arc<PoolInner>,
+}
+
+impl RankPool {
+    /// A pool of `capacity` rank slots.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero — a pool no world can ever run on.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "rank pool needs at least one slot");
+        RankPool {
+            inner: Arc::new(PoolInner {
+                capacity,
+                free: Mutex::new(capacity),
+                freed: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Total slots in the pool.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Slots currently unleased. Advisory: another thread may acquire
+    /// between this read and a follow-up [`RankPool::try_acquire`].
+    pub fn available(&self) -> usize {
+        *self.inner.free.lock()
+    }
+
+    /// Acquire `n` slots if all are free right now; `None` otherwise.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or exceeds the pool capacity (such a gang
+    /// could never be granted — waiting on it would hang forever).
+    pub fn try_acquire(&self, n: usize) -> Option<RankLease> {
+        self.check_demand(n);
+        let mut free = self.inner.free.lock();
+        if *free >= n {
+            *free -= n;
+            Some(self.lease(n))
+        } else {
+            None
+        }
+    }
+
+    /// Acquire `n` slots, waiting up to `timeout` for enough releases;
+    /// `None` on timeout.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or exceeds the pool capacity.
+    pub fn acquire_timeout(&self, n: usize, timeout: Duration) -> Option<RankLease> {
+        self.check_demand(n);
+        let deadline = Instant::now() + timeout;
+        let mut free = self.inner.free.lock();
+        loop {
+            if *free >= n {
+                *free -= n;
+                return Some(self.lease(n));
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            self.inner.freed.wait_until(&mut free, deadline);
+        }
+    }
+
+    fn check_demand(&self, n: usize) {
+        assert!(n > 0, "cannot lease zero ranks");
+        assert!(
+            n <= self.inner.capacity,
+            "gang of {n} ranks can never fit a {}-slot pool",
+            self.inner.capacity
+        );
+    }
+
+    fn lease(&self, n: usize) -> RankLease {
+        RankLease {
+            pool: Arc::clone(&self.inner),
+            n,
+        }
+    }
+}
+
+impl std::fmt::Debug for RankPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RankPool")
+            .field("capacity", &self.capacity())
+            .field("available", &self.available())
+            .finish()
+    }
+}
+
+/// An exclusive grant of `n` rank slots; slots return to the pool on
+/// drop (including via panic unwind).
+pub struct RankLease {
+    pool: Arc<PoolInner>,
+    n: usize,
+}
+
+impl RankLease {
+    /// Number of slots this lease holds.
+    pub fn ranks(&self) -> usize {
+        self.n
+    }
+}
+
+impl Drop for RankLease {
+    fn drop(&mut self) {
+        let mut free = self.pool.free.lock();
+        *free += self.n;
+        self.pool.freed.notify_all();
+    }
+}
+
+impl std::fmt::Debug for RankLease {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RankLease").field("ranks", &self.n).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gang_acquire_is_all_or_nothing() {
+        let pool = RankPool::new(8);
+        let a = pool.try_acquire(5).expect("5 of 8 fits");
+        assert_eq!(pool.available(), 3);
+        assert!(pool.try_acquire(4).is_none(), "4 > 3 free: no partial grant");
+        assert_eq!(pool.available(), 3, "failed acquire must not consume slots");
+        let b = pool.try_acquire(3).expect("exactly the remainder fits");
+        assert_eq!(pool.available(), 0);
+        drop(a);
+        assert_eq!(pool.available(), 5);
+        drop(b);
+        assert_eq!(pool.available(), 8);
+    }
+
+    #[test]
+    fn release_wakes_a_waiter() {
+        let pool = RankPool::new(4);
+        let lease = pool.try_acquire(4).unwrap();
+        let p2 = pool.clone();
+        let waiter = std::thread::spawn(move || {
+            p2.acquire_timeout(2, Duration::from_secs(30)).is_some()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        drop(lease);
+        assert!(waiter.join().unwrap(), "waiter must be granted after release");
+    }
+
+    #[test]
+    fn acquire_timeout_expires() {
+        let pool = RankPool::new(2);
+        let _held = pool.try_acquire(2).unwrap();
+        let start = Instant::now();
+        assert!(pool.acquire_timeout(1, Duration::from_millis(30)).is_none());
+        assert!(start.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn lease_released_on_panic_unwind() {
+        let pool = RankPool::new(2);
+        let p2 = pool.clone();
+        let _ = std::panic::catch_unwind(move || {
+            let _lease = p2.try_acquire(2).unwrap();
+            panic!("world exploded");
+        });
+        assert_eq!(pool.available(), 2, "unwind must return the slots");
+    }
+
+    #[test]
+    #[should_panic(expected = "can never fit")]
+    fn oversized_gang_is_rejected() {
+        let _ = RankPool::new(4).try_acquire(5);
+    }
+}

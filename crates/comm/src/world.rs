@@ -79,28 +79,6 @@ impl World {
             fault_plan: None,
         }
     }
-
-    /// Run `f` on `num_ranks` ranks; returns each rank's result, indexed
-    /// by rank.
-    #[deprecated(note = "use World::builder(n).run(f)")]
-    pub fn run<R, F>(num_ranks: usize, f: F) -> Vec<R>
-    where
-        R: Send,
-        F: Fn(Communicator) -> R + Send + Sync,
-    {
-        Self::builder(num_ranks).run(f)
-    }
-
-    /// Like [`World::run`], additionally returning the aggregated
-    /// communication trace for the whole run.
-    #[deprecated(note = "use World::builder(n).run_traced(f)")]
-    pub fn run_traced<R, F>(num_ranks: usize, f: F) -> (Vec<R>, WorldTrace)
-    where
-        R: Send,
-        F: Fn(Communicator) -> R + Send + Sync,
-    {
-        Self::builder(num_ranks).run_traced(f)
-    }
 }
 
 impl WorldBuilder {
@@ -493,11 +471,10 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_entry_points_still_work() {
-        let out = World::run(2, |c| c.rank());
+    fn builder_covers_the_old_entry_points() {
+        let out = World::builder(2).run(|c| c.rank());
         assert_eq!(out, vec![0, 1]);
-        let (_, t) = World::run_traced(2, |c| c.barrier());
+        let (_, t) = World::builder(2).run_traced(|c| c.barrier());
         assert!(t.total(crate::trace::OpKind::Barrier).messages > 0);
     }
 

@@ -9,6 +9,10 @@ use beatnik_rocketrig::{parse_args, run_rig, run_rig_ft, CliOptions, FT_RECV_TIM
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        run_serve(&args[1..]);
+        return;
+    }
     let opts = match parse_args(&args) {
         Ok(o) => o,
         Err(msg) => {
@@ -240,4 +244,89 @@ fn write_fault_events(
         writeln!(f, "{}", if i + 1 < events.len() { "," } else { "" })?;
     }
     writeln!(f, "]")
+}
+
+/// The `rocketrig serve` subcommand: a long-running multi-tenant
+/// simulation service. Blocks until SIGTERM/SIGINT, then drains the
+/// scheduler (queued jobs cancel, running jobs checkpoint and stop)
+/// before exiting 0.
+fn run_serve(args: &[String]) {
+    use beatnik_comm::telemetry::metrics::MetricsRegistry;
+    use beatnik_rocketrig::{parse_serve_args, RigRunner};
+    use beatnik_serve::{serve, JobLimits, Scheduler, SchedulerConfig};
+    use std::sync::Arc;
+
+    let opts = match parse_serve_args(args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(if msg.starts_with("rocketrig serve") { 0 } else { 2 });
+        }
+    };
+
+    let cfg = SchedulerConfig {
+        pool_ranks: opts.pool_ranks,
+        max_queue: opts.max_queue,
+        limits: JobLimits {
+            max_mesh_n: opts.max_mesh_n,
+            max_steps: opts.max_steps,
+            pool_ranks: opts.pool_ranks,
+        },
+        ckpt_dir: opts.ckpt_dir.clone(),
+    };
+    let registry = Arc::new(MetricsRegistry::new());
+    let scheduler = Arc::new(Scheduler::new(cfg, registry, Arc::new(RigRunner::new())));
+    let handle = match serve(opts.addr.as_str(), scheduler) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("rocketrig serve: cannot listen on {}: {e}", opts.addr);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "rocketrig serve: listening on http://{} ({} rank pool, queue {}, checkpoints in {})",
+        handle.addr(),
+        opts.pool_ranks,
+        opts.max_queue,
+        opts.ckpt_dir.display(),
+    );
+
+    sig::install();
+    while !sig::requested() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    println!("rocketrig serve: signal received, draining");
+    handle.shutdown();
+    println!("rocketrig serve: bye");
+}
+
+/// Minimal libc-free SIGTERM/SIGINT hookup (same `extern "C"` approach
+/// as the shmem transport's mmap bindings). The handler only flips an
+/// atomic — all real work happens on the main thread.
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+
+    pub fn requested() -> bool {
+        SHUTDOWN.load(Ordering::SeqCst)
+    }
 }

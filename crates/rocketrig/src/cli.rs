@@ -251,6 +251,85 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     Ok(opts)
 }
 
+/// Options for the `rocketrig serve` subcommand.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Listen address (`--addr`).
+    pub addr: String,
+    /// Rank slots in the shared pool (`--pool`).
+    pub pool_ranks: usize,
+    /// Queue depth before 429s (`--max-queue`).
+    pub max_queue: usize,
+    /// Checkpoint directory (`--ckpt-dir`).
+    pub ckpt_dir: PathBuf,
+    /// Largest accepted mesh edge (`--max-mesh-n`).
+    pub max_mesh_n: usize,
+    /// Largest accepted step count (`--max-steps`).
+    pub max_steps: usize,
+}
+
+/// Usage text for `rocketrig serve`.
+pub const SERVE_USAGE: &str = "rocketrig serve - run a multi-tenant simulation service
+
+USAGE:
+    rocketrig serve [OPTIONS]
+
+OPTIONS:
+    --addr <HOST:PORT>     listen address            [127.0.0.1:7747]
+    --pool <N>             rank slots in the pool    [8]
+    --max-queue <N>        queued jobs before 429    [256]
+    --ckpt-dir <DIR>       checkpoint directory      [<tmp>/beatnik-serve]
+    --max-mesh-n <N>       largest accepted mesh     [256]
+    --max-steps <N>        largest accepted steps    [100000]
+    --help                 print this text
+
+The server exposes GET /healthz, GET /metrics (OpenMetrics), GET /jobs,
+POST /jobs, GET /jobs/{id}, DELETE /jobs/{id}. SIGTERM (or SIGINT)
+drains gracefully: queued jobs are canceled, running jobs checkpoint
+and stop.
+";
+
+/// Parse `rocketrig serve` arguments (not including argv[0] or the
+/// literal `serve`).
+pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
+    let mut opts = ServeOptions {
+        addr: "127.0.0.1:7747".to_string(),
+        pool_ranks: 8,
+        max_queue: 256,
+        ckpt_dir: std::env::temp_dir().join("beatnik-serve"),
+        max_mesh_n: 256,
+        max_steps: 100_000,
+    };
+    let mut i = 0;
+    let take = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value for {flag}"))
+    };
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--help" | "-h" => return Err(SERVE_USAGE.to_string()),
+            "--addr" => opts.addr = take(args, &mut i, flag)?,
+            "--pool" => opts.pool_ranks = parse_num(&take(args, &mut i, flag)?, flag)?,
+            "--max-queue" => opts.max_queue = parse_num(&take(args, &mut i, flag)?, flag)?,
+            "--ckpt-dir" => opts.ckpt_dir = PathBuf::from(take(args, &mut i, flag)?),
+            "--max-mesh-n" => opts.max_mesh_n = parse_num(&take(args, &mut i, flag)?, flag)?,
+            "--max-steps" => opts.max_steps = parse_num(&take(args, &mut i, flag)?, flag)?,
+            other => return Err(format!("unknown option '{other}'\n\n{SERVE_USAGE}")),
+        }
+        i += 1;
+    }
+    if opts.pool_ranks == 0 {
+        return Err("--pool must be at least 1".into());
+    }
+    if opts.max_queue == 0 {
+        return Err("--max-queue must be at least 1".into());
+    }
+    Ok(opts)
+}
+
 fn parse_num(s: &str, flag: &str) -> Result<usize, String> {
     s.parse().map_err(|_| format!("bad integer for {flag}: '{s}'"))
 }
@@ -402,5 +481,50 @@ mod tests {
     fn help_returns_usage() {
         let err = parse_args(&sv(&["--help"])).unwrap_err();
         assert!(err.contains("USAGE"));
+    }
+
+    #[test]
+    fn serve_defaults() {
+        let o = parse_serve_args(&[]).unwrap();
+        assert_eq!(o.addr, "127.0.0.1:7747");
+        assert_eq!(o.pool_ranks, 8);
+        assert_eq!(o.max_queue, 256);
+        assert_eq!(o.max_mesh_n, 256);
+        assert_eq!(o.max_steps, 100_000);
+    }
+
+    #[test]
+    fn serve_options_parse() {
+        let o = parse_serve_args(&sv(&[
+            "--addr",
+            "0.0.0.0:9000",
+            "--pool",
+            "4",
+            "--max-queue",
+            "16",
+            "--ckpt-dir",
+            "/tmp/ck",
+            "--max-mesh-n",
+            "64",
+            "--max-steps",
+            "500",
+        ]))
+        .unwrap();
+        assert_eq!(o.addr, "0.0.0.0:9000");
+        assert_eq!(o.pool_ranks, 4);
+        assert_eq!(o.max_queue, 16);
+        assert_eq!(o.ckpt_dir, PathBuf::from("/tmp/ck"));
+        assert_eq!(o.max_mesh_n, 64);
+        assert_eq!(o.max_steps, 500);
+    }
+
+    #[test]
+    fn serve_rejects_bad_input() {
+        assert!(parse_serve_args(&sv(&["--pool", "0"])).is_err());
+        assert!(parse_serve_args(&sv(&["--max-queue", "0"])).is_err());
+        assert!(parse_serve_args(&sv(&["--addr"])).is_err());
+        assert!(parse_serve_args(&sv(&["--bogus"])).is_err());
+        let err = parse_serve_args(&sv(&["--help"])).unwrap_err();
+        assert!(err.contains("rocketrig serve"));
     }
 }

@@ -27,8 +27,10 @@ use beatnik_mesh::{BoundaryCondition, SpatialMesh, SurfaceMesh};
 use std::path::PathBuf;
 
 pub mod cli;
+pub mod serve_driver;
 
-pub use cli::{parse_args, CliOptions};
+pub use cli::{parse_args, parse_serve_args, CliOptions, ServeOptions, SERVE_USAGE};
+pub use serve_driver::RigRunner;
 
 /// The two paper input decks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,351 @@
+//! The `beatnik-serve` job runner: executes one dispatch epoch of a
+//! submitted job as a real rocket-rig simulation on a
+//! [`World`]-constructed gang of ranks.
+//!
+//! ## Control agreement
+//!
+//! Preempt/cancel flags are plain atomics set by scheduler threads, so
+//! different ranks could observe a flip at different steps and diverge
+//! (some checkpointing, others stepping on — a deadlock in the next
+//! collective). To keep the gang in lockstep, rank 0 alone reads the
+//! flags at each step boundary and **broadcasts a one-byte verdict**
+//! (`GO`/`YIELD`/`STOP`); every rank acts on the broadcast value, never
+//! on the atomics directly. The broadcast rides the job's own world,
+//! so it is counted in the job's communication totals like any other
+//! collective.
+//!
+//! ## Preemption and elastic resume
+//!
+//! On `YIELD` the gang writes a collective checkpoint
+//! ([`beatnik_io::checkpoint::save`] — rank 0 gathers and atomically
+//! writes the full surface) and returns. The checkpoint records the
+//! global surface, not a per-rank decomposition, so the next epoch can
+//! rebuild the solver at **any** gang size — this is what lets the
+//! scheduler resume a preempted 8-rank job on the 2 slots that happen
+//! to be free.
+//!
+//! Jobs with a fault plan run [`run_rig_ft`] instead: their recovery
+//! protocol owns the communicator mid-step (revoke/shrink/restart), so
+//! they ignore preemption and only honor cancel between dispatches.
+
+use crate::{run_rig_ft, Deck, RigConfig, FT_RECV_TIMEOUT};
+use beatnik_comm::{Communicator, TransportKind, World, WorldTimeline};
+use beatnik_core::{Diagnostics, Order, Solver};
+use beatnik_serve::scheduler::{JobContext, JobOutcome, JobRunner};
+use beatnik_serve::JobSpec;
+use std::path::Path;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+/// Per-step verdict codes broadcast by rank 0.
+const GO: u8 = 0;
+const YIELD: u8 = 1;
+const STOP: u8 = 2;
+
+/// Translate a validated [`JobSpec`] into a solver configuration.
+/// Medium/high-order jobs get the paper's cutoff-solver parameters for
+/// their deck (the same values [`crate::BenchCase`] uses).
+pub fn rig_config(spec: &JobSpec) -> Result<RigConfig, String> {
+    let order: Order = spec.order.parse()?;
+    let deck = match spec.deck.as_str() {
+        "multimode" => Deck::MultiModePeriodic,
+        "singlemode" => Deck::SingleModeOpen,
+        other => return Err(format!("unknown deck '{other}' (multimode|singlemode)")),
+    };
+    let mut cfg = RigConfig {
+        deck,
+        order,
+        mesh_n: spec.mesh_n,
+        steps: spec.steps,
+        // The service reports final diagnostics itself; per-step
+        // logging is the CLI driver's concern.
+        diag_every: 0,
+        ..RigConfig::default()
+    };
+    if order.needs_br_solver() {
+        cfg.cutoff_solver = true;
+        cfg.params.epsilon = 0.1;
+        cfg.params.cutoff = match deck {
+            Deck::MultiModePeriodic => 0.2,
+            Deck::SingleModeOpen => 0.5,
+        };
+    }
+    if let Some(dt) = spec.dt {
+        cfg.params.dt = dt;
+    }
+    cfg.params.validate()?;
+    Ok(cfg)
+}
+
+/// How one epoch ended, per rank (identical on every rank — all
+/// branching follows the rank-0 broadcast).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EpochEnd {
+    Done { amplitude: f64, enstrophy: f64 },
+    Yielded { at_step: usize },
+    Stopped { at_step: usize },
+}
+
+/// One dispatch epoch: build the solver, restore the checkpoint when
+/// resuming, and step to completion or to a broadcast verdict.
+fn epoch(
+    comm: &Communicator,
+    cfg: &RigConfig,
+    checkpoint_every: usize,
+    ckpt: &Path,
+    restore: bool,
+    preempt: &AtomicBool,
+    cancel: &AtomicBool,
+) -> EpochEnd {
+    let mut solver = Solver::new(cfg.build_mesh(comm), cfg.boundary_condition(), cfg.solver_config());
+    if restore {
+        let (step, time) = beatnik_io::checkpoint::load(solver.problem_mut(), ckpt)
+            .expect("checkpoint restore failed");
+        solver.restore_clock(step, time);
+    }
+    while solver.step_count() < cfg.steps {
+        let verdict = if comm.rank() == 0 {
+            use std::sync::atomic::Ordering;
+            let code = if cancel.load(Ordering::Relaxed) {
+                STOP
+            } else if preempt.load(Ordering::Relaxed) {
+                YIELD
+            } else {
+                GO
+            };
+            comm.broadcast(0, Some(vec![code]))[0]
+        } else {
+            comm.broadcast::<u8>(0, None)[0]
+        };
+        let at_step = solver.step_count();
+        match verdict {
+            YIELD => {
+                beatnik_io::checkpoint::save(solver.problem(), at_step, solver.time(), ckpt)
+                    .expect("preemption checkpoint write failed");
+                return EpochEnd::Yielded { at_step };
+            }
+            STOP => return EpochEnd::Stopped { at_step },
+            _ => {}
+        }
+        solver.step();
+        let s = solver.step_count();
+        if checkpoint_every > 0 && s.is_multiple_of(checkpoint_every) && s < cfg.steps {
+            beatnik_io::checkpoint::save(solver.problem(), s, solver.time(), ckpt)
+                .expect("checkpoint write failed");
+        }
+    }
+    let d = Diagnostics::compute(solver.problem());
+    EpochEnd::Done {
+        amplitude: d.amplitude,
+        enstrophy: d.enstrophy,
+    }
+}
+
+/// Condense a profiled epoch's step-phase critical path into one line
+/// for the job record.
+fn critical_path_summary(timeline: &WorldTimeline) -> String {
+    let cp = timeline.critical_path("step");
+    let mut s = format!(
+        "{} steps, {:.3} ms critical path",
+        cp.steps.len(),
+        cp.total_s * 1e3
+    );
+    let top: Vec<String> = cp
+        .bound_by
+        .iter()
+        .take(3)
+        .map(|(name, secs)| format!("{name} {:.3} ms", secs * 1e3))
+        .collect();
+    if !top.is_empty() {
+        s.push_str(&format!("; bound by {}", top.join(", ")));
+    }
+    s
+}
+
+/// The production [`JobRunner`]: each scheduler dispatch builds a
+/// fresh [`World`] of `ctx.ranks` thread-ranks on the job's requested
+/// transport and runs the physics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RigRunner;
+
+impl RigRunner {
+    /// A runner (stateless; one instance serves every job).
+    pub fn new() -> Self {
+        RigRunner
+    }
+}
+
+impl JobRunner for RigRunner {
+    fn run(&self, ctx: &JobContext) -> Result<JobOutcome, String> {
+        let spec = &ctx.spec;
+        let cfg = rig_config(spec)?;
+        let transport: TransportKind = spec.transport.parse()?;
+
+        // Fault-plan jobs: the ULFM-style recovery driver, checkpoint
+        // cadence included. Not preemptible (see module docs).
+        if let Some(fspec) = &spec.faults {
+            let plan = beatnik_comm::FaultPlan::parse(fspec, beatnik_comm::seed_from_env())?;
+            let mut ft_cfg = cfg;
+            ft_cfg.diag_every = 1; // final diagnostics come from the log
+            let ckpt = ctx.ckpt_path.clone();
+            let every = spec.checkpoint_every;
+            let report = World::builder(ctx.ranks)
+                .transport(transport)
+                .recv_timeout(FT_RECV_TIMEOUT)
+                .fault_plan(&plan)
+                .run_ft(move |comm| run_rig_ft(comm, &ft_cfg, every, &ckpt));
+            let log = report
+                .results
+                .into_iter()
+                .flatten()
+                .next()
+                .ok_or_else(|| "no surviving rank produced a log".to_string())?;
+            let last = log
+                .steps
+                .last()
+                .ok_or_else(|| "fault-tolerant run produced no step records".to_string())?;
+            return Ok(JobOutcome::Completed {
+                steps: spec.steps,
+                amplitude: last.diagnostics.amplitude,
+                enstrophy: last.diagnostics.enstrophy,
+                critical_path: None,
+            });
+        }
+
+        let restore = ctx.resume && ctx.ckpt_path.exists();
+        let every = spec.checkpoint_every;
+        let ckpt = ctx.ckpt_path.clone();
+        let preempt = Arc::clone(&ctx.preempt);
+        let cancel = Arc::clone(&ctx.cancel);
+        let run = move |comm: Communicator| {
+            epoch(&comm, &cfg, every, &ckpt, restore, &preempt, &cancel)
+        };
+
+        let (ends, trace, timeline) = if spec.profile {
+            let (ends, trace, timeline) = World::builder(ctx.ranks)
+                .transport(transport)
+                .run_profiled(run);
+            (ends, trace, Some(timeline))
+        } else {
+            let (ends, trace) = World::builder(ctx.ranks).transport(transport).run_traced(run);
+            (ends, trace, None)
+        };
+
+        // Per-job communication volume, labelled into the service
+        // registry so `GET /metrics` exposes it next to the job state.
+        ctx.registry
+            .counter(
+                "beatnik_serve_job_comm_bytes_total",
+                "payload bytes moved by the job's world",
+                &[("job", &ctx.id.to_string())],
+            )
+            .add(trace.total_bytes());
+
+        let end = *ends.first().ok_or_else(|| "world produced no result".to_string())?;
+        Ok(match end {
+            EpochEnd::Done {
+                amplitude,
+                enstrophy,
+            } => JobOutcome::Completed {
+                steps: spec.steps,
+                amplitude,
+                enstrophy,
+                critical_path: timeline.as_ref().map(critical_path_summary),
+            },
+            EpochEnd::Yielded { at_step } => JobOutcome::Preempted { at_step },
+            EpochEnd::Stopped { at_step } => JobOutcome::Canceled { at_step },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beatnik_serve::scheduler::JobContext;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("beatnik-serve-driver-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn spec_maps_to_solver_config() {
+        let spec = JobSpec {
+            order: "high".into(),
+            deck: "singlemode".into(),
+            dt: Some(5e-4),
+            ..JobSpec::default()
+        };
+        let cfg = rig_config(&spec).unwrap();
+        assert_eq!(cfg.order, Order::High);
+        assert_eq!(cfg.deck, Deck::SingleModeOpen);
+        assert!(cfg.cutoff_solver);
+        assert_eq!(cfg.params.cutoff, 0.5);
+        assert_eq!(cfg.params.dt, 5e-4);
+        assert!(rig_config(&JobSpec { order: "ultra".into(), ..JobSpec::default() }).is_err());
+        assert!(rig_config(&JobSpec { deck: "cube".into(), ..JobSpec::default() }).is_err());
+        assert!(rig_config(&JobSpec { dt: Some(-1.0), ..JobSpec::default() }).is_err());
+    }
+
+    #[test]
+    fn runner_completes_a_small_job() {
+        let ctx = JobContext::standalone(
+            JobSpec {
+                mesh_n: 12,
+                steps: 2,
+                ranks: 2,
+                ..JobSpec::default()
+            },
+            2,
+            tmp("complete.ckpt.json"),
+        );
+        match RigRunner::new().run(&ctx).unwrap() {
+            JobOutcome::Completed {
+                steps, amplitude, ..
+            } => {
+                assert_eq!(steps, 2);
+                assert!(amplitude.is_finite());
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn runner_honors_cancel_before_first_step() {
+        let ctx = JobContext::standalone(
+            JobSpec {
+                mesh_n: 12,
+                steps: 50,
+                ranks: 2,
+                ..JobSpec::default()
+            },
+            2,
+            tmp("cancel.ckpt.json"),
+        );
+        ctx.cancel.store(true, std::sync::atomic::Ordering::Relaxed);
+        match RigRunner::new().run(&ctx).unwrap() {
+            JobOutcome::Canceled { at_step } => assert_eq!(at_step, 0),
+            other => panic!("expected cancel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn profiled_job_reports_a_critical_path() {
+        let ctx = JobContext::standalone(
+            JobSpec {
+                mesh_n: 12,
+                steps: 2,
+                profile: true,
+                ..JobSpec::default()
+            },
+            1,
+            tmp("profile.ckpt.json"),
+        );
+        match RigRunner::new().run(&ctx).unwrap() {
+            JobOutcome::Completed { critical_path, .. } => {
+                let cp = critical_path.expect("profiled job records a critical path");
+                assert!(cp.contains("critical path"), "{cp}");
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! loadgen — drive a running beatnik-serve with a seeded mix of jobs.
+//!
+//! Two arrival models:
+//!
+//! * **closed** (default): `--concurrency` workers each keep one
+//!   submission in flight — the next job goes out when the previous
+//!   response lands. Measures the service at its own pace.
+//! * **open**: submissions arrive at `--rate` jobs/second regardless of
+//!   how the service keeps up — the arrival process the service cannot
+//!   push back on.
+//!
+//! With `--wait`, polls `GET /jobs` until every accepted job reaches a
+//! terminal state, then prints a one-line outcome tally; adding
+//! `--expect-complete` turns "anything but completed" into a non-zero
+//! exit (used by `scripts/verify.sh`). `--scrape PATH` performs one
+//! extra GET (e.g. `/metrics`) after the run and prints the body, so
+//! shell scripts can grep the exposition without curl.
+
+use beatnik_json::Value;
+use beatnik_prng::Rng;
+use beatnik_serve::http::request;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "\
+usage: loadgen --addr HOST:PORT [options]
+
+options:
+  --addr HOST:PORT        server address (required)
+  --jobs N                jobs to submit (default 20)
+  --mode closed|open      arrival model (default closed)
+  --concurrency N         in-flight submitters in closed mode (default 4)
+  --rate R                arrivals per second in open mode (default 50)
+  --seed S                PRNG seed for the job mix (default 7)
+  --max-ranks N           widest gang in the mix (default 4)
+  --wait SECONDS          poll until all jobs are terminal (default: no wait)
+  --expect-complete       exit non-zero unless every job completed
+  --scrape PATH           GET PATH after the run and print the body
+";
+
+struct Options {
+    addr: String,
+    jobs: usize,
+    open_loop: bool,
+    concurrency: usize,
+    rate: f64,
+    seed: u64,
+    max_ranks: usize,
+    wait: Option<Duration>,
+    expect_complete: bool,
+    scrape: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        addr: String::new(),
+        jobs: 20,
+        open_loop: false,
+        concurrency: 4,
+        rate: 50.0,
+        seed: 7,
+        max_ranks: 4,
+        wait: None,
+        expect_complete: false,
+        scrape: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => opts.addr = val("--addr")?,
+            "--jobs" => {
+                opts.jobs = val("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?
+            }
+            "--mode" => {
+                opts.open_loop = match val("--mode")?.as_str() {
+                    "closed" => false,
+                    "open" => true,
+                    other => return Err(format!("unknown mode '{other}' (closed|open)")),
+                }
+            }
+            "--concurrency" => {
+                opts.concurrency = val("--concurrency")?
+                    .parse()
+                    .map_err(|e| format!("--concurrency: {e}"))?
+            }
+            "--rate" => {
+                opts.rate = val("--rate")?.parse().map_err(|e| format!("--rate: {e}"))?
+            }
+            "--seed" => {
+                opts.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+            }
+            "--max-ranks" => {
+                opts.max_ranks = val("--max-ranks")?
+                    .parse()
+                    .map_err(|e| format!("--max-ranks: {e}"))?
+            }
+            "--wait" => {
+                let secs: u64 = val("--wait")?.parse().map_err(|e| format!("--wait: {e}"))?;
+                opts.wait = Some(Duration::from_secs(secs));
+            }
+            "--expect-complete" => opts.expect_complete = true,
+            "--scrape" => opts.scrape = Some(val("--scrape")?),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+    }
+    if opts.addr.is_empty() {
+        return Err(format!("--addr is required\n{USAGE}"));
+    }
+    if opts.concurrency == 0 {
+        return Err("--concurrency must be at least 1".to_string());
+    }
+    if opts.open_loop && !(opts.rate.is_finite() && opts.rate > 0.0) {
+        return Err("--rate must be positive in open mode".to_string());
+    }
+    Ok(opts)
+}
+
+/// One job spec from the seeded mix. Kept deliberately small (low
+/// order, coarse meshes, a few steps) so hundreds of jobs drain in
+/// seconds on a laptop-class pool.
+fn mix_spec(rng: &mut Rng, i: usize, max_ranks: usize) -> String {
+    let mesh = [12usize, 16, 24][rng.gen_index(0..3)];
+    let steps = rng.gen_index(2..7);
+    let ranks = rng.gen_index(1..max_ranks + 1);
+    let priority = rng.gen_index(0..10);
+    let deadline = if rng.gen_bool() {
+        format!(",\"deadline_ms\":{}", 2_000 + rng.gen_index(0..8) * 1_000)
+    } else {
+        String::new()
+    };
+    format!(
+        "{{\"name\":\"mix-{i}\",\"order\":\"low\",\"mesh_n\":{mesh},\"steps\":{steps},\
+         \"ranks\":{ranks},\"priority\":{priority}{deadline}}}"
+    )
+}
+
+#[derive(Default)]
+struct Tally {
+    accepted: Vec<u64>,
+    rejected_400: usize,
+    rejected_429: usize,
+    errors: usize,
+}
+
+fn submit(addr: &str, body: &str, tally: &Mutex<Tally>) {
+    match request(addr, "POST", "/jobs", Some(body)) {
+        Ok((201, resp)) => {
+            let id = beatnik_json::parse(&resp)
+                .ok()
+                .and_then(|v| v.get("id").and_then(Value::as_u64));
+            let mut t = tally.lock().unwrap();
+            match id {
+                Some(id) => t.accepted.push(id),
+                None => t.errors += 1,
+            }
+        }
+        Ok((400, _)) => tally.lock().unwrap().rejected_400 += 1,
+        Ok((429, _)) => tally.lock().unwrap().rejected_429 += 1,
+        _ => tally.lock().unwrap().errors += 1,
+    }
+}
+
+fn run_closed(opts: &Options, tally: &Mutex<Tally>) {
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for w in 0..opts.concurrency {
+            let next = &next;
+            let mut rng = Rng::seed_from_u64(opts.seed ^ (w as u64).wrapping_mul(0x9e37_79b9));
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= opts.jobs {
+                    return;
+                }
+                submit(&opts.addr, &mix_spec(&mut rng, i, opts.max_ranks), tally);
+            });
+        }
+    });
+}
+
+fn run_open(opts: &Options, tally: &Mutex<Tally>) {
+    let interval = Duration::from_secs_f64(1.0 / opts.rate);
+    let start = Instant::now();
+    let mut rng = Rng::seed_from_u64(opts.seed);
+    std::thread::scope(|s| {
+        for i in 0..opts.jobs {
+            // Arrivals stay on the ideal schedule even when a
+            // submission runs long — that is what "open loop" means.
+            let due = start + interval * i as u32;
+            if let Some(sleep) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(sleep);
+            }
+            let body = mix_spec(&mut rng, i, opts.max_ranks);
+            s.spawn(move || submit(&opts.addr, &body, tally));
+        }
+    });
+}
+
+/// Poll `GET /jobs` until every id in `ids` is terminal. Returns the
+/// count of each terminal state (completed, failed, canceled).
+fn wait_terminal(
+    addr: &str,
+    ids: &[u64],
+    timeout: Duration,
+) -> Result<(usize, usize, usize), String> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let (code, body) = request(addr, "GET", "/jobs", None)
+            .map_err(|e| format!("GET /jobs: {e}"))?;
+        if code != 200 {
+            return Err(format!("GET /jobs returned {code}"));
+        }
+        let doc = beatnik_json::parse(&body).map_err(|e| format!("GET /jobs body: {e}"))?;
+        let jobs = match doc.get("jobs") {
+            Some(Value::Array(jobs)) => jobs,
+            _ => return Err("GET /jobs body missing jobs array".to_string()),
+        };
+        let mut completed = 0;
+        let mut failed = 0;
+        let mut canceled = 0;
+        let mut pending = 0;
+        for id in ids {
+            let state = jobs
+                .iter()
+                .find(|j| j.get("id").and_then(Value::as_u64) == Some(*id))
+                .and_then(|j| j.get("state").and_then(Value::as_str).map(str::to_string));
+            match state.as_deref() {
+                Some("completed") => completed += 1,
+                Some("failed") => failed += 1,
+                Some("canceled") => canceled += 1,
+                _ => pending += 1,
+            }
+        }
+        if pending == 0 {
+            return Ok((completed, failed, canceled));
+        }
+        if Instant::now() >= deadline {
+            return Err(format!("timed out with {pending} jobs not terminal"));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let tally = Mutex::new(Tally::default());
+    let start = Instant::now();
+    if opts.open_loop {
+        run_open(&opts, &tally);
+    } else {
+        run_closed(&opts, &tally);
+    }
+    let submitted_in = start.elapsed();
+    let tally = tally.into_inner().unwrap();
+    println!(
+        "loadgen: submitted {} jobs in {:.2}s ({} accepted, {} invalid, {} throttled, {} errors)",
+        opts.jobs,
+        submitted_in.as_secs_f64(),
+        tally.accepted.len(),
+        tally.rejected_400,
+        tally.rejected_429,
+        tally.errors,
+    );
+
+    let mut exit = 0;
+    if let Some(timeout) = opts.wait {
+        match wait_terminal(&opts.addr, &tally.accepted, timeout) {
+            Ok((completed, failed, canceled)) => {
+                println!(
+                    "loadgen: terminal after {:.2}s ({completed} completed, {failed} failed, \
+                     {canceled} canceled)",
+                    start.elapsed().as_secs_f64(),
+                );
+                if opts.expect_complete && completed != tally.accepted.len() {
+                    eprintln!(
+                        "loadgen: FAIL — {} of {} accepted jobs did not complete",
+                        tally.accepted.len() - completed,
+                        tally.accepted.len(),
+                    );
+                    exit = 1;
+                }
+            }
+            Err(msg) => {
+                eprintln!("loadgen: FAIL — {msg}");
+                exit = 1;
+            }
+        }
+    }
+    if opts.expect_complete && (tally.errors > 0 || tally.rejected_400 > 0) {
+        eprintln!("loadgen: FAIL — submissions were rejected or errored");
+        exit = 1;
+    }
+
+    if let Some(path) = &opts.scrape {
+        match request(&opts.addr, "GET", path, None) {
+            Ok((200, body)) => print!("{body}"),
+            Ok((code, _)) => {
+                eprintln!("loadgen: scrape {path} returned {code}");
+                exit = 1;
+            }
+            Err(e) => {
+                eprintln!("loadgen: scrape {path}: {e}");
+                exit = 1;
+            }
+        }
+    }
+    std::process::exit(exit);
+}

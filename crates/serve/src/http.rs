@@ -1,0 +1,305 @@
+//! Minimal HTTP/1.1 on `std::net`: enough protocol for a control-plane
+//! API (short requests, `Content-Length` bodies, `Connection: close`),
+//! with a matching client helper so the loadgen, the benches, and
+//! `scripts/verify.sh` need no external tooling.
+//!
+//! Deliberately out of scope: keep-alive, chunked transfer, TLS,
+//! multipart — none of which a job-submission API needs. Requests are
+//! size-capped so a misbehaving client cannot balloon server memory.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Largest accepted request body (1 MiB — job specs are tiny).
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+/// Largest accepted request line + headers block.
+pub const MAX_HEAD_BYTES: usize = 16 << 10;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, `DELETE`, ...).
+    pub method: String,
+    /// Path component of the request target (query string stripped).
+    pub path: String,
+    /// Header pairs, keys lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length`).
+    pub body: String,
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Protocol-level failure while reading a request; maps to a 400 and a
+/// closed connection.
+#[derive(Debug)]
+pub struct HttpError(pub String);
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "http: {}", self.0)
+    }
+}
+
+fn err(msg: impl Into<String>) -> HttpError {
+    HttpError(msg.into())
+}
+
+/// Read one request from `stream`.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut head_bytes = 0usize;
+
+    reader
+        .read_line(&mut line)
+        .map_err(|e| err(format!("read request line: {e}")))?;
+    head_bytes += line.len();
+    let line = line.trim_end();
+    if line.is_empty() {
+        return Err(err("empty request"));
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| err("missing method"))?
+        .to_ascii_uppercase();
+    let target = parts.next().ok_or_else(|| err("missing request target"))?;
+    let version = parts.next().ok_or_else(|| err("missing HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(err(format!("unsupported version {version}")));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut headers = Vec::new();
+    loop {
+        let mut hline = String::new();
+        reader
+            .read_line(&mut hline)
+            .map_err(|e| err(format!("read header: {e}")))?;
+        head_bytes += hline.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(err("request head too large"));
+        }
+        let hline = hline.trim_end();
+        if hline.is_empty() {
+            break;
+        }
+        let (k, v) = hline
+            .split_once(':')
+            .ok_or_else(|| err(format!("malformed header {hline:?}")))?;
+        headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| err(format!("bad content-length {v:?}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(err(format!(
+            "body of {content_length} bytes exceeds limit {MAX_BODY_BYTES}"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| err(format!("read body: {e}")))?;
+    let body = String::from_utf8(body).map_err(|_| err("body is not UTF-8"))?;
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        201 => "Created",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete response with the given body and content type;
+/// always `Connection: close`.
+pub fn write_response(
+    stream: &mut TcpStream,
+    code: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {code} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        status_text(code),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Shorthand for a JSON response.
+pub fn write_json(stream: &mut TcpStream, code: u16, body: &str) -> std::io::Result<()> {
+    write_response(stream, code, "application/json", body)
+}
+
+/// Blocking one-shot client: send `method path` with an optional body
+/// and return `(status, body)`. Used by loadgen, bench_serve, and the
+/// integration tests — no curl dependency anywhere in the repo.
+pub fn request(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: beatnik-serve\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let code = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad status line {status_line:?}"),
+            )
+        })?;
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut hline = String::new();
+        reader.read_line(&mut hline)?;
+        let hline = hline.trim_end();
+        if hline.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = hline.split_once(':') {
+            if k.trim().eq_ignore_ascii_case("content-length") {
+                content_length = v.trim().parse().ok();
+            }
+        }
+    }
+    let body = match content_length {
+        Some(n) => {
+            let mut buf = vec![0u8; n];
+            reader.read_exact(&mut buf)?;
+            String::from_utf8_lossy(&buf).into_owned()
+        }
+        // Connection: close responses without a length: read to EOF.
+        None => {
+            let mut buf = String::new();
+            reader.read_to_string(&mut buf)?;
+            buf
+        }
+    };
+    Ok((code, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Round-trip a raw request through a real socket pair and return
+    /// what the server side parsed.
+    fn parse_via_socket(raw: &[u8]) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+            s.flush().unwrap();
+            // Hold the socket open until the server finishes reading.
+            let mut sink = Vec::new();
+            let _ = s.read_to_end(&mut sink);
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let out = read_request(&mut stream);
+        drop(stream);
+        client.join().unwrap();
+        out
+    }
+
+    #[test]
+    fn parses_request_with_body() {
+        let req = parse_via_socket(
+            b"POST /jobs?debug=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 9\r\n\r\n{\"a\": 1}\n",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert_eq!(req.body, "{\"a\": 1}\n");
+    }
+
+    #[test]
+    fn rejects_protocol_garbage() {
+        assert!(parse_via_socket(b"\r\n").is_err());
+        assert!(parse_via_socket(b"GET /\r\n\r\n").is_err());
+        assert!(parse_via_socket(b"GET / SPDY/99\r\n\r\n").is_err());
+        assert!(
+            parse_via_socket(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n").is_err()
+        );
+        let oversized = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(parse_via_socket(oversized.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn client_and_server_speak_to_each_other() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream).unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.body, "ping");
+            write_json(&mut stream, 201, "{\"ok\":true}").unwrap();
+        });
+        let (code, body) = request(addr, "POST", "/echo", Some("ping")).unwrap();
+        assert_eq!(code, 201);
+        assert_eq!(body, "{\"ok\":true}");
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,173 @@
+//! Service-level metrics, published through the workspace-wide
+//! `beatnik-telemetry` registry so `GET /metrics` reuses the PR 5
+//! OpenMetrics renderer unchanged.
+//!
+//! Family names follow the exposition conventions already enforced by
+//! the registry tests: counters end `_total`, histograms use the
+//! canonical power-of-two buckets (queue waits and latencies are
+//! recorded in milliseconds, so the bucket edges read naturally as
+//! 1 ms, 2 ms, 4 ms, ...).
+
+use beatnik_telemetry::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+use std::sync::Arc;
+
+/// Pre-registered handles for every scheduler-level metric family.
+/// Cloning shares the cells.
+#[derive(Debug, Clone)]
+pub struct ServeMetrics {
+    /// The registry all families live in (per-job families register
+    /// lazily against it).
+    pub registry: Arc<MetricsRegistry>,
+    /// Jobs accepted by `POST /jobs`.
+    pub jobs_submitted: Counter,
+    /// Jobs rejected at admission, labelled by `reason`
+    /// (`invalid`, `queue_full`).
+    pub jobs_rejected_invalid: Counter,
+    /// Jobs rejected because the queue was saturated.
+    pub jobs_rejected_queue_full: Counter,
+    /// Jobs that reached `completed`.
+    pub jobs_completed: Counter,
+    /// Jobs that reached `failed`.
+    pub jobs_failed: Counter,
+    /// Jobs that reached `canceled`.
+    pub jobs_canceled: Counter,
+    /// Scheduler-initiated preemptions (checkpoint + requeue).
+    pub preemptions: Counter,
+    /// Jobs currently waiting for a gang.
+    pub queue_depth: Gauge,
+    /// Rank slots currently leased to running jobs.
+    pub ranks_busy: Gauge,
+    /// Total rank slots in the pool (constant; exported for ratio
+    /// queries).
+    pub pool_ranks: Gauge,
+    /// Queue-wait distribution in milliseconds (accumulated across
+    /// requeues, observed at each dispatch).
+    pub queue_wait_ms: Histogram,
+    /// End-to-end job latency distribution in milliseconds (observed at
+    /// terminal states).
+    pub job_latency_ms: Histogram,
+}
+
+impl ServeMetrics {
+    /// Register every family against `registry`.
+    pub fn new(registry: Arc<MetricsRegistry>, pool_ranks: usize) -> Self {
+        let r = &registry;
+        let m = ServeMetrics {
+            jobs_submitted: r.counter(
+                "beatnik_serve_jobs_submitted_total",
+                "jobs accepted by POST /jobs",
+                &[],
+            ),
+            jobs_rejected_invalid: r.counter(
+                "beatnik_serve_jobs_rejected_total",
+                "jobs rejected at admission",
+                &[("reason", "invalid")],
+            ),
+            jobs_rejected_queue_full: r.counter(
+                "beatnik_serve_jobs_rejected_total",
+                "jobs rejected at admission",
+                &[("reason", "queue_full")],
+            ),
+            jobs_completed: r.counter(
+                "beatnik_serve_jobs_completed_total",
+                "jobs finished successfully",
+                &[],
+            ),
+            jobs_failed: r.counter(
+                "beatnik_serve_jobs_failed_total",
+                "jobs that failed",
+                &[],
+            ),
+            jobs_canceled: r.counter(
+                "beatnik_serve_jobs_canceled_total",
+                "jobs canceled by DELETE /jobs/{id}",
+                &[],
+            ),
+            preemptions: r.counter(
+                "beatnik_serve_preemptions_total",
+                "scheduler-initiated preemptions",
+                &[],
+            ),
+            queue_depth: r.gauge(
+                "beatnik_serve_queue_depth",
+                "jobs waiting for a gang",
+                &[],
+            ),
+            ranks_busy: r.gauge(
+                "beatnik_serve_ranks_busy",
+                "rank slots leased to running jobs",
+                &[],
+            ),
+            pool_ranks: r.gauge(
+                "beatnik_serve_pool_ranks",
+                "rank slots in the shared pool",
+                &[],
+            ),
+            queue_wait_ms: r.histogram(
+                "beatnik_serve_job_queue_wait_ms",
+                "queue wait per dispatch in milliseconds",
+                &[],
+            ),
+            job_latency_ms: r.histogram(
+                "beatnik_serve_job_latency_ms",
+                "end-to-end job latency in milliseconds",
+                &[],
+            ),
+            registry,
+        };
+        m.pool_ranks.set(pool_ranks as u64);
+        m
+    }
+
+    /// Per-job state gauge (value = [`crate::job::JobState::code`]).
+    pub fn job_state(&self, id: u64) -> Gauge {
+        self.registry.gauge(
+            "beatnik_serve_job_state",
+            "job state code (0 queued, 1 running, 2 preempted, 3 completed, 4 failed, 5 canceled)",
+            &[("job", &id.to_string())],
+        )
+    }
+
+    /// Per-job completed-step counter.
+    pub fn job_steps(&self, id: u64) -> Counter {
+        self.registry.counter(
+            "beatnik_serve_job_steps_total",
+            "timesteps completed per job",
+            &[("job", &id.to_string())],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beatnik_telemetry::metrics::openmetrics_text;
+
+    #[test]
+    fn families_render_to_openmetrics() {
+        let m = ServeMetrics::new(Arc::new(MetricsRegistry::new()), 8);
+        m.jobs_submitted.inc();
+        m.jobs_rejected_queue_full.inc();
+        m.queue_wait_ms.observe(12);
+        m.job_state(1).set(1);
+        m.job_steps(1).add(4);
+        let text = openmetrics_text(&m.registry.snapshot());
+        assert!(text.contains("beatnik_serve_jobs_submitted_total 1"), "{text}");
+        assert!(
+            text.contains("beatnik_serve_jobs_rejected_total{reason=\"queue_full\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("beatnik_serve_pool_ranks 8"), "{text}");
+        assert!(text.contains("beatnik_serve_job_state{job=\"1\"} 1"), "{text}");
+        assert!(text.contains("beatnik_serve_job_steps_total{job=\"1\"} 4"), "{text}");
+        assert!(text.ends_with("# EOF\n"), "{text}");
+    }
+
+    #[test]
+    fn per_job_handles_are_idempotent() {
+        let m = ServeMetrics::new(Arc::new(MetricsRegistry::new()), 4);
+        m.job_steps(7).add(2);
+        m.job_steps(7).add(3);
+        assert_eq!(m.job_steps(7).get(), 5);
+    }
+}

@@ -1,0 +1,198 @@
+//! The HTTP control plane: a `TcpListener` accept loop routing onto a
+//! shared [`Scheduler`].
+//!
+//! | Route                | Behavior                                      |
+//! |----------------------|-----------------------------------------------|
+//! | `GET /healthz`       | liveness probe                                |
+//! | `GET /metrics`       | OpenMetrics text exposition                   |
+//! | `GET /jobs`          | summary list of every job                     |
+//! | `POST /jobs`         | submit a spec: 201, 400 invalid, 429 saturated|
+//! | `GET /jobs/{id}`     | full record: spec, timeline, result           |
+//! | `DELETE /jobs/{id}`  | cancel: 200, 404 unknown, 409 already terminal|
+//!
+//! Connections are handled one thread each (the control plane sees
+//! tens of requests per second, not thousands), every response is
+//! `Connection: close`, and protocol errors get a 400 before the
+//! socket drops.
+
+use crate::http::{read_request, write_json, write_response, Request};
+use crate::job::JobState;
+use crate::scheduler::{CancelOutcome, Scheduler, SubmitError};
+use beatnik_json::{to_string, Value};
+use beatnik_telemetry::metrics::openmetrics_text;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Content type for `GET /metrics`.
+pub const METRICS_CONTENT_TYPE: &str =
+    "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+fn error_body(msg: &str) -> String {
+    to_string(&Value::Object(vec![(
+        "error".to_string(),
+        Value::Str(msg.to_string()),
+    )]))
+}
+
+/// A running server: the bound address plus the shutdown switch.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    scheduler: Arc<Scheduler>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The scheduler behind the routes.
+    pub fn scheduler(&self) -> &Arc<Scheduler> {
+        &self.scheduler
+    }
+
+    /// Stop accepting, drain the scheduler (cancel queued, checkpoint
+    /// running), and join the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+        self.scheduler.shutdown(Duration::from_secs(60));
+    }
+
+    fn stop_accepting(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept() call with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_accepting();
+    }
+}
+
+/// Bind `addr` and serve `scheduler` until [`ServerHandle::shutdown`].
+pub fn serve(addr: impl ToSocketAddrs, scheduler: Arc<Scheduler>) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept = {
+        let stop = Arc::clone(&stop);
+        let scheduler = Arc::clone(&scheduler);
+        std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || accept_loop(&listener, &stop, &scheduler))
+            .expect("spawn accept loop")
+    };
+    Ok(ServerHandle {
+        addr,
+        stop,
+        accept: Some(accept),
+        scheduler,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, stop: &Arc<AtomicBool>, scheduler: &Arc<Scheduler>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(mut stream) = conn else { continue };
+        let scheduler = Arc::clone(scheduler);
+        let _ = std::thread::Builder::new()
+            .name("serve-conn".into())
+            .spawn(move || {
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+                match read_request(&mut stream) {
+                    Ok(req) => handle(&mut stream, &req, &scheduler),
+                    Err(e) => {
+                        let _ = write_json(&mut stream, 400, &error_body(&e.to_string()));
+                    }
+                }
+            });
+    }
+}
+
+fn handle(stream: &mut TcpStream, req: &Request, scheduler: &Scheduler) {
+    let path = req.path.trim_end_matches('/');
+    let path = if path.is_empty() { "/" } else { path };
+    let _ = match (req.method.as_str(), path) {
+        ("GET", "/healthz") => write_json(stream, 200, "{\"ok\":true}"),
+        ("GET", "/metrics") => {
+            let text = openmetrics_text(&scheduler.metrics().registry.snapshot());
+            write_response(stream, 200, METRICS_CONTENT_TYPE, &text)
+        }
+        ("GET", "/jobs") => {
+            let jobs: Vec<Value> = scheduler.jobs().iter().map(|r| r.summary_json()).collect();
+            let doc = Value::Object(vec![("jobs".to_string(), Value::Array(jobs))]);
+            write_json(stream, 200, &to_string(&doc))
+        }
+        ("POST", "/jobs") => post_job(stream, req, scheduler),
+        (method, p) if p.starts_with("/jobs/") => {
+            match p["/jobs/".len()..].parse::<u64>() {
+                Err(_) => write_json(stream, 404, &error_body("bad job id")),
+                Ok(id) => match method {
+                    "GET" => match scheduler.job(id) {
+                        Some(rec) => write_json(stream, 200, &to_string(&rec.detail_json())),
+                        None => write_json(stream, 404, &error_body("no such job")),
+                    },
+                    "DELETE" => delete_job(stream, scheduler, id),
+                    _ => write_json(stream, 405, &error_body("method not allowed")),
+                },
+            }
+        }
+        ("GET", _) => write_json(stream, 404, &error_body("no such route")),
+        _ => write_json(stream, 405, &error_body("method not allowed")),
+    };
+}
+
+fn post_job(stream: &mut TcpStream, req: &Request, scheduler: &Scheduler) -> std::io::Result<()> {
+    let spec = match beatnik_json::from_str::<crate::job::JobSpec>(&req.body) {
+        Ok(spec) => spec,
+        Err(e) => {
+            return write_json(stream, 400, &error_body(&format!("invalid job spec: {e}")));
+        }
+    };
+    match scheduler.submit(spec) {
+        Ok(id) => {
+            let body = format!("{{\"id\":{id},\"state\":\"queued\"}}");
+            write_json(stream, 201, &body)
+        }
+        Err(SubmitError::Invalid(msg)) => {
+            write_json(stream, 400, &error_body(&format!("invalid job spec: {msg}")))
+        }
+        Err(e @ SubmitError::QueueFull { .. }) => {
+            write_json(stream, 429, &error_body(&e.to_string()))
+        }
+    }
+}
+
+fn delete_job(stream: &mut TcpStream, scheduler: &Scheduler, id: u64) -> std::io::Result<()> {
+    match scheduler.cancel(id) {
+        CancelOutcome::Canceled => {
+            let body = format!(
+                "{{\"id\":{id},\"state\":\"{}\"}}",
+                JobState::Canceled.name()
+            );
+            write_json(stream, 200, &body)
+        }
+        CancelOutcome::CancelRequested => {
+            let body = format!("{{\"id\":{id},\"state\":\"running\",\"cancel_requested\":true}}");
+            write_json(stream, 200, &body)
+        }
+        CancelOutcome::NotFound => write_json(stream, 404, &error_body("no such job")),
+        CancelOutcome::AlreadyTerminal => {
+            write_json(stream, 409, &error_body("job already terminal"))
+        }
+    }
+}
