@@ -1,8 +1,9 @@
 //! Transport microbenchmark emitting `BENCH_comm.json`.
 //!
 //! Times the all-to-all engines across the message-size bins the
-//! adaptive selector switches on, plus the point-to-point eager and
-//! rendezvous protocols, on real thread-ranks. Each row records the
+//! adaptive selector switches on, plus the point-to-point eager,
+//! rendezvous, and zero-copy ownership-transfer protocols, on real
+//! thread-ranks. Each row records the
 //! operation, algorithm, transport backend, size bin (shared
 //! [`sizebins`] labels), ns per operation, and transport bytes *copied*
 //! per operation (from the trace's copy accounting — the number the
@@ -123,6 +124,40 @@ fn bench_p2p(bytes: usize, eager_limit: usize, reps: usize, kind: TransportKind)
     (best_ns, copied)
 }
 
+/// Time `reps` ping-pongs of a `bytes`-sized payload moved by
+/// *ownership transfer* (`isend_owned`): the same allocation bounces
+/// between the ranks with zero protocol copies at any size. Returns
+/// (ns/op, copied bytes/op, handoff bytes/op).
+fn bench_p2p_owned(bytes: usize, reps: usize, kind: TransportKind) -> (f64, f64, f64) {
+    let mut best_ns = f64::INFINITY;
+    let mut copied = 0.0;
+    let mut handoff = 0.0;
+    for _ in 0..TRIALS {
+        let (elapsed, trace) = World::builder(2).transport(kind).recv_timeout(TIMEOUT).run_traced(move |c| {
+            let mut buf = vec![0u8; bytes];
+            c.barrier();
+            let start = Instant::now();
+            for i in 0..reps as u64 {
+                if c.rank() == 0 {
+                    c.isend_owned(1, i, buf).wait();
+                    buf = c.irecv::<u8>(1, i).wait();
+                } else {
+                    buf = c.irecv::<u8>(0, i).wait();
+                    c.isend_owned(0, i, buf).wait();
+                    buf = Vec::new();
+                }
+            }
+            c.barrier();
+            start.elapsed()
+        });
+        let slowest = elapsed.iter().max().expect("no ranks");
+        best_ns = best_ns.min(slowest.as_nanos() as f64 / reps as f64);
+        copied = trace.copied_bytes() as f64 / reps as f64;
+        handoff = trace.handoff_bytes() as f64 / reps as f64;
+    }
+    (best_ns, copied, handoff)
+}
+
 fn main() {
     let path = std::env::args()
         .nth(1)
@@ -181,6 +216,27 @@ fn main() {
             op: name,
             algo: "-",
             transport: TransportKind::Thread,
+            ranks: 2,
+            bytes: p2p_bytes,
+            ns_per_op: ns,
+            copied_per_op: copied,
+        });
+    }
+
+    // Ownership-transfer p2p on the same payload, on both
+    // shared-address-space backends: the tentpole number. The copied
+    // column must be exactly zero — the gate's bytes_floor pins it
+    // there, so any copy sneaking back into the owned path fails the
+    // gate rather than drifting.
+    for kind in [TransportKind::Thread, TransportKind::Shmem] {
+        let _ = bench_p2p_owned(p2p_bytes, 5, kind);
+        let (ns, copied, handoff) = bench_p2p_owned(p2p_bytes, 50, kind);
+        assert_eq!(copied, 0.0, "owned sends must not copy payload bytes");
+        assert_eq!(handoff, 2.0 * p2p_bytes as f64, "handoff accounting drifted");
+        rows.push(Row {
+            op: "p2p_owned",
+            algo: "-",
+            transport: kind,
             ranks: 2,
             bytes: p2p_bytes,
             ns_per_op: ns,

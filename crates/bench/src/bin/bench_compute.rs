@@ -1,0 +1,202 @@
+//! Node-local compute-kernel microbenchmark emitting
+//! `BENCH_compute.json`.
+//!
+//! Times the two kernel families the raw-speed pass rewrote, each in
+//! its fast and reference form so the gate pins the speedup's
+//! *existence* (the fast variant's time) and the reference's sanity:
+//!
+//! * **FFT butterflies** — a planned power-of-two forward transform
+//!   through the dispatched SIMD kernels (`fft_forward/simd`) and the
+//!   forced lane-serial path (`fft_forward/scalar`). Reported as
+//!   ns per element per transform; the two paths are bit-for-bit
+//!   identical in output, so the delta is pure kernel speed.
+//! * **Column pack** — the cache-blocked tiled column gather/scatter
+//!   from `beatnik-dfft` (`pack_gather/tiled`) against a
+//!   column-at-a-time strided gather (`pack_gather/columnwise`), the
+//!   shape the tiled kernel replaced. Reported as ns per element moved,
+//!   with an informational GB/s (read+write traffic).
+//!
+//! Best-of-N trials: noise on a shared host only ever slows a trial
+//! down, so the minimum is the honest kernel time.
+//!
+//! Usage: `bench_compute [output.json]` (default `BENCH_compute.json`).
+
+use beatnik_dfft::layout::{gather_cols, scatter_cols, COL_TILE};
+use beatnik_fft::{Complex, Fft};
+use beatnik_json::Value;
+use std::time::Instant;
+
+const TRIALS: usize = 7;
+
+struct Row {
+    kernel: &'static str,
+    variant: &'static str,
+    n: usize,
+    ns_per_elem: f64,
+    gbps: f64,
+}
+
+impl Row {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("kernel".into(), Value::Str(self.kernel.into())),
+            ("variant".into(), Value::Str(self.variant.into())),
+            ("n".into(), Value::UInt(self.n as u64)),
+            ("ns_per_elem".into(), Value::Float(self.ns_per_elem)),
+            ("gbps".into(), Value::Float(self.gbps)),
+        ])
+    }
+}
+
+/// Best-of-TRIALS wall time of `reps` runs of `f`, in ns per rep.
+fn best_ns(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..TRIALS {
+        let start = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        best = best.min(start.elapsed().as_nanos() as f64 / reps as f64);
+    }
+    best
+}
+
+fn noise(n: usize) -> Vec<Complex> {
+    let mut s = 0x2545_F491_4F6C_DD1Du64;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s as f64 / u64::MAX as f64) * 2.0 - 1.0
+    };
+    (0..n).map(|_| Complex::new(next(), next())).collect()
+}
+
+/// FFT forward transforms: SIMD-dispatched vs forced-scalar, ns/elem.
+fn bench_fft(rows: &mut Vec<Row>, n: usize, reps: usize) {
+    let plan = Fft::new(n);
+    let mut buf = noise(n);
+    // Warmup (twiddle tables are already built; touch the caches).
+    plan.forward(&mut buf);
+    plan.forward_scalar(&mut buf);
+    let data = noise(n);
+
+    let mut scratch = data.clone();
+    let simd_ns = best_ns(reps, || {
+        scratch.copy_from_slice(&data);
+        plan.forward(&mut scratch);
+    });
+    let scalar_ns = best_ns(reps, || {
+        scratch.copy_from_slice(&data);
+        plan.forward_scalar(&mut scratch);
+    });
+    // 16 payload bytes per element per transform pass is a nominal
+    // traffic figure; the honest gated metric is time per element.
+    let gbps = |ns: f64| (n * 16) as f64 / ns;
+    rows.push(Row {
+        kernel: "fft_forward",
+        variant: "simd",
+        n,
+        ns_per_elem: simd_ns / n as f64,
+        gbps: gbps(simd_ns),
+    });
+    rows.push(Row {
+        kernel: "fft_forward",
+        variant: "scalar",
+        n,
+        ns_per_elem: scalar_ns / n as f64,
+        gbps: gbps(scalar_ns),
+    });
+    eprintln!(
+        "fft_forward      n={n:<6} simd {:>7.3} ns/elem  scalar {:>7.3} ns/elem  speedup {:.2}x",
+        simd_ns / n as f64,
+        scalar_ns / n as f64,
+        scalar_ns / simd_ns
+    );
+}
+
+/// Column-at-a-time strided gather/scatter: the element-wise shape the
+/// tiled kernels replaced, kept here as the measured reference.
+fn gather_scatter_columnwise(buf: &mut [Complex], nrows: usize, ncols: usize, col: &mut [Complex]) {
+    for c in 0..ncols {
+        for r in 0..nrows {
+            col[r] = buf[r * ncols + c];
+        }
+        for r in 0..nrows {
+            buf[r * ncols + c] = col[r];
+        }
+    }
+}
+
+/// Tiled gather/scatter roundtrip over every column, matching the
+/// traffic of the columnwise reference.
+fn gather_scatter_tiled(buf: &mut [Complex], nrows: usize, ncols: usize, tile: &mut [Complex]) {
+    for c0 in (0..ncols).step_by(COL_TILE) {
+        let tc = COL_TILE.min(ncols - c0);
+        let t = &mut tile[..nrows * tc];
+        gather_cols(buf, ncols, c0, tc, t);
+        scatter_cols(t, ncols, c0, tc, buf);
+    }
+}
+
+/// Column pack kernels over an `nrows x ncols` grid: tiled vs
+/// columnwise, ns per element moved (one gather + one scatter).
+fn bench_pack(rows: &mut Vec<Row>, nrows: usize, ncols: usize, reps: usize) {
+    let n = nrows * ncols;
+    let mut buf = noise(n);
+    let mut col = vec![Complex::default(); nrows];
+    let mut tile = vec![Complex::default(); nrows * COL_TILE.min(ncols)];
+
+    gather_scatter_tiled(&mut buf, nrows, ncols, &mut tile); // warmup
+    let tiled_ns = best_ns(reps, || gather_scatter_tiled(&mut buf, nrows, ncols, &mut tile));
+    gather_scatter_columnwise(&mut buf, nrows, ncols, &mut col); // warmup
+    let columnwise_ns =
+        best_ns(reps, || gather_scatter_columnwise(&mut buf, nrows, ncols, &mut col));
+
+    // Each element is read+written twice per roundtrip: 64 B of traffic.
+    let gbps = |ns: f64| (n * 64) as f64 / ns;
+    rows.push(Row {
+        kernel: "pack_gather",
+        variant: "tiled",
+        n,
+        ns_per_elem: tiled_ns / n as f64,
+        gbps: gbps(tiled_ns),
+    });
+    rows.push(Row {
+        kernel: "pack_gather",
+        variant: "columnwise",
+        n,
+        ns_per_elem: columnwise_ns / n as f64,
+        gbps: gbps(columnwise_ns),
+    });
+    eprintln!(
+        "pack_gather      {nrows}x{ncols:<5} tiled {:>6.2} GB/s  columnwise {:>6.2} GB/s  speedup {:.2}x",
+        gbps(tiled_ns),
+        gbps(columnwise_ns),
+        columnwise_ns / tiled_ns
+    );
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_compute.json".into());
+    let mut rows: Vec<Row> = Vec::new();
+
+    // Butterfly kernels: an L1-resident size and an L2-resident size.
+    bench_fft(&mut rows, 1024, 2000);
+    bench_fft(&mut rows, 16384, 200);
+
+    // Pack kernels: a column count past any cache line (1024 columns of
+    // 16 B each = 16 KiB row stride) over enough rows that columns do
+    // not stay resident between passes.
+    bench_pack(&mut rows, 512, 1024, 20);
+
+    let doc = Value::Object(vec![(
+        "benches".into(),
+        Value::Array(rows.iter().map(Row::to_value).collect()),
+    )]);
+    std::fs::write(&path, beatnik_json::to_string_pretty(&doc))
+        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    eprintln!("wrote {path}");
+}

@@ -2,16 +2,17 @@
 //!
 //! ```text
 //! bench_gate [--comm FRESH] [--fault FRESH] [--serve FRESH]
-//!            [--baseline-dir DIR] [--time-ratio R] [--time-floor-ns NS]
+//!            [--compute FRESH] [--baseline-dir DIR]
+//!            [--time-ratio R] [--time-floor-ns NS]
 //! ```
 //!
 //! Compares freshly generated `BENCH_comm.json` / `BENCH_fault.json` /
-//! `BENCH_serve.json`
+//! `BENCH_serve.json` / `BENCH_compute.json`
 //! against the copies in `crates/bench/baselines/`, prints a verdict
 //! table, and exits non-zero when any metric regressed past its
 //! ceiling (see `beatnik_bench::gate` for the threshold policy).
 
-use beatnik_bench::{gate_comm, gate_fault, gate_serve, GatePolicy, GateReport};
+use beatnik_bench::{gate_comm, gate_compute, gate_fault, gate_serve, GatePolicy, GateReport};
 use beatnik_json::Value;
 use std::path::{Path, PathBuf};
 
@@ -19,17 +20,20 @@ const USAGE: &str = "USAGE: bench_gate [OPTIONS]
   --comm <FILE>           fresh comm bench results [BENCH_comm.json]
   --fault <FILE>          fresh fault bench results [BENCH_fault.json]
   --serve <FILE>          fresh serve bench results [BENCH_serve.json]
+  --compute <FILE>        fresh compute-kernel bench results [BENCH_compute.json]
   --baseline-dir <DIR>    committed baselines [crates/bench/baselines]
   --time-ratio <R>        ceiling multiplier for time metrics [2.0]
   --time-floor-ns <NS>    additive jitter floor for comm time metrics [1e7]
   --fault-floor-ns <NS>   additive jitter floor for fault metrics [1.5e8]
   --serve-floor-ns <NS>   additive jitter floor for serve metrics [2e9]
+  --compute-floor-ns <NS> additive jitter floor for per-element kernel times [5.0]
   --help                  print this message";
 
 struct Options {
     comm: PathBuf,
     fault: PathBuf,
     serve: PathBuf,
+    compute: PathBuf,
     baseline_dir: PathBuf,
     policy: GatePolicy,
 }
@@ -39,6 +43,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         comm: PathBuf::from("BENCH_comm.json"),
         fault: PathBuf::from("BENCH_fault.json"),
         serve: PathBuf::from("BENCH_serve.json"),
+        compute: PathBuf::from("BENCH_compute.json"),
         baseline_dir: PathBuf::from("crates/bench/baselines"),
         policy: GatePolicy::default(),
     };
@@ -53,6 +58,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--comm" => opts.comm = PathBuf::from(value("--comm")?),
             "--fault" => opts.fault = PathBuf::from(value("--fault")?),
             "--serve" => opts.serve = PathBuf::from(value("--serve")?),
+            "--compute" => opts.compute = PathBuf::from(value("--compute")?),
             "--baseline-dir" => opts.baseline_dir = PathBuf::from(value("--baseline-dir")?),
             "--time-ratio" => {
                 opts.policy.time_ratio = value("--time-ratio")?
@@ -73,6 +79,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.policy.serve_floor_ns = value("--serve-floor-ns")?
                     .parse()
                     .map_err(|e| format!("--serve-floor-ns: {e}"))?;
+            }
+            "--compute-floor-ns" => {
+                opts.policy.compute_floor_ns = value("--compute-floor-ns")?
+                    .parse()
+                    .map_err(|e| format!("--compute-floor-ns: {e}"))?;
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown option {other:?}\n{USAGE}")),
@@ -146,6 +157,15 @@ fn main() {
                 &opts.baseline_dir.join("BENCH_serve.json"),
                 &opts.serve,
                 |b, f| gate_serve(b, f, &policy),
+            )?)
+    })
+    .and_then(|bad| {
+        Ok(bad
+            + run_gate(
+                "compute",
+                &opts.baseline_dir.join("BENCH_compute.json"),
+                &opts.compute,
+                |b, f| gate_compute(b, f, &policy),
             )?)
     });
     match result {

@@ -1,6 +1,6 @@
 //! The bench regression gate: diff a freshly generated `BENCH_comm.json`
-//! / `BENCH_fault.json` against the committed baselines and fail on
-//! regressions.
+//! / `BENCH_fault.json` / `BENCH_serve.json` / `BENCH_compute.json`
+//! against the committed baselines and fail on regressions.
 //!
 //! Thresholds are per-metric-class, not global:
 //!
@@ -39,6 +39,12 @@ pub struct GatePolicy {
     /// few hundred jobs on a shared pool — one slow scheduling round
     /// on an oversubscribed CI host moves the tail by whole seconds.
     pub serve_floor_ns: f64,
+    /// Additive floor (ns per element) for the compute-kernel metrics.
+    /// These are tight per-element numbers (fractions of a nanosecond
+    /// to a few nanoseconds), so the floor is correspondingly small —
+    /// it absorbs frequency scaling and cache-state jitter without
+    /// letting a kernel quietly fall back to a slower path.
+    pub compute_floor_ns: f64,
     /// Multiplicative ceiling for deterministic byte counts.
     pub bytes_ratio: f64,
     /// Additive floor (bytes) for deterministic byte counts; absorbs
@@ -53,6 +59,7 @@ impl Default for GatePolicy {
             time_floor_ns: 1.0e7,
             fault_floor_ns: 1.5e8,
             serve_floor_ns: 2.0e9,
+            compute_floor_ns: 5.0,
             bytes_ratio: 1.10,
             bytes_floor: 64.0,
         }
@@ -307,6 +314,48 @@ pub fn gate_serve(
     Ok(report)
 }
 
+/// Gate a fresh `BENCH_compute.json` against its baseline. Rows join on
+/// `(kernel, variant, n)`; `ns_per_elem` is time-like with the tight
+/// compute floor (these are single-node kernel timings, not
+/// communication). Informational fields like `gbps` are not gated —
+/// throughput is the reciprocal view of the gated time.
+pub fn gate_compute(
+    baseline: &Value,
+    fresh: &Value,
+    policy: &GatePolicy,
+) -> Result<GateReport, String> {
+    let mut fresh_by_key = BTreeMap::new();
+    for row in bench_rows(fresh)? {
+        let key = (
+            field_str(row, "kernel")?.to_string(),
+            field_str(row, "variant")?.to_string(),
+            field_f64(row, "n")? as u64,
+        );
+        fresh_by_key.insert(key, row);
+    }
+    let mut report = GateReport::default();
+    for row in bench_rows(baseline)? {
+        let kernel = field_str(row, "kernel")?;
+        let variant = field_str(row, "variant")?;
+        let n = field_f64(row, "n")? as u64;
+        let key = format!("{kernel}/{variant} n={n}");
+        let fresh_ns = fresh_by_key
+            .get(&(kernel.to_string(), variant.to_string(), n))
+            .map(|r| field_f64(r, "ns_per_elem"))
+            .transpose()?;
+        check(
+            &mut report,
+            &key,
+            "ns_per_elem",
+            field_f64(row, "ns_per_elem")?,
+            fresh_ns,
+            policy.time_ratio,
+            policy.compute_floor_ns,
+        );
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -441,6 +490,28 @@ mod tests {
         // A vanished bench case is a regression.
         let empty = beatnik_json::parse(r#"{"benches": []}"#).unwrap();
         let report = gate_serve(&doc(1.0e9), &empty, &GatePolicy::default()).unwrap();
+        assert_eq!(report.regressions(), 1);
+    }
+
+    #[test]
+    fn compute_gate_joins_on_kernel_variant_n() {
+        let doc = |ns: f64| {
+            beatnik_json::parse(&format!(
+                r#"{{"benches": [{{"kernel": "fft_forward", "variant": "simd",
+                     "n": 4096, "ns_per_elem": {ns}, "gbps": 12.0}}]}}"#
+            ))
+            .unwrap()
+        };
+        // The small compute floor absorbs cache/frequency jitter on a
+        // sub-ns baseline...
+        let report = gate_compute(&doc(0.8), &doc(3.1), &GatePolicy::default()).unwrap();
+        assert_eq!(report.regressions(), 0, "{}", report.text());
+        // ...but a kernel that fell back to a 10x slower path fails.
+        let report = gate_compute(&doc(0.8), &doc(8.0), &GatePolicy::default()).unwrap();
+        assert_eq!(report.regressions(), 1);
+        // A vanished kernel row is a regression.
+        let empty = beatnik_json::parse(r#"{"benches": []}"#).unwrap();
+        let report = gate_compute(&doc(0.8), &empty, &GatePolicy::default()).unwrap();
         assert_eq!(report.regressions(), 1);
     }
 

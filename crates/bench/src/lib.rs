@@ -28,7 +28,7 @@ pub mod lowmodel;
 pub mod cutoffmodel;
 
 pub use figures::*;
-pub use gate::{gate_comm, gate_fault, gate_serve, GatePolicy, GateReport};
+pub use gate::{gate_comm, gate_compute, gate_fault, gate_serve, GatePolicy, GateReport};
 pub use lowmodel::LowOrderModel;
 pub use cutoffmodel::CutoffModel;
 

@@ -18,7 +18,7 @@ use beatnik_telemetry::CommOp;
 /// # Panics
 /// Panics if the root passes `None` or a non-root passes `Some` (a
 /// collective-contract violation).
-pub fn broadcast<T: CommData + Clone>(
+pub fn broadcast<T: CommData + Clone + Sync>(
     comm: &Communicator,
     root: usize,
     data: Option<Vec<T>>,
@@ -68,15 +68,20 @@ pub fn broadcast<T: CommData + Clone>(
         m >>= 1;
         m
     };
+    // One Arc fans the buffer out to every child without a sender-side
+    // clone per child; the last receiver to claim it takes the
+    // allocation, so a forwarding rank clones at most once (below, if a
+    // child still holds a reference when we reclaim our copy).
+    let shared = std::sync::Arc::new(buf);
     while mask > 0 {
         if vrank & (mask - 1) == 0 && vrank | mask < p && vrank & mask == 0 {
             let child = ((vrank | mask) + root) % p;
-            comm.coll_send(child, mask as u64, buf.clone(), OpKind::Broadcast);
+            comm.coll_send_shared(child, mask as u64, &shared, OpKind::Broadcast);
         }
         mask >>= 1;
     }
-    span.bytes(std::mem::size_of_val(buf.as_slice()) as u64);
-    Ok(buf)
+    span.bytes(std::mem::size_of_val(shared.as_slice()) as u64);
+    Ok(std::sync::Arc::try_unwrap(shared).unwrap_or_else(|arc| (*arc).clone()))
 }
 
 #[cfg(test)]

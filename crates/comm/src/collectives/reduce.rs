@@ -78,7 +78,7 @@ fn reduce_impl<T: CommData + Clone, O: ReduceOp<T>>(
 }
 
 /// Allreduce a single value across all ranks.
-pub fn allreduce<T: CommData + Clone, O: ReduceOp<T>>(
+pub fn allreduce<T: CommData + Clone + Sync, O: ReduceOp<T>>(
     comm: &Communicator,
     value: T,
     op: &O,
@@ -91,7 +91,7 @@ pub fn allreduce<T: CommData + Clone, O: ReduceOp<T>>(
 /// Uses recursive doubling when the group size is a power of two
 /// (⌈log₂P⌉ rounds, every rank active every round); otherwise falls back
 /// to a binomial reduce to rank 0 followed by a binomial broadcast.
-pub fn allreduce_vec<T: CommData + Clone, O: ReduceOp<T>>(
+pub fn allreduce_vec<T: CommData + Clone + Sync, O: ReduceOp<T>>(
     comm: &Communicator,
     value: Vec<T>,
     op: &O,

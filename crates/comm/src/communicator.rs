@@ -473,6 +473,7 @@ impl Communicator {
         let deliver = self.fault_point();
         let t = self.telemetry.begin();
         let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+        self.trace.record_handoff(bytes);
         self.trace.record(OpKind::Send, 1, bytes);
         self.trace.record_message(OpKind::Send, bytes);
         self.record_peer_traffic(dest, bytes);
@@ -767,6 +768,89 @@ impl Communicator {
         SendRequest::new(self)
     }
 
+    /// Nonblocking **ownership-transfer** send: the caller gives up the
+    /// buffer and the allocation moves to the receiver by pointer — zero
+    /// payload bytes copied, at any size, on any backend (charged to the
+    /// `handoff` counter, never to `copied`). This is the rendezvous
+    /// protocol the way the hardware wants it: on the thread backend the
+    /// `Vec` itself crosses; on shmem loopback large envelopes ride the
+    /// in-process handoff slab (a token frame keeps ring FIFO order)
+    /// instead of being serialized; wire backends that must serialize do
+    /// so transport-internally, which the protocol accounting never
+    /// charges (see DESIGN.md §15).
+    ///
+    /// Prefer this over [`Communicator::isend`] whenever the payload is
+    /// already an owned `Vec` you do not need afterwards — packing loops
+    /// that build per-destination buffers get large-message sends for
+    /// free.
+    pub fn isend_owned<T: CommData>(&self, dest: usize, tag: Tag, data: Vec<T>) -> SendRequest<'_> {
+        self.check_rank(dest).expect("isend_owned: invalid destination");
+        let deliver = self.fault_point();
+        let t = self.telemetry.begin();
+        let bytes = std::mem::size_of_val(data.as_slice());
+        self.trace.record_handoff(bytes as u64);
+        self.trace.record(OpKind::Send, 1, bytes as u64);
+        self.trace.record_message(OpKind::Send, bytes as u64);
+        self.record_peer_traffic(dest, bytes as u64);
+        self.trace.request_posted();
+        if deliver {
+            self.deliver(0, dest, Envelope::new(self.rank, tag, data));
+        }
+        self.telemetry
+            .end(t, SpanKind::Op(CommOp::Isend), dest as i64, tag, bytes as u64);
+        SendRequest::new(self)
+    }
+
+    /// Nonblocking **shared-buffer** send: one `Arc<Vec<T>>` fanned out
+    /// to many destinations without the sender ever copying payload
+    /// bytes. Each destination's envelope holds an `Arc` clone; the last
+    /// receiver to claim the buffer takes the allocation itself, earlier
+    /// ones clone on receipt (`T: Clone` exists for exactly that
+    /// fallback). Send-side copy accounting is zero, like
+    /// [`Communicator::isend_owned`].
+    pub fn isend_shared<T: CommData + Clone + Sync>(
+        &self,
+        dest: usize,
+        tag: Tag,
+        data: &std::sync::Arc<Vec<T>>,
+    ) -> SendRequest<'_> {
+        self.check_rank(dest).expect("isend_shared: invalid destination");
+        let deliver = self.fault_point();
+        let t = self.telemetry.begin();
+        let bytes = std::mem::size_of_val(data.as_slice());
+        self.trace.record_handoff(bytes as u64);
+        self.trace.record(OpKind::Send, 1, bytes as u64);
+        self.trace.record_message(OpKind::Send, bytes as u64);
+        self.record_peer_traffic(dest, bytes as u64);
+        self.trace.request_posted();
+        if deliver {
+            self.deliver(
+                0,
+                dest,
+                Envelope::from_shared(self.rank, tag, std::sync::Arc::clone(data)),
+            );
+        }
+        self.telemetry
+            .end(t, SpanKind::Op(CommOp::Isend), dest as i64, tag, bytes as u64);
+        SendRequest::new(self)
+    }
+
+    /// Whether envelopes to `dest` move by pointer end to end on the
+    /// installed transport (ownership handoff), rather than being
+    /// serialized through a wire. True for the thread backend and for
+    /// shmem when `dest` is hosted in this process; false across real
+    /// process or machine boundaries.
+    pub fn transport_handoff(&self, dest: usize) -> bool {
+        self.check_rank(dest)
+            .expect("transport_handoff: invalid destination");
+        let dst_world = self.world_of[dest];
+        match self.registry.transport() {
+            Some(t) => t.pointer_handoff(dst_world),
+            // No transport installed: direct mailbox pushes, by pointer.
+            None => true,
+        }
+    }
+
     /// Post a nonblocking receive for a message matching `(src, tag)`
     /// (wildcards allowed). Complete it with [`RecvRequest::wait`],
     /// poll with [`RecvRequest::test`], or batch with
@@ -802,11 +886,38 @@ impl Communicator {
         debug_assert!(dest < self.size);
         let deliver = self.fault_point();
         let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+        self.trace.record_handoff(bytes);
         self.trace.add_traffic(kind, 1, bytes);
         self.trace.record_message(kind, bytes);
         self.record_peer_traffic(dest, bytes);
         if deliver {
             self.deliver(COLLECTIVE_CHANNEL, dest, Envelope::new(self.rank, tag, data));
+        }
+    }
+
+    /// Shared-buffer send on the collective channel: one `Arc<Vec<T>>`
+    /// fanned out without sender-side clones (see
+    /// [`Communicator::isend_shared`] for the claim semantics).
+    pub(crate) fn coll_send_shared<T: CommData + Clone + Sync>(
+        &self,
+        dest: usize,
+        tag: Tag,
+        data: &std::sync::Arc<Vec<T>>,
+        kind: OpKind,
+    ) {
+        debug_assert!(dest < self.size);
+        let deliver = self.fault_point();
+        let bytes = std::mem::size_of_val(data.as_slice()) as u64;
+        self.trace.record_handoff(bytes);
+        self.trace.add_traffic(kind, 1, bytes);
+        self.trace.record_message(kind, bytes);
+        self.record_peer_traffic(dest, bytes);
+        if deliver {
+            self.deliver(
+                COLLECTIVE_CHANNEL,
+                dest,
+                Envelope::from_shared(self.rank, tag, std::sync::Arc::clone(data)),
+            );
         }
     }
 
@@ -877,7 +988,7 @@ impl Communicator {
     }
 
     /// Broadcast `root`'s buffer to every rank (binomial tree).
-    pub fn broadcast<T: CommData + Clone>(&self, root: usize, data: Option<Vec<T>>) -> Vec<T> {
+    pub fn broadcast<T: CommData + Clone + Sync>(&self, root: usize, data: Option<Vec<T>>) -> Vec<T> {
         self.try_broadcast(root, data)
             .unwrap_or_else(|e| self.escalate("broadcast", e))
     }
@@ -916,13 +1027,13 @@ impl Communicator {
     }
 
     /// Allreduce a single value (recursive doubling / reduce+broadcast).
-    pub fn allreduce<T: CommData + Clone, O: ReduceOp<T>>(&self, value: T, op: &O) -> T {
+    pub fn allreduce<T: CommData + Clone + Sync, O: ReduceOp<T>>(&self, value: T, op: &O) -> T {
         self.try_allreduce(value, op)
             .unwrap_or_else(|e| self.escalate("allreduce", e))
     }
 
     /// Fallible [`Communicator::allreduce`].
-    pub fn try_allreduce<T: CommData + Clone, O: ReduceOp<T>>(
+    pub fn try_allreduce<T: CommData + Clone + Sync, O: ReduceOp<T>>(
         &self,
         value: T,
         op: &O,
@@ -931,13 +1042,13 @@ impl Communicator {
     }
 
     /// Element-wise allreduce over vectors.
-    pub fn allreduce_vec<T: CommData + Clone, O: ReduceOp<T>>(&self, value: Vec<T>, op: &O) -> Vec<T> {
+    pub fn allreduce_vec<T: CommData + Clone + Sync, O: ReduceOp<T>>(&self, value: Vec<T>, op: &O) -> Vec<T> {
         self.try_allreduce_vec(value, op)
             .unwrap_or_else(|e| self.escalate("allreduce_vec", e))
     }
 
     /// Fallible [`Communicator::allreduce_vec`].
-    pub fn try_allreduce_vec<T: CommData + Clone, O: ReduceOp<T>>(
+    pub fn try_allreduce_vec<T: CommData + Clone + Sync, O: ReduceOp<T>>(
         &self,
         value: Vec<T>,
         op: &O,
@@ -1326,7 +1437,7 @@ impl Communicator {
 
     /// Fallible [`Communicator::broadcast`]: `Err` on an out-of-range
     /// root or a root that supplies no buffer.
-    pub fn try_broadcast<T: CommData + Clone>(
+    pub fn try_broadcast<T: CommData + Clone + Sync>(
         &self,
         root: usize,
         data: Option<Vec<T>>,

@@ -26,6 +26,14 @@
 //!   queue at all (the in-process analogue of MPI's matched
 //!   posted-receive fast path).
 //!
+//! Every path through the mailbox moves [`crate::message::Envelope`]s
+//! **by value** — push, bucket queueing, consumer deposit, and receive
+//! all transfer the envelope itself, never its payload bytes. That is
+//! what makes the ownership-transfer send path
+//! ([`crate::Communicator::isend_owned`]) end-to-end zero-copy: the
+//! sender's `Vec` allocation rides inside the envelope untouched until
+//! the receiver unwraps it (DESIGN.md §15).
+//!
 //! Non-overtaking is preserved by construction: a receiver registers
 //! only under the same lock where it found no queued match, consumers
 //! are matched in registration order, and same-`(src, tag)` envelopes

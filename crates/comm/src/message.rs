@@ -1,13 +1,20 @@
 //! Message envelopes moved between rank mailboxes.
 //!
-//! A message payload takes one of two forms:
+//! A message payload takes one of four forms:
 //!
 //! * **Typed** — a `Vec<T>` boxed as `dyn Any`, so the mailbox can be
 //!   type-agnostic while transfers stay zero-copy (the vector's heap
 //!   buffer moves between threads untouched). Used by the blocking
-//!   by-value send path and by the **rendezvous** protocol: slice sends
-//!   above the eager limit materialise the payload once into an owned
-//!   `Vec` that then moves by pointer.
+//!   by-value send path, the ownership-transfer path
+//!   ([`crate::Communicator::isend_owned`]), and the **rendezvous**
+//!   protocol: slice sends above the eager limit materialise the payload
+//!   once into an owned `Vec` that then moves by pointer.
+//! * **Shared** — an `Arc<Vec<T>>` cloned per destination, for
+//!   multi-destination sends of one buffer
+//!   ([`crate::Communicator::isend_shared`], broadcast fan-out). The
+//!   sender never copies payload bytes; the *last* receiver to claim the
+//!   buffer takes the allocation itself (`Arc::try_unwrap`), earlier
+//!   ones clone.
 //! * **Pooled** — raw bytes in a [`PooledBuf`] checked out of the sending
 //!   rank's [`crate::pool::BufferPool`], tagged with the element
 //!   `TypeId`. Used by the **eager** protocol for slice sends at or
@@ -15,6 +22,8 @@
 //!   the slice into a reused envelope, and when the receiver unpacks the
 //!   payload the envelope returns to the sender's pool. Restricted to
 //!   `T: Copy`.
+//! * **Raw** — bytes reconstructed from a wire frame by the shmem/TCP
+//!   pollers.
 //!
 //! The envelope carries the metadata MPI would put on the wire: source
 //! rank, tag, and the payload size in bytes (used by the instrumentation
@@ -23,6 +32,7 @@
 use crate::error::CommError;
 use crate::pool::PooledBuf;
 use std::any::{Any, TypeId};
+use std::sync::Arc;
 
 /// Marker trait for element types that can travel in a message.
 ///
@@ -32,10 +42,18 @@ use std::any::{Any, TypeId};
 pub trait CommData: Send + 'static {}
 impl<T: Send + 'static> CommData for T {}
 
-/// The three payload transports.
+/// The four payload transports.
 enum Payload {
     /// An owned `Vec<T>` moved by pointer.
     Typed(Box<dyn Any + Send>),
+    /// An `Arc<Vec<T>>` shared with the sender and/or other envelopes of
+    /// the same buffer. `take` is the monomorphized claim function
+    /// captured at construction: unwrap the allocation when this is the
+    /// last reference, clone otherwise.
+    Shared {
+        arc: Arc<dyn Any + Send + Sync>,
+        take: fn(Arc<dyn Any + Send + Sync>) -> Box<dyn Any + Send>,
+    },
     /// `count` elements of the type with id `elem`, memcpy'd into a
     /// pooled byte envelope.
     Pooled { buf: PooledBuf, elem: TypeId },
@@ -45,6 +63,19 @@ enum Payload {
     /// sender only produces a wire view for plain-data types (no drop
     /// glue; see [`Envelope::wire_view`]).
     Raw(Vec<u8>),
+}
+
+/// Claim a shared buffer: move the allocation out when this envelope
+/// holds the last `Arc` reference, clone the contents otherwise.
+/// Monomorphized per element type at [`Envelope::from_shared`].
+fn shared_take<T: CommData + Clone + Sync>(
+    arc: Arc<dyn Any + Send + Sync>,
+) -> Box<dyn Any + Send> {
+    let typed = arc
+        .downcast::<Vec<T>>()
+        .expect("shared claim called with foreign payload");
+    let v = Arc::try_unwrap(typed).unwrap_or_else(|still_shared| (*still_shared).clone());
+    Box::new(v)
 }
 
 /// Monomorphized byte view of a `Payload::Typed` buffer. Captured as a
@@ -137,6 +168,28 @@ impl Envelope {
         }
     }
 
+    /// Wrap a shared buffer into an envelope (Arc-slice transport). The
+    /// sender copies nothing; see the module docs for who ends up owning
+    /// the allocation. `T: Clone` is required only for the
+    /// earlier-receiver fallback — the last claim is a move.
+    pub fn from_shared<T: CommData + Clone + Sync>(src: usize, tag: u64, data: Arc<Vec<T>>) -> Self {
+        let count = data.len();
+        let bytes = count * std::mem::size_of::<T>();
+        Envelope {
+            src,
+            tag,
+            payload: Payload::Shared {
+                arc: data,
+                take: shared_take::<T>,
+            },
+            bytes,
+            count,
+            type_name: std::any::type_name::<T>(),
+            elem_size: std::mem::size_of::<T>(),
+            byte_view: (!std::mem::needs_drop::<T>()).then_some(typed_bytes::<T> as _),
+        }
+    }
+
     /// Copy a slice into a pooled byte envelope (pooled transport). The
     /// `T: Copy` bound is what makes the byte-level round trip sound.
     pub fn from_slice<T: CommData + Copy>(
@@ -168,6 +221,11 @@ impl Envelope {
     pub(crate) fn wire_view(&self) -> Option<&[u8]> {
         match &self.payload {
             Payload::Typed(any) => self.byte_view.map(|view| view(any.as_ref())),
+            Payload::Shared { arc, .. } => {
+                // Dropping `Sync` from the trait object is a plain
+                // coercion; the view fn only needs `Any` to downcast.
+                self.byte_view.map(|view| view(arc.as_ref() as &(dyn Any + Send)))
+            }
             Payload::Pooled { buf, .. } => Some(&buf.as_slice()[..self.bytes]),
             Payload::Raw(bytes) => Some(bytes),
         }
@@ -222,6 +280,10 @@ impl Envelope {
         };
         match self.payload {
             Payload::Typed(any) => match any.downcast::<Vec<T>>() {
+                Ok(v) => Ok(*v),
+                Err(_) => Err(mismatch),
+            },
+            Payload::Shared { arc, take } => match take(arc).downcast::<Vec<T>>() {
                 Ok(v) => Ok(*v),
                 Err(_) => Err(mismatch),
             },
@@ -314,6 +376,35 @@ mod tests {
         assert_eq!(v, vec![10, 20, 30]);
         // The envelope returned its buffer to the pool on unpack.
         assert_eq!(pool.stats().free, 1);
+    }
+
+    #[test]
+    fn shared_claims_move_when_last_and_clone_when_not() {
+        let buf = Arc::new(vec![1u64, 2, 3]);
+        let ptr = buf.as_ptr();
+        let e1 = Envelope::from_shared(0, 1, Arc::clone(&buf));
+        let e2 = Envelope::from_shared(0, 2, Arc::clone(&buf));
+        assert_eq!(e1.bytes, 24);
+        assert_eq!(e1.count, 3);
+        drop(buf); // only the two envelopes hold the buffer now
+        let v1: Vec<u64> = e1.into_data(); // still shared with e2: clones
+        assert_eq!(v1, vec![1, 2, 3]);
+        assert_ne!(v1.as_ptr(), ptr);
+        let v2: Vec<u64> = e2.into_data(); // last reference: moves
+        assert_eq!(v2, vec![1, 2, 3]);
+        assert_eq!(v2.as_ptr(), ptr);
+    }
+
+    #[test]
+    fn shared_payloads_have_wire_views_and_reject_type_confusion() {
+        let buf = Arc::new(vec![9u32, 8, 7]);
+        let env = Envelope::from_shared(2, 5, Arc::clone(&buf));
+        let bytes = env.wire_view().expect("u32 is wire-safe").to_vec();
+        assert_eq!(bytes.len(), 12);
+        let back = Envelope::from_wire(2, 5, env.count, env.elem_size, env.type_name, bytes);
+        assert_eq!(back.into_data::<u32>(), vec![9, 8, 7]);
+        let err = env.try_into_data::<f32>().unwrap_err();
+        assert!(matches!(err, CommError::TypeMismatch { .. }));
     }
 
     #[test]

@@ -13,6 +13,16 @@
 //!
 //! Hits and misses are counted both here (for standalone diagnostics) and
 //! in the per-rank [`crate::RankTrace`] (for the world-level report).
+//!
+//! The pool serves only the *eager* copying path. Ownership-transfer
+//! sends ([`crate::Communicator::isend_owned`] /
+//! [`crate::Communicator::isend_shared`]) bypass it entirely: the
+//! caller's own allocation travels in the envelope and is freed by
+//! whoever ends up owning it (the receiver, or the last `Arc` holder
+//! for shared sends) — nothing is returned here. A workload that
+//! switches its large messages to owned sends will therefore see its
+//! pool traffic drop to zero along with its copied bytes (DESIGN.md
+//! §15).
 
 use crate::sync::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -177,8 +177,14 @@ pub struct RankTrace {
     /// Payload bytes physically copied by the transport on this rank's
     /// sends (eager/pooled sends count the payload twice — once into the
     /// envelope, once out at the receiver; rendezvous sends count it
-    /// once; owned-`Vec` sends move the allocation and count zero).
+    /// once; ownership-transfer sends move the allocation and count
+    /// zero, on every backend — wire serialization is transport-internal
+    /// and never charged here, so the accounting is backend-uniform).
     copied: Counter,
+    /// Payload bytes moved by ownership transfer (owned-`Vec` and shared
+    /// `Arc` sends): the zero-copy traffic. Disjoint from `copied` by
+    /// construction — a send charges one or the other, never both.
+    handoff: Counter,
     /// Peak simultaneously checked-out send-pool buffers, mirrored from
     /// [`crate::BufferPool`] when the world joins.
     pool_peak_in_flight: Gauge,
@@ -257,6 +263,11 @@ impl RankTrace {
             copied: reg.counter(
                 "beatnik_transport_copied_bytes_total",
                 "payload bytes physically copied by the transport",
+                &rl,
+            ),
+            handoff: reg.counter(
+                "beatnik_transport_handoff_bytes_total",
+                "payload bytes moved by zero-copy ownership transfer",
                 &rl,
             ),
             pool_peak_in_flight: reg.gauge(
@@ -430,6 +441,17 @@ impl RankTrace {
         self.copied.get()
     }
 
+    /// Record that `bytes` payload bytes moved by ownership transfer —
+    /// the allocation changed hands without a copy.
+    pub fn record_handoff(&self, bytes: u64) {
+        self.handoff.add(bytes);
+    }
+
+    /// Payload bytes this rank's sends moved by zero-copy handoff.
+    pub fn handoff_bytes(&self) -> u64 {
+        self.handoff.get()
+    }
+
     /// Mirror the send pool's peak-in-flight gauge into the trace (the
     /// world does this after joining so summaries can report it).
     pub fn set_pool_peak_in_flight(&self, peak: u64) {
@@ -466,6 +488,7 @@ impl RankTrace {
         self.outstanding.reset();
         self.peak_outstanding.reset();
         self.copied.reset();
+        self.handoff.reset();
         self.pool_peak_in_flight.reset();
     }
 }
@@ -545,6 +568,14 @@ impl WorldTrace {
     /// 1× = fully rendezvous, 0× = owned-`Vec` moves).
     pub fn copied_bytes(&self) -> u64 {
         self.per_rank.iter().map(|t| t.copied_bytes()).sum()
+    }
+
+    /// Payload bytes moved by zero-copy ownership transfer across the
+    /// whole world. Together with [`copied_bytes`](WorldTrace::copied_bytes)
+    /// this partitions all accounted payload traffic: handoff bytes are
+    /// the ones the transport did *not* have to touch.
+    pub fn handoff_bytes(&self) -> u64 {
+        self.per_rank.iter().map(|t| t.handoff_bytes()).sum()
     }
 
     /// Largest send-pool peak-in-flight gauge over all ranks.
@@ -701,6 +732,10 @@ impl WorldTrace {
         let copied = self.copied_bytes();
         if copied > 0 {
             let _ = writeln!(out, "payload bytes copied by transport: {copied}");
+        }
+        let handoff = self.handoff_bytes();
+        if handoff > 0 {
+            let _ = writeln!(out, "payload bytes moved zero-copy (ownership transfer): {handoff}");
         }
         let peak = self.peak_outstanding();
         if peak > 0 {

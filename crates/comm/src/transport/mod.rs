@@ -165,6 +165,19 @@ pub trait Transport: Send + Sync {
     /// rank that hosts the destination mailbox.
     fn deliver(&self, registry: &Registry, route: Route, env: Envelope);
 
+    /// Whether envelopes addressed to `dst_world` move by pointer end to
+    /// end — the sender's allocation is claimed by the receiver with no
+    /// serialization in between. True for the thread backend everywhere
+    /// and for shmem when the destination mailbox is hosted in this
+    /// process (loopback worlds, self-sends); false across real process
+    /// or machine boundaries, where a wire copy is physically required.
+    /// Ownership-transfer sends ([`crate::Communicator::isend_owned`])
+    /// charge zero protocol copies regardless — this capability reports
+    /// what the *backend* does underneath.
+    fn pointer_handoff(&self, _dst_world: usize) -> bool {
+        false
+    }
+
     /// Propagate failure-ledger news to ranks with their own registry.
     /// No-op for backends whose ranks share one.
     fn publish_ctrl(&self, _ctrl: CtrlMsg) {}
@@ -187,7 +200,10 @@ pub(crate) fn build_loopback(
     match kind {
         TransportKind::Thread => Arc::new(thread::ThreadTransport),
         TransportKind::Shmem => Arc::new(
-            shmem::ShmemTransport::loopback(num_ranks, config.shm_ring_bytes)
+            // Messages at or above the eager limit take the zero-copy
+            // handoff slab; below it they exercise real serialization,
+            // mirroring the protocol split above the transport.
+            shmem::ShmemTransport::loopback(num_ranks, config.shm_ring_bytes, config.eager_limit)
                 .unwrap_or_else(|e| panic!("shmem transport setup failed: {e}")),
         ),
         TransportKind::Tcp => Arc::new(

@@ -15,7 +15,16 @@
 //! * **loopback** — all ranks are threads of this process; one poller
 //!   drains every ring into the shared registry's mailboxes. Used by
 //!   the backend test matrix so the full collective/fault suites
-//!   exercise real serialization and real shared memory.
+//!   exercise real serialization and real shared memory. Large
+//!   wire-safe envelopes (at or above the world's eager limit) skip
+//!   serialization entirely: the envelope is stashed in a
+//!   process-local **handoff slab** and only a ~21-byte `HANDOFF`
+//!   token rides the ring, so FIFO order against smaller serialized
+//!   frames is preserved while the payload allocation moves by
+//!   pointer — `bytes_copied_per_op == 0` for large messages, same as
+//!   the thread backend. (A handoff frame also never hits the ring's
+//!   frame-size ceiling, so loopback worlds can carry messages larger
+//!   than the ring itself.)
 //! * **per-process** ([`ShmemTransport::for_process`]) — each rank is
 //!   its own process (spawned by [`crate::proc`]); the poller drains
 //!   only rings addressed to the local rank, and failure-ledger news
@@ -260,13 +269,30 @@ pub struct ShmemTransport {
     owns_dir: bool,
     stop: Arc<AtomicBool>,
     poller: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Process-local slab of envelopes travelling zero-copy: the ring
+    /// carries only a token, the poller claims the envelope from here.
+    /// Shared with the poller thread.
+    handoff: Arc<Mutex<HashMap<u64, Envelope>>>,
+    /// Token mint for the slab.
+    handoff_seq: AtomicU64,
+    /// Smallest payload (bytes) taking the handoff path; `usize::MAX`
+    /// disables it (per-process mode, where no cross-rank destination is
+    /// ever in-process).
+    handoff_min: usize,
 }
 
 impl ShmemTransport {
     /// Build a loopback transport: every rank is a thread of this
     /// process, rings live in a fresh private directory, and one poller
-    /// drains them all into the shared registry.
-    pub fn loopback(num_ranks: usize, ring_bytes: usize) -> io::Result<ShmemTransport> {
+    /// drains them all into the shared registry. Wire-safe payloads of
+    /// `handoff_min` bytes or more move zero-copy through the handoff
+    /// slab (pass `usize::MAX` to force everything through
+    /// serialization).
+    pub fn loopback(
+        num_ranks: usize,
+        ring_bytes: usize,
+        handoff_min: usize,
+    ) -> io::Result<ShmemTransport> {
         let dir = std::env::temp_dir().join(format!("beatnik-shm-{}", unique_suffix()));
         std::fs::create_dir_all(&dir)?;
         let mut me = ShmemTransport {
@@ -277,6 +303,9 @@ impl ShmemTransport {
             owns_dir: true,
             stop: Arc::new(AtomicBool::new(false)),
             poller: Mutex::new(None),
+            handoff: Arc::new(Mutex::new(HashMap::new())),
+            handoff_seq: AtomicU64::new(0),
+            handoff_min,
         };
         for src in 0..num_ranks {
             for dst in 0..num_ranks {
@@ -308,6 +337,11 @@ impl ShmemTransport {
             owns_dir: false,
             stop: Arc::new(AtomicBool::new(false)),
             poller: Mutex::new(None),
+            handoff: Arc::new(Mutex::new(HashMap::new())),
+            handoff_seq: AtomicU64::new(0),
+            // Every cross-rank destination is another process: a pointer
+            // would be meaningless there, so the slab never engages.
+            handoff_min: usize::MAX,
         };
         for peer in 0..num_ranks {
             if peer == my_rank {
@@ -363,6 +397,7 @@ impl Transport for ShmemTransport {
         let registry = Arc::clone(registry);
         let rings: Vec<Arc<Ring>> = self.drain.clone();
         let stop = Arc::clone(&self.stop);
+        let handoff = Arc::clone(&self.handoff);
         let handle = std::thread::Builder::new()
             .name("beatnik-shm-poller".into())
             .spawn(move || {
@@ -373,6 +408,24 @@ impl Transport for ShmemTransport {
                         while let Some(frame) = ring.pop_frame() {
                             drained = true;
                             match wire::decode(&frame) {
+                                // Handoff tokens are claimed here, where
+                                // the sender's slab is in reach; the
+                                // stashed envelope moves by pointer into
+                                // the destination mailbox, in ring order.
+                                Ok(wire::Frame::Handoff {
+                                    comm,
+                                    dst_local,
+                                    token,
+                                }) => {
+                                    let env = handoff
+                                        .lock()
+                                        .unwrap()
+                                        .remove(&token)
+                                        .unwrap_or_else(|| {
+                                            panic!("handoff token {token} with no stashed envelope")
+                                        });
+                                    registry.mailbox(comm, dst_local).push(env);
+                                }
                                 Ok(f) => wire::apply(f, &registry),
                                 Err(e) => panic!("corrupt shm frame: {e}"),
                             }
@@ -413,7 +466,29 @@ impl Transport for ShmemTransport {
                     route.src_world, route.dst_world
                 )
             });
+        // Zero-copy handoff: when the destination mailbox lives in this
+        // process and the payload is large and wire-safe, stash the
+        // envelope and push only a token through the ring. The token
+        // flows through the same FIFO ring as serialized frames, so
+        // non-overtaking order is preserved; droppy payloads (no wire
+        // view) keep today's loud serialization failure rather than
+        // silently working only above the threshold.
+        if env.bytes >= self.handoff_min
+            && env.wire_view().is_some()
+            && self.local.contains(&route.dst_world)
+        {
+            let token = self.handoff_seq.fetch_add(1, Ordering::Relaxed);
+            self.handoff.lock().unwrap().insert(token, env);
+            ring.push_frame(&wire::encode_handoff(route.comm, route.dst_local, token));
+            return;
+        }
         ring.push_frame(&wire::encode_data(route.comm, route.dst_local, &env));
+    }
+
+    fn pointer_handoff(&self, dst_world: usize) -> bool {
+        // In-process destinations get the slab (large messages) or a
+        // direct push (self-sends); cross-process ones need the wire.
+        self.local.contains(&dst_world)
     }
 
     fn publish_ctrl(&self, ctrl: CtrlMsg) {
@@ -498,5 +573,48 @@ mod tests {
     fn oversized_frames_panic_with_the_env_hint() {
         let (ring, _path) = test_ring(4096);
         ring.push_frame(&vec![0u8; 8192]);
+    }
+
+    #[test]
+    fn handoff_moves_large_envelopes_without_serialization_in_ring_order() {
+        let registry = Arc::new(Registry::new());
+        // handoff_min 64: the 8-byte message serializes, the big ones
+        // ride the slab. The 8 KiB payload exceeds the 4 KiB ring, so it
+        // can only arrive via handoff — reaching the mailbox at all
+        // proves no serialized frame carried it.
+        let t = ShmemTransport::loopback(2, 4096, 64).unwrap();
+        t.attach(&registry);
+        let r = Route {
+            comm: 0,
+            dst_local: 1,
+            src_world: 0,
+            dst_world: 1,
+        };
+        t.deliver(&registry, r, Envelope::new(0, 1, vec![7u64]));
+        let big: Vec<u64> = (0..1024).collect();
+        t.deliver(&registry, r, Envelope::new(0, 2, big.clone()));
+        t.deliver(&registry, r, Envelope::new(0, 3, vec![9u64]));
+        let mb = registry.mailbox(0, 1);
+        let timeout = Duration::from_secs(5);
+        // Wildcard receives absorb strictly in arrival order: the
+        // handoff token must not have overtaken frame 1 nor been
+        // overtaken by frame 3.
+        let a = mb.recv_matching_timeout(1, usize::MAX, u64::MAX, timeout).unwrap();
+        assert_eq!(a.tag, 1);
+        let b = mb.recv_matching_timeout(1, usize::MAX, u64::MAX, timeout).unwrap();
+        assert_eq!(b.tag, 2);
+        assert_eq!(b.into_data::<u64>(), big);
+        let c = mb.recv_matching_timeout(1, usize::MAX, u64::MAX, timeout).unwrap();
+        assert_eq!(c.tag, 3);
+        assert!(t.handoff.lock().unwrap().is_empty(), "slab must drain");
+        t.shutdown();
+    }
+
+    #[test]
+    fn handoff_capability_tracks_local_ranks() {
+        let t = ShmemTransport::loopback(3, 4096, 64).unwrap();
+        assert!(t.pointer_handoff(0));
+        assert!(t.pointer_handoff(2));
+        t.shutdown();
     }
 }

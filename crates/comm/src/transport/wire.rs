@@ -8,11 +8,20 @@
 //! values).
 //!
 //! ```text
-//! DATA: 0x00 | comm u64 | dst_local u32 | src u32 | tag u64
-//!            | count u64 | elem_size u32 | name_len u16 | name bytes
-//!            | payload_len u64 | payload bytes
-//! CTRL: 0x01 | code u8 (0 FAILED, 1 REVOKE, 2 ABORT, 3 BYE) | arg u64
+//! DATA:    0x00 | comm u64 | dst_local u32 | src u32 | tag u64
+//!               | count u64 | elem_size u32 | name_len u16 | name bytes
+//!               | payload_len u64 | payload bytes
+//! CTRL:    0x01 | code u8 (0 FAILED, 1 REVOKE, 2 ABORT, 3 BYE) | arg u64
+//! HANDOFF: 0x02 | comm u64 | dst_local u32 | token u64
 //! ```
+//!
+//! `HANDOFF` is the zero-copy large-message path on shmem **loopback**
+//! worlds: the sender stashes the whole [`Envelope`] in a process-local
+//! slab and pushes only this ~21-byte token frame through the ring, so
+//! FIFO order with smaller serialized frames is preserved while the
+//! payload allocation moves by pointer. The token is meaningless outside
+//! the process that minted it, which is why only the shmem poller (which
+//! shares the sender's slab) may apply one — [`apply`] refuses it.
 //!
 //! Frames are self-delimiting inside a shmem ring record; on TCP each
 //! frame is additionally length-prefixed with a `u32` by the stream
@@ -38,10 +47,22 @@ pub enum Frame {
     },
     /// Failure-ledger news.
     Ctrl(CtrlMsg),
+    /// A zero-copy handoff token for mailbox `(comm, dst_local)`: the
+    /// envelope itself is stashed in the sending process's slab under
+    /// `token`. Only meaningful to a poller sharing that slab.
+    Handoff {
+        /// Communicator id (channel bit included).
+        comm: u64,
+        /// Destination rank within the communicator.
+        dst_local: usize,
+        /// Slab key the stashed envelope is claimed with.
+        token: u64,
+    },
 }
 
 const KIND_DATA: u8 = 0x00;
 const KIND_CTRL: u8 = 0x01;
+const KIND_HANDOFF: u8 = 0x02;
 
 const CTRL_FAILED: u8 = 0;
 const CTRL_REVOKE: u8 = 1;
@@ -74,6 +95,16 @@ pub fn encode_data(comm: u64, dst_local: usize, env: &Envelope) -> Vec<u8> {
     out.extend_from_slice(name);
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     out.extend_from_slice(payload);
+    out
+}
+
+/// Encode a zero-copy handoff token (see the module docs).
+pub fn encode_handoff(comm: u64, dst_local: usize, token: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(21);
+    out.push(KIND_HANDOFF);
+    out.extend_from_slice(&comm.to_le_bytes());
+    out.extend_from_slice(&(dst_local as u32).to_le_bytes());
+    out.extend_from_slice(&token.to_le_bytes());
     out
 }
 
@@ -154,6 +185,19 @@ pub fn decode(buf: &[u8]) -> Result<Frame, String> {
                 env: Envelope::from_wire(src, tag, count, elem_size, &name, payload),
             })
         }
+        KIND_HANDOFF => {
+            let comm = r.u64()?;
+            let dst_local = r.u32()? as usize;
+            let token = r.u64()?;
+            if r.pos != buf.len() {
+                return Err(format!("{} trailing bytes after frame", buf.len() - r.pos));
+            }
+            Ok(Frame::Handoff {
+                comm,
+                dst_local,
+                token,
+            })
+        }
         KIND_CTRL => {
             let code = r.u8()?;
             let arg = r.u64()?;
@@ -181,6 +225,12 @@ pub fn apply(frame: Frame, registry: &Registry) {
             env,
         } => registry.mailbox(comm, dst_local).push(env),
         Frame::Ctrl(msg) => registry.apply_remote_ctrl(msg),
+        // A handoff token references a slab in the *sending* process;
+        // resolving it here would be type confusion across processes.
+        // The shmem poller claims these itself before calling `apply`.
+        Frame::Handoff { token, .. } => {
+            panic!("handoff token {token:#x} reached a poller without the sender's slab")
+        }
     }
 }
 
@@ -206,6 +256,39 @@ mod tests {
             }
             other => panic!("wrong frame: {other:?}"),
         }
+    }
+
+    #[test]
+    fn handoff_frames_roundtrip() {
+        let buf = encode_handoff(5 | (1 << 63), 3, 0xDEAD_BEEF);
+        assert_eq!(buf.len(), 21);
+        match decode(&buf).unwrap() {
+            Frame::Handoff {
+                comm,
+                dst_local,
+                token,
+            } => {
+                assert_eq!(comm, 5 | (1 << 63));
+                assert_eq!(dst_local, 3);
+                assert_eq!(token, 0xDEAD_BEEF);
+            }
+            other => panic!("wrong frame: {other:?}"),
+        }
+        assert!(decode(&buf[..buf.len() - 1]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "without the sender's slab")]
+    fn handoff_tokens_refuse_foreign_application() {
+        let registry = crate::registry::Registry::new();
+        apply(
+            Frame::Handoff {
+                comm: 0,
+                dst_local: 0,
+                token: 1,
+            },
+            &registry,
+        );
     }
 
     #[test]

@@ -2,8 +2,9 @@
 //! eager/rendezvous crossover, and ordering guarantees of the indexed
 //! mailbox under randomized same-selector streams.
 
-use beatnik_comm::{wait_all, World, ANY_SOURCE, ANY_TAG, DEFAULT_EAGER_LIMIT};
+use beatnik_comm::{wait_all, TransportKind, World, ANY_SOURCE, ANY_TAG, DEFAULT_EAGER_LIMIT};
 use beatnik_prng::Rng;
+use std::sync::Arc;
 use std::time::Duration;
 
 const TIMEOUT: Duration = Duration::from_secs(30);
@@ -81,6 +82,90 @@ fn rendezvous_deposits_into_posted_receive() {
         }
     });
     assert_eq!(trace.rank(0).copied_bytes(), 512);
+}
+
+/// Ownership-transfer sends copy nothing at any size: the buffer the
+/// caller gives up is the buffer the receiver unwraps. The bytes are
+/// charged to the disjoint `handoff` counter instead, so the zero on
+/// `copied` is a pinned invariant, not an accounting gap.
+#[test]
+fn owned_sends_copy_nothing_at_any_size() {
+    // Eager limit 0: a slice isend of any size would go rendezvous
+    // (1 copy); the owned path must still charge zero.
+    let (_, trace) = World::builder(2).recv_timeout(TIMEOUT).eager_limit(0).run_traced(|c| {
+        if c.rank() == 0 {
+            c.isend_owned(1, 1, vec![7u64; 100]).wait(); // 800 bytes
+            c.isend_owned(1, 2, vec![9u64; 65536]).wait(); // 512 KiB
+        } else {
+            assert_eq!(c.irecv::<u64>(0, 1).wait(), vec![7u64; 100]);
+            assert_eq!(c.irecv::<u64>(0, 2).wait().len(), 65536);
+        }
+    });
+    assert_eq!(trace.rank(0).copied_bytes(), 0, "ownership transfer must not copy");
+    assert_eq!(trace.rank(0).handoff_bytes(), 800 + 65536 * 8);
+    assert_eq!(trace.rank(0).pool_hits() + trace.rank(0).pool_misses(), 0);
+}
+
+/// Shared-buffer sends fan one allocation out to many destinations with
+/// zero sender-side copies; the last receiver to claim the buffer takes
+/// the allocation itself.
+#[test]
+fn shared_sends_copy_nothing_at_the_sender() {
+    let (_, trace) = World::builder(3).recv_timeout(TIMEOUT).run_traced(|c| {
+        if c.rank() == 0 {
+            let buf = Arc::new(vec![0.5f64; 4096]); // 32 KiB
+            let reqs = [c.isend_shared(1, 3, &buf), c.isend_shared(2, 3, &buf)];
+            for r in reqs {
+                r.wait();
+            }
+        } else {
+            assert_eq!(c.irecv::<f64>(0, 3).wait(), vec![0.5f64; 4096]);
+        }
+    });
+    assert_eq!(trace.rank(0).copied_bytes(), 0);
+    // Both envelopes' payload bytes move by ownership transfer.
+    assert_eq!(trace.rank(0).handoff_bytes(), 2 * 4096 * 8);
+}
+
+beatnik_comm::backend_matrix! {
+    /// Copy accounting is protocol-level and therefore backend-uniform:
+    /// a large ownership-transfer send reports zero copied bytes on
+    /// every transport (wire backends serialize internally, which the
+    /// protocol counters never charge).
+    fn owned_sends_report_zero_copies(kind: TransportKind) {
+        let (_, trace) = World::builder(2)
+            .transport(kind)
+            .recv_timeout(TIMEOUT)
+            .run_traced(|c| {
+                if c.rank() == 0 {
+                    let data: Vec<u64> = (0..8192).collect(); // 64 KiB >= eager limit
+                    c.isend_owned(1, 7, data).wait();
+                } else {
+                    let got = c.irecv::<u64>(0, 7).wait();
+                    assert_eq!(got.len(), 8192);
+                    assert_eq!(got[4096], 4096);
+                }
+            });
+        for r in 0..2 {
+            assert_eq!(trace.rank(r).copied_bytes(), 0, "rank {r} on {kind}");
+        }
+        assert_eq!(trace.rank(0).handoff_bytes(), 65536);
+    }
+
+    /// The capability probe tells callers which backends move pointers
+    /// end to end: thread always, shmem when the peer shares the
+    /// process (loopback worlds), TCP never.
+    fn handoff_capability_matches_backend(kind: TransportKind) {
+        let caps = World::builder(2)
+            .transport(kind)
+            .recv_timeout(TIMEOUT)
+            .run(move |c| c.transport_handoff((c.rank() + 1) % 2));
+        let expect = match kind {
+            TransportKind::Thread | TransportKind::Shmem => true,
+            TransportKind::Tcp => false,
+        };
+        assert_eq!(caps, vec![expect; 2]);
+    }
 }
 
 /// Same-selector messages must never overtake each other, whichever mix
@@ -182,4 +267,93 @@ fn wait_all_wildcards_and_exact_posts_preserve_stream_order() {
             c.isend(0, 9, &[base + 1]).wait();
         }
     });
+}
+
+/// Property test for the zero-copy path: ownership-transfer sends mixed
+/// into eager, rendezvous, and posted-receive traffic must preserve
+/// per-stream non-overtaking order and payload integrity — and the copy
+/// counters must come out exactly as the protocol prices each style
+/// (eager 2x, rendezvous slice 1x, owned 0x + handoff).
+#[test]
+fn zero_copy_sends_interleave_with_eager_and_rendezvous_traffic() {
+    const MSGS: u64 = 45;
+    const LIMIT: usize = 1024;
+    // Message sizes in u64 elements per send style.
+    const EAGER_N: usize = 64; // 512 B  <= limit: eager, copied 2x
+    const RDV_N: usize = 200; // 1600 B >  limit: slice rendezvous, copied 1x
+    const OWNED_N: usize = 300; // 2400 B: ownership transfer, copied 0x
+
+    for seed in 0..3u64 {
+        let (expected, trace) = World::builder(4)
+            .recv_timeout(TIMEOUT)
+            .eager_limit(LIMIT)
+            .run_traced(move |c| {
+                if c.rank() == 0 {
+                    let mut next_seq = [0u64; 4];
+                    let mut rng = Rng::seed_from_u64(seed);
+                    let mut received = 0;
+                    while received < MSGS * 3 {
+                        let open: Vec<usize> = (1..4).filter(|&s| next_seq[s] < MSGS).collect();
+                        let payload = match rng.gen_index(0..3) {
+                            0 if !open.is_empty() => {
+                                let s = open[rng.gen_index(0..open.len())];
+                                c.recv::<u64>(s, s as u64)
+                            }
+                            1 if !open.is_empty() => {
+                                let s = open[rng.gen_index(0..open.len())];
+                                c.irecv::<u64>(s, s as u64).wait()
+                            }
+                            _ => c.recv_any::<u64>(ANY_SOURCE, ANY_TAG).0,
+                        };
+                        // Header encodes (sender, seq); every filler
+                        // element must match header + index.
+                        let header = payload[0];
+                        let src = (header / 1000) as usize;
+                        let seq = header % 1000;
+                        assert_eq!(
+                            seq, next_seq[src],
+                            "seed {seed}: stream from {src} overtook"
+                        );
+                        for (i, &v) in payload.iter().enumerate() {
+                            assert_eq!(
+                                v,
+                                header + i as u64,
+                                "seed {seed}: payload corrupted at elem {i} of (src {src}, seq {seq})"
+                            );
+                        }
+                        next_seq[src] += 1;
+                        received += 1;
+                    }
+                    (0u64, 0u64)
+                } else {
+                    let r = c.rank() as u64;
+                    let (mut copied, mut handoff) = (0u64, 0u64);
+                    for seq in 0..MSGS {
+                        let header = r * 1000 + seq;
+                        let fill = |n: usize| -> Vec<u64> {
+                            (0..n as u64).map(|i| header + i).collect()
+                        };
+                        match seq % 3 {
+                            0 => {
+                                c.isend(0, r, &fill(EAGER_N)).wait();
+                                copied += 2 * (EAGER_N * 8) as u64;
+                            }
+                            1 => {
+                                c.isend(0, r, &fill(RDV_N)).wait();
+                                copied += (RDV_N * 8) as u64;
+                            }
+                            _ => {
+                                c.isend_owned(0, r, fill(OWNED_N)).wait();
+                                handoff += (OWNED_N * 8) as u64;
+                            }
+                        }
+                    }
+                    (copied, handoff)
+                }
+            });
+        for (rank, &(copied, handoff)) in expected.iter().enumerate() {
+            assert_eq!(trace.rank(rank).copied_bytes(), copied, "seed {seed} rank {rank}");
+            assert_eq!(trace.rank(rank).handoff_bytes(), handoff, "seed {seed} rank {rank}");
+        }
+    }
 }

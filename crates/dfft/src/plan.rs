@@ -246,19 +246,27 @@ impl DistributedFft2d {
             no_reorder_penalty(buf);
         }
         let ncols = rect.ncols();
-        let mut scratch = vec![Complex::default(); self.nr];
-        for c in 0..ncols {
-            for r in 0..self.nr {
-                scratch[r] = buf[r * ncols + c];
+        if ncols == 0 {
+            return;
+        }
+        // Cache-blocked column transform: gather a tile of COL_TILE
+        // columns into contiguous scratch in one row-streaming pass
+        // (each source cache line fetched once per tile, not once per
+        // column), transform each contiguous column, scatter back.
+        use crate::layout::{gather_cols, scatter_cols, COL_TILE};
+        let mut scratch = vec![Complex::default(); self.nr * COL_TILE.min(ncols)];
+        for c0 in (0..ncols).step_by(COL_TILE) {
+            let tc = COL_TILE.min(ncols - c0);
+            let tile = &mut scratch[..self.nr * tc];
+            gather_cols(buf, ncols, c0, tc, tile);
+            for col in tile.chunks_exact_mut(self.nr) {
+                if forward {
+                    self.col_plan.forward(col);
+                } else {
+                    self.col_plan.inverse(col);
+                }
             }
-            if forward {
-                self.col_plan.forward(&mut scratch);
-            } else {
-                self.col_plan.inverse(&mut scratch);
-            }
-            for r in 0..self.nr {
-                buf[r * ncols + c] = scratch[r];
-            }
+            scatter_cols(tile, ncols, c0, tc, buf);
         }
     }
 

@@ -68,11 +68,19 @@ pub fn redistribute(
                 .map(|&s| comm.irecv::<Complex>(s, DFFT_TAG))
                 .collect();
             // Pairwise destination order spreads traffic instead of having
-            // every rank hit rank 0 first.
+            // every rank hit rank 0 first. The packed per-destination
+            // blocks are given up wholesale: ownership-transfer sends
+            // move each block's allocation to its receiver with zero
+            // payload copies at any size.
             let sends: Vec<_> = (1..p)
                 .map(|step| (me + step) % p)
-                .filter(|&d| !blocks[d].is_empty())
-                .map(|d| comm.isend(d, DFFT_TAG, &blocks[d]))
+                .filter_map(|d| {
+                    if blocks[d].is_empty() {
+                        None
+                    } else {
+                        Some(comm.isend_owned(d, DFFT_TAG, std::mem::take(&mut blocks[d])))
+                    }
+                })
                 .collect();
             let got = wait_all(reqs);
             for s in sends {
@@ -242,12 +250,16 @@ mod tests {
         });
         // The Direct engine is pure point-to-point: no collective traffic,
         // one message per nonempty peer intersection (3 per rank here),
-        // with all receives posted before the sends drain.
+        // with all receives posted before the sends drain. Every block
+        // travels by ownership transfer — zero protocol copies, no
+        // pooled envelopes, all payload bytes on the handoff counter.
         assert_eq!(trace.total(OpKind::Alltoallv).messages, 0);
         for r in 0..4 {
             let t = trace.rank(r);
             assert_eq!(t.get(OpKind::Send).messages, 3);
-            assert_eq!(t.pool_hits() + t.pool_misses(), 3);
+            assert_eq!(t.pool_hits() + t.pool_misses(), 0);
+            assert_eq!(t.copied_bytes(), 0, "rank {r} copied payload bytes");
+            assert_eq!(t.handoff_bytes(), t.get(OpKind::Send).bytes);
             assert!(t.peak_outstanding() >= 4, "rank {r}");
             assert_eq!(t.outstanding_requests(), 0);
         }

@@ -36,6 +36,7 @@ pub mod bluestein;
 pub mod complex;
 pub mod dft;
 pub mod fft2d;
+mod kernel;
 pub mod plan;
 pub mod real;
 pub mod spectral;

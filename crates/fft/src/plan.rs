@@ -2,12 +2,26 @@
 //!
 //! [`Fft::new`] builds a reusable plan: for power-of-two sizes an
 //! iterative radix-2 Cooley–Tukey transform with a precomputed
-//! bit-reversal permutation and per-size twiddle table; for all other
-//! sizes Bluestein's chirp-z algorithm (see [`crate::bluestein`]), which
-//! itself reuses a radix-2 plan of the padded size.
+//! bit-reversal permutation and a **stage-contiguous** twiddle table;
+//! for all other sizes Bluestein's chirp-z algorithm (see
+//! [`crate::bluestein`]), which itself reuses a radix-2 plan of the
+//! padded size.
+//!
+//! The butterfly stages execute through the lane-parallel kernels in
+//! `crate::kernel` (AVX/SSE2 on x86_64, with a scalar path that every
+//! SIMD kernel matches bit-for-bit). [`Fft::forward_scalar`] /
+//! [`Fft::inverse_scalar`] force the scalar kernels, as the reference
+//! for equivalence tests and speedup benchmarks.
+//!
+//! Stage-contiguous twiddles: stage `s` (butterfly half-width
+//! `h = 2^s`) reads its `h` twiddles `e^{-2πik/2h}` from the flat table
+//! at `[h-1, 2h-1)` — unit-stride loads in the hot loop, where the old
+//! single-table layout strided by `n/width` and defeated vector loads.
+//! Total table size is `n - 1` instead of `n/2`, a negligible cost.
 
 use crate::bluestein::Bluestein;
 use crate::complex::Complex;
+use crate::kernel;
 
 /// A reusable plan for forward/inverse transforms of one length.
 pub struct Fft {
@@ -93,6 +107,39 @@ impl Fft {
             }
         }
     }
+
+    /// [`Fft::forward`] through the lane-serial reference kernels.
+    ///
+    /// The dispatched SIMD butterflies are bit-for-bit identical to
+    /// this path by construction; it exists so tests can assert that
+    /// and benchmarks can measure the speedup. Non-power-of-two
+    /// (Bluestein) plans take their regular path — their internal
+    /// radix-2 transforms dispatch normally.
+    pub fn forward_scalar(&self, data: &mut [Complex]) {
+        assert_eq!(data.len(), self.n, "fft: buffer length mismatch");
+        match &self.kind {
+            Kind::Identity => {}
+            Kind::Radix2(r) => r.transform_scalar(data, Direction::Forward),
+            Kind::Bluestein(b) => b.forward(data),
+        }
+    }
+
+    /// [`Fft::inverse`] through the lane-serial reference kernels (see
+    /// [`Fft::forward_scalar`]).
+    pub fn inverse_scalar(&self, data: &mut [Complex]) {
+        assert_eq!(data.len(), self.n, "fft: buffer length mismatch");
+        match &self.kind {
+            Kind::Identity => {}
+            Kind::Radix2(r) => {
+                r.transform_scalar(data, Direction::Inverse);
+                let s = 1.0 / self.n as f64;
+                for v in data.iter_mut() {
+                    *v = v.scale(s);
+                }
+            }
+            Kind::Bluestein(b) => b.inverse(data),
+        }
+    }
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -107,8 +154,9 @@ struct Radix2 {
     /// Bit-reversal permutation targets: `rev[i]` is `i` with log2(n) bits
     /// reversed.
     rev: Vec<u32>,
-    /// Forward twiddles `e^{-2πi k/n}` for `k < n/2`; stage `s` uses the
-    /// stride-`n/2s`-spaced subset, so one table serves all stages.
+    /// Forward twiddles, stage-contiguous: the stage with butterfly
+    /// half-width `h` owns `[h-1, 2h-1)`, holding `e^{-2πik/2h}` for
+    /// `k < h`. `n - 1` entries total, unit stride within a stage.
     twiddles: Vec<Complex>,
 }
 
@@ -120,41 +168,52 @@ impl Radix2 {
         for (i, r) in rev.iter_mut().enumerate() {
             *r = (i as u32).reverse_bits() >> (32 - bits);
         }
-        let half = n / 2;
-        let twiddles = (0..half)
-            .map(|k| Complex::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
-            .collect();
+        let mut twiddles = Vec::with_capacity(n - 1);
+        let mut half = 1usize;
+        while half < n {
+            let width = 2 * half;
+            // Same angle expression the strided table used, so planned
+            // twiddle values are unchanged by the layout switch.
+            twiddles.extend(
+                (0..half)
+                    .map(|k| Complex::cis(-2.0 * std::f64::consts::PI * k as f64 / width as f64)),
+            );
+            half *= 2;
+        }
         Radix2 { n, rev, twiddles }
     }
 
-    fn transform(&self, data: &mut [Complex], dir: Direction) {
-        let n = self.n;
-        // Bit-reversal permutation (swap once per pair).
-        for i in 0..n {
+    /// Swap elements into bit-reversed order (once per pair).
+    fn bit_reverse(&self, data: &mut [Complex]) {
+        for i in 0..self.n {
             let j = self.rev[i] as usize;
             if i < j {
                 data.swap(i, j);
             }
         }
-        // Butterfly stages: width doubles each stage.
-        let mut width = 2usize;
-        while width <= n {
-            let half = width / 2;
-            let stride = n / width; // twiddle table stride for this stage
-            for start in (0..n).step_by(width) {
-                for k in 0..half {
-                    let w = self.twiddles[k * stride];
-                    let w = match dir {
-                        Direction::Forward => w,
-                        Direction::Inverse => w.conj(),
-                    };
-                    let a = data[start + k];
-                    let b = data[start + k + half] * w;
-                    data[start + k] = a + b;
-                    data[start + k + half] = a - b;
-                }
-            }
-            width *= 2;
+    }
+
+    fn transform(&self, data: &mut [Complex], dir: Direction) {
+        self.bit_reverse(data);
+        let conj = dir == Direction::Inverse;
+        // Butterfly stages: half-width doubles each stage, each reading
+        // its stage-contiguous twiddle block at unit stride.
+        let mut half = 1usize;
+        while half < self.n {
+            kernel::stage(data, half, &self.twiddles[half - 1..2 * half - 1], conj);
+            half *= 2;
+        }
+    }
+
+    /// [`Radix2::transform`] forced through the scalar reference
+    /// kernels (bit-identical to the dispatched path by construction).
+    fn transform_scalar(&self, data: &mut [Complex], dir: Direction) {
+        self.bit_reverse(data);
+        let conj = dir == Direction::Inverse;
+        let mut half = 1usize;
+        while half < self.n {
+            kernel::stage_scalar(data, half, &self.twiddles[half - 1..2 * half - 1], conj);
+            half *= 2;
         }
     }
 }
@@ -283,6 +342,51 @@ mod tests {
         let plan = Fft::new(8);
         let mut buf = vec![Complex::default(); 7];
         plan.forward(&mut buf);
+    }
+
+    #[test]
+    fn dispatched_transforms_match_scalar_bit_for_bit() {
+        // The SIMD butterflies must reproduce the scalar reference
+        // exactly — not within tolerance — at every planned size, both
+        // directions, including the bit-reversal and normalization
+        // around the kernels.
+        for n in [2usize, 4, 8, 16, 32, 128, 1024, 4096] {
+            let x = ramp(n);
+            let plan = Fft::new(n);
+            let mut fast = x.clone();
+            let mut slow = x.clone();
+            plan.forward(&mut fast);
+            plan.forward_scalar(&mut slow);
+            for (i, (f, s)) in fast.iter().zip(&slow).enumerate() {
+                assert_eq!(
+                    (f.re.to_bits(), f.im.to_bits()),
+                    (s.re.to_bits(), s.im.to_bits()),
+                    "forward n={n} elem {i}: {f} vs {s}"
+                );
+            }
+            plan.inverse(&mut fast);
+            plan.inverse_scalar(&mut slow);
+            for (i, (f, s)) in fast.iter().zip(&slow).enumerate() {
+                assert_eq!(
+                    (f.re.to_bits(), f.im.to_bits()),
+                    (s.re.to_bits(), s.im.to_bits()),
+                    "inverse n={n} elem {i}: {f} vs {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_reference_matches_naive_dft() {
+        // Anchors the reference path itself, so the bit-equality test
+        // above transitively anchors the SIMD path to the mathematics.
+        for n in [8usize, 64, 256] {
+            let x = ramp(n);
+            let mut fast = x.clone();
+            Fft::new(n).forward_scalar(&mut fast);
+            let slow = dft_naive(&x);
+            assert_close(&fast, &slow, 1e-9 * n as f64);
+        }
     }
 
     #[test]

@@ -124,12 +124,21 @@ kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
 grep -q 'rocketrig serve: bye' "$PROF_DIR/serve.log"
 
+echo "== zero-copy smoke: owned sends copy nothing on thread + shmem =="
+# The ownership-transfer invariant across the backend matrix: a 64 KiB
+# isend_owned must report bytes_copied == 0 on every backend, with the
+# payload charged to the handoff counter instead.
+cargo test -q -p beatnik-comm --test transport owned_sends_report_zero_copies
+
 echo "== transport microbench -> BENCH_comm.json =="
+# Asserts internally: the owned ping-pong rows copied exactly zero
+# payload bytes with the full payload on the handoff counter.
 target/release/bench_comm BENCH_comm.json
 test -s BENCH_comm.json
 grep -q '"algo": "bruck"' BENCH_comm.json
 grep -q '"transport": "shmem"' BENCH_comm.json
 grep -q '"transport": "tcp"' BENCH_comm.json
+grep -q '"op": "p2p_owned"' BENCH_comm.json
 
 echo "== fault-tolerance bench -> BENCH_fault.json =="
 target/release/bench_fault BENCH_fault.json
@@ -145,9 +154,18 @@ test -s BENCH_serve.json
 grep -q '"metric": "p99_latency"' BENCH_serve.json
 grep -q '"lost_jobs": 0' BENCH_serve.json
 
+echo "== compute-kernel bench -> BENCH_compute.json =="
+# Rows pair each fast kernel (SIMD butterflies, tiled pack) with its
+# measured reference so the gate pins both.
+target/release/bench_compute BENCH_compute.json
+test -s BENCH_compute.json
+grep -q '"kernel": "fft_forward"' BENCH_compute.json
+grep -q '"variant": "tiled"' BENCH_compute.json
+
 echo "== bench regression gate vs crates/bench/baselines =="
 # Fresh numbers above must stay under the committed-baseline ceilings
-# (time-like: 2x + 10ms jitter floor; deterministic bytes: 1.10x).
+# (time-like: 2x + jitter floor; deterministic bytes: 1.10x with a
+# 64-byte floor that pins the zero-copy rows at exactly zero).
 target/release/bench_gate
 
 echo "== criterion smoke: micro_br / micro_dfft =="
